@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation of the ARF update policy: execute-stage sampled (the
+ * design) versus retire-stage architectural copy. The paper (IV-B.2)
+ * reports "significant improvement in performance versus a
+ * retire-stage, purely architectural-state, register file copy"; this
+ * bench quantifies that claim on our suite.
+ */
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace bfsim;
+
+harness::RunOptions
+optionsFor(bool commit_only)
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    options.bfetch.arfFromCommitOnly = commit_only;
+    return options;
+}
+
+void
+printReport()
+{
+    std::vector<harness::SpeedupSeries> series;
+    for (bool commit_only : {false, true}) {
+        harness::SpeedupSeries s{
+            commit_only ? "retire-stage ARF" : "execute-sampled ARF",
+            {}};
+        harness::RunOptions options = optionsFor(commit_only);
+        for (const auto &w : workloads::allWorkloads()) {
+            s.values[w.name] = harness::speedupVsBaseline(
+                w.name, sim::PrefetcherKind::BFetch, options);
+        }
+        series.push_back(std::move(s));
+    }
+    std::printf("\n=== Ablation: ARF sampling point (paper IV-B.2) "
+                "===\n\n");
+    harness::speedupTable(workloads::workloadNames(),
+                          workloads::prefetchSensitiveNames(), series)
+        .print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (bool commit_only : {false, true}) {
+        harness::RunOptions options = optionsFor(commit_only);
+        for (const auto &w : workloads::allWorkloads()) {
+            benchutil::registerCase(
+                std::string("ablation_arf/") +
+                    (commit_only ? "retire/" : "execute/") + w.name,
+                "speedup", [name = w.name, options] {
+                    return harness::speedupVsBaseline(
+                        name, sim::PrefetcherKind::BFetch, options);
+                });
+        }
+    }
+    return benchutil::runBench(argc, argv, printReport);
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation study (beyond the paper's figures): contribution of each
+ * B-Fetch mechanism — loop prefetching (LoopCnt x LoopDelta), the
+ * neg/posPatt multi-load vectors, and the per-load filter — measured by
+ * disabling one at a time. DESIGN.md section 7 motivates these as the
+ * design choices the paper calls out but does not ablate.
+ */
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace bfsim;
+
+struct Variant
+{
+    const char *name;
+    void (*apply)(core::BFetchConfig &);
+};
+
+const Variant variants[] = {
+    {"full", [](core::BFetchConfig &) {}},
+    {"no-loop",
+     [](core::BFetchConfig &cfg) { cfg.enableLoopPrefetch = false; }},
+    {"no-patt",
+     [](core::BFetchConfig &cfg) { cfg.enablePattPrefetch = false; }},
+    {"no-filter",
+     [](core::BFetchConfig &cfg) { cfg.enablePerLoadFilter = false; }},
+};
+
+harness::RunOptions
+optionsFor(const Variant &variant)
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    variant.apply(options.bfetch);
+    return options;
+}
+
+void
+printReport()
+{
+    std::vector<harness::SpeedupSeries> series;
+    for (const Variant &variant : variants) {
+        harness::SpeedupSeries s{variant.name, {}};
+        harness::RunOptions options = optionsFor(variant);
+        for (const auto &w : workloads::allWorkloads()) {
+            s.values[w.name] = harness::speedupVsBaseline(
+                w.name, sim::PrefetcherKind::BFetch, options);
+        }
+        series.push_back(std::move(s));
+    }
+    std::printf("\n=== Ablation: B-Fetch feature contributions ===\n\n");
+    harness::speedupTable(workloads::workloadNames(),
+                          workloads::prefetchSensitiveNames(), series)
+        .print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const Variant &variant : variants) {
+        harness::RunOptions options = optionsFor(variant);
+        for (const auto &w : workloads::allWorkloads()) {
+            benchutil::registerCase(
+                std::string("ablation/") + variant.name + "/" + w.name,
+                "speedup", [name = w.name, options] {
+                    return harness::speedupVsBaseline(
+                        name, sim::PrefetcherKind::BFetch, options);
+                });
+        }
+    }
+    return benchutil::runBench(argc, argv, printReport);
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure bench binaries.
+ *
+ * Every bench registers its simulation points as google-benchmark cases
+ * (one iteration each; the harness memoizes results so counters and the
+ * final paper-style table share the same runs), then prints the table
+ * the corresponding paper figure/table reports.
+ *
+ * The per-core instruction budget defaults to 400k single-threaded /
+ * 200k per mix core, overridable with BFSIM_INSTS.
+ */
+
+#ifndef BFSIM_BENCH_BENCH_UTIL_HH_
+#define BFSIM_BENCH_BENCH_UTIL_HH_
+
+#include <cstdio>
+#include <iostream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+#include "harness/mixes.hh"
+#include "harness/report.hh"
+#include "workloads/workload.hh"
+
+namespace bfsim::benchutil {
+
+/** Default options for single-threaded figure benches. */
+inline harness::RunOptions
+singleOptions()
+{
+    harness::RunOptions options;
+    options.instructions = harness::benchInstructionBudget(400'000);
+    return options;
+}
+
+/** Default options for multiprogrammed figure benches. */
+inline harness::RunOptions
+mixOptions()
+{
+    harness::RunOptions options;
+    options.instructions = harness::benchInstructionBudget(200'000);
+    return options;
+}
+
+/**
+ * Register one google-benchmark case that performs `body` once per
+ * iteration and reports `counter` ("speedup", "weighted_speedup", ...).
+ */
+inline void
+registerCase(const std::string &name, const std::string &counter,
+             std::function<double()> body)
+{
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [counter, body](benchmark::State &state) {
+            double value = 0.0;
+            for (auto _ : state)
+                value = body();
+            state.counters[counter] = value;
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+/** Standard main body: run benchmarks, then print the figure table. */
+inline int
+runBench(int argc, char **argv, const std::function<void()> &print_report)
+{
+    setQuiet(true);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    print_report();
+    return 0;
+}
+
+/** The three comparison schemes of Figs. 8-10. */
+inline std::vector<sim::PrefetcherKind>
+comparedSchemes()
+{
+    return {sim::PrefetcherKind::Stride, sim::PrefetcherKind::Sms,
+            sim::PrefetcherKind::BFetch};
+}
+
+} // namespace bfsim::benchutil
+
+#endif // BFSIM_BENCH_BENCH_UTIL_HH_

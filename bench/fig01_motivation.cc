@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 1: speedup of the Stride, SMS and Perfect prefetchers over the
+ * no-prefetch baseline, per benchmark plus Geomean and the
+ * prefetch-sensitive Geomean. Establishes the motivation headroom
+ * (paper: Perfect ~2x geomean) and which benchmarks are
+ * prefetch-insensitive.
+ */
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace bfsim;
+
+void
+printReport()
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    std::vector<harness::SpeedupSeries> series{
+        {"Stride", {}}, {"SMS", {}}, {"Perfect", {}}};
+    const sim::PrefetcherKind kinds[] = {sim::PrefetcherKind::Stride,
+                                         sim::PrefetcherKind::Sms,
+                                         sim::PrefetcherKind::Perfect};
+    for (const auto &w : workloads::allWorkloads()) {
+        for (int k = 0; k < 3; ++k) {
+            series[k].values[w.name] =
+                harness::speedupVsBaseline(w.name, kinds[k], options);
+        }
+    }
+    std::printf("\n=== Figure 1: Stride / SMS / Perfect speedup vs "
+                "no-prefetch baseline ===\n\n");
+    harness::speedupTable(workloads::workloadNames(),
+                          workloads::prefetchSensitiveNames(), series)
+        .print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    for (const auto &w : workloads::allWorkloads()) {
+        for (sim::PrefetcherKind kind :
+             {sim::PrefetcherKind::Stride, sim::PrefetcherKind::Sms,
+              sim::PrefetcherKind::Perfect}) {
+            benchutil::registerCase(
+                "fig01/" + w.name + "/" + sim::prefetcherName(kind),
+                "speedup", [name = w.name, kind, options] {
+                    return harness::speedupVsBaseline(name, kind,
+                                                      options);
+                });
+        }
+    }
+    return benchutil::runBench(argc, argv, printReport);
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 7: breakdown of the number of branch instructions fetched per
+ * cycle (among fetch cycles containing at least one branch), aggregated
+ * across the suite on the 4-wide baseline. The paper uses this to argue
+ * the main branch predictor has idle lookup bandwidth B-Fetch can
+ * borrow (>99.95% of cycles fetch at most two branches).
+ */
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace bfsim;
+
+void
+printReport()
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    std::array<std::uint64_t, 5> totals{};
+    std::uint64_t branch_cycles = 0;
+    for (const auto &w : workloads::allWorkloads()) {
+        const harness::SingleResult &r = harness::runSingleCached(
+            w.name, sim::PrefetcherKind::None, options);
+        for (std::size_t i = 1; i < totals.size(); ++i)
+            totals[i] += r.core.branchesPerFetchCycle[i];
+        branch_cycles += r.core.fetchCyclesWithBranch;
+    }
+    std::printf("\n=== Figure 7: branches fetched per cycle (suite "
+                "aggregate) ===\n\n");
+    TextTable table({"branches/cycle", "share"});
+    for (std::size_t i = 1; i < totals.size(); ++i) {
+        double share = branch_cycles
+                           ? static_cast<double>(totals[i]) /
+                                 static_cast<double>(branch_cycles)
+                           : 0.0;
+        std::string label = std::to_string(i) +
+                            (i == 4 ? "+ branches" : " branch(es)");
+        table.addRow({label, TextTable::fmt(100.0 * share, 3) + "%"});
+    }
+    table.print(std::cout);
+    double le2 = branch_cycles ? 100.0 *
+                                     static_cast<double>(totals[1] +
+                                                         totals[2]) /
+                                     static_cast<double>(branch_cycles)
+                               : 0.0;
+    std::printf("\ncycles with <= 2 branches: %.3f%% (paper: >99.95%%)\n",
+                le2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    for (const auto &w : workloads::allWorkloads()) {
+        benchutil::registerCase(
+            "fig07/" + w.name, "branch_cycles",
+            [name = w.name, options] {
+                return static_cast<double>(
+                    harness::runSingleCached(
+                        name, sim::PrefetcherKind::None, options)
+                        .core.fetchCyclesWithBranch);
+            });
+    }
+    return benchutil::runBench(argc, argv, printReport);
+}

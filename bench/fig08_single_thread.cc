@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 8: single-threaded workload speedups of Stride, SMS and B-Fetch
+ * over the no-prefetch baseline (paper: B-Fetch geomean 23.2% vs SMS
+ * 19.7%; 50.0% vs 41.5% over the prefetch-sensitive subset). Our shape
+ * target is the ordering B-Fetch > SMS > Stride and the per-benchmark
+ * winners (SMS on cactusADM / milc / zeusmp).
+ */
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace bfsim;
+
+void
+printReport()
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    std::vector<harness::SpeedupSeries> series{
+        {"Stride", {}}, {"SMS", {}}, {"Bfetch", {}}};
+    int k = 0;
+    for (sim::PrefetcherKind kind : benchutil::comparedSchemes()) {
+        for (const auto &w : workloads::allWorkloads()) {
+            series[k].values[w.name] =
+                harness::speedupVsBaseline(w.name, kind, options);
+        }
+        ++k;
+    }
+    std::printf("\n=== Figure 8: single-threaded speedups ===\n\n");
+    harness::speedupTable(workloads::workloadNames(),
+                          workloads::prefetchSensitiveNames(), series)
+        .print(std::cout);
+
+    // Supplementary: the average lookahead depth the paper quotes
+    // ("average lookahead depth is 8 BB with 0.75 path confidence").
+    double depth_total = 0.0;
+    for (const auto &w : workloads::allWorkloads()) {
+        depth_total += harness::runSingleCached(
+                           w.name, sim::PrefetcherKind::BFetch, options)
+                           .avgLookaheadDepth;
+    }
+    std::printf("\naverage B-Fetch lookahead depth: %.2f BB "
+                "(paper: ~8)\n",
+                depth_total / workloads::allWorkloads().size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    for (const auto &w : workloads::allWorkloads()) {
+        for (sim::PrefetcherKind kind : benchutil::comparedSchemes()) {
+            benchutil::registerCase(
+                "fig08/" + w.name + "/" + sim::prefetcherName(kind),
+                "speedup", [name = w.name, kind, options] {
+                    return harness::speedupVsBaseline(name, kind,
+                                                      options);
+                });
+        }
+    }
+    return benchutil::runBench(argc, argv, printReport);
+}

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Fig. 9: normalized weighted speedup for 29 FOA-selected mixes of two
+ * applications on a 2-core CMP with shared L3 and DRAM (paper: B-Fetch
+ * 31.2% vs SMS 25.5% geomean).
+ */
+
+#include "bench/mix_bench.hh"
+
+int
+main(int argc, char **argv)
+{
+    return bfsim::benchutil::runMixBench(argc, argv, 2, "9");
+}

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Fig. 10: normalized weighted speedup for 29 FOA-selected mixes of
+ * four applications on a 4-core CMP (paper: B-Fetch 28.5% vs SMS 19.6%
+ * geomean — B-Fetch's accuracy advantage widens with core count).
+ */
+
+#include "bench/mix_bench.hh"
+
+int
+main(int argc, char **argv)
+{
+    return bfsim::benchutil::runMixBench(argc, argv, 4, "10");
+}

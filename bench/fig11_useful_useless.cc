@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 11: number of useful and useless prefetches issued by SMS and
+ * B-Fetch per benchmark. The paper's claim: B-Fetch issues ~4% more
+ * useful prefetches while issuing ~50% fewer useless ones, the accuracy
+ * edge behind its multiprogrammed wins.
+ */
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace bfsim;
+
+void
+printReport()
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    std::printf("\n=== Figure 11: useful / useless prefetches issued "
+                "===\n\n");
+    TextTable table({"benchmark", "SMS useful", "SMS useless",
+                     "Bfetch useful", "Bfetch useless"});
+    std::uint64_t sms_useful = 0, sms_useless = 0, bf_useful = 0,
+                  bf_useless = 0;
+    for (const auto &w : workloads::allWorkloads()) {
+        const auto &sms = harness::runSingleCached(
+            w.name, sim::PrefetcherKind::Sms, options);
+        const auto &bf = harness::runSingleCached(
+            w.name, sim::PrefetcherKind::BFetch, options);
+        table.addRow({w.name, TextTable::fmt(sms.mem.usefulPrefetches),
+                      TextTable::fmt(sms.mem.uselessPrefetches),
+                      TextTable::fmt(bf.mem.usefulPrefetches),
+                      TextTable::fmt(bf.mem.uselessPrefetches)});
+        sms_useful += sms.mem.usefulPrefetches;
+        sms_useless += sms.mem.uselessPrefetches;
+        bf_useful += bf.mem.usefulPrefetches;
+        bf_useless += bf.mem.uselessPrefetches;
+    }
+    table.addRow({"TOTAL", TextTable::fmt(sms_useful),
+                  TextTable::fmt(sms_useless),
+                  TextTable::fmt(bf_useful),
+                  TextTable::fmt(bf_useless)});
+    table.print(std::cout);
+    if (sms_useless > 0) {
+        std::printf("\nB-Fetch issues %.0f%% of SMS's useless "
+                    "prefetches (paper: ~50%% fewer)\n",
+                    100.0 * static_cast<double>(bf_useless) /
+                        static_cast<double>(sms_useless));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    for (const auto &w : workloads::allWorkloads()) {
+        for (sim::PrefetcherKind kind :
+             {sim::PrefetcherKind::Sms, sim::PrefetcherKind::BFetch}) {
+            benchutil::registerCase(
+                "fig11/" + w.name + "/" + sim::prefetcherName(kind),
+                "useful_prefetches", [name = w.name, kind, options] {
+                    return static_cast<double>(
+                        harness::runSingleCached(name, kind, options)
+                            .mem.usefulPrefetches);
+                });
+        }
+    }
+    return benchutil::runBench(argc, argv, printReport);
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 12: B-Fetch speedup sensitivity to the branch path-confidence
+ * threshold (paper: 20.6% / 23.2% / 23.0% geomean at 0.45 / 0.75 /
+ * 0.90 — the 0.75 sweet spot, with stability across the range thanks
+ * to the per-load filter).
+ */
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace bfsim;
+
+const double thresholds[] = {0.45, 0.75, 0.90};
+
+harness::RunOptions
+optionsFor(double threshold)
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    options.bfetch.pathConfidenceThreshold = threshold;
+    return options;
+}
+
+void
+printReport()
+{
+    std::vector<harness::SpeedupSeries> series;
+    for (double threshold : thresholds) {
+        harness::SpeedupSeries s{"Conf=" + TextTable::fmt(threshold, 2),
+                                 {}};
+        harness::RunOptions options = optionsFor(threshold);
+        for (const auto &w : workloads::allWorkloads()) {
+            s.values[w.name] = harness::speedupVsBaseline(
+                w.name, sim::PrefetcherKind::BFetch, options);
+        }
+        series.push_back(std::move(s));
+    }
+    std::printf("\n=== Figure 12: path-confidence threshold "
+                "sensitivity ===\n\n");
+    harness::speedupTable(workloads::workloadNames(),
+                          workloads::prefetchSensitiveNames(), series)
+        .print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (double threshold : thresholds) {
+        harness::RunOptions options = optionsFor(threshold);
+        for (const auto &w : workloads::allWorkloads()) {
+            benchutil::registerCase(
+                "fig12/" + w.name + "/conf" +
+                    TextTable::fmt(threshold, 2),
+                "speedup", [name = w.name, options] {
+                    return harness::speedupVsBaseline(
+                        name, sim::PrefetcherKind::BFetch, options);
+                });
+        }
+    }
+    return benchutil::runBench(argc, argv, printReport);
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig. 13: sensitivity to the tournament branch predictor's size (0.5x
+ * / 1x / 2x / 4x). The paper reports baseline and B-Fetch IPC both
+ * creeping up slightly with predictor size while the conditional miss
+ * rate falls from 2.95% to 2.53% — B-Fetch does not depend on an
+ * oversized predictor.
+ */
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace bfsim;
+
+const double scales[] = {0.5, 1.0, 2.0, 4.0};
+
+void
+printReport()
+{
+    // Reference: geomean baseline IPC at the default (1x) predictor.
+    harness::RunOptions ref = benchutil::singleOptions();
+    std::vector<double> ref_ipcs;
+    for (const auto &w : workloads::allWorkloads()) {
+        ref_ipcs.push_back(
+            harness::runSingleCached(w.name, sim::PrefetcherKind::None,
+                                     ref)
+                .core.ipc);
+    }
+    double ref_geo = geometricMean(ref_ipcs);
+
+    std::printf("\n=== Figure 13: branch predictor size sensitivity "
+                "===\n\n");
+    TextTable table({"bp size", "bp KB", "baseline (norm)",
+                     "Bfetch (norm)", "miss rate"});
+    for (double scale : scales) {
+        harness::RunOptions options = benchutil::singleOptions();
+        options.bpSizeScale = scale;
+        std::vector<double> base_ipcs, bf_ipcs, miss_rates;
+        double bp_kb = 0.0;
+        for (const auto &w : workloads::allWorkloads()) {
+            const auto &base = harness::runSingleCached(
+                w.name, sim::PrefetcherKind::None, options);
+            const auto &bf = harness::runSingleCached(
+                w.name, sim::PrefetcherKind::BFetch, options);
+            base_ipcs.push_back(base.core.ipc);
+            bf_ipcs.push_back(bf.core.ipc);
+            miss_rates.push_back(base.core.branchMissRate);
+            bp_kb = base.branchPredictorKB;
+        }
+        table.addRow(
+            {TextTable::fmt(scale, 1) + "x", TextTable::fmt(bp_kb, 2),
+             TextTable::fmt(geometricMean(base_ipcs) / ref_geo, 4),
+             TextTable::fmt(geometricMean(bf_ipcs) / ref_geo, 4),
+             TextTable::fmt(100.0 * arithmeticMean(miss_rates), 2) +
+                 "%"});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (double scale : scales) {
+        harness::RunOptions options = benchutil::singleOptions();
+        options.bpSizeScale = scale;
+        for (const auto &w : workloads::allWorkloads()) {
+            benchutil::registerCase(
+                "fig13/" + w.name + "/scale" + TextTable::fmt(scale, 1),
+                "bfetch_ipc", [name = w.name, options] {
+                    return harness::runSingleCached(
+                               name, sim::PrefetcherKind::BFetch,
+                               options)
+                        .core.ipc;
+                });
+        }
+    }
+    return benchutil::runBench(argc, argv, printReport);
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 14: B-Fetch speedup on 2-wide, 4-wide and 8-wide out-of-order
+ * pipelines (paper: 22.6% / 23.2% / 26.7% geomean — the benefit holds
+ * from light-weight to heavy-weight cores and grows with width).
+ * Each width's speedup is measured against the same-width baseline.
+ */
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace bfsim;
+
+const unsigned widths[] = {2, 4, 8};
+
+harness::RunOptions
+optionsFor(unsigned width)
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    options.width = width;
+    return options;
+}
+
+void
+printReport()
+{
+    std::vector<harness::SpeedupSeries> series;
+    for (unsigned width : widths) {
+        harness::SpeedupSeries s{std::to_string(width) + "wide", {}};
+        harness::RunOptions options = optionsFor(width);
+        for (const auto &w : workloads::allWorkloads()) {
+            s.values[w.name] = harness::speedupVsBaseline(
+                w.name, sim::PrefetcherKind::BFetch, options);
+        }
+        series.push_back(std::move(s));
+    }
+    std::printf("\n=== Figure 14: pipeline width sensitivity ===\n\n");
+    harness::speedupTable(workloads::workloadNames(),
+                          workloads::prefetchSensitiveNames(), series)
+        .print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (unsigned width : widths) {
+        harness::RunOptions options = optionsFor(width);
+        for (const auto &w : workloads::allWorkloads()) {
+            benchutil::registerCase(
+                "fig14/" + w.name + "/" + std::to_string(width) +
+                    "wide",
+                "speedup", [name = w.name, options] {
+                    return harness::speedupVsBaseline(
+                        name, sim::PrefetcherKind::BFetch, options);
+                });
+        }
+    }
+    return benchutil::runBench(argc, argv, printReport);
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Mix-8 preliminary (paper V-B.2: "Preliminary results with mixes of 8
+ * workloads continue this trend"): a reduced set of four 8-app mixes on
+ * an 8-core CMP, checking that B-Fetch's lead over SMS persists as
+ * shared-resource contention intensifies further.
+ *
+ * Note: C(18,8) = 43758 candidate mixes are scored by FOA; only the
+ * top four run (each simulation is 8 cores), with a smaller default
+ * instruction budget than Figs. 9/10.
+ */
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace bfsim;
+
+void
+printReport()
+{
+    harness::RunOptions options;
+    options.instructions = harness::benchInstructionBudget(100'000);
+    auto mixes = harness::selectMixes(8, 4);
+    std::printf("\n=== Mix-8 preliminary: normalized weighted speedup "
+                "===\n\n");
+    TextTable table({"mix", "Stride", "SMS", "Bfetch"});
+    std::vector<double> stride_all, sms_all, bf_all;
+    int index = 1;
+    for (const auto &mix : mixes) {
+        double base =
+            harness::runMixCached(mix.workloads,
+                                  sim::PrefetcherKind::None, options)
+                .weightedSpeedup;
+        auto norm = [&](sim::PrefetcherKind kind) {
+            return harness::runMixCached(mix.workloads, kind, options)
+                       .weightedSpeedup /
+                   base;
+        };
+        double stride = norm(sim::PrefetcherKind::Stride);
+        double sms = norm(sim::PrefetcherKind::Sms);
+        double bf = norm(sim::PrefetcherKind::BFetch);
+        table.addRow({"mix" + std::to_string(index++),
+                      TextTable::fmt(stride), TextTable::fmt(sms),
+                      TextTable::fmt(bf)});
+        stride_all.push_back(stride);
+        sms_all.push_back(sms);
+        bf_all.push_back(bf);
+    }
+    table.addRow({"Geomean", TextTable::fmt(geometricMean(stride_all)),
+                  TextTable::fmt(geometricMean(sms_all)),
+                  TextTable::fmt(geometricMean(bf_all))});
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::RunOptions options;
+    options.instructions = harness::benchInstructionBudget(100'000);
+    auto mixes = harness::selectMixes(8, 4);
+    int index = 1;
+    for (const auto &mix : mixes) {
+        for (sim::PrefetcherKind kind : benchutil::comparedSchemes()) {
+            benchutil::registerCase(
+                "mix8/mix" + std::to_string(index) + "/" +
+                    sim::prefetcherName(kind),
+                "weighted_speedup",
+                [workloads = mix.workloads, kind, options] {
+                    return harness::runMixCached(workloads, kind,
+                                                 options)
+                        .weightedSpeedup;
+                });
+        }
+        ++index;
+    }
+    return benchutil::runBench(argc, argv, printReport);
+}

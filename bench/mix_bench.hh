@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared implementation of the multiprogrammed figures (Figs. 9 and 10):
+ * 29 FOA-selected mixes of N applications on an N-core CMP with shared
+ * L3 and DRAM; reports normalized weighted speedup per mix and its
+ * geomean, per the paper's methodology (V-A).
+ */
+
+#ifndef BFSIM_BENCH_MIX_BENCH_HH_
+#define BFSIM_BENCH_MIX_BENCH_HH_
+
+#include "bench/bench_util.hh"
+
+namespace bfsim::benchutil {
+
+inline std::string
+mixLabel(const harness::Mix &mix)
+{
+    std::string label;
+    for (const auto &name : mix.workloads) {
+        if (!label.empty())
+            label += '+';
+        label += name;
+    }
+    return label;
+}
+
+inline void
+printMixReport(unsigned mix_size, const char *figure)
+{
+    harness::RunOptions options = mixOptions();
+    auto mixes = harness::selectMixes(mix_size, 29);
+    std::printf("\n=== Figure %s: normalized weighted speedup, "
+                "%u-app mixes ===\n\n",
+                figure, mix_size);
+    TextTable table({"mix", "workloads", "Stride", "SMS", "Bfetch"});
+    std::vector<double> stride_all, sms_all, bf_all;
+    int index = 1;
+    for (const auto &mix : mixes) {
+        double base =
+            harness::runMixCached(mix.workloads,
+                                  sim::PrefetcherKind::None, options)
+                .weightedSpeedup;
+        auto norm = [&](sim::PrefetcherKind kind) {
+            return harness::runMixCached(mix.workloads, kind, options)
+                       .weightedSpeedup /
+                   base;
+        };
+        double stride = norm(sim::PrefetcherKind::Stride);
+        double sms = norm(sim::PrefetcherKind::Sms);
+        double bf = norm(sim::PrefetcherKind::BFetch);
+        table.addRow({"mix" + std::to_string(index++), mixLabel(mix),
+                      TextTable::fmt(stride), TextTable::fmt(sms),
+                      TextTable::fmt(bf)});
+        stride_all.push_back(stride);
+        sms_all.push_back(sms);
+        bf_all.push_back(bf);
+    }
+    table.addRow({"Geomean", "-",
+                  TextTable::fmt(geometricMean(stride_all)),
+                  TextTable::fmt(geometricMean(sms_all)),
+                  TextTable::fmt(geometricMean(bf_all))});
+    table.print(std::cout);
+}
+
+inline int
+runMixBench(int argc, char **argv, unsigned mix_size, const char *figure)
+{
+    harness::RunOptions options = mixOptions();
+    auto mixes = harness::selectMixes(mix_size, 29);
+    int index = 1;
+    for (const auto &mix : mixes) {
+        for (sim::PrefetcherKind kind : comparedSchemes()) {
+            registerCase(
+                std::string("fig") + figure + "/mix" +
+                    std::to_string(index) + "/" +
+                    sim::prefetcherName(kind),
+                "weighted_speedup",
+                [workloads = mix.workloads, kind, options] {
+                    return harness::runMixCached(workloads, kind,
+                                                 options)
+                        .weightedSpeedup;
+                });
+        }
+        ++index;
+    }
+    return runBench(argc, argv, [mix_size, figure] {
+        printMixReport(mix_size, figure);
+    });
+}
+
+} // namespace bfsim::benchutil
+
+#endif // BFSIM_BENCH_MIX_BENCH_HH_

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Prefetcher shootout: run every scheme (including Next-N and Perfect)
+ * over a chosen subset of the suite and print a side-by-side speedup /
+ * accuracy comparison — a compact version of the paper's whole
+ * single-threaded evaluation, useful for exploring configuration
+ * changes interactively.
+ *
+ * Usage: prefetcher_shootout [instructions] [workload...]
+ *   defaults: 300000 instructions, {libquantum, mcf, milc, gromacs}.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfsim;
+
+    harness::RunOptions options;
+    options.instructions =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300'000;
+    std::vector<std::string> names;
+    for (int i = 2; i < argc; ++i)
+        names.push_back(argv[i]);
+    if (names.empty())
+        names = {"libquantum", "mcf", "milc", "gromacs"};
+
+    const sim::PrefetcherKind kinds[] = {
+        sim::PrefetcherKind::NextN,  sim::PrefetcherKind::Stride,
+        sim::PrefetcherKind::Sms,    sim::PrefetcherKind::BFetch,
+        sim::PrefetcherKind::Perfect,
+    };
+
+    for (const std::string &name : names) {
+        const workloads::Workload &workload =
+            workloads::workloadByName(name);
+        std::printf("--- %s: %s ---\n", workload.name.c_str(),
+                    workload.character.c_str());
+        TextTable table({"scheme", "speedup", "issued", "useful",
+                         "useless", "accuracy"});
+        for (sim::PrefetcherKind kind : kinds) {
+            const harness::SingleResult &r =
+                harness::runSingleCached(name, kind, options);
+            double speedup =
+                harness::speedupVsBaseline(name, kind, options);
+            double denom = static_cast<double>(r.mem.usefulPrefetches +
+                                               r.mem.uselessPrefetches);
+            double accuracy =
+                denom > 0 ? static_cast<double>(r.mem.usefulPrefetches) /
+                                denom
+                          : 0.0;
+            table.addRow({sim::prefetcherName(kind),
+                          TextTable::fmt(speedup, 2) + "x",
+                          TextTable::fmt(r.mem.prefetchesIssued),
+                          TextTable::fmt(r.mem.usefulPrefetches),
+                          TextTable::fmt(r.mem.uselessPrefetches),
+                          TextTable::fmt(100.0 * accuracy, 1) + "%"});
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: simulate one workload under the baseline, Stride, SMS and
+ * B-Fetch prefetchers and print the headline numbers. This is the
+ * smallest end-to-end use of the library's public API:
+ *
+ *   workloads::workloadByName -> harness::runSingle -> CoreStats.
+ *
+ * Usage: quickstart [workload] [instructions]
+ *   defaults: libquantum, 1000000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfsim;
+
+    std::string name = argc > 1 ? argv[1] : "libquantum";
+    harness::RunOptions options;
+    options.instructions =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1'000'000;
+
+    const workloads::Workload &workload = workloads::workloadByName(name);
+    std::printf("workload:  %s  (%s)\n", workload.name.c_str(),
+                workload.character.c_str());
+    std::printf("footprint: %.1f MB, %llu instructions simulated\n\n",
+                static_cast<double>(workload.footprintBytes) / 1048576.0,
+                static_cast<unsigned long long>(options.instructions));
+
+    const sim::PrefetcherKind kinds[] = {
+        sim::PrefetcherKind::None, sim::PrefetcherKind::Stride,
+        sim::PrefetcherKind::Sms, sim::PrefetcherKind::BFetch,
+    };
+
+    double base_ipc = 0.0;
+    std::printf("%-8s %8s %9s %9s %10s %10s %10s\n", "scheme", "IPC",
+                "speedup", "L1 hit%", "pf issued", "pf useful",
+                "pf useless");
+    for (sim::PrefetcherKind kind : kinds) {
+        harness::SingleResult r =
+            harness::runSingle(name, kind, options);
+        if (kind == sim::PrefetcherKind::None)
+            base_ipc = r.core.ipc;
+        double l1_pct = r.mem.accesses
+                            ? 100.0 * static_cast<double>(r.mem.l1Hits) /
+                                  static_cast<double>(r.mem.accesses)
+                            : 0.0;
+        std::printf("%-8s %8.3f %8.2fx %8.1f%% %10llu %10llu %10llu\n",
+                    sim::prefetcherName(kind).c_str(), r.core.ipc,
+                    r.core.ipc / base_ipc, l1_pct,
+                    static_cast<unsigned long long>(
+                        r.mem.prefetchesIssued),
+                    static_cast<unsigned long long>(
+                        r.mem.usefulPrefetches),
+                    static_cast<unsigned long long>(
+                        r.mem.uselessPrefetches));
+    }
+    return 0;
+}

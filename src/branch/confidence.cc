@@ -1,0 +1,126 @@
+#include "branch/confidence.hh"
+
+#include "common/log.hh"
+
+namespace bfsim::branch {
+
+CompositeConfidence::CompositeConfidence(const ConfidenceConfig &config)
+    : cfg(config),
+      jrsTable(config.jrsEntries, SatCounter(config.jrsBits, 0)),
+      upDownTable(config.upDownEntries, SatCounter(config.upDownBits, 0)),
+      selfTable(config.selfEntries, SatCounter(config.selfBits, 0)),
+      calibration(numCalibrationBuckets)
+{
+    if (!std::has_single_bit(config.jrsEntries) ||
+        !std::has_single_bit(config.upDownEntries) ||
+        !std::has_single_bit(config.selfEntries)) {
+        fatal("confidence table sizes must be powers of two");
+    }
+}
+
+std::size_t
+CompositeConfidence::jrsIndex(Addr pc, std::uint64_t history) const
+{
+    // Indexed by PC alone: the lookahead walker probes branches under
+    // speculative histories, and a history-hashed index would make it
+    // read entries training never touched. The run-length (miss
+    // distance) signal the JRS counters carry is per-branch anyway.
+    (void)history;
+    return ((pc >> 2) * 0x45d9f3b3ULL) & (jrsTable.size() - 1);
+}
+
+std::size_t
+CompositeConfidence::upDownIndex(Addr pc) const
+{
+    return (pc >> 2) & (upDownTable.size() - 1);
+}
+
+std::size_t
+CompositeConfidence::selfIndex(Addr pc) const
+{
+    // A different hash than up-down so the two per-PC tables alias
+    // differently (the skewing that motivates a composite estimator).
+    return ((pc >> 2) * 0x9e3779b1u) & (selfTable.size() - 1);
+}
+
+unsigned
+CompositeConfidence::level(Addr pc, std::uint64_t history) const
+{
+    return jrsTable[jrsIndex(pc, history)].value() +
+           upDownTable[upDownIndex(pc)].value() +
+           selfTable[selfIndex(pc)].value();
+}
+
+unsigned
+CompositeConfidence::maxLevel() const
+{
+    return ((1u << cfg.jrsBits) - 1) + ((1u << cfg.upDownBits) - 1) +
+           ((1u << cfg.selfBits) - 1);
+}
+
+double
+CompositeConfidence::estimate(Addr pc, std::uint64_t history) const
+{
+    unsigned lvl = level(pc, history);
+    const Calibration &cal = calibration[bucketOf(lvl)];
+    // Until a bucket has gathered enough outcomes, fall back to a
+    // level-proportional prior so deep lookahead is possible from the
+    // start on well-behaved branches.
+    double p;
+    if (cal.total >= 32) {
+        p = (static_cast<double>(cal.correct) + 1.0) /
+            (static_cast<double>(cal.total) + 2.0);
+    } else {
+        p = 0.5 + 0.49 * static_cast<double>(lvl) /
+                      static_cast<double>(maxLevel());
+    }
+    if (p < 0.5)
+        p = 0.5;
+    if (p > 0.999)
+        p = 0.999;
+    return p;
+}
+
+std::size_t
+CompositeConfidence::bucketOf(unsigned lvl) const
+{
+    // Calibration is kept per coarse confidence band rather than per
+    // exact level so every band trains quickly.
+    return (static_cast<std::size_t>(lvl) * numCalibrationBuckets) /
+           (maxLevel() + 1);
+}
+
+void
+CompositeConfidence::train(Addr pc, std::uint64_t history, bool correct)
+{
+    Calibration &cal = calibration[bucketOf(level(pc, history))];
+    cal.total += 1;
+    if (correct)
+        cal.correct += 1;
+
+    auto &jrs = jrsTable[jrsIndex(pc, history)];
+    auto &ud = upDownTable[upDownIndex(pc)];
+    auto &self = selfTable[selfIndex(pc)];
+    if (correct) {
+        jrs.increment();
+        ud.increment();
+        self.increment();
+    } else {
+        jrs.reset();
+        ud.decrement();
+        // Self counters penalize mispredictions harder so persistently
+        // hard branches stay low-confidence.
+        self.decrement();
+        self.decrement();
+    }
+}
+
+std::size_t
+CompositeConfidence::storageBits() const
+{
+    return jrsTable.size() * cfg.jrsBits +
+           upDownTable.size() * cfg.upDownBits +
+           selfTable.size() * cfg.selfBits;
+}
+
+} // namespace bfsim::branch

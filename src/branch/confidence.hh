@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Branch confidence estimation.
+ *
+ * B-Fetch throttles its lookahead with a *path* confidence: the product of
+ * the estimated correctness probabilities of the branch predictions along
+ * the walked path (after Malik et al., "PaCo", HPCA'08). Individual branch
+ * confidence comes from a composite estimator combining JRS
+ * (miss-distance) counters, up-down counters, and per-branch self counters
+ * (after Jimenez, SBAC-PAD'09) — exactly the combination paper IV-B.1
+ * describes.
+ *
+ * The composite value is converted to a correctness probability through an
+ * online calibration table: for each composite confidence level we track
+ * how often the prediction actually proved correct and report the observed
+ * frequency (with Laplace smoothing). This makes the estimator
+ * self-calibrating across workloads with very different branch behaviour.
+ */
+
+#ifndef BFSIM_BRANCH_CONFIDENCE_HH_
+#define BFSIM_BRANCH_CONFIDENCE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "common/types.hh"
+
+namespace bfsim::branch {
+
+/** Configuration for the composite confidence estimator. */
+struct ConfidenceConfig
+{
+    std::size_t jrsEntries = 1024;      ///< JRS table entries
+    unsigned jrsBits = 4;               ///< JRS counter width
+    std::size_t upDownEntries = 512;    ///< up-down table entries
+    unsigned upDownBits = 4;            ///< up-down counter width
+    std::size_t selfEntries = 512;      ///< self-counter table entries
+    unsigned selfBits = 4;              ///< self counter width
+};
+
+/**
+ * Composite branch-confidence estimator (JRS + up-down + self).
+ *
+ * query() is side-effect free so the B-Fetch lookahead can consult it for
+ * speculative future branches; train() is called once per committed
+ * conditional branch with whether the prediction was correct.
+ */
+class CompositeConfidence
+{
+  public:
+    explicit CompositeConfidence(const ConfidenceConfig &config = {});
+
+    /**
+     * Estimated probability that a prediction for the branch at pc (under
+     * the given global history) is correct, in [0.5, 1.0).
+     */
+    double estimate(Addr pc, std::uint64_t history) const;
+
+    /** Raw composite confidence level (sum of the three counters). */
+    unsigned level(Addr pc, std::uint64_t history) const;
+
+    /** Train with the correctness of a resolved prediction. */
+    void train(Addr pc, std::uint64_t history, bool correct);
+
+    /** Total storage in bits for Table I accounting. */
+    std::size_t storageBits() const;
+
+    /** Maximum composite level (all three counters saturated). */
+    unsigned maxLevel() const;
+
+  private:
+    std::size_t jrsIndex(Addr pc, std::uint64_t history) const;
+    std::size_t upDownIndex(Addr pc) const;
+    std::size_t selfIndex(Addr pc) const;
+
+    ConfidenceConfig cfg;
+
+    /** JRS: incremented on correct, reset on incorrect. */
+    std::vector<SatCounter> jrsTable;
+    /** Up-down: incremented on correct, decremented on incorrect. */
+    std::vector<SatCounter> upDownTable;
+    /** Self: per-branch up-down with stronger decrement. */
+    std::vector<SatCounter> selfTable;
+
+    /** Calibration: per confidence band, observed (correct, total). */
+    struct Calibration
+    {
+        std::uint64_t correct = 0;
+        std::uint64_t total = 0;
+    };
+    static constexpr std::size_t numCalibrationBuckets = 16;
+    std::size_t bucketOf(unsigned lvl) const;
+    std::vector<Calibration> calibration;
+};
+
+/**
+ * Multiplicative path-confidence accumulator used by the Branch Lookahead
+ * stage: starts at 1.0 and multiplies in each predicted branch's estimated
+ * correctness probability; lookahead stops once below the threshold.
+ */
+class PathConfidence
+{
+  public:
+    /** Construct with the termination threshold (paper default 0.75). */
+    explicit PathConfidence(double threshold = 0.75)
+        : thresholdValue(threshold) {}
+
+    /** Reset to full confidence at the start of a lookahead walk. */
+    void reset() { confidenceValue = 1.0; }
+
+    /** Fold in one branch's correctness probability. */
+    void accumulate(double probability) { confidenceValue *= probability; }
+
+    /** Current cumulative path confidence. */
+    double value() const { return confidenceValue; }
+
+    /** True while the path is still considered reliable. */
+    bool aboveThreshold() const { return confidenceValue >= thresholdValue; }
+
+    /** The configured threshold. */
+    double threshold() const { return thresholdValue; }
+
+  private:
+    double thresholdValue;
+    double confidenceValue = 1.0;
+};
+
+} // namespace bfsim::branch
+
+#endif // BFSIM_BRANCH_CONFIDENCE_HH_

@@ -1,0 +1,273 @@
+#include "branch/predictor.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace bfsim::branch {
+
+namespace {
+
+/** Round to the nearest power of two, at least minimum. */
+std::size_t
+scaledEntries(std::size_t base, double scale, std::size_t minimum = 64)
+{
+    auto scaled = static_cast<std::size_t>(
+        std::llround(static_cast<double>(base) * scale));
+    std::size_t pow2 = std::bit_ceil(std::max(scaled, minimum));
+    // bit_ceil rounds up; round down when that is closer.
+    if (pow2 > minimum && pow2 - scaled > scaled - pow2 / 2)
+        pow2 /= 2;
+    return std::max(pow2, minimum);
+}
+
+unsigned
+log2Entries(std::size_t entries)
+{
+    return static_cast<unsigned>(std::bit_width(entries) - 1);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- Bimodal
+
+BimodalPredictor::BimodalPredictor(std::size_t entries)
+    : table(entries, SatCounter(2, 1))
+{
+    if (!std::has_single_bit(entries))
+        fatal("bimodal predictor entries must be a power of two");
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & (table.size() - 1);
+}
+
+bool
+BimodalPredictor::predict(Addr pc) const
+{
+    return table[index(pc)].isSet();
+}
+
+bool
+BimodalPredictor::probe(Addr pc, std::uint64_t) const
+{
+    return predict(pc);
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    auto &counter = table[index(pc)];
+    if (taken)
+        counter.increment();
+    else
+        counter.decrement();
+}
+
+std::size_t
+BimodalPredictor::storageBits() const
+{
+    return table.size() * 2;
+}
+
+// ----------------------------------------------------------------- GShare
+
+GSharePredictor::GSharePredictor(std::size_t entries)
+    : table(entries, SatCounter(2, 1)), histBits(log2Entries(entries))
+{
+    if (!std::has_single_bit(entries))
+        fatal("gshare predictor entries must be a power of two");
+}
+
+std::size_t
+GSharePredictor::index(Addr pc, std::uint64_t history) const
+{
+    return ((pc >> 2) ^ history) & (table.size() - 1);
+}
+
+bool
+GSharePredictor::predict(Addr pc) const
+{
+    return probe(pc, globalHistory);
+}
+
+bool
+GSharePredictor::probe(Addr pc, std::uint64_t history) const
+{
+    return table[index(pc, history)].isSet();
+}
+
+void
+GSharePredictor::update(Addr pc, bool taken)
+{
+    auto &counter = table[index(pc, globalHistory)];
+    if (taken)
+        counter.increment();
+    else
+        counter.decrement();
+    globalHistory = ((globalHistory << 1) | (taken ? 1 : 0)) &
+                    ((1ULL << histBits) - 1);
+}
+
+std::size_t
+GSharePredictor::storageBits() const
+{
+    return table.size() * 2 + histBits;
+}
+
+// ------------------------------------------------------------------ Local
+
+LocalPredictor::LocalPredictor(std::size_t history_entries,
+                               unsigned history_bits,
+                               std::size_t pattern_entries)
+    : historyTable(history_entries, 0),
+      patternTable(pattern_entries, SatCounter(3, 3)),
+      localHistBits(history_bits)
+{
+    if (!std::has_single_bit(history_entries) ||
+        !std::has_single_bit(pattern_entries)) {
+        fatal("local predictor table sizes must be powers of two");
+    }
+}
+
+std::size_t
+LocalPredictor::historyIndex(Addr pc) const
+{
+    return (pc >> 2) & (historyTable.size() - 1);
+}
+
+bool
+LocalPredictor::predict(Addr pc) const
+{
+    std::uint32_t hist = historyTable[historyIndex(pc)];
+    return patternTable[hist & (patternTable.size() - 1)].isSet();
+}
+
+bool
+LocalPredictor::probe(Addr pc, std::uint64_t) const
+{
+    // The local component keys on per-branch history which a lookahead
+    // walker cannot speculatively extend cheaply; probing uses the
+    // committed local history, a faithful model of the hardware sharing
+    // in the paper (the prefetch pipeline reads the same arrays).
+    return predict(pc);
+}
+
+void
+LocalPredictor::update(Addr pc, bool taken)
+{
+    std::uint32_t &hist = historyTable[historyIndex(pc)];
+    auto &counter = patternTable[hist & (patternTable.size() - 1)];
+    if (taken)
+        counter.increment();
+    else
+        counter.decrement();
+    hist = ((hist << 1) | (taken ? 1 : 0)) & ((1u << localHistBits) - 1);
+}
+
+std::size_t
+LocalPredictor::storageBits() const
+{
+    return historyTable.size() * localHistBits + patternTable.size() * 3;
+}
+
+// ------------------------------------------------------------- Tournament
+
+TournamentPredictor::TournamentPredictor(const TournamentConfig &config)
+    : localHistoryTable(scaledEntries(2048, config.sizeScale), 0),
+      localPatternTable(scaledEntries(2048, config.sizeScale),
+                        SatCounter(3, 3)),
+      localHistBits(10),
+      globalTable(scaledEntries(8192, config.sizeScale), SatCounter(2, 1)),
+      chooserTable(scaledEntries(4096, config.sizeScale), SatCounter(2, 1)),
+      histBits(log2Entries(globalTable.size()))
+{
+}
+
+std::size_t
+TournamentPredictor::chooserIndex(std::uint64_t history) const
+{
+    return history & (chooserTable.size() - 1);
+}
+
+std::size_t
+TournamentPredictor::globalIndex(Addr pc, std::uint64_t history) const
+{
+    return ((pc >> 2) ^ history) & (globalTable.size() - 1);
+}
+
+bool
+TournamentPredictor::predict(Addr pc) const
+{
+    return probe(pc, globalHistory);
+}
+
+bool
+TournamentPredictor::probe(Addr pc, std::uint64_t history) const
+{
+    std::uint32_t local_hist =
+        localHistoryTable[(pc >> 2) & (localHistoryTable.size() - 1)];
+    bool local_pred =
+        localPatternTable[local_hist & (localPatternTable.size() - 1)]
+            .isSet();
+    bool global_pred = globalTable[globalIndex(pc, history)].isSet();
+    bool choose_global = chooserTable[chooserIndex(history)].isSet();
+    return choose_global ? global_pred : local_pred;
+}
+
+void
+TournamentPredictor::update(Addr pc, bool taken)
+{
+    std::uint32_t &local_hist =
+        localHistoryTable[(pc >> 2) & (localHistoryTable.size() - 1)];
+    auto &local_counter =
+        localPatternTable[local_hist & (localPatternTable.size() - 1)];
+    auto &global_counter = globalTable[globalIndex(pc, globalHistory)];
+    auto &chooser = chooserTable[chooserIndex(globalHistory)];
+
+    bool local_pred = local_counter.isSet();
+    bool global_pred = global_counter.isSet();
+
+    // Train the chooser toward whichever component was right, only on
+    // disagreement (classic tournament update rule).
+    if (local_pred != global_pred) {
+        if (global_pred == taken)
+            chooser.increment();
+        else
+            chooser.decrement();
+    }
+
+    if (taken) {
+        local_counter.increment();
+        global_counter.increment();
+    } else {
+        local_counter.decrement();
+        global_counter.decrement();
+    }
+
+    local_hist = ((local_hist << 1) | (taken ? 1 : 0)) &
+                 ((1u << localHistBits) - 1);
+    globalHistory = ((globalHistory << 1) | (taken ? 1 : 0)) &
+                    ((1ULL << histBits) - 1);
+}
+
+std::size_t
+TournamentPredictor::storageBits() const
+{
+    return localHistoryTable.size() * localHistBits +
+           localPatternTable.size() * 3 + globalTable.size() * 2 +
+           chooserTable.size() * 2 + histBits;
+}
+
+std::unique_ptr<DirectionPredictor>
+makeTournamentPredictor(double size_scale)
+{
+    TournamentConfig config;
+    config.sizeScale = size_scale;
+    return std::make_unique<TournamentPredictor>(config);
+}
+
+} // namespace bfsim::branch

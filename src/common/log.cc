@@ -1,0 +1,43 @@
+#include "common/log.hh"
+
+namespace bfsim {
+
+namespace {
+bool quietFlag = false;
+} // namespace
+
+void
+panic(const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+warn(const std::string &message)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+inform(const std::string &message)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+} // namespace bfsim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal logging / error-termination helpers in the spirit of gem5's
+ * base/logging.hh: panic() for internal invariant violations, fatal() for
+ * user-facing configuration errors, warn()/inform() for status messages.
+ */
+
+#ifndef BFSIM_COMMON_LOG_HH_
+#define BFSIM_COMMON_LOG_HH_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace bfsim {
+
+/**
+ * Terminate because an internal invariant was violated (a simulator bug).
+ * Mirrors gem5 panic(): aborts so a debugger / core dump can intervene.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+/**
+ * Terminate because of a user-level configuration error (not a bug).
+ * Mirrors gem5 fatal(): exits with a non-zero status.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Emit a non-fatal warning to stderr. */
+void warn(const std::string &message);
+
+/** Emit an informational status message to stderr. */
+void inform(const std::string &message);
+
+/** Globally silence warn()/inform() (used by benches to keep tables clean). */
+void setQuiet(bool quiet);
+
+} // namespace bfsim
+
+#endif // BFSIM_COMMON_LOG_HH_

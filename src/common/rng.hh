@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload construction.
+ *
+ * We deliberately avoid std::mt19937 here: workload memory images must be
+ * bit-identical across platforms and standard library versions so that
+ * experiment results are reproducible. SplitMix64 is tiny, fast and has
+ * well-understood statistical quality for this purpose.
+ */
+
+#ifndef BFSIM_COMMON_RNG_HH_
+#define BFSIM_COMMON_RNG_HH_
+
+#include <cstdint>
+
+namespace bfsim {
+
+/** SplitMix64 generator (Steele, Lea, Flood; public domain algorithm). */
+class Rng
+{
+  public:
+    /** Construct with a seed; the same seed always yields the same stream. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in the closed range [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_COMMON_RNG_HH_

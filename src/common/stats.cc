@@ -1,0 +1,50 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bfsim {
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+Counter &
+StatSet::counter(const std::string &name)
+{
+    return counters[name];
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+}
+
+void
+StatSet::reset()
+{
+    for (auto &entry : counters)
+        entry.second.reset();
+}
+
+} // namespace bfsim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Lightweight statistics package: named counters, distributions
+ * (histograms), and cumulative-distribution helpers used to regenerate the
+ * paper's CDF figures (Fig. 3a/3b) and per-cycle breakdowns (Fig. 7).
+ */
+
+#ifndef BFSIM_COMMON_STATS_HH_
+#define BFSIM_COMMON_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bfsim {
+
+/** A simple monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Increment by amount (default 1). */
+    void inc(std::uint64_t amount = 1) { count_ += amount; }
+
+    /** Current value. */
+    std::uint64_t value() const { return count_; }
+
+    /** Reset to zero. */
+    void reset() { count_ = 0; }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A bucketed histogram over the integer range [0, numBuckets-1]; samples
+ * at or beyond the last bucket accumulate in an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** Create a histogram with the given number of regular buckets. */
+    explicit Histogram(std::size_t num_buckets)
+        : buckets(num_buckets, 0) {}
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t value)
+    {
+        if (value < buckets.size())
+            ++buckets[value];
+        else
+            ++overflowCount;
+        ++totalCount;
+    }
+
+    /** Count in bucket i. */
+    std::uint64_t bucket(std::size_t i) const { return buckets.at(i); }
+
+    /** Count of samples beyond the last bucket. */
+    std::uint64_t overflow() const { return overflowCount; }
+
+    /** Total samples recorded. */
+    std::uint64_t total() const { return totalCount; }
+
+    /** Number of regular buckets. */
+    std::size_t size() const { return buckets.size(); }
+
+    /** Fraction of samples in bucket i (0 if the histogram is empty). */
+    double
+    fraction(std::size_t i) const
+    {
+        return totalCount == 0
+                   ? 0.0
+                   : static_cast<double>(buckets.at(i)) /
+                         static_cast<double>(totalCount);
+    }
+
+    /**
+     * Cumulative fraction of samples in buckets [0, i]; the value the
+     * paper's CDF plots report on the y-axis for delta <= i.
+     */
+    double
+    cumulativeFraction(std::size_t i) const
+    {
+        if (totalCount == 0)
+            return 0.0;
+        std::uint64_t sum = 0;
+        for (std::size_t k = 0; k <= i && k < buckets.size(); ++k)
+            sum += buckets[k];
+        return static_cast<double>(sum) / static_cast<double>(totalCount);
+    }
+
+    /** Reset all buckets. */
+    void
+    reset()
+    {
+        std::fill(buckets.begin(), buckets.end(), 0);
+        overflowCount = 0;
+        totalCount = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t overflowCount = 0;
+    std::uint64_t totalCount = 0;
+};
+
+/**
+ * Arithmetic helpers over vectors of per-benchmark results; the paper
+ * reports geometric means of speedups throughout its evaluation.
+ */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean (used for the paper's branch miss-rate averages). */
+double arithmeticMean(const std::vector<double> &values);
+
+/**
+ * A registry of named statistics for one simulation, supporting stable
+ * iteration order for report generation.
+ */
+class StatSet
+{
+  public:
+    /** Look up (creating on first use) a named counter. */
+    Counter &counter(const std::string &name);
+
+    /** Read a named counter; returns 0 when never created. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** All counters in name order. */
+    const std::map<std::string, Counter> &all() const { return counters; }
+
+    /** Reset every counter. */
+    void reset();
+
+  private:
+    std::map<std::string, Counter> counters;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_COMMON_STATS_HH_

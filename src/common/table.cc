@@ -1,0 +1,91 @@
+#include "common/table.hh"
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace bfsim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headerCells(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headerCells.size())
+        panic("TextTable row width mismatch");
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+TextTable::fmt(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headerCells.size(), 0);
+    for (std::size_t c = 0; c < headerCells.size(); ++c)
+        widths[c] = headerCells[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cells[c];
+        }
+        os << '\n';
+    };
+    emit_row(headerCells);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit_row(row);
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    os << render();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit_row(headerCells);
+    for (const auto &row : rows)
+        emit_row(row);
+    return os.str();
+}
+
+} // namespace bfsim

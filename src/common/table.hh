@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness: every bench binary
+ * prints rows in the same layout as the corresponding paper table or figure
+ * series so results can be compared side by side.
+ */
+
+#ifndef BFSIM_COMMON_TABLE_HH_
+#define BFSIM_COMMON_TABLE_HH_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bfsim {
+
+/** A column-aligned plain-text table with a header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; the cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string fmt(double value, int precision = 3);
+
+    /** Convenience: format an unsigned integer. */
+    static std::string fmt(std::uint64_t value);
+
+    /** Render the full table to a string. */
+    std::string render() const;
+
+    /** Write the rendered table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (for downstream plotting). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> headerCells;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_COMMON_TABLE_HH_

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental scalar types and cache-geometry constants shared by every
+ * module of the B-Fetch simulation library.
+ */
+
+#ifndef BFSIM_COMMON_TYPES_HH_
+#define BFSIM_COMMON_TYPES_HH_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace bfsim {
+
+/** Byte address in the simulated (per-core virtual) address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Architectural register value. */
+using RegVal = std::uint64_t;
+
+/** Architectural register index (0..numArchRegs-1). */
+using RegIndex = std::uint8_t;
+
+/** Dynamic-instruction sequence number (monotonic per core). */
+using InstSeqNum = std::uint64_t;
+
+/** Number of architectural integer registers in the micro-ISA. */
+constexpr int numArchRegs = 32;
+
+/** Cache block size in bytes; all caches share this geometry (paper: 64B). */
+constexpr unsigned blockSizeBytes = 64;
+
+/** log2 of the cache block size. */
+constexpr unsigned blockSizeBits = 6;
+
+static_assert((1u << blockSizeBits) == blockSizeBytes,
+              "block size constants disagree");
+
+/** Align an address down to its containing cache-block address. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(blockSizeBytes - 1);
+}
+
+/** Cache-block number of an address (address divided by block size). */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr >> blockSizeBits;
+}
+
+/** Signed distance between two addresses expressed in cache blocks. */
+constexpr std::int64_t
+blockDelta(Addr a, Addr b)
+{
+    return static_cast<std::int64_t>(blockNumber(a)) -
+           static_cast<std::int64_t>(blockNumber(b));
+}
+
+/** An invalid / sentinel address. */
+constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+} // namespace bfsim
+
+#endif // BFSIM_COMMON_TYPES_HH_

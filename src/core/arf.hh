@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Alternate Register File (paper IV-B.2).
+ *
+ * A pseudo-architectural copy of the register file, updated by
+ * sampling-latch delayed execute-stage writebacks. Because the main
+ * pipeline is out of order, each register carries the sequence number of
+ * the youngest instruction that wrote it; an update is accepted only if
+ * it comes from an instruction at least as young as the previous writer,
+ * keeping the copy consistent without being on the execution critical
+ * path.
+ *
+ * Updates additionally carry the cycle at which the producing
+ * instruction's result actually exists ("visibleAt"). A lookahead walk
+ * reading the ARF at cycle `now` sees the youngest value whose producer
+ * has completed by `now`, falling back to the previously visible value
+ * otherwise — the single-rate sampling latch of Fig. 4 cannot deliver a
+ * result before the execution units produce it. (The simulator needs
+ * this guard because it computes results before their modeled completion
+ * time; hardware gets it for free.)
+ */
+
+#ifndef BFSIM_CORE_ARF_HH_
+#define BFSIM_CORE_ARF_HH_
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bfsim::core {
+
+/** The Alternate Register File. */
+class AlternateRegisterFile
+{
+  public:
+    AlternateRegisterFile() { reset(); }
+
+    /**
+     * Offer an execute-stage register write completing at `visible_at`.
+     * Accepted only when `seq` is at least as young as the last accepted
+     * writer of that register.
+     */
+    void
+    update(RegIndex reg, RegVal value, InstSeqNum seq, Cycle visible_at)
+    {
+        Entry &entry = entries[reg];
+        if (seq < entry.seq)
+            return;
+        // The pending value becomes the stable one once its producer
+        // completes before the newly offered write does.
+        if (entry.pendingVisibleAt <= visible_at) {
+            entry.stableValue = entry.pendingValue;
+            entry.stableVisibleAt = entry.pendingVisibleAt;
+        }
+        entry.pendingValue = value;
+        entry.pendingVisibleAt = visible_at;
+        entry.seq = seq;
+    }
+
+    /** Value of a register as observable at cycle `now`. */
+    RegVal
+    read(RegIndex reg, Cycle now) const
+    {
+        const Entry &entry = entries[reg];
+        if (entry.pendingVisibleAt <= now)
+            return entry.pendingValue;
+        if (entry.stableVisibleAt <= now)
+            return entry.stableValue;
+        return 0;
+    }
+
+    /** True when some completed write is observable at cycle `now`. */
+    bool
+    visible(RegIndex reg, Cycle now) const
+    {
+        const Entry &entry = entries[reg];
+        return entry.pendingVisibleAt <= now ||
+               entry.stableVisibleAt <= now;
+    }
+
+    /** Sequence number of the youngest accepted writer. */
+    InstSeqNum sequence(RegIndex reg) const { return entries[reg].seq; }
+
+    /** Clear all registers to zero / no writer. */
+    void
+    reset()
+    {
+        entries.fill(Entry{});
+    }
+
+    /**
+     * Storage bits: 32 registers x (32-bit sampled value + 8-bit
+     * sequence tag), the 0.156KB line of Table I.
+     */
+    static constexpr std::size_t
+    storageBits()
+    {
+        return static_cast<std::size_t>(numArchRegs) * (32 + 8);
+    }
+
+  private:
+    struct Entry
+    {
+        RegVal pendingValue = 0;
+        Cycle pendingVisibleAt = 0;
+        RegVal stableValue = 0;
+        Cycle stableVisibleAt = 0;
+        InstSeqNum seq = 0;
+    };
+
+    std::array<Entry, numArchRegs> entries;
+};
+
+} // namespace bfsim::core
+
+#endif // BFSIM_CORE_ARF_HH_

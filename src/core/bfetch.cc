@@ -1,0 +1,256 @@
+#include "core/bfetch.hh"
+
+#include "prefetch/prefetcher.hh"
+
+namespace bfsim::core {
+
+BFetchEngine::BFetchEngine(const BFetchConfig &config,
+                           const branch::DirectionPredictor &predictor,
+                           prefetch::PrefetchQueue &prefetch_queue)
+    : cfg(config),
+      bp(predictor),
+      queue(prefetch_queue),
+      brtcTable(config.brtcEntries),
+      mhtTable(config.mhtEntries, config.regHistoryPerEntry,
+               config.pattBits),
+      filter(config.filterEntriesPerTable, config.filterCounterBits)
+{
+}
+
+void
+BFetchEngine::prefetchForBlock(const BlockKey &key, unsigned loop_count,
+                              Cycle now)
+{
+    MhtEntry *entry = mhtTable.lookupMutable(key);
+    if (!entry)
+        return;
+
+    for (auto &reg : entry->regs) {
+        if (!reg.valid)
+            continue;
+        // No completed value for the base register is observable yet
+        // (e.g. it was produced by a still-outstanding load): skip
+        // rather than fabricate an address.
+        if (!arf.visible(reg.regIdx, now))
+            continue;
+
+        if (cfg.enablePerLoadFilter &&
+            !filter.allows(reg.loadPcHash, cfg.perLoadThreshold)) {
+            ++stats_.filteredByPerLoad;
+            continue;
+        }
+
+        // Eq. 3: ARF value + learned offset (+ loop advance).
+        std::int64_t addr =
+            static_cast<std::int64_t>(arf.read(reg.regIdx, now))
+                            + reg.offset;
+        if (cfg.enableLoopPrefetch && loop_count > 0 &&
+            reg.loopDelta != 0) {
+            unsigned count = loop_count > cfg.maxLoopCount
+                                 ? cfg.maxLoopCount
+                                 : loop_count;
+            addr += static_cast<std::int64_t>(count) * reg.loopDelta;
+            reg.loopCnt = static_cast<std::uint8_t>(count);
+            ++stats_.loopPrefetches;
+        }
+        if (addr < 0)
+            continue;
+        Addr target = static_cast<Addr>(addr);
+        queue.push(target, reg.loadPcHash);
+        ++stats_.prefetchesGenerated;
+
+        if (!cfg.enablePattPrefetch)
+            continue;
+        // Secondary loads off the same register, at block granularity.
+        for (unsigned bit = 0; bit < cfg.pattBits; ++bit) {
+            if (reg.posPatt & (1u << bit)) {
+                queue.push(target + (bit + 1) * blockSizeBytes,
+                           reg.loadPcHash);
+                ++stats_.pattPrefetches;
+                ++stats_.prefetchesGenerated;
+            }
+            if (reg.negPatt & (1u << bit)) {
+                Addr dist = static_cast<Addr>(bit + 1) * blockSizeBytes;
+                if (target >= dist) {
+                    queue.push(target - dist, reg.loadPcHash);
+                    ++stats_.pattPrefetches;
+                    ++stats_.prefetchesGenerated;
+                }
+            }
+        }
+    }
+}
+
+void
+BFetchEngine::onDecodeBranch(Addr pc, bool predicted_taken,
+                             Addr predicted_target, bool is_conditional,
+                             Cycle now)
+{
+    ++stats_.lookaheadWalks;
+
+    branch::PathConfidence path(cfg.pathConfidenceThreshold);
+    std::uint64_t spec_history = bp.history();
+    std::uint64_t history_mask =
+        bp.historyBits() ? ((1ULL << bp.historyBits()) - 1) : 0;
+
+    // The confidence of the seed branch's own prediction starts the path.
+    if (is_conditional) {
+        path.accumulate(confEstimator.estimate(pc, spec_history));
+        if (history_mask) {
+            spec_history = ((spec_history << 1) |
+                            (predicted_taken ? 1 : 0)) & history_mask;
+        }
+    }
+
+    BlockKey current{pc, predicted_taken, predicted_target};
+
+    // Loop detection: keys already visited during this walk.
+    std::vector<std::uint64_t> visited;
+    visited.reserve(cfg.maxLookaheadDepth);
+
+    for (unsigned depth = 0; depth < cfg.maxLookaheadDepth; ++depth) {
+        if (!path.aboveThreshold()) {
+            ++stats_.stopsConfidence;
+            return;
+        }
+
+        std::uint64_t key_hash = current.hash();
+        unsigned loop_count = 0;
+        for (std::uint64_t h : visited)
+            if (h == key_hash)
+                ++loop_count;
+        visited.push_back(key_hash);
+        if (loop_count > 0) {
+            // Speculative loop iterations carry trip-count risk on top
+            // of per-branch direction confidence.
+            path.accumulate(cfg.loopIterationConfidence);
+            if (!path.aboveThreshold()) {
+                ++stats_.stopsConfidence;
+                return;
+            }
+        }
+
+        ++stats_.blocksVisited;
+        prefetchForBlock(current, loop_count, now);
+
+        // Hop to the branch terminating this block.
+        const BrtcEntry *next = brtcTable.lookup(current);
+        if (!next) {
+            ++stats_.stopsBrtcMiss;
+            return;
+        }
+
+        bool next_taken = true;
+        if (next->nextIsConditional) {
+            next_taken = bp.probe(next->nextBranchPc, spec_history);
+            path.accumulate(
+                confEstimator.estimate(next->nextBranchPc, spec_history));
+            if (history_mask) {
+                spec_history = ((spec_history << 1) |
+                                (next_taken ? 1 : 0)) & history_mask;
+            }
+        }
+        Addr next_target = next_taken ? next->nextTakenTarget
+                                      : next->nextBranchPc + 4;
+        current = BlockKey{next->nextBranchPc, next_taken, next_target};
+    }
+    ++stats_.stopsDepth;
+}
+
+void
+BFetchEngine::onCommitBranch(Addr pc, bool taken, Addr taken_target,
+                             bool is_conditional, bool prediction_correct)
+{
+    // Train the composite confidence estimator on the committed outcome.
+    if (is_conditional) {
+        confEstimator.train(pc, bp.history(), prediction_correct);
+    }
+
+    // Link the block we were committing into to the branch that ended it.
+    if (currentBlockValid) {
+        brtcTable.update(currentBlock, pc, taken_target, is_conditional);
+        ++stats_.brtcUpdates;
+    }
+
+    // This branch's execution opens a new block.
+    Addr actual_target = taken ? taken_target : pc + 4;
+    currentBlock = BlockKey{pc, taken, actual_target};
+    currentBlockValid = true;
+    regsAtLastBranch = committedRegs;
+}
+
+void
+BFetchEngine::onCommitMem(Addr pc, RegIndex base_reg, Addr eff_addr,
+                          bool is_load)
+{
+    if (!currentBlockValid || !is_load)
+        return;
+    std::uint16_t hash = prefetch::pcHash10(pc);
+    MemoryHistoryTable::LearnOutcome outcome = mhtTable.learn(
+        currentBlock, base_reg, regsAtLastBranch[base_reg], eff_addr,
+        hash);
+    ++stats_.mhtLearnUpdates;
+    // Per-load filter shadow training (see mht.hh) applies only while
+    // the load is suppressed: it is the recovery path back above
+    // threshold. While prefetches actually issue, the L1-D usefulness
+    // feedback is the authoritative signal.
+    // Sampled so that a load whose prefetches keep getting evicted
+    // unused cannot re-enable itself faster than the usefulness
+    // feedback can veto it.
+    if (cfg.enablePerLoadFilter && outcome.hadPrior &&
+        !filter.allows(hash, cfg.perLoadThreshold) &&
+        (stats_.mhtLearnUpdates & 7) == 0) {
+        filter.train(hash, outcome.predictionAccurate);
+    }
+}
+
+double
+BFetchEngine::averageLookaheadDepth() const
+{
+    if (stats_.lookaheadWalks == 0)
+        return 0.0;
+    return static_cast<double>(stats_.blocksVisited) /
+           static_cast<double>(stats_.lookaheadWalks);
+}
+
+std::size_t
+BFetchEngine::storageBits() const
+{
+    std::size_t bits = brtcTable.storageBits() + mhtTable.storageBits() +
+                       AlternateRegisterFile::storageBits() +
+                       filter.storageBits() +
+                       confEstimator.storageBits();
+    // Additional L1-D cache bits: 10-bit PC hash + 1 useful bit per
+    // 64B block of a 64KB cache (Table I: 1.37KB).
+    bits += (64 * 1024 / blockSizeBytes) * 11;
+    // Prefetch queue (Table I: 0.51KB).
+    bits += queue.storageBits();
+    return bits;
+}
+
+std::vector<StorageComponent>
+BFetchEngine::storageReport() const
+{
+    auto kb = [](std::size_t bits) {
+        return static_cast<double>(bits) / 8.0 / 1024.0;
+    };
+    std::vector<StorageComponent> report;
+    report.push_back({"Branch Trace Cache", brtcTable.size(),
+                      kb(brtcTable.storageBits())});
+    report.push_back({"Memory History Table", mhtTable.size(),
+                      kb(mhtTable.storageBits())});
+    report.push_back({"Alternate Register File",
+                      static_cast<std::size_t>(numArchRegs),
+                      kb(AlternateRegisterFile::storageBits())});
+    report.push_back({"Per-Load Prefetch Filter",
+                      cfg.filterEntriesPerTable,
+                      kb(filter.storageBits())});
+    report.push_back({"Additional Cache bits", 0,
+                      kb((64 * 1024 / blockSizeBytes) * 11)});
+    report.push_back({"Prefetch Queue", 100, kb(queue.storageBits())});
+    report.push_back({"Path Confidence Estimator", 2048,
+                      kb(confEstimator.storageBits())});
+    return report;
+}
+
+} // namespace bfsim::core

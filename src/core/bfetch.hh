@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The B-Fetch prefetch engine (paper section IV, Fig. 4).
+ *
+ * B-Fetch forms a small 3-stage pipeline beside the core:
+ *
+ *  1. Branch Lookahead — seeded from the Decoded Branch Register with
+ *     each branch the core decodes, it walks the *predicted* future
+ *     control-flow path: predict a direction (sharing the core's branch
+ *     predictor, probed under a speculatively extended global history),
+ *     hop to the next branch through the Branch Trace Cache, and
+ *     accumulate path confidence, stopping below the threshold.
+ *  2. Register Lookup — for each basic block on the path, read the
+ *     Memory History Table sub-entries (base registers, learned offsets,
+ *     loop deltas, neg/pos patterns) and the current Alternate Register
+ *     File values.
+ *  3. Prefetch Calculate — form addresses per Eq. 3
+ *     (ARF[RegIdx] + Offset + LoopCnt x LoopDelta), apply the per-load
+ *     filter, and push survivors into the prefetch queue.
+ *
+ * Learning happens exclusively at commit (BrTC linkage, MHT offsets,
+ * confidence calibration), and the ARF samples execute-stage writebacks
+ * with sequence-number guards — the same update discipline as Fig. 4.
+ */
+
+#ifndef BFSIM_CORE_BFETCH_HH_
+#define BFSIM_CORE_BFETCH_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "branch/confidence.hh"
+#include "branch/predictor.hh"
+#include "common/types.hh"
+#include "core/arf.hh"
+#include "core/brtc.hh"
+#include "core/config.hh"
+#include "core/mht.hh"
+#include "core/per_load_filter.hh"
+#include "prefetch/queue.hh"
+
+namespace bfsim::core {
+
+/** Aggregate counters exposed by the engine. */
+struct BFetchStats
+{
+    std::uint64_t lookaheadWalks = 0;
+    std::uint64_t blocksVisited = 0;
+    std::uint64_t prefetchesGenerated = 0;
+    std::uint64_t pattPrefetches = 0;
+    std::uint64_t loopPrefetches = 0;
+    std::uint64_t filteredByPerLoad = 0;
+    std::uint64_t stopsConfidence = 0;
+    std::uint64_t stopsBrtcMiss = 0;
+    std::uint64_t stopsDepth = 0;
+    std::uint64_t mhtLearnUpdates = 0;
+    std::uint64_t brtcUpdates = 0;
+};
+
+/** One line of the Table I style storage report. */
+struct StorageComponent
+{
+    std::string name;
+    std::size_t entries;
+    double kilobytes;
+};
+
+/** The B-Fetch engine. */
+class BFetchEngine
+{
+  public:
+    /**
+     * Construct over the core's branch predictor and a prefetch queue.
+     * Both are borrowed references owned by the simulated core.
+     */
+    BFetchEngine(const BFetchConfig &config,
+                 const branch::DirectionPredictor &predictor,
+                 prefetch::PrefetchQueue &queue);
+
+    // ------------------------------------------------------ core hooks
+
+    /**
+     * Decode-stage hook: a control instruction entered the Decoded
+     * Branch Register with the frontend's prediction for it. Starts a
+     * lookahead walk.
+     */
+    void onDecodeBranch(Addr pc, bool predicted_taken,
+                        Addr predicted_target, bool is_conditional,
+                        Cycle now);
+
+    /** Execute-stage register writeback (ARF sampling latch). */
+    void
+    onRegWrite(RegIndex rd, RegVal value, InstSeqNum seq,
+               Cycle visible_at)
+    {
+        arf.update(rd, value, seq, visible_at);
+    }
+
+    /** Commit-stage architectural register write (learning state). */
+    void
+    onCommitRegWrite(RegIndex rd, RegVal value)
+    {
+        committedRegs[rd] = value;
+    }
+
+    /**
+     * Commit-stage hook for control instructions: links the previous
+     * block's BrTC entry to this branch, trains branch confidence, and
+     * snapshots the committed register file for MHT offset learning.
+     */
+    void onCommitBranch(Addr pc, bool taken, Addr taken_target,
+                        bool is_conditional, bool prediction_correct);
+
+    /** Commit-stage hook for memory instructions: trains the MHT. */
+    void onCommitMem(Addr pc, RegIndex base_reg, Addr eff_addr,
+                     bool is_load);
+
+    /** L1-D usefulness feedback (trains the per-load filter). */
+    void
+    onPrefetchFeedback(std::uint16_t load_pc_hash, bool useful)
+    {
+        if (cfg.enablePerLoadFilter)
+            filter.train(load_pc_hash, useful);
+    }
+
+    // ------------------------------------------------------ inspection
+
+    /** Engine counters. */
+    const BFetchStats &stats() const { return stats_; }
+
+    /** Average lookahead depth over all walks (paper reports ~8 BB). */
+    double averageLookaheadDepth() const;
+
+    /** Per-component storage breakdown (Table I). */
+    std::vector<StorageComponent> storageReport() const;
+
+    /** Total storage in bits. */
+    std::size_t storageBits() const;
+
+    /** The configuration in force. */
+    const BFetchConfig &config() const { return cfg; }
+
+    /** Read access for tests / examples. */
+    const BranchTraceCache &brtc() const { return brtcTable; }
+    const MemoryHistoryTable &mht() const { return mhtTable; }
+    const AlternateRegisterFile &alternateRegs() const { return arf; }
+    const PerLoadFilter &perLoadFilter() const { return filter; }
+    const branch::CompositeConfidence &confidence() const
+    {
+        return confEstimator;
+    }
+
+  private:
+    /** Issue prefetches for one basic block along the walked path. */
+    void prefetchForBlock(const BlockKey &key, unsigned loop_count,
+                          Cycle now);
+
+    BFetchConfig cfg;
+    const branch::DirectionPredictor &bp;
+    prefetch::PrefetchQueue &queue;
+
+    BranchTraceCache brtcTable;
+    MemoryHistoryTable mhtTable;
+    AlternateRegisterFile arf;
+    PerLoadFilter filter;
+    branch::CompositeConfidence confEstimator;
+
+    /** Committed architectural register values (learning side). */
+    std::array<RegVal, numArchRegs> committedRegs{};
+
+    /** Committed registers snapshotted at the last committed branch. */
+    std::array<RegVal, numArchRegs> regsAtLastBranch{};
+
+    /** Identity of the block currently being committed into. */
+    BlockKey currentBlock{};
+    bool currentBlockValid = false;
+
+    BFetchStats stats_;
+};
+
+} // namespace bfsim::core
+
+#endif // BFSIM_CORE_BFETCH_HH_

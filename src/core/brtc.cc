@@ -1,0 +1,50 @@
+#include "core/brtc.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace bfsim::core {
+
+BranchTraceCache::BranchTraceCache(std::size_t entries) : table(entries)
+{
+    if (!std::has_single_bit(entries))
+        fatal("BrTC entry count must be a power of two");
+}
+
+std::size_t
+BranchTraceCache::indexOf(std::uint64_t hash) const
+{
+    return hash & (table.size() - 1);
+}
+
+std::uint32_t
+BranchTraceCache::tagOf(std::uint64_t hash)
+{
+    return static_cast<std::uint32_t>(hash >> 32);
+}
+
+const BrtcEntry *
+BranchTraceCache::lookup(const BlockKey &key) const
+{
+    std::uint64_t hash = key.hash();
+    const BrtcEntry &entry = table[indexOf(hash)];
+    if (entry.valid && entry.tag == tagOf(hash))
+        return &entry;
+    return nullptr;
+}
+
+void
+BranchTraceCache::update(const BlockKey &key, Addr next_branch_pc,
+                         Addr next_taken_target, bool next_is_conditional)
+{
+    std::uint64_t hash = key.hash();
+    BrtcEntry &entry = table[indexOf(hash)];
+    entry.tag = tagOf(hash);
+    entry.nextBranchPc = next_branch_pc;
+    entry.nextTakenTarget = next_taken_target;
+    entry.nextIsConditional = next_is_conditional;
+    entry.valid = true;
+}
+
+} // namespace bfsim::core

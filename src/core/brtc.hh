@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Branch Trace Cache (paper IV-B.1, Fig. 5).
+ *
+ * The BrTC captures the dynamic control-flow sequence: indexed by a hash
+ * of (branch PC, direction, target) — the identity of the basic block
+ * entered — an entry names the branch found at the end of that block, so
+ * the lookahead can hop from branch to branch skipping the straight-line
+ * instructions in between. Entries are filled at commit time only.
+ */
+
+#ifndef BFSIM_CORE_BRTC_HH_
+#define BFSIM_CORE_BRTC_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bfsim::core {
+
+/**
+ * Identity of a basic block: the branch whose (direction, target)
+ * execution leads into the block. Mirrors the hashed index of the paper.
+ */
+struct BlockKey
+{
+    Addr branchPc = 0;
+    bool taken = false;
+    Addr target = 0; ///< address the branch actually directs fetch to
+
+    /** Mixed 64-bit hash of the key. */
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t x = (branchPc >> 2) * 0x9e3779b97f4a7c15ULL;
+        x ^= (target >> 2) + 0x7f4a7c159e3779b9ULL + (x << 6) + (x >> 2);
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        return (x << 1) | (taken ? 1 : 0);
+    }
+
+    bool
+    operator==(const BlockKey &other) const
+    {
+        return branchPc == other.branchPc && taken == other.taken &&
+               target == other.target;
+    }
+};
+
+/** One BrTC entry: the branch terminating the identified basic block. */
+struct BrtcEntry
+{
+    std::uint32_t tag = 0;
+    Addr nextBranchPc = 0;     ///< branch at the end of this block
+    Addr nextTakenTarget = 0;  ///< its taken-path target
+    bool nextIsConditional = false;
+    bool valid = false;
+};
+
+/** Direct-mapped Branch Trace Cache. */
+class BranchTraceCache
+{
+  public:
+    /** Construct with a power-of-two entry count (paper: 256). */
+    explicit BranchTraceCache(std::size_t entries);
+
+    /** Look up the block's terminating branch; nullptr on miss. */
+    const BrtcEntry *lookup(const BlockKey &key) const;
+
+    /** Commit-time update: record the branch ending block `key`. */
+    void update(const BlockKey &key, Addr next_branch_pc,
+                Addr next_taken_target, bool next_is_conditional);
+
+    /** Entry count. */
+    std::size_t size() const { return table.size(); }
+
+    /**
+     * Storage bits: Table I budgets 2.06KB for 256 entries, i.e. 66 bits
+     * per entry (32-bit block-identifying address + direction + 32-bit
+     * next-branch address + valid); our tag field plays the role of the
+     * stored lower address bits.
+     */
+    std::size_t storageBits() const { return table.size() * 66; }
+
+  private:
+    std::size_t indexOf(std::uint64_t hash) const;
+    static std::uint32_t tagOf(std::uint64_t hash);
+
+    std::vector<BrtcEntry> table;
+};
+
+} // namespace bfsim::core
+
+#endif // BFSIM_CORE_BRTC_HH_

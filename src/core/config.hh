@@ -1,0 +1,79 @@
+/**
+ * @file
+ * B-Fetch configuration. Defaults reproduce the paper's evaluated design
+ * point: 256-entry BrTC + 128-entry MHT (the 12.84KB Table I budget),
+ * 0.75 path-confidence threshold and per-load filter threshold 3
+ * (Table II). Fig. 12 sweeps the confidence threshold and Fig. 15 sweeps
+ * the BrTC/MHT sizes through these knobs.
+ */
+
+#ifndef BFSIM_CORE_CONFIG_HH_
+#define BFSIM_CORE_CONFIG_HH_
+
+#include <cstddef>
+
+namespace bfsim::core {
+
+/** Tunable parameters of the B-Fetch prefetch engine. */
+struct BFetchConfig
+{
+    /** Branch Trace Cache entries (power of two). */
+    std::size_t brtcEntries = 256;
+
+    /** Memory History Table entries (power of two). */
+    std::size_t mhtEntries = 128;
+
+    /** Register-history sub-entries per MHT entry (paper: 3). */
+    unsigned regHistoryPerEntry = 3;
+
+    /** Cumulative path-confidence termination threshold (paper: 0.75). */
+    double pathConfidenceThreshold = 0.75;
+
+    /** Maximum lookahead depth in basic blocks. */
+    unsigned maxLookaheadDepth = 16;
+
+    /**
+     * Extra path-confidence factor applied per revisited block in a
+     * walk: loop-back predictions carry trip-count uncertainty beyond
+     * the direction predictor's own estimate, so each speculative
+     * iteration decays the path a little faster.
+     */
+    double loopIterationConfidence = 0.98;
+
+    /** Per-load filter: entries in each of the three skewed tables. */
+    std::size_t filterEntriesPerTable = 2048;
+
+    /** Per-load filter counter width in bits (paper: 3). */
+    unsigned filterCounterBits = 3;
+
+    /** Minimum summed filter confidence to allow a prefetch (paper: 3). */
+    unsigned perLoadThreshold = 3;
+
+    /** Width of the neg/posPatt bit vectors (paper: 5 bits each). */
+    unsigned pattBits = 5;
+
+    /** Maximum loop iterations prefetched ahead (LoopCnt is 5 bits). */
+    unsigned maxLoopCount = 31;
+
+    /** Enable the runtime loop detection / LoopDelta mechanism. */
+    bool enableLoopPrefetch = true;
+
+    /** Enable the neg/posPatt multi-load-per-register mechanism. */
+    bool enablePattPrefetch = true;
+
+    /** Enable the per-load confidence filter. */
+    bool enablePerLoadFilter = true;
+
+    /**
+     * Ablation: update the ARF only from retire-stage architectural
+     * state instead of sampling execute-stage writebacks. The paper
+     * (IV-B.2) reports that execute sampling gives "significant
+     * improvement in performance versus a retire-stage ... copy";
+     * bench/ablation_arf reproduces that comparison.
+     */
+    bool arfFromCommitOnly = false;
+};
+
+} // namespace bfsim::core
+
+#endif // BFSIM_CORE_CONFIG_HH_

@@ -1,0 +1,157 @@
+#include "core/mht.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace bfsim::core {
+
+MemoryHistoryTable::MemoryHistoryTable(std::size_t entries,
+                                       unsigned regs_per_entry,
+                                       unsigned patt_bits)
+    : table(entries), regsPer(regs_per_entry), pattBits(patt_bits)
+{
+    if (!std::has_single_bit(entries))
+        fatal("MHT entry count must be a power of two");
+    if (patt_bits > 8)
+        fatal("neg/posPatt vectors wider than 8 bits are not supported");
+    for (auto &entry : table)
+        entry.regs.resize(regsPer);
+}
+
+std::size_t
+MemoryHistoryTable::indexOf(std::uint64_t hash) const
+{
+    return hash & (table.size() - 1);
+}
+
+std::uint32_t
+MemoryHistoryTable::tagOf(std::uint64_t hash)
+{
+    return static_cast<std::uint32_t>(hash >> 32);
+}
+
+const MhtEntry *
+MemoryHistoryTable::lookup(const BlockKey &key) const
+{
+    std::uint64_t hash = key.hash();
+    const MhtEntry &entry = table[indexOf(hash)];
+    if (entry.valid && entry.tag == tagOf(hash))
+        return &entry;
+    return nullptr;
+}
+
+MhtEntry *
+MemoryHistoryTable::lookupMutable(const BlockKey &key)
+{
+    std::uint64_t hash = key.hash();
+    MhtEntry &entry = table[indexOf(hash)];
+    if (entry.valid && entry.tag == tagOf(hash))
+        return &entry;
+    return nullptr;
+}
+
+MemoryHistoryTable::LearnOutcome
+MemoryHistoryTable::learn(const BlockKey &key, RegIndex base_reg,
+                          RegVal reg_at_branch, Addr eff_addr,
+                          std::uint16_t load_pc_hash)
+{
+    LearnOutcome outcome;
+    std::uint64_t hash = key.hash();
+    MhtEntry &entry = table[indexOf(hash)];
+    std::uint32_t tag = tagOf(hash);
+
+    if (!entry.valid || entry.tag != tag) {
+        // (Re)allocate the whole entry for this block.
+        entry.valid = true;
+        entry.tag = tag;
+        for (auto &reg : entry.regs)
+            reg = RegHistoryEntry{};
+    }
+
+    // Find the sub-entry for this base register, or a free one.
+    RegHistoryEntry *slot = nullptr;
+    for (auto &reg : entry.regs) {
+        if (reg.valid && reg.regIdx == base_reg) {
+            slot = &reg;
+            break;
+        }
+        if (!reg.valid && !slot)
+            slot = &reg;
+    }
+    if (!slot) {
+        // All sub-entries taken by other registers: the paper found
+        // three sufficient; additional registers are simply not tracked.
+        return outcome;
+    }
+
+    if (!slot->valid) {
+        slot->valid = true;
+        slot->regIdx = base_reg;
+        slot->regVal = reg_at_branch;
+        slot->offset = static_cast<std::int64_t>(eff_addr) -
+                       static_cast<std::int64_t>(reg_at_branch);
+        slot->loadPcHash = load_pc_hash;
+        slot->lastEa = eff_addr;
+        slot->lastEaValid = true;
+        slot->negPatt = 0;
+        slot->posPatt = 0;
+        slot->loopCnt = 0;
+        slot->loopDelta = 0;
+        return outcome;
+    }
+
+    if (slot->loadPcHash == load_pc_hash) {
+        // Shadow accuracy: would Eq. 2 with the current entry-point
+        // register value and the previously learned offset have named
+        // this execution's cache block?
+        outcome.hadPrior = true;
+        std::int64_t predicted =
+            static_cast<std::int64_t>(reg_at_branch) + slot->offset;
+        outcome.predictionAccurate =
+            predicted >= 0 &&
+            blockAlign(static_cast<Addr>(predicted)) ==
+                blockAlign(eff_addr);
+        // The primary load executing again: refresh Offset against the
+        // current entry-point register value and train LoopDelta from
+        // consecutive effective addresses (paper IV-B.2, Loops).
+        if (slot->lastEaValid) {
+            slot->loopDelta = static_cast<std::int64_t>(eff_addr) -
+                              static_cast<std::int64_t>(slot->lastEa);
+        }
+        slot->lastEa = eff_addr;
+        slot->lastEaValid = true;
+        slot->regVal = reg_at_branch;
+        slot->offset = static_cast<std::int64_t>(eff_addr) -
+                       static_cast<std::int64_t>(reg_at_branch);
+        return outcome;
+    }
+
+    // A different load off the same base register within the block:
+    // record its distance from the primary load in the neg/posPatt
+    // vectors, at cache-block granularity (paper IV-B.2, Multiple
+    // Loads with the same index).
+    if (!slot->lastEaValid)
+        return outcome;
+    std::int64_t delta_blocks = blockDelta(eff_addr, slot->lastEa);
+    if (delta_blocks > 0 &&
+        delta_blocks <= static_cast<std::int64_t>(pattBits)) {
+        slot->posPatt |= static_cast<std::uint8_t>(
+            1u << (delta_blocks - 1));
+    } else if (delta_blocks < 0 &&
+               -delta_blocks <= static_cast<std::int64_t>(pattBits)) {
+        slot->negPatt |= static_cast<std::uint8_t>(
+            1u << (-delta_blocks - 1));
+    }
+    return outcome;
+}
+
+std::size_t
+MemoryHistoryTable::storageBits() const
+{
+    std::size_t sub_entry_bits = 5 + 32 + 16 + pattBits + pattBits + 1 +
+                                 5 + 16 + 10 /* loadPcHash, see header */;
+    return table.size() * (32 + regsPer * sub_entry_bits);
+}
+
+} // namespace bfsim::core

@@ -1,0 +1,67 @@
+#include "core/per_load_filter.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace bfsim::core {
+
+PerLoadFilter::PerLoadFilter(std::size_t entries_per_table,
+                             unsigned counter_bits)
+    : counterBits(counter_bits)
+{
+    if (!std::has_single_bit(entries_per_table))
+        fatal("per-load filter table size must be a power of two");
+    for (auto &table : tables) {
+        // Initialize counters to 1 so an unseen load starts exactly at
+        // the default threshold (3): new loads are allowed to prefetch
+        // until they prove inaccurate.
+        table.assign(entries_per_table,
+                     branch::SatCounter(counter_bits, 1));
+    }
+}
+
+std::size_t
+PerLoadFilter::index(unsigned table, std::uint16_t load_pc_hash) const
+{
+    // Three distinct multiplicative hashes skew the indices so a hot
+    // aliasing load cannot poison all three votes of another load.
+    static constexpr std::uint64_t mixers[numTables] = {
+        0x9e3779b97f4a7c15ULL, 0xbf58476d1ce4e5b9ULL,
+        0x94d049bb133111ebULL};
+    std::uint64_t x = (static_cast<std::uint64_t>(load_pc_hash) + 1) *
+                      mixers[table];
+    return (x >> 24) & (tables[table].size() - 1);
+}
+
+unsigned
+PerLoadFilter::confidence(std::uint16_t load_pc_hash) const
+{
+    unsigned sum = 0;
+    for (unsigned t = 0; t < numTables; ++t)
+        sum += tables[t][index(t, load_pc_hash)].value();
+    return sum;
+}
+
+void
+PerLoadFilter::train(std::uint16_t load_pc_hash, bool useful)
+{
+    for (unsigned t = 0; t < numTables; ++t) {
+        auto &counter = tables[t][index(t, load_pc_hash)];
+        if (useful)
+            counter.increment();
+        else
+            counter.decrement();
+    }
+}
+
+std::size_t
+PerLoadFilter::storageBits() const
+{
+    std::size_t bits = 0;
+    for (const auto &table : tables)
+        bits += table.size() * counterBits;
+    return bits;
+}
+
+} // namespace bfsim::core

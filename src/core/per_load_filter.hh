@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-load prefetch filter (paper IV-B.3).
+ *
+ * Even on high-confidence paths some loads have hard-to-predict effective
+ * addresses. The filter tracks, per load PC, how often B-Fetch's
+ * prefetches for that load proved accurate, using a skewed organization
+ * inspired by the sampling dead-block predictor the paper cites [13]:
+ * three tables of 3-bit up/down saturating counters, each indexed by a
+ * different hash of the load PC. A query sums the three counters; when
+ * the sum falls below the threshold (Table II: 3) prefetching for that
+ * load PC is suppressed, regardless of branch-path confidence.
+ */
+
+#ifndef BFSIM_CORE_PER_LOAD_FILTER_HH_
+#define BFSIM_CORE_PER_LOAD_FILTER_HH_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "common/types.hh"
+
+namespace bfsim::core {
+
+/** The skewed per-load confidence filter. */
+class PerLoadFilter
+{
+  public:
+    /**
+     * Construct with the per-table entry count and counter width
+     * (paper: 3 x 2048 x 3 bits).
+     */
+    PerLoadFilter(std::size_t entries_per_table, unsigned counter_bits);
+
+    /** Summed confidence for a (10-bit hashed) load PC. */
+    unsigned confidence(std::uint16_t load_pc_hash) const;
+
+    /** Train with the observed usefulness of a prefetch for this load. */
+    void train(std::uint16_t load_pc_hash, bool useful);
+
+    /** True when prefetching for this load is currently allowed. */
+    bool
+    allows(std::uint16_t load_pc_hash, unsigned threshold) const
+    {
+        return confidence(load_pc_hash) >= threshold;
+    }
+
+    /** Storage bits (Table I: 2.25KB). */
+    std::size_t storageBits() const;
+
+  private:
+    std::size_t index(unsigned table, std::uint16_t load_pc_hash) const;
+
+    static constexpr unsigned numTables = 3;
+    std::array<std::vector<branch::SatCounter>, numTables> tables;
+    unsigned counterBits;
+};
+
+} // namespace bfsim::core
+
+#endif // BFSIM_CORE_PER_LOAD_FILTER_HH_

@@ -1,0 +1,168 @@
+#include "harness/experiment.hh"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace bfsim::harness {
+
+std::string
+RunOptions::cacheKey() const
+{
+    std::ostringstream os;
+    os << instructions << '/' << width << '/' << robSize << '/'
+       << bpSizeScale << '/' << l3PerCoreBytes << '/'
+       << bfetch.brtcEntries << '/' << bfetch.mhtEntries << '/'
+       << bfetch.pathConfidenceThreshold << '/'
+       << bfetch.perLoadThreshold << '/' << bfetch.maxLookaheadDepth
+       << '/' << bfetch.enableLoopPrefetch << bfetch.enablePattPrefetch
+       << bfetch.enablePerLoadFilter << bfetch.arfFromCommitOnly;
+    return os.str();
+}
+
+namespace {
+
+sim::CoreConfig
+makeCoreConfig(sim::PrefetcherKind kind, const RunOptions &options)
+{
+    sim::CoreConfig cfg;
+    cfg.width = options.width;
+    cfg.robSize = options.robSize;
+    cfg.bpSizeScale = options.bpSizeScale;
+    cfg.prefetcher = kind;
+    cfg.bfetch = options.bfetch;
+    return cfg;
+}
+
+mem::HierarchyConfig
+makeHierarchyConfig(unsigned num_cores, const RunOptions &options)
+{
+    mem::HierarchyConfig cfg;
+    cfg.numCores = num_cores;
+    cfg.l3PerCoreBytes = options.l3PerCoreBytes;
+    return cfg;
+}
+
+} // namespace
+
+SingleResult
+runSingle(const std::string &workload_name, sim::PrefetcherKind kind,
+          const RunOptions &options)
+{
+    const workloads::Workload &workload =
+        workloads::workloadByName(workload_name);
+
+    std::vector<sim::CoreConfig> core_cfgs{makeCoreConfig(kind, options)};
+    std::vector<const isa::Program *> programs{&workload.program};
+    sim::Cmp cmp(core_cfgs, programs, makeHierarchyConfig(1, options));
+    sim::CmpResult run = cmp.run(options.instructions);
+
+    SingleResult result;
+    result.workload = workload_name;
+    result.prefetcher = kind;
+    result.core = run.cores.at(0);
+    result.mem = run.memStats.at(0);
+    if (const core::BFetchEngine *engine = cmp.core(0).bfetchEngine()) {
+        result.bfetch = engine->stats();
+        result.avgLookaheadDepth = engine->averageLookaheadDepth();
+    }
+    result.branchPredictorKB =
+        static_cast<double>(cmp.core(0).predictor().storageBits()) /
+        8.0 / 1024.0;
+    return result;
+}
+
+const SingleResult &
+runSingleCached(const std::string &workload_name, sim::PrefetcherKind kind,
+                const RunOptions &options)
+{
+    static std::map<std::string, SingleResult> cache;
+    std::string key = workload_name + '|' +
+                      sim::prefetcherName(kind) + '|' +
+                      options.cacheKey();
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, runSingle(workload_name, kind, options))
+                 .first;
+    return it->second;
+}
+
+MixResult
+runMix(const std::vector<std::string> &workload_names,
+       sim::PrefetcherKind kind, const RunOptions &options)
+{
+    if (workload_names.empty())
+        fatal("runMix requires at least one workload");
+
+    const unsigned n = static_cast<unsigned>(workload_names.size());
+    std::vector<sim::CoreConfig> core_cfgs(n,
+                                           makeCoreConfig(kind, options));
+    std::vector<const isa::Program *> programs;
+    for (const auto &name : workload_names)
+        programs.push_back(&workloads::workloadByName(name).program);
+
+    sim::Cmp cmp(core_cfgs, programs, makeHierarchyConfig(n, options));
+    sim::CmpResult run = cmp.run(options.instructions);
+
+    MixResult result;
+    result.workloads = workload_names;
+    result.prefetcher = kind;
+    result.cores = run.cores;
+    result.mem = run.memStats;
+
+    // Weighted speedup against single-application no-prefetch IPCs
+    // (paper V-A): sum_i IPC_multi(i) / IPC_single(i).
+    double ws = 0.0;
+    for (unsigned c = 0; c < n; ++c) {
+        const SingleResult &single = runSingleCached(
+            workload_names[c], sim::PrefetcherKind::None, options);
+        ws += run.cores[c].ipc / single.core.ipc;
+    }
+    result.weightedSpeedup = ws;
+    return result;
+}
+
+const MixResult &
+runMixCached(const std::vector<std::string> &workload_names,
+             sim::PrefetcherKind kind, const RunOptions &options)
+{
+    static std::map<std::string, MixResult> cache;
+    std::string key = sim::prefetcherName(kind) + '|' +
+                      options.cacheKey();
+    for (const auto &name : workload_names)
+        key += '|' + name;
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache.emplace(key, runMix(workload_names, kind, options))
+                 .first;
+    }
+    return it->second;
+}
+
+double
+speedupVsBaseline(const std::string &workload_name,
+                  sim::PrefetcherKind kind, const RunOptions &options)
+{
+    const SingleResult &base = runSingleCached(
+        workload_name, sim::PrefetcherKind::None, options);
+    const SingleResult &with = runSingleCached(workload_name, kind,
+                                               options);
+    return with.core.ipc / base.core.ipc;
+}
+
+std::uint64_t
+benchInstructionBudget(std::uint64_t fallback)
+{
+    if (const char *env = std::getenv("BFSIM_INSTS")) {
+        char *end = nullptr;
+        unsigned long long value = std::strtoull(env, &end, 10);
+        if (end && *end == '\0' && value > 0)
+            return value;
+        warn("ignoring malformed BFSIM_INSTS value");
+    }
+    return fallback;
+}
+
+} // namespace bfsim::harness

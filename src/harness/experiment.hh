@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Experiment harness: single-threaded and multiprogrammed simulation
+ * runs with the paper's baseline configuration (Table II), plus the
+ * speedup arithmetic used throughout the evaluation section.
+ *
+ * Results for repeated (workload, prefetcher, options) combinations are
+ * memoized per process so bench binaries that share baselines (e.g. the
+ * no-prefetch IPCs every figure normalizes to) pay for them once.
+ */
+
+#ifndef BFSIM_HARNESS_EXPERIMENT_HH_
+#define BFSIM_HARNESS_EXPERIMENT_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "mem/hierarchy.hh"
+#include "sim/cmp.hh"
+#include "sim/ooo_core.hh"
+#include "workloads/workload.hh"
+
+namespace bfsim::harness {
+
+/** Knobs for one experiment run (defaults: paper baseline). */
+struct RunOptions
+{
+    /** Instructions simulated per core. Benches override via env. */
+    std::uint64_t instructions = 2'000'000;
+    unsigned width = 4;
+    unsigned robSize = 192;
+    double bpSizeScale = 1.0;
+    core::BFetchConfig bfetch{};
+    /** LLC capacity per core (Table II: 2MB/core). */
+    std::size_t l3PerCoreBytes = 2 * 1024 * 1024;
+
+    /** Stable cache key for memoization. */
+    std::string cacheKey() const;
+};
+
+/** Results of one single-core run. */
+struct SingleResult
+{
+    std::string workload;
+    sim::PrefetcherKind prefetcher = sim::PrefetcherKind::None;
+    sim::CoreStats core;
+    mem::CoreMemStats mem;
+    /** Populated only for B-Fetch runs. */
+    core::BFetchStats bfetch;
+    double avgLookaheadDepth = 0.0;
+    double branchPredictorKB = 0.0;
+};
+
+/** Run one workload on one core with one prefetching scheme. */
+SingleResult runSingle(const std::string &workload_name,
+                       sim::PrefetcherKind kind,
+                       const RunOptions &options = {});
+
+/** Memoizing wrapper around runSingle (per-process cache). */
+const SingleResult &runSingleCached(const std::string &workload_name,
+                                    sim::PrefetcherKind kind,
+                                    const RunOptions &options = {});
+
+/** Results of one multiprogrammed run. */
+struct MixResult
+{
+    std::vector<std::string> workloads;
+    sim::PrefetcherKind prefetcher = sim::PrefetcherKind::None;
+    std::vector<sim::CoreStats> cores;
+    std::vector<mem::CoreMemStats> mem;
+    /** Raw weighted speedup: sum_i IPC_multi(i) / IPC_single_base(i). */
+    double weightedSpeedup = 0.0;
+};
+
+/**
+ * Run a mix of workloads on an equal number of cores sharing the L3 and
+ * DRAM. IPC_single baselines (no-prefetch, single-core, same options)
+ * are obtained through the memoized runner.
+ */
+MixResult runMix(const std::vector<std::string> &workload_names,
+                 sim::PrefetcherKind kind, const RunOptions &options = {});
+
+/** Memoizing wrapper around runMix (per-process cache). */
+const MixResult &runMixCached(const std::vector<std::string> &workload_names,
+                              sim::PrefetcherKind kind,
+                              const RunOptions &options = {});
+
+/** Speedup of a run against the no-prefetch baseline (same options). */
+double speedupVsBaseline(const std::string &workload_name,
+                         sim::PrefetcherKind kind,
+                         const RunOptions &options = {});
+
+/**
+ * Default per-core instruction budget for bench binaries: reads the
+ * BFSIM_INSTS environment variable, falling back to `fallback`.
+ */
+std::uint64_t benchInstructionBudget(std::uint64_t fallback = 2'000'000);
+
+} // namespace bfsim::harness
+
+#endif // BFSIM_HARNESS_EXPERIMENT_HH_

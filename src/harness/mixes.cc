@@ -1,0 +1,113 @@
+#include "harness/mixes.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.hh"
+#include "harness/experiment.hh"
+
+namespace bfsim::harness {
+
+double
+foaProfile(const std::string &workload_name)
+{
+    static std::map<std::string, double> cache;
+    auto it = cache.find(workload_name);
+    if (it != cache.end())
+        return it->second;
+
+    RunOptions options;
+    options.instructions = 200'000; // short profiling run
+    const SingleResult &result = runSingleCached(
+        workload_name, sim::PrefetcherKind::None, options);
+
+    // LLC pressure: accesses that reached the L3 (L2 misses), per
+    // kilo-instruction.
+    double l3_accesses = static_cast<double>(result.mem.l3Hits +
+                                             result.mem.dramAccesses);
+    double foa = 1000.0 * l3_accesses /
+                 static_cast<double>(result.core.instructions);
+    cache.emplace(workload_name, foa);
+    return foa;
+}
+
+std::vector<Mix>
+selectMixes(unsigned size, unsigned count)
+{
+    if (size < 1)
+        fatal("mix size must be positive");
+    std::vector<std::string> names = workloads::workloadNames();
+
+    // Enumerate all combinations of `size` workloads.
+    std::vector<Mix> candidates;
+    std::vector<unsigned> idx(size);
+    for (unsigned i = 0; i < size; ++i)
+        idx[i] = i;
+    const unsigned n = static_cast<unsigned>(names.size());
+    if (size > n)
+        fatal("mix size exceeds suite size");
+    for (;;) {
+        Mix mix;
+        for (unsigned i : idx) {
+            mix.workloads.push_back(names[i]);
+            mix.contentionScore += foaProfile(names[i]);
+        }
+        candidates.push_back(std::move(mix));
+
+        // Advance the combination (lexicographic).
+        int pos = static_cast<int>(size) - 1;
+        while (pos >= 0 &&
+               idx[pos] == n - size + static_cast<unsigned>(pos)) {
+            --pos;
+        }
+        if (pos < 0)
+            break;
+        ++idx[pos];
+        for (unsigned i = static_cast<unsigned>(pos) + 1; i < size; ++i)
+            idx[i] = idx[i - 1] + 1;
+    }
+
+    // Highest contention first; ties broken by name for determinism.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Mix &a, const Mix &b) {
+                         if (a.contentionScore != b.contentionScore)
+                             return a.contentionScore > b.contentionScore;
+                         return a.workloads < b.workloads;
+                     });
+
+    // Greedy pick with a per-workload appearance cap so a single
+    // high-pressure application cannot dominate the whole mix set
+    // (the paper's mixes visibly cover the suite).
+    std::size_t cap =
+        std::max<std::size_t>(2, (count * size + n - 1) / n + 1);
+    std::map<std::string, std::size_t> appearances;
+    std::vector<Mix> selected;
+    for (const Mix &mix : candidates) {
+        if (selected.size() >= count)
+            break;
+        bool fits = true;
+        for (const auto &name : mix.workloads)
+            if (appearances[name] >= cap)
+                fits = false;
+        if (!fits)
+            continue;
+        for (const auto &name : mix.workloads)
+            ++appearances[name];
+        selected.push_back(mix);
+    }
+    // If the cap was too strict to fill the quota, relax with the
+    // remaining highest-contention mixes.
+    for (const Mix &mix : candidates) {
+        if (selected.size() >= count)
+            break;
+        bool already = false;
+        for (const Mix &s : selected)
+            if (s.workloads == mix.workloads)
+                already = true;
+        if (!already)
+            selected.push_back(mix);
+    }
+    return selected;
+}
+
+} // namespace bfsim::harness

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Multiprogrammed mix selection via the Frequency-of-Access (FOA)
+ * inter-thread contention model of Chandra et al. (HPCA'05), which the
+ * paper uses to pick its 29 two-app and 29 four-app mixes with the
+ * highest shared-cache contention (V-A).
+ *
+ * FOA estimates an application's pressure on the shared cache by its
+ * access frequency: we profile each workload's LLC (L3) accesses per
+ * kilo-instruction on a short single-core no-prefetch run, score each
+ * candidate mix by the summed frequencies of its members, and keep the
+ * top 29 mixes per mix size.
+ */
+
+#ifndef BFSIM_HARNESS_MIXES_HH_
+#define BFSIM_HARNESS_MIXES_HH_
+
+#include <string>
+#include <vector>
+
+namespace bfsim::harness {
+
+/** One candidate mix with its contention score. */
+struct Mix
+{
+    std::vector<std::string> workloads;
+    double contentionScore = 0.0;
+};
+
+/**
+ * Per-workload FOA profile: shared-LLC accesses per kilo-instruction
+ * (memoized; profiling runs are short).
+ */
+double foaProfile(const std::string &workload_name);
+
+/**
+ * The `count` highest-contention mixes of `size` workloads drawn from
+ * the full suite (paper: size 2 and 4, count 29). Deterministic.
+ */
+std::vector<Mix> selectMixes(unsigned size, unsigned count = 29);
+
+} // namespace bfsim::harness
+
+#endif // BFSIM_HARNESS_MIXES_HH_

@@ -1,0 +1,56 @@
+#include "harness/report.hh"
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace bfsim::harness {
+
+double
+seriesGeomean(const SpeedupSeries &series,
+              const std::vector<std::string> &workloads)
+{
+    std::vector<double> values;
+    for (const auto &name : workloads) {
+        auto it = series.values.find(name);
+        if (it == series.values.end())
+            fatal("series '" + series.name + "' missing workload '" +
+                  name + "'");
+        values.push_back(it->second);
+    }
+    return geometricMean(values);
+}
+
+TextTable
+speedupTable(const std::vector<std::string> &workload_order,
+             const std::vector<std::string> &sensitive,
+             const std::vector<SpeedupSeries> &series)
+{
+    std::vector<std::string> headers{"benchmark"};
+    for (const auto &s : series)
+        headers.push_back(s.name);
+    TextTable table(std::move(headers));
+
+    for (const auto &workload : workload_order) {
+        std::vector<std::string> row{workload};
+        for (const auto &s : series) {
+            auto it = s.values.find(workload);
+            row.push_back(it == s.values.end()
+                              ? "-"
+                              : TextTable::fmt(it->second));
+        }
+        table.addRow(std::move(row));
+    }
+
+    std::vector<std::string> geo_row{"Geomean"};
+    std::vector<std::string> sens_row{"Geomean pf. sens."};
+    for (const auto &s : series) {
+        geo_row.push_back(
+            TextTable::fmt(seriesGeomean(s, workload_order)));
+        sens_row.push_back(TextTable::fmt(seriesGeomean(s, sensitive)));
+    }
+    table.addRow(std::move(geo_row));
+    table.addRow(std::move(sens_row));
+    return table;
+}
+
+} // namespace bfsim::harness

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Report helpers shared by the bench binaries: paper-style speedup
+ * tables with per-benchmark rows plus the Geomean / "Geomean pf. sens."
+ * summary columns of Figs. 1 and 8.
+ */
+
+#ifndef BFSIM_HARNESS_REPORT_HH_
+#define BFSIM_HARNESS_REPORT_HH_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+
+namespace bfsim::harness {
+
+/** A named series of per-benchmark speedups (one figure line/bar set). */
+struct SpeedupSeries
+{
+    std::string name;                       ///< e.g. "SMS", "Bfetch"
+    std::map<std::string, double> values;   ///< workload -> speedup
+};
+
+/**
+ * Build a Fig. 1 / Fig. 8 style table: one row per workload in
+ * `workload_order`, one column per series, then Geomean and
+ * "Geomean pf. sens." rows (the latter over `sensitive` workloads).
+ */
+TextTable speedupTable(const std::vector<std::string> &workload_order,
+                       const std::vector<std::string> &sensitive,
+                       const std::vector<SpeedupSeries> &series);
+
+/** Geometric mean of one series over the given workloads. */
+double seriesGeomean(const SpeedupSeries &series,
+                     const std::vector<std::string> &workloads);
+
+} // namespace bfsim::harness
+
+#endif // BFSIM_HARNESS_REPORT_HH_

@@ -1,0 +1,286 @@
+#include "isa/assembler.hh"
+
+#include "common/log.hh"
+
+namespace bfsim::isa {
+
+Assembler &
+Assembler::label(const std::string &name)
+{
+    auto [it, inserted] = labels.emplace(name, here());
+    if (!inserted)
+        fatal("duplicate label '" + name + "'");
+    (void)it;
+    return *this;
+}
+
+Assembler &
+Assembler::emit(Instruction inst)
+{
+    instructions.push_back(inst);
+    return *this;
+}
+
+Assembler &
+Assembler::emitBranch(Opcode op, RegIndex rs1, RegIndex rs2,
+                      const std::string &label_name)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    fixups.push_back({instructions.size(), label_name});
+    instructions.push_back(inst);
+    return *this;
+}
+
+Assembler &
+Assembler::load(RegIndex rd, RegIndex base, std::int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::Load;
+    i.rd = rd;
+    i.rs1 = base;
+    i.imm = offset;
+    return emit(i);
+}
+
+Assembler &
+Assembler::store(RegIndex src, RegIndex base, std::int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::Store;
+    i.rs1 = base;
+    i.rs2 = src;
+    i.imm = offset;
+    return emit(i);
+}
+
+namespace {
+
+Instruction
+makeRRR(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+Instruction
+makeRRI(Opcode op, RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+} // namespace
+
+Assembler &
+Assembler::add(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    return emit(makeRRR(Opcode::Add, rd, rs1, rs2));
+}
+
+Assembler &
+Assembler::sub(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    return emit(makeRRR(Opcode::Sub, rd, rs1, rs2));
+}
+
+Assembler &
+Assembler::mul(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    return emit(makeRRR(Opcode::Mul, rd, rs1, rs2));
+}
+
+Assembler &
+Assembler::and_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    return emit(makeRRR(Opcode::And, rd, rs1, rs2));
+}
+
+Assembler &
+Assembler::or_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    return emit(makeRRR(Opcode::Or, rd, rs1, rs2));
+}
+
+Assembler &
+Assembler::xor_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    return emit(makeRRR(Opcode::Xor, rd, rs1, rs2));
+}
+
+Assembler &
+Assembler::sll(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    return emit(makeRRR(Opcode::Sll, rd, rs1, rs2));
+}
+
+Assembler &
+Assembler::srl(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    return emit(makeRRR(Opcode::Srl, rd, rs1, rs2));
+}
+
+Assembler &
+Assembler::cmplt(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    return emit(makeRRR(Opcode::CmpLt, rd, rs1, rs2));
+}
+
+Assembler &
+Assembler::cmpeq(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    return emit(makeRRR(Opcode::CmpEq, rd, rs1, rs2));
+}
+
+Assembler &
+Assembler::fadd(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    return emit(makeRRR(Opcode::FAdd, rd, rs1, rs2));
+}
+
+Assembler &
+Assembler::fmul(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    return emit(makeRRR(Opcode::FMul, rd, rs1, rs2));
+}
+
+Assembler &
+Assembler::addi(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    return emit(makeRRI(Opcode::AddI, rd, rs1, imm));
+}
+
+Assembler &
+Assembler::andi(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    return emit(makeRRI(Opcode::AndI, rd, rs1, imm));
+}
+
+Assembler &
+Assembler::ori(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    return emit(makeRRI(Opcode::OrI, rd, rs1, imm));
+}
+
+Assembler &
+Assembler::xori(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    return emit(makeRRI(Opcode::XorI, rd, rs1, imm));
+}
+
+Assembler &
+Assembler::slli(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    return emit(makeRRI(Opcode::SllI, rd, rs1, imm));
+}
+
+Assembler &
+Assembler::srli(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    return emit(makeRRI(Opcode::SrlI, rd, rs1, imm));
+}
+
+Assembler &
+Assembler::cmplti(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    return emit(makeRRI(Opcode::CmpLtI, rd, rs1, imm));
+}
+
+Assembler &
+Assembler::cmpeqi(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    return emit(makeRRI(Opcode::CmpEqI, rd, rs1, imm));
+}
+
+Assembler &
+Assembler::movi(RegIndex rd, std::int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::MovI;
+    i.rd = rd;
+    i.imm = imm;
+    return emit(i);
+}
+
+Assembler &
+Assembler::nop()
+{
+    return emit(Instruction{});
+}
+
+Assembler &
+Assembler::beq(RegIndex rs1, RegIndex rs2, const std::string &label_name)
+{
+    return emitBranch(Opcode::Beq, rs1, rs2, label_name);
+}
+
+Assembler &
+Assembler::bne(RegIndex rs1, RegIndex rs2, const std::string &label_name)
+{
+    return emitBranch(Opcode::Bne, rs1, rs2, label_name);
+}
+
+Assembler &
+Assembler::blt(RegIndex rs1, RegIndex rs2, const std::string &label_name)
+{
+    return emitBranch(Opcode::Blt, rs1, rs2, label_name);
+}
+
+Assembler &
+Assembler::bge(RegIndex rs1, RegIndex rs2, const std::string &label_name)
+{
+    return emitBranch(Opcode::Bge, rs1, rs2, label_name);
+}
+
+Assembler &
+Assembler::jmp(const std::string &label_name)
+{
+    return emitBranch(Opcode::Jmp, 0, 0, label_name);
+}
+
+Assembler &
+Assembler::halt()
+{
+    Instruction i;
+    i.op = Opcode::Halt;
+    return emit(i);
+}
+
+Assembler &
+Assembler::data(Addr addr, std::uint64_t value)
+{
+    dataWords.emplace_back(addr, value);
+    return *this;
+}
+
+Program
+Assembler::assemble()
+{
+    for (const auto &fixup : fixups) {
+        auto it = labels.find(fixup.label);
+        if (it == labels.end())
+            fatal("undefined label '" + fixup.label + "'");
+        instructions[fixup.instIndex].target = it->second;
+    }
+    Program program(std::move(instructions));
+    for (const auto &[addr, value] : dataWords)
+        program.poke(addr, value);
+    // Leave the assembler reusable-but-empty rather than half-moved.
+    instructions.clear();
+    labels.clear();
+    fixups.clear();
+    dataWords.clear();
+    return program;
+}
+
+} // namespace bfsim::isa

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A fluent in-memory assembler for the micro-ISA.
+ *
+ * Workload kernels are written against this builder API:
+ *
+ * @code
+ *   Assembler as;
+ *   as.movi(R1, 0);
+ *   as.label("loop");
+ *   as.load(R2, R3, 8);
+ *   as.addi(R3, R3, 64);
+ *   as.addi(R1, R1, 1);
+ *   as.blt(R1, R4, "loop");
+ *   as.halt();
+ *   Program p = as.assemble();
+ * @endcode
+ *
+ * Forward references to labels are collected as fixups and resolved in
+ * assemble(); referencing an undefined label is a fatal error.
+ */
+
+#ifndef BFSIM_ISA_ASSEMBLER_HH_
+#define BFSIM_ISA_ASSEMBLER_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "isa/program.hh"
+
+namespace bfsim::isa {
+
+/** Convenience register aliases for kernel code readability. */
+enum : RegIndex
+{
+    R0 = 0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12, R13, R14,
+    R15, R16, R17, R18, R19, R20, R21, R22, R23, R24, R25, R26, R27, R28,
+    R29, R30, R31
+};
+
+/** Builder producing Program objects from readable kernel descriptions. */
+class Assembler
+{
+  public:
+    Assembler() = default;
+
+    /** Define a label at the current position. */
+    Assembler &label(const std::string &name);
+
+    /** Current instruction index (useful for size assertions). */
+    std::uint32_t here() const
+    {
+        return static_cast<std::uint32_t>(instructions.size());
+    }
+
+    // Memory.
+    Assembler &load(RegIndex rd, RegIndex base, std::int64_t offset);
+    Assembler &store(RegIndex src, RegIndex base, std::int64_t offset);
+
+    // Register-register ALU.
+    Assembler &add(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &sub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &mul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &and_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &or_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &xor_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &sll(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &srl(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &cmplt(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &cmpeq(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &fadd(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &fmul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+
+    // Register-immediate ALU.
+    Assembler &addi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &andi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &ori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &xori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &slli(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &srli(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &cmplti(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &cmpeqi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &movi(RegIndex rd, std::int64_t imm);
+    Assembler &nop();
+
+    // Control flow to labels.
+    Assembler &beq(RegIndex rs1, RegIndex rs2, const std::string &label);
+    Assembler &bne(RegIndex rs1, RegIndex rs2, const std::string &label);
+    Assembler &blt(RegIndex rs1, RegIndex rs2, const std::string &label);
+    Assembler &bge(RegIndex rs1, RegIndex rs2, const std::string &label);
+    Assembler &jmp(const std::string &label);
+    Assembler &halt();
+
+    /** Record an initial 64-bit data word at a data address. */
+    Assembler &data(Addr addr, std::uint64_t value);
+
+    /**
+     * Resolve all label fixups and return the finished program.
+     * Fatal if any referenced label is undefined.
+     */
+    Program assemble();
+
+  private:
+    Assembler &emit(Instruction inst);
+    Assembler &emitBranch(Opcode op, RegIndex rs1, RegIndex rs2,
+                          const std::string &label);
+
+    struct Fixup
+    {
+        std::size_t instIndex;
+        std::string label;
+    };
+
+    std::vector<Instruction> instructions;
+    std::map<std::string, std::uint32_t> labels;
+    std::vector<Fixup> fixups;
+    std::vector<std::pair<Addr, std::uint64_t>> dataWords;
+};
+
+} // namespace bfsim::isa
+
+#endif // BFSIM_ISA_ASSEMBLER_HH_

@@ -1,0 +1,173 @@
+#include "isa/isa.hh"
+
+#include <sstream>
+
+namespace bfsim::isa {
+
+bool
+Instruction::isControl() const
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jmp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::isCondBranch() const
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::writesDest() const
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Store:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jmp:
+      case Opcode::Halt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+unsigned
+Instruction::executeLatency() const
+{
+    switch (op) {
+      case Opcode::Mul:
+        return 4;
+      case Opcode::FAdd:
+        return 4;
+      case Opcode::FMul:
+        return 6;
+      default:
+        return 1;
+    }
+}
+
+std::string
+regName(RegIndex index)
+{
+    return "r" + std::to_string(static_cast<int>(index));
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::AddI: return "addi";
+      case Opcode::AndI: return "andi";
+      case Opcode::OrI: return "ori";
+      case Opcode::XorI: return "xori";
+      case Opcode::SllI: return "slli";
+      case Opcode::SrlI: return "srli";
+      case Opcode::CmpLtI: return "cmplti";
+      case Opcode::CmpEqI: return "cmpeqi";
+      case Opcode::MovI: return "movi";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FMul: return "fmul";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Halt: return "halt";
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+        break;
+      case Opcode::Load:
+        os << ' ' << regName(inst.rd) << ", " << inst.imm << '('
+           << regName(inst.rs1) << ')';
+        break;
+      case Opcode::Store:
+        os << ' ' << regName(inst.rs2) << ", " << inst.imm << '('
+           << regName(inst.rs1) << ')';
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::CmpLt:
+      case Opcode::CmpEq:
+      case Opcode::FAdd:
+      case Opcode::FMul:
+        os << ' ' << regName(inst.rd) << ", " << regName(inst.rs1) << ", "
+           << regName(inst.rs2);
+        break;
+      case Opcode::AddI:
+      case Opcode::AndI:
+      case Opcode::OrI:
+      case Opcode::XorI:
+      case Opcode::SllI:
+      case Opcode::SrlI:
+      case Opcode::CmpLtI:
+      case Opcode::CmpEqI:
+        os << ' ' << regName(inst.rd) << ", " << regName(inst.rs1) << ", "
+           << inst.imm;
+        break;
+      case Opcode::MovI:
+        os << ' ' << regName(inst.rd) << ", " << inst.imm;
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        os << ' ' << regName(inst.rs1) << ", " << regName(inst.rs2) << ", @"
+           << inst.target;
+        break;
+      case Opcode::Jmp:
+        os << " @" << inst.target;
+        break;
+    }
+    return os.str();
+}
+
+} // namespace bfsim::isa

@@ -1,0 +1,26 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace bfsim::isa {
+
+const Instruction &
+Program::at(std::uint32_t pc) const
+{
+    if (pc >= instructions.size())
+        panic("program counter " + std::to_string(pc) + " out of range");
+    return instructions[pc];
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream os;
+    for (std::size_t pc = 0; pc < instructions.size(); ++pc)
+        os << pc << ":\t" << disassemble(instructions[pc]) << '\n';
+    return os.str();
+}
+
+} // namespace bfsim::isa

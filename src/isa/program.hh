@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Program container: the static instruction stream plus metadata about
+ * the memory image the program expects at startup.
+ */
+
+#ifndef BFSIM_ISA_PROGRAM_HH_
+#define BFSIM_ISA_PROGRAM_HH_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace bfsim::isa {
+
+/**
+ * A static program: a vector of instructions with entry point 0 and
+ * an initial data image (sparse list of 64-bit words).
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    /** Construct from an assembled instruction vector. */
+    explicit Program(std::vector<Instruction> insts)
+        : instructions(std::move(insts)) {}
+
+    /** Number of static instructions. */
+    std::size_t size() const { return instructions.size(); }
+
+    /** Whether the program contains no instructions. */
+    bool empty() const { return instructions.empty(); }
+
+    /** Instruction at index pc; out-of-range access is a program bug. */
+    const Instruction &at(std::uint32_t pc) const;
+
+    /** All instructions. */
+    const std::vector<Instruction> &insts() const { return instructions; }
+
+    /** Record a 64-bit data word to be present at startup. */
+    void poke(Addr addr, std::uint64_t value)
+    {
+        image.emplace_back(addr, value);
+    }
+
+    /**
+     * The initial data image as (address, word) pairs in poke order;
+     * later pokes to the same address win.
+     */
+    const std::vector<std::pair<Addr, std::uint64_t>> &initialImage() const
+    {
+        return image;
+    }
+
+    /** Full disassembly listing, one instruction per line. */
+    std::string listing() const;
+
+  private:
+    std::vector<Instruction> instructions;
+    std::vector<std::pair<Addr, std::uint64_t>> image;
+};
+
+} // namespace bfsim::isa
+
+#endif // BFSIM_ISA_PROGRAM_HH_

@@ -1,0 +1,134 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace bfsim::mem {
+
+Cache::Cache(const CacheConfig &config) : cfg(config)
+{
+    if (cfg.sizeBytes % (blockSizeBytes * cfg.associativity) != 0)
+        fatal("cache '" + cfg.name + "' size not divisible by way size");
+    sets = cfg.sizeBytes / (blockSizeBytes * cfg.associativity);
+    if (!std::has_single_bit(sets))
+        fatal("cache '" + cfg.name + "' set count must be a power of two");
+    blocks.assign(sets * cfg.associativity, CacheBlock{});
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return blockNumber(addr) & (sets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return blockNumber(addr) / sets;
+}
+
+CacheBlock *
+Cache::lookup(Addr addr)
+{
+    std::size_t base = setIndex(addr) * cfg.associativity;
+    Addr tag = tagOf(addr);
+    for (unsigned way = 0; way < cfg.associativity; ++way) {
+        CacheBlock &blk = blocks[base + way];
+        if (blk.valid && blk.tag == tag) {
+            blk.lruStamp = ++lruClock;
+            return &blk;
+        }
+    }
+    return nullptr;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return peek(addr) != nullptr;
+}
+
+const CacheBlock *
+Cache::peek(Addr addr) const
+{
+    std::size_t base = setIndex(addr) * cfg.associativity;
+    Addr tag = tagOf(addr);
+    for (unsigned way = 0; way < cfg.associativity; ++way) {
+        const CacheBlock &blk = blocks[base + way];
+        if (blk.valid && blk.tag == tag)
+            return &blk;
+    }
+    return nullptr;
+}
+
+CacheBlock *
+Cache::insert(Addr addr, EvictInfo &evict)
+{
+    std::size_t set = setIndex(addr);
+    std::size_t base = set * cfg.associativity;
+    Addr tag = tagOf(addr);
+
+    evict = EvictInfo{};
+
+    // Reuse an existing block for the same tag (refill), else an invalid
+    // way, else the LRU victim.
+    CacheBlock *victim = nullptr;
+    for (unsigned way = 0; way < cfg.associativity; ++way) {
+        CacheBlock &blk = blocks[base + way];
+        if (blk.valid && blk.tag == tag) {
+            victim = &blk;
+            break;
+        }
+        if (!blk.valid && !victim)
+            victim = &blk;
+    }
+    if (!victim) {
+        victim = &blocks[base];
+        for (unsigned way = 1; way < cfg.associativity; ++way) {
+            CacheBlock &blk = blocks[base + way];
+            if (blk.lruStamp < victim->lruStamp)
+                victim = &blk;
+        }
+        evict.evicted = true;
+        evict.dirty = victim->dirty;
+        evict.wastedPrefetch =
+            victim->prefetched && !victim->prefetchUseful;
+        evict.loadPcHash = victim->loadPcHash;
+        evict.blockAddr =
+            ((victim->tag * sets) +
+             (static_cast<Addr>(set))) << blockSizeBits;
+    }
+
+    *victim = CacheBlock{};
+    victim->tag = tag;
+    victim->valid = true;
+    victim->lruStamp = ++lruClock;
+    return victim;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    std::size_t base = setIndex(addr) * cfg.associativity;
+    Addr tag = tagOf(addr);
+    for (unsigned way = 0; way < cfg.associativity; ++way) {
+        CacheBlock &blk = blocks[base + way];
+        if (blk.valid && blk.tag == tag) {
+            blk.valid = false;
+            return;
+        }
+    }
+}
+
+std::size_t
+Cache::validBlockCount() const
+{
+    std::size_t count = 0;
+    for (const auto &blk : blocks)
+        if (blk.valid)
+            ++count;
+    return count;
+}
+
+} // namespace bfsim::mem

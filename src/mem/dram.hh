@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Bandwidth-limited DRAM model.
+ *
+ * The paper limits the memory controller to 12.8 GB/s ("representative of
+ * a memory controller of a x64 DDR3", V-A) on top of a 200-cycle access
+ * latency (Table II). We model that as a fixed access latency plus a
+ * single shared channel whose data bus can start one 64 B block transfer
+ * every `cyclesPerBlock` cycles; requests queue when the bus is busy.
+ *
+ * Like real memory controllers, demand reads are prioritized over
+ * prefetch reads: a demand read queues only behind other demand traffic,
+ * while prefetch reads queue behind everything. Prefetch traffic still
+ * consumes channel bandwidth — which is what makes *useless* prefetches
+ * expensive in the paper's multiprogrammed experiments (Fig. 9-11).
+ */
+
+#ifndef BFSIM_MEM_DRAM_HH_
+#define BFSIM_MEM_DRAM_HH_
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace bfsim::mem {
+
+/** DRAM timing parameters. */
+struct DramConfig
+{
+    /** Fixed access latency in core cycles (Table II: 200). */
+    Cycle accessLatency = 200;
+    /**
+     * Minimum spacing between block transfers in core cycles. At a 3.2GHz
+     * core clock, 12.8 GB/s moves one 64 B block every 16 cycles.
+     */
+    Cycle cyclesPerBlock = 16;
+};
+
+/** The shared DRAM channel. */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &config = {}) : cfg(config) {}
+
+    /**
+     * Issue a block read at `now`; returns the cycle at which the
+     * block's data is available (queueing + fixed latency). Demand
+     * reads (`is_demand`) bypass queued prefetch traffic.
+     */
+    Cycle
+    read(Cycle now, bool is_demand = true)
+    {
+        Cycle queue_head = is_demand ? demandBusyUntil : busBusyUntil;
+        Cycle start = now > queue_head ? now : queue_head;
+        Cycle finish = start + cfg.cyclesPerBlock;
+        if (finish > busBusyUntil)
+            busBusyUntil = finish;
+        if (is_demand) {
+            demandBusyUntil = finish;
+            ++readCount;
+        } else {
+            ++prefetchReadCount;
+        }
+        queueDelayTotal += start - now;
+        return start + cfg.accessLatency;
+    }
+
+    /**
+     * Issue a block writeback at `now`; consumes bus bandwidth but the
+     * requester does not wait for completion.
+     */
+    void
+    writeback(Cycle now)
+    {
+        Cycle start = now > busBusyUntil ? now : busBusyUntil;
+        busBusyUntil = start + cfg.cyclesPerBlock;
+        ++writebackCount;
+    }
+
+    /** Number of demand block reads serviced. */
+    std::uint64_t reads() const { return readCount; }
+
+    /** Number of prefetch block reads serviced. */
+    std::uint64_t prefetchReads() const { return prefetchReadCount; }
+
+    /** Number of writebacks serviced. */
+    std::uint64_t writebacks() const { return writebackCount; }
+
+    /** Total cycles requests spent queued on the busy bus. */
+    std::uint64_t totalQueueDelay() const { return queueDelayTotal; }
+
+    /** Configured timing. */
+    const DramConfig &config() const { return cfg; }
+
+  private:
+    DramConfig cfg;
+    Cycle busBusyUntil = 0;
+    Cycle demandBusyUntil = 0;
+    std::uint64_t readCount = 0;
+    std::uint64_t prefetchReadCount = 0;
+    std::uint64_t writebackCount = 0;
+    std::uint64_t queueDelayTotal = 0;
+};
+
+} // namespace bfsim::mem
+
+#endif // BFSIM_MEM_DRAM_HH_

@@ -1,0 +1,224 @@
+#include "mem/hierarchy.hh"
+
+#include "common/log.hh"
+
+namespace bfsim::mem {
+
+Hierarchy::Hierarchy(const HierarchyConfig &config)
+    : cfg(config), dramChannel(config.dram)
+{
+    if (cfg.numCores == 0)
+        fatal("hierarchy needs at least one core");
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        l1dCaches.push_back(std::make_unique<Cache>(cfg.l1d));
+        l2Caches.push_back(std::make_unique<Cache>(cfg.l2));
+    }
+    CacheConfig l3cfg;
+    l3cfg.name = "L3";
+    l3cfg.sizeBytes = cfg.l3PerCoreBytes * cfg.numCores;
+    l3cfg.associativity = cfg.l3Associativity;
+    l3cfg.hitLatency = cfg.l3HitLatency;
+    l3Cache = std::make_unique<Cache>(l3cfg);
+    coreStats.resize(cfg.numCores);
+    feedback.resize(cfg.numCores);
+    mshrBusy.resize(cfg.numCores);
+}
+
+Addr
+Hierarchy::physical(unsigned core, Addr vaddr) const
+{
+    return vaddr + (static_cast<Addr>(core) << 40);
+}
+
+void
+Hierarchy::setPrefetchFeedback(unsigned core, PrefetchFeedback fb)
+{
+    feedback.at(core) = std::move(fb);
+}
+
+bool
+Hierarchy::inL1(unsigned core, Addr vaddr) const
+{
+    return l1dCaches[core]->contains(physical(core, vaddr));
+}
+
+Cycle
+Hierarchy::mshrAdmit(unsigned core, Cycle now)
+{
+    auto &busy = mshrBusy[core];
+    while (!busy.empty() && busy.front() <= now)
+        busy.pop_front();
+    if (busy.size() < cfg.l1Mshrs)
+        return now;
+    // All MSHRs occupied: the miss cannot start until the oldest
+    // outstanding fill completes.
+    return busy.front();
+}
+
+CacheBlock *
+Hierarchy::fillL1(unsigned core, Addr paddr, Cycle now)
+{
+    EvictInfo evict;
+    CacheBlock *blk = l1dCaches[core]->insert(paddr, evict);
+    if (evict.evicted) {
+        if (evict.wastedPrefetch) {
+            ++coreStats[core].uselessPrefetches;
+            if (feedback[core])
+                feedback[core](evict.loadPcHash, false);
+        }
+        if (evict.dirty) {
+            ++coreStats[core].writebacks;
+            // Dirty L1 victims write back into the L2; mark dirty there
+            // if present, otherwise propagate (rare with inclusive fill).
+            Addr victim_paddr = evict.blockAddr;
+            if (CacheBlock *l2blk = l2Caches[core]->lookup(victim_paddr)) {
+                l2blk->dirty = true;
+            } else if (CacheBlock *l3blk = l3Cache->lookup(victim_paddr)) {
+                l3blk->dirty = true;
+            } else {
+                dramChannel.writeback(now);
+            }
+        }
+    }
+    return blk;
+}
+
+Cycle
+Hierarchy::fetchFromBeyondL1(unsigned core, Addr paddr, Cycle now,
+                             AccessOutcome &outcome, bool is_demand)
+{
+    Cache &l2 = *l2Caches[core];
+    // L2 lookup.
+    if (CacheBlock *blk = l2.lookup(paddr)) {
+        outcome.l2Hit = true;
+        Cycle data_ready = now + cfg.l2.hitLatency;
+        if (blk->readyAt > data_ready)
+            data_ready = blk->readyAt;
+        return data_ready;
+    }
+    // L3 lookup (shared).
+    if (CacheBlock *blk = l3Cache->lookup(paddr)) {
+        outcome.l3Hit = true;
+        Cycle data_ready = now + cfg.l2.hitLatency + cfg.l3HitLatency;
+        if (blk->readyAt > data_ready)
+            data_ready = blk->readyAt;
+        // Fill L2.
+        EvictInfo evict;
+        CacheBlock *l2blk = l2.insert(paddr, evict);
+        if (evict.evicted && evict.dirty) {
+            if (CacheBlock *l3victim = l3Cache->lookup(evict.blockAddr))
+                l3victim->dirty = true;
+            else
+                dramChannel.writeback(now);
+        }
+        l2blk->readyAt = data_ready;
+        return data_ready;
+    }
+    // DRAM.
+    ++coreStats[core].dramAccesses;
+    Cycle issue = now + cfg.l2.hitLatency + cfg.l3HitLatency;
+    Cycle data_ready = dramChannel.read(issue, is_demand);
+    // Fill L3 then L2.
+    EvictInfo evict;
+    CacheBlock *l3blk = l3Cache->insert(paddr, evict);
+    if (evict.evicted && evict.dirty)
+        dramChannel.writeback(now);
+    l3blk->readyAt = data_ready;
+    CacheBlock *l2blk = l2.insert(paddr, evict);
+    if (evict.evicted && evict.dirty) {
+        if (CacheBlock *l3victim = l3Cache->lookup(evict.blockAddr))
+            l3victim->dirty = true;
+        else
+            dramChannel.writeback(now);
+    }
+    l2blk->readyAt = data_ready;
+    return data_ready;
+}
+
+AccessOutcome
+Hierarchy::access(unsigned core, Addr vaddr, bool is_store, Cycle now)
+{
+    AccessOutcome outcome;
+    Addr paddr = physical(core, vaddr);
+    Cache &l1 = *l1dCaches[core];
+    ++coreStats[core].accesses;
+
+    if (CacheBlock *blk = l1.lookup(paddr)) {
+        outcome.l1Hit = true;
+        ++coreStats[core].l1Hits;
+        Cycle done = now + l1.hitLatency();
+        if (blk->readyAt > now) {
+            // Fill still in flight (MSHR merge / late prefetch).
+            if (blk->prefetched && !blk->prefetchUseful) {
+                outcome.latePrefetch = true;
+                ++coreStats[core].latePrefetches;
+                // Demand hit on an in-flight prefetch upgrades it to
+                // demand priority: the wait is capped at what a fresh
+                // demand miss would cost, as MSHR hit-under-prefetch
+                // upgrading achieves in real controllers.
+                Cycle upgrade_cap = now + cfg.l2.hitLatency +
+                                    cfg.l3HitLatency +
+                                    dramChannel.config().accessLatency;
+                if (blk->readyAt > upgrade_cap)
+                    blk->readyAt = upgrade_cap;
+            }
+            done = blk->readyAt + l1.hitLatency();
+        }
+        if (blk->prefetched && !blk->prefetchUseful) {
+            blk->prefetchUseful = true;
+            outcome.usedPrefetch = true;
+            ++coreStats[core].usefulPrefetches;
+            if (feedback[core])
+                feedback[core](blk->loadPcHash, true);
+        }
+        if (is_store)
+            blk->dirty = true;
+        outcome.latency = done - now;
+        return outcome;
+    }
+
+    // L1 miss: admit through the MSHRs, then fetch from below.
+    Cycle start = mshrAdmit(core, now) + l1.hitLatency();
+    Cycle data_ready = fetchFromBeyondL1(core, paddr, start, outcome,
+                                         true);
+    if (outcome.l2Hit)
+        ++coreStats[core].l2Hits;
+    else if (outcome.l3Hit)
+        ++coreStats[core].l3Hits;
+
+    CacheBlock *blk = fillL1(core, paddr, now);
+    blk->readyAt = data_ready;
+    if (is_store)
+        blk->dirty = true;
+    mshrBusy[core].push_back(data_ready);
+
+    outcome.latency = data_ready - now;
+    return outcome;
+}
+
+PrefetchResult
+Hierarchy::prefetch(unsigned core, Addr vaddr, Cycle now,
+                    std::uint16_t load_pc_hash)
+{
+    Addr paddr = physical(core, vaddr);
+    Cache &l1 = *l1dCaches[core];
+    if (l1.contains(paddr)) {
+        ++coreStats[core].prefetchesDuplicate;
+        return PrefetchResult::AlreadyPresent;
+    }
+
+    AccessOutcome outcome;
+    Cycle start = now + l1.hitLatency();
+    Cycle data_ready = fetchFromBeyondL1(core, paddr, start, outcome,
+                                         false);
+
+    CacheBlock *blk = fillL1(core, paddr, now);
+    blk->readyAt = data_ready;
+    blk->prefetched = true;
+    blk->prefetchUseful = false;
+    blk->loadPcHash = load_pc_hash;
+    ++coreStats[core].prefetchesIssued;
+    return PrefetchResult::Issued;
+}
+
+} // namespace bfsim::mem

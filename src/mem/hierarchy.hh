@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The modeled memory hierarchy: per-core L1-D and unified L2, a shared
+ * last-level L3, and one bandwidth-limited DRAM channel (Table II).
+ *
+ * Timing follows an insert-at-issue discipline: a missing block is
+ * allocated immediately with a future `readyAt` fill time. A later access
+ * to the same block hits in the tag array and simply waits for the fill,
+ * which naturally models MSHR merging and — crucially for this paper —
+ * *late* prefetches, whose partial benefit B-Fetch's timeliness argument
+ * depends on.
+ *
+ * Cores address private virtual spaces; the hierarchy forms physical
+ * addresses by placing each core's space at a 1 TiB-aligned offset, so
+ * multiprogrammed mixes contend for shared-L3 capacity and DRAM bandwidth
+ * exactly as in the paper's CMP experiments.
+ */
+
+#ifndef BFSIM_MEM_HIERARCHY_HH_
+#define BFSIM_MEM_HIERARCHY_HH_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace bfsim::mem {
+
+/** Full hierarchy configuration (defaults mirror the paper's Table II). */
+struct HierarchyConfig
+{
+    unsigned numCores = 1;
+    CacheConfig l1d{"L1D", 64 * 1024, 8, 2};
+    CacheConfig l2{"L2", 256 * 1024, 8, 10};
+    /** L3 is sized at l3PerCoreBytes * numCores (paper: 2MB/core). */
+    std::size_t l3PerCoreBytes = 2 * 1024 * 1024;
+    unsigned l3Associativity = 16;
+    Cycle l3HitLatency = 20;
+    DramConfig dram{};
+    /** L1 MSHR count: maximum in-flight demand misses per core
+     *  (gem5 classic-cache default). */
+    unsigned l1Mshrs = 4;
+};
+
+/** Outcome of one demand access. */
+struct AccessOutcome
+{
+    Cycle latency = 0;       ///< cycles until the data is usable
+    bool l1Hit = false;
+    bool l2Hit = false;
+    bool l3Hit = false;
+    /** Demand access was the first use of a prefetched block. */
+    bool usedPrefetch = false;
+    /** The prefetched block was still in flight (late prefetch). */
+    bool latePrefetch = false;
+};
+
+/** Result classification of a prefetch request. */
+enum class PrefetchResult
+{
+    Issued,          ///< prefetch injected into the hierarchy
+    AlreadyPresent,  ///< target block already in (or filling) the L1-D
+};
+
+/** Per-core demand/prefetch statistics. */
+struct CoreMemStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l3Hits = 0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesDuplicate = 0;
+    std::uint64_t usefulPrefetches = 0;
+    std::uint64_t uselessPrefetches = 0;
+    std::uint64_t latePrefetches = 0;
+    std::uint64_t writebacks = 0;
+};
+
+/**
+ * Notification that a prefetch attributed to `loadPcHash` proved useful
+ * (demand-hit before eviction) or useless (evicted untouched). B-Fetch's
+ * per-load filter trains on exactly this signal.
+ */
+using PrefetchFeedback =
+    std::function<void(std::uint16_t load_pc_hash, bool useful)>;
+
+/** The multi-core cache hierarchy. */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyConfig &config);
+
+    /** Perform a demand load/store for `core` at virtual address vaddr. */
+    AccessOutcome access(unsigned core, Addr vaddr, bool is_store,
+                         Cycle now);
+
+    /**
+     * Inject a prefetch of vaddr into core's L1-D. `load_pc_hash`
+     * attributes the prefetch for later usefulness feedback.
+     */
+    PrefetchResult prefetch(unsigned core, Addr vaddr, Cycle now,
+                            std::uint16_t load_pc_hash);
+
+    /** Register the per-core prefetch usefulness callback. */
+    void setPrefetchFeedback(unsigned core, PrefetchFeedback feedback);
+
+    /** True when the block is present (or filling) in core's L1-D. */
+    bool inL1(unsigned core, Addr vaddr) const;
+
+    /** Per-core statistics. */
+    const CoreMemStats &stats(unsigned core) const
+    {
+        return coreStats.at(core);
+    }
+
+    /** Shared-DRAM statistics. */
+    const Dram &dram() const { return dramChannel; }
+
+    /** Configured geometry. */
+    const HierarchyConfig &config() const { return cfg; }
+
+  private:
+    Addr physical(unsigned core, Addr vaddr) const;
+
+    /**
+     * Find / fetch a block for the lower levels (L2 down), returning the
+     * cycle its data is available and recording hit levels. Fills lower
+     * levels on the way.
+     */
+    Cycle fetchFromBeyondL1(unsigned core, Addr paddr, Cycle now,
+                            AccessOutcome &outcome, bool is_demand);
+
+    /** Allocate in core's L1-D, handling victim writeback + feedback. */
+    CacheBlock *fillL1(unsigned core, Addr paddr, Cycle now);
+
+    /** MSHR admission: returns the cycle the miss may start. */
+    Cycle mshrAdmit(unsigned core, Cycle now);
+
+    HierarchyConfig cfg;
+    std::vector<std::unique_ptr<Cache>> l1dCaches;
+    std::vector<std::unique_ptr<Cache>> l2Caches;
+    std::unique_ptr<Cache> l3Cache;
+    Dram dramChannel;
+    std::vector<CoreMemStats> coreStats;
+    std::vector<PrefetchFeedback> feedback;
+    /** Per-core in-flight miss completion times (lazily pruned FIFO). */
+    std::vector<std::deque<Cycle>> mshrBusy;
+};
+
+} // namespace bfsim::mem
+
+#endif // BFSIM_MEM_HIERARCHY_HH_

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * "Next-n Lines" sequential prefetcher (Smith, 1978; paper III-A): on a
+ * demand miss, queue the next n sequential cache lines.
+ */
+
+#ifndef BFSIM_PREFETCH_NEXT_N_LINE_HH_
+#define BFSIM_PREFETCH_NEXT_N_LINE_HH_
+
+#include "prefetch/prefetcher.hh"
+
+namespace bfsim::prefetch {
+
+/** Sequential next-n-lines prefetcher. */
+class NextNLinePrefetcher : public Prefetcher
+{
+  public:
+    /** Construct with a lookahead degree (lines fetched per miss). */
+    explicit NextNLinePrefetcher(unsigned degree = 4) : degreeN(degree) {}
+
+    void
+    observe(const DemandAccess &access, PrefetchQueue &queue) override
+    {
+        if (access.l1Hit)
+            return;
+        Addr block = blockAlign(access.vaddr);
+        for (unsigned i = 1; i <= degreeN; ++i)
+            queue.push(block + i * blockSizeBytes, pcHash10(access.pc));
+    }
+
+    std::string name() const override { return "NextN"; }
+
+    /** Stateless beyond the degree constant. */
+    std::size_t storageBits() const override { return 0; }
+
+  private:
+    unsigned degreeN;
+};
+
+} // namespace bfsim::prefetch
+
+#endif // BFSIM_PREFETCH_NEXT_N_LINE_HH_

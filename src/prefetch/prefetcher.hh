@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Data-prefetcher interface shared by the baseline prefetchers (Next-N,
+ * Stride, SMS) and used by the simulated core to train on demand traffic.
+ *
+ * B-Fetch itself does NOT implement this interface alone — it is driven
+ * by decode/commit/execute events from the core pipeline rather than by
+ * demand accesses (see src/core/bfetch.hh) — but it shares the same
+ * PrefetchQueue, so issue bandwidth and queue capacity are modeled
+ * identically across all schemes.
+ */
+
+#ifndef BFSIM_PREFETCH_PREFETCHER_HH_
+#define BFSIM_PREFETCH_PREFETCHER_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "prefetch/queue.hh"
+
+namespace bfsim::prefetch {
+
+/** One demand access as observed at the L1-D. */
+struct DemandAccess
+{
+    Addr pc = 0;       ///< PC of the load/store
+    Addr vaddr = 0;    ///< effective (virtual) address
+    bool isLoad = true;
+    bool l1Hit = false;
+    Cycle now = 0;
+};
+
+/** Abstract demand-trained data prefetcher. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observe one demand access and push any prefetch candidates into
+     * the queue.
+     */
+    virtual void observe(const DemandAccess &access, PrefetchQueue &queue)
+        = 0;
+
+    /** Short scheme name as it appears in the paper's figures. */
+    virtual std::string name() const = 0;
+
+    /** Total prefetcher storage in bits (Table I accounting). */
+    virtual std::size_t storageBits() const = 0;
+};
+
+/** 10-bit PC hash used to attribute prefetches to their trigger/load PC. */
+inline std::uint16_t
+pcHash10(Addr pc)
+{
+    std::uint64_t x = pc >> 2;
+    x ^= x >> 10;
+    x ^= x >> 20;
+    return static_cast<std::uint16_t>(x & 0x3ff);
+}
+
+} // namespace bfsim::prefetch
+
+#endif // BFSIM_PREFETCH_PREFETCHER_HH_

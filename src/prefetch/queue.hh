@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The prefetch queue between any prefetch engine and the L1-D port.
+ * Table I budgets a 100-entry queue; candidates are block-aligned,
+ * deduplicated against queue contents, and dropped when the queue is
+ * full (oldest-first drain).
+ */
+
+#ifndef BFSIM_PREFETCH_QUEUE_HH_
+#define BFSIM_PREFETCH_QUEUE_HH_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "common/types.hh"
+
+namespace bfsim::prefetch {
+
+/** One queued prefetch candidate. */
+struct PrefetchCandidate
+{
+    Addr blockAddr = 0;           ///< block-aligned target address
+    std::uint16_t loadPcHash = 0; ///< attribution for usefulness feedback
+};
+
+/** Fixed-capacity FIFO of pending prefetch candidates with dedup. */
+class PrefetchQueue
+{
+  public:
+    /** Construct with a capacity (paper: 100 entries). */
+    explicit PrefetchQueue(std::size_t capacity = 100)
+        : maxEntries(capacity) {}
+
+    /**
+     * Enqueue a candidate (block-aligning the address); duplicates of
+     * queued blocks and full-queue pushes are dropped.
+     * @return true when the candidate was accepted.
+     */
+    bool
+    push(Addr addr, std::uint16_t load_pc_hash)
+    {
+        Addr block = blockAlign(addr);
+        if (entries.size() >= maxEntries) {
+            ++droppedCount;
+            return false;
+        }
+        if (queuedBlocks.contains(block)) {
+            ++duplicateCount;
+            return false;
+        }
+        entries.push_back({block, load_pc_hash});
+        queuedBlocks.insert(block);
+        ++pushedCount;
+        return true;
+    }
+
+    /** True when no candidates are pending. */
+    bool empty() const { return entries.empty(); }
+
+    /** Number of pending candidates. */
+    std::size_t size() const { return entries.size(); }
+
+    /** Pop the oldest candidate; queue must not be empty. */
+    PrefetchCandidate
+    pop()
+    {
+        PrefetchCandidate candidate = entries.front();
+        entries.pop_front();
+        queuedBlocks.erase(candidate.blockAddr);
+        return candidate;
+    }
+
+    /** Remove all pending candidates. */
+    void
+    clear()
+    {
+        entries.clear();
+        queuedBlocks.clear();
+    }
+
+    /** Candidates accepted over the run. */
+    std::uint64_t pushed() const { return pushedCount; }
+
+    /** Candidates dropped because the queue was full. */
+    std::uint64_t dropped() const { return droppedCount; }
+
+    /** Candidates dropped as duplicates of queued blocks. */
+    std::uint64_t duplicates() const { return duplicateCount; }
+
+    /** Storage bits: each entry holds a block address + 10-bit hash. */
+    std::size_t storageBits() const { return maxEntries * (32 + 10); }
+
+  private:
+    std::size_t maxEntries;
+    std::deque<PrefetchCandidate> entries;
+    std::unordered_set<Addr> queuedBlocks;
+    std::uint64_t pushedCount = 0;
+    std::uint64_t droppedCount = 0;
+    std::uint64_t duplicateCount = 0;
+};
+
+} // namespace bfsim::prefetch
+
+#endif // BFSIM_PREFETCH_QUEUE_HH_

@@ -1,0 +1,133 @@
+#include "prefetch/sms.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace bfsim::prefetch {
+
+SmsPrefetcher::SmsPrefetcher(const SmsConfig &config)
+    : cfg(config),
+      patternWidth(static_cast<unsigned>(config.regionBytes /
+                                         config.granuleBytes)),
+      blocksPerGranule(static_cast<unsigned>(config.granuleBytes /
+                                             blockSizeBytes)),
+      agt(config.agtEntries),
+      pht(config.phtEntries)
+{
+    if (!std::has_single_bit(cfg.regionBytes) ||
+        !std::has_single_bit(cfg.granuleBytes) ||
+        !std::has_single_bit(cfg.phtEntries)) {
+        fatal("SMS sizes must be powers of two");
+    }
+    if (cfg.granuleBytes < blockSizeBytes)
+        fatal("SMS granule must be at least one cache block");
+    if (patternWidth > 64)
+        fatal("SMS patterns wider than 64 bits are not supported");
+}
+
+Addr
+SmsPrefetcher::regionOf(Addr vaddr) const
+{
+    return vaddr & ~static_cast<Addr>(cfg.regionBytes - 1);
+}
+
+unsigned
+SmsPrefetcher::granuleOf(Addr vaddr) const
+{
+    return static_cast<unsigned>((vaddr & (cfg.regionBytes - 1)) /
+                                 cfg.granuleBytes);
+}
+
+std::size_t
+SmsPrefetcher::phtIndex(Addr pc, unsigned granule) const
+{
+    // PC+offset indexing as in the SMS paper: patterns are keyed on the
+    // trigger instruction and its position within the region.
+    std::uint64_t key = ((pc >> 2) << 5) ^ granule;
+    key *= 0x9e3779b97f4a7c15ULL;
+    return (key >> 16) & (pht.size() - 1);
+}
+
+void
+SmsPrefetcher::endGeneration(const AgtEntry &entry)
+{
+    // Record only patterns with spatial correlation beyond the trigger.
+    if ((entry.pattern & ~(1ULL << entry.triggerGranule)) == 0)
+        return;
+    PhtEntry &slot = pht[phtIndex(entry.triggerPc, entry.triggerGranule)];
+    slot.pattern = entry.pattern;
+    slot.valid = true;
+}
+
+void
+SmsPrefetcher::observe(const DemandAccess &access, PrefetchQueue &queue)
+{
+    Addr region = regionOf(access.vaddr);
+    unsigned granule = granuleOf(access.vaddr);
+
+    // Accumulate into an active generation if one covers this region.
+    for (auto &entry : agt) {
+        if (entry.valid && entry.regionBase == region) {
+            entry.pattern |= (1ULL << granule);
+            entry.lruStamp = ++lruClock;
+            return;
+        }
+    }
+
+    // Trigger access: start a new generation, evicting the LRU entry
+    // (whose generation thereby ends and trains the PHT).
+    AgtEntry *victim = &agt[0];
+    for (auto &entry : agt) {
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lruStamp < victim->lruStamp)
+            victim = &entry;
+    }
+    if (victim->valid)
+        endGeneration(*victim);
+
+    victim->regionBase = region;
+    victim->triggerPc = access.pc;
+    victim->triggerGranule = granule;
+    victim->pattern = (1ULL << granule);
+    victim->lruStamp = ++lruClock;
+    victim->valid = true;
+
+    // Predict: if the PHT has a pattern for this (pc, granule) trigger,
+    // stream every recorded granule of the region around the trigger.
+    const PhtEntry &predicted = pht[phtIndex(access.pc, granule)];
+    if (!predicted.valid)
+        return;
+    Addr trigger_block = blockAlign(access.vaddr);
+    for (unsigned g = 0; g < patternWidth; ++g) {
+        if (!(predicted.pattern & (1ULL << g)))
+            continue;
+        Addr granule_base =
+            region + static_cast<Addr>(g) * cfg.granuleBytes;
+        for (unsigned b = 0; b < blocksPerGranule; ++b) {
+            Addr block = granule_base +
+                         static_cast<Addr>(b) * blockSizeBytes;
+            if (block == trigger_block)
+                continue;
+            queue.push(block, pcHash10(access.pc));
+        }
+    }
+}
+
+std::size_t
+SmsPrefetcher::storageBits() const
+{
+    // AGT entry: region tag (~26) + trigger PC (32) + granule index (5) +
+    // pattern (patternWidth) + valid (1).
+    std::size_t agt_bits =
+        agt.size() * (26 + 32 + 5 + patternWidth + 1);
+    // PHT entry (untagged): pattern + valid + spare control bit, the
+    // 18-bit entry Table I's 36KB budget implies.
+    std::size_t pht_bits = pht.size() * (patternWidth + 2);
+    return agt_bits + pht_bits;
+}
+
+} // namespace bfsim::prefetch

@@ -1,0 +1,84 @@
+#include "prefetch/stride.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace bfsim::prefetch {
+
+StridePrefetcher::StridePrefetcher(const StrideConfig &config)
+    : cfg(config), table(config.entries)
+{
+    if (!std::has_single_bit(cfg.entries))
+        fatal("stride RPT entries must be a power of two");
+}
+
+std::size_t
+StridePrefetcher::index(Addr pc) const
+{
+    return (pc >> 2) & (table.size() - 1);
+}
+
+void
+StridePrefetcher::observe(const DemandAccess &access, PrefetchQueue &queue)
+{
+    if (!access.isLoad)
+        return;
+
+    Entry &entry = table[index(access.pc)];
+    Addr tag = access.pc >> 2;
+
+    if (!entry.valid || entry.tag != tag) {
+        entry = Entry{};
+        entry.tag = tag;
+        entry.lastAddr = access.vaddr;
+        entry.valid = true;
+        entry.state = State::Initial;
+        return;
+    }
+
+    std::int64_t delta = static_cast<std::int64_t>(access.vaddr) -
+                         static_cast<std::int64_t>(entry.lastAddr);
+    bool matched = (delta == entry.stride) && delta != 0;
+
+    switch (entry.state) {
+      case State::Initial:
+        entry.state = matched ? State::Steady : State::Transient;
+        break;
+      case State::Transient:
+        entry.state = matched ? State::Steady : State::NoPred;
+        break;
+      case State::Steady:
+        if (!matched)
+            entry.state = State::Initial;
+        break;
+      case State::NoPred:
+        if (matched)
+            entry.state = State::Transient;
+        break;
+    }
+    if (!matched)
+        entry.stride = delta;
+    entry.lastAddr = access.vaddr;
+
+    // Classic RPT behaviour: train on every load, but launch the
+    // prefetch burst only when the demand stream actually misses —
+    // an all-hits steady phase keeps the prefetcher quiet.
+    if (entry.state == State::Steady && entry.stride != 0 &&
+        !access.l1Hit) {
+        for (unsigned i = 1; i <= cfg.degree; ++i) {
+            Addr target = access.vaddr +
+                static_cast<Addr>(entry.stride * static_cast<std::int64_t>(i));
+            queue.push(target, pcHash10(access.pc));
+        }
+    }
+}
+
+std::size_t
+StridePrefetcher::storageBits() const
+{
+    // tag(30) + lastAddr(32) + stride(16) + state(2) + valid(1)
+    return table.size() * (30 + 32 + 16 + 2 + 1);
+}
+
+} // namespace bfsim::prefetch

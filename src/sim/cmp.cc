@@ -1,0 +1,73 @@
+#include "sim/cmp.hh"
+
+#include "common/log.hh"
+
+namespace bfsim::sim {
+
+Cmp::Cmp(const std::vector<CoreConfig> &core_configs,
+         const std::vector<const isa::Program *> &programs,
+         const mem::HierarchyConfig &hierarchy_config)
+    : mem(hierarchy_config)
+{
+    if (core_configs.size() != programs.size())
+        fatal("core config count must match program count");
+    if (hierarchy_config.numCores != programs.size())
+        fatal("hierarchy core count must match program count");
+    for (std::size_t c = 0; c < programs.size(); ++c) {
+        cores.push_back(std::make_unique<OooCore>(
+            static_cast<unsigned>(c), core_configs[c], *programs[c],
+            mem));
+    }
+}
+
+CmpResult
+Cmp::run(std::uint64_t insts_per_core)
+{
+    const std::size_t n = cores.size();
+    CmpResult result;
+    result.cores.resize(n);
+    std::vector<bool> frozen(n, false);
+    std::size_t frozen_count = 0;
+
+    // Advance cores in 512-cycle windows so shared-resource timestamps
+    // (L3 occupancy, DRAM bus) interleave realistically.
+    constexpr Cycle window = 512;
+    Cycle horizon = window;
+
+    while (frozen_count < n) {
+        for (std::size_t c = 0; c < n; ++c) {
+            OooCore &core = *cores[c];
+            if (frozen[c] &&
+                core.retired() >= insts_per_core * contentionTailFactor)
+                continue;
+            while (core.fetchCycle() < horizon) {
+                if (!core.stepInstruction()) {
+                    // Program halted: freeze immediately.
+                    if (!frozen[c]) {
+                        result.cores[c] = core.stats();
+                        frozen[c] = true;
+                        ++frozen_count;
+                    }
+                    break;
+                }
+                if (!frozen[c] && core.retired() >= insts_per_core) {
+                    result.cores[c] = core.stats();
+                    frozen[c] = true;
+                    ++frozen_count;
+                }
+            }
+            if (core.halted() && !frozen[c]) {
+                result.cores[c] = core.stats();
+                frozen[c] = true;
+                ++frozen_count;
+            }
+        }
+        horizon += window;
+    }
+
+    for (std::size_t c = 0; c < n; ++c)
+        result.memStats.push_back(mem.stats(static_cast<unsigned>(c)));
+    return result;
+}
+
+} // namespace bfsim::sim

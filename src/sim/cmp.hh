@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Chip-multiprocessor container: N cores over a shared L3 and DRAM
+ * channel, advanced in bounded cycle windows so cross-core contention on
+ * the shared resources stays time-coherent.
+ *
+ * Following the paper's multiprogrammed methodology (V-A), each core's
+ * statistics are frozen when it retires its instruction target, but the
+ * core keeps executing (kernels loop indefinitely) so contention persists
+ * until every core has reached its target. To bound simulation work when
+ * per-core throughputs differ wildly (an 8-way mix can leave one core two
+ * orders of magnitude slower than the rest), a frozen core stops stepping
+ * once it has executed several times its target — by then the remaining
+ * cores' contention environment is fully established.
+ */
+
+#ifndef BFSIM_SIM_CMP_HH_
+#define BFSIM_SIM_CMP_HH_
+
+#include <memory>
+#include <vector>
+
+#include "mem/hierarchy.hh"
+#include "sim/ooo_core.hh"
+
+namespace bfsim::sim {
+
+/** Results of a CMP run. */
+struct CmpResult
+{
+    /** Per-core stats, frozen at each core's instruction target. */
+    std::vector<CoreStats> cores;
+    /** Per-core memory-system stats at end of run (incl. contention). */
+    std::vector<mem::CoreMemStats> memStats;
+};
+
+/** A CMP of homogeneous cores running one program each. */
+class Cmp
+{
+  public:
+    /**
+     * Construct with per-core configs and programs (sizes must match).
+     * The shared hierarchy is sized by `hierarchy_config`, whose
+     * numCores must equal programs.size().
+     */
+    Cmp(const std::vector<CoreConfig> &core_configs,
+        const std::vector<const isa::Program *> &programs,
+        const mem::HierarchyConfig &hierarchy_config);
+
+    /**
+     * Run until every core has retired `insts_per_core` instructions
+     * (or halted), freezing each core's stats at its crossing.
+     */
+    CmpResult run(std::uint64_t insts_per_core);
+
+    /** Access a core (e.g. for its B-Fetch engine). */
+    const OooCore &core(unsigned index) const { return *cores.at(index); }
+
+    /** The shared hierarchy. */
+    const mem::Hierarchy &hierarchy() const { return mem; }
+
+  private:
+    /** Frozen cores stop stepping past this multiple of the target. */
+    static constexpr std::uint64_t contentionTailFactor = 8;
+
+    mem::Hierarchy mem;
+    std::vector<std::unique_ptr<OooCore>> cores;
+};
+
+} // namespace bfsim::sim
+
+#endif // BFSIM_SIM_CMP_HH_

@@ -1,0 +1,131 @@
+#include "sim/executor.hh"
+
+#include "common/log.hh"
+
+namespace bfsim::sim {
+
+using isa::Opcode;
+
+Executor::Executor(const isa::Program &program) : prog(program)
+{
+    if (prog.empty())
+        fatal("cannot execute an empty program");
+    for (const auto &[addr, value] : prog.initialImage())
+        dataMemory.write64(addr, value);
+}
+
+void
+Executor::writeReg(RegIndex index, RegVal value)
+{
+    // r0 is hard-wired to zero, as in most RISC ISAs; kernels rely on it
+    // as a constant-zero source.
+    if (index != 0)
+        registers[index] = value;
+}
+
+bool
+Executor::step(DynOp &op)
+{
+    if (isHalted)
+        return false;
+
+    const isa::Instruction &inst = prog.at(pcIndex);
+    op = DynOp{};
+    op.pcIndex = pcIndex;
+    op.pc = isa::instAddr(pcIndex);
+    op.inst = &inst;
+    op.seq = ++seqCounter;
+
+    std::uint32_t next_pc = pcIndex + 1;
+    RegVal a = registers[inst.rs1];
+    RegVal b = registers[inst.rs2];
+    auto sa = static_cast<std::int64_t>(a);
+    auto sb = static_cast<std::int64_t>(b);
+
+    switch (inst.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Load:
+        op.effAddr = a + static_cast<Addr>(inst.imm);
+        op.result = dataMemory.read64(op.effAddr);
+        op.writesReg = true;
+        break;
+      case Opcode::Store:
+        op.effAddr = a + static_cast<Addr>(inst.imm);
+        dataMemory.write64(op.effAddr, b);
+        break;
+      case Opcode::Add:
+        op.result = a + b; op.writesReg = true; break;
+      case Opcode::Sub:
+        op.result = a - b; op.writesReg = true; break;
+      case Opcode::Mul:
+        op.result = a * b; op.writesReg = true; break;
+      case Opcode::And:
+        op.result = a & b; op.writesReg = true; break;
+      case Opcode::Or:
+        op.result = a | b; op.writesReg = true; break;
+      case Opcode::Xor:
+        op.result = a ^ b; op.writesReg = true; break;
+      case Opcode::Sll:
+        op.result = a << (b & 63); op.writesReg = true; break;
+      case Opcode::Srl:
+        op.result = a >> (b & 63); op.writesReg = true; break;
+      case Opcode::CmpLt:
+        op.result = sa < sb ? 1 : 0; op.writesReg = true; break;
+      case Opcode::CmpEq:
+        op.result = a == b ? 1 : 0; op.writesReg = true; break;
+      case Opcode::AddI:
+        op.result = a + static_cast<RegVal>(inst.imm);
+        op.writesReg = true; break;
+      case Opcode::AndI:
+        op.result = a & static_cast<RegVal>(inst.imm);
+        op.writesReg = true; break;
+      case Opcode::OrI:
+        op.result = a | static_cast<RegVal>(inst.imm);
+        op.writesReg = true; break;
+      case Opcode::XorI:
+        op.result = a ^ static_cast<RegVal>(inst.imm);
+        op.writesReg = true; break;
+      case Opcode::SllI:
+        op.result = a << (inst.imm & 63); op.writesReg = true; break;
+      case Opcode::SrlI:
+        op.result = a >> (inst.imm & 63); op.writesReg = true; break;
+      case Opcode::CmpLtI:
+        op.result = sa < inst.imm ? 1 : 0; op.writesReg = true; break;
+      case Opcode::CmpEqI:
+        op.result = a == static_cast<RegVal>(inst.imm) ? 1 : 0;
+        op.writesReg = true; break;
+      case Opcode::MovI:
+        op.result = static_cast<RegVal>(inst.imm);
+        op.writesReg = true; break;
+      case Opcode::FAdd:
+        op.result = a + b; op.writesReg = true; break;
+      case Opcode::FMul:
+        op.result = a * b; op.writesReg = true; break;
+      case Opcode::Beq:
+        op.taken = (a == b); break;
+      case Opcode::Bne:
+        op.taken = (a != b); break;
+      case Opcode::Blt:
+        op.taken = (sa < sb); break;
+      case Opcode::Bge:
+        op.taken = (sa >= sb); break;
+      case Opcode::Jmp:
+        op.taken = true; break;
+      case Opcode::Halt:
+        isHalted = true;
+        return false;
+    }
+
+    if (op.writesReg)
+        writeReg(inst.rd, op.result);
+
+    if (inst.isControl() && op.taken)
+        next_pc = inst.target;
+    op.targetPc = isa::instAddr(next_pc);
+
+    pcIndex = next_pc;
+    return true;
+}
+
+} // namespace bfsim::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Functional executor for the micro-ISA.
+ *
+ * The timing model is execute-at-fetch: the executor produces the
+ * dynamic instruction stream (with resolved branch outcomes, effective
+ * addresses and result values) which the out-of-order timing model then
+ * walks to account cycles. This is the standard fast-simulation split;
+ * B-Fetch sees only the interfaces real hardware would (decoded branch
+ * PCs, execute-stage values, commit-order updates).
+ */
+
+#ifndef BFSIM_SIM_EXECUTOR_HH_
+#define BFSIM_SIM_EXECUTOR_HH_
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+#include "isa/program.hh"
+#include "sim/memory.hh"
+
+namespace bfsim::sim {
+
+/** One executed dynamic instruction. */
+struct DynOp
+{
+    std::uint32_t pcIndex = 0;   ///< static instruction index
+    Addr pc = 0;                 ///< instruction byte address
+    const isa::Instruction *inst = nullptr;
+    InstSeqNum seq = 0;          ///< dynamic sequence number
+
+    // Control flow.
+    bool taken = false;          ///< conditional taken / jump always
+    Addr targetPc = 0;           ///< byte address control transfers to
+
+    // Memory.
+    Addr effAddr = 0;            ///< effective address of load/store
+
+    // Register writeback.
+    bool writesReg = false;
+    RegVal result = 0;
+};
+
+/** Architectural state + stepper. */
+class Executor
+{
+  public:
+    /** Construct over a program; loads its initial data image. */
+    explicit Executor(const isa::Program &program);
+
+    /**
+     * Execute one instruction.
+     * @return false when the program has halted (op remains valid for
+     *         the Halt instruction itself).
+     */
+    bool step(DynOp &op);
+
+    /** True once a Halt has been executed. */
+    bool halted() const { return isHalted; }
+
+    /** Current architectural register value (r0 reads as zero). */
+    RegVal reg(RegIndex index) const { return registers[index]; }
+
+    /** Functional memory. */
+    Memory &memory() { return dataMemory; }
+    const Memory &memory() const { return dataMemory; }
+
+    /** Dynamic instructions executed so far. */
+    InstSeqNum executed() const { return seqCounter; }
+
+    /** Current program counter (instruction index). */
+    std::uint32_t pc() const { return pcIndex; }
+
+  private:
+    void writeReg(RegIndex index, RegVal value);
+
+    const isa::Program &prog;
+    Memory dataMemory;
+    std::array<RegVal, numArchRegs> registers{};
+    std::uint32_t pcIndex = 0;
+    InstSeqNum seqCounter = 0;
+    bool isHalted = false;
+};
+
+} // namespace bfsim::sim
+
+#endif // BFSIM_SIM_EXECUTOR_HH_

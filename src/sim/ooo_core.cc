@@ -1,0 +1,353 @@
+#include "sim/ooo_core.hh"
+
+#include "common/log.hh"
+#include "prefetch/next_n_line.hh"
+#include "prefetch/sms.hh"
+#include "prefetch/stride.hh"
+
+namespace bfsim::sim {
+
+std::string
+prefetcherName(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None: return "None";
+      case PrefetcherKind::NextN: return "NextN";
+      case PrefetcherKind::Stride: return "Stride";
+      case PrefetcherKind::Sms: return "SMS";
+      case PrefetcherKind::BFetch: return "Bfetch";
+      case PrefetcherKind::Perfect: return "Perfect";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Size of the sparse per-cycle bandwidth rings. */
+constexpr std::size_t ringSize = 1 << 14;
+
+} // namespace
+
+OooCore::OooCore(unsigned core_id, const CoreConfig &config,
+                 const isa::Program &program, mem::Hierarchy &hierarchy)
+    : coreId(core_id),
+      cfg(config),
+      executor(program),
+      mem(hierarchy),
+      bp(branch::makeTournamentPredictor(config.bpSizeScale)),
+      queue(100),
+      robCommitCycle(config.robSize, 0),
+      lqCommitCycle(config.lqSize, 0),
+      sqCommitCycle(config.sqSize, 0),
+      issueRing(ringSize, {0, 0}),
+      loadRing(ringSize, {0, 0}),
+      commitRing(ringSize, {0, 0})
+{
+    switch (cfg.prefetcher) {
+      case PrefetcherKind::NextN:
+        pfEngine = std::make_unique<prefetch::NextNLinePrefetcher>();
+        break;
+      case PrefetcherKind::Stride:
+        pfEngine = std::make_unique<prefetch::StridePrefetcher>();
+        break;
+      case PrefetcherKind::Sms:
+        pfEngine = std::make_unique<prefetch::SmsPrefetcher>();
+        break;
+      case PrefetcherKind::BFetch:
+        bfetch = std::make_unique<core::BFetchEngine>(cfg.bfetch, *bp,
+                                                      queue);
+        mem.setPrefetchFeedback(
+            coreId, [this](std::uint16_t hash, bool useful) {
+                bfetch->onPrefetchFeedback(hash, useful);
+            });
+        break;
+      case PrefetcherKind::None:
+      case PrefetcherKind::Perfect:
+        break;
+    }
+}
+
+OooCore::~OooCore() = default;
+
+Cycle
+OooCore::allocateSlot(std::vector<std::pair<Cycle, std::uint8_t>> &ring,
+                      Cycle from, unsigned limit)
+{
+    Cycle cycle = from;
+    for (;;) {
+        auto &slot = ring[cycle & (ringSize - 1)];
+        if (slot.first != cycle) {
+            slot.first = cycle;
+            slot.second = 1;
+            return cycle;
+        }
+        if (slot.second < limit) {
+            ++slot.second;
+            return cycle;
+        }
+        ++cycle;
+    }
+}
+
+Cycle
+OooCore::fetchOne(bool is_control, bool predicted_taken)
+{
+    Cycle f = fetchCursor;
+    if (f < fetchStallUntil) {
+        f = fetchStallUntil;
+        fetchedThisCycle = 0;
+        branchesThisCycle = 0;
+        breakFetchAfter = false;
+    }
+
+    // ROB occupancy: the slot this instruction will take must have been
+    // committed by its previous occupant.
+    Cycle rob_free = robCommitCycle[instCount % cfg.robSize];
+    if (f < rob_free) {
+        f = rob_free;
+        fetchedThisCycle = 0;
+        branchesThisCycle = 0;
+        breakFetchAfter = false;
+    }
+
+    if (f != fetchCursor) {
+        // Close the Fig. 7 accounting for the cycle we left.
+        if (branchesThisCycle > 0) {
+            ++branchFetchCycles;
+            std::size_t bucket =
+                branchesThisCycle > 4 ? 4 : branchesThisCycle;
+            ++branchesPerCycleHist[bucket];
+        }
+        fetchCursor = f;
+        fetchedThisCycle = 0;
+        branchesThisCycle = 0;
+        breakFetchAfter = false;
+    }
+
+    if (fetchedThisCycle >= cfg.width || breakFetchAfter) {
+        if (branchesThisCycle > 0) {
+            ++branchFetchCycles;
+            std::size_t bucket =
+                branchesThisCycle > 4 ? 4 : branchesThisCycle;
+            ++branchesPerCycleHist[bucket];
+        }
+        ++fetchCursor;
+        f = fetchCursor;
+        fetchedThisCycle = 0;
+        branchesThisCycle = 0;
+        breakFetchAfter = false;
+    }
+
+    ++fetchedThisCycle;
+    if (is_control) {
+        ++branchesThisCycle;
+        if (predicted_taken)
+            breakFetchAfter = true;
+    }
+    return f;
+}
+
+void
+OooCore::drainPrefetches(Cycle now)
+{
+    if (now > pfLastDrain) {
+        pfBudget += static_cast<double>(now - pfLastDrain) *
+                    cfg.pfIssuePerCycle;
+        pfLastDrain = now;
+        // A long stall must not bank an unbounded burst.
+        if (pfBudget > 4.0 * cfg.pfIssuePerCycle)
+            pfBudget = 4.0 * cfg.pfIssuePerCycle;
+    }
+    while (pfBudget >= 1.0 && !queue.empty()) {
+        prefetch::PrefetchCandidate candidate = queue.pop();
+        // Tag probes for already-present blocks are cheap and do not
+        // consume an L1 fill slot.
+        if (mem.prefetch(coreId, candidate.blockAddr, now,
+                         candidate.loadPcHash) ==
+            mem::PrefetchResult::Issued) {
+            pfBudget -= 1.0;
+        }
+    }
+}
+
+bool
+OooCore::stepInstruction()
+{
+    DynOp op;
+    if (!executor.step(op))
+        return false;
+
+    const isa::Instruction &inst = *op.inst;
+    bool is_control = inst.isControl();
+    bool is_cond = inst.isCondBranch();
+
+    // ---------------- fetch + branch prediction ----------------
+    bool predicted_taken = op.taken;
+    bool mispredicted = false;
+    if (is_cond) {
+        predicted_taken = bp->predict(op.pc);
+        mispredicted = (predicted_taken != op.taken);
+        ++condBranchCount;
+        if (mispredicted)
+            ++mispredictCount;
+    }
+    bool fetch_break = is_control && (is_cond ? predicted_taken : true);
+    Cycle f = fetchOne(is_control, fetch_break);
+    Cycle decode = f + cfg.decodeDepth;
+
+    // ---------------- dispatch / issue ----------------
+    Cycle ready = decode + 1;
+    // Source dependences (renaming assumed: true deps only).
+    switch (inst.op) {
+      case isa::Opcode::Nop:
+      case isa::Opcode::Halt:
+      case isa::Opcode::MovI:
+      case isa::Opcode::Jmp:
+        break;
+      case isa::Opcode::Load:
+        ready = std::max(ready, regReady[inst.rs1]);
+        break;
+      default:
+        ready = std::max(ready, regReady[inst.rs1]);
+        if (!inst.isMemory() && inst.op != isa::Opcode::AddI &&
+            inst.op != isa::Opcode::AndI &&
+            inst.op != isa::Opcode::OrI &&
+            inst.op != isa::Opcode::XorI &&
+            inst.op != isa::Opcode::SllI &&
+            inst.op != isa::Opcode::SrlI &&
+            inst.op != isa::Opcode::CmpLtI &&
+            inst.op != isa::Opcode::CmpEqI) {
+            ready = std::max(ready, regReady[inst.rs2]);
+        }
+        if (inst.isStore())
+            ready = std::max(ready, regReady[inst.rs2]);
+        break;
+    }
+
+    // Load/store queue occupancy: the LSQ slot this instruction takes
+    // must have been freed (committed) by its previous occupant. This is
+    // what bounds memory-level parallelism on a real O3 core.
+    if (inst.isLoad())
+        ready = std::max(ready, lqCommitCycle[loadCount % cfg.lqSize]);
+    else if (inst.isStore())
+        ready = std::max(ready, sqCommitCycle[storeCount % cfg.sqSize]);
+
+    Cycle issue = allocateSlot(issueRing, ready, cfg.width);
+    if (inst.isMemory())
+        issue = allocateSlot(loadRing, issue, cfg.loadPorts);
+
+    // ---------------- execute ----------------
+    Cycle done;
+    if (inst.isLoad()) {
+        if (cfg.prefetcher == PrefetcherKind::Perfect) {
+            done = issue + mem.config().l1d.hitLatency;
+        } else {
+            mem::AccessOutcome outcome =
+                mem.access(coreId, op.effAddr, false, issue);
+            done = issue + outcome.latency;
+            if (pfEngine) {
+                prefetch::DemandAccess access{op.pc, op.effAddr, true,
+                                              outcome.l1Hit, issue};
+                pfEngine->observe(access, queue);
+            }
+        }
+    } else if (inst.isStore()) {
+        if (cfg.prefetcher != PrefetcherKind::Perfect) {
+            mem::AccessOutcome outcome =
+                mem.access(coreId, op.effAddr, true, issue);
+            if (pfEngine) {
+                prefetch::DemandAccess access{op.pc, op.effAddr, false,
+                                              outcome.l1Hit, issue};
+                pfEngine->observe(access, queue);
+            }
+        }
+        // Stores drain through the store buffer off the critical path.
+        done = issue + 1;
+    } else {
+        done = issue + inst.executeLatency();
+    }
+
+    if (op.writesReg) {
+        regReady[inst.rd] = done;
+        if (bfetch && !cfg.bfetch.arfFromCommitOnly)
+            bfetch->onRegWrite(inst.rd, op.result, op.seq, done);
+    }
+
+    // Branch resolution: a mispredicted branch redirects fetch after it
+    // executes.
+    if (is_cond && mispredicted)
+        fetchStallUntil = done + cfg.redirectPenalty;
+
+    // B-Fetch decode hook: every decoded control instruction seeds a
+    // lookahead walk with the frontend's prediction for it.
+    if (is_control && bfetch) {
+        Addr predicted_target;
+        bool eff_taken = is_cond ? predicted_taken : true;
+        if (eff_taken)
+            predicted_target = isa::instAddr(inst.target);
+        else
+            predicted_target = op.pc + 4;
+        bfetch->onDecodeBranch(op.pc, eff_taken, predicted_target,
+                               is_cond, decode);
+    }
+
+    // ---------------- commit (in order, width per cycle) ----------------
+    Cycle commit_ready = std::max(done + 1, lastCommitCycle);
+    Cycle commit = allocateSlot(commitRing, commit_ready, cfg.width);
+    lastCommitCycle = commit;
+    robCommitCycle[instCount % cfg.robSize] = commit;
+    if (inst.isLoad())
+        lqCommitCycle[loadCount++ % cfg.lqSize] = commit;
+    else if (inst.isStore())
+        sqCommitCycle[storeCount++ % cfg.sqSize] = commit;
+
+    if (bfetch && is_control) {
+        // Order matters: confidence training must see the same global
+        // history the prediction (and lookahead estimates) used, i.e.
+        // before this branch shifts it.
+        bfetch->onCommitBranch(op.pc, op.taken,
+                               isa::instAddr(inst.target), is_cond,
+                               !mispredicted);
+    }
+    if (is_cond)
+        bp->update(op.pc, op.taken);
+    if (bfetch) {
+        if (inst.isMemory())
+            bfetch->onCommitMem(op.pc, inst.rs1, op.effAddr,
+                                inst.isLoad());
+        if (op.writesReg) {
+            bfetch->onCommitRegWrite(inst.rd, op.result);
+            if (cfg.bfetch.arfFromCommitOnly)
+                bfetch->onRegWrite(inst.rd, op.result, op.seq, commit);
+        }
+    }
+
+    ++instCount;
+
+    drainPrefetches(fetchCursor);
+    return true;
+}
+
+CoreStats
+OooCore::stats() const
+{
+    CoreStats s;
+    s.instructions = instCount;
+    s.cycles = lastCommitCycle ? lastCommitCycle : 1;
+    s.ipc = static_cast<double>(instCount) /
+            static_cast<double>(s.cycles);
+    s.condBranches = condBranchCount;
+    s.mispredicts = mispredictCount;
+    s.branchMissRate =
+        condBranchCount
+            ? static_cast<double>(mispredictCount) /
+                  static_cast<double>(condBranchCount)
+            : 0.0;
+    s.loads = loadCount;
+    s.stores = storeCount;
+    s.branchesPerFetchCycle = branchesPerCycleHist;
+    s.fetchCyclesWithBranch = branchFetchCycles;
+    return s;
+}
+
+} // namespace bfsim::sim

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Cycle-level out-of-order core timing model.
+ *
+ * A one-pass execute-at-fetch model of the paper's baseline core
+ * (Table II: 4-wide out-of-order, 192-entry ROB, tournament branch
+ * predictor):
+ *
+ *  - Fetch: `width` instructions per cycle, at most one taken branch per
+ *    cycle, stalled by ROB occupancy and branch-misprediction redirects.
+ *  - Issue: dataflow-limited; an instruction issues at the first cycle
+ *    with a free issue slot (and load port, for memory ops) after its
+ *    source registers become ready. Register renaming is assumed, so
+ *    only true dependences constrain scheduling.
+ *  - Loads access the modeled cache hierarchy; MSHR merging and
+ *    in-flight fills are handled by the hierarchy's ready-time
+ *    discipline. Stores retire through a store buffer without stalling.
+ *  - Commit: in order, `width` per cycle.
+ *
+ * Branch predictor state is trained at commit; because the model is
+ * one-pass, wrong-path fetch is not replayed — the misprediction cost is
+ * modeled as a fetch stall until the branch's execute completion plus a
+ * frontend redirect penalty (a standard approximation).
+ *
+ * Prefetcher integration: demand-trained prefetchers observe every L1-D
+ * access; B-Fetch is driven by its decode/execute/commit hooks. Both
+ * share the prefetch queue, drained at a fixed rate into the L1-D.
+ */
+
+#ifndef BFSIM_SIM_OOO_CORE_HH_
+#define BFSIM_SIM_OOO_CORE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/bfetch.hh"
+#include "core/config.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/prefetcher.hh"
+#include "prefetch/queue.hh"
+#include "sim/executor.hh"
+
+namespace bfsim::sim {
+
+/** Prefetching scheme attached to a core. */
+enum class PrefetcherKind
+{
+    None,    ///< baseline, no prefetching
+    NextN,   ///< sequential next-n-lines
+    Stride,  ///< Chen & Baer RPT, degree 8
+    Sms,     ///< Spatial Memory Streaming
+    BFetch,  ///< the paper's contribution
+    Perfect, ///< oracle: every data access is an L1 hit (Fig. 1)
+};
+
+/** Human-readable name matching the paper's figure legends. */
+std::string prefetcherName(PrefetcherKind kind);
+
+/** Core configuration (defaults per Table II). */
+struct CoreConfig
+{
+    unsigned width = 4;          ///< fetch/issue/commit width
+    unsigned robSize = 192;      ///< reorder buffer entries
+    unsigned lqSize = 32;        ///< load-queue entries
+    unsigned sqSize = 32;        ///< store-queue entries
+    Cycle decodeDepth = 3;       ///< fetch-to-dispatch latency
+    Cycle redirectPenalty = 3;   ///< post-resolution frontend refill
+    unsigned loadPorts = 2;      ///< L1-D ports
+    unsigned pfIssuePerCycle = 2;///< prefetch-queue drain rate
+    double bpSizeScale = 1.0;    ///< tournament predictor scale (Fig. 13)
+    PrefetcherKind prefetcher = PrefetcherKind::None;
+    core::BFetchConfig bfetch{}; ///< B-Fetch knobs (Figs. 12, 15)
+};
+
+/** End-of-run results for one core. */
+struct CoreStats
+{
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+    double ipc = 0.0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t mispredicts = 0;
+    double branchMissRate = 0.0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    /** Fetch-cycle branch-count distribution (Fig. 7): index 1..4. */
+    std::array<std::uint64_t, 5> branchesPerFetchCycle{};
+    std::uint64_t fetchCyclesWithBranch = 0;
+};
+
+/** One simulated core: functional executor + timing model + prefetcher. */
+class OooCore
+{
+  public:
+    /**
+     * Construct core `core_id` over a shared hierarchy, executing
+     * `program`.
+     */
+    OooCore(unsigned core_id, const CoreConfig &config,
+            const isa::Program &program, mem::Hierarchy &hierarchy);
+
+    ~OooCore();
+
+    OooCore(const OooCore &) = delete;
+    OooCore &operator=(const OooCore &) = delete;
+
+    /**
+     * Advance by one dynamic instruction.
+     * @return false when the program halted.
+     */
+    bool stepInstruction();
+
+    /** Current head-of-fetch cycle (CMP interleaving clock). */
+    Cycle fetchCycle() const { return fetchCursor; }
+
+    /** Instructions retired so far. */
+    std::uint64_t retired() const { return instCount; }
+
+    /** Snapshot of results as of now. */
+    CoreStats stats() const;
+
+    /** The core's B-Fetch engine (nullptr unless kind == BFetch). */
+    const core::BFetchEngine *bfetchEngine() const
+    {
+        return bfetch.get();
+    }
+
+    /** The core's branch predictor (tests / Fig. 13 reporting). */
+    const branch::DirectionPredictor &predictor() const { return *bp; }
+
+    /** The prefetch queue (occupancy stats). */
+    const prefetch::PrefetchQueue &prefetchQueue() const { return queue; }
+
+    /** The demand-trained prefetcher, if any. */
+    const prefetch::Prefetcher *demandPrefetcher() const
+    {
+        return pfEngine.get();
+    }
+
+    /** True once the program has executed Halt. */
+    bool halted() const { return executor.halted(); }
+
+  private:
+    /** First cycle >= `from` with a free slot in a banded-count ring. */
+    Cycle allocateSlot(std::vector<std::pair<Cycle, std::uint8_t>> &ring,
+                       Cycle from, unsigned limit);
+
+    /** Account a fetched instruction; returns its fetch cycle. */
+    Cycle fetchOne(bool is_control, bool predicted_taken);
+
+    /** Drain the prefetch queue into the hierarchy up to `now`. */
+    void drainPrefetches(Cycle now);
+
+    unsigned coreId;
+    CoreConfig cfg;
+    Executor executor;
+    mem::Hierarchy &mem;
+
+    std::unique_ptr<branch::DirectionPredictor> bp;
+    prefetch::PrefetchQueue queue;
+    std::unique_ptr<prefetch::Prefetcher> pfEngine;
+    std::unique_ptr<core::BFetchEngine> bfetch;
+
+    // ---- timing state ----
+    Cycle fetchCursor = 0;          ///< cycle being filled by fetch
+    unsigned fetchedThisCycle = 0;  ///< instructions in fetchCursor
+    unsigned branchesThisCycle = 0; ///< control insts in fetchCursor
+    Cycle fetchStallUntil = 0;      ///< redirect stall
+    bool breakFetchAfter = false;   ///< taken branch ends the group
+
+    std::array<Cycle, numArchRegs> regReady{};
+    std::vector<Cycle> robCommitCycle; ///< ring: commit cycle per slot
+    std::vector<Cycle> lqCommitCycle;  ///< ring: load-queue slot frees
+    std::vector<Cycle> sqCommitCycle;  ///< ring: store-queue slot frees
+    Cycle lastCommitCycle = 0;
+
+    /** Per-cycle issued / load / commit counts (sparse rings). */
+    std::vector<std::pair<Cycle, std::uint8_t>> issueRing;
+    std::vector<std::pair<Cycle, std::uint8_t>> loadRing;
+    std::vector<std::pair<Cycle, std::uint8_t>> commitRing;
+
+    double pfBudget = 0.0;
+    Cycle pfLastDrain = 0;
+
+    // ---- statistics ----
+    std::uint64_t instCount = 0;
+    std::uint64_t condBranchCount = 0;
+    std::uint64_t mispredictCount = 0;
+    std::uint64_t loadCount = 0;
+    std::uint64_t storeCount = 0;
+    std::array<std::uint64_t, 5> branchesPerCycleHist{};
+    std::uint64_t branchFetchCycles = 0;
+};
+
+} // namespace bfsim::sim
+
+#endif // BFSIM_SIM_OOO_CORE_HH_

@@ -1,0 +1,113 @@
+#include "sim/profiler.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/executor.hh"
+
+namespace bfsim::sim {
+
+namespace {
+
+/** Absolute delta between two values, in cache blocks. */
+std::uint64_t
+absBlockDelta(std::uint64_t a, std::uint64_t b)
+{
+    std::int64_t delta = blockDelta(a, b);
+    return static_cast<std::uint64_t>(delta < 0 ? -delta : delta);
+}
+
+} // namespace
+
+constexpr std::array<unsigned, 3> VariationProfile::depths;
+
+ProfileResult
+profileRegisterVariation(const isa::Program &program,
+                         std::uint64_t max_insts)
+{
+    ProfileResult result;
+    Executor executor(program);
+
+    // Ring of register snapshots taken at basic-block entries.
+    constexpr unsigned maxDepth = 12;
+    constexpr unsigned ringSize = 16;
+    std::array<std::array<RegVal, numArchRegs>, ringSize> snapshots{};
+    std::uint64_t bbIndex = 0;
+
+    // Base registers of the loads executed in the current basic block.
+    std::vector<RegIndex> baseRegsThisBlock;
+
+    // Per static load: recent (bbIndex, effective address) executions.
+    struct LoadHistory
+    {
+        std::deque<std::pair<std::uint64_t, Addr>> recent;
+    };
+    std::unordered_map<std::uint32_t, LoadHistory> loadHistories;
+
+    DynOp op;
+    while (result.instructions < max_insts && executor.step(op)) {
+        ++result.instructions;
+        const isa::Instruction &inst = *op.inst;
+
+        if (inst.isLoad()) {
+            baseRegsThisBlock.push_back(inst.rs1);
+
+            // Fig. 3b: EA deltas across executions of this static load.
+            LoadHistory &history = loadHistories[op.pcIndex];
+            for (std::size_t d = 0; d < VariationProfile::depths.size();
+                 ++d) {
+                unsigned depth = VariationProfile::depths[d];
+                if (bbIndex < depth)
+                    continue;
+                std::uint64_t target_bb = bbIndex - depth;
+                // Most recent execution at least `depth` blocks back.
+                const std::pair<std::uint64_t, Addr> *best = nullptr;
+                for (const auto &entry : history.recent) {
+                    if (entry.first <= target_bb &&
+                        (!best || entry.first > best->first)) {
+                        best = &entry;
+                    }
+                }
+                if (best) {
+                    result.eaDelta.byDepth[d].sample(
+                        absBlockDelta(op.effAddr, best->second));
+                }
+            }
+            history.recent.emplace_back(bbIndex, op.effAddr);
+            if (history.recent.size() > 64)
+                history.recent.pop_front();
+        }
+
+        if (inst.isControl()) {
+            // Basic-block boundary: sample Fig. 3a for the block's load
+            // base registers, then snapshot the register file.
+            for (std::size_t d = 0; d < VariationProfile::depths.size();
+                 ++d) {
+                unsigned depth = VariationProfile::depths[d];
+                // snapshots[j] holds the state after basic block j-1,
+                // so the state `depth` blocks ago is at index
+                // bbIndex - depth + 1 (valid once that snapshot exists).
+                if (bbIndex < depth)
+                    continue;
+                const auto &old_snapshot =
+                    snapshots[(bbIndex - depth + 1) % ringSize];
+                for (RegIndex r : baseRegsThisBlock) {
+                    result.registerDelta.byDepth[d].sample(absBlockDelta(
+                        executor.reg(r), old_snapshot[r]));
+                }
+            }
+            baseRegsThisBlock.clear();
+
+            ++bbIndex;
+            auto &snapshot = snapshots[bbIndex % ringSize];
+            for (int r = 0; r < numArchRegs; ++r)
+                snapshot[r] = executor.reg(static_cast<RegIndex>(r));
+            ++result.basicBlocks;
+        }
+    }
+    (void)maxDepth;
+    return result;
+}
+
+} // namespace bfsim::sim

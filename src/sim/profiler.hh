@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Register / effective-address variation profiler for Fig. 3.
+ *
+ * Fig. 3a samples how much the contents of load base registers drift
+ * over windows of 1, 3 and 12 executed basic blocks; Fig. 3b samples how
+ * much the effective addresses produced by the *same static load* drift
+ * across executions that many basic blocks apart. Both are expressed at
+ * cache-block (64B) granularity and plotted as CDFs; the paper's point
+ * is that register contents are far more stable than per-load effective
+ * addresses, which is what makes register-anchored address speculation
+ * (B-Fetch) more accurate than EA-history schemes (stride/Tango).
+ */
+
+#ifndef BFSIM_SIM_PROFILER_HH_
+#define BFSIM_SIM_PROFILER_HH_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace bfsim::sim {
+
+/** CDF data for one variation source at the three BB depths. */
+struct VariationProfile
+{
+    /** Depths profiled, matching the paper's curves. */
+    static constexpr std::array<unsigned, 3> depths{1, 3, 12};
+
+    /**
+     * Histograms of |delta| in cache blocks; bucket 32 aggregates the
+     * figure's "all >= 33" tail via Histogram::overflow().
+     */
+    std::array<Histogram, 3> byDepth{Histogram(33), Histogram(33),
+                                     Histogram(33)};
+};
+
+/** Result of profiling one program. */
+struct ProfileResult
+{
+    VariationProfile registerDelta; ///< Fig. 3a
+    VariationProfile eaDelta;       ///< Fig. 3b
+    std::uint64_t basicBlocks = 0;
+    std::uint64_t instructions = 0;
+};
+
+/**
+ * Run a program functionally for up to `max_insts` instructions and
+ * collect the Fig. 3 variation distributions.
+ */
+ProfileResult profileRegisterVariation(const isa::Program &program,
+                                       std::uint64_t max_insts);
+
+} // namespace bfsim::sim
+
+#endif // BFSIM_SIM_PROFILER_HH_

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Internal declarations of the per-benchmark kernel builders plus the
+ * small shared helpers they use. Not part of the public API; consumers
+ * use workloads/workload.hh.
+ */
+
+#ifndef BFSIM_WORKLOADS_KERNELS_HH_
+#define BFSIM_WORKLOADS_KERNELS_HH_
+
+#include "isa/assembler.hh"
+#include "workloads/workload.hh"
+
+namespace bfsim::workloads::kernels {
+
+/** Data-segment base addresses shared by all kernels. */
+constexpr Addr segA = 0x10000000;
+constexpr Addr segB = 0x20000000;
+constexpr Addr segC = 0x30000000;
+constexpr Addr segD = 0x40000000;
+
+/**
+ * Emit one 64-bit LCG step: state = state * mul_const + add_const.
+ * `mul_const` / `add_const` must already hold the MMIX constants.
+ */
+inline void
+emitLcg(isa::Assembler &as, RegIndex state, RegIndex mul_const,
+        RegIndex add_const)
+{
+    as.mul(state, state, mul_const);
+    as.add(state, state, add_const);
+}
+
+/** Load the MMIX LCG constants into two registers. */
+inline void
+emitLcgConstants(isa::Assembler &as, RegIndex mul_const,
+                 RegIndex add_const)
+{
+    as.movi(mul_const,
+            static_cast<std::int64_t>(6364136223846793005ULL));
+    as.movi(add_const,
+            static_cast<std::int64_t>(1442695040888963407ULL));
+}
+
+// One builder per paper benchmark (alphabetical, as in Fig. 8).
+Workload makeAstar();
+Workload makeBwaves();
+Workload makeBzip2();
+Workload makeCactusADM();
+Workload makeCalculix();
+Workload makeGamess();
+Workload makeGromacs();
+Workload makeH264ref();
+Workload makeHmmer();
+Workload makeLbm();
+Workload makeLeslie3d();
+Workload makeLibquantum();
+Workload makeMcf();
+Workload makeMilc();
+Workload makeSjeng();
+Workload makeSoplex();
+Workload makeSphinx();
+Workload makeZeusmp();
+
+} // namespace bfsim::workloads::kernels
+
+#endif // BFSIM_WORKLOADS_KERNELS_HH_

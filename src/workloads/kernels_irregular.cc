@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Irregular-access kernels: astar, gromacs, h264ref, mcf, milc, sjeng,
+ * soplex. These stress the accuracy side of prefetching — pointer
+ * chasing, gathers, hash probes and spatial-region clustering — and
+ * reproduce the paper's hard cases (mcf/sjeng: little gain for anyone;
+ * milc: the SMS-favourable corner case; h264ref: spatial locality).
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bfsim::workloads::kernels {
+
+using namespace bfsim::isa;
+
+/**
+ * mcf analog: network-simplex arc scan — pointer chase through a
+ * permutation cycle of 64B nodes spread over 16MB, with a
+ * data-dependent branch on each node's key. Loads depend on loads;
+ * only one-step-ahead address speculation is possible, and the EA
+ * stride between iterations is noise (defeating Stride and B-Fetch's
+ * LoopDelta alike, as in the paper).
+ */
+Workload
+makeMcf()
+{
+    constexpr std::int64_t nodeCount = 256 * 1024; // 16MB at 64B/node
+    constexpr std::int64_t arcBytes = 8LL * 1024 * 1024;
+    Assembler as;
+    // r1 current node pointer, r3 arc-cost cursor (sequential pricing
+    // scan, the regular half of real mcf), r6 accumulator.
+    as.movi(R1, segA);
+    as.movi(R3, segB);
+    as.movi(R4, segB + arcBytes);
+    as.label("chase");
+    as.load(R2, R1, 0);   // next pointer
+    as.load(R10, R1, 8);  // node key
+    as.load(R11, R1, 16); // node cost
+    as.load(R12, R3, 0);  // arc cost (sequential stream)
+    as.load(R13, R3, 8);  // arc capacity
+    as.add(R14, R12, R13);
+    as.andi(R15, R10, 1);
+    as.beq(R15, R0, "skip");
+    as.add(R6, R6, R11);
+    as.add(R6, R6, R14);
+    as.label("skip");
+    as.addi(R3, R3, 64);
+    as.blt(R3, R4, "nowrap");
+    as.movi(R3, segB);
+    as.label("nowrap");
+    as.add(R1, R2, R0);   // advance to next node
+    as.jmp("chase");
+
+    // Build a random permutation cycle over the nodes.
+    Rng rng(0x6d6366ULL); // "mcf"
+    std::vector<std::uint32_t> order(nodeCount);
+    for (std::int64_t i = 0; i < nodeCount; ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+    for (std::int64_t i = nodeCount - 1; i > 0; --i) {
+        std::uint64_t j = rng.below(static_cast<std::uint64_t>(i + 1));
+        std::swap(order[i], order[j]);
+    }
+    for (std::int64_t i = 0; i < nodeCount; ++i) {
+        Addr node = segA + static_cast<Addr>(order[i]) * 64;
+        Addr next =
+            segA + static_cast<Addr>(order[(i + 1) % nodeCount]) * 64;
+        as.data(node, next);
+        as.data(node + 8, rng.next() & 0xffff);
+        as.data(node + 16, rng.next() & 0xff);
+    }
+
+    Workload w;
+    w.name = "mcf";
+    w.program = as.assemble();
+    w.footprintBytes = nodeCount * 64 + arcBytes;
+    w.prefetchSensitive = true;
+    w.character = "pointer chase over 16MB, data-dependent branch";
+    return w;
+}
+
+/**
+ * astar analog: grid pathfinding — a regular sweep over an open-list
+ * array interleaved with data-dependent jumps into an 8MB grid (the
+ * neighbour whose index is loaded from the current cell), plus branchy
+ * cost comparisons.
+ */
+Workload
+makeAstar()
+{
+    constexpr std::int64_t listBytes = 2LL * 1024 * 1024;
+    constexpr std::int64_t gridBytes = 8LL * 1024 * 1024;
+    Assembler as;
+    // r1 open-list cursor, r4 end, r20 grid base, r21 index mask.
+    as.movi(R20, segB);
+    as.movi(R21, (gridBytes / 64) - 1);
+    as.label("outer");
+    as.movi(R1, segA);
+    as.movi(R4, segA + listBytes);
+    as.label("expand");
+    as.load(R10, R1, 0);  // node id / cost word
+    as.load(R11, R1, 8);  // heuristic word
+    // Grid cell for this node: data-dependent block index.
+    as.and_(R12, R10, R21);
+    as.slli(R12, R12, 6);
+    as.add(R13, R20, R12);
+    as.load(R14, R13, 0); // neighbour indices
+    as.load(R15, R13, 8); // terrain cost
+    as.add(R16, R14, R15);
+    as.cmplt(R17, R16, R11);
+    as.beq(R17, R0, "worse");
+    as.store(R16, R13, 16);
+    as.label("worse");
+    as.addi(R1, R1, 16);
+    as.blt(R1, R4, "expand");
+    as.jmp("outer");
+
+    // Random node ids / heuristics drive the grid jumps and branches.
+    Rng rng(0x6173746172ULL); // "astar"
+    for (std::int64_t off = 0; off < listBytes; off += 16) {
+        as.data(segA + off, rng.next());
+        as.data(segA + off + 8, rng.next() & 0x3ff);
+    }
+
+    Workload w;
+    w.name = "astar";
+    w.program = as.assemble();
+    w.footprintBytes = listBytes + gridBytes;
+    w.prefetchSensitive = true;
+    w.character = "sequential open list + data-dependent grid gather";
+    return w;
+}
+
+/**
+ * sjeng analog: game-tree search — LCG-driven probes into a 2MB
+ * transposition table with several poorly-predictable branches per
+ * probe and a small L1-resident board array. Nobody prefetches the
+ * probe stream well; the per-load filter must learn to stand down.
+ */
+Workload
+makeSjeng()
+{
+    constexpr std::int64_t tableBytes = 2LL * 1024 * 1024;
+    Assembler as;
+    // r7 LCG state, r20/r21 LCG constants, r22 table base, r23 mask,
+    // r24 board base (L1-resident).
+    emitLcgConstants(as, R20, R21);
+    as.movi(R7, 0x2a2a2a2aLL);
+    as.movi(R22, segA);
+    as.movi(R23, (tableBytes / 64) - 1);
+    as.movi(R24, segC);
+    as.label("probe");
+    emitLcg(as, R7, R20, R21);
+    as.srli(R10, R7, 17);
+    as.and_(R10, R10, R23);
+    as.slli(R10, R10, 6);
+    as.add(R11, R22, R10);
+    as.load(R12, R11, 0);  // table entry
+    as.load(R13, R11, 8);
+    as.andi(R14, R7, 7);
+    as.cmplti(R15, R14, 5);
+    as.beq(R15, R0, "cutoff");
+    // "Evaluate": touch the small board array.
+    as.andi(R16, R7, 0x3f8);
+    as.add(R17, R24, R16);
+    as.load(R18, R17, 0);
+    as.add(R12, R12, R18);
+    as.store(R12, R11, 0);
+    as.label("cutoff");
+    as.andi(R14, R13, 1);
+    as.beq(R14, R0, "probe");
+    as.xori(R7, R7, 0x55);
+    as.jmp("probe");
+
+    Workload w;
+    w.name = "sjeng";
+    w.program = as.assemble();
+    w.footprintBytes = tableBytes + 1024;
+    w.prefetchSensitive = true;
+    w.character = "random transposition-table probes, branchy";
+    return w;
+}
+
+/**
+ * soplex analog: sparse matrix-vector product — sequential index and
+ * value streams plus an indirect gather into a 4MB dense vector. The
+ * streams prefetch well; the gather does not (its base register is
+ * computed from a loaded index inside the same block).
+ */
+Workload
+makeSoplex()
+{
+    constexpr std::int64_t nnzBytes = 4LL * 1024 * 1024;
+    constexpr std::int64_t vecBytes = 4LL * 1024 * 1024;
+    Assembler as;
+    // r1 index cursor, r2 value cursor, r4 end, r20 vec base, r6 acc.
+    as.movi(R20, segC);
+    as.label("outer");
+    as.movi(R1, segA);
+    as.movi(R2, segB);
+    as.movi(R4, segA + nnzBytes);
+    as.label("nnz");
+    as.load(R10, R1, 0);  // column index
+    as.load(R11, R2, 0);  // matrix value
+    as.slli(R12, R10, 3);
+    as.add(R13, R20, R12);
+    as.load(R14, R13, 0); // x[col] gather
+    as.fmul(R15, R11, R14);
+    as.fadd(R6, R6, R15);
+    as.load(R10, R1, 8);
+    as.load(R11, R2, 8);
+    as.slli(R12, R10, 3);
+    as.add(R13, R20, R12);
+    as.load(R14, R13, 0);
+    as.fmul(R15, R11, R14);
+    as.fadd(R6, R6, R15);
+    as.addi(R1, R1, 16);
+    as.addi(R2, R2, 16);
+    as.blt(R1, R4, "nnz");
+    as.jmp("outer");
+
+    // Column indices: random within the dense vector.
+    Rng rng(0x736f706c6578ULL); // "soplex"
+    constexpr std::int64_t vecWords = vecBytes / 8;
+    for (std::int64_t off = 0; off < nnzBytes; off += 8)
+        as.data(segA + off, rng.below(vecWords));
+
+    Workload w;
+    w.name = "soplex";
+    w.program = as.assemble();
+    w.footprintBytes = nnzBytes * 2 + vecBytes;
+    w.prefetchSensitive = true;
+    w.character = "two streams + random gather through loaded index";
+    return w;
+}
+
+/**
+ * gromacs analog: molecular-dynamics force loop — a sequential pair
+ * list yields neighbour indices confined to a sliding window (spatial
+ * locality), each gathering a 64B particle record, followed by a dense
+ * FP force computation.
+ */
+Workload
+makeGromacs()
+{
+    constexpr std::int64_t pairBytes = 4LL * 1024 * 1024;
+    constexpr std::int64_t particleBytes = 4LL * 1024 * 1024;
+    Assembler as;
+    // r1 pair cursor, r4 end, r20 particle base, r6/r7 force acc.
+    as.movi(R20, segB);
+    as.label("outer");
+    as.movi(R1, segA);
+    as.movi(R4, segA + pairBytes);
+    as.label("pair");
+    as.load(R10, R1, 0);  // neighbour block index (pre-scaled)
+    as.slli(R11, R10, 6);
+    as.add(R12, R20, R11);
+    as.load(R13, R12, 0); // position x
+    as.load(R14, R12, 8); // position y
+    as.fmul(R15, R13, R13);
+    as.fmul(R16, R14, R14);
+    as.fadd(R15, R15, R16);
+    as.fmul(R17, R15, R13);
+    as.fadd(R6, R6, R17);
+    as.fadd(R7, R7, R15);
+    as.addi(R1, R1, 8);
+    as.blt(R1, R4, "pair");
+    as.jmp("outer");
+
+    // Pair list: indices walk forward with small random jitter, the
+    // cell-list locality real MD neighbour lists exhibit.
+    Rng rng(0x67726f6dULL); // "grom"
+    constexpr std::int64_t particleBlocks = particleBytes / 64;
+    std::int64_t center = 0;
+    for (std::int64_t off = 0; off < pairBytes; off += 8) {
+        std::int64_t jitter =
+            static_cast<std::int64_t>(rng.below(32)) - 16;
+        std::int64_t idx =
+            (center + jitter + particleBlocks) % particleBlocks;
+        as.data(segA + off, static_cast<std::uint64_t>(idx));
+        if ((off & 0x1f8) == 0x1f8)
+            center = (center + 1) % particleBlocks;
+    }
+
+    Workload w;
+    w.name = "gromacs";
+    w.program = as.assemble();
+    w.footprintBytes = pairBytes + particleBytes;
+    w.prefetchSensitive = true;
+    w.character = "pair-list gather with sliding-window locality";
+    return w;
+}
+
+/**
+ * h264ref analog: motion estimation — for each macroblock, a reference
+ * window confined to one 2KB-aligned region is sampled at several
+ * offsets and compared against the current block; windows advance
+ * sequentially. Strong spatial-region behaviour.
+ */
+Workload
+makeH264ref()
+{
+    constexpr std::int64_t refBytes = 6LL * 1024 * 1024;
+    constexpr std::int64_t windowBytes = 2048;
+    Assembler as;
+    // r1 window base, r4 end, r24 current-block base (L1-resident),
+    // r6 SAD accumulator.
+    as.movi(R24, segC);
+    as.label("outer");
+    as.movi(R1, segA);
+    as.movi(R4, segA + refBytes);
+    as.label("window");
+    as.load(R16, R24, 0); // current-block reference sample
+    // Candidate loop: sweep the window in 256B steps, comparing a
+    // 2-block neighbourhood per candidate (B-Fetch: LoopDelta 256 +
+    // posPatt; SMS: one dense region pattern).
+    as.addi(R2, R1, 0);
+    as.add(R3, R1, R0);
+    as.addi(R3, R3, windowBytes);
+    as.label("cand");
+    as.load(R10, R2, 0);
+    as.load(R11, R2, 64);
+    // SAD-style absolute-difference accumulation over the candidate
+    // pair (pixel arithmetic dominates real motion estimation).
+    as.sub(R10, R10, R16);
+    as.sub(R11, R11, R16);
+    as.srli(R12, R10, 8);
+    as.xor_(R10, R10, R12);
+    as.srli(R13, R11, 8);
+    as.xor_(R11, R11, R13);
+    as.and_(R12, R10, R11);
+    as.or_(R13, R10, R11);
+    as.add(R14, R12, R13);
+    as.slli(R15, R14, 2);
+    as.xor_(R14, R14, R15);
+    as.srli(R15, R14, 4);
+    as.add(R14, R14, R15);
+    as.slli(R15, R14, 1);
+    as.xor_(R14, R14, R15);
+    as.srli(R15, R14, 3);
+    as.add(R14, R14, R15);
+    as.xor_(R14, R14, R12);
+    as.add(R14, R14, R13);
+    as.add(R6, R6, R10);
+    as.add(R6, R6, R11);
+    as.add(R6, R6, R14);
+    as.addi(R2, R2, 256);
+    as.blt(R2, R3, "cand");
+    as.addi(R1, R1, windowBytes);
+    as.blt(R1, R4, "window");
+    as.jmp("outer");
+
+    Workload w;
+    w.name = "h264ref";
+    w.program = as.assemble();
+    w.footprintBytes = refBytes;
+    w.prefetchSensitive = true;
+    w.character = "sparse sampling of sequential 2KB windows";
+    return w;
+}
+
+/**
+ * milc analog: lattice QCD su3 computation. Sites are 2KB-aligned
+ * records visited in a *shuffled* order through a sequential
+ * site-pointer table (real milc gathers neighbours through index
+ * tables). Each visit sweeps the site record in 256B steps with su3
+ * arithmetic between touches, so one region's consumption spans several
+ * hundred cycles.
+ *
+ * This is the paper's SMS-favourable corner case (V-B.1): a single SMS
+ * pattern covers the whole 2KB region from the trigger touch, while the
+ * shuffled site order defeats per-PC strides across sites and B-Fetch
+ * only reaches the tail of the sweep once the site pointer resolves.
+ */
+Workload
+makeMilc()
+{
+    constexpr std::int64_t latticeBytes = 12LL * 1024 * 1024;
+    constexpr std::int64_t siteBytes = 2048;
+    constexpr std::int64_t siteCount = latticeBytes / siteBytes;
+    Assembler as;
+    // r3 site-pointer-table cursor, r4 table end, r2 in-site cursor,
+    // r5 site end, r6 accumulator.
+    as.label("outer");
+    as.movi(R3, segD);
+    as.movi(R4, segD + siteCount * 8);
+    as.label("site");
+    as.load(R2, R3, 0);         // site base pointer (gather table)
+    as.addi(R5, R2, siteBytes);
+    as.label("sweep");
+    as.load(R10, R2, 0);
+    as.load(R11, R2, 8);
+    as.fmul(R12, R10, R11);
+    as.fadd(R12, R12, R10);
+    as.fmul(R13, R12, R11);
+    as.fadd(R13, R13, R12);
+    as.fmul(R14, R13, R12);
+    as.fadd(R6, R6, R14);
+    as.addi(R2, R2, 64);
+    as.blt(R2, R5, "sweep");
+    as.addi(R3, R3, 8);
+    as.blt(R3, R4, "site");
+    as.jmp("outer");
+
+    // Shuffled site-pointer table: sequential reads, scattered targets.
+    Rng rng(0x6d696c63ULL); // "milc"
+    std::vector<std::uint32_t> order(siteCount);
+    for (std::int64_t i = 0; i < siteCount; ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+    for (std::int64_t i = siteCount - 1; i > 0; --i) {
+        std::uint64_t j = rng.below(static_cast<std::uint64_t>(i + 1));
+        std::swap(order[i], order[j]);
+    }
+    for (std::int64_t i = 0; i < siteCount; ++i) {
+        as.data(segD + i * 8,
+                segA + static_cast<Addr>(order[i]) * siteBytes);
+    }
+
+    Workload w;
+    w.name = "milc";
+    w.program = as.assemble();
+    w.footprintBytes = latticeBytes + siteCount * 8;
+    w.prefetchSensitive = true;
+    w.character = "shuffled 2KB-site sweeps via gather table (SMS corner)";
+    return w;
+}
+
+} // namespace bfsim::workloads::kernels

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Streaming-dominated kernels: libquantum, lbm, sphinx3, hmmer.
+ * These are the strongly prefetch-sensitive benchmarks of Fig. 1 — long
+ * unit-stride sweeps over multi-megabyte arrays with highly predictable
+ * loop branches, where every prefetcher gains and timeliness decides the
+ * ranking.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace bfsim::workloads::kernels {
+
+using namespace bfsim::isa;
+
+/**
+ * libquantum analog: quantum gate application — sweep a 32MB amplitude
+ * array, conditionally toggling each amplitude against a gate mask.
+ * One 64B block per iteration, a single-BB loop body: the ideal case for
+ * B-Fetch's LoopDelta mechanism and for stride prefetching alike.
+ */
+Workload
+makeLibquantum()
+{
+    constexpr std::int64_t arrayBytes = 32LL * 1024 * 1024;
+    Assembler as;
+    // r1 cursor, r2 end, r3 mask, r4..r11 data temps.
+    as.movi(R3, 0x5a5a5a5aLL);
+    as.label("outer");
+    as.movi(R1, segA);
+    as.movi(R2, segA + arrayBytes);
+    as.label("sweep");
+    // Process one cache block (8 words) per iteration.
+    as.load(R4, R1, 0);
+    as.load(R5, R1, 8);
+    as.load(R6, R1, 16);
+    as.load(R7, R1, 24);
+    as.xor_(R4, R4, R3);
+    as.xor_(R5, R5, R3);
+    as.store(R4, R1, 0);
+    as.store(R5, R1, 8);
+    as.load(R8, R1, 32);
+    as.load(R9, R1, 40);
+    as.load(R10, R1, 48);
+    as.load(R11, R1, 56);
+    as.xor_(R8, R8, R3);
+    as.store(R8, R1, 32);
+    as.addi(R1, R1, 64);
+    as.blt(R1, R2, "sweep");
+    as.jmp("outer");
+
+    Workload w;
+    w.name = "libquantum";
+    w.program = as.assemble();
+    w.footprintBytes = arrayBytes;
+    w.prefetchSensitive = true;
+    w.character = "pure 64B/iter streaming sweep, single-BB loop";
+    return w;
+}
+
+/**
+ * lbm analog: lattice-Boltzmann stream step — read two source
+ * distributions, combine, write a destination grid. Three concurrent
+ * unit-stride streams over 8MB arrays (24MB total).
+ */
+Workload
+makeLbm()
+{
+    constexpr std::int64_t gridBytes = 8LL * 1024 * 1024;
+    Assembler as;
+    // r1/r2 source cursors, r3 dest cursor, r4 end, data r10..r17.
+    as.label("outer");
+    as.movi(R1, segA);
+    as.movi(R2, segB);
+    as.movi(R3, segC);
+    as.movi(R4, segA + gridBytes);
+    as.label("stream");
+    as.load(R10, R1, 0);
+    as.load(R11, R2, 0);
+    as.fadd(R12, R10, R11);
+    as.load(R13, R1, 8);
+    as.load(R14, R2, 8);
+    as.fadd(R15, R13, R14);
+    as.store(R12, R3, 0);
+    as.store(R15, R3, 8);
+    as.load(R10, R1, 24);
+    as.load(R11, R2, 40);
+    as.fmul(R16, R10, R11);
+    as.store(R16, R3, 24);
+    as.load(R13, R1, 56);
+    as.load(R14, R2, 56);
+    as.fadd(R17, R13, R14);
+    as.store(R17, R3, 56);
+    as.addi(R1, R1, 64);
+    as.addi(R2, R2, 64);
+    as.addi(R3, R3, 64);
+    as.blt(R1, R4, "stream");
+    as.jmp("outer");
+
+    Workload w;
+    w.name = "lbm";
+    w.program = as.assemble();
+    w.footprintBytes = 3 * gridBytes;
+    w.prefetchSensitive = true;
+    w.character = "three concurrent unit-stride streams + stores";
+    return w;
+}
+
+/**
+ * sphinx3 analog: acoustic scoring — for each 64B feature frame
+ * (sequential over 2MB), score it against a block of a 4MB Gaussian
+ * table, which is re-streamed in 8KB senone chunks. Two-level loop
+ * nest with different reuse distances.
+ */
+Workload
+makeSphinx()
+{
+    constexpr std::int64_t featBytes = 2LL * 1024 * 1024;
+    constexpr std::int64_t gaussBytes = 4LL * 1024 * 1024;
+    constexpr std::int64_t chunkBytes = 8 * 1024;
+    Assembler as;
+    // r1 feature cursor, r2 gauss cursor, r3 chunk end, r4 gauss end,
+    // r5 feature end, r6 accumulator, data r10..r13.
+    as.label("outer");
+    as.movi(R1, segA);
+    as.movi(R5, segA + featBytes);
+    as.movi(R2, segB);
+    as.movi(R4, segB + gaussBytes);
+    as.label("frame");
+    as.load(R10, R1, 0);
+    as.load(R11, R1, 32);
+    // Score against one chunk of the Gaussian table.
+    as.addi(R3, R2, chunkBytes);
+    as.label("chunk");
+    as.load(R12, R2, 0);
+    as.fmul(R13, R12, R10);
+    as.fadd(R6, R6, R13);
+    as.load(R14, R2, 32);
+    as.fmul(R15, R14, R11);
+    as.fadd(R6, R6, R15);
+    // Gaussian log-likelihood arithmetic per senone component.
+    as.fmul(R16, R13, R15);
+    as.fadd(R16, R16, R12);
+    as.fmul(R17, R16, R10);
+    as.fadd(R17, R17, R14);
+    as.fmul(R18, R17, R16);
+    as.fadd(R18, R18, R13);
+    as.fmul(R19, R18, R11);
+    as.fadd(R6, R6, R19);
+    as.addi(R2, R2, 64);
+    as.blt(R2, R3, "chunk");
+    // Wrap the Gaussian cursor when the table is exhausted.
+    as.blt(R2, R4, "nowrap");
+    as.movi(R2, segB);
+    as.label("nowrap");
+    as.addi(R1, R1, 64);
+    as.blt(R1, R5, "frame");
+    as.jmp("outer");
+
+    Workload w;
+    w.name = "sphinx";
+    w.program = as.assemble();
+    w.footprintBytes = featBytes + gaussBytes;
+    w.prefetchSensitive = true;
+    w.character = "blocked re-streaming of a large table per frame";
+    return w;
+}
+
+/**
+ * hmmer analog: Viterbi dynamic-programming row sweep — three read
+ * streams (previous row, transition scores, match scores) and one write
+ * stream, with a max-selection branch in the inner loop whose direction
+ * depends on data (moderately predictable).
+ */
+Workload
+makeHmmer()
+{
+    constexpr std::int64_t rowBytes = 4LL * 1024 * 1024;
+    Assembler as;
+    // r1 prev-row, r2 score, r3 out, r4 end cursor, data r10..r14.
+    as.label("outer");
+    as.movi(R1, segA);
+    as.movi(R2, segB);
+    as.movi(R3, segC);
+    as.movi(R4, segA + rowBytes);
+    as.label("row");
+    as.load(R10, R1, 0);
+    as.load(R11, R1, 8);
+    as.load(R12, R2, 0);
+    // dp = max(prev[j], prev[j-1]) + score[j]
+    as.cmplt(R13, R10, R11);
+    as.beq(R13, R0, "takeleft");
+    as.add(R14, R11, R12);
+    as.jmp("emit");
+    as.label("takeleft");
+    as.add(R14, R10, R12);
+    as.label("emit");
+    as.store(R14, R3, 0);
+    as.load(R10, R1, 32);
+    as.load(R12, R2, 32);
+    as.add(R14, R10, R12);
+    as.store(R14, R3, 32);
+    as.addi(R1, R1, 64);
+    as.addi(R2, R2, 64);
+    as.addi(R3, R3, 64);
+    as.blt(R1, R4, "row");
+    as.jmp("outer");
+
+    // Seed the previous-row array with pseudo-random scores so the
+    // max-selection branch is data-dependent but biased (~88% one way),
+    // like real profile-HMM score comparisons.
+    Rng rng(0x686d6d6572ULL); // "hmmer"
+    for (std::int64_t off = 0; off < rowBytes; off += 64) {
+        std::uint64_t left = rng.next() & 0xffff;
+        std::uint64_t right = rng.chance(0.88)
+                                  ? left + 1 + rng.below(256)
+                                  : left - std::min<std::uint64_t>(
+                                               left, 1 + rng.below(256));
+        as.data(segA + off, left);
+        as.data(segA + off + 8, right);
+    }
+
+    Workload w;
+    w.name = "hmmer";
+    w.program = as.assemble();
+    w.footprintBytes = 3 * rowBytes;
+    w.prefetchSensitive = true;
+    w.character = "DP row sweep, 3 streams + data-dependent max branch";
+    return w;
+}
+
+} // namespace bfsim::workloads::kernels

@@ -1,0 +1,67 @@
+#include "workloads/workload.hh"
+
+#include "common/log.hh"
+#include "workloads/kernels.hh"
+
+namespace bfsim::workloads {
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    // Built once; kernel construction includes multi-megabyte data
+    // images (mcf's permutation cycle, soplex's index array, ...).
+    static const std::vector<Workload> suite = [] {
+        using namespace kernels;
+        std::vector<Workload> w;
+        w.push_back(makeAstar());
+        w.push_back(makeBwaves());
+        w.push_back(makeBzip2());
+        w.push_back(makeCactusADM());
+        w.push_back(makeCalculix());
+        w.push_back(makeGamess());
+        w.push_back(makeGromacs());
+        w.push_back(makeH264ref());
+        w.push_back(makeHmmer());
+        w.push_back(makeLbm());
+        w.push_back(makeLeslie3d());
+        w.push_back(makeLibquantum());
+        w.push_back(makeMcf());
+        w.push_back(makeMilc());
+        w.push_back(makeSjeng());
+        w.push_back(makeSoplex());
+        w.push_back(makeSphinx());
+        w.push_back(makeZeusmp());
+        return w;
+    }();
+    return suite;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const auto &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '" + name + "'");
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+std::vector<std::string>
+prefetchSensitiveNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : allWorkloads())
+        if (w.prefetchSensitive)
+            names.push_back(w.name);
+    return names;
+}
+
+} // namespace bfsim::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The synthetic SPEC CPU2006 analog suite.
+ *
+ * The paper evaluates 18 SPEC CPU2006 benchmarks compiled for ALPHA.
+ * Lacking SPEC binaries and traces, the suite here provides one
+ * micro-ISA kernel per paper benchmark, each engineered to reproduce the
+ * memory/branch *character* that determines prefetcher behaviour for
+ * that benchmark class (streaming, strided stencils, spatial-region
+ * clustering, pointer chasing, DP-table walks, hash probing, L1-resident
+ * compute, ...). The kernels produce genuine basic blocks, register
+ * dataflow and effective addresses, so every B-Fetch mechanism (BrTC
+ * linking, MHT offset learning, loop deltas, neg/posPatt, per-load
+ * filtering) is exercised on real control flow rather than statistics.
+ * DESIGN.md section 2 documents this substitution.
+ *
+ * Every kernel runs in an infinite outer loop so the harness can apply
+ * any instruction budget; footprints are sized relative to the paper's
+ * 2MB/core LLC (Table II) to land each benchmark in its intended slice
+ * of the hierarchy.
+ */
+
+#ifndef BFSIM_WORKLOADS_WORKLOAD_HH_
+#define BFSIM_WORKLOADS_WORKLOAD_HH_
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace bfsim::workloads {
+
+/** One benchmark of the suite. */
+struct Workload
+{
+    std::string name;           ///< paper benchmark it stands in for
+    isa::Program program;
+    std::size_t footprintBytes; ///< approximate data working set
+    /**
+     * True when the paper's Fig. 1 "Perfect" prefetcher materially
+     * speeds the benchmark up (the "geomean pf. sens." subset).
+     * Verified against our own Perfect runs in bench/fig01.
+     */
+    bool prefetchSensitive;
+    std::string character;      ///< one-line behavioural description
+};
+
+/** All 18 workloads, built once and cached (alphabetical, as in Fig. 8). */
+const std::vector<Workload> &allWorkloads();
+
+/** Look up a workload by name; fatal if unknown. */
+const Workload &workloadByName(const std::string &name);
+
+/** Names of all workloads in suite order. */
+std::vector<std::string> workloadNames();
+
+/** Names of the prefetch-sensitive subset. */
+std::vector<std::string> prefetchSensitiveNames();
+
+} // namespace bfsim::workloads
+
+#endif // BFSIM_WORKLOADS_WORKLOAD_HH_

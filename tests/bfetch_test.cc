@@ -1,0 +1,342 @@
+/**
+ * @file
+ * B-Fetch component tests: ARF sequencing/visibility, BrTC linkage,
+ * MHT learning (offsets, neg/posPatt, LoopDelta, shadow accuracy),
+ * the per-load filter, and engine-level lookahead behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+#include "core/arf.hh"
+#include "core/bfetch.hh"
+#include "core/brtc.hh"
+#include "core/mht.hh"
+#include "core/per_load_filter.hh"
+#include "prefetch/queue.hh"
+
+namespace bfsim::core {
+namespace {
+
+// ------------------------------------------------------------------ ARF
+
+TEST(Arf, YoungerWritesWin)
+{
+    AlternateRegisterFile arf;
+    arf.update(3, 100, /*seq=*/10, /*visible=*/0);
+    arf.update(3, 200, /*seq=*/20, /*visible=*/0);
+    EXPECT_EQ(arf.read(3, 1000), 200u);
+}
+
+TEST(Arf, StaleOutOfOrderWriteIsDropped)
+{
+    AlternateRegisterFile arf;
+    arf.update(3, 200, /*seq=*/20, /*visible=*/0);
+    arf.update(3, 100, /*seq=*/10, /*visible=*/0); // older, ignored
+    EXPECT_EQ(arf.read(3, 1000), 200u);
+    EXPECT_EQ(arf.sequence(3), 20u);
+}
+
+TEST(Arf, PendingValueInvisibleUntilProducerCompletes)
+{
+    AlternateRegisterFile arf;
+    arf.update(5, 111, 1, /*visible=*/100);
+    arf.update(5, 222, 2, /*visible=*/500);
+    EXPECT_EQ(arf.read(5, 50), 0u);    // nothing visible yet
+    EXPECT_EQ(arf.read(5, 200), 111u); // first write landed
+    EXPECT_EQ(arf.read(5, 600), 222u); // second write landed
+}
+
+TEST(Arf, ResetClearsState)
+{
+    AlternateRegisterFile arf;
+    arf.update(1, 42, 7, 0);
+    arf.reset();
+    EXPECT_EQ(arf.read(1, 1000), 0u);
+    EXPECT_EQ(arf.sequence(1), 0u);
+}
+
+TEST(Arf, StorageMatchesTableI)
+{
+    // 0.156KB in Table I.
+    double kb = AlternateRegisterFile::storageBits() / 8.0 / 1024.0;
+    EXPECT_NEAR(kb, 0.156, 0.01);
+}
+
+// ----------------------------------------------------------------- BrTC
+
+TEST(Brtc, LookupMissesUntilTrained)
+{
+    BranchTraceCache brtc(64);
+    BlockKey key{0x400100, true, 0x400200};
+    EXPECT_EQ(brtc.lookup(key), nullptr);
+    brtc.update(key, 0x400300, 0x400400, true);
+    const BrtcEntry *entry = brtc.lookup(key);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->nextBranchPc, 0x400300u);
+    EXPECT_EQ(entry->nextTakenTarget, 0x400400u);
+    EXPECT_TRUE(entry->nextIsConditional);
+}
+
+TEST(Brtc, DirectionDisambiguatesKeys)
+{
+    BranchTraceCache brtc(64);
+    BlockKey taken{0x400100, true, 0x400200};
+    BlockKey fallthrough{0x400100, false, 0x400104};
+    brtc.update(taken, 0x400300, 0, false);
+    brtc.update(fallthrough, 0x400500, 0, false);
+    ASSERT_NE(brtc.lookup(taken), nullptr);
+    ASSERT_NE(brtc.lookup(fallthrough), nullptr);
+    EXPECT_EQ(brtc.lookup(taken)->nextBranchPc, 0x400300u);
+    EXPECT_EQ(brtc.lookup(fallthrough)->nextBranchPc, 0x400500u);
+}
+
+TEST(Brtc, StorageMatchesTableI)
+{
+    BranchTraceCache brtc(256);
+    double kb = brtc.storageBits() / 8.0 / 1024.0;
+    EXPECT_NEAR(kb, 2.06, 0.05);
+}
+
+// ------------------------------------------------------------------ MHT
+
+TEST(Mht, LearnsOffsetFromBranchTimeRegister)
+{
+    MemoryHistoryTable mht(128, 3, 5);
+    BlockKey key{0x400100, true, 0x400200};
+    mht.learn(key, /*reg=*/7, /*reg_at_branch=*/0x10000,
+              /*ea=*/0x10020, /*hash=*/0x55);
+    const MhtEntry *entry = mht.lookup(key);
+    ASSERT_NE(entry, nullptr);
+    ASSERT_TRUE(entry->regs[0].valid);
+    EXPECT_EQ(entry->regs[0].regIdx, 7);
+    EXPECT_EQ(entry->regs[0].offset, 0x20);
+    EXPECT_EQ(entry->regs[0].loadPcHash, 0x55);
+}
+
+TEST(Mht, ShadowAccuracyReportsStableOffsets)
+{
+    MemoryHistoryTable mht(128, 3, 5);
+    BlockKey key{0x400100, true, 0x400200};
+    mht.learn(key, 7, 0x10000, 0x10020, 0x55);
+    auto out = mht.learn(key, 7, 0x11000, 0x11020, 0x55);
+    EXPECT_TRUE(out.hadPrior);
+    EXPECT_TRUE(out.predictionAccurate);
+    // Now an unpredictable jump: prior offset mispredicts.
+    out = mht.learn(key, 7, 0x12000, 0x99000, 0x55);
+    EXPECT_TRUE(out.hadPrior);
+    EXPECT_FALSE(out.predictionAccurate);
+}
+
+TEST(Mht, LoopDeltaTracksConsecutiveEas)
+{
+    MemoryHistoryTable mht(128, 3, 5);
+    BlockKey key{0x400100, true, 0x400200};
+    mht.learn(key, 7, 0x10000, 0x10000, 0x55);
+    mht.learn(key, 7, 0x10040, 0x10040, 0x55);
+    const MhtEntry *entry = mht.lookup(key);
+    EXPECT_EQ(entry->regs[0].loopDelta, 0x40);
+}
+
+TEST(Mht, SecondaryLoadsSetPattBits)
+{
+    MemoryHistoryTable mht(128, 3, 5);
+    BlockKey key{0x400100, true, 0x400200};
+    mht.learn(key, 7, 0x10000, 0x10000, 0x55); // primary
+    mht.learn(key, 7, 0x10000, 0x10080, 0x66); // +2 blocks
+    mht.learn(key, 7, 0x10000, 0x0ffc0, 0x77); // -1 block
+    const MhtEntry *entry = mht.lookup(key);
+    EXPECT_EQ(entry->regs[0].posPatt, 1u << 1);
+    EXPECT_EQ(entry->regs[0].negPatt, 1u << 0);
+}
+
+TEST(Mht, PattBitsBeyondRangeAreIgnored)
+{
+    MemoryHistoryTable mht(128, 3, 5);
+    BlockKey key{0x400100, true, 0x400200};
+    mht.learn(key, 7, 0x10000, 0x10000, 0x55);
+    mht.learn(key, 7, 0x10000, 0x10000 + 7 * 64, 0x66); // beyond 5
+    const MhtEntry *entry = mht.lookup(key);
+    EXPECT_EQ(entry->regs[0].posPatt, 0u);
+}
+
+TEST(Mht, TracksUpToThreeRegisters)
+{
+    MemoryHistoryTable mht(128, 3, 5);
+    BlockKey key{0x400100, true, 0x400200};
+    for (RegIndex r = 1; r <= 4; ++r)
+        mht.learn(key, r, 0x1000 * r, 0x1000 * r + 8, r);
+    const MhtEntry *entry = mht.lookup(key);
+    int valid = 0;
+    for (const auto &reg : entry->regs)
+        valid += reg.valid;
+    EXPECT_EQ(valid, 3);
+}
+
+TEST(Mht, StorageNearTableIBudget)
+{
+    MemoryHistoryTable mht(128, 3, 5);
+    double kb = mht.storageBits() / 8.0 / 1024.0;
+    // Table I says 4.5KB; we carry an extra 10-bit load-PC hash per
+    // sub-entry (documented in mht.hh).
+    EXPECT_GT(kb, 4.3);
+    EXPECT_LT(kb, 5.2);
+}
+
+// ---------------------------------------------------------- Per-load
+
+TEST(PerLoadFilter, NewLoadsStartAtThreshold)
+{
+    PerLoadFilter filter(2048, 3);
+    EXPECT_EQ(filter.confidence(0x101), 3u);
+    EXPECT_TRUE(filter.allows(0x101, 3));
+}
+
+TEST(PerLoadFilter, UselessPrefetchesSuppress)
+{
+    PerLoadFilter filter(2048, 3);
+    filter.train(0x101, false);
+    EXPECT_FALSE(filter.allows(0x101, 3));
+}
+
+TEST(PerLoadFilter, UsefulPrefetchesRaiseConfidence)
+{
+    PerLoadFilter filter(2048, 3);
+    for (int i = 0; i < 5; ++i)
+        filter.train(0x101, true);
+    EXPECT_GT(filter.confidence(0x101), 3u);
+    // A single useless event no longer suppresses.
+    filter.train(0x101, false);
+    EXPECT_TRUE(filter.allows(0x101, 3));
+}
+
+TEST(PerLoadFilter, CountersSaturate)
+{
+    PerLoadFilter filter(2048, 3);
+    for (int i = 0; i < 100; ++i)
+        filter.train(0x101, true);
+    EXPECT_EQ(filter.confidence(0x101), 21u); // 3 x 7
+    for (int i = 0; i < 100; ++i)
+        filter.train(0x101, false);
+    EXPECT_EQ(filter.confidence(0x101), 0u);
+}
+
+TEST(PerLoadFilter, DistinctLoadsAreIndependent)
+{
+    PerLoadFilter filter(2048, 3);
+    filter.train(0x101, false);
+    filter.train(0x101, false);
+    EXPECT_TRUE(filter.allows(0x202, 3));
+}
+
+TEST(PerLoadFilter, StorageMatchesTableI)
+{
+    PerLoadFilter filter(2048, 3);
+    double kb = filter.storageBits() / 8.0 / 1024.0;
+    EXPECT_NEAR(kb, 2.25, 0.01); // 3 tables x 2048 x 3 bits
+}
+
+// --------------------------------------------------------------- Engine
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    EngineTest()
+        : bp(branch::makeTournamentPredictor()), queue(100),
+          engine(BFetchConfig{}, *bp, queue)
+    {
+    }
+
+    /** Commit a branch with perfect prediction bookkeeping. */
+    void
+    commitBranch(Addr pc, bool taken, Addr target)
+    {
+        engine.onCommitBranch(pc, taken, target, true, true);
+        bp->update(pc, taken);
+    }
+
+    std::unique_ptr<branch::DirectionPredictor> bp;
+    prefetch::PrefetchQueue queue;
+    BFetchEngine engine;
+};
+
+TEST_F(EngineTest, LearnsAndPrefetchesASimpleLoop)
+{
+    // Simulate commits of: loop { load r7; branch back } with the base
+    // register advancing 64B per iteration, then decode-stage walks.
+    Addr branch_pc = 0x400140;
+    Addr loop_head = 0x400100;
+    RegVal reg = 0x100000;
+    for (int iter = 0; iter < 50; ++iter) {
+        commitBranch(branch_pc, true, loop_head);
+        engine.onCommitRegWrite(7, reg);
+        engine.onCommitMem(0x400110, 7, reg, true);
+        engine.onRegWrite(7, reg, iter + 1, /*visible=*/iter);
+        reg += 64;
+    }
+    // A decode-time walk from the loop branch should now generate
+    // loop-ahead prefetches.
+    engine.onDecodeBranch(branch_pc, true, loop_head, true, 10000);
+    EXPECT_GT(engine.stats().prefetchesGenerated, 0u);
+    EXPECT_GT(engine.stats().loopPrefetches, 0u);
+    EXPECT_FALSE(queue.empty());
+}
+
+TEST_F(EngineTest, BrtcMissStopsTheWalk)
+{
+    // An unconditional seed carries full confidence, so the walk must
+    // end on the untrained BrTC, not on path confidence.
+    engine.onDecodeBranch(0x400100, true, 0x400200, false, 0);
+    EXPECT_EQ(engine.stats().stopsBrtcMiss, 1u);
+}
+
+TEST_F(EngineTest, UntrainedConditionalSeedStopsOnConfidence)
+{
+    engine.onDecodeBranch(0x400100, true, 0x400200, true, 0);
+    EXPECT_EQ(engine.stats().stopsConfidence, 1u);
+}
+
+TEST_F(EngineTest, StorageReportMatchesPaperShape)
+{
+    auto report = engine.storageReport();
+    ASSERT_EQ(report.size(), 7u);
+    double total = 0.0;
+    for (const auto &component : report)
+        total += component.kilobytes;
+    // Paper Table I: 12.84KB total (ours slightly above; see mht.hh).
+    EXPECT_GT(total, 11.5);
+    EXPECT_LT(total, 14.5);
+    EXPECT_EQ(report[0].name, "Branch Trace Cache");
+    EXPECT_EQ(report[0].entries, 256u);
+}
+
+TEST_F(EngineTest, FeedbackTrainsTheFilter)
+{
+    unsigned before = engine.perLoadFilter().confidence(0x3a);
+    engine.onPrefetchFeedback(0x3a, false);
+    EXPECT_LT(engine.perLoadFilter().confidence(0x3a), before);
+}
+
+TEST_F(EngineTest, DisabledFilterConfigIgnoresFeedback)
+{
+    BFetchConfig cfg;
+    cfg.enablePerLoadFilter = false;
+    BFetchEngine e2(cfg, *bp, queue);
+    e2.onPrefetchFeedback(0x3a, false);
+    EXPECT_EQ(e2.perLoadFilter().confidence(0x3a), 3u);
+}
+
+TEST_F(EngineTest, AverageLookaheadDepthIsBounded)
+{
+    Addr branch_pc = 0x400140;
+    Addr loop_head = 0x400100;
+    for (int iter = 0; iter < 100; ++iter)
+        commitBranch(branch_pc, true, loop_head);
+    for (int i = 0; i < 10; ++i)
+        engine.onDecodeBranch(branch_pc, true, loop_head, true, i);
+    EXPECT_LE(engine.averageLookaheadDepth(),
+              engine.config().maxLookaheadDepth);
+}
+
+} // namespace
+} // namespace bfsim::core

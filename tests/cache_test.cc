@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tag-array tests: lookup/insert, LRU victim selection, dirty and
+ * prefetch metadata propagation through eviction, parameterized over
+ * associativity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace bfsim::mem {
+namespace {
+
+CacheConfig
+smallCache(unsigned assoc)
+{
+    CacheConfig cfg;
+    cfg.name = "test";
+    cfg.sizeBytes = assoc * 4 * blockSizeBytes; // 4 sets
+    cfg.associativity = assoc;
+    cfg.hitLatency = 2;
+    return cfg;
+}
+
+class CacheAssoc : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheAssoc, MissThenHit)
+{
+    Cache cache(smallCache(GetParam()));
+    EXPECT_EQ(cache.lookup(0x1000), nullptr);
+    EvictInfo evict;
+    cache.insert(0x1000, evict);
+    EXPECT_FALSE(evict.evicted);
+    EXPECT_NE(cache.lookup(0x1000), nullptr);
+}
+
+TEST_P(CacheAssoc, SubBlockAddressesShareABlock)
+{
+    Cache cache(smallCache(GetParam()));
+    EvictInfo evict;
+    cache.insert(0x1000, evict);
+    EXPECT_NE(cache.lookup(0x1004), nullptr);
+    EXPECT_NE(cache.lookup(0x103f), nullptr);
+    EXPECT_EQ(cache.lookup(0x1040), nullptr);
+}
+
+TEST_P(CacheAssoc, FillsAllWaysBeforeEvicting)
+{
+    unsigned assoc = GetParam();
+    Cache cache(smallCache(assoc));
+    std::size_t sets = cache.numSets();
+    EvictInfo evict;
+    // All of these map to set 0.
+    for (unsigned i = 0; i < assoc; ++i) {
+        cache.insert(i * sets * blockSizeBytes, evict);
+        EXPECT_FALSE(evict.evicted);
+    }
+    cache.insert(assoc * sets * blockSizeBytes, evict);
+    EXPECT_TRUE(evict.evicted);
+}
+
+TEST_P(CacheAssoc, LruVictimIsLeastRecentlyTouched)
+{
+    unsigned assoc = GetParam();
+    if (assoc < 2)
+        GTEST_SKIP();
+    Cache cache(smallCache(assoc));
+    std::size_t stride = cache.numSets() * blockSizeBytes;
+    EvictInfo evict;
+    for (unsigned i = 0; i < assoc; ++i)
+        cache.insert(i * stride, evict);
+    // Touch block 0 so block 1 becomes LRU.
+    cache.lookup(0);
+    cache.insert(assoc * stride, evict);
+    ASSERT_TRUE(evict.evicted);
+    EXPECT_EQ(evict.blockAddr, stride);
+    EXPECT_NE(cache.lookup(0), nullptr);
+    EXPECT_EQ(cache.lookup(stride), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheAssoc,
+                         ::testing::Values(1u, 2u, 8u, 16u));
+
+TEST(Cache, EvictionReportsDirtyAndAddress)
+{
+    Cache cache(smallCache(1));
+    EvictInfo evict;
+    CacheBlock *blk = cache.insert(0x1000, evict);
+    blk->dirty = true;
+    std::size_t stride = cache.numSets() * blockSizeBytes;
+    cache.insert(0x1000 + stride, evict);
+    ASSERT_TRUE(evict.evicted);
+    EXPECT_TRUE(evict.dirty);
+    EXPECT_EQ(evict.blockAddr, 0x1000u);
+}
+
+TEST(Cache, EvictionReportsWastedPrefetch)
+{
+    Cache cache(smallCache(1));
+    EvictInfo evict;
+    CacheBlock *blk = cache.insert(0x2000, evict);
+    blk->prefetched = true;
+    blk->loadPcHash = 0x155;
+    std::size_t stride = cache.numSets() * blockSizeBytes;
+    cache.insert(0x2000 + stride, evict);
+    ASSERT_TRUE(evict.evicted);
+    EXPECT_TRUE(evict.wastedPrefetch);
+    EXPECT_EQ(evict.loadPcHash, 0x155);
+}
+
+TEST(Cache, UsedPrefetchIsNotWasted)
+{
+    Cache cache(smallCache(1));
+    EvictInfo evict;
+    CacheBlock *blk = cache.insert(0x2000, evict);
+    blk->prefetched = true;
+    blk->prefetchUseful = true;
+    std::size_t stride = cache.numSets() * blockSizeBytes;
+    cache.insert(0x2000 + stride, evict);
+    ASSERT_TRUE(evict.evicted);
+    EXPECT_FALSE(evict.wastedPrefetch);
+}
+
+TEST(Cache, ReinsertSameBlockDoesNotEvict)
+{
+    Cache cache(smallCache(2));
+    EvictInfo evict;
+    cache.insert(0x3000, evict);
+    cache.insert(0x3000, evict);
+    EXPECT_FALSE(evict.evicted);
+    EXPECT_EQ(cache.validBlockCount(), 1u);
+}
+
+TEST(Cache, InvalidateRemovesBlock)
+{
+    Cache cache(smallCache(4));
+    EvictInfo evict;
+    cache.insert(0x4000, evict);
+    EXPECT_TRUE(cache.contains(0x4000));
+    cache.invalidate(0x4000);
+    EXPECT_FALSE(cache.contains(0x4000));
+    // Invalidating a missing block is harmless.
+    cache.invalidate(0x4000);
+}
+
+TEST(Cache, PeekDoesNotPerturbLru)
+{
+    Cache cache(smallCache(2));
+    std::size_t stride = cache.numSets() * blockSizeBytes;
+    EvictInfo evict;
+    cache.insert(0, evict);
+    cache.insert(stride, evict);
+    // Peek block 0 (no LRU update): it must still be the LRU victim.
+    EXPECT_NE(cache.peek(0), nullptr);
+    cache.insert(2 * stride, evict);
+    ASSERT_TRUE(evict.evicted);
+    EXPECT_EQ(evict.blockAddr, 0u);
+}
+
+TEST(Cache, GeometryDerivedFromConfig)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.associativity = 8;
+    Cache cache(cfg);
+    EXPECT_EQ(cache.numSets(), 64u * 1024 / (8 * blockSizeBytes));
+}
+
+TEST(CacheDeath, RejectsNonPowerOfTwoSets)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 3 * blockSizeBytes;
+    cfg.associativity = 1;
+    EXPECT_EXIT(Cache cache(cfg), testing::ExitedWithCode(1),
+                "power of two");
+}
+
+} // namespace
+} // namespace bfsim::mem

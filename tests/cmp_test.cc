@@ -1,0 +1,128 @@
+/**
+ * @file
+ * CMP container tests: per-core stat freezing at instruction targets,
+ * shared-resource contention, and halted-program handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/cmp.hh"
+
+namespace bfsim::sim {
+namespace {
+
+using isa::Assembler;
+using isa::Program;
+
+/** Endless streaming loads: a memory-hungry neighbour. */
+Program
+streamProgram()
+{
+    Assembler as;
+    as.label("outer");
+    as.movi(isa::R1, 0x100000);
+    as.movi(isa::R4, 0x100000 + (8 << 20));
+    as.label("top");
+    as.load(isa::R2, isa::R1, 0);
+    as.load(isa::R3, isa::R1, 8);
+    as.addi(isa::R1, isa::R1, 64);
+    as.blt(isa::R1, isa::R4, "top");
+    as.jmp("outer");
+    return as.assemble();
+}
+
+/** A tiny compute loop that halts after a fixed trip count. */
+Program
+haltingProgram(int trips)
+{
+    Assembler as;
+    as.movi(isa::R1, trips);
+    as.label("top");
+    as.addi(isa::R1, isa::R1, -1);
+    as.bne(isa::R1, isa::R0, "top");
+    as.halt();
+    return as.assemble();
+}
+
+TEST(Cmp, SingleCoreRunReachesTarget)
+{
+    Program p = streamProgram();
+    std::vector<CoreConfig> cfgs(1);
+    std::vector<const Program *> programs{&p};
+    mem::HierarchyConfig hier;
+    hier.numCores = 1;
+    Cmp cmp(cfgs, programs, hier);
+    CmpResult result = cmp.run(20000);
+    EXPECT_GE(result.cores[0].instructions, 20000u);
+    EXPECT_GT(result.cores[0].ipc, 0.0);
+}
+
+TEST(Cmp, AllCoresReachTheirTargets)
+{
+    Program p = streamProgram();
+    std::vector<CoreConfig> cfgs(4);
+    std::vector<const Program *> programs{&p, &p, &p, &p};
+    mem::HierarchyConfig hier;
+    hier.numCores = 4;
+    Cmp cmp(cfgs, programs, hier);
+    CmpResult result = cmp.run(10000);
+    ASSERT_EQ(result.cores.size(), 4u);
+    for (const CoreStats &s : result.cores)
+        EXPECT_GE(s.instructions, 10000u);
+}
+
+TEST(Cmp, SharedResourcesCreateContention)
+{
+    Program p = streamProgram();
+    mem::HierarchyConfig one;
+    one.numCores = 1;
+    std::vector<CoreConfig> cfg1(1);
+    std::vector<const Program *> prog1{&p};
+    Cmp solo(cfg1, prog1, one);
+    double solo_ipc = solo.run(20000).cores[0].ipc;
+
+    mem::HierarchyConfig four;
+    four.numCores = 4;
+    // Keep total L3 constant per core as the paper does (2MB/core), so
+    // contention comes from DRAM bandwidth and inter-core conflict.
+    std::vector<CoreConfig> cfg4(4);
+    std::vector<const Program *> prog4{&p, &p, &p, &p};
+    Cmp shared(cfg4, prog4, four);
+    CmpResult result = shared.run(20000);
+    for (const CoreStats &s : result.cores)
+        EXPECT_LT(s.ipc, solo_ipc * 1.01);
+    // At least some core must be visibly slowed by bus contention.
+    double worst = result.cores[0].ipc;
+    for (const CoreStats &s : result.cores)
+        worst = std::min(worst, s.ipc);
+    EXPECT_LT(worst, solo_ipc * 0.95);
+}
+
+TEST(Cmp, HaltedProgramsFreezeEarly)
+{
+    Program halting = haltingProgram(100);
+    Program stream = streamProgram();
+    std::vector<CoreConfig> cfgs(2);
+    std::vector<const Program *> programs{&halting, &stream};
+    mem::HierarchyConfig hier;
+    hier.numCores = 2;
+    Cmp cmp(cfgs, programs, hier);
+    CmpResult result = cmp.run(50000);
+    EXPECT_LT(result.cores[0].instructions, 1000u); // halted early
+    EXPECT_GE(result.cores[1].instructions, 50000u);
+}
+
+TEST(CmpDeath, MismatchedConfigsAreFatal)
+{
+    Program p = streamProgram();
+    std::vector<CoreConfig> cfgs(2);
+    std::vector<const Program *> programs{&p};
+    mem::HierarchyConfig hier;
+    hier.numCores = 2;
+    EXPECT_EXIT(Cmp(cfgs, programs, hier), testing::ExitedWithCode(1),
+                "match");
+}
+
+} // namespace
+} // namespace bfsim::sim

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for src/common: address helpers, RNG determinism,
+ * histograms / CDFs, means, the stat registry and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace bfsim {
+namespace {
+
+TEST(Types, BlockAlignMasksLowBits)
+{
+    EXPECT_EQ(blockAlign(0x0), 0u);
+    EXPECT_EQ(blockAlign(0x3f), 0u);
+    EXPECT_EQ(blockAlign(0x40), 0x40u);
+    EXPECT_EQ(blockAlign(0x1234567f), 0x12345640u);
+}
+
+TEST(Types, BlockNumberDividesBySize)
+{
+    EXPECT_EQ(blockNumber(0x0), 0u);
+    EXPECT_EQ(blockNumber(0x40), 1u);
+    EXPECT_EQ(blockNumber(0x1000), 64u);
+}
+
+TEST(Types, BlockDeltaIsSignedBlockDistance)
+{
+    EXPECT_EQ(blockDelta(0x100, 0x100), 0);
+    EXPECT_EQ(blockDelta(0x140, 0x100), 1);
+    EXPECT_EQ(blockDelta(0x100, 0x200), -4);
+    // Sub-block offsets do not register as deltas.
+    EXPECT_EQ(blockDelta(0x108, 0x130), 0);
+}
+
+TEST(Types, ConstantsAreConsistent)
+{
+    EXPECT_EQ(1u << blockSizeBits, blockSizeBytes);
+    EXPECT_EQ(numArchRegs, 32);
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double r = rng.real();
+        EXPECT_GE(r, 0.0);
+        EXPECT_LT(r, 1.0);
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Histogram, CountsAndOverflow)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(3);
+    h.sample(10); // overflow
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, CumulativeFractionIsMonotone)
+{
+    Histogram h(8);
+    for (std::uint64_t v = 0; v < 8; ++v)
+        for (std::uint64_t k = 0; k <= v; ++k)
+            h.sample(v);
+    double prev = 0.0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        double c = h.cumulativeFraction(i);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(7), 1.0);
+}
+
+TEST(Histogram, EmptyHistogramYieldsZeroFractions)
+{
+    Histogram h(4);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(3), 0.0);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(2);
+    h.sample(0);
+    h.sample(5);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Means, GeometricMeanOfIdenticalValues)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Means, GeometricMeanKnownValue)
+{
+    EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Means, EmptyInputsYieldZero)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(Means, ArithmeticMean)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatSet, CountersAreNamedAndPersistent)
+{
+    StatSet stats;
+    stats.counter("hits").inc();
+    stats.counter("hits").inc(4);
+    EXPECT_EQ(stats.get("hits"), 5u);
+    EXPECT_EQ(stats.get("never"), 0u);
+}
+
+TEST(StatSet, ResetZeroesAll)
+{
+    StatSet stats;
+    stats.counter("a").inc(3);
+    stats.counter("b").inc(7);
+    stats.reset();
+    EXPECT_EQ(stats.get("a"), 0u);
+    EXPECT_EQ(stats.get("b"), 0u);
+}
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, FormatsNumbers)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(static_cast<std::uint64_t>(42)), "42");
+}
+
+} // namespace
+} // namespace bfsim

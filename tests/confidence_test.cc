@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Confidence estimation tests: the composite (JRS + up-down + self)
+ * estimator's calibration behaviour and the multiplicative path
+ * confidence accumulator that throttles B-Fetch's lookahead.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/confidence.hh"
+
+namespace bfsim::branch {
+namespace {
+
+TEST(CompositeConfidence, LevelStartsLowAndGrows)
+{
+    CompositeConfidence conf;
+    Addr pc = 0x400100;
+    unsigned initial = conf.level(pc, 0);
+    for (int i = 0; i < 100; ++i)
+        conf.train(pc, 0, true);
+    EXPECT_GT(conf.level(pc, 0), initial);
+    EXPECT_EQ(conf.level(pc, 0), conf.maxLevel());
+}
+
+TEST(CompositeConfidence, MispredictionsDepressLevel)
+{
+    CompositeConfidence conf;
+    Addr pc = 0x400100;
+    for (int i = 0; i < 100; ++i)
+        conf.train(pc, 0, true);
+    unsigned high = conf.level(pc, 0);
+    for (int i = 0; i < 30; ++i)
+        conf.train(pc, 0, false);
+    EXPECT_LT(conf.level(pc, 0), high);
+}
+
+TEST(CompositeConfidence, EstimateIsAProbability)
+{
+    CompositeConfidence conf;
+    for (int i = 0; i < 1000; ++i)
+        conf.train(0x400100, 0, i % 4 != 0);
+    double p = conf.estimate(0x400100, 0);
+    EXPECT_GE(p, 0.5);
+    EXPECT_LT(p, 1.0);
+}
+
+TEST(CompositeConfidence, CalibrationTracksObservedAccuracy)
+{
+    CompositeConfidence conf;
+    Addr good = 0x400100, bad = 0x400800;
+    // Good branch: always correct. Bad branch: 50/50.
+    for (int i = 0; i < 4000; ++i) {
+        conf.train(good, 0, true);
+        conf.train(bad, 0, (i & 1) != 0);
+    }
+    EXPECT_GT(conf.estimate(good, 0), 0.95);
+    EXPECT_LT(conf.estimate(bad, 0), 0.85);
+    EXPECT_GT(conf.estimate(good, 0), conf.estimate(bad, 0));
+}
+
+TEST(CompositeConfidence, EstimateIsSideEffectFree)
+{
+    CompositeConfidence conf;
+    for (int i = 0; i < 200; ++i)
+        conf.train(0x400100, i, i % 5 != 0);
+    double first = conf.estimate(0x400100, 7);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_DOUBLE_EQ(conf.estimate(0x400100, 7), first);
+}
+
+TEST(CompositeConfidence, StorageAccounting)
+{
+    ConfidenceConfig cfg;
+    CompositeConfidence conf(cfg);
+    std::size_t expected = cfg.jrsEntries * cfg.jrsBits +
+                           cfg.upDownEntries * cfg.upDownBits +
+                           cfg.selfEntries * cfg.selfBits;
+    EXPECT_EQ(conf.storageBits(), expected);
+}
+
+TEST(CompositeConfidence, MaxLevelSumsCounterMaxima)
+{
+    ConfidenceConfig cfg;
+    cfg.jrsBits = 4;
+    cfg.upDownBits = 4;
+    cfg.selfBits = 4;
+    CompositeConfidence conf(cfg);
+    EXPECT_EQ(conf.maxLevel(), 45u);
+}
+
+TEST(PathConfidence, StartsAtFullConfidence)
+{
+    PathConfidence path(0.75);
+    EXPECT_DOUBLE_EQ(path.value(), 1.0);
+    EXPECT_TRUE(path.aboveThreshold());
+}
+
+TEST(PathConfidence, AccumulatesMultiplicatively)
+{
+    PathConfidence path(0.75);
+    path.accumulate(0.9);
+    path.accumulate(0.9);
+    EXPECT_NEAR(path.value(), 0.81, 1e-12);
+    EXPECT_TRUE(path.aboveThreshold());
+    path.accumulate(0.9);
+    EXPECT_FALSE(path.aboveThreshold());
+}
+
+TEST(PathConfidence, ResetRestoresFullConfidence)
+{
+    PathConfidence path(0.75);
+    path.accumulate(0.1);
+    EXPECT_FALSE(path.aboveThreshold());
+    path.reset();
+    EXPECT_TRUE(path.aboveThreshold());
+}
+
+TEST(PathConfidence, ThresholdControlsDepth)
+{
+    // With per-branch confidence p, the admissible depth is
+    // floor(log(threshold)/log(p)); check the paper's intuition that a
+    // lower threshold admits deeper walks.
+    auto depth_at = [](double threshold, double p) {
+        PathConfidence path(threshold);
+        int depth = 0;
+        while (true) {
+            path.accumulate(p);
+            if (!path.aboveThreshold())
+                break;
+            ++depth;
+        }
+        return depth;
+    };
+    EXPECT_GT(depth_at(0.45, 0.97), depth_at(0.75, 0.97));
+    EXPECT_GT(depth_at(0.75, 0.97), depth_at(0.90, 0.97));
+    EXPECT_GT(depth_at(0.75, 0.99), depth_at(0.75, 0.9));
+}
+
+} // namespace
+} // namespace bfsim::branch

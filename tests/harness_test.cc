@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Harness tests: single runs, memoization, mixes / FOA selection,
+ * weighted speedups and report tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/mixes.hh"
+#include "harness/report.hh"
+
+namespace bfsim::harness {
+namespace {
+
+RunOptions
+quick()
+{
+    RunOptions options;
+    options.instructions = 30000;
+    return options;
+}
+
+TEST(Experiment, SingleRunProducesCoherentStats)
+{
+    SingleResult r =
+        runSingle("libquantum", sim::PrefetcherKind::None, quick());
+    EXPECT_EQ(r.workload, "libquantum");
+    EXPECT_GE(r.core.instructions, 30000u);
+    EXPECT_GT(r.core.cycles, 0u);
+    EXPECT_GT(r.core.ipc, 0.0);
+    EXPECT_GT(r.mem.accesses, 0u);
+    EXPECT_EQ(r.mem.prefetchesIssued, 0u);
+}
+
+TEST(Experiment, BfetchRunExposesEngineStats)
+{
+    SingleResult r =
+        runSingle("libquantum", sim::PrefetcherKind::BFetch, quick());
+    EXPECT_GT(r.bfetch.lookaheadWalks, 0u);
+    EXPECT_GT(r.avgLookaheadDepth, 0.0);
+    EXPECT_GT(r.mem.prefetchesIssued, 0u);
+}
+
+TEST(Experiment, CachedRunnerReturnsSameObject)
+{
+    const SingleResult &a =
+        runSingleCached("gamess", sim::PrefetcherKind::None, quick());
+    const SingleResult &b =
+        runSingleCached("gamess", sim::PrefetcherKind::None, quick());
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Experiment, CacheKeyDistinguishesOptions)
+{
+    RunOptions a = quick(), b = quick();
+    b.width = 8;
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+    b = quick();
+    b.bfetch.pathConfidenceThreshold = 0.45;
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+}
+
+TEST(Experiment, SpeedupOfBaselineIsOne)
+{
+    double s = speedupVsBaseline("gamess", sim::PrefetcherKind::None,
+                                 quick());
+    EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(Experiment, PrefetchingHelpsAStreamingKernel)
+{
+    double s = speedupVsBaseline("libquantum",
+                                 sim::PrefetcherKind::BFetch, quick());
+    EXPECT_GT(s, 1.2);
+}
+
+TEST(Experiment, MixRunsAllCores)
+{
+    MixResult r = runMix({"libquantum", "gamess"},
+                         sim::PrefetcherKind::None, quick());
+    ASSERT_EQ(r.cores.size(), 2u);
+    EXPECT_GE(r.cores[0].instructions, 30000u);
+    EXPECT_GE(r.cores[1].instructions, 30000u);
+    EXPECT_GT(r.weightedSpeedup, 0.0);
+    // Weighted speedup of a no-prefetch mix is at most numCores.
+    EXPECT_LE(r.weightedSpeedup, 2.0 + 1e-9);
+}
+
+TEST(Experiment, BenchBudgetReadsEnvironment)
+{
+    unsetenv("BFSIM_INSTS");
+    EXPECT_EQ(benchInstructionBudget(123), 123u);
+    setenv("BFSIM_INSTS", "4567", 1);
+    EXPECT_EQ(benchInstructionBudget(123), 4567u);
+    setenv("BFSIM_INSTS", "bogus", 1);
+    EXPECT_EQ(benchInstructionBudget(123), 123u);
+    unsetenv("BFSIM_INSTS");
+}
+
+TEST(Mixes, FoaProfilesDistinguishPressure)
+{
+    double quiet = foaProfile("gamess");      // L1-resident
+    double loud = foaProfile("libquantum");   // streaming
+    EXPECT_GE(quiet, 0.0);
+    EXPECT_GT(loud, quiet);
+}
+
+TEST(Mixes, SelectionIsDeterministicAndSized)
+{
+    auto a = selectMixes(2, 5);
+    auto b = selectMixes(2, 5);
+    ASSERT_EQ(a.size(), 5u);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].workloads, b[i].workloads);
+}
+
+TEST(Mixes, MixesAreSortedByContention)
+{
+    auto mixes = selectMixes(2, 10);
+    for (std::size_t i = 1; i < mixes.size(); ++i)
+        EXPECT_GE(mixes[i - 1].contentionScore,
+                  mixes[i].contentionScore);
+}
+
+TEST(Mixes, MixSizeIsRespected)
+{
+    for (unsigned size : {2u, 4u}) {
+        auto mixes = selectMixes(size, 3);
+        for (const auto &mix : mixes) {
+            EXPECT_EQ(mix.workloads.size(), size);
+            // Members are distinct.
+            std::set<std::string> unique(mix.workloads.begin(),
+                                         mix.workloads.end());
+            EXPECT_EQ(unique.size(), size);
+        }
+    }
+}
+
+TEST(Report, GeomeanAndTableRows)
+{
+    SpeedupSeries s1{"A", {{"w1", 2.0}, {"w2", 8.0}}};
+    SpeedupSeries s2{"B", {{"w1", 1.0}, {"w2", 1.0}}};
+    std::vector<std::string> order{"w1", "w2"};
+    EXPECT_NEAR(seriesGeomean(s1, order), 4.0, 1e-9);
+    TextTable table = speedupTable(order, {"w2"}, {s1, s2});
+    std::string out = table.render();
+    EXPECT_NE(out.find("Geomean"), std::string::npos);
+    EXPECT_NE(out.find("pf. sens."), std::string::npos);
+    EXPECT_NE(out.find("4.000"), std::string::npos); // geomean of A
+    EXPECT_NE(out.find("8.000"), std::string::npos); // w2 under A
+}
+
+TEST(ReportDeath, MissingWorkloadIsFatal)
+{
+    SpeedupSeries s{"A", {{"w1", 2.0}}};
+    EXPECT_EXIT(seriesGeomean(s, {"w1", "missing"}),
+                testing::ExitedWithCode(1), "missing workload");
+}
+
+} // namespace
+} // namespace bfsim::harness

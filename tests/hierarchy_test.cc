@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Memory-hierarchy timing tests: per-level latencies, MSHR merging and
+ * capacity, prefetch injection and usefulness feedback, late-prefetch
+ * upgrading, DRAM bandwidth/priority, and cross-core L3 sharing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+
+namespace bfsim::mem {
+namespace {
+
+HierarchyConfig
+baseConfig(unsigned cores = 1)
+{
+    HierarchyConfig cfg;
+    cfg.numCores = cores;
+    return cfg;
+}
+
+TEST(Dram, FixedLatencyWhenIdle)
+{
+    Dram dram;
+    EXPECT_EQ(dram.read(1000), 1000 + dram.config().accessLatency);
+}
+
+TEST(Dram, BackToBackReadsQueueOnTheBus)
+{
+    Dram dram;
+    Cycle first = dram.read(0);
+    Cycle second = dram.read(0);
+    EXPECT_EQ(second - first, dram.config().cyclesPerBlock);
+}
+
+TEST(Dram, DemandBypassesPrefetchBacklog)
+{
+    Dram dram;
+    for (int i = 0; i < 10; ++i)
+        dram.read(0, false); // prefetch backlog
+    Cycle demand = dram.read(0, true);
+    // The demand queues only behind demand traffic (none yet).
+    EXPECT_EQ(demand, 0 + dram.config().accessLatency);
+}
+
+TEST(Dram, WritebacksConsumeBandwidth)
+{
+    Dram dram;
+    dram.writeback(0);
+    Cycle read = dram.read(0, false);
+    EXPECT_EQ(read, dram.config().cyclesPerBlock +
+                        dram.config().accessLatency);
+    EXPECT_EQ(dram.writebacks(), 1u);
+}
+
+TEST(Hierarchy, ColdMissPaysFullPath)
+{
+    Hierarchy mem(baseConfig());
+    AccessOutcome out = mem.access(0, 0x10000, false, 0);
+    EXPECT_FALSE(out.l1Hit);
+    EXPECT_FALSE(out.l2Hit);
+    EXPECT_FALSE(out.l3Hit);
+    // L1 + L2 + L3 lookup latencies plus DRAM access.
+    EXPECT_GE(out.latency, 200u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1AtHitLatency)
+{
+    Hierarchy mem(baseConfig());
+    AccessOutcome first = mem.access(0, 0x10000, false, 0);
+    Cycle later = first.latency + 10;
+    AccessOutcome second = mem.access(0, 0x10000, false, later);
+    EXPECT_TRUE(second.l1Hit);
+    EXPECT_EQ(second.latency, mem.config().l1d.hitLatency);
+}
+
+TEST(Hierarchy, InFlightMissMergesInsteadOfReissuing)
+{
+    Hierarchy mem(baseConfig());
+    AccessOutcome first = mem.access(0, 0x10000, false, 0);
+    // Same block, 10 cycles later, still in flight.
+    AccessOutcome merged = mem.access(0, 0x10008, false, 10);
+    EXPECT_TRUE(merged.l1Hit);
+    EXPECT_EQ(10 + merged.latency,
+              first.latency + mem.config().l1d.hitLatency);
+    EXPECT_EQ(mem.dram().reads(), 1u);
+}
+
+TEST(Hierarchy, MshrCapacityDelaysExtraMisses)
+{
+    HierarchyConfig cfg = baseConfig();
+    cfg.l1Mshrs = 2;
+    Hierarchy mem(cfg);
+    Cycle l0 = mem.access(0, 0x100000, false, 0).latency;
+    mem.access(0, 0x200000, false, 0);
+    // Third concurrent miss must wait for an MSHR.
+    AccessOutcome third = mem.access(0, 0x300000, false, 0);
+    EXPECT_GT(third.latency, l0);
+}
+
+TEST(Hierarchy, L2HitIsCheaperThanL3Hit)
+{
+    Hierarchy mem(baseConfig());
+    // Fill the block, then evict it from L1 only by filling the set.
+    mem.access(0, 0x10000, false, 0);
+    std::size_t l1_sets = 64 * 1024 / (8 * blockSizeBytes);
+    for (unsigned i = 1; i <= 8; ++i)
+        mem.access(0, 0x10000 + i * l1_sets * blockSizeBytes, false,
+                   100000 + i);
+    AccessOutcome out = mem.access(0, 0x10000, false, 500000);
+    EXPECT_FALSE(out.l1Hit);
+    EXPECT_TRUE(out.l2Hit);
+    EXPECT_EQ(out.latency,
+              mem.config().l1d.hitLatency + mem.config().l2.hitLatency);
+}
+
+TEST(Hierarchy, PrefetchFillsL1)
+{
+    Hierarchy mem(baseConfig());
+    EXPECT_EQ(mem.prefetch(0, 0x20000, 0, 0x3a), PrefetchResult::Issued);
+    EXPECT_TRUE(mem.inL1(0, 0x20000));
+    EXPECT_EQ(mem.stats(0).prefetchesIssued, 1u);
+}
+
+TEST(Hierarchy, DuplicatePrefetchIsRejected)
+{
+    Hierarchy mem(baseConfig());
+    mem.prefetch(0, 0x20000, 0, 0x3a);
+    EXPECT_EQ(mem.prefetch(0, 0x20000, 1, 0x3a),
+              PrefetchResult::AlreadyPresent);
+    EXPECT_EQ(mem.stats(0).prefetchesDuplicate, 1u);
+}
+
+TEST(Hierarchy, UsefulPrefetchFeedbackFires)
+{
+    Hierarchy mem(baseConfig());
+    std::uint16_t fed_hash = 0;
+    bool fed_useful = false;
+    mem.setPrefetchFeedback(0, [&](std::uint16_t hash, bool useful) {
+        fed_hash = hash;
+        fed_useful = useful;
+    });
+    mem.prefetch(0, 0x20000, 0, 0x155);
+    AccessOutcome out = mem.access(0, 0x20000, false, 100000);
+    EXPECT_TRUE(out.usedPrefetch);
+    EXPECT_EQ(fed_hash, 0x155);
+    EXPECT_TRUE(fed_useful);
+    EXPECT_EQ(mem.stats(0).usefulPrefetches, 1u);
+    // Only the first use counts.
+    out = mem.access(0, 0x20000, false, 100010);
+    EXPECT_FALSE(out.usedPrefetch);
+    EXPECT_EQ(mem.stats(0).usefulPrefetches, 1u);
+}
+
+TEST(Hierarchy, UselessPrefetchFeedbackOnEviction)
+{
+    Hierarchy mem(baseConfig());
+    int useless_events = 0;
+    mem.setPrefetchFeedback(0, [&](std::uint16_t, bool useful) {
+        if (!useful)
+            ++useless_events;
+    });
+    std::size_t l1_sets = 64 * 1024 / (8 * blockSizeBytes);
+    mem.prefetch(0, 0x20000, 0, 0x77);
+    // Push the set until the prefetched block is evicted untouched.
+    for (unsigned i = 1; i <= 8; ++i)
+        mem.access(0, 0x20000 + i * l1_sets * blockSizeBytes, false,
+                   1000 * i);
+    EXPECT_EQ(useless_events, 1);
+    EXPECT_EQ(mem.stats(0).uselessPrefetches, 1u);
+}
+
+TEST(Hierarchy, LatePrefetchStillWaitsButUpgrades)
+{
+    Hierarchy mem(baseConfig());
+    mem.prefetch(0, 0x30000, 0, 0x11);
+    // Demand follows immediately: data not there yet.
+    AccessOutcome out = mem.access(0, 0x30000, false, 5);
+    EXPECT_TRUE(out.l1Hit);
+    EXPECT_TRUE(out.latePrefetch);
+    EXPECT_GT(out.latency, mem.config().l1d.hitLatency);
+    // The wait is capped at a fresh demand miss's cost.
+    Cycle cap = mem.config().l2.hitLatency + mem.config().l3HitLatency +
+                mem.dram().config().accessLatency +
+                mem.config().l1d.hitLatency;
+    EXPECT_LE(out.latency, cap + mem.config().l1d.hitLatency);
+    EXPECT_EQ(mem.stats(0).latePrefetches, 1u);
+}
+
+TEST(Hierarchy, CoresHaveDisjointAddressSpaces)
+{
+    Hierarchy mem(baseConfig(2));
+    mem.access(0, 0x10000, false, 0);
+    AccessOutcome other = mem.access(1, 0x10000, false, 1000);
+    EXPECT_FALSE(other.l1Hit);
+    EXPECT_FALSE(other.l2Hit);
+    EXPECT_FALSE(other.l3Hit); // different physical addresses
+}
+
+TEST(Hierarchy, SharedL3IsSizedPerCore)
+{
+    HierarchyConfig one = baseConfig(1);
+    HierarchyConfig four = baseConfig(4);
+    Hierarchy mem1(one), mem4(four);
+    // Indirect check: the 4-core config accepts 4x the distinct blocks
+    // before its first L3 eviction. We simply verify construction and
+    // the config plumb-through.
+    EXPECT_EQ(mem1.config().l3PerCoreBytes * 1,
+              one.l3PerCoreBytes * one.numCores);
+    EXPECT_EQ(mem4.config().numCores, 4u);
+}
+
+TEST(Hierarchy, StoresMarkBlocksDirtyAndWriteBack)
+{
+    Hierarchy mem(baseConfig());
+    mem.access(0, 0x40000, true, 0); // write-allocate
+    std::size_t l1_sets = 64 * 1024 / (8 * blockSizeBytes);
+    for (unsigned i = 1; i <= 8; ++i)
+        mem.access(0, 0x40000 + i * l1_sets * blockSizeBytes, false,
+                   1000 * i);
+    EXPECT_GE(mem.stats(0).writebacks, 1u);
+}
+
+} // namespace
+} // namespace bfsim::mem

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the micro-ISA: instruction classification, the
+ * assembler's label resolution and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/isa.hh"
+#include "isa/program.hh"
+
+namespace bfsim::isa {
+namespace {
+
+TEST(Instruction, ControlClassification)
+{
+    Instruction beq;
+    beq.op = Opcode::Beq;
+    EXPECT_TRUE(beq.isControl());
+    EXPECT_TRUE(beq.isCondBranch());
+
+    Instruction jmp;
+    jmp.op = Opcode::Jmp;
+    EXPECT_TRUE(jmp.isControl());
+    EXPECT_FALSE(jmp.isCondBranch());
+
+    Instruction add;
+    add.op = Opcode::Add;
+    EXPECT_FALSE(add.isControl());
+}
+
+TEST(Instruction, MemoryClassification)
+{
+    Instruction ld;
+    ld.op = Opcode::Load;
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_TRUE(ld.isMemory());
+    EXPECT_FALSE(ld.isStore());
+
+    Instruction st;
+    st.op = Opcode::Store;
+    EXPECT_TRUE(st.isStore());
+    EXPECT_TRUE(st.isMemory());
+    EXPECT_FALSE(st.isLoad());
+}
+
+TEST(Instruction, DestWriters)
+{
+    Instruction add;
+    add.op = Opcode::Add;
+    EXPECT_TRUE(add.writesDest());
+
+    Instruction st;
+    st.op = Opcode::Store;
+    EXPECT_FALSE(st.writesDest());
+
+    Instruction b;
+    b.op = Opcode::Blt;
+    EXPECT_FALSE(b.writesDest());
+}
+
+TEST(Instruction, LatencyClasses)
+{
+    Instruction add;
+    add.op = Opcode::Add;
+    EXPECT_EQ(add.executeLatency(), 1u);
+    Instruction mul;
+    mul.op = Opcode::Mul;
+    EXPECT_GT(mul.executeLatency(), 1u);
+    Instruction fmul;
+    fmul.op = Opcode::FMul;
+    EXPECT_GT(fmul.executeLatency(), mul.executeLatency());
+}
+
+TEST(Instruction, InstAddrIsFourByteSpaced)
+{
+    EXPECT_EQ(instAddr(1) - instAddr(0), 4u);
+    EXPECT_EQ(instAddr(100) - instAddr(0), 400u);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels)
+{
+    Assembler as;
+    as.movi(R1, 0);
+    as.label("top");
+    as.addi(R1, R1, 1);
+    as.blt(R1, R2, "top");     // backward
+    as.beq(R1, R2, "bottom");  // forward
+    as.nop();
+    as.label("bottom");
+    as.halt();
+    Program p = as.assemble();
+    ASSERT_EQ(p.size(), 6u);
+    EXPECT_EQ(p.at(2).target, 1u); // blt -> top
+    EXPECT_EQ(p.at(3).target, 5u); // beq -> bottom
+}
+
+TEST(Assembler, EmitsExpectedEncodings)
+{
+    Assembler as;
+    as.load(R3, R4, 24);
+    as.store(R5, R6, -8);
+    as.addi(R7, R8, 100);
+    Program p = as.assemble();
+    EXPECT_EQ(p.at(0).op, Opcode::Load);
+    EXPECT_EQ(p.at(0).rd, R3);
+    EXPECT_EQ(p.at(0).rs1, R4);
+    EXPECT_EQ(p.at(0).imm, 24);
+    EXPECT_EQ(p.at(1).op, Opcode::Store);
+    EXPECT_EQ(p.at(1).rs2, R5);
+    EXPECT_EQ(p.at(1).rs1, R6);
+    EXPECT_EQ(p.at(1).imm, -8);
+    EXPECT_EQ(p.at(2).op, Opcode::AddI);
+}
+
+TEST(AssemblerDeath, UndefinedLabelIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            Assembler as;
+            as.jmp("nowhere");
+            as.assemble();
+        },
+        testing::ExitedWithCode(1), "undefined label");
+}
+
+TEST(AssemblerDeath, DuplicateLabelIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            Assembler as;
+            as.label("x");
+            as.nop();
+            as.label("x");
+        },
+        testing::ExitedWithCode(1), "duplicate label");
+}
+
+TEST(Assembler, DataWordsReachTheProgramImage)
+{
+    Assembler as;
+    as.halt();
+    as.data(0x1000, 0xdeadbeef);
+    as.data(0x1008, 7);
+    Program p = as.assemble();
+    ASSERT_EQ(p.initialImage().size(), 2u);
+    EXPECT_EQ(p.initialImage()[0].first, 0x1000u);
+    EXPECT_EQ(p.initialImage()[0].second, 0xdeadbeefu);
+}
+
+TEST(Assembler, ReusableAfterAssemble)
+{
+    Assembler as;
+    as.nop();
+    Program p1 = as.assemble();
+    as.nop();
+    as.nop();
+    Program p2 = as.assemble();
+    EXPECT_EQ(p1.size(), 1u);
+    EXPECT_EQ(p2.size(), 2u);
+}
+
+TEST(Disassembler, RendersCommonForms)
+{
+    Instruction ld;
+    ld.op = Opcode::Load;
+    ld.rd = 2;
+    ld.rs1 = 7;
+    ld.imm = 4;
+    EXPECT_EQ(disassemble(ld), "load r2, 4(r7)");
+
+    Instruction bne;
+    bne.op = Opcode::Bne;
+    bne.rs1 = 1;
+    bne.rs2 = 0;
+    bne.target = 12;
+    EXPECT_EQ(disassemble(bne), "bne r1, r0, @12");
+
+    Instruction movi;
+    movi.op = Opcode::MovI;
+    movi.rd = 9;
+    movi.imm = -3;
+    EXPECT_EQ(disassemble(movi), "movi r9, -3");
+}
+
+TEST(Program, ListingHasOneLinePerInstruction)
+{
+    Assembler as;
+    as.nop();
+    as.nop();
+    as.halt();
+    Program p = as.assemble();
+    std::string listing = p.listing();
+    EXPECT_EQ(std::count(listing.begin(), listing.end(), '\n'), 3);
+}
+
+TEST(ProgramDeath, OutOfRangePcPanics)
+{
+    Assembler as;
+    as.nop();
+    Program p = as.assemble();
+    EXPECT_DEATH(p.at(5), "out of range");
+}
+
+} // namespace
+} // namespace bfsim::isa

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Timing-model tests: IPC limits under width/dependences, branch
+ * misprediction penalties, LSQ-bounded memory parallelism, the Fig. 7
+ * branches-per-cycle accounting, and the Perfect-prefetch mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "mem/hierarchy.hh"
+#include "sim/ooo_core.hh"
+
+namespace bfsim::sim {
+namespace {
+
+using isa::Assembler;
+using isa::Program;
+
+CoreStats
+runProgram(const Program &program, const CoreConfig &cfg,
+           std::uint64_t insts, mem::HierarchyConfig hier_cfg = {})
+{
+    mem::Hierarchy hierarchy(hier_cfg);
+    OooCore core(0, cfg, program, hierarchy);
+    while (core.retired() < insts && core.stepInstruction()) {
+    }
+    return core.stats();
+}
+
+/** An endless loop of independent single-cycle ALU ops. */
+Program
+independentAluLoop(int body_ops)
+{
+    Assembler as;
+    as.label("top");
+    for (int i = 0; i < body_ops; ++i)
+        as.addi(static_cast<RegIndex>(1 + (i % 20)), isa::R0, i);
+    as.jmp("top");
+    return as.assemble();
+}
+
+/** An endless loop forming one long dependency chain. */
+Program
+dependencyChainLoop(int body_ops)
+{
+    Assembler as;
+    as.label("top");
+    for (int i = 0; i < body_ops; ++i)
+        as.addi(isa::R1, isa::R1, 1);
+    as.jmp("top");
+    return as.assemble();
+}
+
+TEST(OooCore, WideMachineReachesHighIpcOnIndependentOps)
+{
+    CoreConfig cfg;
+    cfg.width = 4;
+    CoreStats s = runProgram(independentAluLoop(40), cfg, 50000);
+    EXPECT_GT(s.ipc, 2.5);
+    EXPECT_LE(s.ipc, 4.05);
+}
+
+TEST(OooCore, DependencyChainLimitsIpcToOne)
+{
+    CoreConfig cfg;
+    cfg.width = 4;
+    CoreStats s = runProgram(dependencyChainLoop(40), cfg, 50000);
+    EXPECT_LE(s.ipc, 1.1);
+}
+
+TEST(OooCore, WiderPipelinesAreFaster)
+{
+    Program p = independentAluLoop(60);
+    CoreConfig narrow, wide;
+    narrow.width = 2;
+    wide.width = 8;
+    CoreStats s2 = runProgram(p, narrow, 50000);
+    CoreStats s8 = runProgram(p, wide, 50000);
+    EXPECT_GT(s8.ipc, s2.ipc * 1.5);
+}
+
+TEST(OooCore, MispredictedBranchesCostCycles)
+{
+    // Branch on an LCG bit: essentially random, ~50% mispredictions.
+    Assembler as;
+    as.movi(isa::R20, 6364136223846793005LL);
+    as.movi(isa::R21, 1442695040888963407LL);
+    as.movi(isa::R7, 12345);
+    as.label("top");
+    as.mul(isa::R7, isa::R7, isa::R20);
+    as.add(isa::R7, isa::R7, isa::R21);
+    as.srli(isa::R1, isa::R7, 33); // high LCG bits are pseudo-random
+    as.andi(isa::R1, isa::R1, 1);
+    as.addi(isa::R2, isa::R2, 1);
+    as.addi(isa::R3, isa::R3, 1);
+    as.beq(isa::R1, isa::R0, "top");
+    as.jmp("top");
+    Program random_branchy = as.assemble();
+
+    // The identical shape with a constant (always-taken) condition.
+    Assembler as2;
+    as2.movi(isa::R20, 6364136223846793005LL);
+    as2.movi(isa::R21, 1442695040888963407LL);
+    as2.movi(isa::R7, 12345);
+    as2.label("top");
+    as2.mul(isa::R7, isa::R7, isa::R20);
+    as2.add(isa::R7, isa::R7, isa::R21);
+    as2.srli(isa::R1, isa::R7, 33);
+    as2.andi(isa::R1, isa::R1, 0); // always zero -> branch always taken
+    as2.addi(isa::R2, isa::R2, 1);
+    as2.addi(isa::R3, isa::R3, 1);
+    as2.beq(isa::R1, isa::R0, "top");
+    as2.jmp("top");
+    Program predictable_branchy = as2.assemble();
+
+    CoreConfig cfg;
+    CoreStats s = runProgram(random_branchy, cfg, 50000);
+    EXPECT_GT(s.branchMissRate, 0.25);
+    CoreStats predictable = runProgram(predictable_branchy, cfg, 50000);
+    EXPECT_GT(predictable.ipc, s.ipc * 1.2);
+}
+
+TEST(OooCore, PredictableLoopBranchesAreLearned)
+{
+    CoreStats s = runProgram(independentAluLoop(10), CoreConfig{}, 50000);
+    EXPECT_EQ(s.mispredicts, 0u); // unconditional jumps only
+}
+
+TEST(OooCore, LoadLatencyBoundsThroughput)
+{
+    // Pointer-chase: each load's address is the previous load's value.
+    constexpr int nodes = 4096;
+    Assembler as;
+    as.movi(isa::R1, 0x100000);
+    as.label("top");
+    as.load(isa::R1, isa::R1, 0);
+    as.jmp("top");
+    for (int i = 0; i < nodes; ++i) {
+        int next = (i + 1667) % nodes; // coprime stride permutation
+        as.data(0x100000 + static_cast<Addr>(i) * 64,
+                0x100000 + static_cast<Addr>(next) * 64);
+    }
+    CoreConfig cfg;
+    CoreStats s = runProgram(as.assemble(), cfg, 20000);
+    // Serialized misses: far below 0.5 IPC.
+    EXPECT_LT(s.ipc, 0.5);
+}
+
+TEST(OooCore, PerfectPrefetchMakesLoadsL1Hits)
+{
+    // Streaming loads over a large array.
+    Assembler as;
+    as.movi(isa::R1, 0x100000);
+    as.label("top");
+    as.load(isa::R2, isa::R1, 0);
+    as.load(isa::R3, isa::R1, 8);
+    as.addi(isa::R1, isa::R1, 64);
+    as.jmp("top");
+    Program stream = as.assemble();
+
+    CoreConfig base, perfect;
+    perfect.prefetcher = PrefetcherKind::Perfect;
+    CoreStats s_base = runProgram(stream, base, 30000);
+    CoreStats s_perf = runProgram(stream, perfect, 30000);
+    EXPECT_GT(s_perf.ipc, s_base.ipc * 1.5);
+}
+
+TEST(OooCore, LqSizeLimitsMemoryParallelism)
+{
+    Assembler as;
+    as.movi(isa::R1, 0x100000);
+    as.label("top");
+    for (int i = 0; i < 8; ++i)
+        as.load(static_cast<RegIndex>(2 + i), isa::R1, i * 64);
+    as.addi(isa::R1, isa::R1, 512);
+    as.jmp("top");
+    Program stream = as.assemble();
+
+    CoreConfig small, big;
+    small.lqSize = 4;
+    big.lqSize = 64;
+    CoreStats s_small = runProgram(stream, small, 20000);
+    CoreStats s_big = runProgram(stream, big, 20000);
+    EXPECT_GT(s_big.ipc, s_small.ipc * 1.2);
+}
+
+TEST(OooCore, BranchesPerCycleHistogramAccumulates)
+{
+    CoreStats s = runProgram(independentAluLoop(3), CoreConfig{}, 20000);
+    std::uint64_t total = 0;
+    for (std::size_t i = 1; i < s.branchesPerFetchCycle.size(); ++i)
+        total += s.branchesPerFetchCycle[i];
+    EXPECT_GT(total, 0u);
+    EXPECT_EQ(total, s.fetchCyclesWithBranch);
+    // A jmp every 4 instructions: never more than 2 branches/cycle.
+    EXPECT_EQ(s.branchesPerFetchCycle[3], 0u);
+}
+
+TEST(OooCore, StatsCountInstructionClasses)
+{
+    Assembler as;
+    as.movi(isa::R1, 0x100000);
+    as.label("top");
+    as.load(isa::R2, isa::R1, 0);
+    as.store(isa::R2, isa::R1, 8);
+    as.addi(isa::R1, isa::R1, 64);
+    as.blt(isa::R1, isa::R3, "top");
+    as.jmp("top");
+    CoreStats s = runProgram(as.assemble(), CoreConfig{}, 10000);
+    EXPECT_GT(s.loads, 0u);
+    EXPECT_GT(s.stores, 0u);
+    EXPECT_GT(s.condBranches, 0u);
+    EXPECT_NEAR(static_cast<double>(s.loads) / s.stores, 1.0, 0.01);
+}
+
+TEST(OooCore, HaltTerminatesStepping)
+{
+    Assembler as;
+    as.nop();
+    as.halt();
+    Program p = as.assemble();
+    mem::Hierarchy hierarchy(mem::HierarchyConfig{});
+    OooCore core(0, CoreConfig{}, p, hierarchy);
+    EXPECT_TRUE(core.stepInstruction());
+    EXPECT_FALSE(core.stepInstruction());
+    EXPECT_TRUE(core.halted());
+}
+
+TEST(OooCore, BfetchKindInstantiatesEngine)
+{
+    Program p = independentAluLoop(4);
+    mem::Hierarchy hierarchy(mem::HierarchyConfig{});
+    CoreConfig cfg;
+    cfg.prefetcher = PrefetcherKind::BFetch;
+    OooCore core(0, cfg, p, hierarchy);
+    EXPECT_NE(core.bfetchEngine(), nullptr);
+    EXPECT_EQ(core.demandPrefetcher(), nullptr);
+}
+
+TEST(OooCore, PrefetcherNames)
+{
+    EXPECT_EQ(prefetcherName(PrefetcherKind::None), "None");
+    EXPECT_EQ(prefetcherName(PrefetcherKind::Stride), "Stride");
+    EXPECT_EQ(prefetcherName(PrefetcherKind::Sms), "SMS");
+    EXPECT_EQ(prefetcherName(PrefetcherKind::BFetch), "Bfetch");
+    EXPECT_EQ(prefetcherName(PrefetcherKind::Perfect), "Perfect");
+}
+
+} // namespace
+} // namespace bfsim::sim

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Property-style tests: randomized and parameterized sweeps checking
+ * invariants that must hold for *any* input — cache inclusion-free
+ * consistency, stride detection for arbitrary strides, queue FIFO
+ * discipline under fuzzing, ARF read/write coherence, timing-model
+ * monotonicity in latency, and executor determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/arf.hh"
+#include "isa/assembler.hh"
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/queue.hh"
+#include "prefetch/stride.hh"
+#include "sim/executor.hh"
+#include "sim/ooo_core.hh"
+
+namespace bfsim {
+namespace {
+
+// ---------------------------------------------------------------- cache
+
+TEST(CacheProperty, LookupAfterInsertAlwaysHits)
+{
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 4096;
+    cfg.associativity = 4;
+    mem::Cache cache(cfg);
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        Addr addr = rng.below(1 << 20);
+        mem::EvictInfo evict;
+        cache.insert(addr, evict);
+        EXPECT_NE(cache.lookup(addr), nullptr);
+    }
+}
+
+TEST(CacheProperty, OccupancyNeverExceedsCapacity)
+{
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 2048;
+    cfg.associativity = 2;
+    mem::Cache cache(cfg);
+    std::size_t capacity = cfg.sizeBytes / blockSizeBytes;
+    Rng rng(2);
+    for (int i = 0; i < 5000; ++i) {
+        mem::EvictInfo evict;
+        cache.insert(rng.below(1 << 22), evict);
+        ASSERT_LE(cache.validBlockCount(), capacity);
+    }
+}
+
+TEST(CacheProperty, EvictionConservesBlockCount)
+{
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 1024;
+    cfg.associativity = 2;
+    mem::Cache cache(cfg);
+    Rng rng(3);
+    std::size_t inserted_new = 0, evicted = 0;
+    for (int i = 0; i < 3000; ++i) {
+        Addr addr = blockAlign(rng.below(1 << 18));
+        bool present = cache.contains(addr);
+        mem::EvictInfo evict;
+        cache.insert(addr, evict);
+        if (!present)
+            ++inserted_new;
+        if (evict.evicted)
+            ++evicted;
+        ASSERT_EQ(cache.validBlockCount(), inserted_new - evicted);
+    }
+}
+
+// --------------------------------------------------------------- stride
+
+class StrideSweep : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(StrideSweep, ArbitraryStridesAreDetected)
+{
+    std::int64_t stride = GetParam();
+    prefetch::StridePrefetcher pf;
+    prefetch::PrefetchQueue queue(256);
+    Addr addr = 0x40000000;
+    prefetch::DemandAccess access;
+    access.pc = 0x400400;
+    access.isLoad = true;
+    access.l1Hit = false;
+    for (int i = 0; i < 4; ++i) {
+        access.vaddr = addr;
+        pf.observe(access, queue);
+        addr += stride;
+    }
+    ASSERT_FALSE(queue.empty()) << "stride " << stride;
+    // The burst starts when the third access goes steady: the first
+    // candidate is one stride beyond that access (A2 + stride = A3).
+    Addr expected =
+        blockAlign(static_cast<Addr>(0x40000000 + 3 * stride));
+    EXPECT_EQ(queue.pop().blockAddr, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StrideSweep,
+                         ::testing::Values(8, 64, 72, 256, 4096, -64,
+                                           -8, -2048, 24, 1024 * 1024),
+                         [](const auto &info) {
+                             std::int64_t v = info.param;
+                             return (v < 0 ? "neg" : "pos") +
+                                    std::to_string(v < 0 ? -v : v);
+                         });
+
+// ---------------------------------------------------------------- queue
+
+TEST(QueueProperty, FifoOrderUnderFuzz)
+{
+    prefetch::PrefetchQueue queue(64);
+    Rng rng(4);
+    std::deque<Addr> model;
+    for (int i = 0; i < 20000; ++i) {
+        if (rng.chance(0.6)) {
+            Addr block = blockAlign(rng.below(1 << 24));
+            bool in_model = std::find(model.begin(), model.end(),
+                                      block) != model.end();
+            bool accepted = queue.push(block, 0);
+            if (model.size() >= 64 || in_model)
+                ASSERT_FALSE(accepted);
+            else {
+                ASSERT_TRUE(accepted);
+                model.push_back(block);
+            }
+        } else if (!model.empty()) {
+            ASSERT_EQ(queue.pop().blockAddr, model.front());
+            model.pop_front();
+        }
+        ASSERT_EQ(queue.size(), model.size());
+    }
+}
+
+// ------------------------------------------------------------------ ARF
+
+TEST(ArfProperty, ReadNeverReturnsAValueFromTheFuture)
+{
+    core::AlternateRegisterFile arf;
+    Rng rng(5);
+    // Model: list of (seq, visibleAt, value) accepted writes.
+    std::vector<std::array<std::uint64_t, 3>> accepted;
+    InstSeqNum max_seq = 0;
+    for (int i = 0; i < 3000; ++i) {
+        InstSeqNum seq = rng.below(1000);
+        Cycle visible = rng.below(10000);
+        RegVal value = rng.next();
+        if (seq >= max_seq) {
+            accepted.push_back({seq, visible, value});
+            max_seq = seq;
+        }
+        arf.update(7, value, seq, visible);
+
+        Cycle now = rng.below(12000);
+        RegVal read = arf.read(7, now);
+        if (read != 0) {
+            // Whatever we read must correspond to an accepted write
+            // whose producer completed by `now`.
+            bool legal = false;
+            for (const auto &w : accepted)
+                if (w[2] == read && w[1] <= now)
+                    legal = true;
+            ASSERT_TRUE(legal) << "value from the future at " << now;
+        }
+    }
+}
+
+// ------------------------------------------------------------ hierarchy
+
+TEST(HierarchyProperty, LatencyBoundedByColdMissCost)
+{
+    mem::HierarchyConfig cfg;
+    mem::Hierarchy mem(cfg);
+    Rng rng(6);
+    // Upper bound: full path + maximal MSHR/bus queueing window.
+    Cycle bound = 2 * (cfg.l1d.hitLatency + cfg.l2.hitLatency +
+                       cfg.l3HitLatency) +
+                  (cfg.l1Mshrs + 1) * (cfg.dram.accessLatency +
+                                       16 * cfg.dram.cyclesPerBlock);
+    // Advance time at least as fast as the bus can drain (one block
+    // per cyclesPerBlock); otherwise queueing delay grows without
+    // bound by design and no constant cap exists.
+    Cycle now = 0;
+    for (int i = 0; i < 5000; ++i) {
+        now += cfg.dram.cyclesPerBlock + rng.below(20);
+        mem::AccessOutcome out =
+            mem.access(0, blockAlign(rng.below(1 << 24)), false, now);
+        ASSERT_LE(out.latency, bound);
+    }
+}
+
+TEST(HierarchyProperty, HitLatencyIsMinimal)
+{
+    mem::Hierarchy mem(mem::HierarchyConfig{});
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+        Addr addr = blockAlign(rng.below(1 << 22));
+        Cycle warm = 1000000 + i * 1000;
+        mem.access(0, addr, false, warm - 500);
+        mem::AccessOutcome out = mem.access(0, addr, false, warm);
+        ASSERT_GE(out.latency, mem.config().l1d.hitLatency);
+    }
+}
+
+// ------------------------------------------------------------- executor
+
+TEST(ExecutorProperty, DeterministicAcrossRuns)
+{
+    // A small self-mutating program driven by an LCG must produce
+    // bit-identical architectural state across executions.
+    isa::Assembler as;
+    as.movi(isa::R20, 6364136223846793005LL);
+    as.movi(isa::R21, 1442695040888963407LL);
+    as.movi(isa::R7, 99);
+    as.movi(isa::R1, 0x100000);
+    as.label("top");
+    as.mul(isa::R7, isa::R7, isa::R20);
+    as.add(isa::R7, isa::R7, isa::R21);
+    as.srli(isa::R2, isa::R7, 20);
+    as.andi(isa::R2, isa::R2, 0xfff8);
+    as.add(isa::R3, isa::R1, isa::R2);
+    as.load(isa::R4, isa::R3, 0);
+    as.add(isa::R4, isa::R4, isa::R7);
+    as.store(isa::R4, isa::R3, 0);
+    as.jmp("top");
+    isa::Program p = as.assemble();
+
+    auto run = [&p] {
+        sim::Executor exec(p);
+        sim::DynOp op;
+        for (int i = 0; i < 50000; ++i)
+            exec.step(op);
+        std::array<RegVal, numArchRegs> regs{};
+        for (int r = 0; r < numArchRegs; ++r)
+            regs[r] = exec.reg(static_cast<RegIndex>(r));
+        return regs;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------- timing model
+
+TEST(TimingProperty, SlowerMemoryNeverSpeedsExecution)
+{
+    // Same program, increasing DRAM latency: cycles must not decrease.
+    isa::Assembler as;
+    as.movi(isa::R1, 0x100000);
+    as.label("top");
+    as.load(isa::R2, isa::R1, 0);
+    as.addi(isa::R1, isa::R1, 64);
+    as.jmp("top");
+    isa::Program p = as.assemble();
+
+    Cycle prev_cycles = 0;
+    for (Cycle dram_latency : {100u, 200u, 400u}) {
+        mem::HierarchyConfig hier;
+        hier.dram.accessLatency = dram_latency;
+        mem::Hierarchy hierarchy(hier);
+        sim::OooCore core(0, sim::CoreConfig{}, p, hierarchy);
+        while (core.retired() < 20000 && core.stepInstruction()) {
+        }
+        Cycle cycles = core.stats().cycles;
+        EXPECT_GE(cycles, prev_cycles);
+        prev_cycles = cycles;
+    }
+}
+
+TEST(TimingProperty, CommitCyclesAreMonotonicInInstructionCount)
+{
+    isa::Assembler as;
+    as.label("top");
+    as.addi(isa::R1, isa::R1, 1);
+    as.jmp("top");
+    isa::Program p = as.assemble();
+    mem::Hierarchy hierarchy(mem::HierarchyConfig{});
+    sim::OooCore core(0, sim::CoreConfig{}, p, hierarchy);
+    Cycle prev = 0;
+    for (int i = 0; i < 10000; ++i) {
+        ASSERT_TRUE(core.stepInstruction());
+        ASSERT_GE(core.stats().cycles, prev);
+        prev = core.stats().cycles;
+    }
+}
+
+} // namespace
+} // namespace bfsim

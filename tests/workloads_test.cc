@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Workload-suite tests: registry completeness and, parameterized over
+ * all 18 kernels, basic execution health (no faults, endless, real
+ * memory and branch activity).
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/executor.hh"
+#include "workloads/workload.hh"
+
+namespace bfsim::workloads {
+namespace {
+
+TEST(Registry, HasAll18PaperBenchmarks)
+{
+    const std::set<std::string> expected{
+        "astar",   "bwaves",     "bzip2",  "cactusADM", "calculix",
+        "gamess",  "gromacs",    "h264ref", "hmmer",    "lbm",
+        "leslie3d", "libquantum", "mcf",    "milc",     "sjeng",
+        "soplex",  "sphinx",     "zeusmp"};
+    std::set<std::string> actual;
+    for (const auto &w : allWorkloads())
+        actual.insert(w.name);
+    EXPECT_EQ(actual, expected);
+    EXPECT_EQ(allWorkloads().size(), 18u);
+}
+
+TEST(Registry, AlphabeticalOrderMatchesFig8)
+{
+    auto names = workloadNames();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, LookupByNameWorks)
+{
+    const Workload &w = workloadByName("mcf");
+    EXPECT_EQ(w.name, "mcf");
+    EXPECT_FALSE(w.program.empty());
+}
+
+TEST(RegistryDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(workloadByName("doom3"), testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(Registry, SensitiveSubsetIsNonTrivial)
+{
+    auto sensitive = prefetchSensitiveNames();
+    EXPECT_GT(sensitive.size(), 8u);
+    EXPECT_LT(sensitive.size(), 18u);
+}
+
+class WorkloadHealth : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadHealth, Runs200kInstructionsWithoutHalting)
+{
+    const Workload &w = workloadByName(GetParam());
+    sim::Executor exec(w.program);
+    sim::DynOp op;
+    for (int i = 0; i < 200000; ++i)
+        ASSERT_TRUE(exec.step(op)) << "halted at " << i;
+}
+
+TEST_P(WorkloadHealth, HasRealisticMemoryAndBranchMix)
+{
+    const Workload &w = workloadByName(GetParam());
+    sim::Executor exec(w.program);
+    sim::DynOp op;
+    std::uint64_t mem_ops = 0, branches = 0, total = 100000;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        ASSERT_TRUE(exec.step(op));
+        mem_ops += op.inst->isMemory();
+        branches += op.inst->isControl();
+    }
+    // Memory instructions: at least a few percent, at most ~60%.
+    EXPECT_GT(mem_ops, total / 50);
+    EXPECT_LT(mem_ops, total * 7 / 10);
+    // Control flow present but not degenerate.
+    EXPECT_GT(branches, total / 100);
+    EXPECT_LT(branches, total / 2);
+}
+
+TEST_P(WorkloadHealth, TouchesDeclaredFootprintScale)
+{
+    const Workload &w = workloadByName(GetParam());
+    sim::Executor exec(w.program);
+    sim::DynOp op;
+    std::set<Addr> blocks;
+    for (int i = 0; i < 300000; ++i) {
+        ASSERT_TRUE(exec.step(op));
+        if (op.inst->isMemory())
+            blocks.insert(blockAlign(op.effAddr));
+    }
+    // Every kernel must exercise at least a handful of cache blocks;
+    // the memory-hungry ones must span far more.
+    EXPECT_GE(blocks.size(), 4u);
+    if (w.footprintBytes > 4 * 1024 * 1024)
+        EXPECT_GT(blocks.size(), 1000u);
+}
+
+TEST_P(WorkloadHealth, EffectiveAddressesStayAligned)
+{
+    const Workload &w = workloadByName(GetParam());
+    sim::Executor exec(w.program);
+    sim::DynOp op;
+    for (int i = 0; i < 100000; ++i) {
+        ASSERT_TRUE(exec.step(op));
+        if (op.inst->isMemory())
+            ASSERT_EQ(op.effAddr & 0x7, 0u) << "unaligned access";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, WorkloadHealth,
+    ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace bfsim::workloads
