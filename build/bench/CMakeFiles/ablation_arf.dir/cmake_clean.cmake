@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arf.dir/ablation_arf.cc.o"
+  "CMakeFiles/ablation_arf.dir/ablation_arf.cc.o.d"
+  "ablation_arf"
+  "ablation_arf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_bfetch_features.cc" "bench/CMakeFiles/ablation_bfetch_features.dir/ablation_bfetch_features.cc.o" "gcc" "bench/CMakeFiles/ablation_bfetch_features.dir/ablation_bfetch_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bfsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bfsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bfsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/bfsim_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/bfsim_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bfsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bfsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bfsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bfetch_features.dir/ablation_bfetch_features.cc.o"
+  "CMakeFiles/ablation_bfetch_features.dir/ablation_bfetch_features.cc.o.d"
+  "ablation_bfetch_features"
+  "ablation_bfetch_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bfetch_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

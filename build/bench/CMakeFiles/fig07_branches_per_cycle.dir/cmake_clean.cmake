@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_branches_per_cycle.dir/fig07_branches_per_cycle.cc.o"
+  "CMakeFiles/fig07_branches_per_cycle.dir/fig07_branches_per_cycle.cc.o.d"
+  "fig07_branches_per_cycle"
+  "fig07_branches_per_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_branches_per_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_single_thread.dir/fig08_single_thread.cc.o"
+  "CMakeFiles/fig08_single_thread.dir/fig08_single_thread.cc.o.d"
+  "fig08_single_thread"
+  "fig08_single_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_single_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mix2.dir/fig09_mix2.cc.o"
+  "CMakeFiles/fig09_mix2.dir/fig09_mix2.cc.o.d"
+  "fig09_mix2"
+  "fig09_mix2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mix2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

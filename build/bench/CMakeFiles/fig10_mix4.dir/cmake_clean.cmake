@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mix4.dir/fig10_mix4.cc.o"
+  "CMakeFiles/fig10_mix4.dir/fig10_mix4.cc.o.d"
+  "fig10_mix4"
+  "fig10_mix4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mix4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_useful_useless.dir/fig11_useful_useless.cc.o"
+  "CMakeFiles/fig11_useful_useless.dir/fig11_useful_useless.cc.o.d"
+  "fig11_useful_useless"
+  "fig11_useful_useless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_useful_useless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_confidence_sens.dir/fig12_confidence_sens.cc.o"
+  "CMakeFiles/fig12_confidence_sens.dir/fig12_confidence_sens.cc.o.d"
+  "fig12_confidence_sens"
+  "fig12_confidence_sens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_confidence_sens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bp_size_sens.dir/fig13_bp_size_sens.cc.o"
+  "CMakeFiles/fig13_bp_size_sens.dir/fig13_bp_size_sens.cc.o.d"
+  "fig13_bp_size_sens"
+  "fig13_bp_size_sens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bp_size_sens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_bp_size_sens.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_bp_size_sens.
+# This may be replaced when dependencies are built.

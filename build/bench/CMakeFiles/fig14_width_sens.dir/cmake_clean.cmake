@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_width_sens.dir/fig14_width_sens.cc.o"
+  "CMakeFiles/fig14_width_sens.dir/fig14_width_sens.cc.o.d"
+  "fig14_width_sens"
+  "fig14_width_sens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_width_sens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_storage_sens.dir/fig15_storage_sens.cc.o"
+  "CMakeFiles/fig15_storage_sens.dir/fig15_storage_sens.cc.o.d"
+  "fig15_storage_sens"
+  "fig15_storage_sens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_storage_sens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

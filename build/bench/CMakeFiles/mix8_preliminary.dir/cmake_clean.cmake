@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix8_preliminary.dir/mix8_preliminary.cc.o"
+  "CMakeFiles/mix8_preliminary.dir/mix8_preliminary.cc.o.d"
+  "mix8_preliminary"
+  "mix8_preliminary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix8_preliminary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

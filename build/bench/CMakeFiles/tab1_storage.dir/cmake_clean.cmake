@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_storage.dir/tab1_storage.cc.o"
+  "CMakeFiles/tab1_storage.dir/tab1_storage.cc.o.d"
+  "tab1_storage"
+  "tab1_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

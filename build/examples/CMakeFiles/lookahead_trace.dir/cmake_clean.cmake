@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookahead_trace.dir/lookahead_trace.cpp.o"
+  "CMakeFiles/lookahead_trace.dir/lookahead_trace.cpp.o.d"
+  "lookahead_trace"
+  "lookahead_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookahead_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_branch.dir/confidence.cc.o"
+  "CMakeFiles/bfsim_branch.dir/confidence.cc.o.d"
+  "CMakeFiles/bfsim_branch.dir/predictor.cc.o"
+  "CMakeFiles/bfsim_branch.dir/predictor.cc.o.d"
+  "libbfsim_branch.a"
+  "libbfsim_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

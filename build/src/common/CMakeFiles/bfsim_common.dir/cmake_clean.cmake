@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_common.dir/log.cc.o"
+  "CMakeFiles/bfsim_common.dir/log.cc.o.d"
+  "CMakeFiles/bfsim_common.dir/stats.cc.o"
+  "CMakeFiles/bfsim_common.dir/stats.cc.o.d"
+  "CMakeFiles/bfsim_common.dir/table.cc.o"
+  "CMakeFiles/bfsim_common.dir/table.cc.o.d"
+  "libbfsim_common.a"
+  "libbfsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

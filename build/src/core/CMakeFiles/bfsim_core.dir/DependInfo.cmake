@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bfetch.cc" "src/core/CMakeFiles/bfsim_core.dir/bfetch.cc.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/bfetch.cc.o.d"
+  "/root/repo/src/core/brtc.cc" "src/core/CMakeFiles/bfsim_core.dir/brtc.cc.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/brtc.cc.o.d"
+  "/root/repo/src/core/mht.cc" "src/core/CMakeFiles/bfsim_core.dir/mht.cc.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/mht.cc.o.d"
+  "/root/repo/src/core/per_load_filter.cc" "src/core/CMakeFiles/bfsim_core.dir/per_load_filter.cc.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/per_load_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bfsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/bfsim_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/bfsim_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

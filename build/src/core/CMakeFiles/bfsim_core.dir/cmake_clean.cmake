@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_core.dir/bfetch.cc.o"
+  "CMakeFiles/bfsim_core.dir/bfetch.cc.o.d"
+  "CMakeFiles/bfsim_core.dir/brtc.cc.o"
+  "CMakeFiles/bfsim_core.dir/brtc.cc.o.d"
+  "CMakeFiles/bfsim_core.dir/mht.cc.o"
+  "CMakeFiles/bfsim_core.dir/mht.cc.o.d"
+  "CMakeFiles/bfsim_core.dir/per_load_filter.cc.o"
+  "CMakeFiles/bfsim_core.dir/per_load_filter.cc.o.d"
+  "libbfsim_core.a"
+  "libbfsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_harness.dir/experiment.cc.o"
+  "CMakeFiles/bfsim_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/bfsim_harness.dir/mixes.cc.o"
+  "CMakeFiles/bfsim_harness.dir/mixes.cc.o.d"
+  "CMakeFiles/bfsim_harness.dir/report.cc.o"
+  "CMakeFiles/bfsim_harness.dir/report.cc.o.d"
+  "libbfsim_harness.a"
+  "libbfsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

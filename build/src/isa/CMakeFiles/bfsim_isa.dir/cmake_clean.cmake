@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_isa.dir/assembler.cc.o"
+  "CMakeFiles/bfsim_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/bfsim_isa.dir/isa.cc.o"
+  "CMakeFiles/bfsim_isa.dir/isa.cc.o.d"
+  "CMakeFiles/bfsim_isa.dir/program.cc.o"
+  "CMakeFiles/bfsim_isa.dir/program.cc.o.d"
+  "libbfsim_isa.a"
+  "libbfsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

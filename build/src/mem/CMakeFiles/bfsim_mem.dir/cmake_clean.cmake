@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_mem.dir/cache.cc.o"
+  "CMakeFiles/bfsim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/bfsim_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/bfsim_mem.dir/hierarchy.cc.o.d"
+  "libbfsim_mem.a"
+  "libbfsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

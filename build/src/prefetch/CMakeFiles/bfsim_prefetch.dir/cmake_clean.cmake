@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_prefetch.dir/sms.cc.o"
+  "CMakeFiles/bfsim_prefetch.dir/sms.cc.o.d"
+  "CMakeFiles/bfsim_prefetch.dir/stride.cc.o"
+  "CMakeFiles/bfsim_prefetch.dir/stride.cc.o.d"
+  "libbfsim_prefetch.a"
+  "libbfsim_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

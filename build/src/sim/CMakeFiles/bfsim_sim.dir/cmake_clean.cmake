@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_sim.dir/cmp.cc.o"
+  "CMakeFiles/bfsim_sim.dir/cmp.cc.o.d"
+  "CMakeFiles/bfsim_sim.dir/executor.cc.o"
+  "CMakeFiles/bfsim_sim.dir/executor.cc.o.d"
+  "CMakeFiles/bfsim_sim.dir/ooo_core.cc.o"
+  "CMakeFiles/bfsim_sim.dir/ooo_core.cc.o.d"
+  "CMakeFiles/bfsim_sim.dir/profiler.cc.o"
+  "CMakeFiles/bfsim_sim.dir/profiler.cc.o.d"
+  "libbfsim_sim.a"
+  "libbfsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernels_compute.cc" "src/workloads/CMakeFiles/bfsim_workloads.dir/kernels_compute.cc.o" "gcc" "src/workloads/CMakeFiles/bfsim_workloads.dir/kernels_compute.cc.o.d"
+  "/root/repo/src/workloads/kernels_irregular.cc" "src/workloads/CMakeFiles/bfsim_workloads.dir/kernels_irregular.cc.o" "gcc" "src/workloads/CMakeFiles/bfsim_workloads.dir/kernels_irregular.cc.o.d"
+  "/root/repo/src/workloads/kernels_stencil.cc" "src/workloads/CMakeFiles/bfsim_workloads.dir/kernels_stencil.cc.o" "gcc" "src/workloads/CMakeFiles/bfsim_workloads.dir/kernels_stencil.cc.o.d"
+  "/root/repo/src/workloads/kernels_stream.cc" "src/workloads/CMakeFiles/bfsim_workloads.dir/kernels_stream.cc.o" "gcc" "src/workloads/CMakeFiles/bfsim_workloads.dir/kernels_stream.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/bfsim_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/bfsim_workloads.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/bfsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bfsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

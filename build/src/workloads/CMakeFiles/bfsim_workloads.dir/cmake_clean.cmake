@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_workloads.dir/kernels_compute.cc.o"
+  "CMakeFiles/bfsim_workloads.dir/kernels_compute.cc.o.d"
+  "CMakeFiles/bfsim_workloads.dir/kernels_irregular.cc.o"
+  "CMakeFiles/bfsim_workloads.dir/kernels_irregular.cc.o.d"
+  "CMakeFiles/bfsim_workloads.dir/kernels_stencil.cc.o"
+  "CMakeFiles/bfsim_workloads.dir/kernels_stencil.cc.o.d"
+  "CMakeFiles/bfsim_workloads.dir/kernels_stream.cc.o"
+  "CMakeFiles/bfsim_workloads.dir/kernels_stream.cc.o.d"
+  "CMakeFiles/bfsim_workloads.dir/registry.cc.o"
+  "CMakeFiles/bfsim_workloads.dir/registry.cc.o.d"
+  "libbfsim_workloads.a"
+  "libbfsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfetch_test.dir/bfetch_test.cc.o"
+  "CMakeFiles/bfetch_test.dir/bfetch_test.cc.o.d"
+  "bfetch_test"
+  "bfetch_test.pdb"
+  "bfetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
