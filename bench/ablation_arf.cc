@@ -48,6 +48,18 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
+    std::vector<harness::BatchJob> jobs;
+    for (bool commit_only : {false, true}) {
+        benchutil::appendSpeedupSweep(
+            jobs,
+            std::string("ablation_arf/") +
+                (commit_only ? "retire" : "execute"),
+            {sim::PrefetcherKind::BFetch}, optionsFor(commit_only));
+    }
+    benchutil::runSweep("ablation_arf", config, jobs);
+
     for (bool commit_only : {false, true}) {
         harness::RunOptions options = optionsFor(commit_only);
         for (const auto &w : workloads::allWorkloads()) {

@@ -61,6 +61,16 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
+    std::vector<harness::BatchJob> jobs;
+    for (const Variant &variant : variants) {
+        benchutil::appendSpeedupSweep(
+            jobs, std::string("ablation/") + variant.name,
+            {sim::PrefetcherKind::BFetch}, optionsFor(variant));
+    }
+    benchutil::runSweep("ablation_bfetch_features", config, jobs);
+
     for (const Variant &variant : variants) {
         harness::RunOptions options = optionsFor(variant);
         for (const auto &w : workloads::allWorkloads()) {

@@ -2,19 +2,25 @@
  * @file
  * Shared scaffolding for the per-figure bench binaries.
  *
- * Every bench registers its simulation points as google-benchmark cases
- * (one iteration each; the harness memoizes results so counters and the
- * final paper-style table share the same runs), then prints the table
- * the corresponding paper figure/table reports.
+ * Every bench builds its full sweep as a vector of harness::BatchJobs
+ * and submits it through the parallel batch runner (runSweep) first, so
+ * all simulation points execute across --jobs/BFSIM_JOBS worker threads
+ * with shared baselines deduplicated by the memo cache. It then
+ * registers its points as google-benchmark cases (one iteration each;
+ * the memoized results make these cache hits) and prints the table the
+ * corresponding paper figure/table reports.
  *
  * The per-core instruction budget defaults to 400k single-threaded /
- * 200k per mix core, overridable with BFSIM_INSTS.
+ * 200k per mix core, overridable with BFSIM_INSTRUCTIONS (alias
+ * BFSIM_INSTS). A machine-readable JSON results/timing report is
+ * written when --report=PATH or BFSIM_REPORT is given.
  */
 
 #ifndef BFSIM_BENCH_BENCH_UTIL_HH_
 #define BFSIM_BENCH_BENCH_UTIL_HH_
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <functional>
 #include <string>
@@ -23,12 +29,93 @@
 #include <benchmark/benchmark.h>
 
 #include "common/log.hh"
+#include "common/thread_pool.hh"
+#include "harness/batch.hh"
 #include "harness/experiment.hh"
 #include "harness/mixes.hh"
 #include "harness/report.hh"
 #include "workloads/workload.hh"
 
 namespace bfsim::benchutil {
+
+/** Batch-runner options shared by every bench binary. */
+struct BenchConfig
+{
+    /** Worker threads (0 = BFSIM_JOBS env, else hardware concurrency). */
+    unsigned jobs = 0;
+    /** JSON report destination ("" = none, "-" = stdout). */
+    std::string reportPath;
+};
+
+/**
+ * Parse and strip the shared batch flags (--jobs=N / --jobs N /
+ * --report=PATH / --report PATH) from argv before google-benchmark sees
+ * the remaining arguments. BFSIM_REPORT seeds the report path; the
+ * explicit flag wins.
+ */
+inline BenchConfig
+parseBenchConfig(int &argc, char **argv)
+{
+    BenchConfig config;
+    if (const char *env = std::getenv("BFSIM_REPORT"))
+        config.reportPath = env;
+
+    auto parse_jobs = [](const std::string &value) {
+        char *end = nullptr;
+        unsigned long jobs = std::strtoul(value.c_str(), &end, 10);
+        if (!end || *end != '\0' || jobs == 0)
+            fatal("--jobs expects a positive integer, got '" + value +
+                  "'");
+        return static_cast<unsigned>(jobs);
+    };
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--jobs=", 0) == 0) {
+            config.jobs = parse_jobs(arg.substr(7));
+        } else if (arg == "--jobs" || arg == "-j") {
+            if (i + 1 >= argc)
+                fatal(arg + " expects a value");
+            config.jobs = parse_jobs(argv[++i]);
+        } else if (arg.rfind("--report=", 0) == 0) {
+            config.reportPath = arg.substr(9);
+        } else if (arg == "--report") {
+            if (i + 1 >= argc)
+                fatal("--report expects a path");
+            config.reportPath = argv[++i];
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return config;
+}
+
+/**
+ * Execute the bench's sweep through the parallel batch runner, print
+ * batch timing to stderr and write the JSON report when configured.
+ */
+inline harness::BatchResult
+runSweep(const std::string &bench_name, const BenchConfig &config,
+         const std::vector<harness::BatchJob> &jobs)
+{
+    unsigned threads =
+        config.jobs ? config.jobs : ThreadPool::defaultThreadCount();
+    std::fprintf(stderr, "%s: %zu jobs on %u thread(s)\n",
+                 bench_name.c_str(), jobs.size(), threads);
+    harness::BatchResult batch = harness::runBatch(jobs, threads);
+    std::fprintf(stderr,
+                 "%s: wall %.2fs, serial-equivalent %.2fs, "
+                 "speedup %.2fx\n",
+                 bench_name.c_str(), batch.wallSeconds,
+                 batch.cpuSeconds, batch.speedup());
+    if (!config.reportPath.empty())
+        harness::writeBatchReportFile(config.reportPath, bench_name,
+                                      batch);
+    return batch;
+}
 
 /** Default options for single-threaded figure benches. */
 inline harness::RunOptions
@@ -88,6 +175,54 @@ comparedSchemes()
 {
     return {sim::PrefetcherKind::Stride, sim::PrefetcherKind::Sms,
             sim::PrefetcherKind::BFetch};
+}
+
+/**
+ * Append one single-run job per suite workload × scheme under
+ * `prefix`. Pass sim::PrefetcherKind::None in `schemes` to include the
+ * shared baseline runs speedupVsBaseline needs.
+ */
+inline void
+appendSingleSweep(std::vector<harness::BatchJob> &jobs,
+                  const std::string &prefix,
+                  const std::vector<sim::PrefetcherKind> &schemes,
+                  const harness::RunOptions &options)
+{
+    for (const auto &w : workloads::allWorkloads()) {
+        for (sim::PrefetcherKind kind : schemes) {
+            jobs.push_back(harness::BatchJob::single(
+                w.name, kind, options,
+                prefix + "/" + w.name + "/" +
+                    sim::prefetcherName(kind)));
+        }
+    }
+}
+
+/** Single sweep over baseline + the given schemes (the common case). */
+inline void
+appendSpeedupSweep(std::vector<harness::BatchJob> &jobs,
+                   const std::string &prefix,
+                   std::vector<sim::PrefetcherKind> schemes,
+                   const harness::RunOptions &options)
+{
+    schemes.insert(schemes.begin(), sim::PrefetcherKind::None);
+    appendSingleSweep(jobs, prefix, schemes, options);
+}
+
+/**
+ * Warm every per-workload FOA profile in parallel so the serial
+ * selectMixes call that follows finds them memoized.
+ */
+inline void
+warmFoaProfiles(unsigned n_threads)
+{
+    std::vector<harness::BatchJob> jobs;
+    for (const auto &w : workloads::allWorkloads()) {
+        jobs.push_back(harness::BatchJob::custom(
+            "foa/" + w.name,
+            [name = w.name] { return harness::foaProfile(name); }));
+    }
+    harness::runBatch(jobs, n_threads);
 }
 
 } // namespace bfsim::benchutil

@@ -40,7 +40,18 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
     harness::RunOptions options = benchutil::singleOptions();
+
+    std::vector<harness::BatchJob> jobs;
+    benchutil::appendSpeedupSweep(jobs, "fig01",
+                                  {sim::PrefetcherKind::Stride,
+                                   sim::PrefetcherKind::Sms,
+                                   sim::PrefetcherKind::Perfect},
+                                  options);
+    benchutil::runSweep("fig01", config, jobs);
+
     for (const auto &w : workloads::allWorkloads()) {
         for (sim::PrefetcherKind kind :
              {sim::PrefetcherKind::Stride, sim::PrefetcherKind::Sms,

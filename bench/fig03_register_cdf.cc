@@ -56,14 +56,30 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
     std::uint64_t insts = harness::benchInstructionBudget(400'000);
+
+    // The profiling passes are independent per workload; run them as
+    // custom batch jobs, each writing its own slot of `results`.
+    std::vector<harness::BatchJob> jobs;
     int index = 0;
+    for (const auto &w : workloads::allWorkloads()) {
+        jobs.push_back(harness::BatchJob::custom(
+            "fig03/profile/" + w.name, [index, &w, insts] {
+                results[index] =
+                    sim::profileRegisterVariation(w.program, insts);
+                return static_cast<double>(results[index].basicBlocks);
+            }));
+        ++index;
+    }
+    benchutil::runSweep("fig03", config, jobs);
+
+    index = 0;
     for (const auto &w : workloads::allWorkloads()) {
         benchutil::registerCase(
             "fig03/profile/" + w.name, "basic_blocks",
-            [index, &w, insts] {
-                results[index] =
-                    sim::profileRegisterVariation(w.program, insts);
+            [index] {
                 return static_cast<double>(results[index].basicBlocks);
             });
         ++index;

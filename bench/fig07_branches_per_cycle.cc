@@ -53,7 +53,15 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
     harness::RunOptions options = benchutil::singleOptions();
+
+    std::vector<harness::BatchJob> jobs;
+    benchutil::appendSingleSweep(jobs, "fig07",
+                                 {sim::PrefetcherKind::None}, options);
+    benchutil::runSweep("fig07", config, jobs);
+
     for (const auto &w : workloads::allWorkloads()) {
         benchutil::registerCase(
             "fig07/" + w.name, "branch_cycles",

@@ -50,7 +50,16 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
     harness::RunOptions options = benchutil::singleOptions();
+
+    std::vector<harness::BatchJob> jobs;
+    benchutil::appendSpeedupSweep(jobs, "fig08",
+                                  benchutil::comparedSchemes(),
+                                  options);
+    benchutil::runSweep("fig08", config, jobs);
+
     for (const auto &w : workloads::allWorkloads()) {
         for (sim::PrefetcherKind kind : benchutil::comparedSchemes()) {
             benchutil::registerCase(

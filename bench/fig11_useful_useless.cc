@@ -54,7 +54,17 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
     harness::RunOptions options = benchutil::singleOptions();
+
+    std::vector<harness::BatchJob> jobs;
+    benchutil::appendSingleSweep(jobs, "fig11",
+                                 {sim::PrefetcherKind::Sms,
+                                  sim::PrefetcherKind::BFetch},
+                                 options);
+    benchutil::runSweep("fig11", config, jobs);
+
     for (const auto &w : workloads::allWorkloads()) {
         for (sim::PrefetcherKind kind :
              {sim::PrefetcherKind::Sms, sim::PrefetcherKind::BFetch}) {

@@ -48,6 +48,16 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
+    std::vector<harness::BatchJob> jobs;
+    for (double threshold : thresholds) {
+        benchutil::appendSpeedupSweep(
+            jobs, "fig12/conf" + TextTable::fmt(threshold, 2),
+            {sim::PrefetcherKind::BFetch}, optionsFor(threshold));
+    }
+    benchutil::runSweep("fig12", config, jobs);
+
     for (double threshold : thresholds) {
         harness::RunOptions options = optionsFor(threshold);
         for (const auto &w : workloads::allWorkloads()) {

@@ -63,6 +63,18 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
+    std::vector<harness::BatchJob> jobs;
+    for (double scale : scales) {
+        harness::RunOptions options = benchutil::singleOptions();
+        options.bpSizeScale = scale;
+        benchutil::appendSpeedupSweep(
+            jobs, "fig13/scale" + TextTable::fmt(scale, 1),
+            {sim::PrefetcherKind::BFetch}, options);
+    }
+    benchutil::runSweep("fig13", config, jobs);
+
     for (double scale : scales) {
         harness::RunOptions options = benchutil::singleOptions();
         options.bpSizeScale = scale;

@@ -46,6 +46,16 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
+    std::vector<harness::BatchJob> jobs;
+    for (unsigned width : widths) {
+        benchutil::appendSpeedupSweep(
+            jobs, "fig14/" + std::to_string(width) + "wide",
+            {sim::PrefetcherKind::BFetch}, optionsFor(width));
+    }
+    benchutil::runSweep("fig14", config, jobs);
+
     for (unsigned width : widths) {
         harness::RunOptions options = optionsFor(width);
         for (const auto &w : workloads::allWorkloads()) {

@@ -61,6 +61,16 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
+    std::vector<harness::BatchJob> jobs;
+    for (std::size_t entries : entryCounts) {
+        benchutil::appendSpeedupSweep(
+            jobs, "fig15/" + std::to_string(entries),
+            {sim::PrefetcherKind::BFetch}, optionsFor(entries));
+    }
+    benchutil::runSweep("fig15", config, jobs);
+
     for (std::size_t entries : entryCounts) {
         harness::RunOptions options = optionsFor(entries);
         for (const auto &w : workloads::allWorkloads()) {

@@ -58,10 +58,32 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
+    unsigned threads = config.jobs
+                           ? config.jobs
+                           : ThreadPool::defaultThreadCount();
     harness::RunOptions options;
     options.instructions = harness::benchInstructionBudget(100'000);
+
+    benchutil::warmFoaProfiles(threads);
     auto mixes = harness::selectMixes(8, 4);
+    std::vector<harness::BatchJob> jobs;
     int index = 1;
+    for (const auto &mix : mixes) {
+        for (sim::PrefetcherKind kind :
+             {sim::PrefetcherKind::None, sim::PrefetcherKind::Stride,
+              sim::PrefetcherKind::Sms, sim::PrefetcherKind::BFetch}) {
+            jobs.push_back(harness::BatchJob::mix(
+                mix.workloads, kind, options,
+                "mix8/mix" + std::to_string(index) + "/" +
+                    sim::prefetcherName(kind)));
+        }
+        ++index;
+    }
+    benchutil::runSweep("mix8", config, jobs);
+
+    index = 1;
     for (const auto &mix : mixes) {
         for (sim::PrefetcherKind kind : benchutil::comparedSchemes()) {
             benchutil::registerCase(

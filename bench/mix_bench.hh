@@ -63,11 +63,41 @@ printMixReport(unsigned mix_size, const char *figure)
     table.print(std::cout);
 }
 
+/** The mix sweep of one figure: every mix under every scheme. */
+inline std::vector<harness::BatchJob>
+mixSweepJobs(const char *figure, const std::vector<harness::Mix> &mixes,
+             const harness::RunOptions &options)
+{
+    std::vector<harness::BatchJob> jobs;
+    int index = 1;
+    for (const auto &mix : mixes) {
+        for (sim::PrefetcherKind kind :
+             {sim::PrefetcherKind::None, sim::PrefetcherKind::Stride,
+              sim::PrefetcherKind::Sms, sim::PrefetcherKind::BFetch}) {
+            jobs.push_back(harness::BatchJob::mix(
+                mix.workloads, kind, options,
+                std::string("fig") + figure + "/mix" +
+                    std::to_string(index) + "/" +
+                    sim::prefetcherName(kind)));
+        }
+        ++index;
+    }
+    return jobs;
+}
+
 inline int
 runMixBench(int argc, char **argv, unsigned mix_size, const char *figure)
 {
+    BenchConfig config = parseBenchConfig(argc, argv);
+    unsigned threads =
+        config.jobs ? config.jobs : ThreadPool::defaultThreadCount();
     harness::RunOptions options = mixOptions();
+
+    warmFoaProfiles(threads);
     auto mixes = harness::selectMixes(mix_size, 29);
+    runSweep(std::string("fig") + figure, config,
+             mixSweepJobs(figure, mixes, options));
+
     int index = 1;
     for (const auto &mix : mixes) {
         for (sim::PrefetcherKind kind : comparedSchemes()) {

@@ -66,11 +66,20 @@ printReport()
 int
 main(int argc, char **argv)
 {
-    bfsim::benchutil::registerCase("tab1/storage", "bfetch_kb", [] {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
+    auto storage_kb = [] {
         prefetch::PrefetchQueue queue(100);
         auto bp = branch::makeTournamentPredictor();
         core::BFetchEngine engine(core::BFetchConfig{}, *bp, queue);
         return static_cast<double>(engine.storageBits()) / 8.0 / 1024.0;
-    });
+    };
+
+    std::vector<harness::BatchJob> jobs{
+        harness::BatchJob::custom("tab1/storage", storage_kb)};
+    benchutil::runSweep("tab1", config, jobs);
+
+    bfsim::benchutil::registerCase("tab1/storage", "bfetch_kb",
+                                   storage_kb);
     return bfsim::benchutil::runBench(argc, argv, printReport);
 }

@@ -84,7 +84,15 @@ printReport()
 int
 main(int argc, char **argv)
 {
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
     harness::RunOptions options = benchutil::singleOptions();
+
+    std::vector<harness::BatchJob> jobs;
+    benchutil::appendSingleSweep(jobs, "tab2",
+                                 {sim::PrefetcherKind::None}, options);
+    benchutil::runSweep("tab2", config, jobs);
+
     bfsim::benchutil::registerCase(
         "tab2/baseline_missrate", "miss_rate", [options] {
             double total = 0.0;

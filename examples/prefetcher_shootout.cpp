@@ -7,7 +7,9 @@
  * changes interactively.
  *
  * Usage: prefetcher_shootout [instructions] [workload...]
- *   defaults: 300000 instructions, {libquantum, mcf, milc, gromacs}.
+ *   defaults: 300000 instructions (or BFSIM_INSTRUCTIONS),
+ *   {libquantum, mcf, milc, gromacs}. The sweep fans out across
+ *   BFSIM_JOBS worker threads before the tables print.
  */
 
 #include <cstdio>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "harness/batch.hh"
 #include "harness/experiment.hh"
 #include "workloads/workload.hh"
 
@@ -27,7 +30,8 @@ main(int argc, char **argv)
 
     harness::RunOptions options;
     options.instructions =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300'000;
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                 : harness::benchInstructionBudget(300'000);
     std::vector<std::string> names;
     for (int i = 2; i < argc; ++i)
         names.push_back(argv[i]);
@@ -39,6 +43,18 @@ main(int argc, char **argv)
         sim::PrefetcherKind::Sms,    sim::PrefetcherKind::BFetch,
         sim::PrefetcherKind::Perfect,
     };
+
+    // Fan the whole sweep (incl. the no-prefetch baselines) across the
+    // batch runner; the table loop below then reads memoized results.
+    std::vector<harness::BatchJob> jobs;
+    for (const std::string &name : names) {
+        jobs.push_back(harness::BatchJob::single(
+            name, sim::PrefetcherKind::None, options));
+        for (sim::PrefetcherKind kind : kinds)
+            jobs.push_back(
+                harness::BatchJob::single(name, kind, options));
+    }
+    harness::runBatch(jobs);
 
     for (const std::string &name : names) {
         const workloads::Workload &workload =

@@ -1,9 +1,12 @@
 #include "common/log.hh"
 
+#include <atomic>
+
 namespace bfsim {
 
 namespace {
-bool quietFlag = false;
+// Atomic so runBatch workers may warn while the main thread toggles it.
+std::atomic<bool> quietFlag{false};
 } // namespace
 
 void

@@ -1,0 +1,75 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/log.hh"
+
+namespace bfsim {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    available.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (stopping)
+            throw std::runtime_error("submit on stopping ThreadPool");
+        queue.push_back(std::move(task));
+    }
+    available.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            available.wait(lock,
+                           [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and fully drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        // packaged_task captures exceptions into the future.
+        task();
+    }
+}
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("BFSIM_JOBS")) {
+        char *end = nullptr;
+        unsigned long value = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && value > 0)
+            return static_cast<unsigned>(value);
+        warn("ignoring malformed BFSIM_JOBS value");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace bfsim

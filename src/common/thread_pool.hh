@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fixed-size FIFO thread pool used by the parallel experiment batch
+ * runner (harness::runBatch). Tasks are executed in submission order
+ * (each worker pops the oldest queued task); results and exceptions
+ * propagate through std::future.
+ *
+ * The pool is deliberately small and boring: simulation jobs are
+ * long-running (hundreds of milliseconds to minutes), so scheduling
+ * overhead is irrelevant and a single locked deque outperforms a
+ * work-stealing setup in complexity per unit of benefit.
+ */
+
+#ifndef BFSIM_COMMON_THREAD_POOL_HH_
+#define BFSIM_COMMON_THREAD_POOL_HH_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace bfsim {
+
+/** A fixed-size pool of std::thread workers draining a FIFO queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `threads` workers (0 means defaultThreadCount()). The pool
+     * never spawns fewer than one worker.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains every queued task, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+    /**
+     * Enqueue a callable; returns a future for its result. Exceptions
+     * thrown by the callable surface from future::get(). Submitting to
+     * a pool whose destructor has begun throws std::runtime_error.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Worker count for parallel batches: the BFSIM_JOBS environment
+     * variable if set to a positive integer, else the hardware
+     * concurrency (at least 1).
+     */
+    static unsigned defaultThreadCount();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::mutex mutex;
+    std::condition_variable available;
+    std::deque<std::function<void()>> queue;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_COMMON_THREAD_POOL_HH_

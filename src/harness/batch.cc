@@ -1,0 +1,185 @@
+#include "harness/batch.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <utility>
+
+#include "common/log.hh"
+#include "common/thread_pool.hh"
+#include "workloads/workload.hh"
+
+namespace bfsim::harness {
+
+namespace {
+
+std::string
+schemeSlash(sim::PrefetcherKind kind)
+{
+    return std::string("/") + sim::prefetcherName(kind);
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+bool
+progressEnabled()
+{
+    const char *env = std::getenv("BFSIM_PROGRESS");
+    return !(env && std::string(env) == "0");
+}
+
+} // namespace
+
+BatchJob
+BatchJob::single(const std::string &workload, sim::PrefetcherKind kind,
+                 const RunOptions &options, std::string label)
+{
+    BatchJob job;
+    job.kind = Kind::Single;
+    job.workloads = {workload};
+    job.prefetcher = kind;
+    job.options = options;
+    job.label = label.empty() ? workload + schemeSlash(kind)
+                              : std::move(label);
+    return job;
+}
+
+BatchJob
+BatchJob::mix(const std::vector<std::string> &workloads,
+              sim::PrefetcherKind kind, const RunOptions &options,
+              std::string label)
+{
+    BatchJob job;
+    job.kind = Kind::Mix;
+    job.workloads = workloads;
+    job.prefetcher = kind;
+    job.options = options;
+    if (label.empty()) {
+        for (const auto &name : workloads) {
+            if (!job.label.empty())
+                job.label += '+';
+            job.label += name;
+        }
+        job.label += schemeSlash(kind);
+    } else {
+        job.label = std::move(label);
+    }
+    return job;
+}
+
+BatchJob
+BatchJob::custom(std::string label, std::function<double()> body)
+{
+    BatchJob job;
+    job.kind = Kind::Custom;
+    job.label = std::move(label);
+    job.body = std::move(body);
+    return job;
+}
+
+void
+defaultBatchProgress(const BatchItem &item, std::size_t done,
+                     std::size_t total)
+{
+    if (!progressEnabled())
+        return;
+    std::fprintf(stderr, "[%3zu/%zu] %s %.2fs%s\n", done, total,
+                 item.label.c_str(), item.seconds,
+                 item.cached ? " (cached)" : "");
+}
+
+BatchResult
+runBatch(const std::vector<BatchJob> &jobs, unsigned n_threads,
+         const BatchProgress &progress)
+{
+    BatchResult batch;
+    batch.items.resize(jobs.size());
+    if (n_threads == 0)
+        n_threads = ThreadPool::defaultThreadCount();
+    batch.threads = n_threads;
+    if (jobs.empty())
+        return batch;
+
+    // Build the (multi-megabyte) workload suite before fanning out so
+    // its one-time construction cost is not billed to the first job.
+    workloads::allWorkloads();
+
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+    const std::size_t total = jobs.size();
+    auto batch_start = std::chrono::steady_clock::now();
+
+    auto run_job = [&](std::size_t index) {
+        const BatchJob &job = jobs[index];
+        BatchItem &item = batch.items[index];
+        item.label = job.label;
+        item.kind = job.kind;
+        auto start = std::chrono::steady_clock::now();
+        bool computed = true;
+        switch (job.kind) {
+          case BatchJob::Kind::Single:
+            item.single = &runSingleCached(job.workloads.at(0),
+                                           job.prefetcher, job.options,
+                                           &computed);
+            break;
+          case BatchJob::Kind::Mix:
+            item.mix = &runMixCached(job.workloads, job.prefetcher,
+                                     job.options, &computed);
+            break;
+          case BatchJob::Kind::Custom:
+            item.value = job.body ? job.body() : 0.0;
+            break;
+        }
+        item.seconds = secondsSince(start);
+        item.cached = !computed;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++done;
+        if (progress)
+            progress(item, done, total);
+    };
+
+    std::exception_ptr first_error;
+    if (n_threads <= 1) {
+        // Serial reference path: no pool, same code path per job.
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            try {
+                run_job(i);
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    } else {
+        ThreadPool pool(n_threads);
+        std::vector<std::future<void>> futures;
+        futures.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            futures.push_back(pool.submit([&run_job, i] { run_job(i); }));
+        for (auto &future : futures) {
+            try {
+                future.get();
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    }
+
+    batch.wallSeconds = secondsSince(batch_start);
+    for (const BatchItem &item : batch.items)
+        batch.cpuSeconds += item.seconds;
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return batch;
+}
+
+} // namespace bfsim::harness

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Parallel experiment batch runner: fans independent runSingle / runMix
+ * jobs across a common ThreadPool, deduplicating shared work (e.g. the
+ * no-prefetch baselines every figure normalizes to) through the
+ * thread-safe future-based memo cache in harness/experiment, and
+ * returning results in deterministic submission order regardless of
+ * completion order.
+ *
+ * Every bench binary builds its whole sweep as a vector of BatchJobs
+ * and submits it through runBatch before printing its paper table; the
+ * per-job wall times and the batch-level wall/cpu seconds feed the JSON
+ * report (harness/report.hh) CI archives.
+ */
+
+#ifndef BFSIM_HARNESS_BATCH_HH_
+#define BFSIM_HARNESS_BATCH_HH_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace bfsim::harness {
+
+/** One independent unit of work in a batch. */
+struct BatchJob
+{
+    enum class Kind { Single, Mix, Custom };
+
+    Kind kind = Kind::Single;
+    /** Progress/report label; the factories synthesize one if empty. */
+    std::string label;
+    /** Workload names: exactly one for Single, the mix members for Mix. */
+    std::vector<std::string> workloads;
+    sim::PrefetcherKind prefetcher = sim::PrefetcherKind::None;
+    RunOptions options;
+    /** Kind::Custom only: arbitrary computation returning one value. */
+    std::function<double()> body;
+
+    /** A single-core (workload, prefetcher, options) simulation. */
+    static BatchJob single(const std::string &workload,
+                           sim::PrefetcherKind kind,
+                           const RunOptions &options,
+                           std::string label = {});
+
+    /** A multiprogrammed mix simulation. */
+    static BatchJob mix(const std::vector<std::string> &workloads,
+                        sim::PrefetcherKind kind,
+                        const RunOptions &options, std::string label = {});
+
+    /** An arbitrary computation (profiling passes, storage sizing...). */
+    static BatchJob custom(std::string label,
+                           std::function<double()> body);
+};
+
+/** Per-job outcome, in the submission order of the jobs vector. */
+struct BatchItem
+{
+    std::string label;
+    BatchJob::Kind kind = BatchJob::Kind::Single;
+    /** Valid for Kind::Single (stable: memo-cache lifetime). */
+    const SingleResult *single = nullptr;
+    /** Valid for Kind::Mix (stable: memo-cache lifetime). */
+    const MixResult *mix = nullptr;
+    /** Kind::Custom result value. */
+    double value = 0.0;
+    /** Wall seconds this job spent in its worker. */
+    double seconds = 0.0;
+    /** True when the memo cache satisfied the job without simulating. */
+    bool cached = false;
+};
+
+/** Results and timing of one runBatch call. */
+struct BatchResult
+{
+    std::vector<BatchItem> items;
+    unsigned threads = 1;
+    /** Wall seconds for the whole batch (submit to last completion). */
+    double wallSeconds = 0.0;
+    /** Sum of per-job worker seconds (serial-equivalent cost). */
+    double cpuSeconds = 0.0;
+
+    /** Measured wall-clock speedup over the serial-equivalent cost. */
+    double
+    speedup() const
+    {
+        return wallSeconds > 0.0 ? cpuSeconds / wallSeconds : 0.0;
+    }
+};
+
+/**
+ * Progress callback: invoked (serialized) after each job completes with
+ * the finished item and the done/total counts.
+ */
+using BatchProgress = std::function<void(
+    const BatchItem &item, std::size_t done, std::size_t total)>;
+
+/**
+ * Emit the default "[done/total] label seconds" progress line to
+ * stderr. Disabled wholesale by setting BFSIM_PROGRESS=0.
+ */
+void defaultBatchProgress(const BatchItem &item, std::size_t done,
+                          std::size_t total);
+
+/**
+ * Run `jobs` across `n_threads` workers (0 = BFSIM_JOBS env, else
+ * hardware concurrency). Results are returned in job order; duplicate
+ * jobs and shared baselines are computed exactly once via the memo
+ * cache. Exceptions from jobs are rethrown (first in job order) after
+ * every worker finishes.
+ */
+BatchResult runBatch(const std::vector<BatchJob> &jobs,
+                     unsigned n_threads = 0,
+                     const BatchProgress &progress = defaultBatchProgress);
+
+} // namespace bfsim::harness
+
+#endif // BFSIM_HARNESS_BATCH_HH_

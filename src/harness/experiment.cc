@@ -1,8 +1,13 @@
 #include "harness/experiment.hh"
 
+#include <atomic>
 #include <cstdlib>
+#include <functional>
+#include <future>
 #include <map>
+#include <mutex>
 #include <sstream>
+#include <utility>
 
 #include "common/log.hh"
 
@@ -45,6 +50,83 @@ makeHierarchyConfig(unsigned num_cores, const RunOptions &options)
     return cfg;
 }
 
+/**
+ * Thread-safe, future-based memo cache. The first requester of a key
+ * installs a shared_future and computes the value outside the lock;
+ * concurrent requesters of the same key block on that future instead of
+ * duplicating the computation. Values are immortal for the process
+ * lifetime (barring clearMemoCaches), so returned references are stable.
+ */
+template <typename Result>
+class FutureCache
+{
+  public:
+    const Result &
+    getOrCompute(const std::string &key,
+                 const std::function<Result()> &compute, bool *computed)
+    {
+        std::shared_future<Result> future;
+        std::promise<Result> promise;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            auto it = entries.find(key);
+            if (it == entries.end()) {
+                future = promise.get_future().share();
+                entries.emplace(key, future);
+                owner = true;
+            } else {
+                future = it->second;
+            }
+        }
+        if (owner) {
+            ++computes;
+            try {
+                promise.set_value(compute());
+            } catch (...) {
+                promise.set_exception(std::current_exception());
+            }
+        } else {
+            ++hits;
+        }
+        if (computed)
+            *computed = owner;
+        return future.get();
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        entries.clear();
+        computes = 0;
+        hits = 0;
+    }
+
+    std::uint64_t computeCount() const { return computes.load(); }
+    std::uint64_t hitCount() const { return hits.load(); }
+
+  private:
+    std::mutex mutex;
+    std::map<std::string, std::shared_future<Result>> entries;
+    std::atomic<std::uint64_t> computes{0};
+    std::atomic<std::uint64_t> hits{0};
+};
+
+FutureCache<SingleResult> &
+singleCache()
+{
+    static FutureCache<SingleResult> cache;
+    return cache;
+}
+
+FutureCache<MixResult> &
+mixCache()
+{
+    static FutureCache<MixResult> cache;
+    return cache;
+}
+
 } // namespace
 
 SingleResult
@@ -76,17 +158,15 @@ runSingle(const std::string &workload_name, sim::PrefetcherKind kind,
 
 const SingleResult &
 runSingleCached(const std::string &workload_name, sim::PrefetcherKind kind,
-                const RunOptions &options)
+                const RunOptions &options, bool *computed)
 {
-    static std::map<std::string, SingleResult> cache;
     std::string key = workload_name + '|' +
                       sim::prefetcherName(kind) + '|' +
                       options.cacheKey();
-    auto it = cache.find(key);
-    if (it == cache.end())
-        it = cache.emplace(key, runSingle(workload_name, kind, options))
-                 .first;
-    return it->second;
+    return singleCache().getOrCompute(
+        key,
+        [&] { return runSingle(workload_name, kind, options); },
+        computed);
 }
 
 MixResult
@@ -126,19 +206,35 @@ runMix(const std::vector<std::string> &workload_names,
 
 const MixResult &
 runMixCached(const std::vector<std::string> &workload_names,
-             sim::PrefetcherKind kind, const RunOptions &options)
+             sim::PrefetcherKind kind, const RunOptions &options,
+             bool *computed)
 {
-    static std::map<std::string, MixResult> cache;
     std::string key = sim::prefetcherName(kind) + '|' +
                       options.cacheKey();
     for (const auto &name : workload_names)
         key += '|' + name;
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        it = cache.emplace(key, runMix(workload_names, kind, options))
-                 .first;
-    }
-    return it->second;
+    return mixCache().getOrCompute(
+        key,
+        [&] { return runMix(workload_names, kind, options); },
+        computed);
+}
+
+MemoStats
+memoStats()
+{
+    MemoStats stats;
+    stats.singleComputes = singleCache().computeCount();
+    stats.singleHits = singleCache().hitCount();
+    stats.mixComputes = mixCache().computeCount();
+    stats.mixHits = mixCache().hitCount();
+    return stats;
+}
+
+void
+clearMemoCaches()
+{
+    singleCache().clear();
+    mixCache().clear();
 }
 
 double
@@ -155,12 +251,17 @@ speedupVsBaseline(const std::string &workload_name,
 std::uint64_t
 benchInstructionBudget(std::uint64_t fallback)
 {
-    if (const char *env = std::getenv("BFSIM_INSTS")) {
+    // BFSIM_INSTRUCTIONS is the documented knob; BFSIM_INSTS remains
+    // honored as the historical alias.
+    for (const char *name : {"BFSIM_INSTRUCTIONS", "BFSIM_INSTS"}) {
+        const char *env = std::getenv(name);
+        if (!env)
+            continue;
         char *end = nullptr;
         unsigned long long value = std::strtoull(env, &end, 10);
         if (end && *end == '\0' && value > 0)
             return value;
-        warn("ignoring malformed BFSIM_INSTS value");
+        warn(std::string("ignoring malformed ") + name + " value");
     }
     return fallback;
 }

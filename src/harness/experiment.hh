@@ -6,7 +6,11 @@
  *
  * Results for repeated (workload, prefetcher, options) combinations are
  * memoized per process so bench binaries that share baselines (e.g. the
- * no-prefetch IPCs every figure normalizes to) pay for them once.
+ * no-prefetch IPCs every figure normalizes to) pay for them once. The
+ * memo cache is thread-safe and future-based: under harness::runBatch
+ * the first requester of a combination computes it while concurrent
+ * requesters block on the shared result, so no simulation ever runs
+ * twice even when jobs race.
  */
 
 #ifndef BFSIM_HARNESS_EXPERIMENT_HH_
@@ -58,10 +62,15 @@ SingleResult runSingle(const std::string &workload_name,
                        sim::PrefetcherKind kind,
                        const RunOptions &options = {});
 
-/** Memoizing wrapper around runSingle (per-process cache). */
+/**
+ * Memoizing wrapper around runSingle (per-process, thread-safe).
+ * If `computed` is non-null it is set to true when this call performed
+ * the simulation, false when it reused (or waited on) a cached result.
+ */
 const SingleResult &runSingleCached(const std::string &workload_name,
                                     sim::PrefetcherKind kind,
-                                    const RunOptions &options = {});
+                                    const RunOptions &options = {},
+                                    bool *computed = nullptr);
 
 /** Results of one multiprogrammed run. */
 struct MixResult
@@ -82,10 +91,38 @@ struct MixResult
 MixResult runMix(const std::vector<std::string> &workload_names,
                  sim::PrefetcherKind kind, const RunOptions &options = {});
 
-/** Memoizing wrapper around runMix (per-process cache). */
+/**
+ * Memoizing wrapper around runMix (per-process, thread-safe).
+ * `computed` reports whether this call performed the simulation, as in
+ * runSingleCached.
+ */
 const MixResult &runMixCached(const std::vector<std::string> &workload_names,
                               sim::PrefetcherKind kind,
-                              const RunOptions &options = {});
+                              const RunOptions &options = {},
+                              bool *computed = nullptr);
+
+/** Counters describing memo-cache behaviour since the last clear. */
+struct MemoStats
+{
+    /** runSingle simulations actually performed. */
+    std::uint64_t singleComputes = 0;
+    /** runSingleCached lookups satisfied without a new simulation. */
+    std::uint64_t singleHits = 0;
+    /** runMix simulations actually performed. */
+    std::uint64_t mixComputes = 0;
+    /** runMixCached lookups satisfied without a new simulation. */
+    std::uint64_t mixHits = 0;
+};
+
+/** Snapshot of the memo-cache counters. */
+MemoStats memoStats();
+
+/**
+ * Drop all memoized results and reset the counters. Test support only:
+ * references previously returned by the cached runners are invalidated,
+ * and no concurrent batch may be in flight.
+ */
+void clearMemoCaches();
 
 /** Speedup of a run against the no-prefetch baseline (same options). */
 double speedupVsBaseline(const std::string &workload_name,
@@ -94,7 +131,10 @@ double speedupVsBaseline(const std::string &workload_name,
 
 /**
  * Default per-core instruction budget for bench binaries: reads the
- * BFSIM_INSTS environment variable, falling back to `fallback`.
+ * BFSIM_INSTRUCTIONS environment variable (or its historical alias
+ * BFSIM_INSTS), falling back to `fallback`. Every bench binary routes
+ * its budget through this so CI smoke runs can shrink all of them
+ * uniformly.
  */
 std::uint64_t benchInstructionBudget(std::uint64_t fallback = 2'000'000);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 
 #include "common/log.hh"
 #include "harness/experiment.hh"
@@ -11,10 +12,17 @@ namespace bfsim::harness {
 double
 foaProfile(const std::string &workload_name)
 {
+    // Guarded for runBatch workers; the underlying profiling run is
+    // deduplicated by the experiment memo cache, this map only avoids
+    // re-deriving the ratio.
+    static std::mutex mutex;
     static std::map<std::string, double> cache;
-    auto it = cache.find(workload_name);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(workload_name);
+        if (it != cache.end())
+            return it->second;
+    }
 
     RunOptions options;
     options.instructions = 200'000; // short profiling run
@@ -27,6 +35,7 @@ foaProfile(const std::string &workload_name)
                                              result.mem.dramAccesses);
     double foa = 1000.0 * l3_accesses /
                  static_cast<double>(result.core.instructions);
+    std::lock_guard<std::mutex> lock(mutex);
     cache.emplace(workload_name, foa);
     return foa;
 }

@@ -1,7 +1,15 @@
 #include "harness/report.hh"
 
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <locale>
+#include <ostream>
+#include <sstream>
+
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "sim/ooo_core.hh"
 
 namespace bfsim::harness {
 
@@ -51,6 +59,123 @@ speedupTable(const std::vector<std::string> &workload_order,
     table.addRow(std::move(geo_row));
     table.addRow(std::move(sens_row));
     return table;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** JSON-safe double formatting (finite, fixed grammar, no locale). */
+std::string
+jsonNumber(double value)
+{
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os.precision(9);
+    os << value;
+    return os.str();
+}
+
+const char *
+kindName(BatchJob::Kind kind)
+{
+    switch (kind) {
+      case BatchJob::Kind::Single: return "single";
+      case BatchJob::Kind::Mix: return "mix";
+      case BatchJob::Kind::Custom: return "custom";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+writeBatchReportJson(std::ostream &os, const std::string &bench_name,
+                     const BatchResult &batch)
+{
+    os << "{\n";
+    os << "  \"bench\": \"" << jsonEscape(bench_name) << "\",\n";
+    os << "  \"threads\": " << batch.threads << ",\n";
+    os << "  \"jobs\": " << batch.items.size() << ",\n";
+    os << "  \"wall_seconds\": " << jsonNumber(batch.wallSeconds)
+       << ",\n";
+    os << "  \"cpu_seconds\": " << jsonNumber(batch.cpuSeconds) << ",\n";
+    os << "  \"speedup\": " << jsonNumber(batch.speedup()) << ",\n";
+    os << "  \"results\": [\n";
+    for (std::size_t i = 0; i < batch.items.size(); ++i) {
+        const BatchItem &item = batch.items[i];
+        os << "    {\"label\": \"" << jsonEscape(item.label)
+           << "\", \"kind\": \"" << kindName(item.kind)
+           << "\", \"seconds\": " << jsonNumber(item.seconds)
+           << ", \"cached\": " << (item.cached ? "true" : "false");
+        if (item.single) {
+            os << ", \"prefetcher\": \""
+               << sim::prefetcherName(item.single->prefetcher)
+               << "\", \"workloads\": [\""
+               << jsonEscape(item.single->workload)
+               << "\"], \"ipc\": ["
+               << jsonNumber(item.single->core.ipc) << "]";
+        } else if (item.mix) {
+            os << ", \"prefetcher\": \""
+               << sim::prefetcherName(item.mix->prefetcher)
+               << "\", \"workloads\": [";
+            for (std::size_t w = 0; w < item.mix->workloads.size(); ++w) {
+                os << (w ? ", " : "") << '"'
+                   << jsonEscape(item.mix->workloads[w]) << '"';
+            }
+            os << "], \"ipc\": [";
+            for (std::size_t c = 0; c < item.mix->cores.size(); ++c) {
+                os << (c ? ", " : "")
+                   << jsonNumber(item.mix->cores[c].ipc);
+            }
+            os << "], \"weighted_speedup\": "
+               << jsonNumber(item.mix->weightedSpeedup);
+        } else {
+            os << ", \"value\": " << jsonNumber(item.value);
+        }
+        os << '}' << (i + 1 < batch.items.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+bool
+writeBatchReportFile(const std::string &path,
+                     const std::string &bench_name,
+                     const BatchResult &batch)
+{
+    if (path == "-") {
+        writeBatchReportJson(std::cout, bench_name, batch);
+        return true;
+    }
+    std::ofstream file(path);
+    if (!file) {
+        warn("cannot open batch report file '" + path + "'");
+        return false;
+    }
+    writeBatchReportJson(file, bench_name, batch);
+    return static_cast<bool>(file);
 }
 
 } // namespace bfsim::harness

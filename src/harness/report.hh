@@ -2,17 +2,21 @@
  * @file
  * Report helpers shared by the bench binaries: paper-style speedup
  * tables with per-benchmark rows plus the Geomean / "Geomean pf. sens."
- * summary columns of Figs. 1 and 8.
+ * summary columns of Figs. 1 and 8, and the machine-readable JSON
+ * batch report (per-job results and timings) CI archives to track the
+ * reproduction's performance trajectory.
  */
 
 #ifndef BFSIM_HARNESS_REPORT_HH_
 #define BFSIM_HARNESS_REPORT_HH_
 
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/table.hh"
+#include "harness/batch.hh"
 
 namespace bfsim::harness {
 
@@ -35,6 +39,23 @@ TextTable speedupTable(const std::vector<std::string> &workload_order,
 /** Geometric mean of one series over the given workloads. */
 double seriesGeomean(const SpeedupSeries &series,
                      const std::vector<std::string> &workloads);
+
+/**
+ * Serialize a batch outcome as JSON: batch-level threads / wall seconds
+ * / serial-equivalent cpu seconds / measured speedup, plus one entry
+ * per job with its label, kind, timing, cache status and headline
+ * metrics (per-core IPC, weighted speedup, custom value).
+ */
+void writeBatchReportJson(std::ostream &os, const std::string &bench_name,
+                          const BatchResult &batch);
+
+/**
+ * Write the JSON batch report to `path` ("-" means stdout).
+ * @return false (with a warning) when the file cannot be opened.
+ */
+bool writeBatchReportFile(const std::string &path,
+                          const std::string &bench_name,
+                          const BatchResult &batch);
 
 } // namespace bfsim::harness
 

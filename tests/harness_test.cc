@@ -1,11 +1,15 @@
 /**
  * @file
  * Harness tests: single runs, memoization, mixes / FOA selection,
- * weighted speedups and report tables.
+ * weighted speedups, report tables, and the parallel batch runner
+ * (serial/parallel result identity, memo-once, JSON report).
  */
+
+#include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "harness/batch.hh"
 #include "harness/experiment.hh"
 #include "harness/mixes.hh"
 #include "harness/report.hh"
@@ -89,12 +93,18 @@ TEST(Experiment, MixRunsAllCores)
 
 TEST(Experiment, BenchBudgetReadsEnvironment)
 {
+    unsetenv("BFSIM_INSTRUCTIONS");
     unsetenv("BFSIM_INSTS");
     EXPECT_EQ(benchInstructionBudget(123), 123u);
     setenv("BFSIM_INSTS", "4567", 1);
     EXPECT_EQ(benchInstructionBudget(123), 4567u);
     setenv("BFSIM_INSTS", "bogus", 1);
     EXPECT_EQ(benchInstructionBudget(123), 123u);
+    // The documented name wins over the historical alias.
+    setenv("BFSIM_INSTS", "4567", 1);
+    setenv("BFSIM_INSTRUCTIONS", "8910", 1);
+    EXPECT_EQ(benchInstructionBudget(123), 8910u);
+    unsetenv("BFSIM_INSTRUCTIONS");
     unsetenv("BFSIM_INSTS");
 }
 
@@ -135,6 +145,164 @@ TEST(Mixes, MixSizeIsRespected)
             EXPECT_EQ(unique.size(), size);
         }
     }
+}
+
+std::vector<BatchJob>
+batchSweep()
+{
+    // Duplicate baselines on purpose: both singles and the mixes need
+    // the no-prefetch libquantum/gamess runs.
+    std::vector<BatchJob> jobs;
+    for (const char *name : {"libquantum", "gamess"}) {
+        jobs.push_back(BatchJob::single(
+            name, sim::PrefetcherKind::None, quick()));
+        jobs.push_back(BatchJob::single(
+            name, sim::PrefetcherKind::BFetch, quick()));
+    }
+    jobs.push_back(BatchJob::mix({"libquantum", "gamess"},
+                                 sim::PrefetcherKind::None, quick()));
+    jobs.push_back(BatchJob::mix({"libquantum", "gamess"},
+                                 sim::PrefetcherKind::BFetch, quick()));
+    return jobs;
+}
+
+void
+expectSameSingle(const SingleResult &a, const SingleResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.prefetcher, b.prefetcher);
+    EXPECT_EQ(a.core.instructions, b.core.instructions);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.ipc, b.core.ipc); // bit-identical, not just near
+    EXPECT_EQ(a.core.mispredicts, b.core.mispredicts);
+    EXPECT_EQ(a.mem.accesses, b.mem.accesses);
+    EXPECT_EQ(a.mem.l1Hits, b.mem.l1Hits);
+    EXPECT_EQ(a.mem.dramAccesses, b.mem.dramAccesses);
+    EXPECT_EQ(a.mem.prefetchesIssued, b.mem.prefetchesIssued);
+    EXPECT_EQ(a.mem.usefulPrefetches, b.mem.usefulPrefetches);
+    EXPECT_EQ(a.bfetch.lookaheadWalks, b.bfetch.lookaheadWalks);
+    EXPECT_EQ(a.avgLookaheadDepth, b.avgLookaheadDepth);
+}
+
+void
+expectSameMix(const MixResult &a, const MixResult &b)
+{
+    EXPECT_EQ(a.workloads, b.workloads);
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t c = 0; c < a.cores.size(); ++c) {
+        EXPECT_EQ(a.cores[c].instructions, b.cores[c].instructions);
+        EXPECT_EQ(a.cores[c].cycles, b.cores[c].cycles);
+        EXPECT_EQ(a.cores[c].ipc, b.cores[c].ipc);
+        EXPECT_EQ(a.mem[c].accesses, b.mem[c].accesses);
+        EXPECT_EQ(a.mem[c].dramAccesses, b.mem[c].dramAccesses);
+    }
+    EXPECT_EQ(a.weightedSpeedup, b.weightedSpeedup);
+}
+
+TEST(Batch, SerialAndParallelProduceIdenticalResults)
+{
+    std::vector<BatchJob> jobs = batchSweep();
+
+    clearMemoCaches();
+    BatchResult serial = runBatch(jobs, 1, nullptr);
+    // Snapshot before the caches are cleared again.
+    std::vector<SingleResult> serial_singles;
+    std::vector<MixResult> serial_mixes;
+    for (const BatchItem &item : serial.items) {
+        if (item.single)
+            serial_singles.push_back(*item.single);
+        if (item.mix)
+            serial_mixes.push_back(*item.mix);
+    }
+
+    clearMemoCaches();
+    BatchResult parallel = runBatch(jobs, 4, nullptr);
+    // The parallel items point into the live caches; don't clear them
+    // until after the comparisons below.
+
+    ASSERT_EQ(parallel.items.size(), jobs.size());
+    EXPECT_EQ(parallel.threads, 4u);
+    std::size_t singles = 0, mixes = 0;
+    for (std::size_t i = 0; i < parallel.items.size(); ++i) {
+        // Deterministic job order regardless of completion order.
+        EXPECT_EQ(parallel.items[i].label, jobs[i].label);
+        EXPECT_EQ(serial.items[i].label, jobs[i].label);
+        if (parallel.items[i].single)
+            expectSameSingle(serial_singles.at(singles++),
+                             *parallel.items[i].single);
+        if (parallel.items[i].mix)
+            expectSameMix(serial_mixes.at(mixes++),
+                          *parallel.items[i].mix);
+    }
+    EXPECT_EQ(singles, 4u);
+    EXPECT_EQ(mixes, 2u);
+    EXPECT_GT(serial.wallSeconds, 0.0);
+    EXPECT_GT(parallel.cpuSeconds, 0.0);
+    clearMemoCaches(); // leave no dangling references for later tests
+}
+
+TEST(Batch, MemoComputesSharedBaselinesExactlyOnce)
+{
+    clearMemoCaches();
+    std::vector<BatchJob> jobs = batchSweep();
+    // Duplicate every job: the second copies must all be cache hits.
+    std::vector<BatchJob> doubled = jobs;
+    doubled.insert(doubled.end(), jobs.begin(), jobs.end());
+
+    runBatch(doubled, 4, nullptr);
+    MemoStats stats = memoStats();
+    // Unique single keys: {libquantum, gamess} x {None, BFetch}. The
+    // mixes' weighted-speedup baselines reuse the None singles.
+    EXPECT_EQ(stats.singleComputes, 4u);
+    // Unique mix keys: {None, BFetch} over one 2-app mix.
+    EXPECT_EQ(stats.mixComputes, 2u);
+    // Single lookups: 8 duplicated single jobs + 2 baselines from each
+    // of the 2 computed mix runs = 12; 4 computed, the rest hit.
+    EXPECT_EQ(stats.singleHits, 8u);
+    EXPECT_EQ(stats.mixHits, 2u);
+    clearMemoCaches();
+}
+
+TEST(Batch, CustomJobsCarryValues)
+{
+    std::vector<BatchJob> jobs;
+    for (int i = 0; i < 5; ++i) {
+        jobs.push_back(BatchJob::custom(
+            "custom/" + std::to_string(i),
+            [i] { return static_cast<double>(i) * 2.0; }));
+    }
+    BatchResult batch = runBatch(jobs, 2, nullptr);
+    ASSERT_EQ(batch.items.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_DOUBLE_EQ(batch.items[i].value, i * 2.0);
+}
+
+TEST(Batch, JsonReportCarriesTimingAndResults)
+{
+    clearMemoCaches();
+    std::vector<BatchJob> jobs{
+        BatchJob::single("libquantum", sim::PrefetcherKind::BFetch,
+                         quick()),
+        BatchJob::mix({"libquantum", "gamess"},
+                      sim::PrefetcherKind::None, quick()),
+        BatchJob::custom("storage", [] { return 12.84; }),
+    };
+    BatchResult batch = runBatch(jobs, 2, nullptr);
+
+    std::ostringstream os;
+    writeBatchReportJson(os, "harness_test", batch);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"bench\": \"harness_test\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"threads\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"jobs\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"wall_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"cpu_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"speedup\""), std::string::npos);
+    EXPECT_NE(json.find("libquantum/Bfetch"), std::string::npos);
+    EXPECT_NE(json.find("\"weighted_speedup\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\": 12.84"), std::string::npos);
+    clearMemoCaches();
 }
 
 TEST(Report, GeomeanAndTableRows)

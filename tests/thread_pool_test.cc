@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ThreadPool tests: FIFO ordering, result/exception propagation,
+ * graceful shutdown and the BFSIM_JOBS default sizing.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+
+namespace bfsim {
+namespace {
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::mutex mutex;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit([i, &order, &mutex] {
+            std::lock_guard<std::mutex> lock(mutex);
+            order.push_back(i);
+        }));
+    }
+    for (auto &future : futures)
+        future.get();
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ReturnsResultsThroughFutures)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, AllTasksCompleteAcrossWorkers)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 256; ++i)
+            pool.submit([&count] { ++count; });
+        // Destructor drains the queue before joining.
+    }
+    EXPECT_EQ(count.load(), 256);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    std::future<int> future = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(
+        {
+            try {
+                future.get();
+            } catch (const std::runtime_error &error) {
+                EXPECT_STREQ(error.what(), "boom");
+                throw;
+            }
+        },
+        std::runtime_error);
+
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultThreadCountReadsEnvironment)
+{
+    unsetenv("BFSIM_JOBS");
+    unsigned fallback = ThreadPool::defaultThreadCount();
+    EXPECT_GE(fallback, 1u);
+
+    setenv("BFSIM_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+
+    setenv("BFSIM_JOBS", "bogus", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), fallback);
+
+    setenv("BFSIM_JOBS", "0", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), fallback);
+
+    unsetenv("BFSIM_JOBS");
+}
+
+TEST(ThreadPool, ZeroRequestedThreadsUsesDefault)
+{
+    setenv("BFSIM_JOBS", "2", 1);
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 2u);
+    unsetenv("BFSIM_JOBS");
+}
+
+TEST(ThreadPool, ManyBlockingTasksDoNotDeadlock)
+{
+    // More tasks than workers, each briefly sleeping: exercises the
+    // wait/notify path under contention.
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit([&count] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ++count;
+        }));
+    }
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(count.load(), 64);
+}
+
+} // namespace
+} // namespace bfsim
