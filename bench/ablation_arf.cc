@@ -30,7 +30,7 @@ printReport()
             commit_only ? "retire-stage ARF" : "execute-sampled ARF",
             {}};
         harness::RunOptions options = optionsFor(commit_only);
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             s.values[w.name] = harness::speedupVsBaseline(
                 w.name, sim::PrefetcherKind::BFetch, options);
         }
@@ -38,8 +38,8 @@ printReport()
     }
     std::printf("\n=== Ablation: ARF sampling point (paper IV-B.2) "
                 "===\n\n");
-    harness::speedupTable(workloads::workloadNames(),
-                          workloads::prefetchSensitiveNames(), series)
+    harness::speedupTable(benchutil::suiteWorkloadNames(),
+                          benchutil::suiteSensitiveNames(), series)
         .print(std::cout);
 }
 
@@ -62,7 +62,7 @@ main(int argc, char **argv)
 
     for (bool commit_only : {false, true}) {
         harness::RunOptions options = optionsFor(commit_only);
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             benchutil::registerCase(
                 std::string("ablation_arf/") +
                     (commit_only ? "retire/" : "execute/") + w.name,

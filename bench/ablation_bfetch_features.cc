@@ -44,15 +44,15 @@ printReport()
     for (const Variant &variant : variants) {
         harness::SpeedupSeries s{variant.name, {}};
         harness::RunOptions options = optionsFor(variant);
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             s.values[w.name] = harness::speedupVsBaseline(
                 w.name, sim::PrefetcherKind::BFetch, options);
         }
         series.push_back(std::move(s));
     }
     std::printf("\n=== Ablation: B-Fetch feature contributions ===\n\n");
-    harness::speedupTable(workloads::workloadNames(),
-                          workloads::prefetchSensitiveNames(), series)
+    harness::speedupTable(benchutil::suiteWorkloadNames(),
+                          benchutil::suiteSensitiveNames(), series)
         .print(std::cout);
 }
 
@@ -73,7 +73,7 @@ main(int argc, char **argv)
 
     for (const Variant &variant : variants) {
         harness::RunOptions options = optionsFor(variant);
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             benchutil::registerCase(
                 std::string("ablation/") + variant.name + "/" + w.name,
                 "speedup", [name = w.name, options] {

@@ -45,18 +45,92 @@ struct BenchConfig
     unsigned jobs = 0;
     /** JSON report destination ("" = none, "-" = stdout). */
     std::string reportPath;
+    /** Workload-subset substring filter ("" = whole suite). */
+    std::string filter;
 };
 
 /**
+ * The workload-name substring set by --filter (empty = whole suite).
+ * Process-global so table printers and sweep builders agree on the
+ * subset without threading config through every call.
+ */
+inline std::string &
+activeWorkloadFilter()
+{
+    static std::string filter;
+    return filter;
+}
+
+/** True when `name` is in the --filter subset. */
+inline bool
+workloadSelected(const std::string &name)
+{
+    const std::string &filter = activeWorkloadFilter();
+    return filter.empty() || name.find(filter) != std::string::npos;
+}
+
+/** The suite restricted to --filter (whole suite by default). */
+inline std::vector<std::reference_wrapper<const workloads::Workload>>
+suiteWorkloads()
+{
+    std::vector<std::reference_wrapper<const workloads::Workload>>
+        selected;
+    for (const auto &w : workloads::allWorkloads())
+        if (workloadSelected(w.name))
+            selected.emplace_back(w);
+    if (selected.empty())
+        fatal("--filter='" + activeWorkloadFilter() +
+              "' matches no workload (see --list)");
+    return selected;
+}
+
+/** Names of the --filter subset, in suite order. */
+inline std::vector<std::string>
+suiteWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const workloads::Workload &w : suiteWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+/** Prefetch-sensitive names within the --filter subset. */
+inline std::vector<std::string>
+suiteSensitiveNames()
+{
+    std::vector<std::string> names;
+    for (const workloads::Workload &w : suiteWorkloads())
+        if (w.prefetchSensitive)
+            names.push_back(w.name);
+    return names;
+}
+
+/** --list: print the suite (with filter applied) and exit. */
+inline void
+listWorkloadsAndExit()
+{
+    for (const workloads::Workload &w : suiteWorkloads()) {
+        std::printf("%-12s %-11s %s\n", w.name.c_str(),
+                    w.prefetchSensitive ? "[sensitive]" : "",
+                    w.character.c_str());
+    }
+    std::exit(0);
+}
+
+/**
  * Parse and strip the shared batch flags (--jobs=N / --jobs N /
- * --report=PATH / --report PATH) from argv before google-benchmark sees
- * the remaining arguments. BFSIM_REPORT seeds the report path; the
- * explicit flag wins.
+ * --report=PATH / --report PATH / --filter=SUBSTR / --filter SUBSTR /
+ * --list) from argv before google-benchmark sees the remaining
+ * arguments. BFSIM_REPORT seeds the report path; the explicit flag
+ * wins. --filter restricts every per-workload sweep, table row and
+ * geomean to workloads whose name contains SUBSTR; --list prints the
+ * (filtered) suite and exits.
  */
 inline BenchConfig
 parseBenchConfig(int &argc, char **argv)
 {
     BenchConfig config;
+    bool list = false;
     if (const char *env = std::getenv("BFSIM_REPORT"))
         config.reportPath = env;
 
@@ -84,12 +158,23 @@ parseBenchConfig(int &argc, char **argv)
             if (i + 1 >= argc)
                 fatal("--report expects a path");
             config.reportPath = argv[++i];
+        } else if (arg.rfind("--filter=", 0) == 0) {
+            config.filter = arg.substr(9);
+        } else if (arg == "--filter") {
+            if (i + 1 >= argc)
+                fatal("--filter expects a substring");
+            config.filter = argv[++i];
+        } else if (arg == "--list") {
+            list = true;
         } else {
             argv[out++] = argv[i];
         }
     }
     argc = out;
     argv[argc] = nullptr;
+    activeWorkloadFilter() = config.filter;
+    if (list)
+        listWorkloadsAndExit();
     return config;
 }
 
@@ -178,9 +263,9 @@ comparedSchemes()
 }
 
 /**
- * Append one single-run job per suite workload × scheme under
- * `prefix`. Pass sim::PrefetcherKind::None in `schemes` to include the
- * shared baseline runs speedupVsBaseline needs.
+ * Append one single-run job per (filtered) suite workload × scheme
+ * under `prefix`. Pass sim::PrefetcherKind::None in `schemes` to
+ * include the shared baseline runs speedupVsBaseline needs.
  */
 inline void
 appendSingleSweep(std::vector<harness::BatchJob> &jobs,
@@ -188,7 +273,7 @@ appendSingleSweep(std::vector<harness::BatchJob> &jobs,
                   const std::vector<sim::PrefetcherKind> &schemes,
                   const harness::RunOptions &options)
 {
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : suiteWorkloads()) {
         for (sim::PrefetcherKind kind : schemes) {
             jobs.push_back(harness::BatchJob::single(
                 w.name, kind, options,

@@ -22,7 +22,7 @@ printReport()
     const sim::PrefetcherKind kinds[] = {sim::PrefetcherKind::Stride,
                                          sim::PrefetcherKind::Sms,
                                          sim::PrefetcherKind::Perfect};
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         for (int k = 0; k < 3; ++k) {
             series[k].values[w.name] =
                 harness::speedupVsBaseline(w.name, kinds[k], options);
@@ -30,8 +30,8 @@ printReport()
     }
     std::printf("\n=== Figure 1: Stride / SMS / Perfect speedup vs "
                 "no-prefetch baseline ===\n\n");
-    harness::speedupTable(workloads::workloadNames(),
-                          workloads::prefetchSensitiveNames(), series)
+    harness::speedupTable(benchutil::suiteWorkloadNames(),
+                          benchutil::suiteSensitiveNames(), series)
         .print(std::cout);
 }
 
@@ -52,7 +52,7 @@ main(int argc, char **argv)
                                   options);
     benchutil::runSweep("fig01", config, jobs);
 
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         for (sim::PrefetcherKind kind :
              {sim::PrefetcherKind::Stride, sim::PrefetcherKind::Sms,
               sim::PrefetcherKind::Perfect}) {

@@ -16,7 +16,7 @@ namespace {
 
 using namespace bfsim;
 
-std::array<sim::ProfileResult, 18> results;
+std::vector<sim::ProfileResult> results;
 
 void
 printReport()
@@ -63,8 +63,9 @@ main(int argc, char **argv)
     // The profiling passes are independent per workload; run them as
     // custom batch jobs, each writing its own slot of `results`.
     std::vector<harness::BatchJob> jobs;
+    results.resize(benchutil::suiteWorkloads().size());
     int index = 0;
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         jobs.push_back(harness::BatchJob::custom(
             "fig03/profile/" + w.name, [index, &w, insts] {
                 results[index] =
@@ -76,7 +77,7 @@ main(int argc, char **argv)
     benchutil::runSweep("fig03", config, jobs);
 
     index = 0;
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         benchutil::registerCase(
             "fig03/profile/" + w.name, "basic_blocks",
             [index] {

@@ -19,7 +19,7 @@ printReport()
     harness::RunOptions options = benchutil::singleOptions();
     std::array<std::uint64_t, 5> totals{};
     std::uint64_t branch_cycles = 0;
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         const harness::SingleResult &r = harness::runSingleCached(
             w.name, sim::PrefetcherKind::None, options);
         for (std::size_t i = 1; i < totals.size(); ++i)
@@ -62,7 +62,7 @@ main(int argc, char **argv)
                                  {sim::PrefetcherKind::None}, options);
     benchutil::runSweep("fig07", config, jobs);
 
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         benchutil::registerCase(
             "fig07/" + w.name, "branch_cycles",
             [name = w.name, options] {

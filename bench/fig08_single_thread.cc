@@ -21,28 +21,28 @@ printReport()
         {"Stride", {}}, {"SMS", {}}, {"Bfetch", {}}};
     int k = 0;
     for (sim::PrefetcherKind kind : benchutil::comparedSchemes()) {
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             series[k].values[w.name] =
                 harness::speedupVsBaseline(w.name, kind, options);
         }
         ++k;
     }
     std::printf("\n=== Figure 8: single-threaded speedups ===\n\n");
-    harness::speedupTable(workloads::workloadNames(),
-                          workloads::prefetchSensitiveNames(), series)
+    harness::speedupTable(benchutil::suiteWorkloadNames(),
+                          benchutil::suiteSensitiveNames(), series)
         .print(std::cout);
 
     // Supplementary: the average lookahead depth the paper quotes
     // ("average lookahead depth is 8 BB with 0.75 path confidence").
     double depth_total = 0.0;
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         depth_total += harness::runSingleCached(
                            w.name, sim::PrefetcherKind::BFetch, options)
                            .avgLookaheadDepth;
     }
     std::printf("\naverage B-Fetch lookahead depth: %.2f BB "
                 "(paper: ~8)\n",
-                depth_total / workloads::allWorkloads().size());
+                depth_total / benchutil::suiteWorkloads().size());
 }
 
 } // namespace
@@ -60,7 +60,7 @@ main(int argc, char **argv)
                                   options);
     benchutil::runSweep("fig08", config, jobs);
 
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         for (sim::PrefetcherKind kind : benchutil::comparedSchemes()) {
             benchutil::registerCase(
                 "fig08/" + w.name + "/" + sim::prefetcherName(kind),

@@ -22,7 +22,7 @@ printReport()
                      "Bfetch useful", "Bfetch useless"});
     std::uint64_t sms_useful = 0, sms_useless = 0, bf_useful = 0,
                   bf_useless = 0;
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         const auto &sms = harness::runSingleCached(
             w.name, sim::PrefetcherKind::Sms, options);
         const auto &bf = harness::runSingleCached(
@@ -65,7 +65,7 @@ main(int argc, char **argv)
                                  options);
     benchutil::runSweep("fig11", config, jobs);
 
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         for (sim::PrefetcherKind kind :
              {sim::PrefetcherKind::Sms, sim::PrefetcherKind::BFetch}) {
             benchutil::registerCase(

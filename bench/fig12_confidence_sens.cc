@@ -30,7 +30,7 @@ printReport()
         harness::SpeedupSeries s{"Conf=" + TextTable::fmt(threshold, 2),
                                  {}};
         harness::RunOptions options = optionsFor(threshold);
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             s.values[w.name] = harness::speedupVsBaseline(
                 w.name, sim::PrefetcherKind::BFetch, options);
         }
@@ -38,8 +38,8 @@ printReport()
     }
     std::printf("\n=== Figure 12: path-confidence threshold "
                 "sensitivity ===\n\n");
-    harness::speedupTable(workloads::workloadNames(),
-                          workloads::prefetchSensitiveNames(), series)
+    harness::speedupTable(benchutil::suiteWorkloadNames(),
+                          benchutil::suiteSensitiveNames(), series)
         .print(std::cout);
 }
 
@@ -60,7 +60,7 @@ main(int argc, char **argv)
 
     for (double threshold : thresholds) {
         harness::RunOptions options = optionsFor(threshold);
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             benchutil::registerCase(
                 "fig12/" + w.name + "/conf" +
                     TextTable::fmt(threshold, 2),

@@ -21,7 +21,7 @@ printReport()
     // Reference: geomean baseline IPC at the default (1x) predictor.
     harness::RunOptions ref = benchutil::singleOptions();
     std::vector<double> ref_ipcs;
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         ref_ipcs.push_back(
             harness::runSingleCached(w.name, sim::PrefetcherKind::None,
                                      ref)
@@ -38,7 +38,7 @@ printReport()
         options.bpSizeScale = scale;
         std::vector<double> base_ipcs, bf_ipcs, miss_rates;
         double bp_kb = 0.0;
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             const auto &base = harness::runSingleCached(
                 w.name, sim::PrefetcherKind::None, options);
             const auto &bf = harness::runSingleCached(
@@ -78,7 +78,7 @@ main(int argc, char **argv)
     for (double scale : scales) {
         harness::RunOptions options = benchutil::singleOptions();
         options.bpSizeScale = scale;
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             benchutil::registerCase(
                 "fig13/" + w.name + "/scale" + TextTable::fmt(scale, 1),
                 "bfetch_ipc", [name = w.name, options] {

@@ -29,15 +29,15 @@ printReport()
     for (unsigned width : widths) {
         harness::SpeedupSeries s{std::to_string(width) + "wide", {}};
         harness::RunOptions options = optionsFor(width);
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             s.values[w.name] = harness::speedupVsBaseline(
                 w.name, sim::PrefetcherKind::BFetch, options);
         }
         series.push_back(std::move(s));
     }
     std::printf("\n=== Figure 14: pipeline width sensitivity ===\n\n");
-    harness::speedupTable(workloads::workloadNames(),
-                          workloads::prefetchSensitiveNames(), series)
+    harness::speedupTable(benchutil::suiteWorkloadNames(),
+                          benchutil::suiteSensitiveNames(), series)
         .print(std::cout);
 }
 
@@ -58,7 +58,7 @@ main(int argc, char **argv)
 
     for (unsigned width : widths) {
         harness::RunOptions options = optionsFor(width);
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             benchutil::registerCase(
                 "fig14/" + w.name + "/" + std::to_string(width) +
                     "wide",

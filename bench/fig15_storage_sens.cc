@@ -29,11 +29,11 @@ printReport()
     std::printf("\n=== Figure 15: B-Fetch storage sensitivity ===\n\n");
     TextTable table({"BrTC/MHT entries", "storage KB",
                      "geomean speedup", "geomean pf. sens."});
-    auto sensitive = workloads::prefetchSensitiveNames();
+    auto sensitive = benchutil::suiteSensitiveNames();
     for (std::size_t entries : entryCounts) {
         harness::RunOptions options = optionsFor(entries);
         std::vector<double> all, sens;
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             double s = harness::speedupVsBaseline(
                 w.name, sim::PrefetcherKind::BFetch, options);
             all.push_back(s);
@@ -73,7 +73,7 @@ main(int argc, char **argv)
 
     for (std::size_t entries : entryCounts) {
         harness::RunOptions options = optionsFor(entries);
-        for (const auto &w : workloads::allWorkloads()) {
+        for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             benchutil::registerCase(
                 "fig15/" + w.name + "/" + std::to_string(entries),
                 "speedup", [name = w.name, options] {

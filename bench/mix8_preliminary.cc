@@ -10,7 +10,7 @@
  * instruction budget than Figs. 9/10.
  */
 
-#include "bench/bench_util.hh"
+#include "bench/mix_bench.hh"
 
 namespace {
 
@@ -21,13 +21,12 @@ printReport()
 {
     harness::RunOptions options;
     options.instructions = harness::benchInstructionBudget(100'000);
-    auto mixes = harness::selectMixes(8, 4);
+    auto mixes = benchutil::selectedMixes(8, 4);
     std::printf("\n=== Mix-8 preliminary: normalized weighted speedup "
                 "===\n\n");
     TextTable table({"mix", "Stride", "SMS", "Bfetch"});
     std::vector<double> stride_all, sms_all, bf_all;
-    int index = 1;
-    for (const auto &mix : mixes) {
+    for (const auto &[index, mix] : mixes) {
         double base =
             harness::runMixCached(mix.workloads,
                                   sim::PrefetcherKind::None, options)
@@ -40,7 +39,7 @@ printReport()
         double stride = norm(sim::PrefetcherKind::Stride);
         double sms = norm(sim::PrefetcherKind::Sms);
         double bf = norm(sim::PrefetcherKind::BFetch);
-        table.addRow({"mix" + std::to_string(index++),
+        table.addRow({"mix" + std::to_string(index),
                       TextTable::fmt(stride), TextTable::fmt(sms),
                       TextTable::fmt(bf)});
         stride_all.push_back(stride);
@@ -67,10 +66,9 @@ main(int argc, char **argv)
     options.instructions = harness::benchInstructionBudget(100'000);
 
     benchutil::warmFoaProfiles(threads);
-    auto mixes = harness::selectMixes(8, 4);
+    auto mixes = benchutil::selectedMixes(8, 4);
     std::vector<harness::BatchJob> jobs;
-    int index = 1;
-    for (const auto &mix : mixes) {
+    for (const auto &[index, mix] : mixes) {
         for (sim::PrefetcherKind kind :
              {sim::PrefetcherKind::None, sim::PrefetcherKind::Stride,
               sim::PrefetcherKind::Sms, sim::PrefetcherKind::BFetch}) {
@@ -79,12 +77,10 @@ main(int argc, char **argv)
                 "mix8/mix" + std::to_string(index) + "/" +
                     sim::prefetcherName(kind)));
         }
-        ++index;
     }
     benchutil::runSweep("mix8", config, jobs);
 
-    index = 1;
-    for (const auto &mix : mixes) {
+    for (const auto &[index, mix] : mixes) {
         for (sim::PrefetcherKind kind : benchutil::comparedSchemes()) {
             benchutil::registerCase(
                 "mix8/mix" + std::to_string(index) + "/" +
@@ -96,7 +92,6 @@ main(int argc, char **argv)
                         .weightedSpeedup;
                 });
         }
-        ++index;
     }
     return benchutil::runBench(argc, argv, printReport);
 }

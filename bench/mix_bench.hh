@@ -25,18 +25,49 @@ mixLabel(const harness::Mix &mix)
     return label;
 }
 
+/** A mix plus its 1-based position in the unfiltered selection. */
+struct NumberedMix
+{
+    int index;
+    harness::Mix mix;
+};
+
+/**
+ * The FOA mix selection restricted to --filter: a mix is kept when any
+ * member workload matches. Indices are the unfiltered mix numbers, so
+ * filtered rows line up with a whole-suite run.
+ */
+inline std::vector<NumberedMix>
+selectedMixes(unsigned mix_size, unsigned count)
+{
+    auto mixes = harness::selectMixes(mix_size, count);
+    std::vector<NumberedMix> selected;
+    int index = 1;
+    for (auto &mix : mixes) {
+        bool keep = false;
+        for (const auto &name : mix.workloads)
+            keep = keep || workloadSelected(name);
+        if (keep)
+            selected.push_back({index, std::move(mix)});
+        ++index;
+    }
+    if (selected.empty())
+        fatal("--filter='" + activeWorkloadFilter() +
+              "' matches no mix member (see --list)");
+    return selected;
+}
+
 inline void
 printMixReport(unsigned mix_size, const char *figure)
 {
     harness::RunOptions options = mixOptions();
-    auto mixes = harness::selectMixes(mix_size, 29);
+    auto mixes = selectedMixes(mix_size, 29);
     std::printf("\n=== Figure %s: normalized weighted speedup, "
                 "%u-app mixes ===\n\n",
                 figure, mix_size);
     TextTable table({"mix", "workloads", "Stride", "SMS", "Bfetch"});
     std::vector<double> stride_all, sms_all, bf_all;
-    int index = 1;
-    for (const auto &mix : mixes) {
+    for (const auto &[index, mix] : mixes) {
         double base =
             harness::runMixCached(mix.workloads,
                                   sim::PrefetcherKind::None, options)
@@ -49,7 +80,7 @@ printMixReport(unsigned mix_size, const char *figure)
         double stride = norm(sim::PrefetcherKind::Stride);
         double sms = norm(sim::PrefetcherKind::Sms);
         double bf = norm(sim::PrefetcherKind::BFetch);
-        table.addRow({"mix" + std::to_string(index++), mixLabel(mix),
+        table.addRow({"mix" + std::to_string(index), mixLabel(mix),
                       TextTable::fmt(stride), TextTable::fmt(sms),
                       TextTable::fmt(bf)});
         stride_all.push_back(stride);
@@ -63,14 +94,13 @@ printMixReport(unsigned mix_size, const char *figure)
     table.print(std::cout);
 }
 
-/** The mix sweep of one figure: every mix under every scheme. */
+/** The mix sweep of one figure: every (kept) mix under every scheme. */
 inline std::vector<harness::BatchJob>
-mixSweepJobs(const char *figure, const std::vector<harness::Mix> &mixes,
+mixSweepJobs(const char *figure, const std::vector<NumberedMix> &mixes,
              const harness::RunOptions &options)
 {
     std::vector<harness::BatchJob> jobs;
-    int index = 1;
-    for (const auto &mix : mixes) {
+    for (const auto &[index, mix] : mixes) {
         for (sim::PrefetcherKind kind :
              {sim::PrefetcherKind::None, sim::PrefetcherKind::Stride,
               sim::PrefetcherKind::Sms, sim::PrefetcherKind::BFetch}) {
@@ -80,7 +110,6 @@ mixSweepJobs(const char *figure, const std::vector<harness::Mix> &mixes,
                     std::to_string(index) + "/" +
                     sim::prefetcherName(kind)));
         }
-        ++index;
     }
     return jobs;
 }
@@ -94,12 +123,11 @@ runMixBench(int argc, char **argv, unsigned mix_size, const char *figure)
     harness::RunOptions options = mixOptions();
 
     warmFoaProfiles(threads);
-    auto mixes = harness::selectMixes(mix_size, 29);
+    auto mixes = selectedMixes(mix_size, 29);
     runSweep(std::string("fig") + figure, config,
              mixSweepJobs(figure, mixes, options));
 
-    int index = 1;
-    for (const auto &mix : mixes) {
+    for (const auto &[index, mix] : mixes) {
         for (sim::PrefetcherKind kind : comparedSchemes()) {
             registerCase(
                 std::string("fig") + figure + "/mix" +
@@ -112,7 +140,6 @@ runMixBench(int argc, char **argv, unsigned mix_size, const char *figure)
                         .weightedSpeedup;
                 });
         }
-        ++index;
     }
     return runBench(argc, argv, [mix_size, figure] {
         printMixReport(mix_size, figure);

@@ -20,7 +20,7 @@ printReport()
     mem::DramConfig dram;
 
     std::vector<double> miss_rates;
-    for (const auto &w : workloads::allWorkloads()) {
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         miss_rates.push_back(
             harness::runSingleCached(w.name, sim::PrefetcherKind::None,
                                      options)
@@ -96,12 +96,12 @@ main(int argc, char **argv)
     bfsim::benchutil::registerCase(
         "tab2/baseline_missrate", "miss_rate", [options] {
             double total = 0.0;
-            for (const auto &w : workloads::allWorkloads()) {
+            for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
                 total += harness::runSingleCached(
                              w.name, sim::PrefetcherKind::None, options)
                              .core.branchMissRate;
             }
-            return total / workloads::allWorkloads().size();
+            return total / benchutil::suiteWorkloads().size();
         });
     return bfsim::benchutil::runBench(argc, argv, printReport);
 }

@@ -125,6 +125,7 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned n_threads,
         item.kind = job.kind;
         auto start = std::chrono::steady_clock::now();
         bool computed = true;
+        takeThreadCacheCounters(); // drop activity from earlier jobs
         switch (job.kind) {
           case BatchJob::Kind::Single:
             item.single = &runSingleCached(job.workloads.at(0),
@@ -141,6 +142,9 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned n_threads,
         }
         item.seconds = secondsSince(start);
         item.cached = !computed;
+        ThreadCacheCounters caches = takeThreadCacheCounters();
+        item.traceHits = caches.traceHits;
+        item.traceMisses = caches.traceMisses;
         std::lock_guard<std::mutex> lock(progress_mutex);
         ++done;
         if (progress)

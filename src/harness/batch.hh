@@ -71,6 +71,10 @@ struct BatchItem
     double seconds = 0.0;
     /** True when the memo cache satisfied the job without simulating. */
     bool cached = false;
+    /** Trace-cache hits (replays of a cached DynOp stream) this job. */
+    std::uint64_t traceHits = 0;
+    /** Trace-cache misses (fresh captures) this job. */
+    std::uint64_t traceMisses = 0;
 };
 
 /** Results and timing of one runBatch call. */

@@ -5,11 +5,13 @@
 #include <functional>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "common/log.hh"
+#include "sim/trace.hh"
 
 namespace bfsim::harness {
 
@@ -103,6 +105,20 @@ class FutureCache
         hits = 0;
     }
 
+    /** Visit every ready-or-pending value (blocks on in-flight ones). */
+    void
+    forEachValue(const std::function<void(const Result &)> &visit)
+    {
+        std::vector<std::shared_future<Result>> futures;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            for (const auto &[key, future] : entries)
+                futures.push_back(future);
+        }
+        for (const auto &future : futures)
+            visit(future.get());
+    }
+
     std::uint64_t computeCount() const { return computes.load(); }
     std::uint64_t hitCount() const { return hits.load(); }
 
@@ -127,18 +143,72 @@ mixCache()
     return cache;
 }
 
+/**
+ * Trace cache: (workload, instruction budget) -> shared TraceBuffer.
+ * Creation (loading the workload's initial data image) happens inside
+ * the future, so concurrent first requesters block instead of building
+ * the multi-megabyte image twice; the functional execution itself is
+ * lazy and serialized inside TraceBuffer::ensure.
+ */
+FutureCache<std::shared_ptr<sim::TraceBuffer>> &
+traceCache()
+{
+    static FutureCache<std::shared_ptr<sim::TraceBuffer>> cache;
+    return cache;
+}
+
+std::atomic<bool> &
+traceCacheFlag()
+{
+    static std::atomic<bool> enabled{[] {
+        const char *env = std::getenv("BFSIM_TRACE_CACHE");
+        return !(env && std::string(env) == "0");
+    }()};
+    return enabled;
+}
+
+thread_local ThreadCacheCounters threadCacheCounters;
+
+/**
+ * Produce one core's dynamic-op source for `workload_name`: a shared
+ * trace cursor when the trace cache is on (TraceCapture for the
+ * requester that created the buffer, TraceReplay for everyone reusing
+ * it), a private live executor otherwise.
+ */
+std::unique_ptr<sim::DynOpSource>
+makeSource(const std::string &workload_name, const RunOptions &options)
+{
+    const workloads::Workload &workload =
+        workloads::workloadByName(workload_name);
+    if (!traceCacheEnabled())
+        return std::make_unique<sim::LiveSource>(workload.program);
+
+    std::string key =
+        workload_name + '|' + std::to_string(options.instructions);
+    bool computed = false;
+    std::shared_ptr<sim::TraceBuffer> buffer = traceCache().getOrCompute(
+        key,
+        [&] { return std::make_shared<sim::TraceBuffer>(workload.program); },
+        &computed);
+    if (computed) {
+        ++threadCacheCounters.traceMisses;
+        return std::make_unique<sim::TraceCapture>(std::move(buffer));
+    }
+    ++threadCacheCounters.traceHits;
+    return std::make_unique<sim::TraceReplay>(std::move(buffer));
+}
+
 } // namespace
 
 SingleResult
 runSingle(const std::string &workload_name, sim::PrefetcherKind kind,
           const RunOptions &options)
 {
-    const workloads::Workload &workload =
-        workloads::workloadByName(workload_name);
-
     std::vector<sim::CoreConfig> core_cfgs{makeCoreConfig(kind, options)};
-    std::vector<const isa::Program *> programs{&workload.program};
-    sim::Cmp cmp(core_cfgs, programs, makeHierarchyConfig(1, options));
+    std::vector<std::unique_ptr<sim::DynOpSource>> sources;
+    sources.push_back(makeSource(workload_name, options));
+    sim::Cmp cmp(core_cfgs, std::move(sources),
+                 makeHierarchyConfig(1, options));
     sim::CmpResult run = cmp.run(options.instructions);
 
     SingleResult result;
@@ -179,11 +249,12 @@ runMix(const std::vector<std::string> &workload_names,
     const unsigned n = static_cast<unsigned>(workload_names.size());
     std::vector<sim::CoreConfig> core_cfgs(n,
                                            makeCoreConfig(kind, options));
-    std::vector<const isa::Program *> programs;
+    std::vector<std::unique_ptr<sim::DynOpSource>> sources;
     for (const auto &name : workload_names)
-        programs.push_back(&workloads::workloadByName(name).program);
+        sources.push_back(makeSource(name, options));
 
-    sim::Cmp cmp(core_cfgs, programs, makeHierarchyConfig(n, options));
+    sim::Cmp cmp(core_cfgs, std::move(sources),
+                 makeHierarchyConfig(n, options));
     sim::CmpResult run = cmp.run(options.instructions);
 
     MixResult result;
@@ -235,6 +306,46 @@ clearMemoCaches()
 {
     singleCache().clear();
     mixCache().clear();
+}
+
+bool
+traceCacheEnabled()
+{
+    return traceCacheFlag().load(std::memory_order_relaxed);
+}
+
+void
+setTraceCacheEnabled(bool enabled)
+{
+    traceCacheFlag().store(enabled, std::memory_order_relaxed);
+}
+
+TraceCacheStats
+traceCacheStats()
+{
+    TraceCacheStats stats;
+    stats.buffers = traceCache().computeCount();
+    stats.attaches = traceCache().hitCount();
+    traceCache().forEachValue(
+        [&stats](const std::shared_ptr<sim::TraceBuffer> &buffer) {
+            stats.opsExecuted += buffer->size();
+            stats.residentBytes += buffer->memoryBytes();
+        });
+    return stats;
+}
+
+void
+clearTraceCache()
+{
+    traceCache().clear();
+}
+
+ThreadCacheCounters
+takeThreadCacheCounters()
+{
+    ThreadCacheCounters counters = threadCacheCounters;
+    threadCacheCounters = ThreadCacheCounters{};
+    return counters;
 }
 
 double

@@ -11,6 +11,15 @@
  * the first requester of a combination computes it while concurrent
  * requesters block on the shared result, so no simulation ever runs
  * twice even when jobs race.
+ *
+ * Below the memo cache sits the trace cache (same future-based
+ * pattern, keyed by workload and instruction budget): because the
+ * functional DynOp stream is bit-identical across prefetcher/core
+ * configurations, a figure sweeping N prefetchers over one workload
+ * pays for functional execution once and replays the captured
+ * sim::TraceBuffer N-1 times, including under runBatch parallelism.
+ * Timing results are byte-identical either way; BFSIM_TRACE_CACHE=0
+ * falls back to live execution per run.
  */
 
 #ifndef BFSIM_HARNESS_EXPERIMENT_HH_
@@ -116,6 +125,55 @@ struct MemoStats
 
 /** Snapshot of the memo-cache counters. */
 MemoStats memoStats();
+
+/**
+ * Whether simulation runs share functional execution through the
+ * per-process trace cache: the first run of a (workload, instruction
+ * budget) captures the DynOp stream into a sim::TraceBuffer and every
+ * later run of the same pair — any prefetcher, any core config, any
+ * runBatch thread — replays it with zero functional work. Defaults to
+ * on; BFSIM_TRACE_CACHE=0 disables it (every run executes live).
+ */
+bool traceCacheEnabled();
+
+/** Programmatic override of BFSIM_TRACE_CACHE (tests, tools). */
+void setTraceCacheEnabled(bool enabled);
+
+/** Counters describing trace-cache behaviour since the last clear. */
+struct TraceCacheStats
+{
+    /** Distinct trace buffers created (cache misses). */
+    std::uint64_t buffers = 0;
+    /** Replay attachments to an existing buffer (cache hits). */
+    std::uint64_t attaches = 0;
+    /** Dynamic ops functionally executed across all buffers. */
+    std::uint64_t opsExecuted = 0;
+    /** Bytes of trace storage currently resident. */
+    std::uint64_t residentBytes = 0;
+};
+
+/** Snapshot of the trace-cache counters. */
+TraceCacheStats traceCacheStats();
+
+/**
+ * Drop every cached trace buffer and reset the counters. Safe while no
+ * simulation is in flight; buffers still referenced by live sources
+ * stay alive until those sources are destroyed.
+ */
+void clearTraceCache();
+
+/**
+ * Per-thread memo/trace cache activity counters, drained by the batch
+ * runner to attribute cache behaviour to individual jobs.
+ */
+struct ThreadCacheCounters
+{
+    std::uint64_t traceHits = 0;   ///< sources attached to a cached trace
+    std::uint64_t traceMisses = 0; ///< sources that created a new trace
+};
+
+/** Return this thread's counters accumulated since the last take. */
+ThreadCacheCounters takeThreadCacheCounters();
 
 /**
  * Drop all memoized results and reset the counters. Test support only:

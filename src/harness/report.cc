@@ -54,10 +54,15 @@ speedupTable(const std::vector<std::string> &workload_order,
     for (const auto &s : series) {
         geo_row.push_back(
             TextTable::fmt(seriesGeomean(s, workload_order)));
-        sens_row.push_back(TextTable::fmt(seriesGeomean(s, sensitive)));
+        if (!sensitive.empty())
+            sens_row.push_back(
+                TextTable::fmt(seriesGeomean(s, sensitive)));
     }
     table.addRow(std::move(geo_row));
-    table.addRow(std::move(sens_row));
+    // A --filter subset may contain no prefetch-sensitive workload;
+    // omit the row rather than print a geomean over nothing.
+    if (!sensitive.empty())
+        table.addRow(std::move(sens_row));
     return table;
 }
 
@@ -123,13 +128,32 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
        << ",\n";
     os << "  \"cpu_seconds\": " << jsonNumber(batch.cpuSeconds) << ",\n";
     os << "  \"speedup\": " << jsonNumber(batch.speedup()) << ",\n";
+
+    // Process-wide cache behaviour at report time, so sweep
+    // observability covers both memoized results and shared traces.
+    MemoStats memo = memoStats();
+    TraceCacheStats trace = traceCacheStats();
+    os << "  \"caches\": {\n";
+    os << "    \"memo\": {\"single_computes\": " << memo.singleComputes
+       << ", \"single_hits\": " << memo.singleHits
+       << ", \"mix_computes\": " << memo.mixComputes
+       << ", \"mix_hits\": " << memo.mixHits << "},\n";
+    os << "    \"trace\": {\"enabled\": "
+       << (traceCacheEnabled() ? "true" : "false")
+       << ", \"buffers\": " << trace.buffers
+       << ", \"attaches\": " << trace.attaches
+       << ", \"ops_executed\": " << trace.opsExecuted
+       << ", \"resident_bytes\": " << trace.residentBytes << "}\n";
+    os << "  },\n";
     os << "  \"results\": [\n";
     for (std::size_t i = 0; i < batch.items.size(); ++i) {
         const BatchItem &item = batch.items[i];
         os << "    {\"label\": \"" << jsonEscape(item.label)
            << "\", \"kind\": \"" << kindName(item.kind)
            << "\", \"seconds\": " << jsonNumber(item.seconds)
-           << ", \"cached\": " << (item.cached ? "true" : "false");
+           << ", \"cached\": " << (item.cached ? "true" : "false")
+           << ", \"trace_hits\": " << item.traceHits
+           << ", \"trace_misses\": " << item.traceMisses;
         if (item.single) {
             os << ", \"prefetcher\": \""
                << sim::prefetcherName(item.single->prefetcher)

@@ -42,9 +42,10 @@ double seriesGeomean(const SpeedupSeries &series,
 
 /**
  * Serialize a batch outcome as JSON: batch-level threads / wall seconds
- * / serial-equivalent cpu seconds / measured speedup, plus one entry
- * per job with its label, kind, timing, cache status and headline
- * metrics (per-core IPC, weighted speedup, custom value).
+ * / serial-equivalent cpu seconds / measured speedup and a process-wide
+ * memo/trace cache snapshot, plus one entry per job with its label,
+ * kind, timing, memo-cache status, per-job trace-cache hit/miss counts
+ * and headline metrics (per-core IPC, weighted speedup, custom value).
  */
 void writeBatchReportJson(std::ostream &os, const std::string &bench_name,
                           const BatchResult &batch);

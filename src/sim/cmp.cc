@@ -5,19 +5,40 @@
 namespace bfsim::sim {
 
 Cmp::Cmp(const std::vector<CoreConfig> &core_configs,
-         const std::vector<const isa::Program *> &programs,
+         std::vector<std::unique_ptr<DynOpSource>> sources,
          const mem::HierarchyConfig &hierarchy_config)
     : mem(hierarchy_config)
 {
-    if (core_configs.size() != programs.size())
-        fatal("core config count must match program count");
-    if (hierarchy_config.numCores != programs.size())
-        fatal("hierarchy core count must match program count");
-    for (std::size_t c = 0; c < programs.size(); ++c) {
+    if (core_configs.size() != sources.size())
+        fatal("core config count must match source count");
+    if (hierarchy_config.numCores != sources.size())
+        fatal("hierarchy core count must match source count");
+    for (std::size_t c = 0; c < sources.size(); ++c) {
         cores.push_back(std::make_unique<OooCore>(
-            static_cast<unsigned>(c), core_configs[c], *programs[c],
-            mem));
+            static_cast<unsigned>(c), core_configs[c],
+            std::move(sources[c]), mem));
     }
+}
+
+namespace {
+
+std::vector<std::unique_ptr<DynOpSource>>
+liveSources(const std::vector<const isa::Program *> &programs)
+{
+    std::vector<std::unique_ptr<DynOpSource>> sources;
+    sources.reserve(programs.size());
+    for (const isa::Program *program : programs)
+        sources.push_back(std::make_unique<LiveSource>(*program));
+    return sources;
+}
+
+} // namespace
+
+Cmp::Cmp(const std::vector<CoreConfig> &core_configs,
+         const std::vector<const isa::Program *> &programs,
+         const mem::HierarchyConfig &hierarchy_config)
+    : Cmp(core_configs, liveSources(programs), hierarchy_config)
+{
 }
 
 CmpResult

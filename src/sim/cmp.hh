@@ -39,10 +39,17 @@ class Cmp
 {
   public:
     /**
-     * Construct with per-core configs and programs (sizes must match).
-     * The shared hierarchy is sized by `hierarchy_config`, whose
-     * numCores must equal programs.size().
+     * Construct with per-core configs and dynamic-op sources (sizes
+     * must match). The shared hierarchy is sized by `hierarchy_config`,
+     * whose numCores must equal sources.size(). Sources may be live
+     * executors or trace cursors — several cores may share one trace
+     * buffer through independent TraceReplay cursors.
      */
+    Cmp(const std::vector<CoreConfig> &core_configs,
+        std::vector<std::unique_ptr<DynOpSource>> sources,
+        const mem::HierarchyConfig &hierarchy_config);
+
+    /** Convenience: live functional execution of one program per core. */
     Cmp(const std::vector<CoreConfig> &core_configs,
         const std::vector<const isa::Program *> &programs,
         const mem::HierarchyConfig &hierarchy_config);

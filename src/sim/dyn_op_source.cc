@@ -1,0 +1,7 @@
+#include "sim/dyn_op_source.hh"
+
+namespace bfsim::sim {
+
+DynOpSource::~DynOpSource() = default;
+
+} // namespace bfsim::sim

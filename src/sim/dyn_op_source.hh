@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Abstract producer of the dynamic instruction stream.
+ *
+ * The timing model is execute-at-fetch: functional execution produces a
+ * DynOp stream that the out-of-order timing model merely walks, so the
+ * stream is bit-identical across every prefetcher / core configuration
+ * of the same (program, budget). DynOpSource is the seam that exploits
+ * this: the timing layers (OooCore, Cmp, Profiler) consume the
+ * interface, and the stream can come from live functional execution
+ * (LiveSource), be recorded while it is produced (TraceCapture), or be
+ * replayed from a previously captured TraceBuffer with zero functional
+ * work (TraceReplay, see sim/trace.hh).
+ */
+
+#ifndef BFSIM_SIM_DYN_OP_SOURCE_HH_
+#define BFSIM_SIM_DYN_OP_SOURCE_HH_
+
+#include "sim/executor.hh"
+
+namespace bfsim::sim {
+
+/** Produces one core's dynamic instruction stream in program order. */
+class DynOpSource
+{
+  public:
+    virtual ~DynOpSource();
+
+    /**
+     * Produce the next dynamic instruction.
+     * @return false once the program has halted (no op is produced for
+     *         the Halt instruction itself, matching Executor::step).
+     */
+    virtual bool next(DynOp &op) = 0;
+
+    /** True once the stream has ended on a Halt. */
+    virtual bool halted() const = 0;
+
+    /** Dynamic instructions produced so far. */
+    virtual InstSeqNum produced() const = 0;
+};
+
+/**
+ * The stream straight from a private functional executor: today's
+ * behaviour, no recording, no sharing. Used when the trace cache is
+ * disabled (BFSIM_TRACE_CACHE=0) and by one-shot consumers.
+ */
+class LiveSource : public DynOpSource
+{
+  public:
+    explicit LiveSource(const isa::Program &program) : exec(program) {}
+
+    bool next(DynOp &op) override { return exec.step(op); }
+    bool halted() const override { return exec.halted(); }
+    InstSeqNum produced() const override { return exec.executed(); }
+
+    /** The underlying executor (architectural state inspection). */
+    const Executor &executor() const { return exec; }
+
+  private:
+    Executor exec;
+};
+
+} // namespace bfsim::sim
+
+#endif // BFSIM_SIM_DYN_OP_SOURCE_HH_

@@ -30,9 +30,17 @@ constexpr std::size_t ringSize = 1 << 14;
 
 OooCore::OooCore(unsigned core_id, const CoreConfig &config,
                  const isa::Program &program, mem::Hierarchy &hierarchy)
+    : OooCore(core_id, config, std::make_unique<LiveSource>(program),
+              hierarchy)
+{
+}
+
+OooCore::OooCore(unsigned core_id, const CoreConfig &config,
+                 std::unique_ptr<DynOpSource> source,
+                 mem::Hierarchy &hierarchy)
     : coreId(core_id),
       cfg(config),
-      executor(program),
+      opSource(std::move(source)),
       mem(hierarchy),
       bp(branch::makeTournamentPredictor(config.bpSizeScale)),
       queue(100),
@@ -43,6 +51,8 @@ OooCore::OooCore(unsigned core_id, const CoreConfig &config,
       loadRing(ringSize, {0, 0}),
       commitRing(ringSize, {0, 0})
 {
+    if (!opSource)
+        fatal("OooCore requires a dynamic-op source");
     switch (cfg.prefetcher) {
       case PrefetcherKind::NextN:
         pfEngine = std::make_unique<prefetch::NextNLinePrefetcher>();
@@ -174,7 +184,7 @@ bool
 OooCore::stepInstruction()
 {
     DynOp op;
-    if (!executor.step(op))
+    if (!opSource->next(op))
         return false;
 
     const isa::Instruction &inst = *op.inst;

@@ -43,7 +43,7 @@
 #include "mem/hierarchy.hh"
 #include "prefetch/prefetcher.hh"
 #include "prefetch/queue.hh"
-#include "sim/executor.hh"
+#include "sim/dyn_op_source.hh"
 
 namespace bfsim::sim {
 
@@ -93,14 +93,21 @@ struct CoreStats
     std::uint64_t fetchCyclesWithBranch = 0;
 };
 
-/** One simulated core: functional executor + timing model + prefetcher. */
+/** One simulated core: dynamic-op source + timing model + prefetcher. */
 class OooCore
 {
   public:
     /**
-     * Construct core `core_id` over a shared hierarchy, executing
-     * `program`.
+     * Construct core `core_id` over a shared hierarchy, walking the
+     * dynamic instruction stream produced by `source` (live execution,
+     * trace capture or trace replay — the timing model cannot tell the
+     * difference).
      */
+    OooCore(unsigned core_id, const CoreConfig &config,
+            std::unique_ptr<DynOpSource> source,
+            mem::Hierarchy &hierarchy);
+
+    /** Convenience: live functional execution of `program`. */
     OooCore(unsigned core_id, const CoreConfig &config,
             const isa::Program &program, mem::Hierarchy &hierarchy);
 
@@ -143,7 +150,7 @@ class OooCore
     }
 
     /** True once the program has executed Halt. */
-    bool halted() const { return executor.halted(); }
+    bool halted() const { return opSource->halted(); }
 
   private:
     /** First cycle >= `from` with a free slot in a banded-count ring. */
@@ -158,7 +165,7 @@ class OooCore
 
     unsigned coreId;
     CoreConfig cfg;
-    Executor executor;
+    std::unique_ptr<DynOpSource> opSource;
     mem::Hierarchy &mem;
 
     std::unique_ptr<branch::DirectionPredictor> bp;

@@ -4,8 +4,6 @@
 #include <cstdlib>
 #include <vector>
 
-#include "sim/executor.hh"
-
 namespace bfsim::sim {
 
 namespace {
@@ -23,11 +21,14 @@ absBlockDelta(std::uint64_t a, std::uint64_t b)
 constexpr std::array<unsigned, 3> VariationProfile::depths;
 
 ProfileResult
-profileRegisterVariation(const isa::Program &program,
-                         std::uint64_t max_insts)
+profileRegisterVariation(DynOpSource &source, std::uint64_t max_insts)
 {
     ProfileResult result;
-    Executor executor(program);
+
+    // Architectural register file reconstructed from the op stream:
+    // applying each r0-guarded writeback reproduces Executor::reg state
+    // after every instruction, for live and replayed sources alike.
+    std::array<RegVal, numArchRegs> registers{};
 
     // Ring of register snapshots taken at basic-block entries.
     constexpr unsigned maxDepth = 12;
@@ -46,9 +47,11 @@ profileRegisterVariation(const isa::Program &program,
     std::unordered_map<std::uint32_t, LoadHistory> loadHistories;
 
     DynOp op;
-    while (result.instructions < max_insts && executor.step(op)) {
+    while (result.instructions < max_insts && source.next(op)) {
         ++result.instructions;
         const isa::Instruction &inst = *op.inst;
+        if (op.writesReg && inst.rd != 0)
+            registers[inst.rd] = op.result;
 
         if (inst.isLoad()) {
             baseRegsThisBlock.push_back(inst.rs1);
@@ -94,20 +97,26 @@ profileRegisterVariation(const isa::Program &program,
                     snapshots[(bbIndex - depth + 1) % ringSize];
                 for (RegIndex r : baseRegsThisBlock) {
                     result.registerDelta.byDepth[d].sample(absBlockDelta(
-                        executor.reg(r), old_snapshot[r]));
+                        registers[r], old_snapshot[r]));
                 }
             }
             baseRegsThisBlock.clear();
 
             ++bbIndex;
-            auto &snapshot = snapshots[bbIndex % ringSize];
-            for (int r = 0; r < numArchRegs; ++r)
-                snapshot[r] = executor.reg(static_cast<RegIndex>(r));
+            snapshots[bbIndex % ringSize] = registers;
             ++result.basicBlocks;
         }
     }
     (void)maxDepth;
     return result;
+}
+
+ProfileResult
+profileRegisterVariation(const isa::Program &program,
+                         std::uint64_t max_insts)
+{
+    LiveSource source(program);
+    return profileRegisterVariation(source, max_insts);
 }
 
 } // namespace bfsim::sim

@@ -23,6 +23,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/program.hh"
+#include "sim/dyn_op_source.hh"
 
 namespace bfsim::sim {
 
@@ -50,9 +51,15 @@ struct ProfileResult
 };
 
 /**
- * Run a program functionally for up to `max_insts` instructions and
- * collect the Fig. 3 variation distributions.
+ * Walk up to `max_insts` dynamic instructions from `source` and collect
+ * the Fig. 3 variation distributions. Architectural register values are
+ * reconstructed from the stream's writebacks, so a replayed trace
+ * profiles bit-identically to live execution.
  */
+ProfileResult profileRegisterVariation(DynOpSource &source,
+                                       std::uint64_t max_insts);
+
+/** Convenience: profile a program through live functional execution. */
 ProfileResult profileRegisterVariation(const isa::Program &program,
                                        std::uint64_t max_insts);
 

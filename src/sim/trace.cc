@@ -1,0 +1,139 @@
+#include "sim/trace.hh"
+
+#include "common/log.hh"
+
+namespace bfsim::sim {
+
+TraceBuffer::TraceBuffer(const isa::Program &program)
+    : prog(program), exec(program), chunks(maxChunks)
+{
+}
+
+TraceBuffer::~TraceBuffer() = default;
+
+std::uint64_t
+TraceBuffer::ensure(std::uint64_t n)
+{
+    std::uint64_t avail = committed.load(std::memory_order_acquire);
+    if (avail >= n)
+        return avail;
+
+    std::lock_guard<std::mutex> lock(extendMutex);
+    avail = committed.load(std::memory_order_relaxed);
+    if (isHalted.load(std::memory_order_relaxed))
+        return avail;
+
+    // Record in per-chunk spans: chunk lookup, bounds checks and the
+    // `committed` release-store are hoisted out of the per-op loop, so
+    // recording adds only four plain stores per executed op. Readers
+    // acquire `committed` and never see a span before its array writes.
+    DynOp op;
+    while (avail < n) {
+        std::size_t chunk_index =
+            static_cast<std::size_t>(avail / chunkOps);
+        if (chunk_index >= maxChunks) {
+            fatal("trace buffer exceeds " +
+                  std::to_string(maxChunks * chunkOps) +
+                  " ops; disable the trace cache (BFSIM_TRACE_CACHE=0) "
+                  "for runs this long");
+        }
+        if (!chunks[chunk_index]) {
+            chunks[chunk_index] = std::make_unique<Chunk>();
+            allocatedChunks.fetch_add(1, std::memory_order_relaxed);
+        }
+        Chunk &chunk = *chunks[chunk_index];
+        std::size_t k = static_cast<std::size_t>(avail % chunkOps);
+        std::size_t span_end = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunkOps, k + (n - avail)));
+        std::uint32_t *pcs = chunk.pcIndex.get();
+        Addr *addrs = chunk.effAddr.get();
+        RegVal *results = chunk.result.get();
+        std::uint8_t *flags = chunk.flags.get();
+        bool halted_now = false;
+        for (; k < span_end; ++k) {
+            if (!exec.step(op)) {
+                halted_now = true;
+                break;
+            }
+            pcs[k] = op.pcIndex;
+            addrs[k] = op.effAddr;
+            results[k] = op.result;
+            flags[k] = static_cast<std::uint8_t>(
+                (op.taken ? takenFlag : 0) |
+                (op.writesReg ? writesRegFlag : 0));
+            ++avail;
+        }
+        committed.store(avail, std::memory_order_release);
+        if (halted_now) {
+            isHalted.store(true, std::memory_order_release);
+            break;
+        }
+    }
+    return avail;
+}
+
+void
+TraceBuffer::fetch(std::uint64_t i, DynOp &op) const
+{
+    const Chunk &chunk =
+        *chunks[static_cast<std::size_t>(i / chunkOps)];
+    std::size_t k = static_cast<std::size_t>(i % chunkOps);
+    std::uint32_t pc_index = chunk.pcIndex[k];
+    const isa::Instruction &inst = prog.at(pc_index);
+    std::uint8_t flags = chunk.flags[k];
+
+    op.pcIndex = pc_index;
+    op.pc = isa::instAddr(pc_index);
+    op.inst = &inst;
+    op.seq = i + 1;
+    op.taken = (flags & takenFlag) != 0;
+    op.effAddr = chunk.effAddr[k];
+    op.writesReg = (flags & writesRegFlag) != 0;
+    op.result = chunk.result[k];
+    std::uint32_t next_pc =
+        (inst.isControl() && op.taken) ? inst.target : pc_index + 1;
+    op.targetPc = isa::instAddr(next_pc);
+}
+
+std::uint64_t
+TraceBuffer::memoryBytes() const
+{
+    constexpr std::uint64_t perOp = sizeof(std::uint32_t) +
+                                    sizeof(Addr) + sizeof(RegVal) +
+                                    sizeof(std::uint8_t);
+    return allocatedChunks.load(std::memory_order_relaxed) * chunkOps *
+               perOp +
+           maxChunks * sizeof(std::unique_ptr<Chunk>);
+}
+
+TraceReplay::TraceReplay(std::shared_ptr<TraceBuffer> buffer)
+    : buf(std::move(buffer))
+{
+    if (!buf)
+        fatal("TraceReplay requires a trace buffer");
+    avail = buf->size();
+}
+
+bool
+TraceReplay::next(DynOp &op)
+{
+    if (cursor >= avail) {
+        avail = buf->size();
+        if (cursor >= avail) {
+            avail = buf->ensure(cursor + extendBatch);
+            if (cursor >= avail)
+                return false; // program halted before this op
+        }
+    }
+    buf->fetch(cursor, op);
+    ++cursor;
+    return true;
+}
+
+bool
+TraceReplay::halted() const
+{
+    return buf->halted() && cursor >= buf->size();
+}
+
+} // namespace bfsim::sim

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Captured dynamic-instruction traces.
+ *
+ * A TraceBuffer stores one program's DynOp stream in chunked
+ * structure-of-arrays form (21 payload bytes per op: static index,
+ * effective address, result value, outcome flags; everything else in a
+ * DynOp is recomputed from the program text on fetch). Chunks are
+ * allocated on demand as the stream grows, so multi-million-instruction
+ * runs never reallocate or copy recorded ops and pay only for the
+ * length the timing models actually demand.
+ *
+ * The buffer is *self-extending*: it owns the functional Executor and
+ * materialises ops lazily, because how far a timing run walks the
+ * stream is configuration-dependent (a CMP keeps frozen cores running
+ * for contention, so a slow prefetcher config can demand more ops than
+ * the first capture produced). Extension is serialized by a mutex while
+ * committed ops are readable lock-free through an acquire/release
+ * counter, so any number of TraceReplay cursors — including cursors on
+ * different threads under harness::runBatch — can walk one buffer
+ * while it grows.
+ */
+
+#ifndef BFSIM_SIM_TRACE_HH_
+#define BFSIM_SIM_TRACE_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/dyn_op_source.hh"
+
+namespace bfsim::sim {
+
+/** Growable shared store of one program's executed DynOp stream. */
+class TraceBuffer
+{
+  public:
+    /** Ops per chunk (fetch uses shift/mask; must stay a power of 2). */
+    static constexpr std::uint64_t chunkOps = 1ull << 14;
+
+    /**
+     * Construct over a program (which must outlive the buffer). Loads
+     * the program's initial data image; executes nothing yet.
+     */
+    explicit TraceBuffer(const isa::Program &program);
+    ~TraceBuffer();
+
+    TraceBuffer(const TraceBuffer &) = delete;
+    TraceBuffer &operator=(const TraceBuffer &) = delete;
+
+    /**
+     * Materialise ops [0, n), executing functionally past the recorded
+     * end; stops early if the program halts. Thread-safe.
+     * @return the number of ops now available (< n only on halt).
+     */
+    std::uint64_t ensure(std::uint64_t n);
+
+    /** Ops committed and readable so far (acquire). */
+    std::uint64_t size() const
+    {
+        return committed.load(std::memory_order_acquire);
+    }
+
+    /** True once the program executed Halt within the recorded stream. */
+    bool halted() const
+    {
+        return isHalted.load(std::memory_order_acquire);
+    }
+
+    /** Reconstruct op `i` (requires i < size()). */
+    void fetch(std::uint64_t i, DynOp &op) const;
+
+    /** The traced program. */
+    const isa::Program &program() const { return prog; }
+
+    /** Bytes of trace storage currently allocated. */
+    std::uint64_t memoryBytes() const;
+
+  private:
+    /** Chunk-pointer table capacity: 16K chunks x 16K ops = 268M ops. */
+    static constexpr std::size_t maxChunks = 1ull << 14;
+
+    /**
+     * One chunk of structure-of-arrays op storage. Deliberately
+     * default-initialized (not zeroed): the recorder overwrites every
+     * slot below `committed` before readers can see it, and zero-fill
+     * would add a full cold-memory pass per chunk on the capture path.
+     */
+    struct Chunk
+    {
+        Chunk()
+            : pcIndex(new std::uint32_t[chunkOps]),
+              effAddr(new Addr[chunkOps]), result(new RegVal[chunkOps]),
+              flags(new std::uint8_t[chunkOps])
+        {
+        }
+        std::unique_ptr<std::uint32_t[]> pcIndex;
+        std::unique_ptr<Addr[]> effAddr;
+        std::unique_ptr<RegVal[]> result;
+        /** bit0 taken, bit1 writesReg */
+        std::unique_ptr<std::uint8_t[]> flags;
+    };
+
+    static constexpr std::uint8_t takenFlag = 1;
+    static constexpr std::uint8_t writesRegFlag = 2;
+
+    const isa::Program &prog;
+    Executor exec;                 ///< extension executor (extendMutex)
+    std::mutex extendMutex;
+    /**
+     * Preallocated slot table so readers index it without locking;
+     * slots are written (once) under extendMutex strictly before the
+     * `committed` release-store that makes their ops visible.
+     */
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    std::atomic<std::uint64_t> committed{0};
+    std::atomic<std::uint64_t> allocatedChunks{0};
+    std::atomic<bool> isHalted{false};
+};
+
+/**
+ * Re-walks a captured TraceBuffer: zero functional work for every op
+ * the buffer already holds; transparently extends the buffer (one
+ * thread executes, others wait) only past its recorded end.
+ */
+class TraceReplay : public DynOpSource
+{
+  public:
+    explicit TraceReplay(std::shared_ptr<TraceBuffer> buffer);
+
+    bool next(DynOp &op) override;
+    bool halted() const override;
+    InstSeqNum produced() const override { return cursor; }
+
+    /** The shared buffer this cursor walks. */
+    const std::shared_ptr<TraceBuffer> &buffer() const { return buf; }
+
+  private:
+    /** Ops materialised per extension request (bounds overshoot). */
+    static constexpr std::uint64_t extendBatch = 4096;
+
+    std::shared_ptr<TraceBuffer> buf;
+    std::uint64_t cursor = 0; ///< next op index to produce
+    std::uint64_t avail = 0;  ///< committed ops known to this cursor
+};
+
+/**
+ * Records the stream while producing it: walking a fresh TraceCapture
+ * is live execution plus recording, and the filled buffer() can then be
+ * shared with any number of TraceReplay cursors. Attaching to an
+ * existing buffer makes this cursor the one that materialises whatever
+ * tail its consumer demands beyond the recorded end.
+ */
+class TraceCapture : public TraceReplay
+{
+  public:
+    /** Capture a program into a fresh buffer owned via buffer(). */
+    explicit TraceCapture(const isa::Program &program)
+        : TraceReplay(std::make_shared<TraceBuffer>(program))
+    {
+    }
+
+    /** Record into (extend) an existing shared buffer. */
+    explicit TraceCapture(std::shared_ptr<TraceBuffer> buffer)
+        : TraceReplay(std::move(buffer))
+    {
+    }
+};
+
+} // namespace bfsim::sim
+
+#endif // BFSIM_SIM_TRACE_HH_

@@ -305,6 +305,92 @@ TEST(Batch, JsonReportCarriesTimingAndResults)
     clearMemoCaches();
 }
 
+TEST(TraceCache, ResultsByteIdenticalWithAndWithoutCache)
+{
+    bool was_enabled = traceCacheEnabled();
+    clearMemoCaches();
+    clearTraceCache();
+
+    setTraceCacheEnabled(false);
+    SingleResult live =
+        runSingle("libquantum", sim::PrefetcherKind::BFetch, quick());
+    EXPECT_EQ(traceCacheStats().buffers, 0u);
+
+    setTraceCacheEnabled(true);
+    SingleResult captured =
+        runSingle("libquantum", sim::PrefetcherKind::BFetch, quick());
+    SingleResult replayed =
+        runSingle("libquantum", sim::PrefetcherKind::BFetch, quick());
+    expectSameSingle(live, captured);
+    expectSameSingle(live, replayed);
+
+    TraceCacheStats stats = traceCacheStats();
+    EXPECT_EQ(stats.buffers, 1u);  // first run captured
+    EXPECT_EQ(stats.attaches, 1u); // second run replayed
+    EXPECT_GT(stats.opsExecuted, 0u);
+    EXPECT_GT(stats.residentBytes, 0u);
+
+    clearTraceCache();
+    setTraceCacheEnabled(was_enabled);
+}
+
+TEST(TraceCache, KeyedByInstructionBudget)
+{
+    bool was_enabled = traceCacheEnabled();
+    setTraceCacheEnabled(true);
+    clearMemoCaches();
+    clearTraceCache();
+
+    RunOptions longer = quick();
+    longer.instructions = 40000;
+    runSingle("gamess", sim::PrefetcherKind::None, quick());
+    runSingle("gamess", sim::PrefetcherKind::None, longer);
+    EXPECT_EQ(traceCacheStats().buffers, 2u);
+    EXPECT_EQ(traceCacheStats().attaches, 0u);
+
+    clearTraceCache();
+    setTraceCacheEnabled(was_enabled);
+}
+
+TEST(TraceCache, BatchItemsCarryHitMissCounts)
+{
+    bool was_enabled = traceCacheEnabled();
+    setTraceCacheEnabled(true);
+    clearMemoCaches();
+    clearTraceCache();
+
+    std::vector<BatchJob> jobs;
+    for (sim::PrefetcherKind kind :
+         {sim::PrefetcherKind::None, sim::PrefetcherKind::Stride,
+          sim::PrefetcherKind::BFetch}) {
+        jobs.push_back(
+            BatchJob::single("libquantum", kind, quick()));
+    }
+    // Serial run: job order is execution order, so the first job is
+    // the capture and each later one a replay of the shared trace.
+    BatchResult batch = runBatch(jobs, 1, nullptr);
+    ASSERT_EQ(batch.items.size(), 3u);
+    EXPECT_EQ(batch.items[0].traceMisses, 1u);
+    EXPECT_EQ(batch.items[0].traceHits, 0u);
+    for (std::size_t i = 1; i < batch.items.size(); ++i) {
+        EXPECT_EQ(batch.items[i].traceMisses, 0u) << "job " << i;
+        EXPECT_EQ(batch.items[i].traceHits, 1u) << "job " << i;
+    }
+
+    std::ostringstream os;
+    writeBatchReportJson(os, "trace_cache_test", batch);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"trace_hits\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"trace_misses\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"caches\""), std::string::npos);
+    EXPECT_NE(json.find("\"buffers\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"attaches\": 2"), std::string::npos);
+
+    clearMemoCaches();
+    clearTraceCache();
+    setTraceCacheEnabled(was_enabled);
+}
+
 TEST(Report, GeomeanAndTableRows)
 {
     SpeedupSeries s1{"A", {{"w1", 2.0}, {"w2", 8.0}}};
