@@ -14,6 +14,13 @@
  * 200k per mix core, overridable with BFSIM_INSTRUCTIONS (alias
  * BFSIM_INSTS). A machine-readable JSON results/timing report is
  * written when --report=PATH or BFSIM_REPORT is given.
+ *
+ * Failure policy: a failed sweep point becomes a failed report item,
+ * not a dead process. --retries/BFSIM_RETRIES grants bounded retries,
+ * --fail-fast/BFSIM_FAIL_FAST stops launching jobs after the first
+ * failure, --deadline/BFSIM_JOB_DEADLINE bounds each job's wall clock,
+ * and the binary's exit status is non-zero iff any job ultimately
+ * failed.
  */
 
 #ifndef BFSIM_BENCH_BENCH_UTIL_HH_
@@ -47,7 +54,20 @@ struct BenchConfig
     std::string reportPath;
     /** Workload-subset substring filter ("" = whole suite). */
     std::string filter;
+    /** Retries / fail-fast / per-job deadline (env-seeded, flags win). */
+    harness::BatchOptions batchOptions = harness::BatchOptions::fromEnv();
 };
+
+/**
+ * Jobs that ultimately failed across every runSweep of this process;
+ * runBench turns a non-zero count into a non-zero exit status.
+ */
+inline std::size_t &
+sweepFailureCount()
+{
+    static std::size_t failures = 0;
+    return failures;
+}
 
 /**
  * The workload-name substring set by --filter (empty = whole suite).
@@ -120,11 +140,13 @@ listWorkloadsAndExit()
 /**
  * Parse and strip the shared batch flags (--jobs=N / --jobs N /
  * --report=PATH / --report PATH / --filter=SUBSTR / --filter SUBSTR /
- * --list) from argv before google-benchmark sees the remaining
- * arguments. BFSIM_REPORT seeds the report path; the explicit flag
- * wins. --filter restricts every per-workload sweep, table row and
- * geomean to workloads whose name contains SUBSTR; --list prints the
- * (filtered) suite and exits.
+ * --retries=N / --retries N / --fail-fast / --deadline=SECONDS /
+ * --deadline SECONDS / --list) from argv before google-benchmark sees
+ * the remaining arguments. BFSIM_REPORT seeds the report path and
+ * BFSIM_RETRIES / BFSIM_FAIL_FAST / BFSIM_JOB_DEADLINE seed the
+ * failure policy; explicit flags win. --filter restricts every
+ * per-workload sweep, table row and geomean to workloads whose name
+ * contains SUBSTR; --list prints the (filtered) suite and exits.
  */
 inline BenchConfig
 parseBenchConfig(int &argc, char **argv)
@@ -141,6 +163,20 @@ parseBenchConfig(int &argc, char **argv)
             fatal("--jobs expects a positive integer, got '" + value +
                   "'");
         return static_cast<unsigned>(jobs);
+    };
+    auto parse_retries = [](const std::string &value) {
+        char *end = nullptr;
+        unsigned long retries = std::strtoul(value.c_str(), &end, 10);
+        if (!end || *end != '\0')
+            fatal("--retries expects a count, got '" + value + "'");
+        return static_cast<unsigned>(retries);
+    };
+    auto parse_deadline = [](const std::string &value) {
+        char *end = nullptr;
+        double seconds = std::strtod(value.c_str(), &end);
+        if (!end || *end != '\0' || seconds < 0.0)
+            fatal("--deadline expects seconds, got '" + value + "'");
+        return seconds;
     };
 
     int out = 1;
@@ -164,6 +200,22 @@ parseBenchConfig(int &argc, char **argv)
             if (i + 1 >= argc)
                 fatal("--filter expects a substring");
             config.filter = argv[++i];
+        } else if (arg.rfind("--retries=", 0) == 0) {
+            config.batchOptions.retries = parse_retries(arg.substr(10));
+        } else if (arg == "--retries") {
+            if (i + 1 >= argc)
+                fatal("--retries expects a count");
+            config.batchOptions.retries = parse_retries(argv[++i]);
+        } else if (arg == "--fail-fast") {
+            config.batchOptions.failFast = true;
+        } else if (arg.rfind("--deadline=", 0) == 0) {
+            config.batchOptions.jobDeadlineSeconds =
+                parse_deadline(arg.substr(11));
+        } else if (arg == "--deadline") {
+            if (i + 1 >= argc)
+                fatal("--deadline expects seconds");
+            config.batchOptions.jobDeadlineSeconds =
+                parse_deadline(argv[++i]);
         } else if (arg == "--list") {
             list = true;
         } else {
@@ -180,7 +232,9 @@ parseBenchConfig(int &argc, char **argv)
 
 /**
  * Execute the bench's sweep through the parallel batch runner, print
- * batch timing to stderr and write the JSON report when configured.
+ * batch timing (and any per-job failures) to stderr and write the JSON
+ * report when configured. Failed jobs accumulate into
+ * sweepFailureCount() so runBench can exit non-zero.
  */
 inline harness::BatchResult
 runSweep(const std::string &bench_name, const BenchConfig &config,
@@ -190,12 +244,24 @@ runSweep(const std::string &bench_name, const BenchConfig &config,
         config.jobs ? config.jobs : ThreadPool::defaultThreadCount();
     std::fprintf(stderr, "%s: %zu jobs on %u thread(s)\n",
                  bench_name.c_str(), jobs.size(), threads);
-    harness::BatchResult batch = harness::runBatch(jobs, threads);
+    harness::BatchResult batch = harness::runBatch(
+        jobs, threads, harness::defaultBatchProgress,
+        config.batchOptions);
     std::fprintf(stderr,
                  "%s: wall %.2fs, serial-equivalent %.2fs, "
                  "speedup %.2fx\n",
                  bench_name.c_str(), batch.wallSeconds,
                  batch.cpuSeconds, batch.speedup());
+    if (std::size_t failures = batch.failures()) {
+        sweepFailureCount() += failures;
+        std::fprintf(stderr, "%s: %zu job(s) FAILED:\n",
+                     bench_name.c_str(), failures);
+        for (const harness::BatchItem &item : batch.items) {
+            if (item.failed)
+                std::fprintf(stderr, "  %s: %s\n", item.label.c_str(),
+                             item.error.c_str());
+        }
+    }
     if (!config.reportPath.empty())
         harness::writeBatchReportFile(config.reportPath, bench_name,
                                       batch);
@@ -240,7 +306,11 @@ registerCase(const std::string &name, const std::string &counter,
         ->Unit(benchmark::kMillisecond);
 }
 
-/** Standard main body: run benchmarks, then print the figure table. */
+/**
+ * Standard main body: run benchmarks, then print the figure table.
+ * Exits non-zero when any sweep job failed (the table still prints —
+ * with holes — so a partially failed campaign remains inspectable).
+ */
 inline int
 runBench(int argc, char **argv, const std::function<void()> &print_report)
 {
@@ -250,8 +320,16 @@ runBench(int argc, char **argv, const std::function<void()> &print_report)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    print_report();
-    return 0;
+    try {
+        print_report();
+    } catch (const std::exception &error) {
+        // A failed job can leave a table assembler without its row
+        // (e.g. a missing-series geomean); report and flag, don't die.
+        std::fprintf(stderr, "report generation failed: %s\n",
+                     error.what());
+        return 1;
+    }
+    return sweepFailureCount() > 0 ? 1 : 0;
 }
 
 /** The three comparison schemes of Figs. 8-10. */

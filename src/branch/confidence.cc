@@ -1,6 +1,6 @@
 #include "branch/confidence.hh"
 
-#include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace bfsim::branch {
 
@@ -14,7 +14,8 @@ CompositeConfidence::CompositeConfidence(const ConfidenceConfig &config)
     if (!std::has_single_bit(config.jrsEntries) ||
         !std::has_single_bit(config.upDownEntries) ||
         !std::has_single_bit(config.selfEntries)) {
-        fatal("confidence table sizes must be powers of two");
+        throw SimError("confidence",
+                       "confidence table sizes must be powers of two");
     }
 }
 

@@ -3,7 +3,7 @@
 #include <bit>
 #include <cmath>
 
-#include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace bfsim::branch {
 
@@ -36,7 +36,9 @@ BimodalPredictor::BimodalPredictor(std::size_t entries)
     : table(entries, SatCounter(2, 1))
 {
     if (!std::has_single_bit(entries))
-        fatal("bimodal predictor entries must be a power of two");
+        throw SimError("branch",
+                       "bimodal predictor entries must be a power of "
+                       "two");
 }
 
 std::size_t
@@ -79,7 +81,9 @@ GSharePredictor::GSharePredictor(std::size_t entries)
     : table(entries, SatCounter(2, 1)), histBits(log2Entries(entries))
 {
     if (!std::has_single_bit(entries))
-        fatal("gshare predictor entries must be a power of two");
+        throw SimError("branch",
+                       "gshare predictor entries must be a power of "
+                       "two");
 }
 
 std::size_t
@@ -129,7 +133,9 @@ LocalPredictor::LocalPredictor(std::size_t history_entries,
 {
     if (!std::has_single_bit(history_entries) ||
         !std::has_single_bit(pattern_entries)) {
-        fatal("local predictor table sizes must be powers of two");
+        throw SimError("branch",
+                       "local predictor table sizes must be powers of "
+                       "two");
     }
 }
 

@@ -1,0 +1,187 @@
+#include "common/fault.hh"
+
+#include <array>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace bfsim::fault {
+
+namespace detail {
+std::atomic<bool> armedFlag{false};
+} // namespace detail
+
+namespace {
+
+/** Armed-fault parameters; written under no contention (arm/disarm are
+ * test/bootstrap operations), read racily only behind armedFlag. */
+std::atomic<unsigned> armedSite{0};
+std::atomic<std::uint64_t> armedScope{0};
+std::atomic<std::uint64_t> armedHit{1};
+std::atomic<std::uint64_t> fired{0};
+
+thread_local std::uint64_t threadScope = 0;
+thread_local std::array<std::uint64_t,
+                        static_cast<unsigned>(Site::siteCount)>
+    threadHits{};
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+bool
+parseUint(const std::string &text, std::uint64_t &value)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    value = std::strtoull(text.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+/** One-time BFSIM_FAULT bootstrap at static-init (before main). */
+const bool envLoaded = [] {
+    if (const char *env = std::getenv("BFSIM_FAULT")) {
+        if (!armFromSpec(env))
+            warn(std::string("ignoring malformed BFSIM_FAULT spec '") +
+                 env + "' (want site:nth[:seed])");
+    }
+    return true;
+}();
+
+} // namespace
+
+const char *
+siteName(Site site)
+{
+    switch (site) {
+      case Site::ExecutorStep: return "step";
+      case Site::TraceExtend: return "trace";
+      case Site::CacheAccess: return "cache";
+      case Site::ReportWrite: return "report";
+      case Site::siteCount: break;
+    }
+    return "?";
+}
+
+bool
+parseSite(const std::string &name, Site &site)
+{
+    for (unsigned s = 0; s < static_cast<unsigned>(Site::siteCount);
+         ++s) {
+        if (name == siteName(static_cast<Site>(s))) {
+            site = static_cast<Site>(s);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+plannedHit(std::uint64_t seed)
+{
+    // Seed 0: the scope's first hit. Otherwise a deterministic later
+    // hit, kept small (2..9) so even short smoke runs reach it.
+    return seed == 0 ? 1 : 2 + splitmix64(seed) % 8;
+}
+
+void
+arm(Site site, std::uint64_t scope, std::uint64_t seed)
+{
+    detail::armedFlag.store(false, std::memory_order_relaxed);
+    armedSite.store(static_cast<unsigned>(site),
+                    std::memory_order_relaxed);
+    armedScope.store(scope, std::memory_order_relaxed);
+    armedHit.store(plannedHit(seed), std::memory_order_relaxed);
+    fired.store(0, std::memory_order_relaxed);
+    detail::armedFlag.store(true, std::memory_order_release);
+}
+
+bool
+armFromSpec(const std::string &spec)
+{
+    std::size_t first = spec.find(':');
+    if (first == std::string::npos)
+        return false;
+    std::size_t second = spec.find(':', first + 1);
+    std::string site_name = spec.substr(0, first);
+    std::string nth_text =
+        second == std::string::npos
+            ? spec.substr(first + 1)
+            : spec.substr(first + 1, second - first - 1);
+
+    Site site;
+    std::uint64_t nth = 0, seed = 0;
+    if (!parseSite(site_name, site) || !parseUint(nth_text, nth))
+        return false;
+    if (second != std::string::npos &&
+        !parseUint(spec.substr(second + 1), seed)) {
+        return false;
+    }
+    arm(site, nth, seed);
+    return true;
+}
+
+void
+disarm()
+{
+    detail::armedFlag.store(false, std::memory_order_relaxed);
+}
+
+bool
+armed()
+{
+    return detail::armedFlag.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+firedCount()
+{
+    return fired.load(std::memory_order_relaxed);
+}
+
+void
+beginScope(std::uint64_t ordinal)
+{
+    threadScope = ordinal;
+    threadHits.fill(0);
+}
+
+std::uint64_t
+currentScope()
+{
+    return threadScope;
+}
+
+namespace detail {
+
+bool
+shouldFailSlow(Site site)
+{
+    if (static_cast<unsigned>(site) !=
+        armedSite.load(std::memory_order_relaxed)) {
+        return false;
+    }
+    std::uint64_t scope = armedScope.load(std::memory_order_relaxed);
+    if (scope != 0 && scope != threadScope)
+        return false;
+    std::uint64_t hit = ++threadHits[static_cast<unsigned>(site)];
+    if (hit != armedHit.load(std::memory_order_relaxed))
+        return false;
+    // Fire exactly once per arming, even when scope 0 lets several
+    // threads race to the planned hit.
+    bool expected = true;
+    if (!armedFlag.compare_exchange_strong(expected, false))
+        return false;
+    fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+} // namespace detail
+
+} // namespace bfsim::fault

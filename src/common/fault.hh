@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic seeded fault injection.
+ *
+ * The harness's recovery paths (per-job failure isolation, bounded
+ * retry, trace-capture fallback, crash-safe report writing) are only
+ * trustworthy if something actually exercises them, so this facility
+ * lets tests and CI plant exactly one failure at a well-defined point:
+ *
+ *     BFSIM_FAULT=site:nth[:seed]
+ *
+ *  - `site`  names the injection point: `step` (functional executor
+ *    step), `trace` (trace-capture extension), `cache` (memory
+ *    hierarchy access), `report` (batch report write).
+ *  - `nth`   selects the fault *scope*: batch jobs are numbered 1..N in
+ *    submission order and each job attempt runs inside its own scope,
+ *    so `cache:4` fails job 4 — deterministically, serial or parallel.
+ *    `nth=0` matches any scope, including code outside a batch (the
+ *    report writer runs unscoped; under parallelism the victim job of
+ *    an `nth=0` sim-site fault is whichever thread hits it first).
+ *  - `seed`  (optional, default 0) picks *which* hit inside the scope
+ *    fails: 0 means the scope's first hit of the site; a non-zero seed
+ *    deterministically selects a later hit (2..9 via splitmix64), which
+ *    e.g. moves a `trace` fault past the harness's capture probe so it
+ *    strikes mid-run instead of degrading at source creation.
+ *
+ * A fault fires exactly once per arming, then self-disarms: the
+ * targeted job fails, every other job is untouched, and a retry of the
+ * failed job recomputes cleanly — which is precisely the property the
+ * recovery tests need to witness. BFSIM_FAULT is read once at process
+ * start; tests re-arm programmatically (see harness/fault.hh for the
+ * RAII wrapper).
+ *
+ * Cost when disarmed: one relaxed atomic load per site hit.
+ */
+
+#ifndef BFSIM_COMMON_FAULT_HH_
+#define BFSIM_COMMON_FAULT_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace bfsim::fault {
+
+/** Injection points. Keep siteName()/parseSite() in sync. */
+enum class Site : unsigned
+{
+    ExecutorStep = 0, ///< sim::Executor::step ("step")
+    TraceExtend,      ///< sim::TraceBuffer::ensure extension ("trace")
+    CacheAccess,      ///< mem::Hierarchy::access ("cache")
+    ReportWrite,      ///< harness::writeBatchReportFile ("report")
+    siteCount
+};
+
+/** Spec name of a site ("step", "trace", "cache", "report"). */
+const char *siteName(Site site);
+
+/** Parse a spec site name. @return false on unknown names. */
+bool parseSite(const std::string &name, Site &site);
+
+/**
+ * Arm one fault: fail at `site`, in fault scope `scope` (0 = any), on
+ * hit plannedHit(seed) within the scope. Replaces any armed fault and
+ * resets the fired count.
+ */
+void arm(Site site, std::uint64_t scope, std::uint64_t seed = 0);
+
+/** Arm from a "site:nth[:seed]" spec. @return false on parse errors. */
+bool armFromSpec(const std::string &spec);
+
+/** Disarm without firing (idempotent). */
+void disarm();
+
+/** True while a fault is armed and has not fired yet. */
+bool armed();
+
+/** Number of faults injected since the last arm (0 or 1). */
+std::uint64_t firedCount();
+
+/** The in-scope hit index (1-based) a given seed targets. */
+std::uint64_t plannedHit(std::uint64_t seed);
+
+/**
+ * Enter fault scope `ordinal` on this thread (batch runner: job index
+ * + 1, per attempt). Resets this thread's per-site hit counters.
+ * Ordinal 0 restores the unscoped state.
+ */
+void beginScope(std::uint64_t ordinal);
+
+/** This thread's current fault scope (0 = unscoped). */
+std::uint64_t currentScope();
+
+namespace detail {
+extern std::atomic<bool> armedFlag;
+bool shouldFailSlow(Site site);
+} // namespace detail
+
+/**
+ * Site check, called at each injection point: true when this invocation
+ * must fail (the caller then throws SimError or degrades). Nearly free
+ * while disarmed.
+ */
+inline bool
+shouldFail(Site site)
+{
+    if (!detail::armedFlag.load(std::memory_order_relaxed))
+        return false;
+    return detail::shouldFailSlow(site);
+}
+
+} // namespace bfsim::fault
+
+#endif // BFSIM_COMMON_FAULT_HH_

@@ -3,6 +3,13 @@
  * Minimal logging / error-termination helpers in the spirit of gem5's
  * base/logging.hh: panic() for internal invariant violations, fatal() for
  * user-facing configuration errors, warn()/inform() for status messages.
+ *
+ * Termination is reserved for failures outside any simulation job
+ * (CLI misuse, bench table-assembly bugs, corrupted static programs).
+ * Anything that can fail *inside one job* of a batch — sweep configs,
+ * per-run invariants, watchdogs — throws SimError instead (see
+ * common/sim_error.hh) so the batch runner can isolate the failure to
+ * that job.
  */
 
 #ifndef BFSIM_COMMON_LOG_HH_

@@ -1,0 +1,57 @@
+#include "common/sim_error.hh"
+
+namespace bfsim {
+
+namespace {
+
+thread_local SimJobContext threadJobContext;
+
+std::string
+formatWhat(const std::string &component, const std::string &message,
+           const SimJobContext &context, std::uint64_t cycle)
+{
+    std::string what = component + ": " + message;
+    std::string detail;
+    auto append = [&detail](const std::string &piece) {
+        if (!detail.empty())
+            detail += ", ";
+        detail += piece;
+    };
+    if (!context.workload.empty())
+        append("workload=" + context.workload);
+    if (!context.label.empty() && context.label != context.workload)
+        append("label=" + context.label);
+    if (cycle != 0)
+        append("cycle=" + std::to_string(cycle));
+    if (!detail.empty())
+        what += " [" + detail + "]";
+    return what;
+}
+
+} // namespace
+
+const SimJobContext &
+simJobContext()
+{
+    return threadJobContext;
+}
+
+void
+setSimJobContext(SimJobContext context)
+{
+    threadJobContext = std::move(context);
+}
+
+SimError::SimError(std::string component, std::string message,
+                   std::uint64_t cycle)
+    : std::runtime_error(formatWhat(component, message, simJobContext(),
+                                    cycle)),
+      comp(std::move(component)),
+      msg(std::move(message)),
+      wl(simJobContext().workload),
+      lbl(simJobContext().label),
+      cyc(cycle)
+{
+}
+
+} // namespace bfsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Structured, recoverable simulation errors.
+ *
+ * SimError is the exception type for everything that can go wrong
+ * *inside one simulation job* — bad sweep configurations (non-power-of-
+ * two table sizes, zero-width cores), runtime invariant violations that
+ * only poison the current run (unaligned functional accesses, trace
+ * capacity overflow), watchdog trips, and injected faults. The batch
+ * runner (harness::runBatch) catches SimError (and any std::exception)
+ * per job, so one bad (workload, config) pair costs one row of a sweep
+ * table, not the whole multi-hour campaign.
+ *
+ * Errors carry context: the component that threw, the simulated cycle
+ * (when known), and the workload / batch-job label active on the
+ * throwing thread (installed by the batch runner via SimJobScope), so a
+ * failed row in a 116-job report says exactly which run died and where.
+ *
+ * panic()/fatal() in common/log.hh remain for the cases where dying is
+ * correct: programmer errors in bench table assembly, CLI misuse, and
+ * corrupted static program images. See DESIGN.md "Error-handling
+ * policy" for the throw-vs-abort split.
+ */
+
+#ifndef BFSIM_COMMON_SIM_ERROR_HH_
+#define BFSIM_COMMON_SIM_ERROR_HH_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace bfsim {
+
+/** Per-thread job attribution attached to SimErrors thrown on it. */
+struct SimJobContext
+{
+    std::string workload; ///< workload name(s), '+'-joined for mixes
+    std::string label;    ///< batch-job label ("" outside a batch)
+};
+
+/** The context currently installed on this thread. */
+const SimJobContext &simJobContext();
+
+/** Install / replace this thread's job context (batch runner). */
+void setSimJobContext(SimJobContext context);
+
+/** RAII installer: sets the thread's job context, restores on exit. */
+class SimJobScope
+{
+  public:
+    SimJobScope(std::string workload, std::string label)
+        : saved(simJobContext())
+    {
+        setSimJobContext({std::move(workload), std::move(label)});
+    }
+    ~SimJobScope() { setSimJobContext(std::move(saved)); }
+
+    SimJobScope(const SimJobScope &) = delete;
+    SimJobScope &operator=(const SimJobScope &) = delete;
+
+  private:
+    SimJobContext saved;
+};
+
+/**
+ * A recoverable simulation failure. what() is preformatted as
+ * "component: message [workload=..., label=..., cycle=N]" with the
+ * bracketed part present only when context exists.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    /**
+     * @param component  subsystem that failed ("ooo_core", "trace"...)
+     * @param message    human-readable description
+     * @param cycle      simulated cycle of the failure (0 = unknown)
+     */
+    SimError(std::string component, std::string message,
+             std::uint64_t cycle = 0);
+
+    const std::string &component() const { return comp; }
+    const std::string &message() const { return msg; }
+    /** Workload active on the throwing thread ("" if none). */
+    const std::string &workload() const { return wl; }
+    /** Batch-job label active on the throwing thread ("" if none). */
+    const std::string &label() const { return lbl; }
+    /** Simulated cycle at the failure (0 = unknown / not applicable). */
+    std::uint64_t cycle() const { return cyc; }
+
+  private:
+    std::string comp;
+    std::string msg;
+    std::string wl;
+    std::string lbl;
+    std::uint64_t cyc;
+};
+
+} // namespace bfsim
+
+/**
+ * Throw a SimError when `cond` is false. For recoverable invariants and
+ * configuration checks inside simulation components; replaces
+ * panic()/fatal() at call-sites where one job should fail, not the
+ * process. The failed condition text is appended to the message.
+ */
+#define BFSIM_CHECK(cond, component, message)                            \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            throw ::bfsim::SimError((component), std::string(message) +  \
+                                                     " [check: " #cond   \
+                                                     "]");               \
+        }                                                                \
+    } while (0)
+
+#endif // BFSIM_COMMON_SIM_ERROR_HH_

@@ -18,25 +18,32 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool()
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        stopping = true;
-    }
-    available.notify_all();
+    stop();
     for (std::thread &worker : workers)
         worker.join();
 }
 
 void
+ThreadPool::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    available.notify_all();
+}
+
+bool
 ThreadPool::enqueue(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex);
         if (stopping)
-            throw std::runtime_error("submit on stopping ThreadPool");
+            return false;
         queue.push_back(std::move(task));
     }
     available.notify_one();
+    return true;
 }
 
 void
@@ -53,8 +60,16 @@ ThreadPool::workerLoop()
             task = std::move(queue.front());
             queue.pop_front();
         }
-        // packaged_task captures exceptions into the future.
-        task();
+        // packaged_task captures exceptions into the future; the guard
+        // below is for raw tasks, so a throwing task drained during
+        // shutdown can never escape the worker and terminate.
+        try {
+            task();
+        } catch (const std::exception &error) {
+            warn(std::string("thread-pool task threw: ") + error.what());
+        } catch (...) {
+            warn("thread-pool task threw a non-standard exception");
+        }
     }
 }
 

@@ -47,9 +47,17 @@ class ThreadPool
     unsigned size() const { return static_cast<unsigned>(workers.size()); }
 
     /**
+     * Begin shutdown: queued tasks still drain, but no new submissions
+     * are accepted. Idempotent; the destructor calls it implicitly.
+     * Does not join — that remains the destructor's job.
+     */
+    void stop();
+
+    /**
      * Enqueue a callable; returns a future for its result. Exceptions
-     * thrown by the callable surface from future::get(). Submitting to
-     * a pool whose destructor has begun throws std::runtime_error.
+     * thrown by the callable surface from future::get(). Submitting
+     * after stop() (or racing the destructor) never terminates the
+     * process: the returned future holds a std::runtime_error instead.
      */
     template <typename F>
     auto
@@ -59,7 +67,15 @@ class ThreadPool
         auto task = std::make_shared<std::packaged_task<Result()>>(
             std::forward<F>(fn));
         std::future<Result> future = task->get_future();
-        enqueue([task] { (*task)(); });
+        if (!enqueue([task] { (*task)(); })) {
+            // Pool is stopping: report through the future so callers on
+            // other threads see a job failure, not std::terminate.
+            std::promise<Result> rejected;
+            future = rejected.get_future();
+            rejected.set_exception(std::make_exception_ptr(
+                std::runtime_error("ThreadPool::submit on a stopping "
+                                   "pool")));
+        }
         return future;
     }
 
@@ -71,7 +87,8 @@ class ThreadPool
     static unsigned defaultThreadCount();
 
   private:
-    void enqueue(std::function<void()> task);
+    /** @return false (task dropped) when the pool is stopping. */
+    bool enqueue(std::function<void()> task);
     void workerLoop();
 
     std::mutex mutex;

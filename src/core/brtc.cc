@@ -2,14 +2,14 @@
 
 #include <bit>
 
-#include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace bfsim::core {
 
 BranchTraceCache::BranchTraceCache(std::size_t entries) : table(entries)
 {
-    if (!std::has_single_bit(entries))
-        fatal("BrTC entry count must be a power of two");
+    BFSIM_CHECK(std::has_single_bit(entries), "brtc",
+                "BrTC entry count must be a power of two");
 }
 
 std::size_t

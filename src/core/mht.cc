@@ -2,7 +2,7 @@
 
 #include <bit>
 
-#include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace bfsim::core {
 
@@ -11,10 +11,11 @@ MemoryHistoryTable::MemoryHistoryTable(std::size_t entries,
                                        unsigned patt_bits)
     : table(entries), regsPer(regs_per_entry), pattBits(patt_bits)
 {
-    if (!std::has_single_bit(entries))
-        fatal("MHT entry count must be a power of two");
-    if (patt_bits > 8)
-        fatal("neg/posPatt vectors wider than 8 bits are not supported");
+    BFSIM_CHECK(std::has_single_bit(entries), "mht",
+                "MHT entry count must be a power of two");
+    BFSIM_CHECK(patt_bits <= 8, "mht",
+                "neg/posPatt vectors wider than 8 bits are not "
+                "supported");
     for (auto &entry : table)
         entry.regs.resize(regsPer);
 }

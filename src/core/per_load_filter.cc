@@ -2,7 +2,7 @@
 
 #include <bit>
 
-#include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace bfsim::core {
 
@@ -10,8 +10,9 @@ PerLoadFilter::PerLoadFilter(std::size_t entries_per_table,
                              unsigned counter_bits)
     : counterBits(counter_bits)
 {
-    if (!std::has_single_bit(entries_per_table))
-        fatal("per-load filter table size must be a power of two");
+    BFSIM_CHECK(std::has_single_bit(entries_per_table),
+                "per_load_filter",
+                "per-load filter table size must be a power of two");
     for (auto &table : tables) {
         // Initialize counters to 1 so an unseen load starts exactly at
         // the default threshold (3): new loads are allowed to prefetch

@@ -1,15 +1,21 @@
 #include "harness/batch.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <exception>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 #include "common/thread_pool.hh"
+#include "harness/fault.hh"
 #include "workloads/workload.hh"
 
 namespace bfsim::harness {
@@ -37,7 +43,248 @@ progressEnabled()
     return !(env && std::string(env) == "0");
 }
 
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string joined;
+    for (const auto &name : names) {
+        if (!joined.empty())
+            joined += '+';
+        joined += name;
+    }
+    return joined;
+}
+
+/**
+ * Shared state of one runBatch call. Heap-allocated and co-owned by
+ * every pool task: when a job blows its wall-clock deadline the batch
+ * abandons it and returns, and the zombie worker still needs valid
+ * jobs/items to finish (harmlessly) against.
+ */
+struct RunState
+{
+    std::vector<BatchJob> jobs;
+    BatchOptions options;
+    BatchProgress progress;
+    std::size_t total = 0;
+    std::chrono::steady_clock::time_point batchStart;
+
+    /** Guards items/done/finished/abandoned and progress callbacks. */
+    std::mutex mutex;
+    std::vector<BatchItem> items;
+    std::size_t done = 0;
+    std::vector<char> finished;  ///< item published or abandoned
+    std::vector<char> abandoned; ///< deadline-expired, result discarded
+
+    /** ns after batchStart when the job began + 1 (0 = not started). */
+    std::vector<std::atomic<std::int64_t>> startNs;
+    /** Fail-fast latch: set after the first failure. */
+    std::atomic<bool> stopRequested{false};
+};
+
+std::int64_t
+nsSinceStart(const RunState &state)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - state.batchStart)
+        .count();
+}
+
+/**
+ * Hand a completed (or skipped) item to the batch. Discards it when the
+ * job was already abandoned on deadline — the waiter published a
+ * timeout item and moved on, and this thread is a zombie.
+ */
+void
+publish(RunState &state, std::size_t index, BatchItem item)
+{
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.abandoned[index])
+        return;
+    state.items[index] = std::move(item);
+    state.finished[index] = 1;
+    ++state.done;
+    if (state.progress)
+        state.progress(state.items[index], state.done, state.total);
+}
+
+/** Run one job, all its permitted attempts, and publish the outcome. */
+void
+runJob(RunState &state, std::size_t index)
+{
+    const BatchJob &job = state.jobs[index];
+    BatchItem item;
+    item.label = job.label;
+    item.kind = job.kind;
+
+    state.startNs[index].store(nsSinceStart(state) + 1,
+                               std::memory_order_relaxed);
+
+    if (state.stopRequested.load(std::memory_order_relaxed)) {
+        item.failed = true;
+        item.attempts = 0;
+        item.error = "skipped: fail-fast stop after an earlier failure";
+        publish(state, index, std::move(item));
+        return;
+    }
+
+    const std::string workload_names = joinNames(job.workloads);
+    for (unsigned attempt = 1;; ++attempt) {
+        item.attempts = attempt;
+        auto start = std::chrono::steady_clock::now();
+        takeThreadCacheCounters(); // drop activity from earlier jobs
+        try {
+            // Fault scope = job ordinal: an injected `site:nth` fault
+            // hits job `nth` regardless of which worker runs it, so
+            // serial and parallel batches fail identically.
+            FaultScope fault_scope(index + 1);
+            SimJobScope job_scope(workload_names, job.label);
+            bool computed = true;
+            switch (job.kind) {
+              case BatchJob::Kind::Single:
+                item.single = &runSingleCached(job.workloads.at(0),
+                                               job.prefetcher,
+                                               job.options, &computed);
+                break;
+              case BatchJob::Kind::Mix:
+                item.mix = &runMixCached(job.workloads, job.prefetcher,
+                                         job.options, &computed);
+                break;
+              case BatchJob::Kind::Custom:
+                item.value = job.body ? job.body() : 0.0;
+                break;
+            }
+            item.cached = !computed;
+            item.failed = false;
+            item.error.clear();
+        } catch (const std::exception &error) {
+            item.failed = true;
+            item.error = error.what();
+        } catch (...) {
+            item.failed = true;
+            item.error = "non-standard exception";
+        }
+        item.seconds += secondsSince(start);
+        ThreadCacheCounters caches = takeThreadCacheCounters();
+        item.traceHits += caches.traceHits;
+        item.traceMisses += caches.traceMisses;
+        item.traceFallbacks += caches.traceFallbacks;
+        if (!item.failed || attempt > state.options.retries)
+            break;
+        // Simulation jobs are deterministic and their failed memo entry
+        // was evicted, so they retry immediately; Custom bodies may
+        // touch external state and get capped exponential backoff.
+        if (job.kind == BatchJob::Kind::Custom) {
+            long ms = std::min(25L << std::min(attempt - 1, 5u), 1000L);
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        }
+    }
+
+    if (item.failed && state.options.failFast)
+        state.stopRequested.store(true, std::memory_order_relaxed);
+    publish(state, index, std::move(item));
+}
+
+/**
+ * Mark every over-deadline in-flight job failed+abandoned, publishing a
+ * timeout item in its worker's stead.
+ */
+void
+enforceDeadlines(RunState &state, double deadline)
+{
+    const std::int64_t now_ns = nsSinceStart(state);
+    const auto limit_ns =
+        static_cast<std::int64_t>(deadline * 1e9);
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (std::size_t j = 0; j < state.jobs.size(); ++j) {
+        if (state.finished[j] || state.abandoned[j])
+            continue;
+        std::int64_t started =
+            state.startNs[j].load(std::memory_order_relaxed);
+        if (started == 0 || now_ns - (started - 1) < limit_ns)
+            continue;
+        state.abandoned[j] = 1;
+        state.finished[j] = 1;
+        BatchItem &item = state.items[j];
+        item.label = state.jobs[j].label;
+        item.kind = state.jobs[j].kind;
+        item.failed = true;
+        item.attempts = 1; // the deadline budget spans all attempts
+        item.seconds =
+            static_cast<double>(now_ns - (started - 1)) / 1e9;
+        char text[96];
+        std::snprintf(text, sizeof text,
+                      "job exceeded its %.3gs wall-clock deadline",
+                      deadline);
+        item.error = text;
+        if (state.options.failFast)
+            state.stopRequested.store(true, std::memory_order_relaxed);
+        ++state.done;
+        if (state.progress)
+            state.progress(item, state.done, state.total);
+    }
+}
+
+/**
+ * Wait for job `index`, policing the per-job deadline across *all*
+ * in-flight jobs while blocked. Returns as soon as the job finishes or
+ * is abandoned.
+ */
+void
+awaitJob(RunState &state, std::future<void> &future, std::size_t index,
+         double deadline)
+{
+    for (;;) {
+        if (deadline <= 0.0 ||
+            future.wait_for(std::chrono::milliseconds(20)) ==
+                std::future_status::ready) {
+            try {
+                future.get();
+            } catch (const std::exception &error) {
+                // Pool-level rejection (shutdown race); the job never
+                // ran, so synthesize its failure here.
+                BatchItem item;
+                item.label = state.jobs[index].label;
+                item.kind = state.jobs[index].kind;
+                item.failed = true;
+                item.error = error.what();
+                publish(state, index, std::move(item));
+            }
+            return;
+        }
+        enforceDeadlines(state, deadline);
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.abandoned[index])
+            return; // stop waiting; the worker is a zombie now
+    }
+}
+
 } // namespace
+
+BatchOptions
+BatchOptions::fromEnv()
+{
+    BatchOptions options;
+    if (const char *env = std::getenv("BFSIM_RETRIES")) {
+        char *end = nullptr;
+        unsigned long value = std::strtoul(env, &end, 10);
+        if (end && *end == '\0')
+            options.retries = static_cast<unsigned>(value);
+        else
+            warn("ignoring malformed BFSIM_RETRIES value");
+    }
+    if (const char *env = std::getenv("BFSIM_FAIL_FAST"))
+        options.failFast = std::string(env) != "0";
+    if (const char *env = std::getenv("BFSIM_JOB_DEADLINE")) {
+        char *end = nullptr;
+        double value = std::strtod(env, &end);
+        if (end && *end == '\0' && value >= 0.0)
+            options.jobDeadlineSeconds = value;
+        else
+            warn("ignoring malformed BFSIM_JOB_DEADLINE value");
+    }
+    return options;
+}
 
 BatchJob
 BatchJob::single(const std::string &workload, sim::PrefetcherKind kind,
@@ -63,16 +310,10 @@ BatchJob::mix(const std::vector<std::string> &workloads,
     job.workloads = workloads;
     job.prefetcher = kind;
     job.options = options;
-    if (label.empty()) {
-        for (const auto &name : workloads) {
-            if (!job.label.empty())
-                job.label += '+';
-            job.label += name;
-        }
-        job.label += schemeSlash(kind);
-    } else {
+    if (label.empty())
+        job.label = joinNames(workloads) + schemeSlash(kind);
+    else
         job.label = std::move(label);
-    }
     return job;
 }
 
@@ -92,17 +333,23 @@ defaultBatchProgress(const BatchItem &item, std::size_t done,
 {
     if (!progressEnabled())
         return;
-    std::fprintf(stderr, "[%3zu/%zu] %s %.2fs%s\n", done, total,
+    if (item.failed) {
+        std::fprintf(stderr, "[%3zu/%zu] %s %.2fs FAILED (%s)\n", done,
+                     total, item.label.c_str(), item.seconds,
+                     item.error.c_str());
+        return;
+    }
+    std::fprintf(stderr, "[%3zu/%zu] %s %.2fs%s%s\n", done, total,
                  item.label.c_str(), item.seconds,
-                 item.cached ? " (cached)" : "");
+                 item.cached ? " (cached)" : "",
+                 item.attempts > 1 ? " (retried)" : "");
 }
 
 BatchResult
 runBatch(const std::vector<BatchJob> &jobs, unsigned n_threads,
-         const BatchProgress &progress)
+         const BatchProgress &progress, const BatchOptions &options)
 {
     BatchResult batch;
-    batch.items.resize(jobs.size());
     if (n_threads == 0)
         n_threads = ThreadPool::defaultThreadCount();
     batch.threads = n_threads;
@@ -113,76 +360,57 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned n_threads,
     // its one-time construction cost is not billed to the first job.
     workloads::allWorkloads();
 
-    std::mutex progress_mutex;
-    std::size_t done = 0;
-    const std::size_t total = jobs.size();
-    auto batch_start = std::chrono::steady_clock::now();
+    auto state = std::make_shared<RunState>();
+    state->jobs = jobs;
+    state->options = options;
+    state->progress = progress;
+    state->total = jobs.size();
+    state->items.resize(jobs.size());
+    state->finished.assign(jobs.size(), 0);
+    state->abandoned.assign(jobs.size(), 0);
+    state->startNs =
+        std::vector<std::atomic<std::int64_t>>(jobs.size());
+    state->batchStart = std::chrono::steady_clock::now();
 
-    auto run_job = [&](std::size_t index) {
-        const BatchJob &job = jobs[index];
-        BatchItem &item = batch.items[index];
-        item.label = job.label;
-        item.kind = job.kind;
-        auto start = std::chrono::steady_clock::now();
-        bool computed = true;
-        takeThreadCacheCounters(); // drop activity from earlier jobs
-        switch (job.kind) {
-          case BatchJob::Kind::Single:
-            item.single = &runSingleCached(job.workloads.at(0),
-                                           job.prefetcher, job.options,
-                                           &computed);
-            break;
-          case BatchJob::Kind::Mix:
-            item.mix = &runMixCached(job.workloads, job.prefetcher,
-                                     job.options, &computed);
-            break;
-          case BatchJob::Kind::Custom:
-            item.value = job.body ? job.body() : 0.0;
-            break;
-        }
-        item.seconds = secondsSince(start);
-        item.cached = !computed;
-        ThreadCacheCounters caches = takeThreadCacheCounters();
-        item.traceHits = caches.traceHits;
-        item.traceMisses = caches.traceMisses;
-        std::lock_guard<std::mutex> lock(progress_mutex);
-        ++done;
-        if (progress)
-            progress(item, done, total);
-    };
-
-    std::exception_ptr first_error;
-    if (n_threads <= 1) {
+    const double deadline = options.jobDeadlineSeconds;
+    if (n_threads <= 1 && deadline <= 0.0) {
         // Serial reference path: no pool, same code path per job.
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
-            try {
-                run_job(i);
-            } catch (...) {
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
-        }
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            runJob(*state, i);
     } else {
-        ThreadPool pool(n_threads);
+        // Deadlines need a waiter distinct from the worker, so the
+        // pool path also serves n_threads == 1 when one is set.
+        auto pool = std::make_unique<ThreadPool>(n_threads);
         std::vector<std::future<void>> futures;
         futures.reserve(jobs.size());
         for (std::size_t i = 0; i < jobs.size(); ++i)
-            futures.push_back(pool.submit([&run_job, i] { run_job(i); }));
-        for (auto &future : futures) {
-            try {
-                future.get();
-            } catch (...) {
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
+            futures.push_back(
+                pool->submit([state, i] { runJob(*state, i); }));
+        for (std::size_t i = 0; i < futures.size(); ++i)
+            awaitJob(*state, futures[i], i, deadline);
+
+        bool any_abandoned = false;
+        {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            for (char abandoned : state->abandoned)
+                any_abandoned = any_abandoned || abandoned != 0;
+        }
+        if (any_abandoned) {
+            // A zombie worker may be wedged inside its job; joining it
+            // here would hang the batch exactly like the job it just
+            // isolated. Drain the pool on a detached thread instead —
+            // the zombie's closure keeps `state` alive via shared_ptr.
+            std::thread([p = pool.release()] { delete p; }).detach();
         }
     }
 
-    batch.wallSeconds = secondsSince(batch_start);
+    batch.wallSeconds = secondsSince(state->batchStart);
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        batch.items = state->items;
+    }
     for (const BatchItem &item : batch.items)
         batch.cpuSeconds += item.seconds;
-    if (first_error)
-        std::rethrow_exception(first_error);
     return batch;
 }
 

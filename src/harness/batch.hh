@@ -67,7 +67,7 @@ struct BatchItem
     const MixResult *mix = nullptr;
     /** Kind::Custom result value. */
     double value = 0.0;
-    /** Wall seconds this job spent in its worker. */
+    /** Wall seconds this job spent in its worker (summed over retries). */
     double seconds = 0.0;
     /** True when the memo cache satisfied the job without simulating. */
     bool cached = false;
@@ -75,6 +75,37 @@ struct BatchItem
     std::uint64_t traceHits = 0;
     /** Trace-cache misses (fresh captures) this job. */
     std::uint64_t traceMisses = 0;
+    /** Trace-path failures this job degraded to live execution. */
+    std::uint64_t traceFallbacks = 0;
+    /** True when the job failed every attempt (or was skipped/timed out). */
+    bool failed = false;
+    /** what() of the final failure; empty when !failed. */
+    std::string error;
+    /** Attempts consumed: 1 = first try; 0 = skipped by fail-fast. */
+    unsigned attempts = 0;
+};
+
+/** Failure-handling policy for one runBatch call. */
+struct BatchOptions
+{
+    /** Retries granted after a failed attempt (0 = one attempt only). */
+    unsigned retries = 0;
+    /** Stop launching new jobs after the first failure. */
+    bool failFast = false;
+    /**
+     * Per-job wall-clock budget in seconds, covering all of the job's
+     * attempts (0 = unlimited). An over-budget job is marked failed and
+     * *abandoned*: the batch returns without it, and the worker wedged
+     * inside it is left to finish (or hang) on a detached drain thread.
+     */
+    double jobDeadlineSeconds = 0.0;
+
+    /**
+     * Defaults from the environment: BFSIM_RETRIES (count),
+     * BFSIM_FAIL_FAST (any value but 0 enables), BFSIM_JOB_DEADLINE
+     * (seconds, fractional allowed).
+     */
+    static BatchOptions fromEnv();
 };
 
 /** Results and timing of one runBatch call. */
@@ -92,6 +123,16 @@ struct BatchResult
     speedup() const
     {
         return wallSeconds > 0.0 ? cpuSeconds / wallSeconds : 0.0;
+    }
+
+    /** Items that failed (including fail-fast skips and timeouts). */
+    std::size_t
+    failures() const
+    {
+        std::size_t count = 0;
+        for (const BatchItem &item : items)
+            count += item.failed ? 1 : 0;
+        return count;
     }
 };
 
@@ -113,12 +154,19 @@ void defaultBatchProgress(const BatchItem &item, std::size_t done,
  * Run `jobs` across `n_threads` workers (0 = BFSIM_JOBS env, else
  * hardware concurrency). Results are returned in job order; duplicate
  * jobs and shared baselines are computed exactly once via the memo
- * cache. Exceptions from jobs are rethrown (first in job order) after
- * every worker finishes.
+ * cache.
+ *
+ * Failures are isolated per job: a job that throws (from any attempt
+ * permitted by `options.retries`) yields an item with `failed` set and
+ * `error` populated instead of aborting the batch, and a failed
+ * memoized computation is evicted so retries — and later batches in
+ * the same process — recompute it. Which jobs fail is deterministic in
+ * the jobs vector, independent of `n_threads`.
  */
 BatchResult runBatch(const std::vector<BatchJob> &jobs,
                      unsigned n_threads = 0,
-                     const BatchProgress &progress = defaultBatchProgress);
+                     const BatchProgress &progress = defaultBatchProgress,
+                     const BatchOptions &options = BatchOptions::fromEnv());
 
 } // namespace bfsim::harness
 

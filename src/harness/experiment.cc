@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 #include "sim/trace.hh"
 
 namespace bfsim::harness {
@@ -25,7 +26,8 @@ RunOptions::cacheKey() const
        << bfetch.pathConfidenceThreshold << '/'
        << bfetch.perLoadThreshold << '/' << bfetch.maxLookaheadDepth
        << '/' << bfetch.enableLoopPrefetch << bfetch.enablePattPrefetch
-       << bfetch.enablePerLoadFilter << bfetch.arfFromCommitOnly;
+       << bfetch.enablePerLoadFilter << bfetch.arfFromCommitOnly << '/'
+       << deadlockCycles;
     return os.str();
 }
 
@@ -40,6 +42,7 @@ makeCoreConfig(sim::PrefetcherKind kind, const RunOptions &options)
     cfg.bpSizeScale = options.bpSizeScale;
     cfg.prefetcher = kind;
     cfg.bfetch = options.bfetch;
+    cfg.deadlockCycles = options.deadlockCycles;
     return cfg;
 }
 
@@ -58,6 +61,13 @@ makeHierarchyConfig(unsigned num_cores, const RunOptions &options)
  * concurrent requesters of the same key block on that future instead of
  * duplicating the computation. Values are immortal for the process
  * lifetime (barring clearMemoCaches), so returned references are stable.
+ *
+ * A failed computation does NOT poison the key: waiters that already
+ * joined the in-flight future see the exception (the failure belongs to
+ * their request too), but the owner then evicts the exceptional entry
+ * under the lock, so the next requester recomputes. Without this, one
+ * transient fault (injected or real) would pin every later lookup of
+ * that key to the same stale exception.
  */
 template <typename Result>
 class FutureCache
@@ -67,33 +77,38 @@ class FutureCache
     getOrCompute(const std::string &key,
                  const std::function<Result()> &compute, bool *computed)
     {
-        std::shared_future<Result> future;
-        std::promise<Result> promise;
+        std::shared_ptr<Entry> entry;
         bool owner = false;
         {
             std::lock_guard<std::mutex> lock(mutex);
             auto it = entries.find(key);
             if (it == entries.end()) {
-                future = promise.get_future().share();
-                entries.emplace(key, future);
+                entry = std::make_shared<Entry>();
+                entries.emplace(key, entry);
                 owner = true;
             } else {
-                future = it->second;
+                entry = it->second;
             }
         }
         if (owner) {
             ++computes;
             try {
-                promise.set_value(compute());
+                entry->promise.set_value(compute());
             } catch (...) {
-                promise.set_exception(std::current_exception());
+                entry->promise.set_exception(std::current_exception());
+                std::lock_guard<std::mutex> lock(mutex);
+                auto it = entries.find(key);
+                // Evict only our own failed entry; a concurrent clear()
+                // + recompute may already have replaced it.
+                if (it != entries.end() && it->second == entry)
+                    entries.erase(it);
             }
         } else {
             ++hits;
         }
         if (computed)
             *computed = owner;
-        return future.get();
+        return entry->future.get();
     }
 
     void
@@ -105,26 +120,41 @@ class FutureCache
         hits = 0;
     }
 
-    /** Visit every ready-or-pending value (blocks on in-flight ones). */
+    /**
+     * Visit every successfully computed value (blocks on in-flight
+     * ones; entries whose computation failed are skipped).
+     */
     void
     forEachValue(const std::function<void(const Result &)> &visit)
     {
-        std::vector<std::shared_future<Result>> futures;
+        std::vector<std::shared_ptr<Entry>> snapshot;
         {
             std::lock_guard<std::mutex> lock(mutex);
-            for (const auto &[key, future] : entries)
-                futures.push_back(future);
+            for (const auto &[key, entry] : entries)
+                snapshot.push_back(entry);
         }
-        for (const auto &future : futures)
-            visit(future.get());
+        for (const auto &entry : snapshot) {
+            try {
+                visit(entry->future.get());
+            } catch (...) {
+                // Failed computation racing its own eviction; skip.
+            }
+        }
     }
 
     std::uint64_t computeCount() const { return computes.load(); }
     std::uint64_t hitCount() const { return hits.load(); }
 
   private:
+    struct Entry
+    {
+        Entry() : future(promise.get_future().share()) {}
+        std::promise<Result> promise;
+        std::shared_future<Result> future;
+    };
+
     std::mutex mutex;
-    std::map<std::string, std::shared_future<Result>> entries;
+    std::map<std::string, std::shared_ptr<Entry>> entries;
     std::atomic<std::uint64_t> computes{0};
     std::atomic<std::uint64_t> hits{0};
 };
@@ -174,6 +204,13 @@ thread_local ThreadCacheCounters threadCacheCounters;
  * trace cursor when the trace cache is on (TraceCapture for the
  * requester that created the buffer, TraceReplay for everyone reusing
  * it), a private live executor otherwise.
+ *
+ * The trace path is an optimization, not a correctness dependency: if
+ * buffer creation or the initial-extension probe throws SimError, the
+ * run degrades to a private LiveSource (bit-identical timing results)
+ * and only records the fallback in the thread counters. Failures past
+ * this probe — mid-run extension faults — propagate, because by then
+ * the core is wired to the shared cursor and cannot be rewired.
  */
 std::unique_ptr<sim::DynOpSource>
 makeSource(const std::string &workload_name, const RunOptions &options)
@@ -185,17 +222,32 @@ makeSource(const std::string &workload_name, const RunOptions &options)
 
     std::string key =
         workload_name + '|' + std::to_string(options.instructions);
-    bool computed = false;
-    std::shared_ptr<sim::TraceBuffer> buffer = traceCache().getOrCompute(
-        key,
-        [&] { return std::make_shared<sim::TraceBuffer>(workload.program); },
-        &computed);
-    if (computed) {
-        ++threadCacheCounters.traceMisses;
-        return std::make_unique<sim::TraceCapture>(std::move(buffer));
+    try {
+        bool computed = false;
+        std::shared_ptr<sim::TraceBuffer> buffer =
+            traceCache().getOrCompute(
+                key,
+                [&] {
+                    auto b = std::make_shared<sim::TraceBuffer>(
+                        workload.program);
+                    // Probe the first extension now, while falling back
+                    // to live execution is still possible.
+                    b->ensure(1);
+                    return b;
+                },
+                &computed);
+        if (computed) {
+            ++threadCacheCounters.traceMisses;
+            return std::make_unique<sim::TraceCapture>(std::move(buffer));
+        }
+        ++threadCacheCounters.traceHits;
+        return std::make_unique<sim::TraceReplay>(std::move(buffer));
+    } catch (const SimError &error) {
+        ++threadCacheCounters.traceFallbacks;
+        warn(std::string("trace cache unavailable for ") + workload_name +
+             " (" + error.what() + "); falling back to live execution");
+        return std::make_unique<sim::LiveSource>(workload.program);
     }
-    ++threadCacheCounters.traceHits;
-    return std::make_unique<sim::TraceReplay>(std::move(buffer));
 }
 
 } // namespace
@@ -244,7 +296,7 @@ runMix(const std::vector<std::string> &workload_names,
        sim::PrefetcherKind kind, const RunOptions &options)
 {
     if (workload_names.empty())
-        fatal("runMix requires at least one workload");
+        throw SimError("harness", "runMix requires at least one workload");
 
     const unsigned n = static_cast<unsigned>(workload_names.size());
     std::vector<sim::CoreConfig> core_cfgs(n,

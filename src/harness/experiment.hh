@@ -48,6 +48,13 @@ struct RunOptions
     core::BFetchConfig bfetch{};
     /** LLC capacity per core (Table II: 2MB/core). */
     std::size_t l3PerCoreBytes = 2 * 1024 * 1024;
+    /**
+     * Commit-progress watchdog: a core that goes this many cycles
+     * without committing throws SimError instead of spinning forever.
+     * 0 means "use the BFSIM_DEADLOCK_CYCLES environment variable, or
+     * the built-in default" (see sim::CoreConfig::deadlockCycles).
+     */
+    std::uint64_t deadlockCycles = 0;
 
     /** Stable cache key for memoization. */
     std::string cacheKey() const;
@@ -170,6 +177,8 @@ struct ThreadCacheCounters
 {
     std::uint64_t traceHits = 0;   ///< sources attached to a cached trace
     std::uint64_t traceMisses = 0; ///< sources that created a new trace
+    /** Trace-path failures gracefully degraded to live execution. */
+    std::uint64_t traceFallbacks = 0;
 };
 
 /** Return this thread's counters accumulated since the last take. */

@@ -1,0 +1,31 @@
+#include "harness/fault.hh"
+
+namespace bfsim::harness {
+
+ScopedFault::ScopedFault(fault::Site site, std::uint64_t scope,
+                         std::uint64_t seed)
+{
+    fault::arm(site, scope, seed);
+}
+
+ScopedFault::ScopedFault(const std::string &spec)
+    : armedOk(fault::armFromSpec(spec))
+{
+}
+
+ScopedFault::~ScopedFault()
+{
+    fault::disarm();
+}
+
+FaultScope::FaultScope(std::uint64_t ordinal)
+{
+    fault::beginScope(ordinal);
+}
+
+FaultScope::~FaultScope()
+{
+    fault::beginScope(0);
+}
+
+} // namespace bfsim::harness

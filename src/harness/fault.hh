@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Harness-side helpers over the deterministic fault-injection core in
+ * common/fault.hh (spec format, sites and firing semantics are
+ * documented there).
+ *
+ * ScopedFault is how tests and tools arm a fault for one bounded
+ * region: arming is process-global state, so leaving a fault armed past
+ * a test body would sabotage whatever runs next — the RAII disarm makes
+ * that impossible even on assertion failure. FaultScope is the batch
+ * runner's per-job-attempt scope marker; it is what makes `site:nth`
+ * specs hit job `nth` deterministically under any thread count.
+ */
+
+#ifndef BFSIM_HARNESS_FAULT_HH_
+#define BFSIM_HARNESS_FAULT_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "common/fault.hh"
+
+namespace bfsim::harness {
+
+/** Arm one injected fault for the current C++ scope; disarm on exit. */
+class ScopedFault
+{
+  public:
+    /** Arm `site` for fault scope `scope` (0 = any) with `seed`. */
+    ScopedFault(fault::Site site, std::uint64_t scope,
+                std::uint64_t seed = 0);
+
+    /** Arm from a "site:nth[:seed]" spec; check ok() for parse result. */
+    explicit ScopedFault(const std::string &spec);
+
+    ~ScopedFault();
+
+    ScopedFault(const ScopedFault &) = delete;
+    ScopedFault &operator=(const ScopedFault &) = delete;
+
+    /** False when the spec constructor failed to parse (nothing armed). */
+    bool ok() const { return armedOk; }
+
+    /** True once the armed fault has been injected. */
+    bool fired() const { return fault::firedCount() > 0; }
+
+  private:
+    bool armedOk = true;
+};
+
+/** Enter a fault scope for the current C++ scope; unscope on exit. */
+class FaultScope
+{
+  public:
+    explicit FaultScope(std::uint64_t ordinal);
+    ~FaultScope();
+
+    FaultScope(const FaultScope &) = delete;
+    FaultScope &operator=(const FaultScope &) = delete;
+};
+
+} // namespace bfsim::harness
+
+#endif // BFSIM_HARNESS_FAULT_HH_

@@ -9,6 +9,7 @@
 
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "harness/fault.hh"
 #include "sim/ooo_core.hh"
 
 namespace bfsim::harness {
@@ -128,6 +129,7 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
        << ",\n";
     os << "  \"cpu_seconds\": " << jsonNumber(batch.cpuSeconds) << ",\n";
     os << "  \"speedup\": " << jsonNumber(batch.speedup()) << ",\n";
+    os << "  \"failures\": " << batch.failures() << ",\n";
 
     // Process-wide cache behaviour at report time, so sweep
     // observability covers both memoized results and shared traces.
@@ -153,8 +155,15 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
            << "\", \"seconds\": " << jsonNumber(item.seconds)
            << ", \"cached\": " << (item.cached ? "true" : "false")
            << ", \"trace_hits\": " << item.traceHits
-           << ", \"trace_misses\": " << item.traceMisses;
-        if (item.single) {
+           << ", \"trace_misses\": " << item.traceMisses
+           << ", \"trace_fallbacks\": " << item.traceFallbacks
+           << ", \"failed\": " << (item.failed ? "true" : "false")
+           << ", \"attempts\": " << item.attempts;
+        if (item.failed) {
+            // Failed jobs carry their error instead of metrics a reader
+            // could mistake for real (zero) results.
+            os << ", \"error\": \"" << jsonEscape(item.error) << '"';
+        } else if (item.single) {
             os << ", \"prefetcher\": \""
                << sim::prefetcherName(item.single->prefetcher)
                << "\", \"workloads\": [\""
@@ -193,13 +202,33 @@ writeBatchReportFile(const std::string &path,
         writeBatchReportJson(std::cout, bench_name, batch);
         return true;
     }
-    std::ofstream file(path);
-    if (!file) {
-        warn("cannot open batch report file '" + path + "'");
+    // Crash-safe write: serialize into <path>.tmp and atomically rename
+    // over the destination, so an interrupted (or fault-injected) run
+    // leaves either the previous complete report or the new one —
+    // never a truncated JSON a CI parser would choke on.
+    const std::string tmp_path = path + ".tmp";
+    {
+        std::ofstream file(tmp_path);
+        if (!file) {
+            warn("cannot open batch report file '" + tmp_path + "'");
+            return false;
+        }
+        writeBatchReportJson(file, bench_name, batch);
+        if (fault::shouldFail(fault::Site::ReportWrite))
+            file.setstate(std::ios::badbit);
+        if (!file) {
+            warn("failed writing batch report '" + tmp_path + "'");
+            file.close();
+            std::remove(tmp_path.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        warn("cannot rename '" + tmp_path + "' to '" + path + "'");
+        std::remove(tmp_path.c_str());
         return false;
     }
-    writeBatchReportJson(file, bench_name, batch);
-    return static_cast<bool>(file);
+    return true;
 }
 
 } // namespace bfsim::harness

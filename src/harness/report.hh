@@ -42,17 +42,23 @@ double seriesGeomean(const SpeedupSeries &series,
 
 /**
  * Serialize a batch outcome as JSON: batch-level threads / wall seconds
- * / serial-equivalent cpu seconds / measured speedup and a process-wide
- * memo/trace cache snapshot, plus one entry per job with its label,
- * kind, timing, memo-cache status, per-job trace-cache hit/miss counts
- * and headline metrics (per-core IPC, weighted speedup, custom value).
+ * / serial-equivalent cpu seconds / measured speedup / failure count
+ * and a process-wide memo/trace cache snapshot, plus one entry per job
+ * with its label, kind, timing, memo-cache status, per-job trace-cache
+ * hit/miss/fallback counts, failure state (`failed`, `attempts`, and
+ * `error` in place of metrics when failed) and headline metrics
+ * (per-core IPC, weighted speedup, custom value).
  */
 void writeBatchReportJson(std::ostream &os, const std::string &bench_name,
                           const BatchResult &batch);
 
 /**
- * Write the JSON batch report to `path` ("-" means stdout).
- * @return false (with a warning) when the file cannot be opened.
+ * Write the JSON batch report to `path` ("-" means stdout). File
+ * writes are crash-safe: the report is serialized to `<path>.tmp` and
+ * renamed into place only when complete, so `path` never holds a
+ * truncated report.
+ * @return false (with a warning) when the report cannot be written; no
+ *         partial file (or leftover .tmp) remains in that case.
  */
 bool writeBatchReportFile(const std::string &path,
                           const std::string &bench_name,

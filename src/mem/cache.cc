@@ -2,17 +2,21 @@
 
 #include <bit>
 
-#include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace bfsim::mem {
 
 Cache::Cache(const CacheConfig &config) : cfg(config)
 {
-    if (cfg.sizeBytes % (blockSizeBytes * cfg.associativity) != 0)
-        fatal("cache '" + cfg.name + "' size not divisible by way size");
+    BFSIM_CHECK(cfg.sizeBytes % (blockSizeBytes * cfg.associativity) ==
+                    0,
+                "cache",
+                "cache '" + cfg.name + "' size not divisible by way "
+                "size");
     sets = cfg.sizeBytes / (blockSizeBytes * cfg.associativity);
-    if (!std::has_single_bit(sets))
-        fatal("cache '" + cfg.name + "' set count must be a power of two");
+    BFSIM_CHECK(std::has_single_bit(sets), "cache",
+                "cache '" + cfg.name + "' set count must be a power "
+                "of two");
     blocks.assign(sets * cfg.associativity, CacheBlock{});
 }
 

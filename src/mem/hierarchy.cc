@@ -1,14 +1,15 @@
 #include "mem/hierarchy.hh"
 
-#include "common/log.hh"
+#include "common/fault.hh"
+#include "common/sim_error.hh"
 
 namespace bfsim::mem {
 
 Hierarchy::Hierarchy(const HierarchyConfig &config)
     : cfg(config), dramChannel(config.dram)
 {
-    if (cfg.numCores == 0)
-        fatal("hierarchy needs at least one core");
+    BFSIM_CHECK(cfg.numCores > 0, "hierarchy",
+                "hierarchy needs at least one core");
     for (unsigned c = 0; c < cfg.numCores; ++c) {
         l1dCaches.push_back(std::make_unique<Cache>(cfg.l1d));
         l2Caches.push_back(std::make_unique<Cache>(cfg.l2));
@@ -138,6 +139,8 @@ Hierarchy::fetchFromBeyondL1(unsigned core, Addr paddr, Cycle now,
 AccessOutcome
 Hierarchy::access(unsigned core, Addr vaddr, bool is_store, Cycle now)
 {
+    if (fault::shouldFail(fault::Site::CacheAccess))
+        throw SimError("hierarchy", "injected fault: cache access", now);
     AccessOutcome outcome;
     Addr paddr = physical(core, vaddr);
     Cache &l1 = *l1dCaches[core];

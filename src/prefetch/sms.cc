@@ -2,7 +2,7 @@
 
 #include <bit>
 
-#include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace bfsim::prefetch {
 
@@ -18,12 +18,12 @@ SmsPrefetcher::SmsPrefetcher(const SmsConfig &config)
     if (!std::has_single_bit(cfg.regionBytes) ||
         !std::has_single_bit(cfg.granuleBytes) ||
         !std::has_single_bit(cfg.phtEntries)) {
-        fatal("SMS sizes must be powers of two");
+        throw SimError("sms", "SMS sizes must be powers of two");
     }
-    if (cfg.granuleBytes < blockSizeBytes)
-        fatal("SMS granule must be at least one cache block");
-    if (patternWidth > 64)
-        fatal("SMS patterns wider than 64 bits are not supported");
+    BFSIM_CHECK(cfg.granuleBytes >= blockSizeBytes, "sms",
+                "SMS granule must be at least one cache block");
+    BFSIM_CHECK(patternWidth <= 64, "sms",
+                "SMS patterns wider than 64 bits are not supported");
 }
 
 Addr

@@ -2,15 +2,15 @@
 
 #include <bit>
 
-#include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace bfsim::prefetch {
 
 StridePrefetcher::StridePrefetcher(const StrideConfig &config)
     : cfg(config), table(config.entries)
 {
-    if (!std::has_single_bit(cfg.entries))
-        fatal("stride RPT entries must be a power of two");
+    BFSIM_CHECK(std::has_single_bit(cfg.entries), "stride",
+                "stride RPT entries must be a power of two");
 }
 
 std::size_t

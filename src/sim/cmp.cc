@@ -1,6 +1,6 @@
 #include "sim/cmp.hh"
 
-#include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace bfsim::sim {
 
@@ -9,10 +9,10 @@ Cmp::Cmp(const std::vector<CoreConfig> &core_configs,
          const mem::HierarchyConfig &hierarchy_config)
     : mem(hierarchy_config)
 {
-    if (core_configs.size() != sources.size())
-        fatal("core config count must match source count");
-    if (hierarchy_config.numCores != sources.size())
-        fatal("hierarchy core count must match source count");
+    BFSIM_CHECK(core_configs.size() == sources.size(), "cmp",
+                "core config count must match source count");
+    BFSIM_CHECK(hierarchy_config.numCores == sources.size(), "cmp",
+                "hierarchy core count must match source count");
     for (std::size_t c = 0; c < sources.size(); ++c) {
         cores.push_back(std::make_unique<OooCore>(
             static_cast<unsigned>(c), core_configs[c],

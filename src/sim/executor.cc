@@ -1,6 +1,7 @@
 #include "sim/executor.hh"
 
-#include "common/log.hh"
+#include "common/fault.hh"
+#include "common/sim_error.hh"
 
 namespace bfsim::sim {
 
@@ -8,8 +9,8 @@ using isa::Opcode;
 
 Executor::Executor(const isa::Program &program) : prog(program)
 {
-    if (prog.empty())
-        fatal("cannot execute an empty program");
+    BFSIM_CHECK(!prog.empty(), "executor",
+                "cannot execute an empty program");
     for (const auto &[addr, value] : prog.initialImage())
         dataMemory.write64(addr, value);
 }
@@ -26,6 +27,8 @@ Executor::writeReg(RegIndex index, RegVal value)
 bool
 Executor::step(DynOp &op)
 {
+    if (fault::shouldFail(fault::Site::ExecutorStep))
+        throw SimError("executor", "injected fault: executor step");
     if (isHalted)
         return false;
 

@@ -17,7 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/log.hh"
+#include "common/sim_error.hh"
 #include "common/types.hh"
 
 namespace bfsim::sim {
@@ -65,8 +65,8 @@ class Memory
     static void
     checkAlignment(Addr addr)
     {
-        if (addr & 0x7)
-            panic("unaligned 64-bit memory access");
+        BFSIM_CHECK((addr & 0x7) == 0, "memory",
+                    "unaligned 64-bit memory access");
     }
 
     static Addr pageOf(Addr addr) { return addr >> pageBits; }

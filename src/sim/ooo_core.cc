@@ -1,6 +1,10 @@
 #include "sim/ooo_core.hh"
 
+#include <cstdlib>
+
+#include "common/fault.hh"
 #include "common/log.hh"
+#include "common/sim_error.hh"
 #include "prefetch/next_n_line.hh"
 #include "prefetch/sms.hh"
 #include "prefetch/stride.hh"
@@ -26,6 +30,26 @@ namespace {
 /** Size of the sparse per-cycle bandwidth rings. */
 constexpr std::size_t ringSize = 1 << 14;
 
+/**
+ * Resolve CoreConfig::deadlockCycles: explicit config wins, then the
+ * BFSIM_DEADLOCK_CYCLES environment variable, then a default orders of
+ * magnitude above any legitimate commit-to-commit stall.
+ */
+std::uint64_t
+resolveDeadlockLimit(std::uint64_t configured)
+{
+    if (configured > 0)
+        return configured;
+    if (const char *env = std::getenv("BFSIM_DEADLOCK_CYCLES")) {
+        char *end = nullptr;
+        unsigned long long value = std::strtoull(env, &end, 10);
+        if (end && *end == '\0' && value > 0)
+            return value;
+        warn("ignoring malformed BFSIM_DEADLOCK_CYCLES value");
+    }
+    return 2'000'000;
+}
+
 } // namespace
 
 OooCore::OooCore(unsigned core_id, const CoreConfig &config,
@@ -40,6 +64,7 @@ OooCore::OooCore(unsigned core_id, const CoreConfig &config,
                  mem::Hierarchy &hierarchy)
     : coreId(core_id),
       cfg(config),
+      deadlockLimit(resolveDeadlockLimit(config.deadlockCycles)),
       opSource(std::move(source)),
       mem(hierarchy),
       bp(branch::makeTournamentPredictor(config.bpSizeScale)),
@@ -51,8 +76,16 @@ OooCore::OooCore(unsigned core_id, const CoreConfig &config,
       loadRing(ringSize, {0, 0}),
       commitRing(ringSize, {0, 0})
 {
-    if (!opSource)
-        fatal("OooCore requires a dynamic-op source");
+    BFSIM_CHECK(opSource != nullptr, "ooo_core",
+                "OooCore requires a dynamic-op source");
+    BFSIM_CHECK(cfg.width > 0, "ooo_core",
+                "core width must be positive");
+    BFSIM_CHECK(cfg.robSize > 0, "ooo_core",
+                "ROB size must be positive");
+    BFSIM_CHECK(cfg.lqSize > 0, "ooo_core",
+                "load-queue size must be positive");
+    BFSIM_CHECK(cfg.sqSize > 0, "ooo_core",
+                "store-queue size must be positive");
     switch (cfg.prefetcher) {
       case PrefetcherKind::NextN:
         pfEngine = std::make_unique<prefetch::NextNLinePrefetcher>();
@@ -304,6 +337,19 @@ OooCore::stepInstruction()
     // ---------------- commit (in order, width per cycle) ----------------
     Cycle commit_ready = std::max(done + 1, lastCommitCycle);
     Cycle commit = allocateSlot(commitRing, commit_ready, cfg.width);
+    // Watchdog: in this one-pass model every instruction commits, so a
+    // commit-to-commit gap beyond the limit means a wedged latency
+    // computation, not a slow workload. Fail the job instead of letting
+    // it spin (or silently absorb an absurd stall) inside a batch.
+    if (commit - lastCommitCycle > deadlockLimit) {
+        throw SimError("ooo_core",
+                       "no commit progress for " +
+                           std::to_string(commit - lastCommitCycle) +
+                           " cycles (limit " +
+                           std::to_string(deadlockLimit) +
+                           "; raise BFSIM_DEADLOCK_CYCLES if intended)",
+                       commit);
+    }
     lastCommitCycle = commit;
     robCommitCycle[instCount % cfg.robSize] = commit;
     if (inst.isLoad())

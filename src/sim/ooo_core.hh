@@ -75,6 +75,14 @@ struct CoreConfig
     double bpSizeScale = 1.0;    ///< tournament predictor scale (Fig. 13)
     PrefetcherKind prefetcher = PrefetcherKind::None;
     core::BFetchConfig bfetch{}; ///< B-Fetch knobs (Figs. 12, 15)
+    /**
+     * Commit-progress watchdog: throw SimError if consecutive commits
+     * are ever separated by more than this many cycles (a wedged timing
+     * model would otherwise spin forever inside runBatch). 0 selects
+     * the BFSIM_DEADLOCK_CYCLES environment variable, falling back to a
+     * built-in default far above any legitimate memory stall.
+     */
+    std::uint64_t deadlockCycles = 0;
 };
 
 /** End-of-run results for one core. */
@@ -165,6 +173,7 @@ class OooCore
 
     unsigned coreId;
     CoreConfig cfg;
+    std::uint64_t deadlockLimit; ///< resolved cfg.deadlockCycles
     std::unique_ptr<DynOpSource> opSource;
     mem::Hierarchy &mem;
 

@@ -1,6 +1,7 @@
 #include "sim/trace.hh"
 
-#include "common/log.hh"
+#include "common/fault.hh"
+#include "common/sim_error.hh"
 
 namespace bfsim::sim {
 
@@ -19,6 +20,8 @@ TraceBuffer::ensure(std::uint64_t n)
         return avail;
 
     std::lock_guard<std::mutex> lock(extendMutex);
+    if (fault::shouldFail(fault::Site::TraceExtend))
+        throw SimError("trace", "injected fault: trace extension");
     avail = committed.load(std::memory_order_relaxed);
     if (isHalted.load(std::memory_order_relaxed))
         return avail;
@@ -32,10 +35,12 @@ TraceBuffer::ensure(std::uint64_t n)
         std::size_t chunk_index =
             static_cast<std::size_t>(avail / chunkOps);
         if (chunk_index >= maxChunks) {
-            fatal("trace buffer exceeds " +
-                  std::to_string(maxChunks * chunkOps) +
-                  " ops; disable the trace cache (BFSIM_TRACE_CACHE=0) "
-                  "for runs this long");
+            throw SimError(
+                "trace",
+                "trace buffer exceeds " +
+                    std::to_string(maxChunks * chunkOps) +
+                    " ops; disable the trace cache (BFSIM_TRACE_CACHE=0)"
+                    " for runs this long");
         }
         if (!chunks[chunk_index]) {
             chunks[chunk_index] = std::make_unique<Chunk>();
@@ -109,8 +114,8 @@ TraceBuffer::memoryBytes() const
 TraceReplay::TraceReplay(std::shared_ptr<TraceBuffer> buffer)
     : buf(std::move(buffer))
 {
-    if (!buf)
-        fatal("TraceReplay requires a trace buffer");
+    BFSIM_CHECK(buf != nullptr, "trace",
+                "TraceReplay requires a trace buffer");
     avail = buf->size();
 }
 

@@ -1,6 +1,6 @@
 #include "workloads/workload.hh"
 
-#include "common/log.hh"
+#include "common/sim_error.hh"
 #include "workloads/kernels.hh"
 
 namespace bfsim::workloads {
@@ -42,7 +42,7 @@ workloadByName(const std::string &name)
     for (const auto &w : allWorkloads())
         if (w.name == name)
             return w;
-    fatal("unknown workload '" + name + "'");
+    throw SimError("workloads", "unknown workload '" + name + "'");
 }
 
 std::vector<std::string>

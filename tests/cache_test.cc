@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_error.hh"
 #include "mem/cache.hh"
 
 namespace bfsim::mem {
@@ -169,13 +170,12 @@ TEST(Cache, GeometryDerivedFromConfig)
     EXPECT_EQ(cache.numSets(), 64u * 1024 / (8 * blockSizeBytes));
 }
 
-TEST(CacheDeath, RejectsNonPowerOfTwoSets)
+TEST(CacheErrors, RejectsNonPowerOfTwoSets)
 {
     CacheConfig cfg;
     cfg.sizeBytes = 3 * blockSizeBytes;
     cfg.associativity = 1;
-    EXPECT_EXIT(Cache cache(cfg), testing::ExitedWithCode(1),
-                "power of two");
+    EXPECT_THROW(Cache cache(cfg), SimError);
 }
 
 } // namespace

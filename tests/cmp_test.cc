@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_error.hh"
 #include "isa/assembler.hh"
 #include "sim/cmp.hh"
 
@@ -113,15 +114,14 @@ TEST(Cmp, HaltedProgramsFreezeEarly)
     EXPECT_GE(result.cores[1].instructions, 50000u);
 }
 
-TEST(CmpDeath, MismatchedConfigsAreFatal)
+TEST(CmpErrors, MismatchedConfigsThrow)
 {
     Program p = streamProgram();
     std::vector<CoreConfig> cfgs(2);
     std::vector<const Program *> programs{&p};
     mem::HierarchyConfig hier;
     hier.numCores = 2;
-    EXPECT_EXIT(Cmp(cfgs, programs, hier), testing::ExitedWithCode(1),
-                "match");
+    EXPECT_THROW(Cmp(cfgs, programs, hier), SimError);
 }
 
 } // namespace

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_error.hh"
 #include "isa/assembler.hh"
 #include "sim/executor.hh"
 
@@ -275,10 +276,10 @@ TEST(Memory, SparsePagesAllocateOnWrite)
     EXPECT_EQ(mem.read64(0x90000000), 3u);
 }
 
-TEST(MemoryDeath, UnalignedAccessPanics)
+TEST(MemoryErrors, UnalignedAccessThrows)
 {
     Memory mem;
-    EXPECT_DEATH(mem.write64(0x1001, 1), "unaligned");
+    EXPECT_THROW(mem.write64(0x1001, 1), SimError);
 }
 
 } // namespace

@@ -1,0 +1,536 @@
+/**
+ * @file
+ * Fault-tolerance tests: the deterministic fault-injection core, the
+ * batch runner's per-job failure isolation / bounded retry / fail-fast
+ * / wall-clock deadline policies, the poisoned-memo-cache eviction, the
+ * trace-capture fallback, the commit-progress watchdog, and the
+ * crash-safe report writer.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
+#include "harness/batch.hh"
+#include "harness/experiment.hh"
+#include "harness/fault.hh"
+#include "harness/report.hh"
+
+namespace bfsim::harness {
+namespace {
+
+RunOptions
+quick()
+{
+    RunOptions options;
+    options.instructions = 30000;
+    return options;
+}
+
+/** Ten distinct single-workload jobs; index 3 is "job 4" in specs. */
+std::vector<BatchJob>
+tenJobs()
+{
+    std::vector<BatchJob> jobs;
+    for (const char *name :
+         {"astar", "bzip2", "gamess", "gromacs", "h264ref", "hmmer",
+          "lbm", "libquantum", "mcf", "sjeng"}) {
+        jobs.push_back(BatchJob::single(
+            name, sim::PrefetcherKind::None, quick()));
+    }
+    return jobs;
+}
+
+void
+expectSameSingle(const SingleResult &a, const SingleResult &b)
+{
+    EXPECT_EQ(a.core.instructions, b.core.instructions);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.ipc, b.core.ipc); // bit-identical, not just near
+    EXPECT_EQ(a.core.mispredicts, b.core.mispredicts);
+    EXPECT_EQ(a.mem.accesses, b.mem.accesses);
+    EXPECT_EQ(a.mem.l1Hits, b.mem.l1Hits);
+    EXPECT_EQ(a.mem.dramAccesses, b.mem.dramAccesses);
+    EXPECT_EQ(a.mem.prefetchesIssued, b.mem.prefetchesIssued);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+TEST(FaultSpec, SiteNamesRoundTrip)
+{
+    for (unsigned s = 0;
+         s < static_cast<unsigned>(fault::Site::siteCount); ++s) {
+        fault::Site site = static_cast<fault::Site>(s);
+        fault::Site parsed;
+        ASSERT_TRUE(fault::parseSite(fault::siteName(site), parsed));
+        EXPECT_EQ(parsed, site);
+    }
+    fault::Site site;
+    EXPECT_FALSE(fault::parseSite("bogus", site));
+}
+
+TEST(FaultSpec, ArmFromSpecParsesAndRejects)
+{
+    for (const char *good : {"cache:4", "trace:1:7", "step:0",
+                             "report:0:123"}) {
+        ScopedFault armed{std::string(good)};
+        EXPECT_TRUE(armed.ok()) << good;
+        EXPECT_TRUE(fault::armed()) << good;
+    }
+    EXPECT_FALSE(fault::armed()); // ScopedFault disarmed on scope exit
+    for (const char *bad :
+         {"", "cache", "bogus:1", "cache:x", "cache:1:y", ":4"}) {
+        ScopedFault armed{std::string(bad)};
+        EXPECT_FALSE(armed.ok()) << bad;
+        EXPECT_FALSE(fault::armed()) << bad;
+    }
+}
+
+TEST(FaultSpec, PlannedHitIsDeterministicAndBounded)
+{
+    EXPECT_EQ(fault::plannedHit(0), 1u);
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+        std::uint64_t hit = fault::plannedHit(seed);
+        EXPECT_GE(hit, 2u) << "seed " << seed;
+        EXPECT_LE(hit, 9u) << "seed " << seed;
+        EXPECT_EQ(hit, fault::plannedHit(seed)) << "seed " << seed;
+    }
+}
+
+TEST(FaultInjection, FiresExactlyOnceThenSelfDisarms)
+{
+    clearMemoCaches();
+    {
+        ScopedFault armed(fault::Site::CacheAccess, 0);
+        EXPECT_THROW(
+            runSingle("libquantum", sim::PrefetcherKind::None, quick()),
+            SimError);
+        EXPECT_TRUE(armed.fired());
+        EXPECT_FALSE(fault::armed()); // one-shot: self-disarmed
+        // With the fault spent, the same run now succeeds.
+        SingleResult r =
+            runSingle("libquantum", sim::PrefetcherKind::None, quick());
+        EXPECT_GT(r.core.cycles, 0u);
+    }
+    clearMemoCaches();
+}
+
+TEST(FaultInjection, SimErrorCarriesJobContext)
+{
+    clearMemoCaches();
+    ScopedFault armed(fault::Site::CacheAccess, 0);
+    try {
+        SimJobScope scope("libquantum", "libquantum/none");
+        runSingle("libquantum", sim::PrefetcherKind::None, quick());
+        FAIL() << "expected SimError";
+    } catch (const SimError &error) {
+        EXPECT_EQ(error.component(), "hierarchy");
+        EXPECT_EQ(error.workload(), "libquantum");
+        EXPECT_EQ(error.label(), "libquantum/none");
+        EXPECT_NE(std::string(error.what()).find("injected fault"),
+                  std::string::npos);
+    }
+    clearMemoCaches();
+}
+
+TEST(FaultInjection, FailedMemoEntryIsEvictedNotPoisoned)
+{
+    clearMemoCaches();
+    {
+        ScopedFault armed(fault::Site::CacheAccess, 0);
+        EXPECT_THROW(runSingleCached("lbm", sim::PrefetcherKind::BFetch,
+                                     quick()),
+                     SimError);
+    }
+    // Regression: the failed future must have been evicted, so the same
+    // key recomputes cleanly instead of rethrowing a stored exception.
+    const SingleResult &r =
+        runSingleCached("lbm", sim::PrefetcherKind::BFetch, quick());
+    EXPECT_GT(r.core.cycles, 0u);
+    MemoStats stats = memoStats();
+    EXPECT_EQ(stats.singleComputes, 2u); // failed attempt + clean redo
+    clearMemoCaches();
+}
+
+TEST(Batch, OneFaultedJobFailsAloneSerialAndParallelIdentically)
+{
+    std::vector<BatchJob> jobs = tenJobs();
+    BatchOptions options; // no retries: the fault must surface
+
+    clearMemoCaches();
+    BatchResult serial;
+    {
+        ScopedFault armed(fault::Site::CacheAccess, 4); // job 4 = idx 3
+        serial = runBatch(jobs, 1, nullptr, options);
+        EXPECT_TRUE(armed.fired());
+    }
+    ASSERT_EQ(serial.items.size(), jobs.size());
+    EXPECT_EQ(serial.failures(), 1u);
+    // Snapshot results before the caches are cleared again.
+    std::vector<SingleResult> serial_singles(jobs.size());
+    for (std::size_t i = 0; i < serial.items.size(); ++i) {
+        if (i == 3) {
+            EXPECT_TRUE(serial.items[i].failed);
+            EXPECT_EQ(serial.items[i].attempts, 1u);
+            EXPECT_NE(serial.items[i].error.find("injected fault"),
+                      std::string::npos);
+            EXPECT_EQ(serial.items[i].single, nullptr);
+        } else {
+            EXPECT_FALSE(serial.items[i].failed) << "job " << i;
+            ASSERT_NE(serial.items[i].single, nullptr) << "job " << i;
+            serial_singles[i] = *serial.items[i].single;
+        }
+    }
+
+    clearMemoCaches();
+    BatchResult parallel;
+    {
+        ScopedFault armed(fault::Site::CacheAccess, 4);
+        parallel = runBatch(jobs, 4, nullptr, options);
+        EXPECT_TRUE(armed.fired());
+    }
+    ASSERT_EQ(parallel.items.size(), jobs.size());
+    EXPECT_EQ(parallel.failures(), 1u);
+    for (std::size_t i = 0; i < parallel.items.size(); ++i) {
+        // Identical victim and identical survivors, any thread count.
+        EXPECT_EQ(parallel.items[i].failed, serial.items[i].failed)
+            << "job " << i;
+        if (!parallel.items[i].failed) {
+            ASSERT_NE(parallel.items[i].single, nullptr) << "job " << i;
+            expectSameSingle(serial_singles[i],
+                             *parallel.items[i].single);
+        }
+    }
+    clearMemoCaches();
+}
+
+TEST(Batch, BoundedRetrySucceedsOnSecondAttempt)
+{
+    std::vector<BatchJob> jobs = tenJobs();
+    BatchOptions options;
+    options.retries = 2;
+
+    clearMemoCaches();
+    ScopedFault armed(fault::Site::CacheAccess, 4);
+    BatchResult batch = runBatch(jobs, 1, nullptr, options);
+    EXPECT_TRUE(armed.fired());
+    ASSERT_EQ(batch.items.size(), jobs.size());
+    EXPECT_EQ(batch.failures(), 0u);
+    for (std::size_t i = 0; i < batch.items.size(); ++i) {
+        EXPECT_FALSE(batch.items[i].failed) << "job " << i;
+        EXPECT_EQ(batch.items[i].attempts, i == 3 ? 2u : 1u)
+            << "job " << i;
+        ASSERT_NE(batch.items[i].single, nullptr) << "job " << i;
+        EXPECT_GT(batch.items[i].single->core.cycles, 0u);
+    }
+    clearMemoCaches();
+}
+
+TEST(Batch, CustomJobRetriesAreIsolatedAndCounted)
+{
+    std::atomic<int> calls{0};
+    std::vector<BatchJob> jobs{
+        BatchJob::custom("steady", [] { return 1.0; }),
+        BatchJob::custom("flaky",
+                         [&calls]() -> double {
+                             if (calls.fetch_add(1) == 0)
+                                 throw std::runtime_error(
+                                     "flaky first attempt");
+                             return 2.5;
+                         }),
+    };
+    BatchOptions options;
+    options.retries = 1;
+    BatchResult batch = runBatch(jobs, 2, nullptr, options);
+    ASSERT_EQ(batch.items.size(), 2u);
+    EXPECT_EQ(batch.failures(), 0u);
+    EXPECT_EQ(batch.items[0].attempts, 1u);
+    EXPECT_DOUBLE_EQ(batch.items[0].value, 1.0);
+    EXPECT_EQ(batch.items[1].attempts, 2u);
+    EXPECT_DOUBLE_EQ(batch.items[1].value, 2.5);
+    EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(Batch, ExhaustedRetriesReportTheFinalError)
+{
+    std::vector<BatchJob> jobs{
+        BatchJob::custom("always-fails", []() -> double {
+            throw std::runtime_error("permanent failure");
+        }),
+    };
+    BatchOptions options;
+    options.retries = 2;
+    BatchResult batch = runBatch(jobs, 1, nullptr, options);
+    ASSERT_EQ(batch.items.size(), 1u);
+    EXPECT_TRUE(batch.items[0].failed);
+    EXPECT_EQ(batch.items[0].attempts, 3u); // 1 try + 2 retries
+    EXPECT_NE(batch.items[0].error.find("permanent failure"),
+              std::string::npos);
+}
+
+TEST(Batch, FailFastSkipsJobsAfterTheFirstFailure)
+{
+    std::vector<BatchJob> jobs;
+    jobs.push_back(BatchJob::custom("boom", []() -> double {
+        throw std::runtime_error("first job fails");
+    }));
+    for (int i = 0; i < 3; ++i) {
+        jobs.push_back(BatchJob::custom(
+            "after/" + std::to_string(i), [] { return 1.0; }));
+    }
+    BatchOptions options;
+    options.failFast = true;
+    BatchResult batch = runBatch(jobs, 1, nullptr, options);
+    ASSERT_EQ(batch.items.size(), 4u);
+    EXPECT_EQ(batch.failures(), 4u);
+    EXPECT_EQ(batch.items[0].attempts, 1u);
+    for (std::size_t i = 1; i < batch.items.size(); ++i) {
+        EXPECT_TRUE(batch.items[i].failed) << "job " << i;
+        EXPECT_EQ(batch.items[i].attempts, 0u) << "job " << i;
+        EXPECT_NE(batch.items[i].error.find("skipped"),
+                  std::string::npos)
+            << "job " << i;
+    }
+}
+
+TEST(Batch, WallClockDeadlineAbandonsAWedgedJob)
+{
+    std::vector<BatchJob> jobs{
+        BatchJob::custom("wedged",
+                         [] {
+                             std::this_thread::sleep_for(
+                                 std::chrono::milliseconds(400));
+                             return 1.0;
+                         }),
+        BatchJob::custom("prompt", [] { return 2.0; }),
+    };
+    BatchOptions options;
+    options.jobDeadlineSeconds = 0.08;
+    BatchResult batch = runBatch(jobs, 2, nullptr, options);
+    ASSERT_EQ(batch.items.size(), 2u);
+    EXPECT_TRUE(batch.items[0].failed);
+    EXPECT_NE(batch.items[0].error.find("deadline"), std::string::npos);
+    EXPECT_GE(batch.items[0].seconds, options.jobDeadlineSeconds);
+    EXPECT_FALSE(batch.items[1].failed);
+    EXPECT_DOUBLE_EQ(batch.items[1].value, 2.0);
+    // The zombie worker drains on a detached thread; give it time to
+    // park before the test binary moves on (not required, just tidy).
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+}
+
+TEST(Batch, OptionsReadTheEnvironment)
+{
+    unsetenv("BFSIM_RETRIES");
+    unsetenv("BFSIM_FAIL_FAST");
+    unsetenv("BFSIM_JOB_DEADLINE");
+    BatchOptions defaults = BatchOptions::fromEnv();
+    EXPECT_EQ(defaults.retries, 0u);
+    EXPECT_FALSE(defaults.failFast);
+    EXPECT_DOUBLE_EQ(defaults.jobDeadlineSeconds, 0.0);
+
+    setenv("BFSIM_RETRIES", "3", 1);
+    setenv("BFSIM_FAIL_FAST", "1", 1);
+    setenv("BFSIM_JOB_DEADLINE", "2.5", 1);
+    BatchOptions configured = BatchOptions::fromEnv();
+    EXPECT_EQ(configured.retries, 3u);
+    EXPECT_TRUE(configured.failFast);
+    EXPECT_DOUBLE_EQ(configured.jobDeadlineSeconds, 2.5);
+
+    setenv("BFSIM_RETRIES", "bogus", 1);
+    setenv("BFSIM_FAIL_FAST", "0", 1);
+    setenv("BFSIM_JOB_DEADLINE", "-1", 1);
+    BatchOptions malformed = BatchOptions::fromEnv();
+    EXPECT_EQ(malformed.retries, 0u);
+    EXPECT_FALSE(malformed.failFast);
+    EXPECT_DOUBLE_EQ(malformed.jobDeadlineSeconds, 0.0);
+
+    unsetenv("BFSIM_RETRIES");
+    unsetenv("BFSIM_FAIL_FAST");
+    unsetenv("BFSIM_JOB_DEADLINE");
+}
+
+TEST(Watchdog, DeadlockedCoreThrowsInsteadOfSpinning)
+{
+    clearMemoCaches();
+    RunOptions options = quick();
+    // A 1-cycle commit-progress budget trips during pipeline fill, long
+    // before the run could complete: the watchdog must convert what
+    // would be an infinite spin into a structured SimError.
+    options.deadlockCycles = 1;
+    try {
+        runSingle("gamess", sim::PrefetcherKind::None, options);
+        FAIL() << "expected SimError from the commit watchdog";
+    } catch (const SimError &error) {
+        EXPECT_EQ(error.component(), "ooo_core");
+        EXPECT_NE(std::string(error.what()).find("no commit progress"),
+                  std::string::npos);
+        EXPECT_NE(
+            std::string(error.what()).find("BFSIM_DEADLOCK_CYCLES"),
+            std::string::npos);
+    }
+    clearMemoCaches();
+}
+
+TEST(Watchdog, DeadlockBecomesAFailedBatchItem)
+{
+    clearMemoCaches();
+    RunOptions hung = quick();
+    hung.deadlockCycles = 1;
+    std::vector<BatchJob> jobs{
+        BatchJob::single("gamess", sim::PrefetcherKind::None, quick()),
+        BatchJob::single("gamess", sim::PrefetcherKind::None, hung,
+                         "gamess/hung"),
+    };
+    BatchResult batch = runBatch(jobs, 1, nullptr, BatchOptions{});
+    ASSERT_EQ(batch.items.size(), 2u);
+    EXPECT_FALSE(batch.items[0].failed);
+    EXPECT_TRUE(batch.items[1].failed);
+    EXPECT_NE(batch.items[1].error.find("no commit progress"),
+              std::string::npos);
+    clearMemoCaches();
+}
+
+TEST(Watchdog, DeadlockBudgetIsPartOfTheMemoKey)
+{
+    RunOptions a = quick(), b = quick();
+    b.deadlockCycles = 123456;
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+}
+
+TEST(TraceFault, CaptureProbeFailureDegradesToLiveBitIdentically)
+{
+    bool was_enabled = traceCacheEnabled();
+    clearMemoCaches();
+    clearTraceCache();
+
+    setTraceCacheEnabled(false);
+    SingleResult live =
+        runSingle("libquantum", sim::PrefetcherKind::BFetch, quick());
+
+    setTraceCacheEnabled(true);
+    takeThreadCacheCounters(); // drain earlier activity
+    {
+        // Seed 0 targets the scope's FIRST trace extension — the
+        // harness's capture probe — so the failure happens while
+        // falling back to live execution is still possible.
+        ScopedFault armed(fault::Site::TraceExtend, 0, 0);
+        SingleResult degraded =
+            runSingle("libquantum", sim::PrefetcherKind::BFetch,
+                      quick());
+        EXPECT_TRUE(armed.fired());
+        expectSameSingle(live, degraded);
+    }
+    ThreadCacheCounters counters = takeThreadCacheCounters();
+    EXPECT_EQ(counters.traceFallbacks, 1u);
+    EXPECT_EQ(counters.traceHits, 0u);
+    EXPECT_EQ(counters.traceMisses, 0u);
+
+    // The poisoned cache entry was evicted: the next run captures a
+    // fresh trace and still matches the live results.
+    SingleResult recaptured =
+        runSingle("libquantum", sim::PrefetcherKind::BFetch, quick());
+    expectSameSingle(live, recaptured);
+    EXPECT_EQ(takeThreadCacheCounters().traceMisses, 1u);
+
+    clearMemoCaches();
+    clearTraceCache();
+    setTraceCacheEnabled(was_enabled);
+}
+
+TEST(TraceFault, MidRunExtensionFailurePropagates)
+{
+    bool was_enabled = traceCacheEnabled();
+    clearMemoCaches();
+    clearTraceCache();
+    setTraceCacheEnabled(true);
+
+    // Any non-zero seed maps past the capture probe (hits 2..9, all
+    // reached by a 30k-instruction run at 4096-op extension batches);
+    // pick the earliest post-probe hit for robustness.
+    std::uint64_t seed = 1;
+    while (fault::plannedHit(seed) != 2)
+        ++seed;
+    {
+        ScopedFault armed(fault::Site::TraceExtend, 0, seed);
+        EXPECT_THROW(runSingle("libquantum",
+                               sim::PrefetcherKind::BFetch, quick()),
+                     SimError);
+        EXPECT_TRUE(armed.fired());
+    }
+
+    clearMemoCaches();
+    clearTraceCache();
+    setTraceCacheEnabled(was_enabled);
+}
+
+TEST(Report, FailedItemsCarryErrorsAndTheFailureCount)
+{
+    std::vector<BatchJob> jobs{
+        BatchJob::custom("ok", [] { return 3.5; }),
+        BatchJob::custom("broken", []() -> double {
+            throw std::runtime_error("it broke \"badly\"");
+        }),
+    };
+    BatchResult batch = runBatch(jobs, 1, nullptr, BatchOptions{});
+    std::ostringstream os;
+    writeBatchReportJson(os, "fault_test", batch);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"failures\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"failed\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"attempts\": 1"), std::string::npos);
+    // Errors are JSON-escaped and replace the metrics of failed items.
+    EXPECT_NE(json.find("\"error\": \"it broke \\\"badly\\\"\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"value\": 3.5"), std::string::npos);
+}
+
+TEST(Report, FileWriteIsAtomicAndLeavesNoTmp)
+{
+    std::vector<BatchJob> jobs{
+        BatchJob::custom("ok", [] { return 1.0; }),
+    };
+    BatchResult batch = runBatch(jobs, 1, nullptr, BatchOptions{});
+    const std::string path =
+        testing::TempDir() + "fault_test_report.json";
+    std::remove(path.c_str());
+
+    ASSERT_TRUE(writeBatchReportFile(path, "fault_test", batch));
+    EXPECT_TRUE(fileExists(path));
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(Report, InjectedWriteFailureLeavesNoPartialFile)
+{
+    std::vector<BatchJob> jobs{
+        BatchJob::custom("ok", [] { return 1.0; }),
+    };
+    BatchResult batch = runBatch(jobs, 1, nullptr, BatchOptions{});
+    const std::string path =
+        testing::TempDir() + "fault_test_report_faulted.json";
+    std::remove(path.c_str());
+
+    ScopedFault armed(fault::Site::ReportWrite, 0);
+    EXPECT_FALSE(writeBatchReportFile(path, "fault_test", batch));
+    EXPECT_TRUE(armed.fired());
+    // Neither a truncated report nor a leftover temp file remains.
+    EXPECT_FALSE(fileExists(path));
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+}
+
+} // namespace
+} // namespace bfsim::harness

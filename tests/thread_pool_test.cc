@@ -114,6 +114,54 @@ TEST(ThreadPool, ZeroRequestedThreadsUsesDefault)
     unsetenv("BFSIM_JOBS");
 }
 
+TEST(ThreadPool, SubmitAfterStopReturnsExceptionalFuture)
+{
+    ThreadPool pool(2);
+    pool.stop();
+    std::future<int> future = pool.submit([] { return 42; });
+    // The rejection surfaces through the future — never std::terminate.
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, StopIsIdempotentAndQueuedTasksStillDrain)
+{
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futures;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i) {
+            futures.push_back(pool.submit([&count] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                ++count;
+            }));
+        }
+        pool.stop();
+        pool.stop();
+        // Destructor joins; every pre-stop task must still have run.
+    }
+    EXPECT_EQ(count.load(), 32);
+    for (auto &future : futures)
+        EXPECT_NO_THROW(future.get());
+}
+
+TEST(ThreadPool, ThrowingTasksDuringShutdownDoNotTerminate)
+{
+    // Queue more throwing tasks than workers and destroy the pool
+    // immediately: the shutdown drain must swallow their exceptions
+    // into the futures rather than unwinding out of a worker thread.
+    std::vector<std::future<void>> futures;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 16; ++i) {
+            futures.push_back(pool.submit(
+                [] { throw std::runtime_error("shutdown boom"); }));
+        }
+    }
+    for (auto &future : futures)
+        EXPECT_THROW(future.get(), std::runtime_error);
+}
+
 TEST(ThreadPool, ManyBlockingTasksDoNotDeadlock)
 {
     // More tasks than workers, each briefly sleeping: exercises the

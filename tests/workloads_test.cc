@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_error.hh"
 #include "sim/executor.hh"
 #include "workloads/workload.hh"
 
@@ -42,10 +43,9 @@ TEST(Registry, LookupByNameWorks)
     EXPECT_FALSE(w.program.empty());
 }
 
-TEST(RegistryDeath, UnknownNameIsFatal)
+TEST(RegistryErrors, UnknownNameThrows)
 {
-    EXPECT_EXIT(workloadByName("doom3"), testing::ExitedWithCode(1),
-                "unknown workload");
+    EXPECT_THROW(workloadByName("doom3"), SimError);
 }
 
 TEST(Registry, SensitiveSubsetIsNonTrivial)
