@@ -13,7 +13,9 @@
  * The per-core instruction budget defaults to 400k single-threaded /
  * 200k per mix core, overridable with BFSIM_INSTRUCTIONS (alias
  * BFSIM_INSTS). A machine-readable JSON results/timing report is
- * written when --report=PATH or BFSIM_REPORT is given.
+ * written when --report=PATH or BFSIM_REPORT is given; a compact
+ * simulator-throughput (MIPS) report when --perf-report=PATH or
+ * BFSIM_PERF_REPORT is given (CI archives it as BENCH_perf.json).
  *
  * Failure policy: a failed sweep point becomes a failed report item,
  * not a dead process. --retries/BFSIM_RETRIES grants bounded retries,
@@ -52,6 +54,8 @@ struct BenchConfig
     unsigned jobs = 0;
     /** JSON report destination ("" = none, "-" = stdout). */
     std::string reportPath;
+    /** Simulator-throughput (MIPS) report destination ("" = none). */
+    std::string perfReportPath;
     /** Workload-subset substring filter ("" = whole suite). */
     std::string filter;
     /** Retries / fail-fast / per-job deadline (env-seeded, flags win). */
@@ -139,10 +143,12 @@ listWorkloadsAndExit()
 
 /**
  * Parse and strip the shared batch flags (--jobs=N / --jobs N /
- * --report=PATH / --report PATH / --filter=SUBSTR / --filter SUBSTR /
+ * --report=PATH / --report PATH / --perf-report=PATH /
+ * --filter=SUBSTR / --filter SUBSTR /
  * --retries=N / --retries N / --fail-fast / --deadline=SECONDS /
  * --deadline SECONDS / --list) from argv before google-benchmark sees
- * the remaining arguments. BFSIM_REPORT seeds the report path and
+ * the remaining arguments. BFSIM_REPORT / BFSIM_PERF_REPORT seed the
+ * report paths and
  * BFSIM_RETRIES / BFSIM_FAIL_FAST / BFSIM_JOB_DEADLINE seed the
  * failure policy; explicit flags win. --filter restricts every
  * per-workload sweep, table row and geomean to workloads whose name
@@ -155,6 +161,8 @@ parseBenchConfig(int &argc, char **argv)
     bool list = false;
     if (const char *env = std::getenv("BFSIM_REPORT"))
         config.reportPath = env;
+    if (const char *env = std::getenv("BFSIM_PERF_REPORT"))
+        config.perfReportPath = env;
 
     auto parse_jobs = [](const std::string &value) {
         char *end = nullptr;
@@ -194,6 +202,12 @@ parseBenchConfig(int &argc, char **argv)
             if (i + 1 >= argc)
                 fatal("--report expects a path");
             config.reportPath = argv[++i];
+        } else if (arg.rfind("--perf-report=", 0) == 0) {
+            config.perfReportPath = arg.substr(14);
+        } else if (arg == "--perf-report") {
+            if (i + 1 >= argc)
+                fatal("--perf-report expects a path");
+            config.perfReportPath = argv[++i];
         } else if (arg.rfind("--filter=", 0) == 0) {
             config.filter = arg.substr(9);
         } else if (arg == "--filter") {
@@ -252,6 +266,15 @@ runSweep(const std::string &bench_name, const BenchConfig &config,
                  "speedup %.2fx\n",
                  bench_name.c_str(), batch.wallSeconds,
                  batch.cpuSeconds, batch.speedup());
+    if (std::uint64_t insts = batch.simInstructions()) {
+        std::fprintf(stderr,
+                     "%s: simulated %.1fM instructions in %.2fs "
+                     "(%.2f MIPS, batched ops %s)\n",
+                     bench_name.c_str(),
+                     static_cast<double>(insts) / 1e6,
+                     batch.simSeconds(), batch.mips(),
+                     sim::batchOpsEnabled() ? "on" : "off");
+    }
     if (std::size_t failures = batch.failures()) {
         sweepFailureCount() += failures;
         std::fprintf(stderr, "%s: %zu job(s) FAILED:\n",
@@ -265,6 +288,9 @@ runSweep(const std::string &bench_name, const BenchConfig &config,
     if (!config.reportPath.empty())
         harness::writeBatchReportFile(config.reportPath, bench_name,
                                       batch);
+    if (!config.perfReportPath.empty())
+        harness::writePerfReportFile(config.perfReportPath, bench_name,
+                                     batch);
     return batch;
 }
 

@@ -68,6 +68,11 @@ printReport()
                                      2) +
                       "% miss rate",
                   "6.55KB tournament, 2.76% miss rate"});
+    table.addRow({"Prefetch queue",
+                  std::to_string(core.pfQueueEntries) + " entries, " +
+                      std::to_string(core.pfIssuePerCycle) +
+                      " issue/cycle",
+                  "100 entries (Table I)"});
     table.addRow({"Path confidence threshold",
                   TextTable::fmt(
                       core::BFetchConfig{}.pathConfidenceThreshold, 2),

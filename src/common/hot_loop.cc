@@ -1,0 +1,35 @@
+#include "common/hot_loop.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace bfsim {
+
+namespace {
+
+std::atomic<bool> &
+hotLoopFlag()
+{
+    static std::atomic<bool> enabled{[] {
+        const char *env = std::getenv("BFSIM_BATCH_OPS");
+        return !(env && std::string(env) == "0");
+    }()};
+    return enabled;
+}
+
+} // namespace
+
+bool
+hotLoopEnabled()
+{
+    return hotLoopFlag().load(std::memory_order_relaxed);
+}
+
+void
+setHotLoopEnabled(bool enabled)
+{
+    hotLoopFlag().store(enabled, std::memory_order_relaxed);
+}
+
+} // namespace bfsim

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Process-wide kill-switch for the hot-loop overhaul (DESIGN.md §11):
+ * batched op delivery, the static decode cache, and the shift-based
+ * cache index arithmetic. Enabled by default; BFSIM_BATCH_OPS=0 keeps
+ * the pre-overhaul loop alive as the bit-identity (and measurement)
+ * reference — one virtual next() call and one full re-classification
+ * per dynamic op, divide-based set/tag math in mem::Cache.
+ *
+ * Lives in common/ because both the sim/ consumers and mem::Cache need
+ * it without creating a sim -> mem -> sim cycle.
+ */
+
+#ifndef BFSIM_COMMON_HOT_LOOP_HH_
+#define BFSIM_COMMON_HOT_LOOP_HH_
+
+namespace bfsim {
+
+/** Whether the hot-loop overhaul is active (default; BFSIM_BATCH_OPS=0
+ *  selects the reference path). Consumers latch this at construction,
+ *  so toggles only affect simulators built afterwards. */
+bool hotLoopEnabled();
+
+/** Programmatic override of BFSIM_BATCH_OPS (tests, tools). */
+void setHotLoopEnabled(bool enabled);
+
+} // namespace bfsim
+
+#endif // BFSIM_COMMON_HOT_LOOP_HH_

@@ -327,6 +327,45 @@ BatchJob::custom(std::string label, std::function<double()> body)
     return job;
 }
 
+std::uint64_t
+BatchResult::simInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const BatchItem &item : items) {
+        if (item.cached || item.failed)
+            continue;
+        if (item.single)
+            total += item.single->simInstructions;
+        else if (item.mix)
+            total += item.mix->simInstructions;
+    }
+    return total;
+}
+
+double
+BatchResult::simSeconds() const
+{
+    double total = 0.0;
+    for (const BatchItem &item : items) {
+        if (item.cached || item.failed)
+            continue;
+        if (item.single)
+            total += item.single->simSeconds;
+        else if (item.mix)
+            total += item.mix->simSeconds;
+    }
+    return total;
+}
+
+double
+BatchResult::mips() const
+{
+    double seconds = simSeconds();
+    return seconds > 0.0
+               ? static_cast<double>(simInstructions()) / seconds / 1e6
+               : 0.0;
+}
+
 void
 defaultBatchProgress(const BatchItem &item, std::size_t done,
                      std::size_t total)

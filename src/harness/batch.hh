@@ -134,6 +134,19 @@ struct BatchResult
             count += item.failed ? 1 : 0;
         return count;
     }
+
+    /**
+     * Aggregate simulator throughput over the simulations this batch
+     * actually performed (cached items reuse another run's result and
+     * would double-count it; failed and custom items carry none).
+     */
+    std::uint64_t simInstructions() const;
+
+    /** Wall seconds inside Cmp::run, summed like simInstructions(). */
+    double simSeconds() const;
+
+    /** Aggregate simulated MIPS: simInstructions()/simSeconds()/1e6. */
+    double mips() const;
 };
 
 /**

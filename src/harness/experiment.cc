@@ -1,6 +1,7 @@
 #include "harness/experiment.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <functional>
 #include <future>
@@ -261,13 +262,22 @@ runSingle(const std::string &workload_name, sim::PrefetcherKind kind,
     sources.push_back(makeSource(workload_name, options));
     sim::Cmp cmp(core_cfgs, std::move(sources),
                  makeHierarchyConfig(1, options));
+    auto wall_start = std::chrono::steady_clock::now();
     sim::CmpResult run = cmp.run(options.instructions);
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
 
     SingleResult result;
     result.workload = workload_name;
     result.prefetcher = kind;
     result.core = run.cores.at(0);
     result.mem = run.memStats.at(0);
+    result.simSeconds = wall.count();
+    result.simInstructions = run.totalRetired;
+    if (result.simSeconds > 0.0) {
+        result.mips = static_cast<double>(run.totalRetired) /
+                      result.simSeconds / 1e6;
+    }
     if (const core::BFetchEngine *engine = cmp.core(0).bfetchEngine()) {
         result.bfetch = engine->stats();
         result.avgLookaheadDepth = engine->averageLookaheadDepth();
@@ -307,13 +317,22 @@ runMix(const std::vector<std::string> &workload_names,
 
     sim::Cmp cmp(core_cfgs, std::move(sources),
                  makeHierarchyConfig(n, options));
+    auto wall_start = std::chrono::steady_clock::now();
     sim::CmpResult run = cmp.run(options.instructions);
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
 
     MixResult result;
     result.workloads = workload_names;
     result.prefetcher = kind;
     result.cores = run.cores;
     result.mem = run.memStats;
+    result.simSeconds = wall.count();
+    result.simInstructions = run.totalRetired;
+    if (result.simSeconds > 0.0) {
+        result.mips = static_cast<double>(run.totalRetired) /
+                      result.simSeconds / 1e6;
+    }
 
     // Weighted speedup against single-application no-prefetch IPCs
     // (paper V-A): sum_i IPC_multi(i) / IPC_single(i).

@@ -71,6 +71,15 @@ struct SingleResult
     core::BFetchStats bfetch;
     double avgLookaheadDepth = 0.0;
     double branchPredictorKB = 0.0;
+    /**
+     * Simulator throughput for the run that computed this result (for a
+     * memoized result: the original computation, not the lookup). Wall
+     * seconds inside Cmp::run, dynamic instructions retired (including
+     * contention-tail work), and their ratio in millions per second.
+     */
+    double simSeconds = 0.0;
+    std::uint64_t simInstructions = 0;
+    double mips = 0.0;
 };
 
 /** Run one workload on one core with one prefetching scheme. */
@@ -97,6 +106,10 @@ struct MixResult
     std::vector<mem::CoreMemStats> mem;
     /** Raw weighted speedup: sum_i IPC_multi(i) / IPC_single_base(i). */
     double weightedSpeedup = 0.0;
+    /** Simulator throughput (see SingleResult::simSeconds et al.). */
+    double simSeconds = 0.0;
+    std::uint64_t simInstructions = 0;
+    double mips = 0.0;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <locale>
 #include <ostream>
@@ -131,6 +132,12 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
     os << "  \"speedup\": " << jsonNumber(batch.speedup()) << ",\n";
     os << "  \"failures\": " << batch.failures() << ",\n";
 
+    // Simulator-throughput aggregate over the jobs this batch computed
+    // fresh (cached jobs reuse another run's simulation).
+    os << "  \"perf\": {\"sim_instructions\": " << batch.simInstructions()
+       << ", \"sim_seconds\": " << jsonNumber(batch.simSeconds())
+       << ", \"mips\": " << jsonNumber(batch.mips()) << "},\n";
+
     // Process-wide cache behaviour at report time, so sweep
     // observability covers both memoized results and shared traces.
     MemoStats memo = memoStats();
@@ -169,7 +176,12 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
                << "\", \"workloads\": [\""
                << jsonEscape(item.single->workload)
                << "\"], \"ipc\": ["
-               << jsonNumber(item.single->core.ipc) << "]";
+               << jsonNumber(item.single->core.ipc) << "]"
+               << ", \"sim_instructions\": "
+               << item.single->simInstructions
+               << ", \"sim_seconds\": "
+               << jsonNumber(item.single->simSeconds)
+               << ", \"mips\": " << jsonNumber(item.single->mips);
         } else if (item.mix) {
             os << ", \"prefetcher\": \""
                << sim::prefetcherName(item.mix->prefetcher)
@@ -184,7 +196,11 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
                    << jsonNumber(item.mix->cores[c].ipc);
             }
             os << "], \"weighted_speedup\": "
-               << jsonNumber(item.mix->weightedSpeedup);
+               << jsonNumber(item.mix->weightedSpeedup)
+               << ", \"sim_instructions\": " << item.mix->simInstructions
+               << ", \"sim_seconds\": "
+               << jsonNumber(item.mix->simSeconds)
+               << ", \"mips\": " << jsonNumber(item.mix->mips);
         } else {
             os << ", \"value\": " << jsonNumber(item.value);
         }
@@ -193,31 +209,35 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
     os << "  ]\n}\n";
 }
 
+namespace {
+
+/**
+ * Crash-safe JSON file write shared by the report emitters: serialize
+ * into <path>.tmp and atomically rename over the destination, so an
+ * interrupted (or fault-injected) run leaves either the previous
+ * complete report or the new one — never a truncated JSON a CI parser
+ * would choke on. `path` "-" streams to stdout instead.
+ */
 bool
-writeBatchReportFile(const std::string &path,
-                     const std::string &bench_name,
-                     const BatchResult &batch)
+writeJsonFile(const std::string &path, const std::string &what,
+              const std::function<void(std::ostream &)> &serialize)
 {
     if (path == "-") {
-        writeBatchReportJson(std::cout, bench_name, batch);
+        serialize(std::cout);
         return true;
     }
-    // Crash-safe write: serialize into <path>.tmp and atomically rename
-    // over the destination, so an interrupted (or fault-injected) run
-    // leaves either the previous complete report or the new one —
-    // never a truncated JSON a CI parser would choke on.
     const std::string tmp_path = path + ".tmp";
     {
         std::ofstream file(tmp_path);
         if (!file) {
-            warn("cannot open batch report file '" + tmp_path + "'");
+            warn("cannot open " + what + " file '" + tmp_path + "'");
             return false;
         }
-        writeBatchReportJson(file, bench_name, batch);
+        serialize(file);
         if (fault::shouldFail(fault::Site::ReportWrite))
             file.setstate(std::ios::badbit);
         if (!file) {
-            warn("failed writing batch report '" + tmp_path + "'");
+            warn("failed writing " + what + " '" + tmp_path + "'");
             file.close();
             std::remove(tmp_path.c_str());
             return false;
@@ -229,6 +249,64 @@ writeBatchReportFile(const std::string &path,
         return false;
     }
     return true;
+}
+
+} // namespace
+
+bool
+writeBatchReportFile(const std::string &path,
+                     const std::string &bench_name,
+                     const BatchResult &batch)
+{
+    return writeJsonFile(path, "batch report", [&](std::ostream &os) {
+        writeBatchReportJson(os, bench_name, batch);
+    });
+}
+
+void
+writePerfReportJson(std::ostream &os, const std::string &bench_name,
+                    const BatchResult &batch)
+{
+    os << "{\n";
+    os << "  \"bench\": \"" << jsonEscape(bench_name) << "\",\n";
+    os << "  \"batch_ops\": "
+       << (sim::batchOpsEnabled() ? "true" : "false") << ",\n";
+    os << "  \"threads\": " << batch.threads << ",\n";
+    os << "  \"wall_seconds\": " << jsonNumber(batch.wallSeconds)
+       << ",\n";
+    os << "  \"sim_instructions\": " << batch.simInstructions() << ",\n";
+    os << "  \"sim_seconds\": " << jsonNumber(batch.simSeconds())
+       << ",\n";
+    os << "  \"mips\": " << jsonNumber(batch.mips()) << ",\n";
+    os << "  \"jobs\": [\n";
+    bool first = true;
+    for (const BatchItem &item : batch.items) {
+        // Only fresh simulations carry a measurement of their own.
+        if (item.cached || item.failed || (!item.single && !item.mix))
+            continue;
+        double mips = item.single ? item.single->mips : item.mix->mips;
+        std::uint64_t insts = item.single ? item.single->simInstructions
+                                          : item.mix->simInstructions;
+        double seconds = item.single ? item.single->simSeconds
+                                     : item.mix->simSeconds;
+        os << (first ? "" : ",\n");
+        first = false;
+        os << "    {\"label\": \"" << jsonEscape(item.label)
+           << "\", \"sim_instructions\": " << insts
+           << ", \"sim_seconds\": " << jsonNumber(seconds)
+           << ", \"mips\": " << jsonNumber(mips) << '}';
+    }
+    os << "\n  ]\n}\n";
+}
+
+bool
+writePerfReportFile(const std::string &path,
+                    const std::string &bench_name,
+                    const BatchResult &batch)
+{
+    return writeJsonFile(path, "perf report", [&](std::ostream &os) {
+        writePerfReportJson(os, bench_name, batch);
+    });
 }
 
 } // namespace bfsim::harness

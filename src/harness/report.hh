@@ -64,6 +64,24 @@ bool writeBatchReportFile(const std::string &path,
                           const std::string &bench_name,
                           const BatchResult &batch);
 
+/**
+ * Serialize the simulator-throughput (MIPS) view of a batch: the
+ * batched-delivery mode flag, aggregate sim_instructions / sim_seconds
+ * / mips, and one entry per freshly simulated job (cached, failed and
+ * custom jobs carry no measurement of their own). This is the compact
+ * trajectory record CI archives as BENCH_perf.json.
+ */
+void writePerfReportJson(std::ostream &os, const std::string &bench_name,
+                         const BatchResult &batch);
+
+/**
+ * Write the perf report to `path` ("-" means stdout), with the same
+ * crash-safe tmp-and-rename discipline as writeBatchReportFile.
+ */
+bool writePerfReportFile(const std::string &path,
+                         const std::string &bench_name,
+                         const BatchResult &batch);
+
 } // namespace bfsim::harness
 
 #endif // BFSIM_HARNESS_REPORT_HH_

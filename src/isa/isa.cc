@@ -66,6 +66,58 @@ Instruction::executeLatency() const
     }
 }
 
+StaticDecode
+decodeOne(const Instruction &inst)
+{
+    StaticDecode d;
+    d.rd = inst.rd;
+    d.rs1 = inst.rs1;
+    d.rs2 = inst.rs2;
+    d.targetAddr = instAddr(inst.target);
+    d.latency = static_cast<std::uint8_t>(inst.executeLatency());
+
+    std::uint8_t flags = 0;
+    if (inst.isControl())
+        flags |= StaticDecode::flagControl;
+    if (inst.isCondBranch())
+        flags |= StaticDecode::flagCondBranch;
+    if (inst.isLoad())
+        flags |= StaticDecode::flagLoad;
+    if (inst.isStore())
+        flags |= StaticDecode::flagStore;
+    if (inst.writesDest())
+        flags |= StaticDecode::flagWritesDest;
+
+    // Which sources gate issue readiness (renaming assumed, so only
+    // true dependences count). Mirrors the execute semantics: Nop,
+    // Halt, MovI and Jmp read nothing; loads and immediate-operand ALU
+    // ops read rs1 only; reg-reg ALU ops, conditional branches and
+    // stores read both sources.
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::MovI:
+      case Opcode::Jmp:
+        break;
+      case Opcode::Load:
+      case Opcode::AddI:
+      case Opcode::AndI:
+      case Opcode::OrI:
+      case Opcode::XorI:
+      case Opcode::SllI:
+      case Opcode::SrlI:
+      case Opcode::CmpLtI:
+      case Opcode::CmpEqI:
+        flags |= StaticDecode::flagReadsRs1;
+        break;
+      default:
+        flags |= StaticDecode::flagReadsRs1 | StaticDecode::flagReadsRs2;
+        break;
+    }
+    d.flags = flags;
+    return d;
+}
+
 std::string
 regName(RegIndex index)
 {

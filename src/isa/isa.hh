@@ -95,6 +95,55 @@ struct Instruction
     unsigned executeLatency() const;
 };
 
+/**
+ * Precomputed per-static-instruction descriptor: everything the timing
+ * hot loop needs to know about an instruction, flattened into flag bits
+ * and plain fields so `OooCore::stepInstruction` replaces its per-op
+ * opcode switch and repeated predicate calls (isControl, isCondBranch,
+ * isLoad, ... — each an out-of-line call into isa.o) with a single
+ * table load. Built once per Program; see Program::decodeTable().
+ */
+struct StaticDecode
+{
+    /** Flag bits (see the accessors below). */
+    enum : std::uint8_t
+    {
+        flagControl = 1 << 0,
+        flagCondBranch = 1 << 1,
+        flagLoad = 1 << 2,
+        flagStore = 1 << 3,
+        flagReadsRs1 = 1 << 4,
+        flagReadsRs2 = 1 << 5,
+        flagWritesDest = 1 << 6,
+    };
+
+    Addr targetAddr = 0;      ///< byte address of the taken-path target
+    std::uint8_t flags = 0;
+    std::uint8_t latency = 1; ///< executeLatency() in cycles
+    RegIndex rd = 0;
+    RegIndex rs1 = 0;
+    RegIndex rs2 = 0;
+
+    bool isControl() const { return flags & flagControl; }
+    bool isCondBranch() const { return flags & flagCondBranch; }
+    bool isLoad() const { return flags & flagLoad; }
+    bool isStore() const { return flags & flagStore; }
+    bool isMemory() const { return flags & (flagLoad | flagStore); }
+    /** True when rs1 gates issue readiness (true source dependence). */
+    bool readsRs1() const { return flags & flagReadsRs1; }
+    /** True when rs2 gates issue readiness. */
+    bool readsRs2() const { return flags & flagReadsRs2; }
+    bool writesDest() const { return flags & flagWritesDest; }
+};
+
+/**
+ * Classify one instruction into a StaticDecode. This is the same
+ * computation Program performs per static instruction to build its
+ * decode table; the one-op reference timing path (BFSIM_BATCH_OPS=0)
+ * calls it per dynamic op, faithfully reproducing the pre-cache cost.
+ */
+StaticDecode decodeOne(const Instruction &inst);
+
 /** Human-readable register name (r0..r31). */
 std::string regName(RegIndex index);
 

@@ -28,7 +28,10 @@ class Program
 
     /** Construct from an assembled instruction vector. */
     explicit Program(std::vector<Instruction> insts)
-        : instructions(std::move(insts)) {}
+        : instructions(std::move(insts))
+    {
+        buildDecodeTable();
+    }
 
     /** Number of static instructions. */
     std::size_t size() const { return instructions.size(); }
@@ -41,6 +44,24 @@ class Program
 
     /** All instructions. */
     const std::vector<Instruction> &insts() const { return instructions; }
+
+    /**
+     * Per-static-instruction decode cache, parallel to insts(): the
+     * timing hot loop indexes this by DynOp::pcIndex instead of
+     * re-classifying the instruction per dynamic op. Built eagerly at
+     * construction, so concurrent readers (trace replay cursors, batch
+     * workers) share it without synchronization.
+     */
+    const std::vector<StaticDecode> &decodeTable() const
+    {
+        return decoded;
+    }
+
+    /** Decode-cache entry for the instruction at index pc. */
+    const StaticDecode &decodeAt(std::uint32_t pc) const
+    {
+        return decoded[pc];
+    }
 
     /** Record a 64-bit data word to be present at startup. */
     void poke(Addr addr, std::uint64_t value)
@@ -61,7 +82,16 @@ class Program
     std::string listing() const;
 
   private:
+    void buildDecodeTable()
+    {
+        decoded.clear();
+        decoded.reserve(instructions.size());
+        for (const Instruction &inst : instructions)
+            decoded.push_back(decodeOne(inst));
+    }
+
     std::vector<Instruction> instructions;
+    std::vector<StaticDecode> decoded;
     std::vector<std::pair<Addr, std::uint64_t>> image;
 };
 

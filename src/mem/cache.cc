@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/hot_loop.hh"
 #include "common/sim_error.hh"
 
 namespace bfsim::mem {
@@ -17,34 +18,61 @@ Cache::Cache(const CacheConfig &config) : cfg(config)
     BFSIM_CHECK(std::has_single_bit(sets), "cache",
                 "cache '" + cfg.name + "' set count must be a power "
                 "of two");
+    setBits = static_cast<unsigned>(std::countr_zero(sets));
+    fastIndex = hotLoopEnabled();
+    if (fastIndex) {
+        tags.assign(sets * cfg.associativity, invalidTag);
+        lru.assign(sets * cfg.associativity, 0);
+    }
     blocks.assign(sets * cfg.associativity, CacheBlock{});
 }
 
 std::size_t
 Cache::setIndex(Addr addr) const
 {
-    return blockNumber(addr) & (sets - 1);
+    Addr bn = blockNumber(addr);
+    return fastIndex ? (bn & (sets - 1)) : (bn % sets);
 }
 
 Addr
 Cache::tagOf(Addr addr) const
 {
-    return blockNumber(addr) / sets;
+    Addr bn = blockNumber(addr);
+    return fastIndex ? (bn >> setBits) : (bn / sets);
+}
+
+std::size_t
+Cache::findWay(std::size_t base, Addr tag) const
+{
+    if (fastIndex) {
+        for (unsigned way = 0; way < cfg.associativity; ++way) {
+            if (tags[base + way] == tag)
+                return base + way;
+        }
+        return npos;
+    }
+    // Reference mode: the pre-overhaul probe, striding through the
+    // wide block records.
+    for (unsigned way = 0; way < cfg.associativity; ++way) {
+        const CacheBlock &blk = blocks[base + way];
+        if (blk.valid && blk.tag == tag)
+            return base + way;
+    }
+    return npos;
 }
 
 CacheBlock *
 Cache::lookup(Addr addr)
 {
-    std::size_t base = setIndex(addr) * cfg.associativity;
-    Addr tag = tagOf(addr);
-    for (unsigned way = 0; way < cfg.associativity; ++way) {
-        CacheBlock &blk = blocks[base + way];
-        if (blk.valid && blk.tag == tag) {
-            blk.lruStamp = ++lruClock;
-            return &blk;
-        }
-    }
-    return nullptr;
+    std::size_t idx =
+        findWay(setIndex(addr) * cfg.associativity, tagOf(addr));
+    if (idx == npos)
+        return nullptr;
+    if (fastIndex)
+        lru[idx] = ++lruClock;
+    else
+        blocks[idx].lruStamp = ++lruClock;
+    return &blocks[idx];
 }
 
 bool
@@ -56,14 +84,9 @@ Cache::contains(Addr addr) const
 const CacheBlock *
 Cache::peek(Addr addr) const
 {
-    std::size_t base = setIndex(addr) * cfg.associativity;
-    Addr tag = tagOf(addr);
-    for (unsigned way = 0; way < cfg.associativity; ++way) {
-        const CacheBlock &blk = blocks[base + way];
-        if (blk.valid && blk.tag == tag)
-            return &blk;
-    }
-    return nullptr;
+    std::size_t idx =
+        findWay(setIndex(addr) * cfg.associativity, tagOf(addr));
+    return idx == npos ? nullptr : &blocks[idx];
 }
 
 CacheBlock *
@@ -75,63 +98,110 @@ Cache::insert(Addr addr, EvictInfo &evict)
 
     evict = EvictInfo{};
 
-    // Reuse an existing block for the same tag (refill), else an invalid
-    // way, else the LRU victim.
-    CacheBlock *victim = nullptr;
-    for (unsigned way = 0; way < cfg.associativity; ++way) {
-        CacheBlock &blk = blocks[base + way];
-        if (blk.valid && blk.tag == tag) {
-            victim = &blk;
-            break;
+    // Victim priority in both modes: reuse an existing way for the
+    // same tag (refill), else the first invalid way, else the
+    // least-recently-used way (first minimum in way order).
+    std::size_t victim = npos;
+    bool evicting = false;
+    if (fastIndex) {
+        // One fused pass over the narrow tag/LRU arrays. The LRU
+        // minimum is tracked alongside but only consulted when every
+        // way turned out valid, which matches scanning separately.
+        std::size_t first_invalid = npos;
+        std::size_t lru_min = base;
+        for (unsigned way = 0; way < cfg.associativity; ++way) {
+            std::size_t idx = base + way;
+            if (tags[idx] == tag) {
+                victim = idx;
+                break;
+            }
+            if (tags[idx] == invalidTag) {
+                if (first_invalid == npos)
+                    first_invalid = idx;
+            } else if (lru[idx] < lru[lru_min]) {
+                lru_min = idx;
+            }
         }
-        if (!blk.valid && !victim)
-            victim = &blk;
-    }
-    if (!victim) {
-        victim = &blocks[base];
-        for (unsigned way = 1; way < cfg.associativity; ++way) {
-            CacheBlock &blk = blocks[base + way];
-            if (blk.lruStamp < victim->lruStamp)
-                victim = &blk;
+        if (victim == npos)
+            victim = first_invalid;
+        if (victim == npos) {
+            victim = lru_min;
+            evicting = true;
         }
-        evict.evicted = true;
-        evict.dirty = victim->dirty;
-        evict.wastedPrefetch =
-            victim->prefetched && !victim->prefetchUseful;
-        evict.loadPcHash = victim->loadPcHash;
-        evict.blockAddr =
-            ((victim->tag * sets) +
-             (static_cast<Addr>(set))) << blockSizeBits;
+    } else {
+        // Reference mode: the pre-overhaul three-scan insert over the
+        // wide block records.
+        victim = findWay(base, tag);
+        if (victim == npos) {
+            for (unsigned way = 0; way < cfg.associativity; ++way) {
+                if (!blocks[base + way].valid) {
+                    victim = base + way;
+                    break;
+                }
+            }
+        }
+        if (victim == npos) {
+            victim = base;
+            for (unsigned way = 1; way < cfg.associativity; ++way) {
+                if (blocks[base + way].lruStamp <
+                    blocks[victim].lruStamp)
+                    victim = base + way;
+            }
+            evicting = true;
+        }
     }
 
-    *victim = CacheBlock{};
-    victim->tag = tag;
-    victim->valid = true;
-    victim->lruStamp = ++lruClock;
-    return victim;
+    if (evicting) {
+        Addr victim_tag = fastIndex ? tags[victim] : blocks[victim].tag;
+        evict.evicted = true;
+        evict.dirty = blocks[victim].dirty;
+        evict.wastedPrefetch = blocks[victim].prefetched &&
+                               !blocks[victim].prefetchUseful;
+        evict.loadPcHash = blocks[victim].loadPcHash;
+        evict.blockAddr =
+            ((victim_tag << setBits) + static_cast<Addr>(set))
+            << blockSizeBits;
+    }
+
+    blocks[victim] = CacheBlock{};
+    ++lruClock;
+    if (fastIndex) {
+        tags[victim] = tag;
+        lru[victim] = lruClock;
+    } else {
+        blocks[victim].tag = tag;
+        blocks[victim].valid = true;
+        blocks[victim].lruStamp = lruClock;
+    }
+    return &blocks[victim];
 }
 
 void
 Cache::invalidate(Addr addr)
 {
-    std::size_t base = setIndex(addr) * cfg.associativity;
-    Addr tag = tagOf(addr);
-    for (unsigned way = 0; way < cfg.associativity; ++way) {
-        CacheBlock &blk = blocks[base + way];
-        if (blk.valid && blk.tag == tag) {
-            blk.valid = false;
-            return;
-        }
-    }
+    std::size_t idx =
+        findWay(setIndex(addr) * cfg.associativity, tagOf(addr));
+    if (idx == npos)
+        return;
+    if (fastIndex)
+        tags[idx] = invalidTag;
+    else
+        blocks[idx].valid = false;
 }
 
 std::size_t
 Cache::validBlockCount() const
 {
     std::size_t count = 0;
-    for (const auto &blk : blocks)
-        if (blk.valid)
-            ++count;
+    if (fastIndex) {
+        for (Addr tag : tags)
+            if (tag != invalidTag)
+                ++count;
+    } else {
+        for (const CacheBlock &blk : blocks)
+            if (blk.valid)
+                ++count;
+    }
     return count;
 }
 

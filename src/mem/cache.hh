@@ -30,11 +30,21 @@ struct CacheConfig
     Cycle hitLatency = 2;
 };
 
-/** Tag-array state for one cache block. */
+/**
+ * Per-block state. In overhaul mode (DESIGN.md §11) the tag and LRU
+ * stamp live in separate parallel arrays inside Cache, so a set probe
+ * scans one contiguous run of tags (one cache line for 8 ways) instead
+ * of striding through these wider records; the `tag`/`valid`/
+ * `lruStamp` fields here are then unused. In reference mode
+ * (BFSIM_BATCH_OPS=0) the pre-overhaul layout is kept alive for
+ * measurement: probes scan these fields and the parallel arrays are
+ * unused. A Cache latches its mode at construction, so each instance
+ * only ever maintains one copy.
+ */
 struct CacheBlock
 {
-    Addr tag = 0;
-    bool valid = false;
+    Addr tag = 0;             ///< reference-mode only
+    bool valid = false;       ///< reference-mode only
     bool dirty = false;
     /** Block was brought in by a prefetch and not yet demanded. */
     bool prefetched = false;
@@ -44,7 +54,7 @@ struct CacheBlock
     std::uint16_t loadPcHash = 0;
     /** Cycle at which the (possibly in-flight) fill completes. */
     Cycle readyAt = 0;
-    /** LRU timestamp; larger is more recent. */
+    /** LRU timestamp; larger is more recent. Reference-mode only. */
     std::uint64_t lruStamp = 0;
 };
 
@@ -101,12 +111,46 @@ class Cache
     std::size_t validBlockCount() const;
 
   private:
+    /**
+     * Sentinel marking an empty way in `tags`. Real tags are block
+     * numbers shifted right, so they can never reach ~0 for any
+     * simulated address.
+     */
+    static constexpr Addr invalidTag = ~Addr{0};
+
     std::size_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
 
+    /**
+     * Scan a set's ways for `tag`; returns the block index on match,
+     * npos otherwise. `base` is the set's first index. One body for
+     * lookup/peek/insert/invalidate (they differ only in what they do
+     * with the match).
+     */
+    std::size_t findWay(std::size_t base, Addr tag) const;
+
+    static constexpr std::size_t npos = ~std::size_t{0};
+
     CacheConfig cfg;
     std::size_t sets;
-    std::vector<CacheBlock> blocks; // sets * assoc, set-major
+    unsigned setBits; ///< log2(sets): tagOf/setIndex are shift/mask
+    /**
+     * Overhaul flag (latched at construction from the hot-loop
+     * kill-switch). Off reproduces the pre-overhaul memory side
+     * faithfully for measurement: divide/modulo set and tag arithmetic
+     * and probes that stride through the wide CacheBlock records.
+     * Results are identical — sets is a power of two and both layouts
+     * hold the same state — only arithmetic and layout differ.
+     */
+    bool fastIndex;
+    // Overhaul-mode set-major SoA tag array (invalidTag = empty way)
+    // and LRU stamps (larger = more recent), indexed
+    // set * associativity + way. Unused (empty) in reference mode.
+    std::vector<Addr> tags;
+    std::vector<std::uint64_t> lru;
+    // Per-block metadata (both modes); tag/valid/lruStamp inside are
+    // the reference-mode copies.
+    std::vector<CacheBlock> blocks;
     std::uint64_t lruClock = 0;
 };
 

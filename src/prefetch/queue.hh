@@ -12,7 +12,9 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_set>
+#include <vector>
 
+#include "common/hot_loop.hh"
 #include "common/types.hh"
 
 namespace bfsim::prefetch {
@@ -24,47 +26,86 @@ struct PrefetchCandidate
     std::uint16_t loadPcHash = 0; ///< attribution for usefulness feedback
 };
 
-/** Fixed-capacity FIFO of pending prefetch candidates with dedup. */
+/**
+ * Fixed-capacity FIFO of pending prefetch candidates with dedup.
+ *
+ * In overhaul mode (DESIGN.md §11) this is a preallocated ring:
+ * push/pop never allocate, and the dedup check is a linear scan of the
+ * live entries — for a 100-entry queue that is one pass over a
+ * contiguous array, cheaper than maintaining a node-based hash set at
+ * hot-loop rates. With the hot-loop kill-switch off (BFSIM_BATCH_OPS=0)
+ * the pre-overhaul deque + hash-set implementation is kept alive as
+ * the measurement reference; both arms implement identical accept /
+ * drop / dedup semantics, so stats are bit-identical. The mode is
+ * latched at construction.
+ */
 class PrefetchQueue
 {
   public:
     /** Construct with a capacity (paper: 100 entries). */
     explicit PrefetchQueue(std::size_t capacity = 100)
-        : maxEntries(capacity) {}
+        : maxEntries(capacity), fast(hotLoopEnabled())
+    {
+        if (fast)
+            ring.resize(capacity);
+    }
 
     /**
      * Enqueue a candidate (block-aligning the address); duplicates of
-     * queued blocks and full-queue pushes are dropped.
+     * queued blocks and full-queue pushes are dropped. (Order matters:
+     * a duplicate arriving at a full queue counts as a full-queue drop,
+     * matching the historical accounting.)
      * @return true when the candidate was accepted.
      */
     bool
     push(Addr addr, std::uint16_t load_pc_hash)
     {
         Addr block = blockAlign(addr);
-        if (entries.size() >= maxEntries) {
-            ++droppedCount;
-            return false;
+        if (fast) {
+            if (count >= maxEntries) {
+                ++droppedCount;
+                return false;
+            }
+            for (std::size_t i = 0; i < count; ++i) {
+                if (ring[wrap(head + i)].blockAddr == block) {
+                    ++duplicateCount;
+                    return false;
+                }
+            }
+            ring[wrap(head + count)] = {block, load_pc_hash};
+            ++count;
+        } else {
+            if (entries.size() >= maxEntries) {
+                ++droppedCount;
+                return false;
+            }
+            if (queuedBlocks.contains(block)) {
+                ++duplicateCount;
+                return false;
+            }
+            entries.push_back({block, load_pc_hash});
+            queuedBlocks.insert(block);
         }
-        if (queuedBlocks.contains(block)) {
-            ++duplicateCount;
-            return false;
-        }
-        entries.push_back({block, load_pc_hash});
-        queuedBlocks.insert(block);
         ++pushedCount;
         return true;
     }
 
     /** True when no candidates are pending. */
-    bool empty() const { return entries.empty(); }
+    bool empty() const { return fast ? count == 0 : entries.empty(); }
 
     /** Number of pending candidates. */
-    std::size_t size() const { return entries.size(); }
+    std::size_t size() const { return fast ? count : entries.size(); }
 
     /** Pop the oldest candidate; queue must not be empty. */
     PrefetchCandidate
     pop()
     {
+        if (fast) {
+            PrefetchCandidate candidate = ring[head];
+            head = wrap(head + 1);
+            --count;
+            return candidate;
+        }
         PrefetchCandidate candidate = entries.front();
         entries.pop_front();
         queuedBlocks.erase(candidate.blockAddr);
@@ -75,6 +116,8 @@ class PrefetchQueue
     void
     clear()
     {
+        head = 0;
+        count = 0;
         entries.clear();
         queuedBlocks.clear();
     }
@@ -92,9 +135,19 @@ class PrefetchQueue
     std::size_t storageBits() const { return maxEntries * (32 + 10); }
 
   private:
+    /** Ring-index wraparound (capacity is not required to be 2^n). */
+    std::size_t wrap(std::size_t i) const
+    {
+        return i >= maxEntries ? i - maxEntries : i;
+    }
+
     std::size_t maxEntries;
-    std::deque<PrefetchCandidate> entries;
-    std::unordered_set<Addr> queuedBlocks;
+    bool fast;                              ///< latched overhaul mode
+    std::vector<PrefetchCandidate> ring;    ///< overhaul-mode storage
+    std::size_t head = 0;                   ///< index of oldest entry
+    std::size_t count = 0;                  ///< live entries
+    std::deque<PrefetchCandidate> entries;  ///< reference-mode storage
+    std::unordered_set<Addr> queuedBlocks;  ///< reference-mode dedup
     std::uint64_t pushedCount = 0;
     std::uint64_t droppedCount = 0;
     std::uint64_t duplicateCount = 0;

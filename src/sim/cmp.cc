@@ -86,8 +86,10 @@ Cmp::run(std::uint64_t insts_per_core)
         horizon += window;
     }
 
-    for (std::size_t c = 0; c < n; ++c)
+    for (std::size_t c = 0; c < n; ++c) {
         result.memStats.push_back(mem.stats(static_cast<unsigned>(c)));
+        result.totalRetired += cores[c]->retired();
+    }
     return result;
 }
 

@@ -32,6 +32,12 @@ struct CmpResult
     std::vector<CoreStats> cores;
     /** Per-core memory-system stats at end of run (incl. contention). */
     std::vector<mem::CoreMemStats> memStats;
+    /**
+     * Dynamic instructions retired across all cores over the whole run,
+     * including contention-tail work past each core's freeze point —
+     * the honest numerator for simulated-MIPS throughput reporting.
+     */
+    std::uint64_t totalRetired = 0;
 };
 
 /** A CMP of homogeneous cores running one program each. */

@@ -4,4 +4,19 @@ namespace bfsim::sim {
 
 DynOpSource::~DynOpSource() = default;
 
+std::size_t
+DynOpSource::nextBatch(DynOp *out, std::size_t max)
+{
+    std::size_t n = 0;
+    while (n < max && next(out[n]))
+        ++n;
+    return n;
+}
+
+std::size_t
+DynOpSource::nextSpan(OpSpanView &, std::size_t)
+{
+    return noSpan;
+}
+
 } // namespace bfsim::sim

@@ -16,14 +16,62 @@
 #ifndef BFSIM_SIM_DYN_OP_SOURCE_HH_
 #define BFSIM_SIM_DYN_OP_SOURCE_HH_
 
+#include <cstddef>
+
+#include "common/hot_loop.hh"
 #include "sim/executor.hh"
 
 namespace bfsim::sim {
+
+/**
+ * Whether timing consumers pull ops in batches (nextBatch) instead of
+ * one virtual next() call per op. Defaults to on; BFSIM_BATCH_OPS=0
+ * keeps the one-op path alive as the bit-identity reference. Alias for
+ * the process-wide hot-loop kill-switch (common/hot_loop.hh), which
+ * also gates the cache index arithmetic.
+ */
+inline bool batchOpsEnabled() { return hotLoopEnabled(); }
+
+/** Programmatic override of BFSIM_BATCH_OPS (tests, tools). */
+inline void setBatchOpsEnabled(bool enabled) { setHotLoopEnabled(enabled); }
+
+/**
+ * Ops a timing consumer buffers per nextBatch refill. Small enough that
+ * the buffer (plus its DynOp payloads) stays L1/L2-resident, large
+ * enough to amortize the per-refill virtual dispatch to noise.
+ */
+constexpr std::size_t opBatchSize = 256;
+
+/**
+ * A zero-copy window onto consecutive trace-resident ops, in the
+ * structure-of-arrays layout the trace stores (sim/trace.hh). Consumers
+ * that accept spans rebuild each DynOp in registers from these arrays
+ * instead of having the source memcpy fully-reconstructed 64-byte
+ * DynOps through an intermediate buffer. Only the fields a timing
+ * consumer reads are exposed; `DynOp::inst` and `DynOp::targetPc` have
+ * no columns (the batched timing path decodes through the static
+ * decode cache and never touches them).
+ */
+struct OpSpanView
+{
+    static constexpr std::uint8_t takenFlag = 1;
+    static constexpr std::uint8_t writesRegFlag = 2;
+
+    const std::uint32_t *pcIndex = nullptr; ///< static instruction index
+    const Addr *effAddr = nullptr;          ///< load/store address
+    const RegVal *result = nullptr;         ///< register writeback value
+    const std::uint8_t *flags = nullptr;    ///< taken / writesReg bits
+    InstSeqNum baseSeq = 0;                 ///< seq of the span's first op
+    std::size_t count = 0;                  ///< ops in the span
+};
 
 /** Produces one core's dynamic instruction stream in program order. */
 class DynOpSource
 {
   public:
+    /** nextSpan: the source has no zero-copy span representation. */
+    static constexpr std::size_t noSpan = ~std::size_t{0};
+
     virtual ~DynOpSource();
 
     /**
@@ -33,11 +81,36 @@ class DynOpSource
      */
     virtual bool next(DynOp &op) = 0;
 
+    /**
+     * Produce up to `max` consecutive dynamic instructions into `out`,
+     * returning how many were produced. Returns short batches freely
+     * (e.g. a trace cursor stops at its buffer's recorded end) and 0
+     * only once the program has halted, so consumers loop until 0. The
+     * base implementation loops next(); sources with cheaper bulk paths
+     * override it.
+     */
+    virtual std::size_t nextBatch(DynOp *out, std::size_t max);
+
+    /**
+     * Expose up to `max` consecutive ops as a zero-copy OpSpanView and
+     * advance past them, returning the span length. Returns noSpan when
+     * the source holds no span representation (consumers then latch the
+     * nextBatch path), short spans freely (chunk boundaries), and 0
+     * only once the program has halted. The view's arrays stay valid
+     * until the source is destroyed (trace chunks are never freed or
+     * reallocated while cursors exist). The base implementation returns
+     * noSpan.
+     */
+    virtual std::size_t nextSpan(OpSpanView &span, std::size_t max);
+
     /** True once the stream has ended on a Halt. */
     virtual bool halted() const = 0;
 
     /** Dynamic instructions produced so far. */
     virtual InstSeqNum produced() const = 0;
+
+    /** The program whose stream this source produces. */
+    virtual const isa::Program &program() const = 0;
 };
 
 /**
@@ -51,8 +124,22 @@ class LiveSource : public DynOpSource
     explicit LiveSource(const isa::Program &program) : exec(program) {}
 
     bool next(DynOp &op) override { return exec.step(op); }
+
+    std::size_t
+    nextBatch(DynOp *out, std::size_t max) override
+    {
+        std::size_t n = 0;
+        while (n < max && exec.step(out[n]))
+            ++n;
+        return n;
+    }
+
     bool halted() const override { return exec.halted(); }
     InstSeqNum produced() const override { return exec.executed(); }
+    const isa::Program &program() const override
+    {
+        return exec.program();
+    }
 
     /** The underlying executor (architectural state inspection). */
     const Executor &executor() const { return exec; }

@@ -73,6 +73,9 @@ class Executor
     /** Current program counter (instruction index). */
     std::uint32_t pc() const { return pcIndex; }
 
+    /** The executed program. */
+    const isa::Program &program() const { return prog; }
+
   private:
     void writeReg(RegIndex index, RegVal value);
 

@@ -68,7 +68,7 @@ OooCore::OooCore(unsigned core_id, const CoreConfig &config,
       opSource(std::move(source)),
       mem(hierarchy),
       bp(branch::makeTournamentPredictor(config.bpSizeScale)),
-      queue(100),
+      queue(config.pfQueueEntries),
       robCommitCycle(config.robSize, 0),
       lqCommitCycle(config.lqSize, 0),
       sqCommitCycle(config.sqSize, 0),
@@ -78,8 +78,15 @@ OooCore::OooCore(unsigned core_id, const CoreConfig &config,
 {
     BFSIM_CHECK(opSource != nullptr, "ooo_core",
                 "OooCore requires a dynamic-op source");
+    useBatch = batchOpsEnabled();
+    useSpan = useBatch;
+    if (useBatch)
+        opBuf.resize(opBatchSize);
+    decodeCache = opSource->program().decodeTable().data();
     BFSIM_CHECK(cfg.width > 0, "ooo_core",
                 "core width must be positive");
+    BFSIM_CHECK(cfg.pfQueueEntries > 0, "ooo_core",
+                "prefetch-queue capacity must be positive");
     BFSIM_CHECK(cfg.robSize > 0, "ooo_core",
                 "ROB size must be positive");
     BFSIM_CHECK(cfg.lqSize > 0, "ooo_core",
@@ -132,53 +139,56 @@ OooCore::allocateSlot(std::vector<std::pair<Cycle, std::uint8_t>> &ring,
     }
 }
 
+void
+OooCore::resetFetchGroup()
+{
+    fetchedThisCycle = 0;
+    branchesThisCycle = 0;
+    breakFetchAfter = false;
+}
+
+void
+OooCore::closeFetchCycle()
+{
+    if (branchesThisCycle > 0) {
+        ++branchFetchCycles;
+        std::size_t bucket =
+            branchesThisCycle > 4 ? 4 : branchesThisCycle;
+        ++branchesPerCycleHist[bucket];
+    }
+    resetFetchGroup();
+}
+
 Cycle
 OooCore::fetchOne(bool is_control, bool predicted_taken)
 {
     Cycle f = fetchCursor;
     if (f < fetchStallUntil) {
         f = fetchStallUntil;
-        fetchedThisCycle = 0;
-        branchesThisCycle = 0;
-        breakFetchAfter = false;
+        resetFetchGroup();
     }
 
     // ROB occupancy: the slot this instruction will take must have been
     // committed by its previous occupant.
-    Cycle rob_free = robCommitCycle[instCount % cfg.robSize];
+    Cycle rob_free = robCommitCycle[robSlot];
     if (f < rob_free) {
         f = rob_free;
-        fetchedThisCycle = 0;
-        branchesThisCycle = 0;
-        breakFetchAfter = false;
+        resetFetchGroup();
     }
 
     if (f != fetchCursor) {
-        // Close the Fig. 7 accounting for the cycle we left.
-        if (branchesThisCycle > 0) {
-            ++branchFetchCycles;
-            std::size_t bucket =
-                branchesThisCycle > 4 ? 4 : branchesThisCycle;
-            ++branchesPerCycleHist[bucket];
-        }
+        // Close the Fig. 7 accounting for the cycle we left. (When a
+        // stall or ROB wait already reset the group above, the counts
+        // are zero and only the cursor moves — matching the historical
+        // accounting, which never billed stalled-over cycles.)
+        closeFetchCycle();
         fetchCursor = f;
-        fetchedThisCycle = 0;
-        branchesThisCycle = 0;
-        breakFetchAfter = false;
     }
 
     if (fetchedThisCycle >= cfg.width || breakFetchAfter) {
-        if (branchesThisCycle > 0) {
-            ++branchFetchCycles;
-            std::size_t bucket =
-                branchesThisCycle > 4 ? 4 : branchesThisCycle;
-            ++branchesPerCycleHist[bucket];
-        }
+        closeFetchCycle();
         ++fetchCursor;
         f = fetchCursor;
-        fetchedThisCycle = 0;
-        branchesThisCycle = 0;
-        breakFetchAfter = false;
     }
 
     ++fetchedThisCycle;
@@ -193,6 +203,17 @@ OooCore::fetchOne(bool is_control, bool predicted_taken)
 void
 OooCore::drainPrefetches(Cycle now)
 {
+    // Overhaul-arm shortcuts, both exact no-op skips. Empty queue:
+    // only budget accrual remains, and deferring it is exact —
+    // iterated per-call accrual min(b + d_i*rate, cap) telescopes to
+    // the same value as one accrual over the summed gap, because
+    // accrual is linear and the cap binds identically either way.
+    // Same cycle with a spent budget: accrual adds nothing and the
+    // issue loop cannot run. The reference arm keeps paying the
+    // pre-overhaul per-op cost.
+    if (useBatch && (queue.empty() ||
+                     (now == pfLastDrain && pfBudget < 1.0)))
+        return;
     if (now > pfLastDrain) {
         pfBudget += static_cast<double>(now - pfLastDrain) *
                     cfg.pfIssuePerCycle;
@@ -216,20 +237,67 @@ OooCore::drainPrefetches(Cycle now)
 bool
 OooCore::stepInstruction()
 {
-    DynOp op;
-    if (!opSource->next(op))
-        return false;
+    if (useSpan) {
+        if (batchPos >= batchLen) {
+            std::size_t n = opSource->nextSpan(curSpan, opBatchSize);
+            if (n == DynOpSource::noSpan) {
+                // Source has no span representation (e.g. LiveSource):
+                // latch the copying batch path for the rest of the run.
+                useSpan = false;
+                return stepInstruction();
+            }
+            batchPos = 0;
+            batchLen = n;
+            if (n == 0)
+                return false;
+        }
+        // Feed the op to processOp straight from the trace's column
+        // arrays; no DynOp is materialized in memory at all.
+        std::size_t s = batchPos++;
+        std::uint32_t pc_index = curSpan.pcIndex[s];
+        std::uint8_t flags = curSpan.flags[s];
+        processOp(decodeCache[pc_index], isa::instAddr(pc_index),
+                  (flags & OpSpanView::takenFlag) != 0,
+                  curSpan.effAddr[s],
+                  (flags & OpSpanView::writesRegFlag) != 0,
+                  curSpan.result[s], curSpan.baseSeq + s);
+    } else if (useBatch) {
+        if (batchPos >= batchLen) {
+            batchLen = opSource->nextBatch(opBuf.data(), opBuf.size());
+            batchPos = 0;
+            if (batchLen == 0)
+                return false;
+        }
+        const DynOp &op = opBuf[batchPos++];
+        processOp(decodeCache[op.pcIndex], op.pc, op.taken, op.effAddr,
+                  op.writesReg, op.result, op.seq);
+    } else {
+        // Reference path (BFSIM_BATCH_OPS=0): one virtual call and one
+        // full decode per op, exactly as the pre-batching hot loop paid
+        // them. Both paths share processOp, so stats cannot diverge.
+        DynOp op;
+        if (!opSource->next(op))
+            return false;
+        processOp(isa::decodeOne(*op.inst), op.pc, op.taken, op.effAddr,
+                  op.writesReg, op.result, op.seq);
+    }
+    return true;
+}
 
-    const isa::Instruction &inst = *op.inst;
-    bool is_control = inst.isControl();
-    bool is_cond = inst.isCondBranch();
+void
+OooCore::processOp(const isa::StaticDecode &d, Addr pc, bool taken,
+                   Addr eff_addr, bool writes_reg, RegVal result,
+                   InstSeqNum seq)
+{
+    bool is_control = d.isControl();
+    bool is_cond = d.isCondBranch();
 
     // ---------------- fetch + branch prediction ----------------
-    bool predicted_taken = op.taken;
+    bool predicted_taken = taken;
     bool mispredicted = false;
     if (is_cond) {
-        predicted_taken = bp->predict(op.pc);
-        mispredicted = (predicted_taken != op.taken);
+        predicted_taken = bp->predict(pc);
+        mispredicted = (predicted_taken != taken);
         ++condBranchCount;
         if (mispredicted)
             ++mispredictCount;
@@ -241,65 +309,44 @@ OooCore::stepInstruction()
     // ---------------- dispatch / issue ----------------
     Cycle ready = decode + 1;
     // Source dependences (renaming assumed: true deps only).
-    switch (inst.op) {
-      case isa::Opcode::Nop:
-      case isa::Opcode::Halt:
-      case isa::Opcode::MovI:
-      case isa::Opcode::Jmp:
-        break;
-      case isa::Opcode::Load:
-        ready = std::max(ready, regReady[inst.rs1]);
-        break;
-      default:
-        ready = std::max(ready, regReady[inst.rs1]);
-        if (!inst.isMemory() && inst.op != isa::Opcode::AddI &&
-            inst.op != isa::Opcode::AndI &&
-            inst.op != isa::Opcode::OrI &&
-            inst.op != isa::Opcode::XorI &&
-            inst.op != isa::Opcode::SllI &&
-            inst.op != isa::Opcode::SrlI &&
-            inst.op != isa::Opcode::CmpLtI &&
-            inst.op != isa::Opcode::CmpEqI) {
-            ready = std::max(ready, regReady[inst.rs2]);
-        }
-        if (inst.isStore())
-            ready = std::max(ready, regReady[inst.rs2]);
-        break;
-    }
+    if (d.readsRs1())
+        ready = std::max(ready, regReady[d.rs1]);
+    if (d.readsRs2())
+        ready = std::max(ready, regReady[d.rs2]);
 
     // Load/store queue occupancy: the LSQ slot this instruction takes
     // must have been freed (committed) by its previous occupant. This is
     // what bounds memory-level parallelism on a real O3 core.
-    if (inst.isLoad())
-        ready = std::max(ready, lqCommitCycle[loadCount % cfg.lqSize]);
-    else if (inst.isStore())
-        ready = std::max(ready, sqCommitCycle[storeCount % cfg.sqSize]);
+    if (d.isLoad())
+        ready = std::max(ready, lqCommitCycle[lqSlot]);
+    else if (d.isStore())
+        ready = std::max(ready, sqCommitCycle[sqSlot]);
 
     Cycle issue = allocateSlot(issueRing, ready, cfg.width);
-    if (inst.isMemory())
+    if (d.isMemory())
         issue = allocateSlot(loadRing, issue, cfg.loadPorts);
 
     // ---------------- execute ----------------
     Cycle done;
-    if (inst.isLoad()) {
+    if (d.isLoad()) {
         if (cfg.prefetcher == PrefetcherKind::Perfect) {
             done = issue + mem.config().l1d.hitLatency;
         } else {
             mem::AccessOutcome outcome =
-                mem.access(coreId, op.effAddr, false, issue);
+                mem.access(coreId, eff_addr, false, issue);
             done = issue + outcome.latency;
             if (pfEngine) {
-                prefetch::DemandAccess access{op.pc, op.effAddr, true,
+                prefetch::DemandAccess access{pc, eff_addr, true,
                                               outcome.l1Hit, issue};
                 pfEngine->observe(access, queue);
             }
         }
-    } else if (inst.isStore()) {
+    } else if (d.isStore()) {
         if (cfg.prefetcher != PrefetcherKind::Perfect) {
             mem::AccessOutcome outcome =
-                mem.access(coreId, op.effAddr, true, issue);
+                mem.access(coreId, eff_addr, true, issue);
             if (pfEngine) {
-                prefetch::DemandAccess access{op.pc, op.effAddr, false,
+                prefetch::DemandAccess access{pc, eff_addr, false,
                                               outcome.l1Hit, issue};
                 pfEngine->observe(access, queue);
             }
@@ -307,13 +354,13 @@ OooCore::stepInstruction()
         // Stores drain through the store buffer off the critical path.
         done = issue + 1;
     } else {
-        done = issue + inst.executeLatency();
+        done = issue + d.latency;
     }
 
-    if (op.writesReg) {
-        regReady[inst.rd] = done;
+    if (writes_reg) {
+        regReady[d.rd] = done;
         if (bfetch && !cfg.bfetch.arfFromCommitOnly)
-            bfetch->onRegWrite(inst.rd, op.result, op.seq, done);
+            bfetch->onRegWrite(d.rd, result, seq, done);
     }
 
     // Branch resolution: a mispredicted branch redirects fetch after it
@@ -327,10 +374,10 @@ OooCore::stepInstruction()
         Addr predicted_target;
         bool eff_taken = is_cond ? predicted_taken : true;
         if (eff_taken)
-            predicted_target = isa::instAddr(inst.target);
+            predicted_target = d.targetAddr;
         else
-            predicted_target = op.pc + 4;
-        bfetch->onDecodeBranch(op.pc, eff_taken, predicted_target,
+            predicted_target = pc + 4;
+        bfetch->onDecodeBranch(pc, eff_taken, predicted_target,
                                is_cond, decode);
     }
 
@@ -351,37 +398,43 @@ OooCore::stepInstruction()
                        commit);
     }
     lastCommitCycle = commit;
-    robCommitCycle[instCount % cfg.robSize] = commit;
-    if (inst.isLoad())
-        lqCommitCycle[loadCount++ % cfg.lqSize] = commit;
-    else if (inst.isStore())
-        sqCommitCycle[storeCount++ % cfg.sqSize] = commit;
+    robCommitCycle[robSlot] = commit;
+    if (++robSlot == cfg.robSize)
+        robSlot = 0;
+    if (d.isLoad()) {
+        lqCommitCycle[lqSlot] = commit;
+        if (++lqSlot == cfg.lqSize)
+            lqSlot = 0;
+        ++loadCount;
+    } else if (d.isStore()) {
+        sqCommitCycle[sqSlot] = commit;
+        if (++sqSlot == cfg.sqSize)
+            sqSlot = 0;
+        ++storeCount;
+    }
 
     if (bfetch && is_control) {
         // Order matters: confidence training must see the same global
         // history the prediction (and lookahead estimates) used, i.e.
         // before this branch shifts it.
-        bfetch->onCommitBranch(op.pc, op.taken,
-                               isa::instAddr(inst.target), is_cond,
+        bfetch->onCommitBranch(pc, taken, d.targetAddr, is_cond,
                                !mispredicted);
     }
     if (is_cond)
-        bp->update(op.pc, op.taken);
+        bp->update(pc, taken);
     if (bfetch) {
-        if (inst.isMemory())
-            bfetch->onCommitMem(op.pc, inst.rs1, op.effAddr,
-                                inst.isLoad());
-        if (op.writesReg) {
-            bfetch->onCommitRegWrite(inst.rd, op.result);
+        if (d.isMemory())
+            bfetch->onCommitMem(pc, d.rs1, eff_addr, d.isLoad());
+        if (writes_reg) {
+            bfetch->onCommitRegWrite(d.rd, result);
             if (cfg.bfetch.arfFromCommitOnly)
-                bfetch->onRegWrite(inst.rd, op.result, op.seq, commit);
+                bfetch->onRegWrite(d.rd, result, seq, commit);
         }
     }
 
     ++instCount;
 
     drainPrefetches(fetchCursor);
-    return true;
 }
 
 CoreStats

@@ -72,6 +72,7 @@ struct CoreConfig
     Cycle redirectPenalty = 3;   ///< post-resolution frontend refill
     unsigned loadPorts = 2;      ///< L1-D ports
     unsigned pfIssuePerCycle = 2;///< prefetch-queue drain rate
+    unsigned pfQueueEntries = 100; ///< prefetch-queue capacity (Table I)
     double bpSizeScale = 1.0;    ///< tournament predictor scale (Fig. 13)
     PrefetcherKind prefetcher = PrefetcherKind::None;
     core::BFetchConfig bfetch{}; ///< B-Fetch knobs (Figs. 12, 15)
@@ -157,16 +158,45 @@ class OooCore
         return pfEngine.get();
     }
 
-    /** True once the program has executed Halt. */
-    bool halted() const { return opSource->halted(); }
+    /**
+     * True once the program has executed Halt and every already-
+     * delivered (batch-buffered) op has been consumed by the timing
+     * model.
+     */
+    bool
+    halted() const
+    {
+        return batchPos >= batchLen && opSource->halted();
+    }
 
   private:
+    /**
+     * Walk one dynamic op through fetch/issue/execute/commit. Takes
+     * the op's dynamic fields as scalars (not a DynOp) so the span
+     * delivery path can feed it straight from the trace columns
+     * without materializing a DynOp in memory; both delivery arms call
+     * this one body, which is what keeps their statistics
+     * bit-identical.
+     */
+    void processOp(const isa::StaticDecode &d, Addr pc, bool taken,
+                   Addr eff_addr, bool writes_reg, RegVal result,
+                   InstSeqNum seq);
+
     /** First cycle >= `from` with a free slot in a banded-count ring. */
     Cycle allocateSlot(std::vector<std::pair<Cycle, std::uint8_t>> &ring,
                        Cycle from, unsigned limit);
 
     /** Account a fetched instruction; returns its fetch cycle. */
     Cycle fetchOne(bool is_control, bool predicted_taken);
+
+    /** Reset the per-fetch-cycle instruction/branch group state. */
+    void resetFetchGroup();
+
+    /**
+     * Record the Fig. 7 branches-per-fetch-cycle accounting for the
+     * cycle fetch is leaving, then reset the group state.
+     */
+    void closeFetchCycle();
 
     /** Drain the prefetch queue into the hierarchy up to `now`. */
     void drainPrefetches(Cycle now);
@@ -176,6 +206,22 @@ class OooCore
     std::uint64_t deadlockLimit; ///< resolved cfg.deadlockCycles
     std::unique_ptr<DynOpSource> opSource;
     mem::Hierarchy &mem;
+
+    // ---- batched op delivery (see sim/dyn_op_source.hh) ----
+    bool useBatch;              ///< batchOpsEnabled() at construction
+    /**
+     * Zero-copy delivery: consume ops straight from the source's
+     * span view (trace chunk arrays) instead of copying reconstructed
+     * DynOps through opBuf. Starts as useBatch; demoted to false the
+     * first time the source reports noSpan (e.g. LiveSource).
+     */
+    bool useSpan;
+    OpSpanView curSpan;         ///< current zero-copy window
+    std::vector<DynOp> opBuf;   ///< local delivery buffer (batch path)
+    std::size_t batchPos = 0;   ///< next op in the delivery window
+    std::size_t batchLen = 0;   ///< ops in the delivery window
+    /** The source program's static decode cache (indexed by pcIndex). */
+    const isa::StaticDecode *decodeCache;
 
     std::unique_ptr<branch::DirectionPredictor> bp;
     prefetch::PrefetchQueue queue;
@@ -193,6 +239,12 @@ class OooCore
     std::vector<Cycle> robCommitCycle; ///< ring: commit cycle per slot
     std::vector<Cycle> lqCommitCycle;  ///< ring: load-queue slot frees
     std::vector<Cycle> sqCommitCycle;  ///< ring: store-queue slot frees
+    // Ring cursors maintained by wrap-around increment; equal to
+    // instCount % robSize (resp. loadCount % lqSize, storeCount %
+    // sqSize) at all times, without a per-op integer division.
+    std::size_t robSlot = 0;
+    std::size_t lqSlot = 0;
+    std::size_t sqSlot = 0;
     Cycle lastCommitCycle = 0;
 
     /** Per-cycle issued / load / commit counts (sparse rings). */

@@ -46,15 +46,14 @@ profileRegisterVariation(DynOpSource &source, std::uint64_t max_insts)
     };
     std::unordered_map<std::uint32_t, LoadHistory> loadHistories;
 
-    DynOp op;
-    while (result.instructions < max_insts && source.next(op)) {
+    // Per-op body, shared by batched and one-op-at-a-time delivery.
+    auto profileOne = [&](const DynOp &op, const isa::StaticDecode &sd) {
         ++result.instructions;
-        const isa::Instruction &inst = *op.inst;
-        if (op.writesReg && inst.rd != 0)
-            registers[inst.rd] = op.result;
+        if (op.writesReg && sd.rd != 0)
+            registers[sd.rd] = op.result;
 
-        if (inst.isLoad()) {
-            baseRegsThisBlock.push_back(inst.rs1);
+        if (sd.isLoad()) {
+            baseRegsThisBlock.push_back(sd.rs1);
 
             // Fig. 3b: EA deltas across executions of this static load.
             LoadHistory &history = loadHistories[op.pcIndex];
@@ -82,7 +81,7 @@ profileRegisterVariation(DynOpSource &source, std::uint64_t max_insts)
                 history.recent.pop_front();
         }
 
-        if (inst.isControl()) {
+        if (sd.isControl()) {
             // Basic-block boundary: sample Fig. 3a for the block's load
             // base registers, then snapshot the register file.
             for (std::size_t d = 0; d < VariationProfile::depths.size();
@@ -106,6 +105,19 @@ profileRegisterVariation(DynOpSource &source, std::uint64_t max_insts)
             snapshots[bbIndex % ringSize] = registers;
             ++result.basicBlocks;
         }
+    };
+
+    const isa::StaticDecode *decode =
+        source.program().decodeTable().data();
+    std::vector<DynOp> batch(batchOpsEnabled() ? opBatchSize : 1);
+    while (result.instructions < max_insts) {
+        std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(
+            batch.size(), max_insts - result.instructions));
+        std::size_t got = source.nextBatch(batch.data(), want);
+        if (got == 0)
+            break;
+        for (std::size_t i = 0; i < got; ++i)
+            profileOne(batch[i], decode[batch[i].pcIndex]);
     }
     (void)maxDepth;
     return result;

@@ -100,6 +100,65 @@ TraceBuffer::fetch(std::uint64_t i, DynOp &op) const
     op.targetPc = isa::instAddr(next_pc);
 }
 
+void
+TraceBuffer::fetchSpan(std::uint64_t start, std::size_t count,
+                       DynOp *out) const
+{
+    const isa::Instruction *insts = prog.insts().data();
+    const isa::StaticDecode *decode = prog.decodeTable().data();
+    std::uint64_t i = start;
+    std::size_t filled = 0;
+    while (filled < count) {
+        const Chunk &chunk =
+            *chunks[static_cast<std::size_t>(i / chunkOps)];
+        std::size_t k = static_cast<std::size_t>(i % chunkOps);
+        std::size_t span = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunkOps - k, count - filled));
+        const std::uint32_t *pcs = chunk.pcIndex.get();
+        const Addr *addrs = chunk.effAddr.get();
+        const RegVal *results = chunk.result.get();
+        const std::uint8_t *flag_bytes = chunk.flags.get();
+        for (std::size_t s = 0; s < span; ++s, ++k) {
+            DynOp &op = out[filled + s];
+            std::uint32_t pc_index = pcs[k];
+            std::uint8_t flags = flag_bytes[k];
+            op.pcIndex = pc_index;
+            op.pc = isa::instAddr(pc_index);
+            op.inst = &insts[pc_index];
+            op.seq = i + s + 1;
+            op.taken = (flags & takenFlag) != 0;
+            op.effAddr = addrs[k];
+            op.writesReg = (flags & writesRegFlag) != 0;
+            op.result = results[k];
+            std::uint32_t next_pc =
+                (decode[pc_index].isControl() && op.taken)
+                    ? insts[pc_index].target
+                    : pc_index + 1;
+            op.targetPc = isa::instAddr(next_pc);
+        }
+        filled += span;
+        i += span;
+    }
+}
+
+std::size_t
+TraceBuffer::spanAt(std::uint64_t start, std::size_t count,
+                    OpSpanView &span) const
+{
+    const Chunk &chunk =
+        *chunks[static_cast<std::size_t>(start / chunkOps)];
+    std::size_t k = static_cast<std::size_t>(start % chunkOps);
+    std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunkOps - k, count));
+    span.pcIndex = chunk.pcIndex.get() + k;
+    span.effAddr = chunk.effAddr.get() + k;
+    span.result = chunk.result.get() + k;
+    span.flags = chunk.flags.get() + k;
+    span.baseSeq = start + 1;
+    span.count = n;
+    return n;
+}
+
 std::uint64_t
 TraceBuffer::memoryBytes() const
 {
@@ -133,6 +192,49 @@ TraceReplay::next(DynOp &op)
     buf->fetch(cursor, op);
     ++cursor;
     return true;
+}
+
+std::size_t
+TraceReplay::nextBatch(DynOp *out, std::size_t max)
+{
+    if (cursor >= avail) {
+        avail = buf->size();
+        if (cursor >= avail) {
+            avail = buf->ensure(cursor + extendBatch);
+            if (cursor >= avail)
+                return 0; // program halted before this op
+        }
+    }
+    // Serve only what is already committed: a short batch is cheaper
+    // than extending the buffer past what the consumer may ever demand
+    // (it loops back here if it does want more).
+    std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max, avail - cursor));
+    buf->fetchSpan(cursor, n, out);
+    cursor += n;
+    return n;
+}
+
+std::size_t
+TraceReplay::nextSpan(OpSpanView &span, std::size_t max)
+{
+    if (cursor >= avail) {
+        avail = buf->size();
+        if (cursor >= avail) {
+            avail = buf->ensure(cursor + extendBatch);
+            if (cursor >= avail) {
+                span.count = 0;
+                return 0; // program halted before this op
+            }
+        }
+    }
+    // As with nextBatch, serve only committed ops; spans are clamped
+    // further to one chunk so the view is contiguous.
+    std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max, avail - cursor));
+    n = buf->spanAt(cursor, n, span);
+    cursor += n;
+    return n;
 }
 
 bool

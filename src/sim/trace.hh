@@ -73,6 +73,25 @@ class TraceBuffer
     /** Reconstruct op `i` (requires i < size()). */
     void fetch(std::uint64_t i, DynOp &op) const;
 
+    /**
+     * Reconstruct ops [start, start + count) into `out` (requires
+     * start + count <= size()). Equivalent to `count` fetch() calls but
+     * resolves the chunk pointer once per chunk-contiguous span, so the
+     * batched replay path pays no per-op chunk arithmetic.
+     */
+    void fetchSpan(std::uint64_t start, std::size_t count,
+                   DynOp *out) const;
+
+    /**
+     * Expose ops [start, start + count) as a zero-copy view of the
+     * chunk's structure-of-arrays storage (requires start + count <=
+     * size()); the returned length is clamped to the containing chunk,
+     * so it may be shorter than `count`. The arrays stay valid for the
+     * buffer's lifetime (chunks are allocated once and never moved).
+     */
+    std::size_t spanAt(std::uint64_t start, std::size_t count,
+                       OpSpanView &span) const;
+
     /** The traced program. */
     const isa::Program &program() const { return prog; }
 
@@ -104,8 +123,10 @@ class TraceBuffer
         std::unique_ptr<std::uint8_t[]> flags;
     };
 
-    static constexpr std::uint8_t takenFlag = 1;
-    static constexpr std::uint8_t writesRegFlag = 2;
+    // Flag-byte layout is shared with the zero-copy span consumers.
+    static constexpr std::uint8_t takenFlag = OpSpanView::takenFlag;
+    static constexpr std::uint8_t writesRegFlag =
+        OpSpanView::writesRegFlag;
 
     const isa::Program &prog;
     Executor exec;                 ///< extension executor (extendMutex)
@@ -132,8 +153,14 @@ class TraceReplay : public DynOpSource
     explicit TraceReplay(std::shared_ptr<TraceBuffer> buffer);
 
     bool next(DynOp &op) override;
+    std::size_t nextBatch(DynOp *out, std::size_t max) override;
+    std::size_t nextSpan(OpSpanView &span, std::size_t max) override;
     bool halted() const override;
     InstSeqNum produced() const override { return cursor; }
+    const isa::Program &program() const override
+    {
+        return buf->program();
+    }
 
     /** The shared buffer this cursor walks. */
     const std::shared_ptr<TraceBuffer> &buffer() const { return buf; }

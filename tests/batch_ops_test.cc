@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Batched op delivery tests: nextBatch and zero-copy nextSpan stream
+ * identity against the one-op path for live and replayed sources,
+ * batch/span boundary behaviour (halt mid-batch, batches larger than
+ * the recorded trace, chunk crossings and clamping, noSpan fallback),
+ * fault propagation from a mid-batch trace extension, and
+ * the bit-identity bar of the hot-loop overhaul — CoreStats byte-equal
+ * between BFSIM_BATCH_OPS=0 and batched delivery, over live and
+ * trace-replay sources, serial and parallel harness runs.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
+#include "harness/batch.hh"
+#include "harness/experiment.hh"
+#include "harness/fault.hh"
+#include "isa/assembler.hh"
+#include "mem/hierarchy.hh"
+#include "sim/dyn_op_source.hh"
+#include "sim/ooo_core.hh"
+#include "sim/trace.hh"
+#include "workloads/workload.hh"
+
+namespace bfsim::sim {
+namespace {
+
+using isa::Assembler;
+using isa::Program;
+
+/** Save/restore the process-global batched-delivery flag. */
+class BatchOpsGuard
+{
+  public:
+    BatchOpsGuard() : saved(batchOpsEnabled()) {}
+    ~BatchOpsGuard() { setBatchOpsEnabled(saved); }
+
+  private:
+    bool saved;
+};
+
+/** Drain up to `max_ops` ops one next() call at a time. */
+std::vector<DynOp>
+collectPerOp(DynOpSource &source, std::uint64_t max_ops)
+{
+    std::vector<DynOp> ops;
+    DynOp op;
+    while (ops.size() < max_ops && source.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+/** Drain up to `max_ops` ops via nextBatch refills of `batch_size`. */
+std::vector<DynOp>
+collectBatched(DynOpSource &source, std::uint64_t max_ops,
+               std::size_t batch_size)
+{
+    std::vector<DynOp> ops;
+    std::vector<DynOp> buf(batch_size);
+    while (ops.size() < max_ops) {
+        std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(
+            batch_size, max_ops - ops.size()));
+        std::size_t got = source.nextBatch(buf.data(), want);
+        if (got == 0)
+            break;
+        ops.insert(ops.end(), buf.begin(), buf.begin() + got);
+    }
+    return ops;
+}
+
+/**
+ * Drain up to `max_ops` ops via zero-copy spans of at most `max_span`,
+ * rebuilding each op from the column arrays exactly as the timing
+ * model's span path does. Returns empty if the source has no spans.
+ */
+std::vector<DynOp>
+collectSpans(DynOpSource &source, std::uint64_t max_ops,
+             std::size_t max_span)
+{
+    std::vector<DynOp> ops;
+    OpSpanView span;
+    while (ops.size() < max_ops) {
+        std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(
+            max_span, max_ops - ops.size()));
+        std::size_t got = source.nextSpan(span, want);
+        if (got == DynOpSource::noSpan || got == 0)
+            break;
+        EXPECT_EQ(got, span.count);
+        EXPECT_LE(got, want);
+        for (std::size_t s = 0; s < got; ++s) {
+            DynOp op;
+            op.pcIndex = span.pcIndex[s];
+            op.pc = isa::instAddr(op.pcIndex);
+            op.seq = span.baseSeq + s;
+            op.taken = (span.flags[s] & OpSpanView::takenFlag) != 0;
+            op.effAddr = span.effAddr[s];
+            op.writesReg =
+                (span.flags[s] & OpSpanView::writesRegFlag) != 0;
+            op.result = span.result[s];
+            ops.push_back(op);
+        }
+    }
+    return ops;
+}
+
+/**
+ * Compare the fields a span view carries (everything in a DynOp except
+ * `inst` and `targetPc`, which the batched timing path never reads).
+ */
+void
+expectSameSpanFields(const std::vector<DynOp> &a,
+                     const std::vector<DynOp> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pcIndex, b[i].pcIndex) << "op " << i;
+        EXPECT_EQ(a[i].pc, b[i].pc) << "op " << i;
+        EXPECT_EQ(a[i].seq, b[i].seq) << "op " << i;
+        EXPECT_EQ(a[i].taken, b[i].taken) << "op " << i;
+        EXPECT_EQ(a[i].effAddr, b[i].effAddr) << "op " << i;
+        EXPECT_EQ(a[i].writesReg, b[i].writesReg) << "op " << i;
+        EXPECT_EQ(a[i].result, b[i].result) << "op " << i;
+    }
+}
+
+void
+expectSameStream(const std::vector<DynOp> &a, const std::vector<DynOp> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pcIndex, b[i].pcIndex) << "op " << i;
+        EXPECT_EQ(a[i].pc, b[i].pc) << "op " << i;
+        EXPECT_EQ(a[i].inst, b[i].inst) << "op " << i;
+        EXPECT_EQ(a[i].seq, b[i].seq) << "op " << i;
+        EXPECT_EQ(a[i].taken, b[i].taken) << "op " << i;
+        EXPECT_EQ(a[i].targetPc, b[i].targetPc) << "op " << i;
+        EXPECT_EQ(a[i].effAddr, b[i].effAddr) << "op " << i;
+        EXPECT_EQ(a[i].writesReg, b[i].writesReg) << "op " << i;
+        EXPECT_EQ(a[i].result, b[i].result) << "op " << i;
+    }
+}
+
+/** A short halting program with branches, loads, stores and r0. */
+Program
+haltingProgram(int iterations)
+{
+    Assembler as;
+    as.movi(isa::R1, iterations);
+    as.movi(isa::R2, 0x8000);
+    as.movi(isa::R3, 0);
+    as.label("loop");
+    as.store(isa::R1, isa::R2, 0);
+    as.load(isa::R4, isa::R2, 0);
+    as.add(isa::R3, isa::R3, isa::R4);
+    as.addi(isa::R2, isa::R2, 8);
+    as.addi(isa::R1, isa::R1, -1);
+    as.bne(isa::R1, isa::R0, "loop");
+    as.halt();
+    return as.assemble();
+}
+
+const Program &
+workloadProgram(const char *name)
+{
+    return workloads::workloadByName(name).program;
+}
+
+// ------------------------------------------------ stream identity
+
+TEST(NextBatch, LiveSourceMatchesPerOpStream)
+{
+    const Program &p = workloadProgram("libquantum");
+    LiveSource per_op(p), batched(p);
+    // A batch size that is no divisor of anything interesting, so
+    // refills land at arbitrary offsets.
+    expectSameStream(collectPerOp(per_op, 40000),
+                     collectBatched(batched, 40000, 997));
+}
+
+TEST(NextBatch, TraceReplayMatchesPerOpStreamAcrossChunks)
+{
+    const Program &p = workloadProgram("libquantum");
+    auto buffer = std::make_shared<TraceBuffer>(p);
+    TraceReplay per_op(buffer), batched(buffer);
+    // 40000 ops cross TraceBuffer chunk boundaries (chunkOps = 16384),
+    // exercising fetchSpan's per-chunk span stitching.
+    expectSameStream(collectPerOp(per_op, 40000),
+                     collectBatched(batched, 40000, 999));
+}
+
+TEST(NextSpan, TraceReplayMatchesPerOpStreamAcrossChunks)
+{
+    const Program &p = workloadProgram("libquantum");
+    auto buffer = std::make_shared<TraceBuffer>(p);
+    TraceReplay per_op(buffer), spanned(buffer);
+    // 40000 ops cross chunk boundaries (chunkOps = 16384); spans must
+    // clamp there and resume seamlessly in the next chunk.
+    expectSameSpanFields(collectPerOp(per_op, 40000),
+                         collectSpans(spanned, 40000, 997));
+}
+
+TEST(NextSpan, SpansClampToChunkBoundary)
+{
+    const Program &p = workloadProgram("libquantum");
+    auto buffer = std::make_shared<TraceBuffer>(p);
+    buffer->ensure(TraceBuffer::chunkOps + 100);
+    TraceReplay replay(buffer);
+    OpSpanView span;
+    // An oversized request is served up to the chunk edge, never
+    // through it (the view must stay one contiguous array slice).
+    std::size_t got =
+        replay.nextSpan(span, static_cast<std::size_t>(
+                                  2 * TraceBuffer::chunkOps));
+    EXPECT_EQ(got, TraceBuffer::chunkOps);
+    EXPECT_EQ(span.baseSeq, 1u);
+    // The follow-up span starts exactly at the boundary.
+    got = replay.nextSpan(span, 50);
+    EXPECT_EQ(got, 50u);
+    EXPECT_EQ(span.baseSeq, TraceBuffer::chunkOps + 1);
+}
+
+TEST(NextSpan, LiveSourceReportsNoSpan)
+{
+    const Program &p = workloadProgram("libquantum");
+    LiveSource src(p);
+    OpSpanView span;
+    EXPECT_EQ(src.nextSpan(span, 64), DynOpSource::noSpan);
+}
+
+TEST(NextSpan, HaltReturnsZeroAfterStreamEnd)
+{
+    Program p = haltingProgram(10);
+    LiveSource ref(p);
+    std::uint64_t total = collectPerOp(ref, 1u << 20).size();
+    ASSERT_GT(total, 0u);
+
+    TraceCapture capture(p);
+    EXPECT_EQ(collectSpans(capture, 1u << 20, 64).size(), total);
+    OpSpanView span;
+    EXPECT_EQ(capture.nextSpan(span, 64), 0u);
+    EXPECT_TRUE(capture.halted());
+}
+
+// ------------------------------------------------ batch boundaries
+
+TEST(NextBatch, HaltMidBatchReturnsShortThenZero)
+{
+    Program p = haltingProgram(10);
+    LiveSource per_op(p);
+    std::uint64_t total = collectPerOp(per_op, 1u << 20).size();
+    ASSERT_GT(total, 0u);
+
+    LiveSource src(p);
+    std::vector<DynOp> buf(total + 1000);
+    // One oversized request: the program halts mid-batch, so the batch
+    // comes back short...
+    EXPECT_EQ(src.nextBatch(buf.data(), buf.size()), total);
+    EXPECT_TRUE(src.halted());
+    // ...and every later request returns 0, not garbage.
+    EXPECT_EQ(src.nextBatch(buf.data(), buf.size()), 0u);
+}
+
+TEST(NextBatch, TraceReplayHaltMidBatch)
+{
+    Program p = haltingProgram(10);
+    LiveSource ref(p);
+    std::uint64_t total = collectPerOp(ref, 1u << 20).size();
+
+    TraceCapture capture(p);
+    std::vector<DynOp> buf(total + 1000);
+    std::uint64_t got = 0;
+    // The replay cursor extends the buffer in bounded steps, so it may
+    // serve several short batches before reaching the halt.
+    for (;;) {
+        std::size_t n = capture.nextBatch(buf.data(), buf.size());
+        if (n == 0)
+            break;
+        got += n;
+    }
+    EXPECT_EQ(got, total);
+    EXPECT_TRUE(capture.halted());
+}
+
+TEST(NextBatch, BatchLargerThanRecordedTraceServesCommittedThenExtends)
+{
+    const Program &p = workloadProgram("mcf");
+    auto buffer = std::make_shared<TraceBuffer>(p);
+    buffer->ensure(100);
+    ASSERT_EQ(buffer->size(), 100u);
+
+    TraceReplay replay(buffer);
+    std::vector<DynOp> buf(4096);
+    // The first oversized request serves exactly the committed ops (a
+    // short batch is cheaper than over-extending the shared buffer)...
+    EXPECT_EQ(replay.nextBatch(buf.data(), buf.size()), 100u);
+    // ...and the next request transparently extends past the end.
+    EXPECT_GT(replay.nextBatch(buf.data(), buf.size()), 0u);
+}
+
+// ------------------------------------------------ fault propagation
+
+TEST(NextBatch, MidBatchTraceFaultPropagates)
+{
+    const Program &p = workloadProgram("libquantum");
+    TraceCapture capture(p);
+    std::vector<DynOp> buf(1024);
+    // Consume a healthy prefix first, so the fault strikes a mid-run
+    // extension rather than the initial one.
+    ASSERT_EQ(capture.nextBatch(buf.data(), buf.size()), buf.size());
+
+    harness::ScopedFault fault(fault::Site::TraceExtend, 0);
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 64; ++i)
+                if (capture.nextBatch(buf.data(), buf.size()) == 0)
+                    break;
+        },
+        SimError);
+    EXPECT_TRUE(fault.fired());
+}
+
+// ------------------------------------------------ timing bit-identity
+
+CoreStats
+runCoreStats(std::unique_ptr<DynOpSource> source, std::uint64_t insts)
+{
+    CoreConfig cfg;
+    cfg.prefetcher = PrefetcherKind::BFetch;
+    mem::Hierarchy hierarchy{mem::HierarchyConfig{}};
+    OooCore core(0, cfg, std::move(source), hierarchy);
+    while (core.retired() < insts && core.stepInstruction()) {
+    }
+    return core.stats();
+}
+
+TEST(BatchIdentity, CoreStatsByteIdenticalAcrossModesAndSources)
+{
+    BatchOpsGuard guard;
+    const Program &p = workloadProgram("mcf");
+    constexpr std::uint64_t insts = 30000;
+
+    setBatchOpsEnabled(false);
+    CoreStats ref = runCoreStats(std::make_unique<LiveSource>(p), insts);
+
+    struct Case
+    {
+        const char *name;
+        bool batch;
+        bool trace;
+    };
+    for (const Case &c : {Case{"batched live", true, false},
+                          Case{"one-op trace", false, true},
+                          Case{"batched trace", true, true}}) {
+        setBatchOpsEnabled(c.batch);
+        std::unique_ptr<DynOpSource> source;
+        if (c.trace)
+            source = std::make_unique<TraceCapture>(p);
+        else
+            source = std::make_unique<LiveSource>(p);
+        CoreStats stats = runCoreStats(std::move(source), insts);
+        EXPECT_EQ(std::memcmp(&stats, &ref, sizeof(CoreStats)), 0)
+            << c.name;
+    }
+}
+
+/** IPCs of a small sweep, with the caches cleared so nothing leaks
+ *  between modes (the memo key does not include the batch mode). */
+std::vector<CoreStats>
+runSweepStats(unsigned threads)
+{
+    harness::clearMemoCaches();
+    harness::clearTraceCache();
+    harness::RunOptions options;
+    options.instructions = 20000;
+    std::vector<harness::BatchJob> jobs;
+    for (const char *w : {"libquantum", "mcf"}) {
+        for (sim::PrefetcherKind kind :
+             {PrefetcherKind::None, PrefetcherKind::BFetch}) {
+            jobs.push_back(harness::BatchJob::single(w, kind, options));
+        }
+    }
+    harness::BatchResult batch =
+        harness::runBatch(jobs, threads, nullptr);
+    std::vector<CoreStats> stats;
+    for (const harness::BatchItem &item : batch.items) {
+        EXPECT_FALSE(item.failed) << item.error;
+        stats.push_back(item.single->core);
+    }
+    return stats;
+}
+
+TEST(BatchIdentity, HarnessResultsIdenticalAcrossModesAndThreadCounts)
+{
+    BatchOpsGuard guard;
+
+    setBatchOpsEnabled(false);
+    std::vector<CoreStats> ref = runSweepStats(1);
+
+    struct Case
+    {
+        const char *name;
+        bool batch;
+        unsigned threads;
+    };
+    for (const Case &c : {Case{"one-op parallel", false, 4},
+                          Case{"batched serial", true, 1},
+                          Case{"batched parallel", true, 4}}) {
+        setBatchOpsEnabled(c.batch);
+        std::vector<CoreStats> stats = runSweepStats(c.threads);
+        ASSERT_EQ(stats.size(), ref.size()) << c.name;
+        for (std::size_t i = 0; i < stats.size(); ++i) {
+            EXPECT_EQ(
+                std::memcmp(&stats[i], &ref[i], sizeof(CoreStats)), 0)
+                << c.name << " job " << i;
+        }
+    }
+    // Leave the shared caches clean for whatever test runs next.
+    harness::clearMemoCaches();
+    harness::clearTraceCache();
+}
+
+} // namespace
+} // namespace bfsim::sim
