@@ -43,6 +43,7 @@
 #include "harness/experiment.hh"
 #include "harness/mixes.hh"
 #include "harness/report.hh"
+#include "sim/trace_store.hh"
 #include "workloads/workload.hh"
 
 namespace bfsim::benchutil {
@@ -58,6 +59,12 @@ struct BenchConfig
     std::string perfReportPath;
     /** Workload-subset substring filter ("" = whole suite). */
     std::string filter;
+    /**
+     * On-disk trace store directory ("" = BFSIM_TRACE_DIR env, or
+     * disabled). Captured DynOp streams persist here across processes;
+     * see sim/trace_store.hh.
+     */
+    std::string traceDir;
     /** Retries / fail-fast / per-job deadline (env-seeded, flags win). */
     harness::BatchOptions batchOptions = harness::BatchOptions::fromEnv();
 };
@@ -144,15 +151,17 @@ listWorkloadsAndExit()
 /**
  * Parse and strip the shared batch flags (--jobs=N / --jobs N /
  * --report=PATH / --report PATH / --perf-report=PATH /
- * --filter=SUBSTR / --filter SUBSTR /
+ * --filter=SUBSTR / --filter SUBSTR / --trace-dir=DIR / --trace-dir DIR /
  * --retries=N / --retries N / --fail-fast / --deadline=SECONDS /
  * --deadline SECONDS / --list) from argv before google-benchmark sees
  * the remaining arguments. BFSIM_REPORT / BFSIM_PERF_REPORT seed the
- * report paths and
+ * report paths, BFSIM_TRACE_DIR seeds the trace-store directory, and
  * BFSIM_RETRIES / BFSIM_FAIL_FAST / BFSIM_JOB_DEADLINE seed the
  * failure policy; explicit flags win. --filter restricts every
  * per-workload sweep, table row and geomean to workloads whose name
- * contains SUBSTR; --list prints the (filtered) suite and exits.
+ * contains SUBSTR; --trace-dir persists captured DynOp traces in DIR
+ * so later processes skip functional capture; --list prints the
+ * (filtered) suite and exits.
  */
 inline BenchConfig
 parseBenchConfig(int &argc, char **argv)
@@ -214,6 +223,12 @@ parseBenchConfig(int &argc, char **argv)
             if (i + 1 >= argc)
                 fatal("--filter expects a substring");
             config.filter = argv[++i];
+        } else if (arg.rfind("--trace-dir=", 0) == 0) {
+            config.traceDir = arg.substr(12);
+        } else if (arg == "--trace-dir") {
+            if (i + 1 >= argc)
+                fatal("--trace-dir expects a directory");
+            config.traceDir = argv[++i];
         } else if (arg.rfind("--retries=", 0) == 0) {
             config.batchOptions.retries = parse_retries(arg.substr(10));
         } else if (arg == "--retries") {
@@ -239,6 +254,8 @@ parseBenchConfig(int &argc, char **argv)
     argc = out;
     argv[argc] = nullptr;
     activeWorkloadFilter() = config.filter;
+    if (!config.traceDir.empty())
+        sim::trace_store::setDirectory(config.traceDir);
     if (list)
         listWorkloadsAndExit();
     return config;
@@ -274,6 +291,22 @@ runSweep(const std::string &bench_name, const BenchConfig &config,
                      static_cast<double>(insts) / 1e6,
                      batch.simSeconds(), batch.mips(),
                      sim::batchOpsEnabled() ? "on" : "off");
+    }
+    if (sim::trace_store::enabled()) {
+        sim::trace_store::Stats disk = sim::trace_store::stats();
+        harness::TraceCacheStats trace = harness::traceCacheStats();
+        std::fprintf(stderr,
+                     "%s: trace store %llu hit(s), %llu miss(es), "
+                     "%llu fallback(s); wrote %.1f KB (%.2f B/op), "
+                     "read %.1f KB; capture %.2fs, decode %.2fs\n",
+                     bench_name.c_str(),
+                     static_cast<unsigned long long>(disk.hits),
+                     static_cast<unsigned long long>(disk.misses),
+                     static_cast<unsigned long long>(disk.fallbacks),
+                     static_cast<double>(disk.bytesWritten) / 1024.0,
+                     disk.bytesPerOp(),
+                     static_cast<double>(disk.bytesRead) / 1024.0,
+                     trace.captureSeconds, disk.decodeSeconds);
     }
     if (std::size_t failures = batch.failures()) {
         sweepFailureCount() += failures;

@@ -1,0 +1,37 @@
+#include "common/checksum.hh"
+
+#include <array>
+
+namespace bfsim {
+
+namespace {
+
+/** CRC-32C (Castagnoli, reflected polynomial 0x82f63b78) byte table. */
+constexpr std::array<std::uint32_t, 256>
+makeCrc32cTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0u);
+        table[i] = crc;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint32_t, 256> crcTable = makeCrc32cTable();
+
+} // namespace
+
+std::uint32_t
+crc32c(const void *data, std::size_t len, std::uint32_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ crcTable[(crc ^ bytes[i]) & 0xffu];
+    return ~crc;
+}
+
+} // namespace bfsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Data-integrity primitives for on-disk artifacts.
+ *
+ * Two independent jobs, two functions:
+ *
+ *  - crc32c(): the Castagnoli CRC used to frame trace-store chunks and
+ *    headers, so a truncated write, a flipped bit or a stale partial
+ *    file is detected *before* its payload is trusted. Table-driven
+ *    software implementation; throughput is far above the decode rates
+ *    the trace store needs.
+ *
+ *  - Fnv1a64: a streaming 64-bit FNV-1a content hash, used to key
+ *    artifacts by what they were captured *from* (program text + data
+ *    image), so an edited workload silently invalidates its stored
+ *    traces instead of replaying a stale stream.
+ */
+
+#ifndef BFSIM_COMMON_CHECKSUM_HH_
+#define BFSIM_COMMON_CHECKSUM_HH_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bfsim {
+
+/**
+ * CRC-32C (Castagnoli) of `len` bytes at `data`, continuing from
+ * `seed` (pass a previous return value to checksum in pieces; 0 starts
+ * a fresh checksum).
+ */
+std::uint32_t crc32c(const void *data, std::size_t len,
+                     std::uint32_t seed = 0);
+
+/** Streaming 64-bit FNV-1a hasher. */
+class Fnv1a64
+{
+  public:
+    /** Absorb `len` raw bytes. */
+    Fnv1a64 &
+    update(const void *data, std::size_t len)
+    {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            state ^= bytes[i];
+            state *= prime;
+        }
+        return *this;
+    }
+
+    /**
+     * Absorb one integral value by its little-endian byte expansion
+     * (explicit widening, so the hash never depends on the host's
+     * struct padding or the caller's integer width).
+     */
+    Fnv1a64 &
+    update64(std::uint64_t value)
+    {
+        for (int i = 0; i < 8; ++i) {
+            state ^= static_cast<unsigned char>(value >> (i * 8));
+            state *= prime;
+        }
+        return *this;
+    }
+
+    /** The hash of everything absorbed so far. */
+    std::uint64_t value() const { return state; }
+
+  private:
+    static constexpr std::uint64_t offsetBasis = 0xcbf29ce484222325ull;
+    static constexpr std::uint64_t prime = 0x100000001b3ull;
+
+    std::uint64_t state = offsetBasis;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_COMMON_CHECKSUM_HH_

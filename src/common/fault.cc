@@ -64,6 +64,7 @@ siteName(Site site)
       case Site::TraceExtend: return "trace";
       case Site::CacheAccess: return "cache";
       case Site::ReportWrite: return "report";
+      case Site::TraceStore: return "trace_store";
       case Site::siteCount: break;
     }
     return "?";

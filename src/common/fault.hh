@@ -11,7 +11,8 @@
  *
  *  - `site`  names the injection point: `step` (functional executor
  *    step), `trace` (trace-capture extension), `cache` (memory
- *    hierarchy access), `report` (batch report write).
+ *    hierarchy access), `report` (batch report write), `trace_store`
+ *    (on-disk trace artifact open / chunk decode).
  *  - `nth`   selects the fault *scope*: batch jobs are numbered 1..N in
  *    submission order and each job attempt runs inside its own scope,
  *    so `cache:4` fails job 4 — deterministically, serial or parallel.
@@ -50,10 +51,11 @@ enum class Site : unsigned
     TraceExtend,      ///< sim::TraceBuffer::ensure extension ("trace")
     CacheAccess,      ///< mem::Hierarchy::access ("cache")
     ReportWrite,      ///< harness::writeBatchReportFile ("report")
+    TraceStore,       ///< trace_store artifact open/decode ("trace_store")
     siteCount
 };
 
-/** Spec name of a site ("step", "trace", "cache", "report"). */
+/** Spec name of a site ("step", "trace", "cache", "report", ...). */
 const char *siteName(Site site);
 
 /** Parse a spec site name. @return false on unknown names. */

@@ -169,6 +169,8 @@ runJob(RunState &state, std::size_t index)
         item.traceHits += caches.traceHits;
         item.traceMisses += caches.traceMisses;
         item.traceFallbacks += caches.traceFallbacks;
+        item.traceDiskHits += caches.traceDiskHits;
+        item.traceDiskMisses += caches.traceDiskMisses;
         if (!item.failed || attempt > state.options.retries)
             break;
         // Simulation jobs are deterministic and their failed memo entry
@@ -450,6 +452,12 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned n_threads,
     }
     for (const BatchItem &item : batch.items)
         batch.cpuSeconds += item.seconds;
+
+    // Persist fresh/grown captures to the on-disk trace store (no-op
+    // unless BFSIM_TRACE_DIR / --trace-dir configured one): once per
+    // batch, after the jobs, so job timings never include artifact
+    // serialization.
+    persistTraceStore();
     return batch;
 }
 

@@ -77,6 +77,10 @@ struct BatchItem
     std::uint64_t traceMisses = 0;
     /** Trace-path failures this job degraded to live execution. */
     std::uint64_t traceFallbacks = 0;
+    /** Trace buffers this job seeded from an on-disk store artifact. */
+    std::uint64_t traceDiskHits = 0;
+    /** Disk-store lookups this job made that found no usable artifact. */
+    std::uint64_t traceDiskMisses = 0;
     /** True when the job failed every attempt (or was skipped/timed out). */
     bool failed = false;
     /** what() of the final failure; empty when !failed. */

@@ -14,6 +14,7 @@
 #include "common/log.hh"
 #include "common/sim_error.hh"
 #include "sim/trace.hh"
+#include "sim/trace_store.hh"
 
 namespace bfsim::harness {
 
@@ -201,6 +202,37 @@ traceCacheFlag()
 thread_local ThreadCacheCounters threadCacheCounters;
 
 /**
+ * Buffers eligible for persistence to the on-disk store, keyed by the
+ * trace-cache key so each buffer registers once. Weak references: the
+ * trace cache owns the buffers; persistTraceStore only saves the ones
+ * still resident.
+ */
+struct StoreRegistry
+{
+    std::mutex mutex;
+    std::map<std::string, std::pair<sim::trace_store::Key,
+                                    std::weak_ptr<sim::TraceBuffer>>>
+        entries;
+};
+
+StoreRegistry &
+storeRegistry()
+{
+    static StoreRegistry registry;
+    return registry;
+}
+
+void
+registerForPersist(const std::string &cache_key,
+                   sim::trace_store::Key key,
+                   const std::shared_ptr<sim::TraceBuffer> &buffer)
+{
+    StoreRegistry &registry = storeRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.entries[cache_key] = {std::move(key), buffer};
+}
+
+/**
  * Produce one core's dynamic-op source for `workload_name`: a shared
  * trace cursor when the trace cache is on (TraceCapture for the
  * requester that created the buffer, TraceReplay for everyone reusing
@@ -229,8 +261,30 @@ makeSource(const std::string &workload_name, const RunOptions &options)
             traceCache().getOrCompute(
                 key,
                 [&] {
-                    auto b = std::make_shared<sim::TraceBuffer>(
-                        workload.program);
+                    std::shared_ptr<sim::TraceBuffer> b;
+                    if (sim::trace_store::enabled()) {
+                        // Second tier: seed the buffer from an on-disk
+                        // artifact when a valid one exists (skipping
+                        // functional capture entirely), and register
+                        // the buffer for persistence either way so the
+                        // batch-end save writes new or grown streams.
+                        auto store_key = sim::trace_store::makeKey(
+                            workload_name, options.instructions,
+                            workload.program);
+                        auto artifact = sim::trace_store::openArtifact(
+                            store_key, workload.program);
+                        b = artifact
+                                ? std::make_shared<sim::TraceBuffer>(
+                                      workload.program,
+                                      std::move(artifact))
+                                : std::make_shared<sim::TraceBuffer>(
+                                      workload.program);
+                        registerForPersist(key, std::move(store_key),
+                                           b);
+                    } else {
+                        b = std::make_shared<sim::TraceBuffer>(
+                            workload.program);
+                    }
                     // Probe the first extension now, while falling back
                     // to live execution is still possible.
                     b->ensure(1);
@@ -401,6 +455,7 @@ traceCacheStats()
         [&stats](const std::shared_ptr<sim::TraceBuffer> &buffer) {
             stats.opsExecuted += buffer->size();
             stats.residentBytes += buffer->memoryBytes();
+            stats.captureSeconds += buffer->captureSeconds();
         });
     return stats;
 }
@@ -409,6 +464,33 @@ void
 clearTraceCache()
 {
     traceCache().clear();
+    StoreRegistry &registry = storeRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.entries.clear();
+}
+
+std::size_t
+persistTraceStore()
+{
+    if (!sim::trace_store::enabled())
+        return 0;
+    std::vector<std::pair<sim::trace_store::Key,
+                          std::shared_ptr<sim::TraceBuffer>>>
+        resident;
+    {
+        StoreRegistry &registry = storeRegistry();
+        std::lock_guard<std::mutex> lock(registry.mutex);
+        for (const auto &[cache_key, entry] : registry.entries) {
+            if (auto buffer = entry.second.lock())
+                resident.emplace_back(entry.first, std::move(buffer));
+        }
+    }
+    std::size_t written = 0;
+    for (const auto &[key, buffer] : resident) {
+        if (sim::trace_store::saveArtifact(key, *buffer))
+            ++written;
+    }
+    return written;
 }
 
 ThreadCacheCounters
@@ -416,6 +498,11 @@ takeThreadCacheCounters()
 {
     ThreadCacheCounters counters = threadCacheCounters;
     threadCacheCounters = ThreadCacheCounters{};
+    sim::trace_store::ThreadCounters disk =
+        sim::trace_store::takeThreadCounters();
+    counters.traceDiskHits += disk.hits;
+    counters.traceDiskMisses += disk.misses;
+    counters.traceFallbacks += disk.fallbacks;
     return counters;
 }
 

@@ -170,6 +170,14 @@ struct TraceCacheStats
     std::uint64_t opsExecuted = 0;
     /** Bytes of trace storage currently resident. */
     std::uint64_t residentBytes = 0;
+    /**
+     * Wall seconds spent acquiring ops by live functional execution
+     * across all resident buffers. On a warm disk-store run this
+     * collapses toward zero (decode time is reported separately under
+     * the trace_store stats); the cold-vs-warm ratio of acquisition
+     * time is the store's measured benefit.
+     */
+    double captureSeconds = 0.0;
 };
 
 /** Snapshot of the trace-cache counters. */
@@ -190,12 +198,30 @@ struct ThreadCacheCounters
 {
     std::uint64_t traceHits = 0;   ///< sources attached to a cached trace
     std::uint64_t traceMisses = 0; ///< sources that created a new trace
-    /** Trace-path failures gracefully degraded to live execution. */
+    /**
+     * Trace-path failures gracefully degraded to live execution —
+     * in-memory capture probes AND disk-store artifacts rejected at
+     * open or mid-decode (both tiers degrade the same way).
+     */
     std::uint64_t traceFallbacks = 0;
+    /** Trace buffers seeded from an on-disk store artifact. */
+    std::uint64_t traceDiskHits = 0;
+    /** Store lookups that found no usable artifact (captured live). */
+    std::uint64_t traceDiskMisses = 0;
 };
 
 /** Return this thread's counters accumulated since the last take. */
 ThreadCacheCounters takeThreadCacheCounters();
+
+/**
+ * Write every resident trace buffer to the on-disk store
+ * (sim::trace_store) when one is configured: new captures become
+ * artifacts, and buffers that grew past a stale artifact rewrite it.
+ * Called by runBatch after the last job so capture work is persisted
+ * once per process, not once per job. Safe to call repeatedly — saves
+ * of up-to-date artifacts are skipped. @return artifacts written.
+ */
+std::size_t persistTraceStore();
 
 /**
  * Drop all memoized results and reset the counters. Test support only:

@@ -12,6 +12,7 @@
 #include "common/stats.hh"
 #include "harness/fault.hh"
 #include "sim/ooo_core.hh"
+#include "sim/trace_store.hh"
 
 namespace bfsim::harness {
 
@@ -152,7 +153,21 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
        << ", \"buffers\": " << trace.buffers
        << ", \"attaches\": " << trace.attaches
        << ", \"ops_executed\": " << trace.opsExecuted
-       << ", \"resident_bytes\": " << trace.residentBytes << "}\n";
+       << ", \"resident_bytes\": " << trace.residentBytes
+       << ", \"capture_seconds\": "
+       << jsonNumber(trace.captureSeconds) << "},\n";
+    sim::trace_store::Stats disk = sim::trace_store::stats();
+    os << "    \"trace_disk\": {\"enabled\": "
+       << (sim::trace_store::enabled() ? "true" : "false")
+       << ", \"hits\": " << disk.hits << ", \"misses\": " << disk.misses
+       << ", \"fallbacks\": " << disk.fallbacks
+       << ", \"bytes_written\": " << disk.bytesWritten
+       << ", \"bytes_read\": " << disk.bytesRead
+       << ", \"ops_written\": " << disk.opsWritten
+       << ", \"ops_read\": " << disk.opsRead
+       << ", \"bytes_per_op\": " << jsonNumber(disk.bytesPerOp())
+       << ", \"decode_seconds\": " << jsonNumber(disk.decodeSeconds)
+       << "}\n";
     os << "  },\n";
     os << "  \"results\": [\n";
     for (std::size_t i = 0; i < batch.items.size(); ++i) {
@@ -164,6 +179,8 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
            << ", \"trace_hits\": " << item.traceHits
            << ", \"trace_misses\": " << item.traceMisses
            << ", \"trace_fallbacks\": " << item.traceFallbacks
+           << ", \"trace_disk_hits\": " << item.traceDiskHits
+           << ", \"trace_disk_misses\": " << item.traceDiskMisses
            << ", \"failed\": " << (item.failed ? "true" : "false")
            << ", \"attempts\": " << item.attempts;
         if (item.failed) {

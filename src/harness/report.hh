@@ -43,11 +43,14 @@ double seriesGeomean(const SpeedupSeries &series,
 /**
  * Serialize a batch outcome as JSON: batch-level threads / wall seconds
  * / serial-equivalent cpu seconds / measured speedup / failure count
- * and a process-wide memo/trace cache snapshot, plus one entry per job
- * with its label, kind, timing, memo-cache status, per-job trace-cache
- * hit/miss/fallback counts, failure state (`failed`, `attempts`, and
- * `error` in place of metrics when failed) and headline metrics
- * (per-core IPC, weighted speedup, custom value).
+ * and a process-wide memo/trace cache snapshot (`caches.trace` for the
+ * in-memory tier including `capture_seconds`, `caches.trace_disk` for
+ * the on-disk store with hit/miss/fallback counts, bytes written/read,
+ * `bytes_per_op` and `decode_seconds`), plus one entry per job with its
+ * label, kind, timing, memo-cache status, per-job trace-cache
+ * hit/miss/fallback and disk-tier hit/miss counts, failure state
+ * (`failed`, `attempts`, and `error` in place of metrics when failed)
+ * and headline metrics (per-core IPC, weighted speedup, custom value).
  */
 void writeBatchReportJson(std::ostream &os, const std::string &bench_name,
                           const BatchResult &batch);

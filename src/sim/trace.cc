@@ -1,16 +1,63 @@
 #include "sim/trace.hh"
 
+#include <chrono>
+
 #include "common/fault.hh"
+#include "common/log.hh"
 #include "common/sim_error.hh"
+#include "sim/trace_store.hh"
 
 namespace bfsim::sim {
 
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
 TraceBuffer::TraceBuffer(const isa::Program &program)
-    : prog(program), exec(program), chunks(maxChunks)
+    : prog(program), chunks(maxChunks)
+{
+}
+
+TraceBuffer::TraceBuffer(
+    const isa::Program &program,
+    std::unique_ptr<trace_store::ArtifactReader> artifact)
+    : prog(program), reader(std::move(artifact)), chunks(maxChunks)
 {
 }
 
 TraceBuffer::~TraceBuffer() = default;
+
+Executor &
+TraceBuffer::executor()
+{
+    if (!exec) {
+        // First live extension of a store-backed buffer: rebuild
+        // architectural state by re-executing the decoded prefix. The
+        // executor is deterministic, so this reproduces the identical
+        // stream the artifact recorded — discard it and resume.
+        exec = std::make_unique<Executor>(prog);
+        std::uint64_t replay =
+            committed.load(std::memory_order_relaxed);
+        DynOp op;
+        for (std::uint64_t i = 0; i < replay; ++i) {
+            if (!exec->step(op)) {
+                throw SimError(
+                    "trace_store",
+                    "stored trace is longer than live execution; "
+                    "artifact disagrees with the program");
+            }
+        }
+    }
+    return *exec;
+}
 
 std::uint64_t
 TraceBuffer::ensure(std::uint64_t n)
@@ -47,6 +94,41 @@ TraceBuffer::ensure(std::uint64_t n)
             allocatedChunks.fetch_add(1, std::memory_order_relaxed);
         }
         Chunk &chunk = *chunks[chunk_index];
+
+        // Disk tier: decode a whole stored chunk straight into the SoA
+        // arrays. While the reader is attached, `avail` only stops
+        // being chunk-aligned at the artifact's tail, after which the
+        // next decode returns 0 and live extension takes over.
+        if (reader) {
+            try {
+                std::size_t got = reader->decodeChunk(
+                    chunk.pcIndex.get(), chunk.effAddr.get(),
+                    chunk.result.get(), chunk.flags.get());
+                if (got > 0) {
+                    avail += got;
+                    committed.store(avail, std::memory_order_release);
+                    continue;
+                }
+                // Artifact exhausted: either the program halted within
+                // it, or the consumer wants more than was ever
+                // captured — extend live past the stored end.
+                if (reader->halted()) {
+                    isHalted.store(true, std::memory_order_release);
+                    reader.reset();
+                    break;
+                }
+                reader.reset();
+            } catch (const SimError &error) {
+                // Mid-stream corruption or an injected trace_store
+                // fault: the artifact is untrustworthy but the run is
+                // not — everything committed so far was CRC-verified,
+                // so live execution resumes from it bit-identically.
+                warn(std::string("trace store: ") + error.message() +
+                     "; resuming with live execution");
+                reader.reset();
+            }
+        }
+
         std::size_t k = static_cast<std::size_t>(avail % chunkOps);
         std::size_t span_end = static_cast<std::size_t>(
             std::min<std::uint64_t>(chunkOps, k + (n - avail)));
@@ -55,8 +137,10 @@ TraceBuffer::ensure(std::uint64_t n)
         RegVal *results = chunk.result.get();
         std::uint8_t *flags = chunk.flags.get();
         bool halted_now = false;
+        auto live_start = std::chrono::steady_clock::now();
+        Executor &engine = executor();
         for (; k < span_end; ++k) {
-            if (!exec.step(op)) {
+            if (!engine.step(op)) {
                 halted_now = true;
                 break;
             }
@@ -68,6 +152,9 @@ TraceBuffer::ensure(std::uint64_t n)
                 (op.writesReg ? writesRegFlag : 0));
             ++avail;
         }
+        captureSecs.store(captureSecs.load(std::memory_order_relaxed) +
+                              secondsSince(live_start),
+                          std::memory_order_relaxed);
         committed.store(avail, std::memory_order_release);
         if (halted_now) {
             isHalted.store(true, std::memory_order_release);

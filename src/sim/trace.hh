@@ -34,6 +34,10 @@
 
 namespace bfsim::sim {
 
+namespace trace_store {
+class ArtifactReader;
+}
+
 /** Growable shared store of one program's executed DynOp stream. */
 class TraceBuffer
 {
@@ -42,10 +46,25 @@ class TraceBuffer
     static constexpr std::uint64_t chunkOps = 1ull << 14;
 
     /**
-     * Construct over a program (which must outlive the buffer). Loads
-     * the program's initial data image; executes nothing yet.
+     * Construct over a program (which must outlive the buffer).
+     * Executes nothing yet; the functional executor (and its copy of
+     * the program's data image) is materialised on first extension.
      */
     explicit TraceBuffer(const isa::Program &program);
+
+    /**
+     * Construct over a program with a disk-store artifact as the op
+     * source: ensure() decodes stored chunks instead of executing, and
+     * the functional executor is never built unless the consumer walks
+     * past the artifact's end (live extension resumes seamlessly: the
+     * executor fast-forwards over the decoded prefix, which is
+     * bit-identical to what it would have produced). A decode failure
+     * mid-stream — corruption, truncation, injected trace_store fault —
+     * degrades to live execution the same way instead of failing the
+     * run.
+     */
+    TraceBuffer(const isa::Program &program,
+                std::unique_ptr<trace_store::ArtifactReader> reader);
     ~TraceBuffer();
 
     TraceBuffer(const TraceBuffer &) = delete;
@@ -98,6 +117,17 @@ class TraceBuffer
     /** Bytes of trace storage currently allocated. */
     std::uint64_t memoryBytes() const;
 
+    /**
+     * Wall seconds spent acquiring ops by live functional execution
+     * (including any fast-forward over a store-decoded prefix). Store
+     * decode time is accounted separately in trace_store::stats(); the
+     * two together are what the disk tier saves on a warm run.
+     */
+    double captureSeconds() const
+    {
+        return captureSecs.load(std::memory_order_relaxed);
+    }
+
   private:
     /** Chunk-pointer table capacity: 16K chunks x 16K ops = 268M ops. */
     static constexpr std::size_t maxChunks = 1ull << 14;
@@ -128,8 +158,16 @@ class TraceBuffer
     static constexpr std::uint8_t writesRegFlag =
         OpSpanView::writesRegFlag;
 
+    /**
+     * The live executor, built lazily (store-backed buffers may never
+     * need one) and fast-forwarded over whatever is already committed.
+     * Only touched under extendMutex.
+     */
+    Executor &executor();
+
     const isa::Program &prog;
-    Executor exec;                 ///< extension executor (extendMutex)
+    std::unique_ptr<Executor> exec;          ///< see executor()
+    std::unique_ptr<trace_store::ArtifactReader> reader; ///< disk tier
     std::mutex extendMutex;
     /**
      * Preallocated slot table so readers index it without locking;
@@ -140,6 +178,7 @@ class TraceBuffer
     std::atomic<std::uint64_t> committed{0};
     std::atomic<std::uint64_t> allocatedChunks{0};
     std::atomic<bool> isHalted{false};
+    std::atomic<double> captureSecs{0.0}; ///< written under extendMutex
 };
 
 /**

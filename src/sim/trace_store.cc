@@ -1,0 +1,750 @@
+#include "sim/trace_store.hh"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+
+#include "common/checksum.hh"
+#include "common/fault.hh"
+#include "common/log.hh"
+#include "common/sim_error.hh"
+#include "isa/program.hh"
+#include "sim/trace.hh"
+
+namespace bfsim::sim::trace_store {
+
+namespace {
+
+// ---- on-disk layout ---------------------------------------------------
+
+/** 'BFTR' little-endian. */
+constexpr std::uint32_t magicValue = 0x52544642u;
+
+/**
+ * Header byte offsets (48 bytes total, little-endian):
+ *   0  u32 magic          'BFTR'
+ *   4  u32 version        formatVersion
+ *   8  u64 progHash       programHash() of the traced program
+ *  16  u64 budget         key instruction budget
+ *  24  u64 opCount        ops in the stream
+ *  32  u32 chunkOps       TraceBuffer chunk geometry at capture time
+ *  36  u32 programSize    static instruction count (decode bound)
+ *  40  u8  halted         program executed Halt within opCount ops
+ *  41  u8x3 pad           zero
+ *  44  u32 headerCrc      crc32c of bytes [0, 44)
+ * Chunk frames follow: u32 payloadBytes, u32 chunkOpCount,
+ * u32 payloadCrc, payload.
+ */
+constexpr std::size_t headerBytes = 48;
+constexpr std::size_t headerCrcOffset = 44;
+constexpr std::size_t frameBytes = 12;
+
+/** Control-byte bits of the per-op encoding (bits 5-7 reserved 0). */
+constexpr std::uint8_t ctrlTaken = 1u << 0;     ///< == OpSpanView::takenFlag
+constexpr std::uint8_t ctrlWritesReg = 1u << 1; ///< == OpSpanView::writesRegFlag
+constexpr std::uint8_t ctrlPcStep = 1u << 2;    ///< pcIndex == prev + 1
+constexpr std::uint8_t ctrlHasAddr = 1u << 3;   ///< effAddr != 0
+constexpr std::uint8_t ctrlResultSkip = 1u << 4; ///< result repeats
+constexpr std::uint8_t ctrlReserved = 0xe0u;
+
+static_assert(ctrlTaken == OpSpanView::takenFlag &&
+                  ctrlWritesReg == OpSpanView::writesRegFlag,
+              "control low bits must match the in-memory flag byte so "
+              "decode writes them through unchanged");
+
+// ---- little-endian serialization helpers ------------------------------
+
+void
+put32(std::vector<unsigned char> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<unsigned char>(v >> (i * 8)));
+}
+
+void
+put64(std::vector<unsigned char> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<unsigned char>(v >> (i * 8)));
+}
+
+std::uint32_t
+get32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (i * 8);
+    return v;
+}
+
+std::uint64_t
+get64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (i * 8);
+    return v;
+}
+
+/** LEB128 of a zigzagged wrapping difference. */
+void
+putZigzag(std::vector<unsigned char> &out, std::uint64_t delta)
+{
+    auto n = static_cast<std::int64_t>(delta);
+    std::uint64_t z = (static_cast<std::uint64_t>(n) << 1) ^
+                      static_cast<std::uint64_t>(n >> 63);
+    while (z >= 0x80) {
+        out.push_back(static_cast<unsigned char>(z) | 0x80u);
+        z >>= 7;
+    }
+    out.push_back(static_cast<unsigned char>(z));
+}
+
+/**
+ * Decode one zigzag varint from [p + pos, p + end); advances pos.
+ * @return false on truncation or overlong (> 10 byte) encodings.
+ */
+bool
+getZigzag(const unsigned char *p, std::size_t &pos, std::size_t end,
+          std::uint64_t &delta)
+{
+    std::uint64_t z = 0;
+    for (int shift = 0; shift < 70; shift += 7) {
+        if (pos >= end)
+            return false;
+        unsigned char byte = p[pos++];
+        z |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+        if (!(byte & 0x80u)) {
+            delta = (z >> 1) ^ (~(z & 1) + 1);
+            return true;
+        }
+    }
+    return false;
+}
+
+// ---- store configuration / stats --------------------------------------
+
+std::mutex &
+stateMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::string &
+directoryRef()
+{
+    static std::string dir = [] {
+        const char *env = std::getenv("BFSIM_TRACE_DIR");
+        return env ? std::string(env) : std::string();
+    }();
+    return dir;
+}
+
+Stats &
+statsRef()
+{
+    static Stats s;
+    return s;
+}
+
+thread_local ThreadCounters threadCounters;
+
+void
+countHit()
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    ++statsRef().hits;
+    ++threadCounters.hits;
+}
+
+void
+countMiss()
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    ++statsRef().misses;
+    ++threadCounters.misses;
+}
+
+void
+countFallback()
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    ++statsRef().fallbacks;
+    ++threadCounters.fallbacks;
+}
+
+void
+countRead(std::uint64_t bytes, std::uint64_t ops, double seconds)
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    statsRef().bytesRead += bytes;
+    statsRef().opsRead += ops;
+    statsRef().decodeSeconds += seconds;
+}
+
+void
+countWrite(std::uint64_t bytes, std::uint64_t ops)
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    statsRef().bytesWritten += bytes;
+    statsRef().opsWritten += ops;
+}
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Parsed, validated header of an existing artifact file. */
+struct Header
+{
+    std::uint64_t progHash = 0;
+    std::uint64_t budget = 0;
+    std::uint64_t opCount = 0;
+    std::uint32_t chunkOps = 0;
+    std::uint32_t programSize = 0;
+    bool halted = false;
+};
+
+/**
+ * Validate `bytes` (the first headerBytes of a file) against `key`.
+ * @return false with `why` set on any mismatch.
+ */
+bool
+parseHeader(const unsigned char *bytes, std::size_t len, const Key &key,
+            Header &header, std::string &why)
+{
+    if (len < headerBytes) {
+        why = "file shorter than the header";
+        return false;
+    }
+    if (get32(bytes + 0) != magicValue) {
+        why = "bad magic";
+        return false;
+    }
+    if (crc32c(bytes, headerCrcOffset) != get32(bytes + headerCrcOffset)) {
+        why = "header checksum mismatch";
+        return false;
+    }
+    std::uint32_t version = get32(bytes + 4);
+    if (version != formatVersion) {
+        why = "format version " + std::to_string(version) +
+              " (want " + std::to_string(formatVersion) + ")";
+        return false;
+    }
+    header.progHash = get64(bytes + 8);
+    header.budget = get64(bytes + 16);
+    header.opCount = get64(bytes + 24);
+    header.chunkOps = get32(bytes + 32);
+    header.programSize = get32(bytes + 36);
+    header.halted = bytes[40] != 0;
+    if (header.progHash != key.progHash) {
+        why = "program hash mismatch";
+        return false;
+    }
+    if (header.budget != key.budget) {
+        why = "instruction budget mismatch";
+        return false;
+    }
+    if (header.chunkOps != TraceBuffer::chunkOps) {
+        why = "chunk geometry mismatch";
+        return false;
+    }
+    return true;
+}
+
+/** Serialize a header (with its CRC) for `key` into `out`. */
+void
+appendHeader(std::vector<unsigned char> &out, const Key &key,
+             std::uint64_t op_count, std::uint32_t program_size,
+             bool halted)
+{
+    std::size_t base = out.size();
+    put32(out, magicValue);
+    put32(out, formatVersion);
+    put64(out, key.progHash);
+    put64(out, key.budget);
+    put64(out, op_count);
+    put32(out, static_cast<std::uint32_t>(TraceBuffer::chunkOps));
+    put32(out, program_size);
+    out.push_back(halted ? 1 : 0);
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(0);
+    put32(out, crc32c(out.data() + base, headerCrcOffset));
+}
+
+/** Closes an fd on scope exit (and releases any flock it holds). */
+struct FdGuard
+{
+    explicit FdGuard(int fd) : fd(fd) {}
+    ~FdGuard()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+    FdGuard(const FdGuard &) = delete;
+    FdGuard &operator=(const FdGuard &) = delete;
+    int fd;
+};
+
+} // namespace
+
+std::uint64_t
+programHash(const isa::Program &program)
+{
+    Fnv1a64 hash;
+    hash.update64(program.size());
+    for (const isa::Instruction &inst : program.insts()) {
+        hash.update64(static_cast<std::uint8_t>(inst.op));
+        hash.update64(inst.rd);
+        hash.update64(inst.rs1);
+        hash.update64(inst.rs2);
+        hash.update64(static_cast<std::uint64_t>(inst.imm));
+        hash.update64(inst.target);
+    }
+    hash.update64(program.initialImage().size());
+    for (const auto &[addr, value] : program.initialImage()) {
+        hash.update64(addr);
+        hash.update64(value);
+    }
+    return hash.value();
+}
+
+Key
+makeKey(const std::string &workload, std::uint64_t budget,
+        const isa::Program &program)
+{
+    return Key{workload, budget, programHash(program)};
+}
+
+bool
+enabled()
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    return !directoryRef().empty();
+}
+
+std::string
+directory()
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    return directoryRef();
+}
+
+void
+setDirectory(const std::string &dir)
+{
+    {
+        std::lock_guard<std::mutex> lock(stateMutex());
+        directoryRef() = dir;
+    }
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (ec) {
+            warn("trace store: cannot create directory '" + dir +
+                 "': " + ec.message());
+        }
+    }
+}
+
+std::string
+artifactPath(const Key &key)
+{
+    return directory() + "/" + sanitize(key.workload) + "-" +
+           std::to_string(key.budget) + "-" + hex16(key.progHash) +
+           ".bft";
+}
+
+ArtifactReader::~ArtifactReader()
+{
+    if (fileBase)
+        ::munmap(const_cast<unsigned char *>(fileBase), fileBytes);
+    if (fd >= 0)
+        ::close(fd);
+}
+
+std::size_t
+ArtifactReader::decodeChunk(std::uint32_t *pc_index, Addr *eff_addr,
+                            RegVal *result, std::uint8_t *flags)
+{
+    if (cursor >= totalOps)
+        return 0;
+
+    // Corruption (or an injected trace_store fault) throws without
+    // advancing `cursor`, so the owning TraceBuffer can degrade to live
+    // execution from exactly the ops it has already committed.
+    auto corrupt = [](const std::string &why) -> SimError {
+        countFallback();
+        return SimError("trace_store", "trace artifact unusable: " + why);
+    };
+    if (fault::shouldFail(fault::Site::TraceStore))
+        throw corrupt("injected fault: artifact decode");
+
+    auto start_time = std::chrono::steady_clock::now();
+
+    if (offset + frameBytes > fileBytes)
+        throw corrupt("truncated chunk frame");
+    std::uint32_t payload_bytes = get32(fileBase + offset);
+    std::uint32_t chunk_count = get32(fileBase + offset + 4);
+    std::uint32_t payload_crc = get32(fileBase + offset + 8);
+    std::uint64_t expected = std::min<std::uint64_t>(
+        TraceBuffer::chunkOps, totalOps - cursor);
+    if (chunk_count != expected)
+        throw corrupt("chunk op count disagrees with the header");
+    if (offset + frameBytes + payload_bytes > fileBytes)
+        throw corrupt("truncated chunk payload");
+
+    const unsigned char *payload = fileBase + offset + frameBytes;
+    if (crc32c(payload, payload_bytes) != payload_crc)
+        throw corrupt("chunk checksum mismatch");
+
+    // Delta contexts reset per chunk, matching the encoder, so every
+    // chunk decodes independently of its predecessors.
+    std::fill(lastAddr.begin(), lastAddr.end(), 0);
+    std::fill(lastResult.begin(), lastResult.end(), 0);
+    std::int64_t prev_pc = -1;
+    std::size_t pos = 0;
+    for (std::uint32_t k = 0; k < chunk_count; ++k) {
+        if (pos >= payload_bytes)
+            throw corrupt("chunk payload ends mid-op");
+        std::uint8_t control = payload[pos++];
+        if (control & ctrlReserved)
+            throw corrupt("reserved control bits set");
+        if ((control & ctrlResultSkip) && !(control & ctrlWritesReg))
+            throw corrupt("result-skip without register write");
+
+        std::uint64_t delta;
+        std::int64_t pc;
+        if (control & ctrlPcStep) {
+            pc = prev_pc + 1;
+        } else {
+            if (!getZigzag(payload, pos, payload_bytes, delta))
+                throw corrupt("bad pc varint");
+            pc = prev_pc + static_cast<std::int64_t>(delta);
+        }
+        if (pc < 0 || pc >= static_cast<std::int64_t>(programSize))
+            throw corrupt("pc index out of program bounds");
+        prev_pc = pc;
+        auto pcv = static_cast<std::uint32_t>(pc);
+
+        Addr addr = 0;
+        if (control & ctrlHasAddr) {
+            if (!getZigzag(payload, pos, payload_bytes, delta))
+                throw corrupt("bad address varint");
+            addr = lastAddr[pcv] + delta;
+            lastAddr[pcv] = addr;
+        }
+
+        RegVal value = 0;
+        if (control & ctrlWritesReg) {
+            if (control & ctrlResultSkip) {
+                value = lastResult[pcv];
+            } else {
+                if (!getZigzag(payload, pos, payload_bytes, delta))
+                    throw corrupt("bad result varint");
+                value = lastResult[pcv] + delta;
+            }
+            lastResult[pcv] = value;
+        }
+
+        pc_index[k] = pcv;
+        eff_addr[k] = addr;
+        result[k] = value;
+        flags[k] = control & (ctrlTaken | ctrlWritesReg);
+    }
+    if (pos != payload_bytes)
+        throw corrupt("chunk payload has trailing bytes");
+
+    offset += frameBytes + payload_bytes;
+    cursor += chunk_count;
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_time)
+            .count();
+    countRead(frameBytes + payload_bytes, chunk_count, seconds);
+    return chunk_count;
+}
+
+std::unique_ptr<ArtifactReader>
+openArtifact(const Key &key, const isa::Program &program)
+{
+    if (!enabled())
+        return nullptr;
+    std::string path = artifactPath(key);
+
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        countMiss();
+        return nullptr;
+    }
+
+    // A present-but-unusable artifact is a fallback *and* a miss: the
+    // caller recaptures live and the batch-end save rewrites the file.
+    auto reject = [&](const std::string &why) {
+        warn("trace store: ignoring '" + path + "': " + why);
+        countFallback();
+        countMiss();
+    };
+
+    struct ::stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        reject("cannot stat");
+        return nullptr;
+    }
+    auto file_bytes = static_cast<std::size_t>(st.st_size);
+    if (file_bytes < headerBytes) {
+        ::close(fd);
+        reject("file shorter than the header");
+        return nullptr;
+    }
+
+    void *base =
+        ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+        ::close(fd);
+        reject("mmap failed");
+        return nullptr;
+    }
+
+    auto reader = std::unique_ptr<ArtifactReader>(new ArtifactReader);
+    reader->fileBase = static_cast<const unsigned char *>(base);
+    reader->fileBytes = file_bytes;
+    reader->fd = fd;
+
+    if (fault::shouldFail(fault::Site::TraceStore)) {
+        reject("injected fault: artifact open");
+        return nullptr;
+    }
+
+    Header header;
+    std::string why;
+    if (!parseHeader(reader->fileBase, file_bytes, key, header, why)) {
+        reject(why);
+        return nullptr;
+    }
+    if (header.programSize != program.size()) {
+        reject("program size mismatch");
+        return nullptr;
+    }
+
+    reader->offset = headerBytes;
+    reader->totalOps = header.opCount;
+    reader->programSize = header.programSize;
+    reader->sawHalt = header.halted;
+    reader->lastAddr.assign(header.programSize, 0);
+    reader->lastResult.assign(header.programSize, 0);
+    countHit();
+    return reader;
+}
+
+bool
+saveArtifact(const Key &key, const TraceBuffer &buffer)
+{
+    if (!enabled())
+        return false;
+    std::uint64_t ops = buffer.size();
+    std::uint32_t program_size =
+        static_cast<std::uint32_t>(buffer.program().size());
+    std::string path = artifactPath(key);
+
+    {
+        std::error_code ec;
+        std::filesystem::create_directories(directory(), ec);
+    }
+
+    // Exclusive non-blocking advisory lock on a sibling .lock file:
+    // when several processes finish a batch over the same store, one
+    // writes and the rest skip — the artifact content is identical by
+    // construction, so losing the race costs nothing.
+    std::string lock_path = path + ".lock";
+    FdGuard lock_fd(::open(lock_path.c_str(),
+                           O_CREAT | O_RDWR | O_CLOEXEC, 0644));
+    if (lock_fd.fd < 0) {
+        warn("trace store: cannot create '" + lock_path + "'");
+        return false;
+    }
+    if (::flock(lock_fd.fd, LOCK_EX | LOCK_NB) != 0)
+        return false; // another writer is on it; skip
+
+    // Re-validate under the lock: skip when the existing artifact
+    // already covers at least this stream (a concurrent process may
+    // have demanded — and saved — a longer tail).
+    {
+        FdGuard existing(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+        if (existing.fd >= 0) {
+            unsigned char head[headerBytes];
+            ssize_t got = ::read(existing.fd, head, headerBytes);
+            Header header;
+            std::string why;
+            if (got == static_cast<ssize_t>(headerBytes) &&
+                parseHeader(head, headerBytes, key, header, why) &&
+                header.programSize == program_size &&
+                (header.opCount > ops ||
+                 (header.opCount == ops &&
+                  header.halted == buffer.halted()))) {
+                return false;
+            }
+        }
+    }
+
+    std::vector<unsigned char> out;
+    out.reserve(static_cast<std::size_t>(ops * 3) + 4096);
+    appendHeader(out, key, ops, program_size, buffer.halted());
+
+    // Encode chunk by chunk straight off the buffer's SoA storage.
+    std::vector<Addr> last_addr(program_size, 0);
+    std::vector<RegVal> last_result(program_size, 0);
+    std::uint64_t start = 0;
+    while (start < ops) {
+        OpSpanView span;
+        std::size_t n = buffer.spanAt(
+            start, static_cast<std::size_t>(
+                       std::min<std::uint64_t>(TraceBuffer::chunkOps,
+                                               ops - start)),
+            span);
+
+        std::size_t frame_base = out.size();
+        put32(out, 0); // payload size, patched below
+        put32(out, static_cast<std::uint32_t>(n));
+        put32(out, 0); // payload CRC, patched below
+        std::size_t payload_base = out.size();
+
+        std::fill(last_addr.begin(), last_addr.end(), 0);
+        std::fill(last_result.begin(), last_result.end(), 0);
+        std::int64_t prev_pc = -1;
+        for (std::size_t k = 0; k < n; ++k) {
+            std::uint32_t pcv = span.pcIndex[k];
+            Addr addr = span.effAddr[k];
+            RegVal value = span.result[k];
+            std::uint8_t mem_flags =
+                span.flags[k] &
+                (OpSpanView::takenFlag | OpSpanView::writesRegFlag);
+
+            std::uint8_t control = mem_flags;
+            bool pc_step =
+                static_cast<std::int64_t>(pcv) == prev_pc + 1;
+            if (pc_step)
+                control |= ctrlPcStep;
+            if (addr != 0)
+                control |= ctrlHasAddr;
+            bool writes = (mem_flags & ctrlWritesReg) != 0;
+            bool result_skip = writes && value == last_result[pcv];
+            if (result_skip)
+                control |= ctrlResultSkip;
+            out.push_back(control);
+
+            if (!pc_step) {
+                putZigzag(out, static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(pcv) -
+                                   prev_pc));
+            }
+            prev_pc = pcv;
+            if (addr != 0) {
+                putZigzag(out, addr - last_addr[pcv]);
+                last_addr[pcv] = addr;
+            }
+            if (writes && !result_skip)
+                putZigzag(out, value - last_result[pcv]);
+            if (writes)
+                last_result[pcv] = value;
+        }
+
+        auto payload_bytes =
+            static_cast<std::uint32_t>(out.size() - payload_base);
+        std::uint32_t crc = crc32c(out.data() + payload_base,
+                                   payload_bytes);
+        for (int i = 0; i < 4; ++i) {
+            out[frame_base + i] =
+                static_cast<unsigned char>(payload_bytes >> (i * 8));
+            out[frame_base + 8 + i] =
+                static_cast<unsigned char>(crc >> (i * 8));
+        }
+        start += n;
+    }
+
+    // Crash-safe publication: write a .tmp sibling, fsync, rename. A
+    // writer killed mid-write leaves only a .tmp readers never open.
+    std::string tmp_path = path + ".tmp";
+    {
+        FdGuard tmp_fd(::open(tmp_path.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                              0644));
+        if (tmp_fd.fd < 0) {
+            warn("trace store: cannot write '" + tmp_path + "'");
+            return false;
+        }
+        std::size_t written = 0;
+        while (written < out.size()) {
+            ssize_t n = ::write(tmp_fd.fd, out.data() + written,
+                                out.size() - written);
+            if (n <= 0) {
+                warn("trace store: short write to '" + tmp_path + "'");
+                return false;
+            }
+            written += static_cast<std::size_t>(n);
+        }
+        ::fsync(tmp_fd.fd);
+    }
+    if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        warn("trace store: cannot rename '" + tmp_path + "' into place");
+        return false;
+    }
+    countWrite(out.size(), ops);
+    return true;
+}
+
+Stats
+stats()
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    return statsRef();
+}
+
+void
+resetStats()
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    statsRef() = Stats{};
+    threadCounters = ThreadCounters{};
+}
+
+ThreadCounters
+takeThreadCounters()
+{
+    ThreadCounters taken = threadCounters;
+    threadCounters = ThreadCounters{};
+    return taken;
+}
+
+} // namespace bfsim::sim::trace_store

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Persistent, delta-compressed store of captured DynOp traces.
+ *
+ * PR 2's trace layer made the functional DynOp stream a shareable
+ * in-process artifact; this store makes it a *durable* one. A capture
+ * is serialized to `$BFSIM_TRACE_DIR/<workload>-<budget>-<hash>.bft`
+ * and any later process — another bench binary, a CI job, a re-run —
+ * obtains the identical stream with one mmap and a streaming decode
+ * instead of functional execution and a multi-megabyte workload image
+ * load. Timing results are bit-identical across {live, memory-trace,
+ * disk-trace} sources because the disk tier plugs in *below*
+ * sim::TraceBuffer: chunks are decoded straight into the buffer's
+ * structure-of-arrays storage, and every replay cursor / zero-copy span
+ * path above it is untouched.
+ *
+ * On-disk format (version 1, little-endian, DESIGN.md §12):
+ *
+ *   header   magic 'BFTR', version, program content hash, instruction
+ *            budget, op count, chunk geometry, halted flag, header CRC
+ *   chunks   [payload bytes | op count | payload CRC-32C | payload]...
+ *
+ * Each chunk encodes exactly TraceBuffer::chunkOps ops (fewer in the
+ * tail) with per-op delta/varint compression, independently decodable
+ * (contexts reset per chunk):
+ *
+ *   control byte   taken / writesReg flags, "pc advanced by one",
+ *                  "has effective address", "result repeats"
+ *   pc delta       zigzag varint vs the previous op (omitted for the
+ *                  ubiquitous fall-through case)
+ *   addr delta     zigzag varint vs the *same static instruction's*
+ *                  previous effective address — strided loads cost one
+ *                  byte regardless of stride (omitted for non-memory)
+ *   result delta   zigzag varint vs the same static instruction's
+ *                  previous result (omitted when repeating or not
+ *                  writing a register)
+ *
+ * This lands well under the 6 B/op budget (the 21 B/op in-memory layout
+ * compresses to ~2-4 B/op across the fig08 suite).
+ *
+ * Robustness: artifacts are written to a `.tmp` sibling and renamed
+ * into place (PR 3 pattern) under an exclusive `flock`, so concurrent
+ * processes never interleave writes and readers never observe partial
+ * files. A corrupt, truncated or version-stale artifact is *never* an
+ * error: open-time validation failures count a fallback and report a
+ * miss (the capture re-runs live and rewrites the artifact), and
+ * decode-time failures make the owning TraceBuffer degrade to live
+ * execution mid-stream — bit-identically, because the functional
+ * executor is deterministic and fast-forwards over the already-decoded
+ * prefix.
+ */
+
+#ifndef BFSIM_SIM_TRACE_STORE_HH_
+#define BFSIM_SIM_TRACE_STORE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bfsim::isa {
+class Program;
+}
+
+namespace bfsim::sim {
+
+class TraceBuffer;
+
+namespace trace_store {
+
+/** Bumped whenever the header or chunk encoding changes shape. */
+constexpr std::uint32_t formatVersion = 1;
+
+/** Identity of one trace artifact. */
+struct Key
+{
+    std::string workload;   ///< suite workload name
+    std::uint64_t budget;   ///< per-core instruction budget
+    std::uint64_t progHash; ///< content hash of the traced program
+};
+
+/**
+ * Content hash of a program: instruction fields plus the initial data
+ * image, so any change to workload generation invalidates its stored
+ * traces.
+ */
+std::uint64_t programHash(const isa::Program &program);
+
+/** Build the Key for (workload, budget) over `program`. */
+Key makeKey(const std::string &workload, std::uint64_t budget,
+            const isa::Program &program);
+
+/**
+ * True when a store directory is configured (BFSIM_TRACE_DIR at process
+ * start, or setDirectory). The harness additionally requires the trace
+ * cache itself to be on: BFSIM_TRACE_CACHE=0 bypasses both tiers.
+ */
+bool enabled();
+
+/** The configured store directory ("" = disabled). */
+std::string directory();
+
+/**
+ * Override the store directory ("" disables). Benches route
+ * --trace-dir here; tests point it at a temp dir. Creates the
+ * directory if missing (best-effort; open/save report failures).
+ */
+void setDirectory(const std::string &dir);
+
+/** Absolute path of the artifact for `key` (valid while enabled()). */
+std::string artifactPath(const Key &key);
+
+/**
+ * Sequential decoder over one mmapped artifact. Produced by
+ * openArtifact after header validation; consumed by TraceBuffer, which
+ * asks for one chunk at a time decoded directly into its SoA arrays.
+ * Chunk payload CRCs are verified lazily, per decode, so corruption
+ * discovered mid-stream surfaces as SimError and the buffer degrades
+ * to live execution.
+ */
+class ArtifactReader
+{
+  public:
+    ~ArtifactReader();
+
+    ArtifactReader(const ArtifactReader &) = delete;
+    ArtifactReader &operator=(const ArtifactReader &) = delete;
+
+    /** Total ops the artifact holds. */
+    std::uint64_t opCount() const { return totalOps; }
+
+    /** True when the traced program halted within opCount ops. */
+    bool halted() const { return sawHalt; }
+
+    /** Ops decoded (consumed) so far. */
+    std::uint64_t decoded() const { return cursor; }
+
+    /**
+     * Decode the next chunk into the given column arrays (each sized
+     * for at least TraceBuffer::chunkOps entries). Returns the number
+     * of ops decoded — a full chunk, the shorter tail, or 0 once the
+     * artifact is exhausted. Throws SimError on any framing/CRC/
+     * encoding violation; the output arrays are then unspecified but
+     * the caller has not advanced, so degrading to live execution
+     * stays consistent.
+     */
+    std::size_t decodeChunk(std::uint32_t *pc_index, Addr *eff_addr,
+                            RegVal *result, std::uint8_t *flags);
+
+  private:
+    friend std::unique_ptr<ArtifactReader>
+    openArtifact(const Key &key, const isa::Program &program);
+
+    ArtifactReader() = default;
+
+    const unsigned char *fileBase = nullptr; ///< mmap base
+    std::size_t fileBytes = 0;
+    int fd = -1;
+    std::size_t offset = 0;      ///< next chunk frame offset
+    std::uint64_t totalOps = 0;
+    std::uint64_t cursor = 0;    ///< ops decoded so far
+    std::uint32_t programSize = 0;
+    bool sawHalt = false;
+    /** Per-static-instruction delta contexts, reset per chunk. */
+    std::vector<Addr> lastAddr;
+    std::vector<RegVal> lastResult;
+};
+
+/**
+ * Open the artifact for `key`, validating the header against the key,
+ * the format version and the program size. Returns nullptr on a miss.
+ * A *present but invalid* artifact (corrupt header, stale version,
+ * wrong hash recorded under the right name) additionally counts a
+ * fallback — the caller recaptures live and the next save overwrites
+ * it. Counts one disk hit or miss in the thread/process stats.
+ */
+std::unique_ptr<ArtifactReader> openArtifact(const Key &key,
+                                             const isa::Program &program);
+
+/**
+ * Serialize `buffer`'s committed ops as the artifact for `key`,
+ * crash-safely (tmp + rename) and under an exclusive file lock.
+ * Skips (returning false) when another process holds the lock or when
+ * the existing artifact already covers at least as many ops; rewrites
+ * when the buffer has grown past the stored stream. Never throws for
+ * I/O reasons — failures warn and return false, because persisting is
+ * an optimization, not a correctness requirement.
+ */
+bool saveArtifact(const Key &key, const TraceBuffer &buffer);
+
+/** Process-wide store counters since start (or resetStats). */
+struct Stats
+{
+    std::uint64_t hits = 0;         ///< artifacts opened successfully
+    std::uint64_t misses = 0;       ///< lookups with no usable artifact
+    std::uint64_t fallbacks = 0;    ///< invalid artifacts / decode faults
+    std::uint64_t bytesWritten = 0; ///< artifact bytes written (saves)
+    std::uint64_t bytesRead = 0;    ///< payload bytes decoded (reads)
+    std::uint64_t opsWritten = 0;   ///< ops encoded across saves
+    std::uint64_t opsRead = 0;      ///< ops decoded across reads
+    double decodeSeconds = 0.0;     ///< wall time inside decodeChunk
+
+    /** Encoded bytes per op across every save (0 when nothing saved). */
+    double
+    bytesPerOp() const
+    {
+        return opsWritten
+                   ? static_cast<double>(bytesWritten) /
+                         static_cast<double>(opsWritten)
+                   : 0.0;
+    }
+};
+
+/** Snapshot of the process-wide counters. */
+Stats stats();
+
+/** Reset the process-wide and this thread's counters (tests). */
+void resetStats();
+
+/**
+ * Per-thread tier activity, drained by the batch runner to attribute
+ * disk-tier behaviour to individual jobs (like the memory-tier
+ * counters in harness::ThreadCacheCounters).
+ */
+struct ThreadCounters
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fallbacks = 0;
+};
+
+/** Return this thread's counters accumulated since the last take. */
+ThreadCounters takeThreadCounters();
+
+} // namespace trace_store
+} // namespace bfsim::sim
+
+#endif // BFSIM_SIM_TRACE_STORE_HH_

@@ -1,0 +1,526 @@
+/**
+ * @file
+ * On-disk trace store tests: artifact round-trips (bit-identical DynOp
+ * streams and CoreStats across live / memory-trace / disk-trace
+ * sources), the <=6 bytes-per-op size budget, every corruption shape
+ * the format defends against (truncation, flipped payload bytes, stale
+ * format versions, leftover partial .tmp files), single-writer lock
+ * contention, growth rewrites, the BFSIM_TRACE_CACHE=0 bypass of both
+ * tiers, and injected trace_store faults at open and decode time.
+ */
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/checksum.hh"
+#include "common/fault.hh"
+#include "harness/experiment.hh"
+#include "harness/fault.hh"
+#include "isa/assembler.hh"
+#include "sim/dyn_op_source.hh"
+#include "sim/trace.hh"
+#include "sim/trace_store.hh"
+#include "workloads/workload.hh"
+
+namespace bfsim::sim {
+namespace {
+
+using isa::Assembler;
+using isa::Program;
+
+/** Drain up to `max_ops` ops from a source. */
+std::vector<DynOp>
+collect(DynOpSource &source, std::uint64_t max_ops)
+{
+    std::vector<DynOp> ops;
+    DynOp op;
+    while (ops.size() < max_ops && source.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+void
+expectSameStream(const std::vector<DynOp> &a, const std::vector<DynOp> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pcIndex, b[i].pcIndex) << "op " << i;
+        EXPECT_EQ(a[i].pc, b[i].pc) << "op " << i;
+        EXPECT_EQ(a[i].inst, b[i].inst) << "op " << i;
+        EXPECT_EQ(a[i].seq, b[i].seq) << "op " << i;
+        EXPECT_EQ(a[i].taken, b[i].taken) << "op " << i;
+        EXPECT_EQ(a[i].targetPc, b[i].targetPc) << "op " << i;
+        EXPECT_EQ(a[i].effAddr, b[i].effAddr) << "op " << i;
+        EXPECT_EQ(a[i].writesReg, b[i].writesReg) << "op " << i;
+        EXPECT_EQ(a[i].result, b[i].result) << "op " << i;
+        if (testing::Test::HasFailure())
+            return;
+    }
+}
+
+/** A short program exercising branches, loads, stores, r0 and Halt. */
+Program
+mixedHaltingProgram()
+{
+    Assembler as;
+    as.movi(isa::R1, 50);
+    as.movi(isa::R2, 0x8000);
+    as.movi(isa::R3, 0);
+    as.label("loop");
+    as.store(isa::R1, isa::R2, 0);
+    as.load(isa::R4, isa::R2, 0);
+    as.add(isa::R3, isa::R3, isa::R4);
+    as.movi(isa::R0, 7);
+    as.addi(isa::R2, isa::R2, 8);
+    as.addi(isa::R1, isa::R1, -1);
+    as.bne(isa::R1, isa::R0, "loop");
+    as.halt();
+    return as.assemble();
+}
+
+const Program &
+workloadProgram(const char *name)
+{
+    return workloads::workloadByName(name).program;
+}
+
+std::vector<unsigned char>
+readFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    EXPECT_TRUE(file.good()) << path;
+    return std::vector<unsigned char>(
+        std::istreambuf_iterator<char>(file),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::vector<unsigned char> &bytes)
+{
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file.write(reinterpret_cast<const char *>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(file.good()) << path;
+}
+
+std::uint32_t
+fileGet32(const std::vector<unsigned char> &bytes, std::size_t offset)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(bytes[offset + i]) << (i * 8);
+    return v;
+}
+
+void
+filePut32(std::vector<unsigned char> &bytes, std::size_t offset,
+          std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes[offset + i] = static_cast<unsigned char>(v >> (i * 8));
+}
+
+/** Header geometry of format version 1 (mirrors trace_store.cc). */
+constexpr std::size_t headerBytes = 48;
+constexpr std::size_t versionOffset = 4;
+constexpr std::size_t headerCrcOffset = 44;
+constexpr std::size_t frameBytes = 12;
+
+/**
+ * Every test runs against its own store directory with all process-wide
+ * trace state (both cache tiers, their counters) reset around it.
+ */
+class TraceStoreTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = testing::TempDir() + "bfsim_trace_store/" +
+              testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name();
+        std::filesystem::remove_all(dir);
+        harness::clearMemoCaches();
+        harness::clearTraceCache();
+        harness::setTraceCacheEnabled(true);
+        trace_store::setDirectory(dir);
+        trace_store::resetStats();
+        harness::takeThreadCacheCounters();
+    }
+
+    void
+    TearDown() override
+    {
+        trace_store::setDirectory("");
+        harness::clearMemoCaches();
+        harness::clearTraceCache();
+        harness::setTraceCacheEnabled(true);
+        trace_store::resetStats();
+        std::filesystem::remove_all(dir);
+    }
+
+    /** Capture `ops` ops of `program` and persist them as `key`. */
+    std::shared_ptr<TraceBuffer>
+    captureAndSave(const trace_store::Key &key, const Program &program,
+                   std::uint64_t ops)
+    {
+        auto buffer = std::make_shared<TraceBuffer>(program);
+        buffer->ensure(ops);
+        EXPECT_TRUE(trace_store::saveArtifact(key, *buffer));
+        return buffer;
+    }
+
+    std::string dir;
+};
+
+// ------------------------------------------------------------ round trip
+
+TEST_F(TraceStoreTest, RoundTripHaltingProgramBitIdentical)
+{
+    Program program = mixedHaltingProgram();
+    auto key = trace_store::makeKey("halting", 1000, program);
+
+    auto captured = std::make_shared<TraceBuffer>(program);
+    TraceReplay capture(captured);
+    std::vector<DynOp> reference = collect(capture, 1 << 20);
+    ASSERT_TRUE(captured->halted());
+    ASSERT_TRUE(trace_store::saveArtifact(key, *captured));
+
+    auto artifact = trace_store::openArtifact(key, program);
+    ASSERT_NE(artifact, nullptr);
+    EXPECT_EQ(artifact->opCount(), captured->size());
+    EXPECT_TRUE(artifact->halted());
+
+    auto restored =
+        std::make_shared<TraceBuffer>(program, std::move(artifact));
+    TraceReplay replay(restored);
+    expectSameStream(reference, collect(replay, 1 << 20));
+    EXPECT_TRUE(replay.halted());
+    EXPECT_TRUE(restored->halted());
+    // The halt came from the artifact header: nothing executed live.
+    EXPECT_EQ(restored->captureSeconds(), 0.0);
+    EXPECT_EQ(trace_store::stats().hits, 1u);
+}
+
+TEST_F(TraceStoreTest, RoundTripWorkloadStreamWithinByteBudget)
+{
+    const Program &program = workloadProgram("mcf");
+    auto key = trace_store::makeKey("mcf", 50000, program);
+    auto captured = captureAndSave(key, program, 50000);
+
+    trace_store::Stats stats = trace_store::stats();
+    EXPECT_EQ(stats.opsWritten, captured->size());
+    ASSERT_GT(stats.opsWritten, 0u);
+    EXPECT_GT(stats.bytesPerOp(), 0.0);
+    // The headline acceptance bound: well under the 21 B/op in-memory
+    // layout, and under the 6 B/op format budget.
+    EXPECT_LE(stats.bytesPerOp(), 6.0);
+
+    auto artifact = trace_store::openArtifact(key, program);
+    ASSERT_NE(artifact, nullptr);
+    auto restored =
+        std::make_shared<TraceBuffer>(program, std::move(artifact));
+    LiveSource live(program);
+    TraceReplay replay(restored);
+    expectSameStream(collect(live, 50000), collect(replay, 50000));
+    EXPECT_EQ(trace_store::takeThreadCounters().fallbacks, 0u);
+}
+
+// ----------------------------------------------------------- corruption
+
+TEST_F(TraceStoreTest, TruncatedArtifactFallsBackMidStream)
+{
+    const Program &program = workloadProgram("mcf");
+    auto key = trace_store::makeKey("mcf", 50000, program);
+    captureAndSave(key, program, 50000);
+
+    // Cut the file mid-way through the second chunk's payload: chunk 0
+    // decodes cleanly from disk, chunk 1 trips the bounds check, and
+    // the buffer must fast-forward live execution over the verified
+    // prefix without the consumer noticing.
+    std::string path = trace_store::artifactPath(key);
+    std::vector<unsigned char> bytes = readFile(path);
+    std::size_t chunk0 = fileGet32(bytes, headerBytes);
+    std::size_t cut = headerBytes + frameBytes + chunk0 + frameBytes + 37;
+    ASSERT_LT(cut, bytes.size());
+    bytes.resize(cut);
+    writeFile(path, bytes);
+
+    auto artifact = trace_store::openArtifact(key, program);
+    ASSERT_NE(artifact, nullptr); // header is intact; damage is deeper
+    auto restored =
+        std::make_shared<TraceBuffer>(program, std::move(artifact));
+    LiveSource live(program);
+    TraceReplay replay(restored);
+    expectSameStream(collect(live, 50000), collect(replay, 50000));
+    EXPECT_EQ(trace_store::takeThreadCounters().fallbacks, 1u);
+    // The fast-forwarded re-execution is billed as capture time.
+    EXPECT_GT(restored->captureSeconds(), 0.0);
+}
+
+TEST_F(TraceStoreTest, FlippedPayloadByteFallsBack)
+{
+    const Program &program = workloadProgram("libquantum");
+    auto key = trace_store::makeKey("libquantum", 30000, program);
+    captureAndSave(key, program, 30000);
+
+    std::string path = trace_store::artifactPath(key);
+    std::vector<unsigned char> bytes = readFile(path);
+    bytes[headerBytes + frameBytes + 5] ^= 0x40; // inside chunk 0
+    writeFile(path, bytes);
+
+    auto artifact = trace_store::openArtifact(key, program);
+    ASSERT_NE(artifact, nullptr);
+    auto restored =
+        std::make_shared<TraceBuffer>(program, std::move(artifact));
+    LiveSource live(program);
+    TraceReplay replay(restored);
+    expectSameStream(collect(live, 30000), collect(replay, 30000));
+    EXPECT_EQ(trace_store::takeThreadCounters().fallbacks, 1u);
+}
+
+TEST_F(TraceStoreTest, StaleFormatVersionRejectedThenRewritten)
+{
+    const Program &program = workloadProgram("libquantum");
+    auto key = trace_store::makeKey("libquantum", 30000, program);
+    auto captured = captureAndSave(key, program, 30000);
+
+    // Patch the version field (and re-seal the header CRC, so only the
+    // version — not checksum validation — causes the rejection).
+    std::string path = trace_store::artifactPath(key);
+    std::vector<unsigned char> bytes = readFile(path);
+    filePut32(bytes, versionOffset, trace_store::formatVersion + 1);
+    filePut32(bytes, headerCrcOffset,
+              crc32c(bytes.data(), headerCrcOffset));
+    writeFile(path, bytes);
+
+    EXPECT_EQ(trace_store::openArtifact(key, program), nullptr);
+    trace_store::ThreadCounters counters =
+        trace_store::takeThreadCounters();
+    EXPECT_EQ(counters.misses, 1u);
+    EXPECT_EQ(counters.fallbacks, 1u);
+
+    // The stale artifact is overwritten, not trusted: a fresh save
+    // (which re-validates under the lock) rewrites it in the current
+    // format and the next lookup hits.
+    EXPECT_TRUE(trace_store::saveArtifact(key, *captured));
+    EXPECT_NE(trace_store::openArtifact(key, program), nullptr);
+}
+
+TEST_F(TraceStoreTest, PartialTmpFromKilledWriterIsIgnored)
+{
+    const Program &program = workloadProgram("libquantum");
+    auto key = trace_store::makeKey("libquantum", 30000, program);
+    std::filesystem::create_directories(dir);
+
+    // A writer killed mid-save leaves only `<path>.tmp` — readers never
+    // open it, so the lookup is a clean miss, not a fallback.
+    std::string path = trace_store::artifactPath(key);
+    writeFile(path + ".tmp", {'g', 'a', 'r', 'b', 'a', 'g', 'e'});
+    EXPECT_EQ(trace_store::openArtifact(key, program), nullptr);
+    trace_store::ThreadCounters counters =
+        trace_store::takeThreadCounters();
+    EXPECT_EQ(counters.misses, 1u);
+    EXPECT_EQ(counters.fallbacks, 0u);
+
+    // A completed save replaces the debris and publishes atomically.
+    auto buffer = std::make_shared<TraceBuffer>(program);
+    buffer->ensure(30000);
+    EXPECT_TRUE(trace_store::saveArtifact(key, *buffer));
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    EXPECT_NE(trace_store::openArtifact(key, program), nullptr);
+}
+
+// -------------------------------------------------- locking and growth
+
+TEST_F(TraceStoreTest, SaveSkipsUnderContentionAndWhenCurrent)
+{
+    const Program &program = workloadProgram("libquantum");
+    auto key = trace_store::makeKey("libquantum", 30000, program);
+    std::filesystem::create_directories(dir);
+    auto buffer = std::make_shared<TraceBuffer>(program);
+    buffer->ensure(30000);
+
+    // Simulate a concurrent writer holding the artifact lock.
+    std::string lock_path = trace_store::artifactPath(key) + ".lock";
+    int held = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+    ASSERT_GE(held, 0);
+    ASSERT_EQ(::flock(held, LOCK_EX | LOCK_NB), 0);
+    EXPECT_FALSE(trace_store::saveArtifact(key, *buffer));
+    ::close(held); // releases the lock
+
+    EXPECT_TRUE(trace_store::saveArtifact(key, *buffer));
+    // Second save of an unchanged stream is skipped as up-to-date.
+    EXPECT_FALSE(trace_store::saveArtifact(key, *buffer));
+}
+
+TEST_F(TraceStoreTest, DemandPastArtifactEndExtendsLiveAndRewrites)
+{
+    const Program &program = workloadProgram("mcf");
+    auto key = trace_store::makeKey("mcf", 40000, program);
+    captureAndSave(key, program, 20000);
+
+    auto artifact = trace_store::openArtifact(key, program);
+    ASSERT_NE(artifact, nullptr);
+    EXPECT_EQ(artifact->opCount(), 20000u);
+    auto restored =
+        std::make_shared<TraceBuffer>(program, std::move(artifact));
+    LiveSource live(program);
+    TraceReplay replay(restored);
+    // Walk past the stored end: decode 20000, then live execution
+    // resumes (fast-forward + extension) for the rest.
+    expectSameStream(collect(live, 40000), collect(replay, 40000));
+
+    // The grown buffer rewrites the artifact; a repeat save skips.
+    EXPECT_TRUE(trace_store::saveArtifact(key, *restored));
+    auto regrown = trace_store::openArtifact(key, program);
+    ASSERT_NE(regrown, nullptr);
+    EXPECT_EQ(regrown->opCount(), restored->size());
+    EXPECT_GE(regrown->opCount(), 40000u);
+    EXPECT_FALSE(trace_store::saveArtifact(key, *restored));
+}
+
+// ------------------------------------------------------- harness tiers
+
+harness::RunOptions
+quick()
+{
+    harness::RunOptions options;
+    options.instructions = 20000;
+    return options;
+}
+
+TEST_F(TraceStoreTest, TraceCacheKillSwitchBypassesBothTiers)
+{
+    harness::setTraceCacheEnabled(false);
+    harness::runSingle("mcf", PrefetcherKind::None, quick());
+    trace_store::Stats stats = trace_store::stats();
+    // BFSIM_TRACE_CACHE=0 means not even a store lookup happens.
+    EXPECT_EQ(stats.hits + stats.misses + stats.fallbacks, 0u);
+
+    harness::setTraceCacheEnabled(true);
+    harness::clearTraceCache();
+    harness::runSingle("mcf", PrefetcherKind::None, quick());
+    EXPECT_EQ(trace_store::stats().misses, 1u);
+}
+
+TEST_F(TraceStoreTest, CoreStatsBitIdenticalAcrossLiveMemoryAndDisk)
+{
+    // Reference: live execution, no trace sharing at all.
+    harness::setTraceCacheEnabled(false);
+    harness::SingleResult live =
+        harness::runSingle("mcf", PrefetcherKind::BFetch, quick());
+
+    // Memory tier only.
+    harness::setTraceCacheEnabled(true);
+    trace_store::setDirectory("");
+    harness::clearTraceCache();
+    harness::SingleResult memory =
+        harness::runSingle("mcf", PrefetcherKind::BFetch, quick());
+    EXPECT_EQ(std::memcmp(&live.core, &memory.core, sizeof(CoreStats)),
+              0);
+
+    // Disk tier, cold: capture live, persist at "batch end".
+    trace_store::setDirectory(dir);
+    harness::clearTraceCache();
+    harness::takeThreadCacheCounters();
+    harness::SingleResult cold =
+        harness::runSingle("mcf", PrefetcherKind::BFetch, quick());
+    harness::ThreadCacheCounters counters =
+        harness::takeThreadCacheCounters();
+    EXPECT_EQ(counters.traceDiskMisses, 1u);
+    EXPECT_EQ(counters.traceDiskHits, 0u);
+    EXPECT_EQ(std::memcmp(&live.core, &cold.core, sizeof(CoreStats)),
+              0);
+    EXPECT_GE(harness::persistTraceStore(), 1u);
+
+    // Disk tier, warm: the artifact seeds the buffer; no capture.
+    harness::clearTraceCache();
+    harness::SingleResult warm =
+        harness::runSingle("mcf", PrefetcherKind::BFetch, quick());
+    counters = harness::takeThreadCacheCounters();
+    EXPECT_EQ(counters.traceDiskHits, 1u);
+    EXPECT_EQ(counters.traceDiskMisses, 0u);
+    EXPECT_EQ(counters.traceFallbacks, 0u);
+    EXPECT_EQ(std::memcmp(&live.core, &warm.core, sizeof(CoreStats)),
+              0);
+}
+
+// ------------------------------------------------------ injected faults
+
+TEST_F(TraceStoreTest, InjectedOpenFaultDegradesToCapture)
+{
+    harness::SingleResult reference =
+        harness::runSingle("libquantum", PrefetcherKind::BFetch,
+                           quick());
+    EXPECT_GE(harness::persistTraceStore(), 1u);
+    harness::clearTraceCache();
+    harness::takeThreadCacheCounters();
+    {
+        // Seed 0 fires on the first trace_store site hit: artifact
+        // open. The run must recapture live, bit-identically. Site hit
+        // counters are per-thread and survive across armed windows
+        // (batch jobs reset them via FaultScope); start fresh here.
+        fault::beginScope(0);
+        harness::ScopedFault armed(fault::Site::TraceStore, 0, 0);
+        harness::SingleResult degraded =
+            harness::runSingle("libquantum", PrefetcherKind::BFetch,
+                               quick());
+        EXPECT_TRUE(armed.fired());
+        EXPECT_EQ(std::memcmp(&reference.core, &degraded.core,
+                              sizeof(CoreStats)),
+                  0);
+    }
+    harness::ThreadCacheCounters counters =
+        harness::takeThreadCacheCounters();
+    EXPECT_EQ(counters.traceDiskHits, 0u);
+    EXPECT_EQ(counters.traceDiskMisses, 1u);
+    EXPECT_EQ(counters.traceFallbacks, 1u);
+}
+
+TEST_F(TraceStoreTest, InjectedDecodeFaultDegradesMidStream)
+{
+    harness::SingleResult reference =
+        harness::runSingle("libquantum", PrefetcherKind::BFetch,
+                           quick());
+    EXPECT_GE(harness::persistTraceStore(), 1u);
+    harness::clearTraceCache();
+    harness::takeThreadCacheCounters();
+
+    // Site hit 1 is the successful artifact open; pick the seed whose
+    // planned hit is the first decodeChunk call, so the fault strikes
+    // after the reader is wired in and only internal degradation can
+    // keep the run alive.
+    std::uint64_t seed = 1;
+    while (fault::plannedHit(seed) != 2)
+        ++seed;
+    {
+        fault::beginScope(0); // fresh per-thread hit count (see above)
+        harness::ScopedFault armed(fault::Site::TraceStore, 0, seed);
+        harness::SingleResult degraded =
+            harness::runSingle("libquantum", PrefetcherKind::BFetch,
+                               quick());
+        EXPECT_TRUE(armed.fired());
+        EXPECT_EQ(std::memcmp(&reference.core, &degraded.core,
+                              sizeof(CoreStats)),
+                  0);
+    }
+    harness::ThreadCacheCounters counters =
+        harness::takeThreadCacheCounters();
+    EXPECT_EQ(counters.traceDiskHits, 1u); // the open itself succeeded
+    EXPECT_EQ(counters.traceFallbacks, 1u);
+}
+
+} // namespace
+} // namespace bfsim::sim

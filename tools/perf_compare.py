@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf*.json simulator-throughput reports.
+
+Matches jobs by label between a baseline report and a candidate report
+(both produced by the bench binaries' --perf-out flag / CI perf-smoke
+step), prints per-job and aggregate MIPS deltas, and — when gating is
+requested — fails if the candidate regresses aggregate MIPS by more
+than the threshold.
+
+Usage:
+    tools/perf_compare.py BASELINE.json CANDIDATE.json \
+        [--threshold-pct 15] [--gate]
+
+Exit codes:
+    0  comparison printed; no gated regression
+    1  gated regression: aggregate MIPS dropped more than threshold
+    2  bad input (missing file, unparsable JSON, no comparable jobs)
+
+Stdlib only; no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"perf_compare: cannot read '{path}': {error}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if "jobs" not in report or "mips" not in report:
+        print(f"perf_compare: '{path}' is not a perf report "
+              "(missing 'jobs'/'mips')", file=sys.stderr)
+        raise SystemExit(2)
+    return report
+
+
+def pct_delta(base: float, cand: float) -> float:
+    """Percent change from base to cand; +10 means 10% faster."""
+    if base <= 0:
+        return 0.0
+    return (cand - base) / base * 100.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_perf*.json throughput reports")
+    parser.add_argument("baseline", help="baseline perf report (JSON)")
+    parser.add_argument("candidate", help="candidate perf report (JSON)")
+    parser.add_argument(
+        "--threshold-pct", type=float, default=15.0,
+        help="regression threshold in percent (default: 15)")
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 when aggregate MIPS regresses beyond the threshold "
+             "(default: report only, always exit 0)")
+    args = parser.parse_args()
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+
+    base_jobs = {job["label"]: job for job in base.get("jobs", [])}
+    cand_jobs = {job["label"]: job for job in cand.get("jobs", [])}
+    shared = [label for label in base_jobs if label in cand_jobs]
+    only_base = sorted(set(base_jobs) - set(cand_jobs))
+    only_cand = sorted(set(cand_jobs) - set(base_jobs))
+
+    print(f"perf compare: {args.baseline} -> {args.candidate}")
+    print(f"  bench: {base.get('bench', '?')} -> "
+          f"{cand.get('bench', '?')}, "
+          f"batch_ops: {base.get('batch_ops')} -> "
+          f"{cand.get('batch_ops')}, "
+          f"threads: {base.get('threads')} -> {cand.get('threads')}")
+
+    if shared:
+        width = max(len(label) for label in shared)
+        print(f"  {'job'.ljust(width)}  base MIPS   cand MIPS     delta")
+        for label in shared:
+            b, c = base_jobs[label], cand_jobs[label]
+            delta = pct_delta(b.get("mips", 0.0), c.get("mips", 0.0))
+            print(f"  {label.ljust(width)}  "
+                  f"{b.get('mips', 0.0):9.3f}   "
+                  f"{c.get('mips', 0.0):9.3f}   "
+                  f"{delta:+7.1f}%")
+    for label in only_base:
+        print(f"  {label}: only in baseline")
+    for label in only_cand:
+        print(f"  {label}: only in candidate")
+
+    base_mips = float(base.get("mips", 0.0))
+    cand_mips = float(cand.get("mips", 0.0))
+    agg_delta = pct_delta(base_mips, cand_mips)
+    print(f"  aggregate: {base_mips:.3f} -> {cand_mips:.3f} MIPS "
+          f"({agg_delta:+.1f}%), threshold -{args.threshold_pct:.1f}%")
+
+    if not shared and not (base_mips > 0 and cand_mips > 0):
+        print("perf_compare: no comparable jobs or aggregate numbers",
+              file=sys.stderr)
+        return 2
+
+    if args.gate and agg_delta < -args.threshold_pct:
+        print(f"perf_compare: REGRESSION beyond "
+              f"{args.threshold_pct:.1f}% threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
