@@ -17,6 +17,12 @@
  * simulator-throughput (MIPS) report when --perf-report=PATH or
  * BFSIM_PERF_REPORT is given (CI archives it as BENCH_perf.json).
  *
+ * Statistical sampling (--sample / BFSIM_SAMPLE, see
+ * harness/sampling.hh) replaces every full detailed run with scheduled
+ * warmup+measure windows, estimating CPI at a fraction of the detailed
+ * work; --sample-jobs / BFSIM_SAMPLE_JOBS simulates the windows of
+ * each run in parallel.
+ *
  * Failure policy: a failed sweep point becomes a failed report item,
  * not a dead process. --retries/BFSIM_RETRIES grants bounded retries,
  * --fail-fast/BFSIM_FAIL_FAST stops launching jobs after the first
@@ -38,6 +44,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 #include "common/thread_pool.hh"
 #include "harness/batch.hh"
 #include "harness/experiment.hh"
@@ -153,15 +160,18 @@ listWorkloadsAndExit()
  * --report=PATH / --report PATH / --perf-report=PATH /
  * --filter=SUBSTR / --filter SUBSTR / --trace-dir=DIR / --trace-dir DIR /
  * --retries=N / --retries N / --fail-fast / --deadline=SECONDS /
- * --deadline SECONDS / --list) from argv before google-benchmark sees
- * the remaining arguments. BFSIM_REPORT / BFSIM_PERF_REPORT seed the
- * report paths, BFSIM_TRACE_DIR seeds the trace-store directory, and
- * BFSIM_RETRIES / BFSIM_FAIL_FAST / BFSIM_JOB_DEADLINE seed the
- * failure policy; explicit flags win. --filter restricts every
- * per-workload sweep, table row and geomean to workloads whose name
- * contains SUBSTR; --trace-dir persists captured DynOp traces in DIR
- * so later processes skip functional capture; --list prints the
- * (filtered) suite and exits.
+ * --deadline SECONDS / --sample[=P:W:M] / --sample-jobs=N / --list)
+ * from argv before google-benchmark sees the remaining arguments.
+ * BFSIM_REPORT / BFSIM_PERF_REPORT seed the report paths,
+ * BFSIM_TRACE_DIR seeds the trace-store directory, BFSIM_RETRIES /
+ * BFSIM_FAIL_FAST / BFSIM_JOB_DEADLINE seed the failure policy, and
+ * BFSIM_SAMPLE / BFSIM_SAMPLE_JOBS seed the sampling config; explicit
+ * flags win. --filter restricts every per-workload sweep, table row
+ * and geomean to workloads whose name contains SUBSTR; --trace-dir
+ * persists captured DynOp traces in DIR so later processes skip
+ * functional capture; --sample enables statistical sampling with the
+ * default (or a P:W:M period:warmup:measure) schedule, --sample=0
+ * force-disables it; --list prints the (filtered) suite and exits.
  */
 inline BenchConfig
 parseBenchConfig(int &argc, char **argv)
@@ -195,6 +205,10 @@ parseBenchConfig(int &argc, char **argv)
             fatal("--deadline expects seconds, got '" + value + "'");
         return seconds;
     };
+
+    bool sample_flag = false;
+    std::string sample_spec;
+    unsigned sample_jobs = 0;
 
     int out = 1;
     for (int i = 1; i < argc; ++i) {
@@ -245,6 +259,18 @@ parseBenchConfig(int &argc, char **argv)
                 fatal("--deadline expects seconds");
             config.batchOptions.jobDeadlineSeconds =
                 parse_deadline(argv[++i]);
+        } else if (arg == "--sample") {
+            sample_flag = true;
+            sample_spec = "1";
+        } else if (arg.rfind("--sample=", 0) == 0) {
+            sample_flag = true;
+            sample_spec = arg.substr(9);
+        } else if (arg.rfind("--sample-jobs=", 0) == 0) {
+            sample_jobs = parse_jobs(arg.substr(14));
+        } else if (arg == "--sample-jobs") {
+            if (i + 1 >= argc)
+                fatal("--sample-jobs expects a value");
+            sample_jobs = parse_jobs(argv[++i]);
         } else if (arg == "--list") {
             list = true;
         } else {
@@ -256,6 +282,29 @@ parseBenchConfig(int &argc, char **argv)
     activeWorkloadFilter() = config.filter;
     if (!config.traceDir.empty())
         sim::trace_store::setDirectory(config.traceDir);
+    if (sample_flag || sample_jobs > 0) {
+        // Layer the flags over the (env-seeded) process default, so
+        // e.g. --sample-jobs alone tunes a BFSIM_SAMPLE-enabled run.
+        harness::SampleConfig sample = harness::defaultSampleConfig();
+        if (sample_flag) {
+            if (sample_spec == "1") {
+                sample.enabled = true;
+            } else if (sample_spec == "0") {
+                sample.enabled = false;
+            } else {
+                try {
+                    unsigned jobs = sample.jobs;
+                    sample = harness::SampleConfig::parse(sample_spec);
+                    sample.jobs = jobs;
+                } catch (const SimError &error) {
+                    fatal(std::string("--sample: ") + error.message());
+                }
+            }
+        }
+        if (sample_jobs > 0)
+            sample.jobs = sample_jobs;
+        harness::setDefaultSampleConfig(sample);
+    }
     if (list)
         listWorkloadsAndExit();
     return config;
@@ -333,6 +382,7 @@ singleOptions()
 {
     harness::RunOptions options;
     options.instructions = harness::benchInstructionBudget(400'000);
+    options.sample = harness::defaultSampleConfig();
     return options;
 }
 
@@ -342,6 +392,7 @@ mixOptions()
 {
     harness::RunOptions options;
     options.instructions = harness::benchInstructionBudget(200'000);
+    options.sample = harness::defaultSampleConfig();
     return options;
 }
 

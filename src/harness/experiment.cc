@@ -29,7 +29,7 @@ RunOptions::cacheKey() const
        << bfetch.perLoadThreshold << '/' << bfetch.maxLookaheadDepth
        << '/' << bfetch.enableLoopPrefetch << bfetch.enablePattPrefetch
        << bfetch.enablePerLoadFilter << bfetch.arfFromCommitOnly << '/'
-       << deadlockCycles;
+       << deadlockCycles << sample.key();
     return os.str();
 }
 
@@ -245,6 +245,50 @@ registerForPersist(const std::string &cache_key,
  * this probe — mid-run extension faults — propagate, because by then
  * the core is wired to the shared cursor and cannot be rewired.
  */
+/**
+ * Acquire the shared trace buffer for (workload, budget) through the
+ * trace cache, seeding it from the on-disk store when one is
+ * configured. Throws SimError when neither buffer creation nor its
+ * first-extension probe succeeds.
+ */
+std::shared_ptr<sim::TraceBuffer>
+acquireSharedBuffer(const std::string &workload_name,
+                    const workloads::Workload &workload,
+                    const RunOptions &options, bool *computed)
+{
+    std::string key =
+        workload_name + '|' + std::to_string(options.instructions);
+    return traceCache().getOrCompute(
+        key,
+        [&] {
+            std::shared_ptr<sim::TraceBuffer> b;
+            if (sim::trace_store::enabled()) {
+                // Second tier: seed the buffer from an on-disk
+                // artifact when a valid one exists (skipping
+                // functional capture entirely), and register
+                // the buffer for persistence either way so the
+                // batch-end save writes new or grown streams.
+                auto store_key = sim::trace_store::makeKey(
+                    workload_name, options.instructions,
+                    workload.program);
+                auto artifact = sim::trace_store::openArtifact(
+                    store_key, workload.program);
+                b = artifact ? std::make_shared<sim::TraceBuffer>(
+                                   workload.program, std::move(artifact))
+                             : std::make_shared<sim::TraceBuffer>(
+                                   workload.program);
+                registerForPersist(key, std::move(store_key), b);
+            } else {
+                b = std::make_shared<sim::TraceBuffer>(workload.program);
+            }
+            // Probe the first extension now, while falling back
+            // to live execution is still possible.
+            b->ensure(1);
+            return b;
+        },
+        computed);
+}
+
 std::unique_ptr<sim::DynOpSource>
 makeSource(const std::string &workload_name, const RunOptions &options)
 {
@@ -253,44 +297,10 @@ makeSource(const std::string &workload_name, const RunOptions &options)
     if (!traceCacheEnabled())
         return std::make_unique<sim::LiveSource>(workload.program);
 
-    std::string key =
-        workload_name + '|' + std::to_string(options.instructions);
     try {
         bool computed = false;
-        std::shared_ptr<sim::TraceBuffer> buffer =
-            traceCache().getOrCompute(
-                key,
-                [&] {
-                    std::shared_ptr<sim::TraceBuffer> b;
-                    if (sim::trace_store::enabled()) {
-                        // Second tier: seed the buffer from an on-disk
-                        // artifact when a valid one exists (skipping
-                        // functional capture entirely), and register
-                        // the buffer for persistence either way so the
-                        // batch-end save writes new or grown streams.
-                        auto store_key = sim::trace_store::makeKey(
-                            workload_name, options.instructions,
-                            workload.program);
-                        auto artifact = sim::trace_store::openArtifact(
-                            store_key, workload.program);
-                        b = artifact
-                                ? std::make_shared<sim::TraceBuffer>(
-                                      workload.program,
-                                      std::move(artifact))
-                                : std::make_shared<sim::TraceBuffer>(
-                                      workload.program);
-                        registerForPersist(key, std::move(store_key),
-                                           b);
-                    } else {
-                        b = std::make_shared<sim::TraceBuffer>(
-                            workload.program);
-                    }
-                    // Probe the first extension now, while falling back
-                    // to live execution is still possible.
-                    b->ensure(1);
-                    return b;
-                },
-                &computed);
+        std::shared_ptr<sim::TraceBuffer> buffer = acquireSharedBuffer(
+            workload_name, workload, options, &computed);
         if (computed) {
             ++threadCacheCounters.traceMisses;
             return std::make_unique<sim::TraceCapture>(std::move(buffer));
@@ -305,12 +315,296 @@ makeSource(const std::string &workload_name, const RunOptions &options)
     }
 }
 
+/**
+ * Per-run producer of bounded per-window op sources over one
+ * workload's stream (see harness/sampling.hh). Prefers the disk tier —
+ * a private seekable v2 artifact reader per window, which makes the
+ * skipped instructions between windows genuinely free — and falls back
+ * to bounded cursors over the shared (or, with the trace cache off, a
+ * run-private) TraceBuffer, which materialises ops up to each window's
+ * end by sequential decode or live execution. Both tiers deliver
+ * bit-identical op values at identical absolute positions.
+ */
+class WindowSourceFactory
+{
+  public:
+    WindowSourceFactory(const std::string &workload_name,
+                        const RunOptions &options)
+        : name(workload_name),
+          workload(workloads::workloadByName(workload_name)),
+          options(options)
+    {
+        if (traceCacheEnabled() && sim::trace_store::enabled()) {
+            storeKey = sim::trace_store::makeKey(
+                name, options.instructions, workload.program);
+            haveStoreKey = true;
+        }
+        // Resolve the buffer tier eagerly so cache hit/miss accounting
+        // lands on the requesting thread, exactly like a full run.
+        if (traceCacheEnabled()) {
+            try {
+                bool computed = false;
+                buffer = acquireSharedBuffer(name, workload, options,
+                                             &computed);
+                if (computed)
+                    ++threadCacheCounters.traceMisses;
+                else
+                    ++threadCacheCounters.traceHits;
+            } catch (const SimError &error) {
+                ++threadCacheCounters.traceFallbacks;
+                warn(std::string("trace cache unavailable for ") + name +
+                     " (" + error.what() +
+                     "); sampling from a private capture");
+            }
+        }
+        if (!buffer)
+            buffer = std::make_shared<sim::TraceBuffer>(workload.program);
+    }
+
+    /**
+     * A source for ops [begin, end). `allow_artifact` false forces the
+     * buffer tier (the retry path after a mid-window decode failure).
+     */
+    std::unique_ptr<sim::DynOpSource>
+    make(std::uint64_t begin, std::uint64_t end, bool allow_artifact)
+    {
+        if (haveStoreKey && allow_artifact) {
+            auto artifact =
+                sim::trace_store::openArtifact(storeKey,
+                                               workload.program);
+            if (artifact && artifact->seekable() &&
+                artifact->opCount() >= end) {
+                try {
+                    return std::make_unique<sim::ArtifactWindowSource>(
+                        workload.program, std::move(artifact), begin,
+                        end);
+                } catch (const SimError &) {
+                    // Window construction failed; use the buffer tier.
+                }
+            }
+        }
+        return std::make_unique<sim::TraceWindowReplay>(buffer, begin,
+                                                        end);
+    }
+
+  private:
+    std::string name;
+    const workloads::Workload &workload;
+    RunOptions options;
+    sim::trace_store::Key storeKey{};
+    bool haveStoreKey = false;
+    std::shared_ptr<sim::TraceBuffer> buffer;
+};
+
+void
+accumulateBFetchStats(core::BFetchStats &into,
+                      const core::BFetchStats &from)
+{
+    into.lookaheadWalks += from.lookaheadWalks;
+    into.blocksVisited += from.blocksVisited;
+    into.prefetchesGenerated += from.prefetchesGenerated;
+    into.pattPrefetches += from.pattPrefetches;
+    into.loopPrefetches += from.loopPrefetches;
+    into.filteredByPerLoad += from.filteredByPerLoad;
+    into.stopsConfidence += from.stopsConfidence;
+    into.stopsBrtcMiss += from.stopsBrtcMiss;
+    into.stopsDepth += from.stopsDepth;
+    into.mhtLearnUpdates += from.mhtLearnUpdates;
+    into.brtcUpdates += from.brtcUpdates;
+}
+
+/** Per-window simulation output collected before aggregation. */
+struct WindowOutput
+{
+    sim::CmpResult result;
+    core::BFetchStats bfetch{};
+    bool haveBFetch = false;
+    double predictorKB = 0.0;
+};
+
+/**
+ * Simulate every scheduled window of a (possibly multi-core) run and
+ * return the outputs in schedule order. Each window builds a fresh Cmp
+ * whose cold structures the warmup region heals; windows execute in
+ * parallel when options.sample.jobs > 1, and a window whose disk-tier
+ * source fails mid-decode is re-run once through the buffer tier
+ * (which degrades to live capture bit-identically).
+ */
+std::vector<WindowOutput>
+runWindows(const std::vector<SampleWindow> &schedule,
+           std::vector<WindowSourceFactory> &factories,
+           sim::PrefetcherKind kind, const RunOptions &options)
+{
+    const unsigned n = static_cast<unsigned>(factories.size());
+    // Multi-core windows provision ops for the contention tail frozen
+    // cores keep executing; single-core windows stop at the target.
+    const std::uint64_t tail =
+        n > 1 ? sim::Cmp::contentionTailFactor : 1;
+
+    std::vector<WindowOutput> outputs(schedule.size());
+    forEachWindow(
+        schedule.size(), options.sample.jobs, [&](std::size_t w) {
+            const SampleWindow &win = schedule[w];
+            std::uint64_t end =
+                win.begin + (win.warmup + win.measure) * tail;
+            auto attempt = [&](bool allow_artifact) {
+                WindowOutput out;
+                std::vector<sim::CoreConfig> cfgs(
+                    n, makeCoreConfig(kind, options));
+                std::vector<std::unique_ptr<sim::DynOpSource>> sources;
+                for (unsigned c = 0; c < n; ++c) {
+                    sources.push_back(factories[c].make(
+                        win.begin, end, allow_artifact));
+                }
+                sim::Cmp cmp(cfgs, std::move(sources),
+                             makeHierarchyConfig(n, options));
+                out.result = cmp.runWindow(win.warmup, win.measure);
+                if (const core::BFetchEngine *engine =
+                        cmp.core(0).bfetchEngine()) {
+                    out.bfetch = engine->stats();
+                    out.haveBFetch = true;
+                }
+                out.predictorKB =
+                    static_cast<double>(
+                        cmp.core(0).predictor().storageBits()) /
+                    8.0 / 1024.0;
+                return out;
+            };
+            try {
+                outputs[w] = attempt(true);
+            } catch (const SimError &) {
+                outputs[w] = attempt(false);
+            }
+        });
+    return outputs;
+}
+
+SingleResult
+runSampledSingle(const std::string &workload_name,
+                 sim::PrefetcherKind kind, const RunOptions &options)
+{
+    std::vector<SampleWindow> schedule =
+        sampleSchedule(options.instructions, options.sample);
+    std::vector<WindowSourceFactory> factories;
+    factories.emplace_back(workload_name, options);
+
+    auto wall_start = std::chrono::steady_clock::now();
+    std::vector<WindowOutput> outputs =
+        runWindows(schedule, factories, kind, options);
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
+
+    SingleResult result;
+    result.workload = workload_name;
+    result.prefetcher = kind;
+    std::vector<std::uint64_t> window_cycles;
+    std::vector<std::uint64_t> window_insts;
+    core::BFetchStats bfetch_sum;
+    bool have_bfetch = false;
+    for (const WindowOutput &out : outputs) {
+        const sim::CoreStats &core = out.result.cores.at(0);
+        sim::accumulateCoreStats(result.core, core);
+        mem::accumulateMemStats(result.mem, out.result.memStats.at(0));
+        result.simInstructions += out.result.totalRetired;
+        window_cycles.push_back(core.cycles);
+        window_insts.push_back(core.instructions);
+        if (out.haveBFetch) {
+            accumulateBFetchStats(bfetch_sum, out.bfetch);
+            have_bfetch = true;
+        }
+    }
+    result.sampled = summarizeWindows(schedule, window_cycles,
+                                      window_insts,
+                                      options.instructions);
+    result.simSeconds = wall.count();
+    if (result.simSeconds > 0.0) {
+        result.mips = static_cast<double>(result.simInstructions) /
+                      result.simSeconds / 1e6;
+    }
+    if (have_bfetch) {
+        result.bfetch = bfetch_sum;
+        result.avgLookaheadDepth =
+            bfetch_sum.lookaheadWalks
+                ? static_cast<double>(bfetch_sum.blocksVisited) /
+                      static_cast<double>(bfetch_sum.lookaheadWalks)
+                : 0.0;
+    }
+    result.branchPredictorKB = outputs.front().predictorKB;
+    return result;
+}
+
+MixResult
+runSampledMix(const std::vector<std::string> &workload_names,
+              sim::PrefetcherKind kind, const RunOptions &options)
+{
+    const unsigned n = static_cast<unsigned>(workload_names.size());
+    std::vector<SampleWindow> schedule =
+        sampleSchedule(options.instructions, options.sample);
+    std::vector<WindowSourceFactory> factories;
+    factories.reserve(n);
+    for (const auto &name : workload_names)
+        factories.emplace_back(name, options);
+
+    auto wall_start = std::chrono::steady_clock::now();
+    std::vector<WindowOutput> outputs =
+        runWindows(schedule, factories, kind, options);
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
+
+    MixResult result;
+    result.workloads = workload_names;
+    result.prefetcher = kind;
+    result.cores.resize(n);
+    result.mem.resize(n);
+    std::vector<std::uint64_t> window_cycles;
+    std::vector<std::uint64_t> window_insts;
+    for (const WindowOutput &out : outputs) {
+        std::uint64_t cyc = 0;
+        std::uint64_t ins = 0;
+        for (unsigned c = 0; c < n; ++c) {
+            const sim::CoreStats &core = out.result.cores.at(c);
+            sim::accumulateCoreStats(result.cores[c], core);
+            mem::accumulateMemStats(result.mem[c],
+                                    out.result.memStats.at(c));
+            cyc += core.cycles;
+            ins += core.instructions;
+        }
+        result.simInstructions += out.result.totalRetired;
+        window_cycles.push_back(cyc);
+        window_insts.push_back(ins);
+    }
+    result.sampled = summarizeWindows(schedule, window_cycles,
+                                      window_insts,
+                                      options.instructions);
+    result.simSeconds = wall.count();
+    if (result.simSeconds > 0.0) {
+        result.mips = static_cast<double>(result.simInstructions) /
+                      result.simSeconds / 1e6;
+    }
+
+    // Weighted speedup against single-application no-prefetch IPCs;
+    // options carries the sample config, so the baselines are sampled
+    // with the identical window schedule (consistent estimator on both
+    // sides of the ratio).
+    double ws = 0.0;
+    for (unsigned c = 0; c < n; ++c) {
+        const SingleResult &single = runSingleCached(
+            workload_names[c], sim::PrefetcherKind::None, options);
+        ws += result.cores[c].ipc / single.core.ipc;
+    }
+    result.weightedSpeedup = ws;
+    return result;
+}
+
 } // namespace
 
 SingleResult
 runSingle(const std::string &workload_name, sim::PrefetcherKind kind,
           const RunOptions &options)
 {
+    if (options.sample.enabled && options.instructions > 0)
+        return runSampledSingle(workload_name, kind, options);
+
     std::vector<sim::CoreConfig> core_cfgs{makeCoreConfig(kind, options)};
     std::vector<std::unique_ptr<sim::DynOpSource>> sources;
     sources.push_back(makeSource(workload_name, options));
@@ -361,6 +655,9 @@ runMix(const std::vector<std::string> &workload_names,
 {
     if (workload_names.empty())
         throw SimError("harness", "runMix requires at least one workload");
+
+    if (options.sample.enabled && options.instructions > 0)
+        return runSampledMix(workload_names, kind, options);
 
     const unsigned n = static_cast<unsigned>(workload_names.size());
     std::vector<sim::CoreConfig> core_cfgs(n,

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "harness/sampling.hh"
 #include "mem/hierarchy.hh"
 #include "sim/cmp.hh"
 #include "sim/ooo_core.hh"
@@ -55,6 +56,15 @@ struct RunOptions
      * the built-in default" (see sim::CoreConfig::deadlockCycles).
      */
     std::uint64_t deadlockCycles = 0;
+    /**
+     * Statistical sampling (disabled by default: full detailed run).
+     * When enabled, the run times only the scheduled warmup+measure
+     * windows (see harness/sampling.hh) and the result's core/mem stats
+     * are the measured-region aggregates, with `sampled` describing the
+     * estimate quality. Sampled and full results memoize under
+     * different keys.
+     */
+    SampleConfig sample{};
 
     /** Stable cache key for memoization. */
     std::string cacheKey() const;
@@ -80,6 +90,8 @@ struct SingleResult
     double simSeconds = 0.0;
     std::uint64_t simInstructions = 0;
     double mips = 0.0;
+    /** Sampling estimate quality (enabled=false for full runs). */
+    SampledStats sampled{};
 };
 
 /** Run one workload on one core with one prefetching scheme. */
@@ -110,6 +122,8 @@ struct MixResult
     double simSeconds = 0.0;
     std::uint64_t simInstructions = 0;
     double mips = 0.0;
+    /** Sampling estimate quality over all cores (see SingleResult). */
+    SampledStats sampled{};
 };
 
 /**

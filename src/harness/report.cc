@@ -106,6 +106,45 @@ jsonNumber(double value)
     return os.str();
 }
 
+/**
+ * Emit the sampling-estimate block for a sampled result, leading with
+ * the estimate and its confidence interval so report consumers can
+ * gate on error bounds without re-deriving them.
+ */
+void
+writeSampledJson(std::ostream &os, const SampledStats &sampled)
+{
+    os << ", \"sampled\": {\"windows\": " << sampled.windows
+       << ", \"measured_instructions\": " << sampled.measuredInstructions
+       << ", \"warmup_instructions\": " << sampled.warmupInstructions
+       << ", \"budget_instructions\": " << sampled.budgetInstructions
+       << ", \"cpi\": " << jsonNumber(sampled.cpi)
+       << ", \"cpi_ci95\": " << jsonNumber(sampled.cpiCi95)
+       << ", \"ipc\": " << jsonNumber(sampled.ipc) << '}';
+}
+
+/**
+ * Aggregate IPC of one batch item over its measured region(s): the
+ * single-core IPC, or ratio-of-sums across a mix's cores. This is the
+ * figure perf_compare.py diffs between a full and a sampled run of the
+ * same bench, so both run modes must define it identically.
+ */
+double
+itemIpc(const BatchItem &item)
+{
+    if (item.single)
+        return item.single->core.ipc;
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    for (const sim::CoreStats &core : item.mix->cores) {
+        cycles += core.cycles;
+        insts += core.instructions;
+    }
+    return cycles ? static_cast<double>(insts) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+}
+
 const char *
 kindName(BatchJob::Kind kind)
 {
@@ -199,6 +238,8 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
                << ", \"sim_seconds\": "
                << jsonNumber(item.single->simSeconds)
                << ", \"mips\": " << jsonNumber(item.single->mips);
+            if (item.single->sampled.enabled)
+                writeSampledJson(os, item.single->sampled);
         } else if (item.mix) {
             os << ", \"prefetcher\": \""
                << sim::prefetcherName(item.mix->prefetcher)
@@ -218,6 +259,8 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
                << ", \"sim_seconds\": "
                << jsonNumber(item.mix->simSeconds)
                << ", \"mips\": " << jsonNumber(item.mix->mips);
+            if (item.mix->sampled.enabled)
+                writeSampledJson(os, item.mix->sampled);
         } else {
             os << ", \"value\": " << jsonNumber(item.value);
         }
@@ -311,7 +354,8 @@ writePerfReportJson(std::ostream &os, const std::string &bench_name,
         os << "    {\"label\": \"" << jsonEscape(item.label)
            << "\", \"sim_instructions\": " << insts
            << ", \"sim_seconds\": " << jsonNumber(seconds)
-           << ", \"mips\": " << jsonNumber(mips) << '}';
+           << ", \"mips\": " << jsonNumber(mips)
+           << ", \"ipc\": " << jsonNumber(itemIpc(item)) << '}';
     }
     os << "\n  ]\n}\n";
 }

@@ -1,0 +1,244 @@
+#include "harness/sampling.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/sim_error.hh"
+#include "common/thread_pool.hh"
+
+namespace bfsim::harness {
+
+std::string
+SampleConfig::key() const
+{
+    if (!enabled)
+        return "";
+    std::ostringstream os;
+    os << "/sample:" << periodOps << ':' << warmupOps << ':'
+       << measureOps;
+    return os.str();
+}
+
+SampleConfig
+SampleConfig::parse(const std::string &spec)
+{
+    SampleConfig config;
+    config.enabled = true;
+
+    std::uint64_t fields[3] = {0, 0, 0};
+    std::size_t pos = 0;
+    for (int f = 0; f < 3; ++f) {
+        if (pos >= spec.size())
+            throw SimError("sampling", "sample spec '" + spec +
+                                           "' is not "
+                                           "period:warmup:measure");
+        char *end = nullptr;
+        fields[f] = std::strtoull(spec.c_str() + pos, &end, 10);
+        std::size_t consumed = end - (spec.c_str() + pos);
+        if (consumed == 0)
+            throw SimError("sampling", "sample spec '" + spec +
+                                           "' has a non-numeric field");
+        pos += consumed;
+        if (f < 2) {
+            if (pos >= spec.size() || spec[pos] != ':')
+                throw SimError("sampling",
+                               "sample spec '" + spec +
+                                   "' is not period:warmup:measure");
+            ++pos;
+        }
+    }
+    if (pos != spec.size())
+        throw SimError("sampling", "sample spec '" + spec +
+                                       "' has trailing characters");
+
+    config.periodOps = fields[0];
+    config.warmupOps = fields[1];
+    config.measureOps = fields[2];
+    if (config.measureOps == 0)
+        throw SimError("sampling", "sample measure region must be > 0");
+    if (config.periodOps < config.warmupOps + config.measureOps) {
+        throw SimError("sampling",
+                       "sample window (warmup + measure) must fit in "
+                       "the period");
+    }
+    return config;
+}
+
+SampleConfig
+SampleConfig::fromEnv()
+{
+    SampleConfig config;
+    const char *env = std::getenv("BFSIM_SAMPLE");
+    if (env && *env && std::string(env) != "0") {
+        if (std::string(env) == "1") {
+            config.enabled = true;
+        } else {
+            try {
+                config = parse(env);
+            } catch (const SimError &error) {
+                warn(std::string("ignoring BFSIM_SAMPLE: ") +
+                     error.message());
+            }
+        }
+    }
+    if (const char *jobs_env = std::getenv("BFSIM_SAMPLE_JOBS")) {
+        char *end = nullptr;
+        unsigned long value = std::strtoul(jobs_env, &end, 10);
+        if (end && *end == '\0' && value > 0)
+            config.jobs = static_cast<unsigned>(value);
+        else
+            warn("ignoring malformed BFSIM_SAMPLE_JOBS value");
+    }
+    return config;
+}
+
+namespace {
+
+std::mutex &
+defaultConfigMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+SampleConfig &
+defaultConfigRef()
+{
+    static SampleConfig config = SampleConfig::fromEnv();
+    return config;
+}
+
+} // namespace
+
+SampleConfig
+defaultSampleConfig()
+{
+    std::lock_guard<std::mutex> lock(defaultConfigMutex());
+    return defaultConfigRef();
+}
+
+void
+setDefaultSampleConfig(const SampleConfig &config)
+{
+    std::lock_guard<std::mutex> lock(defaultConfigMutex());
+    defaultConfigRef() = config;
+}
+
+std::vector<SampleWindow>
+sampleSchedule(std::uint64_t budget, const SampleConfig &config)
+{
+    std::vector<SampleWindow> windows;
+    if (!config.enabled || budget == 0)
+        return windows;
+
+    std::uint64_t span = config.warmupOps + config.measureOps;
+    std::uint64_t period = std::max<std::uint64_t>(config.periodOps, 1);
+    for (std::uint64_t begin = 0; begin + span <= budget;
+         begin += period) {
+        windows.push_back(
+            {begin, config.warmupOps, config.measureOps});
+    }
+    if (windows.empty()) {
+        // Budget smaller than one full window: measure what fits so a
+        // sampled run always yields a CPI (and, at such tiny budgets,
+        // degenerates toward the full run it no longer undercuts).
+        std::uint64_t measure = std::min(config.measureOps, budget);
+        std::uint64_t warmup =
+            std::min(config.warmupOps, budget - measure);
+        windows.push_back({0, warmup, measure});
+    }
+    return windows;
+}
+
+SampledStats
+summarizeWindows(const std::vector<SampleWindow> &schedule,
+                 const std::vector<std::uint64_t> &cycles,
+                 const std::vector<std::uint64_t> &instructions,
+                 std::uint64_t budget)
+{
+    BFSIM_CHECK(cycles.size() == schedule.size() &&
+                    instructions.size() == schedule.size(),
+                "sampling",
+                "window results must match the schedule");
+
+    SampledStats stats;
+    stats.enabled = true;
+    stats.windows = schedule.size();
+    stats.budgetInstructions = budget;
+
+    std::uint64_t total_cycles = 0;
+    std::vector<double> window_cpis;
+    window_cpis.reserve(schedule.size());
+    for (std::size_t w = 0; w < schedule.size(); ++w) {
+        stats.warmupInstructions += schedule[w].warmup;
+        stats.measuredInstructions += instructions[w];
+        total_cycles += cycles[w];
+        if (instructions[w] > 0) {
+            window_cpis.push_back(static_cast<double>(cycles[w]) /
+                                  static_cast<double>(instructions[w]));
+        }
+    }
+    if (stats.measuredInstructions > 0) {
+        stats.cpi = static_cast<double>(total_cycles) /
+                    static_cast<double>(stats.measuredInstructions);
+        stats.ipc = stats.cpi > 0.0 ? 1.0 / stats.cpi : 0.0;
+    }
+
+    // Normal-approximation 95% interval on the mean of per-window CPIs
+    // (SMARTS-style error reporting); meaningless below two windows.
+    std::size_t n = window_cpis.size();
+    if (n >= 2) {
+        double mean = 0.0;
+        for (double cpi : window_cpis)
+            mean += cpi;
+        mean /= static_cast<double>(n);
+        double var = 0.0;
+        for (double cpi : window_cpis)
+            var += (cpi - mean) * (cpi - mean);
+        var /= static_cast<double>(n - 1);
+        stats.cpiCi95 =
+            1.96 * std::sqrt(var / static_cast<double>(n));
+    }
+    return stats;
+}
+
+void
+forEachWindow(std::size_t count, unsigned jobs,
+              const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (jobs <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<std::size_t>(jobs, count)));
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        futures.push_back(pool.submit([&fn, i] { fn(i); }));
+
+    // Drain every window before rethrowing, so no worker is still
+    // touching result slots when the first failure propagates.
+    std::exception_ptr first;
+    for (auto &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace bfsim::harness

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * SMARTS-style statistical sampling of timing simulation (DESIGN.md
+ * §13): instead of walking the full dynamic instruction budget through
+ * the cycle-level model, measure short windows at a fixed period —
+ * each window runs `warmupOps` instructions of detailed warmup (healing
+ * the cold caches and predictors of a freshly built window simulator)
+ * followed by `measureOps` measured instructions — and estimate CPI as
+ * total measured cycles over total measured instructions, with a 95%
+ * confidence interval from the per-window CPI spread.
+ *
+ * The instructions *between* windows are never timed. On the memory
+ * trace tier they are fetched by functional execution or sequential
+ * artifact decode once per (workload, budget); on the disk tier a
+ * format-v2 artifact's chunk index lets each window seek directly to
+ * its first chunk, so skipped instructions cost nothing at all. Either
+ * way the windows observe the identical DynOp values a full run would,
+ * so sampled CPI is deterministic: the same schedule yields
+ * bit-identical aggregates across {serial, parallel} window execution
+ * and across {memory, disk} tiers.
+ *
+ * Windows are independent simulations, so they parallelize across a
+ * ThreadPool (BFSIM_SAMPLE_JOBS / SampleConfig::jobs); results are
+ * recombined in schedule order, keeping aggregation deterministic.
+ */
+
+#ifndef BFSIM_HARNESS_SAMPLING_HH_
+#define BFSIM_HARNESS_SAMPLING_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bfsim::harness {
+
+/** Sampling-mode knobs for one run (disabled by default). */
+struct SampleConfig
+{
+    bool enabled = false;
+    /** Instructions from one window start to the next. */
+    std::uint64_t periodOps = 200'000;
+    /** Detailed (unmeasured) instructions at each window start. */
+    std::uint64_t warmupOps = 4'000;
+    /** Measured instructions per window. */
+    std::uint64_t measureOps = 8'000;
+    /**
+     * Worker threads for window execution; 1 = serial. Not part of
+     * key(): parallelism never changes the aggregated numbers.
+     */
+    unsigned jobs = 1;
+
+    /**
+     * Memo-cache key fragment: "" when disabled (so full-run keys are
+     * unchanged), "/sample:period:warmup:measure" when enabled —
+     * sampled and full results never collide.
+     */
+    std::string key() const;
+
+    /**
+     * Parse a "period:warmup:measure" spec (instruction counts; the
+     * window must fit in the period). Returns an enabled config; throws
+     * SimError on malformed input.
+     */
+    static SampleConfig parse(const std::string &spec);
+
+    /**
+     * Config from the environment: BFSIM_SAMPLE unset/"0" = disabled,
+     * "1" = enabled with defaults, otherwise a parse() spec; plus
+     * BFSIM_SAMPLE_JOBS for window parallelism.
+     */
+    static SampleConfig fromEnv();
+};
+
+/**
+ * The process-default sampling config applied by the bench harness
+ * (seeded from the environment; --sample overrides it).
+ */
+SampleConfig defaultSampleConfig();
+void setDefaultSampleConfig(const SampleConfig &config);
+
+/** One scheduled measurement window over a dynamic op stream. */
+struct SampleWindow
+{
+    std::uint64_t begin = 0;   ///< op index where warmup starts
+    std::uint64_t warmup = 0;  ///< warmup instructions
+    std::uint64_t measure = 0; ///< measured instructions
+
+    /** One past the last op the window measures. */
+    std::uint64_t end() const { return begin + warmup + measure; }
+};
+
+/**
+ * The deterministic window schedule for `budget` instructions: windows
+ * at begin = 0, period, 2*period, ... whose warmup+measure region fits
+ * the budget. A budget smaller than one full window degrades to a
+ * single clamped window (measure-what-there-is), never to zero windows,
+ * so sampled runs always produce a CPI. Empty when sampling is off.
+ */
+std::vector<SampleWindow> sampleSchedule(std::uint64_t budget,
+                                         const SampleConfig &config);
+
+/** Aggregated sampling statistics carried in run results and reports. */
+struct SampledStats
+{
+    bool enabled = false;
+    std::uint64_t windows = 0;
+    /** Instructions inside measurement regions (the CPI denominator). */
+    std::uint64_t measuredInstructions = 0;
+    /** Instructions burned as detailed warmup across windows. */
+    std::uint64_t warmupInstructions = 0;
+    /** The full budget the sample represents. */
+    std::uint64_t budgetInstructions = 0;
+    /** Aggregate CPI: total measured cycles / measured instructions. */
+    double cpi = 0.0;
+    /** 95% confidence half-width on the per-window CPI mean. */
+    double cpiCi95 = 0.0;
+    /** 1 / cpi (0 when nothing measured). */
+    double ipc = 0.0;
+};
+
+/**
+ * Combine per-window measurement results (schedule order; `cycles` and
+ * `instructions` are each window's measured deltas) into aggregate CPI
+ * and its confidence interval. Aggregation is ratio-of-sums, matching
+ * how a full run computes IPC; the CI comes from the spread of
+ * individual window CPIs (sample stddev, normal approximation).
+ */
+SampledStats summarizeWindows(const std::vector<SampleWindow> &schedule,
+                              const std::vector<std::uint64_t> &cycles,
+                              const std::vector<std::uint64_t> &instructions,
+                              std::uint64_t budget);
+
+/**
+ * Run `fn(index)` for every index in [0, count), on `jobs` worker
+ * threads when jobs > 1 (inline otherwise). Blocks until all complete.
+ * The first exception thrown by any invocation is rethrown after every
+ * worker has finished; `fn` must write results to disjoint slots.
+ */
+void forEachWindow(std::size_t count, unsigned jobs,
+                   const std::function<void(std::size_t)> &fn);
+
+} // namespace bfsim::harness
+
+#endif // BFSIM_HARNESS_SAMPLING_HH_

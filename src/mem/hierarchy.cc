@@ -224,4 +224,40 @@ Hierarchy::prefetch(unsigned core, Addr vaddr, Cycle now,
     return PrefetchResult::Issued;
 }
 
+CoreMemStats
+memStatsDelta(const CoreMemStats &end, const CoreMemStats &begin)
+{
+    CoreMemStats d;
+    d.accesses = end.accesses - begin.accesses;
+    d.l1Hits = end.l1Hits - begin.l1Hits;
+    d.l2Hits = end.l2Hits - begin.l2Hits;
+    d.l3Hits = end.l3Hits - begin.l3Hits;
+    d.dramAccesses = end.dramAccesses - begin.dramAccesses;
+    d.prefetchesIssued = end.prefetchesIssued - begin.prefetchesIssued;
+    d.prefetchesDuplicate =
+        end.prefetchesDuplicate - begin.prefetchesDuplicate;
+    d.usefulPrefetches = end.usefulPrefetches - begin.usefulPrefetches;
+    d.uselessPrefetches =
+        end.uselessPrefetches - begin.uselessPrefetches;
+    d.latePrefetches = end.latePrefetches - begin.latePrefetches;
+    d.writebacks = end.writebacks - begin.writebacks;
+    return d;
+}
+
+void
+accumulateMemStats(CoreMemStats &into, const CoreMemStats &from)
+{
+    into.accesses += from.accesses;
+    into.l1Hits += from.l1Hits;
+    into.l2Hits += from.l2Hits;
+    into.l3Hits += from.l3Hits;
+    into.dramAccesses += from.dramAccesses;
+    into.prefetchesIssued += from.prefetchesIssued;
+    into.prefetchesDuplicate += from.prefetchesDuplicate;
+    into.usefulPrefetches += from.usefulPrefetches;
+    into.uselessPrefetches += from.uselessPrefetches;
+    into.latePrefetches += from.latePrefetches;
+    into.writebacks += from.writebacks;
+}
+
 } // namespace bfsim::mem

@@ -83,6 +83,16 @@ struct CoreMemStats
 };
 
 /**
+ * Counter-wise `end - begin`: the memory-system activity between two
+ * snapshots of the same core (sampling windows subtract their warmup).
+ */
+CoreMemStats memStatsDelta(const CoreMemStats &end,
+                           const CoreMemStats &begin);
+
+/** Counter-wise `into += from` (combining sampling windows). */
+void accumulateMemStats(CoreMemStats &into, const CoreMemStats &from);
+
+/**
  * Notification that a prefetch attributed to `loadPcHash` proved useful
  * (demand-hit before eviction) or useless (evicted untouched). B-Fetch's
  * per-load filter trains on exactly this signal.

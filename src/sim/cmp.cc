@@ -93,4 +93,81 @@ Cmp::run(std::uint64_t insts_per_core)
     return result;
 }
 
+CmpResult
+Cmp::runWindow(std::uint64_t warmup, std::uint64_t measure)
+{
+    const std::size_t n = cores.size();
+    const std::uint64_t target = warmup + measure;
+    CmpResult result;
+    result.cores.resize(n);
+    std::vector<CoreStats> warm_stats(n);
+    std::vector<mem::CoreMemStats> warm_mem(n);
+    std::vector<bool> warmed(n, warmup == 0);
+    std::vector<bool> frozen(n, false);
+    std::size_t frozen_count = 0;
+
+    // Same bounded-window interleaving as run(): shared-resource
+    // timestamps stay time-coherent across cores.
+    constexpr Cycle window = 512;
+    Cycle horizon = window;
+
+    while (frozen_count < n) {
+        for (std::size_t c = 0; c < n; ++c) {
+            OooCore &core = *cores[c];
+            if (frozen[c] &&
+                core.retired() >= target * contentionTailFactor)
+                continue;
+            while (core.fetchCycle() < horizon) {
+                if (!core.stepInstruction()) {
+                    // Halt inside the window: freeze what was measured.
+                    if (!frozen[c]) {
+                        if (!warmed[c]) {
+                            warm_stats[c] = core.stats();
+                            warm_mem[c] = mem.stats(
+                                static_cast<unsigned>(c));
+                            warmed[c] = true;
+                        }
+                        result.cores[c] =
+                            coreStatsDelta(core.stats(), warm_stats[c]);
+                        frozen[c] = true;
+                        ++frozen_count;
+                    }
+                    break;
+                }
+                if (!warmed[c] && core.retired() >= warmup) {
+                    warm_stats[c] = core.stats();
+                    warm_mem[c] =
+                        mem.stats(static_cast<unsigned>(c));
+                    warmed[c] = true;
+                }
+                if (!frozen[c] && core.retired() >= target) {
+                    result.cores[c] =
+                        coreStatsDelta(core.stats(), warm_stats[c]);
+                    frozen[c] = true;
+                    ++frozen_count;
+                }
+            }
+            if (core.halted() && !frozen[c]) {
+                if (!warmed[c]) {
+                    warm_stats[c] = core.stats();
+                    warm_mem[c] = mem.stats(static_cast<unsigned>(c));
+                    warmed[c] = true;
+                }
+                result.cores[c] =
+                    coreStatsDelta(core.stats(), warm_stats[c]);
+                frozen[c] = true;
+                ++frozen_count;
+            }
+        }
+        horizon += window;
+    }
+
+    for (std::size_t c = 0; c < n; ++c) {
+        result.memStats.push_back(mem::memStatsDelta(
+            mem.stats(static_cast<unsigned>(c)), warm_mem[c]));
+        result.totalRetired += cores[c]->retired();
+    }
+    return result;
+}
+
 } // namespace bfsim::sim

@@ -45,6 +45,13 @@ class Cmp
 {
   public:
     /**
+     * Frozen cores stop stepping past this multiple of the target —
+     * public so callers sizing bounded op sources (sampling windows)
+     * can provision for the contention tail a multi-core run demands.
+     */
+    static constexpr std::uint64_t contentionTailFactor = 8;
+
+    /**
      * Construct with per-core configs and dynamic-op sources (sizes
      * must match). The shared hierarchy is sized by `hierarchy_config`,
      * whose numCores must equal sources.size(). Sources may be live
@@ -66,6 +73,19 @@ class Cmp
      */
     CmpResult run(std::uint64_t insts_per_core);
 
+    /**
+     * Run one sampling measurement window: advance every core through
+     * `warmup` retired instructions (healing the cold caches and
+     * predictors of a freshly constructed Cmp), then measure the next
+     * `measure` instructions — the returned per-core stats and memory
+     * stats are the *deltas* across the measurement region only. The
+     * run() contention-tail discipline applies unchanged, so multi-core
+     * windows keep shared-resource pressure alive until every core has
+     * crossed. A separate method (rather than a mode of run()) so the
+     * full-run path stays bit-identical to previous releases.
+     */
+    CmpResult runWindow(std::uint64_t warmup, std::uint64_t measure);
+
     /** Access a core (e.g. for its B-Fetch engine). */
     const OooCore &core(unsigned index) const { return *cores.at(index); }
 
@@ -73,9 +93,6 @@ class Cmp
     const mem::Hierarchy &hierarchy() const { return mem; }
 
   private:
-    /** Frozen cores stop stepping past this multiple of the target. */
-    static constexpr std::uint64_t contentionTailFactor = 8;
-
     mem::Hierarchy mem;
     std::vector<std::unique_ptr<OooCore>> cores;
 };

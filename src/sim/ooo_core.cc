@@ -459,4 +459,55 @@ OooCore::stats() const
     return s;
 }
 
+namespace {
+
+void
+recomputeDerived(CoreStats &s)
+{
+    s.ipc = s.cycles ? static_cast<double>(s.instructions) /
+                           static_cast<double>(s.cycles)
+                     : 0.0;
+    s.branchMissRate =
+        s.condBranches ? static_cast<double>(s.mispredicts) /
+                             static_cast<double>(s.condBranches)
+                       : 0.0;
+}
+
+} // namespace
+
+CoreStats
+coreStatsDelta(const CoreStats &end, const CoreStats &begin)
+{
+    CoreStats d;
+    d.instructions = end.instructions - begin.instructions;
+    d.cycles = end.cycles - begin.cycles;
+    d.condBranches = end.condBranches - begin.condBranches;
+    d.mispredicts = end.mispredicts - begin.mispredicts;
+    d.loads = end.loads - begin.loads;
+    d.stores = end.stores - begin.stores;
+    for (std::size_t i = 0; i < d.branchesPerFetchCycle.size(); ++i) {
+        d.branchesPerFetchCycle[i] = end.branchesPerFetchCycle[i] -
+                                     begin.branchesPerFetchCycle[i];
+    }
+    d.fetchCyclesWithBranch =
+        end.fetchCyclesWithBranch - begin.fetchCyclesWithBranch;
+    recomputeDerived(d);
+    return d;
+}
+
+void
+accumulateCoreStats(CoreStats &into, const CoreStats &from)
+{
+    into.instructions += from.instructions;
+    into.cycles += from.cycles;
+    into.condBranches += from.condBranches;
+    into.mispredicts += from.mispredicts;
+    into.loads += from.loads;
+    into.stores += from.stores;
+    for (std::size_t i = 0; i < into.branchesPerFetchCycle.size(); ++i)
+        into.branchesPerFetchCycle[i] += from.branchesPerFetchCycle[i];
+    into.fetchCyclesWithBranch += from.fetchCyclesWithBranch;
+    recomputeDerived(into);
+}
+
 } // namespace bfsim::sim

@@ -102,6 +102,21 @@ struct CoreStats
     std::uint64_t fetchCyclesWithBranch = 0;
 };
 
+/**
+ * Counter-wise `end - begin` with the derived rates (ipc,
+ * branchMissRate) recomputed over the difference — the stats of the
+ * instructions retired *between* two snapshots of the same core. Used
+ * by sampling measurement windows to discard their warmup prefix.
+ */
+CoreStats coreStatsDelta(const CoreStats &end, const CoreStats &begin);
+
+/**
+ * Counter-wise `into += from` with derived rates recomputed — combines
+ * per-window measurement deltas into one aggregate (sampled CPI is
+ * total cycles over total instructions, not a mean of ratios).
+ */
+void accumulateCoreStats(CoreStats &into, const CoreStats &from);
+
 /** One simulated core: dynamic-op source + timing model + prefetcher. */
 class OooCore
 {

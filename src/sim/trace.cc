@@ -330,4 +330,203 @@ TraceReplay::halted() const
     return buf->halted() && cursor >= buf->size();
 }
 
+TraceWindowReplay::TraceWindowReplay(std::shared_ptr<TraceBuffer> buffer,
+                                     std::uint64_t begin,
+                                     std::uint64_t end)
+    : buf(std::move(buffer)), beginOp(begin), endOp(end), cursor(begin)
+{
+    BFSIM_CHECK(buf != nullptr, "trace",
+                "TraceWindowReplay requires a trace buffer");
+    BFSIM_CHECK(begin <= end, "trace",
+                "TraceWindowReplay window is inverted");
+    avail = std::min(buf->size(), endOp);
+}
+
+bool
+TraceWindowReplay::refill()
+{
+    if (cursor < avail)
+        return true;
+    if (cursor >= endOp)
+        return false;
+    avail = std::min(buf->size(), endOp);
+    if (cursor >= avail) {
+        avail = std::min(
+            buf->ensure(std::min(cursor + extendBatch, endOp)), endOp);
+        if (cursor >= avail)
+            return false; // program halted before this op
+    }
+    return true;
+}
+
+bool
+TraceWindowReplay::next(DynOp &op)
+{
+    if (!refill())
+        return false;
+    buf->fetch(cursor, op);
+    ++cursor;
+    return true;
+}
+
+std::size_t
+TraceWindowReplay::nextBatch(DynOp *out, std::size_t max)
+{
+    if (!refill())
+        return 0;
+    std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max, avail - cursor));
+    buf->fetchSpan(cursor, n, out);
+    cursor += n;
+    return n;
+}
+
+std::size_t
+TraceWindowReplay::nextSpan(OpSpanView &span, std::size_t max)
+{
+    if (!refill()) {
+        span.count = 0;
+        return 0;
+    }
+    std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max, avail - cursor));
+    n = buf->spanAt(cursor, n, span);
+    cursor += n;
+    return n;
+}
+
+bool
+TraceWindowReplay::halted() const
+{
+    if (cursor >= endOp)
+        return true;
+    return buf->halted() && cursor >= buf->size();
+}
+
+ArtifactWindowSource::ArtifactWindowSource(
+    const isa::Program &program,
+    std::unique_ptr<trace_store::ArtifactReader> artifact,
+    std::uint64_t begin, std::uint64_t end)
+    : prog(program), reader(std::move(artifact)), beginOp(begin),
+      endOp(end), cursor(begin)
+{
+    if (!reader || !reader->seekable())
+        throw SimError("sampling",
+                       "window source needs a seekable (v2) artifact");
+    if (begin > end || end > reader->opCount())
+        throw SimError("sampling",
+                       "artifact does not cover the sample window");
+    std::uint64_t chunk = begin / TraceBuffer::chunkOps;
+    if (!reader->seekToChunk(chunk))
+        throw SimError("sampling", "cannot seek to the window chunk");
+    chunkBase = decodedEnd = chunk * TraceBuffer::chunkOps;
+    pcCol.resize(TraceBuffer::chunkOps);
+    addrCol.resize(TraceBuffer::chunkOps);
+    resultCol.resize(TraceBuffer::chunkOps);
+    flagCol.resize(TraceBuffer::chunkOps);
+}
+
+ArtifactWindowSource::~ArtifactWindowSource() = default;
+
+bool
+ArtifactWindowSource::refill()
+{
+    if (cursor < std::min(decodedEnd, endOp))
+        return true;
+    if (cursor >= endOp)
+        return false;
+    // Decode the chunk holding `cursor`; SimError from a corrupt chunk
+    // propagates to the caller, which re-runs the window off the
+    // TraceBuffer tier.
+    std::size_t got = reader->decodeChunk(pcCol.data(), addrCol.data(),
+                                          resultCol.data(),
+                                          flagCol.data());
+    if (got == 0)
+        return false; // coverage was checked; defensive only
+    decodedEnd = reader->decoded();
+    chunkBase = decodedEnd - got;
+    return cursor < std::min(decodedEnd, endOp);
+}
+
+bool
+ArtifactWindowSource::next(DynOp &op)
+{
+    if (!refill())
+        return false;
+    std::size_t k = static_cast<std::size_t>(cursor - chunkBase);
+    const isa::Instruction &inst = prog.at(pcCol[k]);
+    op.pcIndex = pcCol[k];
+    op.pc = isa::instAddr(pcCol[k]);
+    op.inst = &inst;
+    op.seq = cursor + 1;
+    op.taken = (flagCol[k] & OpSpanView::takenFlag) != 0;
+    op.effAddr = addrCol[k];
+    op.writesReg = (flagCol[k] & OpSpanView::writesRegFlag) != 0;
+    op.result = resultCol[k];
+    std::uint32_t next_pc = (inst.isControl() && op.taken)
+                                ? inst.target
+                                : pcCol[k] + 1;
+    op.targetPc = isa::instAddr(next_pc);
+    ++cursor;
+    return true;
+}
+
+std::size_t
+ArtifactWindowSource::nextBatch(DynOp *out, std::size_t max)
+{
+    if (!refill())
+        return 0;
+    std::size_t k = static_cast<std::size_t>(cursor - chunkBase);
+    std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
+        max, std::min(decodedEnd, endOp) - cursor));
+    const isa::Instruction *insts = prog.insts().data();
+    const isa::StaticDecode *decode = prog.decodeTable().data();
+    for (std::size_t s = 0; s < n; ++s, ++k) {
+        DynOp &op = out[s];
+        std::uint32_t pc_index = pcCol[k];
+        std::uint8_t flags = flagCol[k];
+        op.pcIndex = pc_index;
+        op.pc = isa::instAddr(pc_index);
+        op.inst = &insts[pc_index];
+        op.seq = cursor + s + 1;
+        op.taken = (flags & OpSpanView::takenFlag) != 0;
+        op.effAddr = addrCol[k];
+        op.writesReg = (flags & OpSpanView::writesRegFlag) != 0;
+        op.result = resultCol[k];
+        std::uint32_t next_pc =
+            (decode[pc_index].isControl() && op.taken)
+                ? insts[pc_index].target
+                : pc_index + 1;
+        op.targetPc = isa::instAddr(next_pc);
+    }
+    cursor += n;
+    return n;
+}
+
+std::size_t
+ArtifactWindowSource::nextSpan(OpSpanView &span, std::size_t max)
+{
+    if (!refill()) {
+        span.count = 0;
+        return 0;
+    }
+    std::size_t k = static_cast<std::size_t>(cursor - chunkBase);
+    std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
+        max, std::min(decodedEnd, endOp) - cursor));
+    span.pcIndex = pcCol.data() + k;
+    span.effAddr = addrCol.data() + k;
+    span.result = resultCol.data() + k;
+    span.flags = flagCol.data() + k;
+    span.baseSeq = cursor + 1;
+    span.count = n;
+    cursor += n;
+    return n;
+}
+
+bool
+ArtifactWindowSource::halted() const
+{
+    return cursor >= endOp;
+}
+
 } // namespace bfsim::sim

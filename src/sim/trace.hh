@@ -214,6 +214,106 @@ class TraceReplay : public DynOpSource
 };
 
 /**
+ * A bounded replay cursor over ops [begin, end) of a shared
+ * TraceBuffer — the memory-tier op source for one sampling measurement
+ * window. Sequence numbers stay *absolute* (op i of the buffer is seq
+ * i + 1, exactly as TraceReplay would number it), so a window's timing
+ * models observe the identical DynOp values a full run would at those
+ * positions. The source reports halted() once the window is exhausted,
+ * which freezes the consuming core the same way end-of-program does.
+ */
+class TraceWindowReplay : public DynOpSource
+{
+  public:
+    /**
+     * Walk ops [begin, end) of `buffer`. The buffer is extended lazily
+     * (and clamped to `end`), so a window near the frontier only
+     * materialises what it will actually consume.
+     */
+    TraceWindowReplay(std::shared_ptr<TraceBuffer> buffer,
+                      std::uint64_t begin, std::uint64_t end);
+
+    bool next(DynOp &op) override;
+    std::size_t nextBatch(DynOp *out, std::size_t max) override;
+    std::size_t nextSpan(OpSpanView &span, std::size_t max) override;
+    bool halted() const override;
+    /** Ops this window has produced (not the absolute position). */
+    InstSeqNum produced() const override { return cursor - beginOp; }
+    const isa::Program &program() const override
+    {
+        return buf->program();
+    }
+
+  private:
+    /** Ops materialised per extension request (bounds overshoot). */
+    static constexpr std::uint64_t extendBatch = 4096;
+
+    /** Make ops at `cursor` available; false once the window is done. */
+    bool refill();
+
+    std::shared_ptr<TraceBuffer> buf;
+    std::uint64_t beginOp;
+    std::uint64_t endOp;
+    std::uint64_t cursor; ///< absolute next op index
+    std::uint64_t avail;  ///< committed ops known, clamped to endOp
+};
+
+/**
+ * The disk-tier op source for one sampling measurement window: a
+ * *private* seekable (format v2) artifact reader positioned directly at
+ * the window's first chunk, decoding only the chunks the window spans
+ * into private column arrays. Skipped ops cost nothing — no functional
+ * execution, no decode — which is what makes parallel sampled runs an
+ * order of magnitude cheaper than a full walk. Produces the identical
+ * absolute-seq DynOp stream TraceWindowReplay would (both decode the
+ * same CRC-verified chunk bytes), so {memory, disk} window tiers are
+ * interchangeable bit-for-bit.
+ */
+class ArtifactWindowSource : public DynOpSource
+{
+  public:
+    /**
+     * Walk ops [begin, end) of `reader`'s artifact. Throws SimError
+     * when the reader is absent, not seekable (v1), or does not cover
+     * `end` — callers catch and fall back to the TraceBuffer tier.
+     * Decode errors inside the window (corrupt chunk, injected
+     * trace_store fault) also surface as SimError from next*(); the
+     * harness re-runs the window through the buffer tier, which
+     * degrades to live capture bit-identically.
+     */
+    ArtifactWindowSource(
+        const isa::Program &program,
+        std::unique_ptr<trace_store::ArtifactReader> reader,
+        std::uint64_t begin, std::uint64_t end);
+    ~ArtifactWindowSource();
+
+    bool next(DynOp &op) override;
+    std::size_t nextBatch(DynOp *out, std::size_t max) override;
+    std::size_t nextSpan(OpSpanView &span, std::size_t max) override;
+    bool halted() const override;
+    /** Ops this window has produced (not the absolute position). */
+    InstSeqNum produced() const override { return cursor - beginOp; }
+    const isa::Program &program() const override { return prog; }
+
+  private:
+    /** Decode the chunk holding `cursor`; false once the window ends. */
+    bool refill();
+
+    const isa::Program &prog;
+    std::unique_ptr<trace_store::ArtifactReader> reader;
+    std::uint64_t beginOp;
+    std::uint64_t endOp;
+    std::uint64_t cursor;       ///< absolute next op index
+    std::uint64_t chunkBase = 0; ///< absolute index of columns[0]
+    std::uint64_t decodedEnd = 0; ///< absolute end of decoded ops
+    /** One chunk of decoded column storage (TraceBuffer::chunkOps). */
+    std::vector<std::uint32_t> pcCol;
+    std::vector<Addr> addrCol;
+    std::vector<RegVal> resultCol;
+    std::vector<std::uint8_t> flagCol;
+};
+
+/**
  * Records the stream while producing it: walking a fresh TraceCapture
  * is live execution plus recording, and the filled buffer() can then be
  * shared with any number of TraceReplay cursors. Attaching to an

@@ -6,6 +6,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +29,33 @@ namespace {
 
 /** 'BFTR' little-endian. */
 constexpr std::uint32_t magicValue = 0x52544642u;
+
+/** 'BFIX' little-endian: v2 chunk-index section magic. */
+constexpr std::uint32_t indexMagicValue = 0x58494642u;
+
+/** 'BFCK' little-endian: v2 checkpoint section magic. */
+constexpr std::uint32_t ckptMagicValue = 0x4b434642u;
+
+/** 'BFX2' little-endian: v2 footer magic. */
+constexpr std::uint32_t footerMagicValue = 0x32584642u;
+
+/**
+ * v2 footer, the last footerBytes of the file:
+ *   0  u32 magic           'BFX2'
+ *   4  u32 chunkCount
+ *   8  u64 indexOffset     byte offset of the 'BFIX' section
+ *  16  u32 checkpointCount
+ *  20  u32 footerCrc       crc32c of bytes [0, 20)
+ */
+constexpr std::size_t footerBytes = 24;
+
+/** Fixed-size prefix of one v2 checkpoint record (before regs/tags). */
+constexpr std::size_t ckptRecordHeadBytes = 16;
+
+/** Full serialized size of one v2 checkpoint record. */
+constexpr std::size_t ckptRecordBytes =
+    ckptRecordHeadBytes + std::size_t{numArchRegs} * 8 +
+    std::size_t{checkpointCacheSets} * checkpointCacheWays * 8;
 
 /**
  * Header byte offsets (48 bytes total, little-endian):
@@ -150,6 +178,26 @@ directoryRef()
     return dir;
 }
 
+std::uint32_t &
+saveVersionRef()
+{
+    static std::uint32_t version = [] {
+        const char *env = std::getenv("BFSIM_TRACE_FORMAT");
+        if (env && *env) {
+            char *end = nullptr;
+            long v = std::strtol(env, &end, 10);
+            if (end && *end == '\0' && v >= minReadVersion &&
+                v <= formatVersion) {
+                return static_cast<std::uint32_t>(v);
+            }
+            warn(std::string("trace store: ignoring BFSIM_TRACE_FORMAT='") +
+                 env + "' (want 1.." + std::to_string(formatVersion) + ")");
+        }
+        return formatVersion;
+    }();
+    return version;
+}
+
 Stats &
 statsRef()
 {
@@ -226,6 +274,7 @@ hex16(std::uint64_t v)
 /** Parsed, validated header of an existing artifact file. */
 struct Header
 {
+    std::uint32_t version = 0;
     std::uint64_t progHash = 0;
     std::uint64_t budget = 0;
     std::uint64_t opCount = 0;
@@ -255,11 +304,13 @@ parseHeader(const unsigned char *bytes, std::size_t len, const Key &key,
         return false;
     }
     std::uint32_t version = get32(bytes + 4);
-    if (version != formatVersion) {
+    if (version < minReadVersion || version > formatVersion) {
         why = "format version " + std::to_string(version) +
-              " (want " + std::to_string(formatVersion) + ")";
+              " (want " + std::to_string(minReadVersion) + ".." +
+              std::to_string(formatVersion) + ")";
         return false;
     }
+    header.version = version;
     header.progHash = get64(bytes + 8);
     header.budget = get64(bytes + 16);
     header.opCount = get64(bytes + 24);
@@ -284,12 +335,12 @@ parseHeader(const unsigned char *bytes, std::size_t len, const Key &key,
 /** Serialize a header (with its CRC) for `key` into `out`. */
 void
 appendHeader(std::vector<unsigned char> &out, const Key &key,
-             std::uint64_t op_count, std::uint32_t program_size,
-             bool halted)
+             std::uint32_t version, std::uint64_t op_count,
+             std::uint32_t program_size, bool halted)
 {
     std::size_t base = out.size();
     put32(out, magicValue);
-    put32(out, formatVersion);
+    put32(out, version);
     put64(out, key.progHash);
     put64(out, key.budget);
     put64(out, op_count);
@@ -300,6 +351,190 @@ appendHeader(std::vector<unsigned char> &out, const Key &key,
     out.push_back(0);
     out.push_back(0);
     put32(out, crc32c(out.data() + base, headerCrcOffset));
+}
+
+/**
+ * Canonical warming cache reconstructed at save time: the fixed
+ * checkpointCacheSets x checkpointCacheWays tag array fed by every op
+ * that carries an effective address. Tags are kept MRU-first per set so
+ * the snapshot preserves the recency order a real cache warmed by the
+ * same reference stream would hold.
+ */
+struct WarmCache
+{
+    WarmCache() : sets(checkpointCacheSets) {}
+
+    void
+    access(Addr addr)
+    {
+        Addr block = blockNumber(addr);
+        auto &ways = sets[block & (checkpointCacheSets - 1)];
+        auto it = std::find(ways.begin(), ways.end(), block);
+        if (it != ways.end())
+            ways.erase(it);
+        else if (ways.size() == checkpointCacheWays)
+            ways.pop_back();
+        ways.insert(ways.begin(), block);
+    }
+
+    /** Tags indexed [set * ways + way], MRU first, invalidAddr empty. */
+    std::vector<Addr>
+    snapshot() const
+    {
+        std::vector<Addr> tags(
+            std::size_t{checkpointCacheSets} * checkpointCacheWays,
+            invalidAddr);
+        for (std::size_t s = 0; s < sets.size(); ++s)
+            for (std::size_t w = 0; w < sets[s].size(); ++w)
+                tags[s * checkpointCacheWays + w] = sets[s][w];
+        return tags;
+    }
+
+    std::vector<std::vector<Addr>> sets;
+};
+
+/**
+ * Parse and validate the v2 index / checkpoint / footer sections of an
+ * artifact whose header already validated. Any inconsistency —
+ * truncation, bad magic, CRC mismatch, geometry drift, out-of-order
+ * offsets or checkpoint indices — fails the whole artifact so the
+ * caller degrades to live capture (bit-identical by construction).
+ */
+bool
+parseArtifactSections(const unsigned char *base, std::size_t file_bytes,
+                      const Header &header,
+                      std::vector<std::uint64_t> &offsets,
+                      std::vector<Checkpoint> &ckpts, std::string &why)
+{
+    std::uint64_t expected_chunks =
+        (header.opCount + TraceBuffer::chunkOps - 1) /
+        TraceBuffer::chunkOps;
+
+    if (file_bytes < headerBytes + footerBytes) {
+        why = "v2 file shorter than header plus footer";
+        return false;
+    }
+    const unsigned char *footer = base + file_bytes - footerBytes;
+    if (get32(footer + 0) != footerMagicValue) {
+        why = "bad v2 footer magic";
+        return false;
+    }
+    if (crc32c(footer, footerBytes - 4) != get32(footer + 20)) {
+        why = "v2 footer checksum mismatch";
+        return false;
+    }
+    std::uint64_t chunk_count = get32(footer + 4);
+    std::uint64_t index_offset = get64(footer + 8);
+    std::uint64_t ckpt_count = get32(footer + 16);
+    if (chunk_count != expected_chunks) {
+        why = "v2 chunk count disagrees with the header";
+        return false;
+    }
+    if (index_offset < headerBytes ||
+        index_offset > file_bytes - footerBytes) {
+        why = "v2 index offset out of range";
+        return false;
+    }
+
+    // Index section: magic, count, offsets[], CRC.
+    std::uint64_t index_bytes = 8 + chunk_count * 8 + 4;
+    if (index_offset + index_bytes > file_bytes - footerBytes) {
+        why = "truncated v2 chunk index";
+        return false;
+    }
+    const unsigned char *index = base + index_offset;
+    if (get32(index + 0) != indexMagicValue) {
+        why = "bad v2 index magic";
+        return false;
+    }
+    if (get32(index + 4) != chunk_count) {
+        why = "v2 index count disagrees with the footer";
+        return false;
+    }
+    if (crc32c(index, index_bytes - 4) !=
+        get32(index + index_bytes - 4)) {
+        why = "v2 index checksum mismatch";
+        return false;
+    }
+    offsets.clear();
+    offsets.reserve(chunk_count);
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < chunk_count; ++i) {
+        std::uint64_t off = get64(index + 8 + i * 8);
+        bool ok = i == 0 ? off == headerBytes
+                         : off > prev && off < index_offset;
+        if (!ok || off + frameBytes > index_offset) {
+            why = "v2 index offsets out of order or out of range";
+            return false;
+        }
+        offsets.push_back(off);
+        prev = off;
+    }
+
+    // Checkpoint section directly after the index: head, records, CRC.
+    std::uint64_t ckpt_offset = index_offset + index_bytes;
+    constexpr std::uint64_t ckpt_head_bytes = 24;
+    std::uint64_t ckpt_bytes =
+        ckpt_head_bytes + ckpt_count * ckptRecordBytes + 4;
+    if (ckpt_offset + ckpt_bytes != file_bytes - footerBytes) {
+        why = "v2 checkpoint section size mismatch";
+        return false;
+    }
+    const unsigned char *ckpt = base + ckpt_offset;
+    if (get32(ckpt + 0) != ckptMagicValue) {
+        why = "bad v2 checkpoint magic";
+        return false;
+    }
+    if (get32(ckpt + 4) != ckpt_count) {
+        why = "v2 checkpoint count disagrees with the footer";
+        return false;
+    }
+    if (get32(ckpt + 8) == 0) {
+        why = "v2 checkpoint interval is zero";
+        return false;
+    }
+    if (get32(ckpt + 12) != numArchRegs ||
+        get32(ckpt + 16) != checkpointCacheSets ||
+        get32(ckpt + 20) != checkpointCacheWays) {
+        why = "v2 checkpoint geometry mismatch";
+        return false;
+    }
+    if (crc32c(ckpt, ckpt_bytes - 4) != get32(ckpt + ckpt_bytes - 4)) {
+        why = "v2 checkpoint checksum mismatch";
+        return false;
+    }
+    ckpts.clear();
+    ckpts.reserve(ckpt_count);
+    std::uint64_t prev_op = 0;
+    for (std::uint64_t i = 0; i < ckpt_count; ++i) {
+        const unsigned char *rec =
+            ckpt + ckpt_head_bytes + i * ckptRecordBytes;
+        Checkpoint record;
+        record.opIndex = get64(rec + 0);
+        record.pcIndex = get32(rec + 8);
+        if (record.opIndex == 0 || record.opIndex >= header.opCount ||
+            record.opIndex % TraceBuffer::chunkOps != 0 ||
+            (i > 0 && record.opIndex <= prev_op)) {
+            why = "v2 checkpoint op index invalid";
+            return false;
+        }
+        if (record.pcIndex >= header.programSize) {
+            why = "v2 checkpoint pc out of program bounds";
+            return false;
+        }
+        prev_op = record.opIndex;
+        for (std::size_t r = 0; r < numArchRegs; ++r)
+            record.regs[r] = get64(rec + ckptRecordHeadBytes + r * 8);
+        std::size_t tags_base =
+            ckptRecordHeadBytes + std::size_t{numArchRegs} * 8;
+        std::size_t tag_count =
+            std::size_t{checkpointCacheSets} * checkpointCacheWays;
+        record.cacheTags.resize(tag_count);
+        for (std::size_t t = 0; t < tag_count; ++t)
+            record.cacheTags[t] = get64(rec + tags_base + t * 8);
+        ckpts.push_back(std::move(record));
+    }
+    return true;
 }
 
 /** Closes an fd on scope exit (and releases any flock it holds). */
@@ -377,6 +612,25 @@ setDirectory(const std::string &dir)
     }
 }
 
+std::uint32_t
+saveFormatVersion()
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    return saveVersionRef();
+}
+
+void
+setSaveFormatVersion(std::uint32_t version)
+{
+    if (version < minReadVersion || version > formatVersion) {
+        warn("trace store: ignoring save format version " +
+             std::to_string(version));
+        return;
+    }
+    std::lock_guard<std::mutex> lock(stateMutex());
+    saveVersionRef() = version;
+}
+
 std::string
 artifactPath(const Key &key)
 {
@@ -391,6 +645,19 @@ ArtifactReader::~ArtifactReader()
         ::munmap(const_cast<unsigned char *>(fileBase), fileBytes);
     if (fd >= 0)
         ::close(fd);
+}
+
+bool
+ArtifactReader::seekToChunk(std::uint64_t chunk)
+{
+    if (chunk >= chunkOffsets.size())
+        return false;
+    // Chunks decode independently (delta contexts reset per chunk) and
+    // decodeChunk derives the expected op count from `cursor`, so
+    // repositioning both is the whole seek.
+    offset = static_cast<std::size_t>(chunkOffsets[chunk]);
+    cursor = chunk * TraceBuffer::chunkOps;
+    return true;
 }
 
 std::size_t
@@ -558,10 +825,19 @@ openArtifact(const Key &key, const isa::Program &program)
         return nullptr;
     }
 
+    if (header.version >= 2 &&
+        !parseArtifactSections(reader->fileBase, file_bytes, header,
+                               reader->chunkOffsets,
+                               reader->checkpointRecords, why)) {
+        reject(why);
+        return nullptr;
+    }
+
     reader->offset = headerBytes;
     reader->totalOps = header.opCount;
     reader->programSize = header.programSize;
     reader->sawHalt = header.halted;
+    reader->fileVersion = header.version;
     reader->lastAddr.assign(header.programSize, 0);
     reader->lastResult.assign(header.programSize, 0);
     countHit();
@@ -597,9 +873,14 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
     if (::flock(lock_fd.fd, LOCK_EX | LOCK_NB) != 0)
         return false; // another writer is on it; skip
 
+    std::uint32_t version = saveFormatVersion();
+
     // Re-validate under the lock: skip when the existing artifact
     // already covers at least this stream (a concurrent process may
-    // have demanded — and saved — a longer tail).
+    // have demanded — and saved — a longer tail). An equal-coverage
+    // artifact in an *older* format is rewritten — that upgrades v1
+    // files to the seekable v2 layout in place — but a longer stream is
+    // never clobbered just to change formats.
     {
         FdGuard existing(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
         if (existing.fd >= 0) {
@@ -612,7 +893,8 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
                 header.programSize == program_size &&
                 (header.opCount > ops ||
                  (header.opCount == ops &&
-                  header.halted == buffer.halted()))) {
+                  header.halted == buffer.halted() &&
+                  header.version >= version))) {
                 return false;
             }
         }
@@ -620,11 +902,20 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
 
     std::vector<unsigned char> out;
     out.reserve(static_cast<std::size_t>(ops * 3) + 4096);
-    appendHeader(out, key, ops, program_size, buffer.halted());
+    appendHeader(out, key, version, ops, program_size, buffer.halted());
 
-    // Encode chunk by chunk straight off the buffer's SoA storage.
+    // Encode chunk by chunk straight off the buffer's SoA storage. For
+    // v2, also collect each chunk frame's file offset and reconstruct
+    // the architectural state (register file via the recorded
+    // writebacks, canonical warmed-cache tags via the address stream)
+    // to emit as periodic checkpoint records.
     std::vector<Addr> last_addr(program_size, 0);
     std::vector<RegVal> last_result(program_size, 0);
+    std::vector<std::uint64_t> chunk_offsets;
+    std::vector<Checkpoint> checkpoints;
+    std::array<RegVal, numArchRegs> regs{};
+    WarmCache warm;
+    const auto &insts = buffer.program().insts();
     std::uint64_t start = 0;
     while (start < ops) {
         OpSpanView span;
@@ -633,6 +924,20 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
                        std::min<std::uint64_t>(TraceBuffer::chunkOps,
                                                ops - start)),
             span);
+
+        if (version >= 2) {
+            chunk_offsets.push_back(out.size());
+            std::uint64_t chunk_index = start / TraceBuffer::chunkOps;
+            if (chunk_index > 0 &&
+                chunk_index % checkpointEveryChunks == 0) {
+                Checkpoint ckpt;
+                ckpt.opIndex = start;
+                ckpt.pcIndex = span.pcIndex[0];
+                ckpt.regs = regs;
+                ckpt.cacheTags = warm.snapshot();
+                checkpoints.push_back(std::move(ckpt));
+            }
+        }
 
         std::size_t frame_base = out.size();
         put32(out, 0); // payload size, patched below
@@ -650,6 +955,16 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
             std::uint8_t mem_flags =
                 span.flags[k] &
                 (OpSpanView::takenFlag | OpSpanView::writesRegFlag);
+
+            if (version >= 2) {
+                if (addr != 0)
+                    warm.access(addr);
+                // Mirrors Executor::writeReg: r0 stays hardwired zero.
+                if ((mem_flags & OpSpanView::writesRegFlag) &&
+                    insts[pcv].rd != 0) {
+                    regs[insts[pcv].rd] = value;
+                }
+            }
 
             std::uint8_t control = mem_flags;
             bool pc_step =
@@ -691,6 +1006,48 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
                 static_cast<unsigned char>(crc >> (i * 8));
         }
         start += n;
+    }
+
+    if (version >= 2) {
+        // Index section: per-chunk file offsets for random access.
+        std::uint64_t index_offset = out.size();
+        auto chunk_count =
+            static_cast<std::uint32_t>(chunk_offsets.size());
+        put32(out, indexMagicValue);
+        put32(out, chunk_count);
+        for (std::uint64_t off : chunk_offsets)
+            put64(out, off);
+        put32(out, crc32c(out.data() + index_offset,
+                          out.size() - index_offset));
+
+        // Checkpoint section: periodic architectural state records.
+        std::size_t ckpt_base = out.size();
+        put32(out, ckptMagicValue);
+        put32(out, static_cast<std::uint32_t>(checkpoints.size()));
+        put32(out, checkpointEveryChunks);
+        put32(out, numArchRegs);
+        put32(out, checkpointCacheSets);
+        put32(out, checkpointCacheWays);
+        for (const Checkpoint &ckpt : checkpoints) {
+            put64(out, ckpt.opIndex);
+            put32(out, ckpt.pcIndex);
+            put32(out, 0);
+            for (RegVal reg : ckpt.regs)
+                put64(out, reg);
+            for (Addr tag : ckpt.cacheTags)
+                put64(out, tag);
+        }
+        put32(out, crc32c(out.data() + ckpt_base,
+                          out.size() - ckpt_base));
+
+        // Footer: fixed-size trailer locating the sections from EOF.
+        std::size_t footer_base = out.size();
+        put32(out, footerMagicValue);
+        put32(out, chunk_count);
+        put64(out, index_offset);
+        put32(out, static_cast<std::uint32_t>(checkpoints.size()));
+        put32(out, crc32c(out.data() + footer_base,
+                          out.size() - footer_base));
     }
 
     // Crash-safe publication: write a .tmp sibling, fsync, rename. A

@@ -14,11 +14,21 @@
  * structure-of-arrays storage, and every replay cursor / zero-copy span
  * path above it is untouched.
  *
- * On-disk format (version 1, little-endian, DESIGN.md §12):
+ * On-disk format (version 2, little-endian, DESIGN.md §12-§13):
  *
  *   header   magic 'BFTR', version, program content hash, instruction
  *            budget, op count, chunk geometry, halted flag, header CRC
  *   chunks   [payload bytes | op count | payload CRC-32C | payload]...
+ *   index    (v2) 'BFIX', per-chunk file offsets, CRC — random access
+ *            to any chunk without decoding its predecessors
+ *   ckpts    (v2) 'BFCK', periodic architectural checkpoint records
+ *            (register file, pc, canonical L1-D tag/LRU snapshot), CRC
+ *   footer   (v2) 'BFX2' trailer locating the index section
+ *
+ * Version 1 artifacts (header + chunks only) still open and decode
+ * sequentially — only the seek/checkpoint surface is absent. Writers
+ * emit version 2 by default; BFSIM_TRACE_FORMAT=1 (or
+ * setSaveFormatVersion) keeps producing v1 for compatibility testing.
  *
  * Each chunk encodes exactly TraceBuffer::chunkOps ops (fewer in the
  * tail) with per-op delta/varint compression, independently decodable
@@ -53,6 +63,7 @@
 #ifndef BFSIM_SIM_TRACE_STORE_HH_
 #define BFSIM_SIM_TRACE_STORE_HH_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -71,7 +82,51 @@ class TraceBuffer;
 namespace trace_store {
 
 /** Bumped whenever the header or chunk encoding changes shape. */
-constexpr std::uint32_t formatVersion = 1;
+constexpr std::uint32_t formatVersion = 2;
+
+/** Oldest format version openArtifact still decodes. */
+constexpr std::uint32_t minReadVersion = 1;
+
+/**
+ * Format version saveArtifact emits: formatVersion unless overridden by
+ * BFSIM_TRACE_FORMAT=1 (compatibility testing) or setSaveFormatVersion.
+ */
+std::uint32_t saveFormatVersion();
+
+/** Programmatic override of BFSIM_TRACE_FORMAT (tests, tools). */
+void setSaveFormatVersion(std::uint32_t version);
+
+/** Chunks between consecutive v2 checkpoint records. */
+constexpr std::uint32_t checkpointEveryChunks = 4;
+
+/**
+ * Canonical functionally-warmed cache geometry snapshotted by v2
+ * checkpoints: a 32 KB, 8-way, 64 B-line L1-D-shaped tag array. The
+ * snapshot captures the *functional* reference stream's recency state
+ * (tags in most- to least-recently-used order per set), independent of
+ * any timing configuration.
+ */
+constexpr std::uint32_t checkpointCacheSets = 64;
+constexpr std::uint32_t checkpointCacheWays = 8;
+
+/**
+ * One periodic architectural checkpoint: the register file and pc after
+ * exactly `opIndex` ops, plus the canonical warmed-cache tag/LRU state
+ * at that boundary. Reconstructed from the op stream at save time (the
+ * stream records every register writeback), CRC-sealed with the
+ * checkpoint section, and cross-checkable against a live Executor.
+ */
+struct Checkpoint
+{
+    std::uint64_t opIndex = 0; ///< ops executed before this state
+    std::uint32_t pcIndex = 0; ///< static index of the next instruction
+    std::array<RegVal, numArchRegs> regs{};
+    /**
+     * Block addresses (byte address >> 6) per set in MRU-to-LRU order;
+     * invalidAddr marks an empty way. Indexed [set * ways + way].
+     */
+    std::vector<Addr> cacheTags;
+};
 
 /** Identity of one trace artifact. */
 struct Key
@@ -137,6 +192,36 @@ class ArtifactReader
     /** Ops decoded (consumed) so far. */
     std::uint64_t decoded() const { return cursor; }
 
+    /** Artifact format version (1 or 2). */
+    std::uint32_t version() const { return fileVersion; }
+
+    /**
+     * True when the artifact carries a validated chunk index, i.e.
+     * seekToChunk is available (format v2). Version 1 artifacts decode
+     * sequentially only.
+     */
+    bool seekable() const { return !chunkOffsets.empty(); }
+
+    /**
+     * Reposition the decoder at the start of chunk `chunk` (its first
+     * op is chunk * TraceBuffer::chunkOps). Chunks decode independently
+     * (delta contexts reset per chunk), so decodeChunk after a seek
+     * yields exactly the bytes a sequential walk would have. Returns
+     * false when the artifact is not seekable or the chunk is out of
+     * range; the decoder position is then unchanged.
+     */
+    bool seekToChunk(std::uint64_t chunk);
+
+    /**
+     * The artifact's periodic architectural checkpoints (empty for v1
+     * artifacts), sorted by opIndex. Validated against the checkpoint
+     * section CRC at open time.
+     */
+    const std::vector<Checkpoint> &checkpoints() const
+    {
+        return checkpointRecords;
+    }
+
     /**
      * Decode the next chunk into the given column arrays (each sized
      * for at least TraceBuffer::chunkOps entries). Returns the number
@@ -162,19 +247,28 @@ class ArtifactReader
     std::uint64_t totalOps = 0;
     std::uint64_t cursor = 0;    ///< ops decoded so far
     std::uint32_t programSize = 0;
+    std::uint32_t fileVersion = 0;
     bool sawHalt = false;
     /** Per-static-instruction delta contexts, reset per chunk. */
     std::vector<Addr> lastAddr;
     std::vector<RegVal> lastResult;
+    /** v2: file offset of each chunk frame (empty for v1). */
+    std::vector<std::uint64_t> chunkOffsets;
+    /** v2: parsed checkpoint records (empty for v1). */
+    std::vector<Checkpoint> checkpointRecords;
 };
 
 /**
  * Open the artifact for `key`, validating the header against the key,
- * the format version and the program size. Returns nullptr on a miss.
- * A *present but invalid* artifact (corrupt header, stale version,
- * wrong hash recorded under the right name) additionally counts a
- * fallback — the caller recaptures live and the next save overwrites
- * it. Counts one disk hit or miss in the thread/process stats.
+ * the format version and the program size; for v2 artifacts the chunk
+ * index and checkpoint sections are additionally CRC-validated, so a
+ * truncated or bit-flipped index/checkpoint rejects the whole artifact
+ * (live capture takes over bit-identically). Returns nullptr on a
+ * miss. A *present but invalid* artifact (corrupt header, stale
+ * version, wrong hash recorded under the right name) additionally
+ * counts a fallback — the caller recaptures live and the next save
+ * overwrites it. Counts one disk hit or miss in the thread/process
+ * stats.
  */
 std::unique_ptr<ArtifactReader> openArtifact(const Key &key,
                                              const isa::Program &program);

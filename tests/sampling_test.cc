@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Statistical sampling tests: config parsing and scheduling math,
+ * window-summary arithmetic (ratio-of-sums CPI, CI95), the
+ * runWindow(0, m) == run(m) anchor that ties the sampled path to the
+ * full detailed path, and the determinism guarantees the CI gate
+ * relies on — sampled results identical across {serial, parallel}
+ * window execution and across {memory, disk} trace tiers.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hh"
+#include "harness/experiment.hh"
+#include "harness/sampling.hh"
+#include "sim/cmp.hh"
+#include "sim/trace_store.hh"
+#include "workloads/workload.hh"
+
+namespace bfsim::harness {
+namespace {
+
+// ------------------------------------------------------------- config
+
+TEST(SampleConfig, ParseAcceptsPeriodWarmupMeasure)
+{
+    SampleConfig config = SampleConfig::parse("200000:4000:8000");
+    EXPECT_TRUE(config.enabled);
+    EXPECT_EQ(config.periodOps, 200000u);
+    EXPECT_EQ(config.warmupOps, 4000u);
+    EXPECT_EQ(config.measureOps, 8000u);
+    EXPECT_EQ(config.key(), "/sample:200000:4000:8000");
+}
+
+TEST(SampleConfig, ParseRejectsMalformedSpecs)
+{
+    EXPECT_THROW(SampleConfig::parse(""), SimError);
+    EXPECT_THROW(SampleConfig::parse("1000"), SimError);
+    EXPECT_THROW(SampleConfig::parse("1000:10"), SimError);
+    EXPECT_THROW(SampleConfig::parse("1000:10:20:30"), SimError);
+    EXPECT_THROW(SampleConfig::parse("a:b:c"), SimError);
+    EXPECT_THROW(SampleConfig::parse("1000:10:20x"), SimError);
+    // Zero measure region and window > period are semantic errors.
+    EXPECT_THROW(SampleConfig::parse("1000:10:0"), SimError);
+    EXPECT_THROW(SampleConfig::parse("100:90:20"), SimError);
+}
+
+TEST(SampleConfig, DisabledConfigHasEmptyKey)
+{
+    SampleConfig config;
+    EXPECT_FALSE(config.enabled);
+    EXPECT_EQ(config.key(), "");
+}
+
+// ----------------------------------------------------------- schedule
+
+TEST(SampleSchedule, WindowsAtPeriodMultiplesWithinBudget)
+{
+    SampleConfig config = SampleConfig::parse("20000:1000:2000");
+    std::vector<SampleWindow> windows = sampleSchedule(100000, config);
+    ASSERT_EQ(windows.size(), 5u);
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+        EXPECT_EQ(windows[w].begin, w * 20000u);
+        EXPECT_EQ(windows[w].warmup, 1000u);
+        EXPECT_EQ(windows[w].measure, 2000u);
+        EXPECT_EQ(windows[w].end(), w * 20000u + 3000u);
+    }
+    // The last window must fit inside the budget entirely.
+    EXPECT_LE(windows.back().end(), 100000u);
+}
+
+TEST(SampleSchedule, TinyBudgetDegeneratesToOneClampedWindow)
+{
+    SampleConfig config = SampleConfig::parse("20000:1000:2000");
+    // Budget smaller than one window: measure what fits.
+    std::vector<SampleWindow> windows = sampleSchedule(1500, config);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_EQ(windows[0].begin, 0u);
+    EXPECT_LE(windows[0].end(), 1500u);
+    EXPECT_GT(windows[0].measure, 0u);
+
+    // Disabled config or zero budget: no windows at all.
+    EXPECT_TRUE(sampleSchedule(0, config).empty());
+    EXPECT_TRUE(sampleSchedule(100000, SampleConfig{}).empty());
+}
+
+// ------------------------------------------------------------ summary
+
+TEST(SummarizeWindows, RatioOfSumsCpiAndConfidenceInterval)
+{
+    SampleConfig config = SampleConfig::parse("100:10:20");
+    std::vector<SampleWindow> schedule = sampleSchedule(300, config);
+    ASSERT_EQ(schedule.size(), 3u);
+
+    // Window CPIs 2.0, 3.0, 4.0 over equal instruction counts.
+    std::vector<std::uint64_t> cycles{40, 60, 80};
+    std::vector<std::uint64_t> insts{20, 20, 20};
+    SampledStats stats = summarizeWindows(schedule, cycles, insts, 300);
+    EXPECT_TRUE(stats.enabled);
+    EXPECT_EQ(stats.windows, 3u);
+    EXPECT_EQ(stats.measuredInstructions, 60u);
+    EXPECT_EQ(stats.warmupInstructions, 30u);
+    EXPECT_EQ(stats.budgetInstructions, 300u);
+    EXPECT_DOUBLE_EQ(stats.cpi, 3.0);
+    EXPECT_DOUBLE_EQ(stats.ipc, 1.0 / 3.0);
+    // Sample stddev of {2,3,4} is 1.0; CI95 = 1.96 / sqrt(3).
+    EXPECT_NEAR(stats.cpiCi95, 1.96 / std::sqrt(3.0), 1e-12);
+}
+
+// ------------------------------------------- simulation-level fixture
+
+class SamplingRunTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = testing::TempDir() + "bfsim_sampling/" +
+              testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name();
+        std::filesystem::remove_all(dir);
+        clearMemoCaches();
+        clearTraceCache();
+        setTraceCacheEnabled(true);
+        sim::trace_store::setDirectory("");
+    }
+
+    void
+    TearDown() override
+    {
+        sim::trace_store::setDirectory("");
+        clearMemoCaches();
+        clearTraceCache();
+        setTraceCacheEnabled(true);
+        std::filesystem::remove_all(dir);
+    }
+
+    /** Options for a sampled run: 5 windows over a 100k budget. */
+    static RunOptions
+    sampledOptions(unsigned jobs = 1)
+    {
+        RunOptions options;
+        options.instructions = 100000;
+        options.sample = SampleConfig::parse("20000:1000:2000");
+        options.sample.jobs = jobs;
+        return options;
+    }
+
+    std::string dir;
+};
+
+void
+expectSameCoreStats(const sim::CoreStats &a, const sim::CoreStats &b)
+{
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(sim::CoreStats)), 0);
+}
+
+// A zero-warmup window over the whole budget is exactly a full run:
+// the anchor tying runWindow's delta arithmetic to run().
+TEST_F(SamplingRunTest, ZeroWarmupWindowEqualsFullRun)
+{
+    const workloads::Workload &w = workloads::workloadByName("mcf");
+    std::vector<sim::CoreConfig> cfgs{sim::CoreConfig{}};
+    mem::HierarchyConfig hier;
+    hier.numCores = 1;
+
+    sim::Cmp full(cfgs, {&w.program}, hier);
+    sim::CmpResult full_result = full.run(20000);
+
+    sim::Cmp window(cfgs, {&w.program}, hier);
+    sim::CmpResult window_result = window.runWindow(0, 20000);
+
+    expectSameCoreStats(full_result.cores.at(0),
+                        window_result.cores.at(0));
+    EXPECT_EQ(std::memcmp(&full_result.memStats.at(0),
+                          &window_result.memStats.at(0),
+                          sizeof(mem::CoreMemStats)),
+              0);
+    EXPECT_EQ(full_result.totalRetired, window_result.totalRetired);
+}
+
+TEST_F(SamplingRunTest, SampledResultCarriesEstimate)
+{
+    SingleResult result =
+        runSingle("mcf", sim::PrefetcherKind::BFetch, sampledOptions());
+    EXPECT_TRUE(result.sampled.enabled);
+    EXPECT_EQ(result.sampled.windows, 5u);
+    EXPECT_EQ(result.sampled.measuredInstructions, 5u * 2000u);
+    EXPECT_GT(result.sampled.cpi, 0.0);
+    // The aggregated core stats cover exactly the measured regions, so
+    // their IPC and the sampling estimate must agree.
+    EXPECT_NEAR(result.sampled.ipc, result.core.ipc, 1e-12);
+    EXPECT_EQ(result.core.instructions,
+              result.sampled.measuredInstructions);
+    // Sampled and full runs memoize under different keys.
+    EXPECT_NE(sampledOptions().cacheKey(), RunOptions{}.cacheKey());
+}
+
+TEST_F(SamplingRunTest, SampledCpiIdenticalAcrossSerialAndParallel)
+{
+    SingleResult serial =
+        runSingle("mcf", sim::PrefetcherKind::BFetch, sampledOptions(1));
+    clearTraceCache();
+    SingleResult parallel =
+        runSingle("mcf", sim::PrefetcherKind::BFetch, sampledOptions(4));
+    expectSameCoreStats(serial.core, parallel.core);
+    EXPECT_DOUBLE_EQ(serial.sampled.cpi, parallel.sampled.cpi);
+    EXPECT_DOUBLE_EQ(serial.sampled.cpiCi95, parallel.sampled.cpiCi95);
+}
+
+TEST_F(SamplingRunTest, SampledCpiIdenticalAcrossMemoryAndDiskTiers)
+{
+    // Memory tier: windows replay the shared in-process buffer.
+    SingleResult memory =
+        runSingle("mcf", sim::PrefetcherKind::BFetch, sampledOptions());
+
+    // Disk tier: persist the captured trace, drop the in-memory cache,
+    // and re-run — windows now decode a seekable v2 artifact.
+    sim::trace_store::setDirectory(dir);
+    clearTraceCache();
+    runSingle("mcf", sim::PrefetcherKind::None, sampledOptions());
+    ASSERT_GE(persistTraceStore(), 1u);
+    clearTraceCache();
+    takeThreadCacheCounters();
+    SingleResult disk =
+        runSingle("mcf", sim::PrefetcherKind::BFetch, sampledOptions());
+    ThreadCacheCounters counters = takeThreadCacheCounters();
+    // One hit seeding the shared buffer plus one per window source
+    // (each window opens its own seekable reader).
+    EXPECT_GE(counters.traceDiskHits, 1u);
+    EXPECT_EQ(counters.traceDiskMisses, 0u);
+    EXPECT_EQ(counters.traceFallbacks, 0u);
+
+    expectSameCoreStats(memory.core, disk.core);
+    EXPECT_DOUBLE_EQ(memory.sampled.cpi, disk.sampled.cpi);
+}
+
+TEST_F(SamplingRunTest, SampledMixCarriesEstimateAndSpeedup)
+{
+    RunOptions options = sampledOptions(2);
+    MixResult result = runMix({"mcf", "libquantum"},
+                              sim::PrefetcherKind::BFetch, options);
+    EXPECT_TRUE(result.sampled.enabled);
+    EXPECT_EQ(result.sampled.windows, 5u);
+    EXPECT_GT(result.sampled.cpi, 0.0);
+    ASSERT_EQ(result.cores.size(), 2u);
+    EXPECT_GT(result.cores[0].instructions, 0u);
+    EXPECT_GT(result.cores[1].instructions, 0u);
+    // Two cores, each ratio IPC_multi(BFetch)/IPC_single(None): near 1
+    // per core, above when prefetching outruns contention. Bound it
+    // loosely — this guards the arithmetic, not the microarchitecture.
+    EXPECT_GT(result.weightedSpeedup, 0.5);
+    EXPECT_LT(result.weightedSpeedup, 4.0);
+}
+
+} // namespace
+} // namespace bfsim::harness

@@ -13,6 +13,8 @@
 #include <sys/file.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -136,6 +138,33 @@ constexpr std::size_t versionOffset = 4;
 constexpr std::size_t headerCrcOffset = 44;
 constexpr std::size_t frameBytes = 12;
 
+/** v2 trailer geometry (mirrors trace_store.cc). */
+constexpr std::size_t footerBytes = 24;
+constexpr std::size_t ckptSectionHeadBytes = 24;
+constexpr std::size_t ckptRecordBytes =
+    16 + std::size_t{numArchRegs} * 8 +
+    std::size_t{trace_store::checkpointCacheSets} *
+        trace_store::checkpointCacheWays * 8;
+
+std::uint64_t
+fileGet64(const std::vector<unsigned char> &bytes, std::size_t offset)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(bytes[offset + i]) << (i * 8);
+    return v;
+}
+
+/** File offset of the v2 checkpoint section (after the chunk index). */
+std::size_t
+checkpointSectionOffset(const std::vector<unsigned char> &bytes)
+{
+    std::size_t footer = bytes.size() - footerBytes;
+    std::uint64_t index_offset = fileGet64(bytes, footer + 8);
+    std::uint32_t chunk_count = fileGet32(bytes, footer + 4);
+    return index_offset + 12 + std::size_t{chunk_count} * 8;
+}
+
 /**
  * Every test runs against its own store directory with all process-wide
  * trace state (both cache tiers, their counters) reset around it.
@@ -155,6 +184,7 @@ class TraceStoreTest : public testing::Test
         harness::clearTraceCache();
         harness::setTraceCacheEnabled(true);
         trace_store::setDirectory(dir);
+        trace_store::setSaveFormatVersion(trace_store::formatVersion);
         trace_store::resetStats();
         harness::takeThreadCacheCounters();
     }
@@ -166,6 +196,7 @@ class TraceStoreTest : public testing::Test
         harness::clearMemoCaches();
         harness::clearTraceCache();
         harness::setTraceCacheEnabled(true);
+        trace_store::setSaveFormatVersion(trace_store::formatVersion);
         trace_store::resetStats();
         std::filesystem::remove_all(dir);
     }
@@ -243,6 +274,11 @@ TEST_F(TraceStoreTest, TruncatedArtifactFallsBackMidStream)
 {
     const Program &program = workloadProgram("mcf");
     auto key = trace_store::makeKey("mcf", 50000, program);
+    // Save as v1: a truncated v2 artifact already fails its trailer
+    // validation at open (see TruncatedTrailerRejectsArtifact); the
+    // mid-stream degradation path under test here is how damage deeper
+    // than the header surfaces for sequential-only v1 artifacts.
+    trace_store::setSaveFormatVersion(1);
     captureAndSave(key, program, 50000);
 
     // Cut the file mid-way through the second chunk's payload: chunk 0
@@ -455,6 +491,240 @@ TEST_F(TraceStoreTest, CoreStatsBitIdenticalAcrossLiveMemoryAndDisk)
     EXPECT_EQ(counters.traceFallbacks, 0u);
     EXPECT_EQ(std::memcmp(&live.core, &warm.core, sizeof(CoreStats)),
               0);
+}
+
+// -------------------------------------------------------- format v2
+
+TEST_F(TraceStoreTest, V1ArtifactStillDecodesAndUpgradesInPlace)
+{
+    const Program &program = workloadProgram("mcf");
+    auto key = trace_store::makeKey("mcf", 50000, program);
+
+    trace_store::setSaveFormatVersion(1);
+    auto captured = captureAndSave(key, program, 50000);
+
+    auto v1 = trace_store::openArtifact(key, program);
+    ASSERT_NE(v1, nullptr);
+    EXPECT_EQ(v1->version(), 1u);
+    EXPECT_FALSE(v1->seekable());
+    EXPECT_TRUE(v1->checkpoints().empty());
+    EXPECT_FALSE(v1->seekToChunk(0));
+    auto restored =
+        std::make_shared<TraceBuffer>(program, std::move(v1));
+    LiveSource live(program);
+    TraceReplay replay(restored);
+    expectSameStream(collect(live, 50000), collect(replay, 50000));
+    EXPECT_EQ(trace_store::takeThreadCounters().fallbacks, 0u);
+
+    // Re-saving the same coverage at the current version upgrades the
+    // artifact in place (equal coverage normally skips the save).
+    trace_store::setSaveFormatVersion(trace_store::formatVersion);
+    EXPECT_TRUE(trace_store::saveArtifact(key, *captured));
+    auto v2 = trace_store::openArtifact(key, program);
+    ASSERT_NE(v2, nullptr);
+    EXPECT_EQ(v2->version(), trace_store::formatVersion);
+    EXPECT_TRUE(v2->seekable());
+    // ...and once current, an identical save is skipped again.
+    EXPECT_FALSE(trace_store::saveArtifact(key, *captured));
+}
+
+TEST_F(TraceStoreTest, SeekToChunkMatchesSequentialDecode)
+{
+    const Program &program = workloadProgram("mcf");
+    const std::uint64_t ops = 3 * TraceBuffer::chunkOps + 1234;
+    auto key = trace_store::makeKey("mcf", ops, program);
+    captureAndSave(key, program, ops);
+
+    // Reference: full sequential decode of every column.
+    auto seq = trace_store::openArtifact(key, program);
+    ASSERT_NE(seq, nullptr);
+    ASSERT_TRUE(seq->seekable());
+    std::vector<std::uint32_t> ref_pc(seq->opCount());
+    std::vector<Addr> ref_addr(seq->opCount());
+    std::vector<RegVal> ref_result(seq->opCount());
+    std::vector<std::uint8_t> ref_flags(seq->opCount());
+    std::uint64_t at = 0;
+    while (std::size_t got =
+               seq->decodeChunk(ref_pc.data() + at, ref_addr.data() + at,
+                                ref_result.data() + at,
+                                ref_flags.data() + at)) {
+        at += got;
+    }
+    ASSERT_EQ(at, seq->opCount());
+
+    // Each chunk, seeked to directly, decodes the same bytes the
+    // sequential walk produced at that position — in any order.
+    auto rnd = trace_store::openArtifact(key, program);
+    ASSERT_NE(rnd, nullptr);
+    std::vector<std::uint32_t> pc(TraceBuffer::chunkOps);
+    std::vector<Addr> addr(TraceBuffer::chunkOps);
+    std::vector<RegVal> result(TraceBuffer::chunkOps);
+    std::vector<std::uint8_t> flags(TraceBuffer::chunkOps);
+    for (std::uint64_t chunk : {std::uint64_t{2}, std::uint64_t{0},
+                                std::uint64_t{3}, std::uint64_t{1}}) {
+        ASSERT_TRUE(rnd->seekToChunk(chunk));
+        EXPECT_EQ(rnd->decoded(), chunk * TraceBuffer::chunkOps);
+        std::size_t got = rnd->decodeChunk(pc.data(), addr.data(),
+                                           result.data(), flags.data());
+        ASSERT_GT(got, 0u);
+        std::uint64_t base = chunk * TraceBuffer::chunkOps;
+        for (std::size_t i = 0; i < got; ++i) {
+            ASSERT_EQ(pc[i], ref_pc[base + i]) << "chunk " << chunk;
+            ASSERT_EQ(addr[i], ref_addr[base + i]) << "chunk " << chunk;
+            ASSERT_EQ(result[i], ref_result[base + i])
+                << "chunk " << chunk;
+            ASSERT_EQ(flags[i], ref_flags[base + i])
+                << "chunk " << chunk;
+        }
+    }
+    // Out-of-range seeks are rejected without moving the cursor.
+    EXPECT_FALSE(rnd->seekToChunk(100));
+}
+
+TEST_F(TraceStoreTest, ArtifactWindowSourceMatchesLiveMidStream)
+{
+    const Program &program = workloadProgram("mcf");
+    const std::uint64_t ops = 3 * TraceBuffer::chunkOps + 1234;
+    auto key = trace_store::makeKey("mcf", ops, program);
+    captureAndSave(key, program, ops);
+
+    // A window straddling a chunk boundary, decoded via seek, must be
+    // bit-identical (including absolute seq) to the same slice of a
+    // live run.
+    const std::uint64_t begin = TraceBuffer::chunkOps + 5000;
+    const std::uint64_t end = 2 * TraceBuffer::chunkOps + 3000;
+    LiveSource live(program);
+    std::vector<DynOp> reference = collect(live, end);
+    reference.erase(reference.begin(),
+                    reference.begin() + static_cast<std::ptrdiff_t>(begin));
+
+    auto artifact = trace_store::openArtifact(key, program);
+    ASSERT_NE(artifact, nullptr);
+    ArtifactWindowSource window(program, std::move(artifact), begin, end);
+    std::vector<DynOp> slice = collect(window, end - begin);
+    EXPECT_TRUE(window.halted());
+    expectSameStream(reference, slice);
+}
+
+TEST_F(TraceStoreTest, CheckpointsMatchReconstructedArchState)
+{
+    const Program &program = workloadProgram("mcf");
+    const std::uint64_t ops =
+        (2 * trace_store::checkpointEveryChunks + 1) *
+        TraceBuffer::chunkOps;
+    auto key = trace_store::makeKey("mcf", ops, program);
+    captureAndSave(key, program, ops);
+
+    auto artifact = trace_store::openArtifact(key, program);
+    ASSERT_NE(artifact, nullptr);
+    const auto &ckpts = artifact->checkpoints();
+    ASSERT_EQ(ckpts.size(), 2u);
+
+    // Independent reference: replay the stream and fold registers and
+    // touched cache blocks exactly as an architectural observer would.
+    auto buffer = std::make_shared<TraceBuffer>(program);
+    TraceReplay replay(buffer);
+    std::vector<DynOp> stream = collect(replay, ops);
+    ASSERT_EQ(stream.size(), ops);
+
+    std::size_t next = 0;
+    std::array<RegVal, numArchRegs> regs{};
+    std::vector<Addr> touched_blocks;
+    for (std::uint64_t i = 0; i < ops && next < ckpts.size(); ++i) {
+        if (ckpts[next].opIndex == i) {
+            const trace_store::Checkpoint &ck = ckpts[next];
+            EXPECT_EQ(ck.opIndex % TraceBuffer::chunkOps, 0u);
+            EXPECT_EQ(ck.pcIndex, stream[i].pcIndex);
+            EXPECT_EQ(ck.regs, regs);
+            ASSERT_EQ(ck.cacheTags.size(),
+                      std::size_t{trace_store::checkpointCacheSets} *
+                          trace_store::checkpointCacheWays);
+            for (Addr tag : ck.cacheTags) {
+                if (tag == invalidAddr)
+                    continue;
+                EXPECT_NE(std::find(touched_blocks.begin(),
+                                    touched_blocks.end(), tag),
+                          touched_blocks.end())
+                    << "checkpoint tag not in accessed-block set";
+            }
+            ++next;
+        }
+        const DynOp &op = stream[i];
+        if (op.writesReg) {
+            int rd = program.insts()[op.pcIndex].rd;
+            if (rd != 0)
+                regs[static_cast<std::size_t>(rd)] = op.result;
+        }
+        if (op.effAddr != 0)
+            touched_blocks.push_back(blockNumber(op.effAddr));
+    }
+    EXPECT_EQ(next, ckpts.size());
+}
+
+TEST_F(TraceStoreTest, BitFlippedCheckpointRejectsArtifactAndRunsLive)
+{
+    const Program &program = workloadProgram("libquantum");
+    const std::uint64_t ops =
+        (trace_store::checkpointEveryChunks + 1) * TraceBuffer::chunkOps;
+    auto key = trace_store::makeKey("libquantum", ops, program);
+    captureAndSave(key, program, ops);
+
+    std::string path = trace_store::artifactPath(key);
+    std::vector<unsigned char> bytes = readFile(path);
+    // Flip one byte inside the first checkpoint's register image.
+    std::size_t ckpt = checkpointSectionOffset(bytes);
+    ASSERT_LT(ckpt + ckptSectionHeadBytes + ckptRecordBytes,
+              bytes.size());
+    bytes[ckpt + ckptSectionHeadBytes + 40] ^= 0x10;
+    writeFile(path, bytes);
+
+    // The whole artifact is rejected at open — no partially trusted
+    // sections — and the stream is recaptured live, bit-identically.
+    EXPECT_EQ(trace_store::openArtifact(key, program), nullptr);
+    trace_store::ThreadCounters counters =
+        trace_store::takeThreadCounters();
+    EXPECT_EQ(counters.misses, 1u);
+    EXPECT_EQ(counters.fallbacks, 1u);
+
+    auto buffer = std::make_shared<TraceBuffer>(program);
+    LiveSource live(program);
+    TraceReplay replay(buffer);
+    expectSameStream(collect(live, ops), collect(replay, ops));
+}
+
+TEST_F(TraceStoreTest, TruncatedTrailerRejectsArtifact)
+{
+    const Program &program = workloadProgram("libquantum");
+    const std::uint64_t ops = 2 * TraceBuffer::chunkOps;
+    auto key = trace_store::makeKey("libquantum", ops, program);
+    captureAndSave(key, program, ops);
+
+    std::string path = trace_store::artifactPath(key);
+    std::vector<unsigned char> original = readFile(path);
+
+    // Cutting anywhere in the v2 trailer — inside the footer, the
+    // checkpoint section or the chunk index — must reject the artifact.
+    for (std::size_t cut_back :
+         {std::size_t{3}, footerBytes + 5, footerBytes + 200}) {
+        std::vector<unsigned char> bytes = original;
+        ASSERT_GT(bytes.size(), cut_back);
+        bytes.resize(bytes.size() - cut_back);
+        writeFile(path, bytes);
+        EXPECT_EQ(trace_store::openArtifact(key, program), nullptr)
+            << "cut_back " << cut_back;
+    }
+
+    // A flipped byte in the chunk-index offsets likewise rejects.
+    std::vector<unsigned char> bytes = original;
+    std::size_t footer = bytes.size() - footerBytes;
+    std::uint64_t index_offset = fileGet64(bytes, footer + 8);
+    bytes[index_offset + 12] ^= 0x01;
+    writeFile(path, bytes);
+    EXPECT_EQ(trace_store::openArtifact(key, program), nullptr);
+
+    // Restoring the original bytes restores the artifact.
+    writeFile(path, original);
+    EXPECT_NE(trace_store::openArtifact(key, program), nullptr);
 }
 
 // ------------------------------------------------------ injected faults

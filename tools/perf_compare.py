@@ -2,19 +2,28 @@
 """Compare two BENCH_perf*.json simulator-throughput reports.
 
 Matches jobs by label between a baseline report and a candidate report
-(both produced by the bench binaries' --perf-out flag / CI perf-smoke
+(both produced by the bench binaries' --perf-report flag / CI perf-smoke
 step), prints per-job and aggregate MIPS deltas, and — when gating is
 requested — fails if the candidate regresses aggregate MIPS by more
 than the threshold.
 
+Two additional gates serve the sampled-vs-full accuracy check:
+--min-speedup requires the candidate to spend at most 1/N of the
+baseline's simulation seconds over the shared jobs (e.g. a sampled run
+must be >= 10x faster than the full run it approximates), and
+--max-ipc-delta-pct bounds the worst per-job |IPC| deviation between
+the two reports (the sampling error gate).
+
 Usage:
     tools/perf_compare.py BASELINE.json CANDIDATE.json \
-        [--threshold-pct 15] [--gate]
+        [--threshold-pct 15] [--gate] \
+        [--min-speedup 10] [--max-ipc-delta-pct 1]
 
 Exit codes:
-    0  comparison printed; no gated regression
-    1  gated regression: aggregate MIPS dropped more than threshold
-    2  bad input (missing file, unparsable JSON, no comparable jobs)
+    0  comparison printed; no gated violation
+    1  gated violation: MIPS regression, speedup shortfall, or IPC error
+    2  bad input (missing file, unparsable JSON, no comparable jobs, or
+       an accuracy gate requested with no comparable data)
 
 Stdlib only; no third-party dependencies.
 """
@@ -60,6 +69,15 @@ def main() -> int:
         "--gate", action="store_true",
         help="exit 1 when aggregate MIPS regresses beyond the threshold "
              "(default: report only, always exit 0)")
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="require sum(base sim_seconds)/sum(cand sim_seconds) over "
+             "shared jobs >= X (exit 1 otherwise); used to gate that a "
+             "sampled run actually undercuts the full run it replaces")
+    parser.add_argument(
+        "--max-ipc-delta-pct", type=float, default=None, metavar="PCT",
+        help="require every shared job's |IPC delta| <= PCT percent "
+             "(exit 1 otherwise); the sampled-vs-full error gate")
     args = parser.parse_args()
 
     base = load_report(args.baseline)
@@ -104,11 +122,53 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
+    failed = False
+
+    if args.min_speedup is not None:
+        base_seconds = sum(base_jobs[l].get("sim_seconds", 0.0)
+                           for l in shared)
+        cand_seconds = sum(cand_jobs[l].get("sim_seconds", 0.0)
+                           for l in shared)
+        if not shared or base_seconds <= 0 or cand_seconds <= 0:
+            print("perf_compare: --min-speedup needs shared jobs with "
+                  "sim_seconds on both sides", file=sys.stderr)
+            return 2
+        speedup = base_seconds / cand_seconds
+        print(f"  speedup: {base_seconds:.3f}s -> {cand_seconds:.3f}s "
+              f"= {speedup:.1f}x, required >= {args.min_speedup:.1f}x")
+        if speedup < args.min_speedup:
+            print(f"perf_compare: SPEEDUP SHORTFALL: {speedup:.1f}x < "
+                  f"{args.min_speedup:.1f}x", file=sys.stderr)
+            failed = True
+
+    if args.max_ipc_delta_pct is not None:
+        comparable = [l for l in shared
+                      if base_jobs[l].get("ipc", 0.0) > 0
+                      and "ipc" in cand_jobs[l]]
+        if not comparable:
+            print("perf_compare: --max-ipc-delta-pct needs shared jobs "
+                  "with ipc on both sides", file=sys.stderr)
+            return 2
+        worst_label = max(
+            comparable,
+            key=lambda l: abs(pct_delta(base_jobs[l]["ipc"],
+                                        cand_jobs[l]["ipc"])))
+        worst = abs(pct_delta(base_jobs[worst_label]["ipc"],
+                              cand_jobs[worst_label]["ipc"]))
+        print(f"  ipc error: worst {worst:.3f}% ({worst_label}), "
+              f"allowed {args.max_ipc_delta_pct:.3f}%")
+        if worst > args.max_ipc_delta_pct:
+            print(f"perf_compare: IPC ERROR beyond "
+                  f"{args.max_ipc_delta_pct:.3f}%: {worst:.3f}% on "
+                  f"{worst_label}", file=sys.stderr)
+            failed = True
+
     if args.gate and agg_delta < -args.threshold_pct:
         print(f"perf_compare: REGRESSION beyond "
               f"{args.threshold_pct:.1f}% threshold", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Self-test for perf_compare.py: synthetic report pairs through every
+exit path, so the CI gate's own gatekeeper is itself tested.
+
+Covers: clean pass, gated MIPS regression, ungated regression (report
+only), missing-key inputs, disjoint job sets, the --min-speedup pass /
+shortfall / no-data paths, and the --max-ipc-delta-pct pass / violation
+/ no-data paths.
+
+Registered in ctest (perf_compare_selftest); also runnable directly:
+    python3 tools/perf_compare_selftest.py
+
+Stdlib only; exit 0 when every case behaves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+COMPARE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "perf_compare.py")
+
+
+def report(mips: float, jobs: list[dict]) -> dict:
+    return {
+        "bench": "selftest",
+        "batch_ops": True,
+        "threads": 1,
+        "wall_seconds": 1.0,
+        "sim_instructions": sum(j.get("sim_instructions", 0)
+                                for j in jobs),
+        "sim_seconds": sum(j.get("sim_seconds", 0.0) for j in jobs),
+        "mips": mips,
+        "jobs": jobs,
+    }
+
+
+def job(label: str, mips: float, seconds: float = 1.0,
+        ipc: float | None = None) -> dict:
+    j = {
+        "label": label,
+        "sim_instructions": int(mips * seconds * 1e6),
+        "sim_seconds": seconds,
+        "mips": mips,
+    }
+    if ipc is not None:
+        j["ipc"] = ipc
+    return j
+
+
+def run_case(name: str, base: dict | str, cand: dict | str,
+             args: list[str], expect: int, failures: list[str]) -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "base.json")
+        cand_path = os.path.join(tmp, "cand.json")
+        for path, content in ((base_path, base), (cand_path, cand)):
+            with open(path, "w", encoding="utf-8") as handle:
+                if isinstance(content, str):
+                    handle.write(content)
+                else:
+                    json.dump(content, handle)
+        proc = subprocess.run(
+            [sys.executable, COMPARE, base_path, cand_path] + args,
+            capture_output=True, text=True)
+    status = "ok" if proc.returncode == expect else "FAIL"
+    print(f"  [{status}] {name}: exit {proc.returncode} "
+          f"(expected {expect})")
+    if proc.returncode != expect:
+        failures.append(name)
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+
+
+def main() -> int:
+    failures: list[str] = []
+    base = report(10.0, [job("a", 10.0, ipc=0.500),
+                         job("b", 10.0, ipc=1.000)])
+
+    # --- aggregate MIPS gate ------------------------------------------
+    run_case("identical reports pass gated",
+             base, base, ["--gate"], 0, failures)
+    regressed = report(5.0, [job("a", 5.0, ipc=0.500),
+                             job("b", 5.0, ipc=1.000)])
+    run_case("major regression fails gated",
+             base, regressed, ["--gate", "--threshold-pct", "15"], 1,
+             failures)
+    run_case("major regression passes ungated (report only)",
+             base, regressed, [], 0, failures)
+    run_case("small regression passes within threshold",
+             base, report(9.0, [job("a", 9.0), job("b", 9.0)]),
+             ["--gate", "--threshold-pct", "15"], 0, failures)
+
+    # --- malformed / incomparable inputs ------------------------------
+    run_case("missing 'mips' key rejected",
+             {"jobs": []}, base, [], 2, failures)
+    run_case("missing 'jobs' key rejected",
+             {"mips": 1.0}, base, [], 2, failures)
+    run_case("unparsable JSON rejected",
+             "{not json", base, [], 2, failures)
+    no_overlap = report(0.0, [job("zzz", 0.0)])
+    run_case("disjoint jobs with zero aggregates rejected",
+             no_overlap, report(0.0, [job("yyy", 0.0)]), [], 2,
+             failures)
+
+    # --- --min-speedup ------------------------------------------------
+    fast = report(10.0, [job("a", 10.0, seconds=0.05, ipc=0.500),
+                         job("b", 10.0, seconds=0.05, ipc=1.000)])
+    run_case("20x faster candidate passes --min-speedup 10",
+             base, fast, ["--min-speedup", "10"], 0, failures)
+    run_case("equal-time candidate fails --min-speedup 10",
+             base, base, ["--min-speedup", "10"], 1, failures)
+    run_case("--min-speedup without shared jobs is no-data",
+             base, report(1.0, [job("zzz", 1.0)]),
+             ["--min-speedup", "10"], 2, failures)
+
+    # --- --max-ipc-delta-pct ------------------------------------------
+    close = report(10.0, [job("a", 10.0, seconds=0.05, ipc=0.5004),
+                          job("b", 10.0, seconds=0.05, ipc=0.9992)])
+    run_case("0.08% ipc error passes --max-ipc-delta-pct 1",
+             base, close, ["--max-ipc-delta-pct", "1"], 0, failures)
+    off = report(10.0, [job("a", 10.0, ipc=0.520),
+                        job("b", 10.0, ipc=1.000)])
+    run_case("4% ipc error fails --max-ipc-delta-pct 1",
+             base, off, ["--max-ipc-delta-pct", "1"], 1, failures)
+    no_ipc = report(10.0, [job("a", 10.0), job("b", 10.0)])
+    run_case("--max-ipc-delta-pct without ipc fields is no-data",
+             base, no_ipc, ["--max-ipc-delta-pct", "1"], 2, failures)
+
+    # --- combined gates -----------------------------------------------
+    run_case("fast+accurate candidate passes combined gates",
+             base, fast,
+             ["--gate", "--min-speedup", "10",
+              "--max-ipc-delta-pct", "1"], 0, failures)
+    slow_accurate = report(
+        10.0, [job("a", 10.0, seconds=0.5, ipc=0.500),
+               job("b", 10.0, seconds=0.5, ipc=1.000)])
+    run_case("accurate but slow candidate fails combined gates",
+             base, slow_accurate,
+             ["--gate", "--min-speedup", "10",
+              "--max-ipc-delta-pct", "1"], 1, failures)
+
+    if failures:
+        print(f"perf_compare_selftest: {len(failures)} case(s) FAILED: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("perf_compare_selftest: all cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
