@@ -32,7 +32,7 @@ printReport()
         harness::RunOptions options = optionsFor(commit_only);
         for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             s.values[w.name] = harness::speedupVsBaseline(
-                w.name, sim::PrefetcherKind::BFetch, options);
+                w.name, "Bfetch", options);
         }
         series.push_back(std::move(s));
     }
@@ -56,7 +56,7 @@ main(int argc, char **argv)
             jobs,
             std::string("ablation_arf/") +
                 (commit_only ? "retire" : "execute"),
-            {sim::PrefetcherKind::BFetch}, optionsFor(commit_only));
+            {"Bfetch"}, optionsFor(commit_only));
     }
     benchutil::runSweep("ablation_arf", config, jobs);
 
@@ -68,7 +68,7 @@ main(int argc, char **argv)
                     (commit_only ? "retire/" : "execute/") + w.name,
                 "speedup", [name = w.name, options] {
                     return harness::speedupVsBaseline(
-                        name, sim::PrefetcherKind::BFetch, options);
+                        name, "Bfetch", options);
                 });
         }
     }

@@ -46,7 +46,7 @@ printReport()
         harness::RunOptions options = optionsFor(variant);
         for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             s.values[w.name] = harness::speedupVsBaseline(
-                w.name, sim::PrefetcherKind::BFetch, options);
+                w.name, "Bfetch", options);
         }
         series.push_back(std::move(s));
     }
@@ -67,7 +67,7 @@ main(int argc, char **argv)
     for (const Variant &variant : variants) {
         benchutil::appendSpeedupSweep(
             jobs, std::string("ablation/") + variant.name,
-            {sim::PrefetcherKind::BFetch}, optionsFor(variant));
+            {"Bfetch"}, optionsFor(variant));
     }
     benchutil::runSweep("ablation_bfetch_features", config, jobs);
 
@@ -78,7 +78,7 @@ main(int argc, char **argv)
                 std::string("ablation/") + variant.name + "/" + w.name,
                 "speedup", [name = w.name, options] {
                     return harness::speedupVsBaseline(
-                        name, sim::PrefetcherKind::BFetch, options);
+                        name, "Bfetch", options);
                 });
         }
     }

@@ -43,6 +43,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "branch/registry.hh"
 #include "common/log.hh"
 #include "common/sim_error.hh"
 #include "common/thread_pool.hh"
@@ -50,6 +51,7 @@
 #include "harness/experiment.hh"
 #include "harness/mixes.hh"
 #include "harness/report.hh"
+#include "prefetch/registry.hh"
 #include "sim/trace_store.hh"
 #include "workloads/workload.hh"
 
@@ -97,6 +99,19 @@ activeWorkloadFilter()
 {
     static std::string filter;
     return filter;
+}
+
+/**
+ * The prefetch-scheme spec set by --prefetcher / BFSIM_PREFETCHER
+ * (empty = the figure's own scheme list). Process-global for the same
+ * reason as activeWorkloadFilter(): table printers and sweep builders
+ * must agree on the column set.
+ */
+inline std::string &
+activePrefetcherOverride()
+{
+    static std::string spec;
+    return spec;
 }
 
 /** True when `name` is in the --filter subset. */
@@ -155,6 +170,53 @@ listWorkloadsAndExit()
     std::exit(0);
 }
 
+/** --list-predictors: print the branch-predictor registry and exit. */
+inline void
+listPredictorsAndExit()
+{
+    for (const std::string &name : branch::predictorNames())
+        std::printf("%s\n", name.c_str());
+    std::exit(0);
+}
+
+/** --list-prefetchers: print the prefetch-scheme registry and exit. */
+inline void
+listPrefetchersAndExit()
+{
+    for (const std::string &name : prefetch::prefetcherNames()) {
+        std::printf("%-8s (%s)\n", name.c_str(),
+                    prefetch::prefetcherDisplayName(name).c_str());
+    }
+    std::exit(0);
+}
+
+/**
+ * Validate a --predictor / BFSIM_PREDICTOR spec by constructing it
+ * once; a bad name or parameter dies at the CLI boundary with the
+ * registry's message (which lists the registered names) instead of
+ * failing every job of the sweep.
+ */
+inline void
+validatePredictorSpec(const std::string &spec)
+{
+    try {
+        branch::makePredictor(spec);
+    } catch (const SimError &error) {
+        fatal(std::string("--predictor: ") + error.message());
+    }
+}
+
+/** Validate a --prefetcher / BFSIM_PREFETCHER spec (see above). */
+inline void
+validatePrefetcherSpec(const std::string &spec)
+{
+    try {
+        prefetch::makeCorePrefetch(spec);
+    } catch (const SimError &error) {
+        fatal(std::string("--prefetcher: ") + error.message());
+    }
+}
+
 /**
  * Parse and strip the shared batch flags (--jobs=N / --jobs N /
  * --report=PATH / --report PATH / --perf-report=PATH /
@@ -172,16 +234,30 @@ listWorkloadsAndExit()
  * functional capture; --sample enables statistical sampling with the
  * default (or a P:W:M period:warmup:measure) schedule, --sample=0
  * force-disables it; --list prints the (filtered) suite and exits.
+ *
+ * Registry selection: --predictor=SPEC (env BFSIM_PREDICTOR) makes
+ * every run of the process use the given branch-predictor registry
+ * spec (`name[:k=v,...]`, see branch/registry.hh); --prefetcher=SPEC
+ * (env BFSIM_PREFETCHER) replaces the figure's compared prefetch
+ * schemes with the single given scheme. Both specs are validated here
+ * so typos die with the list of registered names. --list-predictors /
+ * --list-prefetchers print the registries and exit.
  */
 inline BenchConfig
 parseBenchConfig(int &argc, char **argv)
 {
     BenchConfig config;
     bool list = false;
+    bool list_predictors = false;
+    bool list_prefetchers = false;
+    std::string predictor_spec;
+    std::string prefetcher_spec;
     if (const char *env = std::getenv("BFSIM_REPORT"))
         config.reportPath = env;
     if (const char *env = std::getenv("BFSIM_PERF_REPORT"))
         config.perfReportPath = env;
+    if (const char *env = std::getenv("BFSIM_PREFETCHER"))
+        prefetcher_spec = env;
 
     auto parse_jobs = [](const std::string &value) {
         char *end = nullptr;
@@ -271,6 +347,24 @@ parseBenchConfig(int &argc, char **argv)
             if (i + 1 >= argc)
                 fatal("--sample-jobs expects a value");
             sample_jobs = parse_jobs(argv[++i]);
+        } else if (arg.rfind("--predictor=", 0) == 0) {
+            predictor_spec = arg.substr(12);
+        } else if (arg == "--predictor") {
+            if (i + 1 >= argc)
+                fatal("--predictor expects a spec (see "
+                      "--list-predictors)");
+            predictor_spec = argv[++i];
+        } else if (arg.rfind("--prefetcher=", 0) == 0) {
+            prefetcher_spec = arg.substr(13);
+        } else if (arg == "--prefetcher") {
+            if (i + 1 >= argc)
+                fatal("--prefetcher expects a spec (see "
+                      "--list-prefetchers)");
+            prefetcher_spec = argv[++i];
+        } else if (arg == "--list-predictors") {
+            list_predictors = true;
+        } else if (arg == "--list-prefetchers") {
+            list_prefetchers = true;
         } else if (arg == "--list") {
             list = true;
         } else {
@@ -304,6 +398,22 @@ parseBenchConfig(int &argc, char **argv)
         if (sample_jobs > 0)
             sample.jobs = sample_jobs;
         harness::setDefaultSampleConfig(sample);
+    }
+    if (list_predictors)
+        listPredictorsAndExit();
+    if (list_prefetchers)
+        listPrefetchersAndExit();
+    if (!predictor_spec.empty()) {
+        validatePredictorSpec(predictor_spec);
+        harness::setDefaultPredictorSpec(predictor_spec);
+    } else {
+        // The env-seeded default (BFSIM_PREDICTOR) deserves the same
+        // early validation as the flag.
+        validatePredictorSpec(harness::defaultPredictorSpec());
+    }
+    if (!prefetcher_spec.empty()) {
+        validatePrefetcherSpec(prefetcher_spec);
+        activePrefetcherOverride() = prefetcher_spec;
     }
     if (list)
         listWorkloadsAndExit();
@@ -442,27 +552,32 @@ runBench(int argc, char **argv, const std::function<void()> &print_report)
     return sweepFailureCount() > 0 ? 1 : 0;
 }
 
-/** The three comparison schemes of Figs. 8-10. */
-inline std::vector<sim::PrefetcherKind>
+/**
+ * The three comparison schemes of Figs. 8-10 — or the single scheme
+ * --prefetcher / BFSIM_PREFETCHER pinned for the whole process.
+ */
+inline std::vector<std::string>
 comparedSchemes()
 {
-    return {sim::PrefetcherKind::Stride, sim::PrefetcherKind::Sms,
-            sim::PrefetcherKind::BFetch};
+    const std::string &spec = activePrefetcherOverride();
+    if (!spec.empty())
+        return {spec};
+    return {"Stride", "SMS", "Bfetch"};
 }
 
 /**
  * Append one single-run job per (filtered) suite workload × scheme
- * under `prefix`. Pass sim::PrefetcherKind::None in `schemes` to
- * include the shared baseline runs speedupVsBaseline needs.
+ * under `prefix`. Pass "None" in `schemes` to include the shared
+ * baseline runs speedupVsBaseline needs.
  */
 inline void
 appendSingleSweep(std::vector<harness::BatchJob> &jobs,
                   const std::string &prefix,
-                  const std::vector<sim::PrefetcherKind> &schemes,
+                  const std::vector<std::string> &schemes,
                   const harness::RunOptions &options)
 {
     for (const workloads::Workload &w : suiteWorkloads()) {
-        for (sim::PrefetcherKind kind : schemes) {
+        for (const std::string &kind : schemes) {
             jobs.push_back(harness::BatchJob::single(
                 w.name, kind, options,
                 prefix + "/" + w.name + "/" +
@@ -475,10 +590,10 @@ appendSingleSweep(std::vector<harness::BatchJob> &jobs,
 inline void
 appendSpeedupSweep(std::vector<harness::BatchJob> &jobs,
                    const std::string &prefix,
-                   std::vector<sim::PrefetcherKind> schemes,
+                   std::vector<std::string> schemes,
                    const harness::RunOptions &options)
 {
-    schemes.insert(schemes.begin(), sim::PrefetcherKind::None);
+    schemes.insert(schemes.begin(), "None");
     appendSingleSweep(jobs, prefix, schemes, options);
 }
 

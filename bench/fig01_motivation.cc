@@ -19,9 +19,7 @@ printReport()
     harness::RunOptions options = benchutil::singleOptions();
     std::vector<harness::SpeedupSeries> series{
         {"Stride", {}}, {"SMS", {}}, {"Perfect", {}}};
-    const sim::PrefetcherKind kinds[] = {sim::PrefetcherKind::Stride,
-                                         sim::PrefetcherKind::Sms,
-                                         sim::PrefetcherKind::Perfect};
+    const std::string kinds[] = {"Stride", "SMS", "Perfect"};
     for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         for (int k = 0; k < 3; ++k) {
             series[k].values[w.name] =
@@ -46,16 +44,12 @@ main(int argc, char **argv)
 
     std::vector<harness::BatchJob> jobs;
     benchutil::appendSpeedupSweep(jobs, "fig01",
-                                  {sim::PrefetcherKind::Stride,
-                                   sim::PrefetcherKind::Sms,
-                                   sim::PrefetcherKind::Perfect},
+                                  {"Stride", "SMS", "Perfect"},
                                   options);
     benchutil::runSweep("fig01", config, jobs);
 
     for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
-        for (sim::PrefetcherKind kind :
-             {sim::PrefetcherKind::Stride, sim::PrefetcherKind::Sms,
-              sim::PrefetcherKind::Perfect}) {
+        for (const char *kind : {"Stride", "SMS", "Perfect"}) {
             benchutil::registerCase(
                 "fig01/" + w.name + "/" + sim::prefetcherName(kind),
                 "speedup", [name = w.name, kind, options] {

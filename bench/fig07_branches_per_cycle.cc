@@ -21,7 +21,7 @@ printReport()
     std::uint64_t branch_cycles = 0;
     for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         const harness::SingleResult &r = harness::runSingleCached(
-            w.name, sim::PrefetcherKind::None, options);
+            w.name, "None", options);
         for (std::size_t i = 1; i < totals.size(); ++i)
             totals[i] += r.core.branchesPerFetchCycle[i];
         branch_cycles += r.core.fetchCyclesWithBranch;
@@ -59,7 +59,7 @@ main(int argc, char **argv)
 
     std::vector<harness::BatchJob> jobs;
     benchutil::appendSingleSweep(jobs, "fig07",
-                                 {sim::PrefetcherKind::None}, options);
+                                 {"None"}, options);
     benchutil::runSweep("fig07", config, jobs);
 
     for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
@@ -68,7 +68,7 @@ main(int argc, char **argv)
             [name = w.name, options] {
                 return static_cast<double>(
                     harness::runSingleCached(
-                        name, sim::PrefetcherKind::None, options)
+                        name, "None", options)
                         .core.fetchCyclesWithBranch);
             });
     }

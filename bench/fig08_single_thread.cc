@@ -17,15 +17,14 @@ void
 printReport()
 {
     harness::RunOptions options = benchutil::singleOptions();
-    std::vector<harness::SpeedupSeries> series{
-        {"Stride", {}}, {"SMS", {}}, {"Bfetch", {}}};
-    int k = 0;
-    for (sim::PrefetcherKind kind : benchutil::comparedSchemes()) {
+    std::vector<harness::SpeedupSeries> series;
+    for (const std::string &kind : benchutil::comparedSchemes()) {
+        harness::SpeedupSeries s{sim::prefetcherName(kind), {}};
         for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
-            series[k].values[w.name] =
+            s.values[w.name] =
                 harness::speedupVsBaseline(w.name, kind, options);
         }
-        ++k;
+        series.push_back(std::move(s));
     }
     std::printf("\n=== Figure 8: single-threaded speedups ===\n\n");
     harness::speedupTable(benchutil::suiteWorkloadNames(),
@@ -37,7 +36,7 @@ printReport()
     double depth_total = 0.0;
     for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         depth_total += harness::runSingleCached(
-                           w.name, sim::PrefetcherKind::BFetch, options)
+                           w.name, "Bfetch", options)
                            .avgLookaheadDepth;
     }
     std::printf("\naverage B-Fetch lookahead depth: %.2f BB "
@@ -61,7 +60,7 @@ main(int argc, char **argv)
     benchutil::runSweep("fig08", config, jobs);
 
     for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
-        for (sim::PrefetcherKind kind : benchutil::comparedSchemes()) {
+        for (const std::string &kind : benchutil::comparedSchemes()) {
             benchutil::registerCase(
                 "fig08/" + w.name + "/" + sim::prefetcherName(kind),
                 "speedup", [name = w.name, kind, options] {

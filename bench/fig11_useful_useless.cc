@@ -24,9 +24,9 @@ printReport()
                   bf_useless = 0;
     for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         const auto &sms = harness::runSingleCached(
-            w.name, sim::PrefetcherKind::Sms, options);
+            w.name, "SMS", options);
         const auto &bf = harness::runSingleCached(
-            w.name, sim::PrefetcherKind::BFetch, options);
+            w.name, "Bfetch", options);
         table.addRow({w.name, TextTable::fmt(sms.mem.usefulPrefetches),
                       TextTable::fmt(sms.mem.uselessPrefetches),
                       TextTable::fmt(bf.mem.usefulPrefetches),
@@ -60,14 +60,12 @@ main(int argc, char **argv)
 
     std::vector<harness::BatchJob> jobs;
     benchutil::appendSingleSweep(jobs, "fig11",
-                                 {sim::PrefetcherKind::Sms,
-                                  sim::PrefetcherKind::BFetch},
+                                 {"SMS", "Bfetch"},
                                  options);
     benchutil::runSweep("fig11", config, jobs);
 
     for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
-        for (sim::PrefetcherKind kind :
-             {sim::PrefetcherKind::Sms, sim::PrefetcherKind::BFetch}) {
+        for (const char *kind : {"SMS", "Bfetch"}) {
             benchutil::registerCase(
                 "fig11/" + w.name + "/" + sim::prefetcherName(kind),
                 "useful_prefetches", [name = w.name, kind, options] {

@@ -32,7 +32,7 @@ printReport()
         harness::RunOptions options = optionsFor(threshold);
         for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             s.values[w.name] = harness::speedupVsBaseline(
-                w.name, sim::PrefetcherKind::BFetch, options);
+                w.name, "Bfetch", options);
         }
         series.push_back(std::move(s));
     }
@@ -54,7 +54,7 @@ main(int argc, char **argv)
     for (double threshold : thresholds) {
         benchutil::appendSpeedupSweep(
             jobs, "fig12/conf" + TextTable::fmt(threshold, 2),
-            {sim::PrefetcherKind::BFetch}, optionsFor(threshold));
+            {"Bfetch"}, optionsFor(threshold));
     }
     benchutil::runSweep("fig12", config, jobs);
 
@@ -66,7 +66,7 @@ main(int argc, char **argv)
                     TextTable::fmt(threshold, 2),
                 "speedup", [name = w.name, options] {
                     return harness::speedupVsBaseline(
-                        name, sim::PrefetcherKind::BFetch, options);
+                        name, "Bfetch", options);
                 });
         }
     }

@@ -23,7 +23,7 @@ printReport()
     std::vector<double> ref_ipcs;
     for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         ref_ipcs.push_back(
-            harness::runSingleCached(w.name, sim::PrefetcherKind::None,
+            harness::runSingleCached(w.name, "None",
                                      ref)
                 .core.ipc);
     }
@@ -40,9 +40,9 @@ printReport()
         double bp_kb = 0.0;
         for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             const auto &base = harness::runSingleCached(
-                w.name, sim::PrefetcherKind::None, options);
+                w.name, "None", options);
             const auto &bf = harness::runSingleCached(
-                w.name, sim::PrefetcherKind::BFetch, options);
+                w.name, "Bfetch", options);
             base_ipcs.push_back(base.core.ipc);
             bf_ipcs.push_back(bf.core.ipc);
             miss_rates.push_back(base.core.branchMissRate);
@@ -71,7 +71,7 @@ main(int argc, char **argv)
         options.bpSizeScale = scale;
         benchutil::appendSpeedupSweep(
             jobs, "fig13/scale" + TextTable::fmt(scale, 1),
-            {sim::PrefetcherKind::BFetch}, options);
+            {"Bfetch"}, options);
     }
     benchutil::runSweep("fig13", config, jobs);
 
@@ -83,7 +83,7 @@ main(int argc, char **argv)
                 "fig13/" + w.name + "/scale" + TextTable::fmt(scale, 1),
                 "bfetch_ipc", [name = w.name, options] {
                     return harness::runSingleCached(
-                               name, sim::PrefetcherKind::BFetch,
+                               name, "Bfetch",
                                options)
                         .core.ipc;
                 });

@@ -31,7 +31,7 @@ printReport()
         harness::RunOptions options = optionsFor(width);
         for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             s.values[w.name] = harness::speedupVsBaseline(
-                w.name, sim::PrefetcherKind::BFetch, options);
+                w.name, "Bfetch", options);
         }
         series.push_back(std::move(s));
     }
@@ -52,7 +52,7 @@ main(int argc, char **argv)
     for (unsigned width : widths) {
         benchutil::appendSpeedupSweep(
             jobs, "fig14/" + std::to_string(width) + "wide",
-            {sim::PrefetcherKind::BFetch}, optionsFor(width));
+            {"Bfetch"}, optionsFor(width));
     }
     benchutil::runSweep("fig14", config, jobs);
 
@@ -64,7 +64,7 @@ main(int argc, char **argv)
                     "wide",
                 "speedup", [name = w.name, options] {
                     return harness::speedupVsBaseline(
-                        name, sim::PrefetcherKind::BFetch, options);
+                        name, "Bfetch", options);
                 });
         }
     }

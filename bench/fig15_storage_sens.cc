@@ -35,7 +35,7 @@ printReport()
         std::vector<double> all, sens;
         for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
             double s = harness::speedupVsBaseline(
-                w.name, sim::PrefetcherKind::BFetch, options);
+                w.name, "Bfetch", options);
             all.push_back(s);
             if (std::find(sensitive.begin(), sensitive.end(), w.name) !=
                 sensitive.end())
@@ -43,7 +43,7 @@ printReport()
         }
         // Storage: recompute from a throwaway engine configuration.
         prefetch::PrefetchQueue queue(100);
-        auto bp = branch::makeTournamentPredictor();
+        auto bp = branch::makePredictor(harness::defaultPredictorSpec());
         core::BFetchEngine engine(options.bfetch, *bp, queue);
         double kb = static_cast<double>(engine.storageBits()) / 8.0 /
                     1024.0;
@@ -67,7 +67,7 @@ main(int argc, char **argv)
     for (std::size_t entries : entryCounts) {
         benchutil::appendSpeedupSweep(
             jobs, "fig15/" + std::to_string(entries),
-            {sim::PrefetcherKind::BFetch}, optionsFor(entries));
+            {"Bfetch"}, optionsFor(entries));
     }
     benchutil::runSweep("fig15", config, jobs);
 
@@ -78,7 +78,7 @@ main(int argc, char **argv)
                 "fig15/" + w.name + "/" + std::to_string(entries),
                 "speedup", [name = w.name, options] {
                     return harness::speedupVsBaseline(
-                        name, sim::PrefetcherKind::BFetch, options);
+                        name, "Bfetch", options);
                 });
         }
     }

@@ -22,33 +22,33 @@ printReport()
     harness::RunOptions options;
     options.instructions = harness::benchInstructionBudget(100'000);
     auto mixes = benchutil::selectedMixes(8, 4);
+    std::vector<std::string> schemes = benchutil::comparedSchemes();
     std::printf("\n=== Mix-8 preliminary: normalized weighted speedup "
                 "===\n\n");
-    TextTable table({"mix", "Stride", "SMS", "Bfetch"});
-    std::vector<double> stride_all, sms_all, bf_all;
+    std::vector<std::string> header{"mix"};
+    for (const std::string &kind : schemes)
+        header.push_back(sim::prefetcherName(kind));
+    TextTable table(header);
+    std::vector<std::vector<double>> all(schemes.size());
     for (const auto &[index, mix] : mixes) {
         double base =
-            harness::runMixCached(mix.workloads,
-                                  sim::PrefetcherKind::None, options)
+            harness::runMixCached(mix.workloads, "None", options)
                 .weightedSpeedup;
-        auto norm = [&](sim::PrefetcherKind kind) {
-            return harness::runMixCached(mix.workloads, kind, options)
-                       .weightedSpeedup /
-                   base;
-        };
-        double stride = norm(sim::PrefetcherKind::Stride);
-        double sms = norm(sim::PrefetcherKind::Sms);
-        double bf = norm(sim::PrefetcherKind::BFetch);
-        table.addRow({"mix" + std::to_string(index),
-                      TextTable::fmt(stride), TextTable::fmt(sms),
-                      TextTable::fmt(bf)});
-        stride_all.push_back(stride);
-        sms_all.push_back(sms);
-        bf_all.push_back(bf);
+        std::vector<std::string> row{"mix" + std::to_string(index)};
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            double norm = harness::runMixCached(mix.workloads,
+                                                schemes[s], options)
+                              .weightedSpeedup /
+                          base;
+            row.push_back(TextTable::fmt(norm));
+            all[s].push_back(norm);
+        }
+        table.addRow(row);
     }
-    table.addRow({"Geomean", TextTable::fmt(geometricMean(stride_all)),
-                  TextTable::fmt(geometricMean(sms_all)),
-                  TextTable::fmt(geometricMean(bf_all))});
+    std::vector<std::string> geo{"Geomean"};
+    for (const std::vector<double> &series : all)
+        geo.push_back(TextTable::fmt(geometricMean(series)));
+    table.addRow(geo);
     table.print(std::cout);
 }
 
@@ -67,11 +67,12 @@ main(int argc, char **argv)
 
     benchutil::warmFoaProfiles(threads);
     auto mixes = benchutil::selectedMixes(8, 4);
+    std::vector<std::string> schemes{"None"};
+    for (const std::string &kind : benchutil::comparedSchemes())
+        schemes.push_back(kind);
     std::vector<harness::BatchJob> jobs;
     for (const auto &[index, mix] : mixes) {
-        for (sim::PrefetcherKind kind :
-             {sim::PrefetcherKind::None, sim::PrefetcherKind::Stride,
-              sim::PrefetcherKind::Sms, sim::PrefetcherKind::BFetch}) {
+        for (const std::string &kind : schemes) {
             jobs.push_back(harness::BatchJob::mix(
                 mix.workloads, kind, options,
                 "mix8/mix" + std::to_string(index) + "/" +
@@ -81,7 +82,7 @@ main(int argc, char **argv)
     benchutil::runSweep("mix8", config, jobs);
 
     for (const auto &[index, mix] : mixes) {
-        for (sim::PrefetcherKind kind : benchutil::comparedSchemes()) {
+        for (const std::string &kind : benchutil::comparedSchemes()) {
             benchutil::registerCase(
                 "mix8/mix" + std::to_string(index) + "/" +
                     sim::prefetcherName(kind),

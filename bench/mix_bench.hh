@@ -62,35 +62,35 @@ printMixReport(unsigned mix_size, const char *figure)
 {
     harness::RunOptions options = mixOptions();
     auto mixes = selectedMixes(mix_size, 29);
+    std::vector<std::string> schemes = comparedSchemes();
     std::printf("\n=== Figure %s: normalized weighted speedup, "
                 "%u-app mixes ===\n\n",
                 figure, mix_size);
-    TextTable table({"mix", "workloads", "Stride", "SMS", "Bfetch"});
-    std::vector<double> stride_all, sms_all, bf_all;
+    std::vector<std::string> header{"mix", "workloads"};
+    for (const std::string &kind : schemes)
+        header.push_back(sim::prefetcherName(kind));
+    TextTable table(header);
+    std::vector<std::vector<double>> all(schemes.size());
     for (const auto &[index, mix] : mixes) {
         double base =
-            harness::runMixCached(mix.workloads,
-                                  sim::PrefetcherKind::None, options)
+            harness::runMixCached(mix.workloads, "None", options)
                 .weightedSpeedup;
-        auto norm = [&](sim::PrefetcherKind kind) {
-            return harness::runMixCached(mix.workloads, kind, options)
-                       .weightedSpeedup /
-                   base;
-        };
-        double stride = norm(sim::PrefetcherKind::Stride);
-        double sms = norm(sim::PrefetcherKind::Sms);
-        double bf = norm(sim::PrefetcherKind::BFetch);
-        table.addRow({"mix" + std::to_string(index), mixLabel(mix),
-                      TextTable::fmt(stride), TextTable::fmt(sms),
-                      TextTable::fmt(bf)});
-        stride_all.push_back(stride);
-        sms_all.push_back(sms);
-        bf_all.push_back(bf);
+        std::vector<std::string> row{"mix" + std::to_string(index),
+                                     mixLabel(mix)};
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            double norm = harness::runMixCached(mix.workloads,
+                                                schemes[s], options)
+                              .weightedSpeedup /
+                          base;
+            row.push_back(TextTable::fmt(norm));
+            all[s].push_back(norm);
+        }
+        table.addRow(row);
     }
-    table.addRow({"Geomean", "-",
-                  TextTable::fmt(geometricMean(stride_all)),
-                  TextTable::fmt(geometricMean(sms_all)),
-                  TextTable::fmt(geometricMean(bf_all))});
+    std::vector<std::string> geo{"Geomean", "-"};
+    for (const std::vector<double> &series : all)
+        geo.push_back(TextTable::fmt(geometricMean(series)));
+    table.addRow(geo);
     table.print(std::cout);
 }
 
@@ -99,11 +99,12 @@ inline std::vector<harness::BatchJob>
 mixSweepJobs(const char *figure, const std::vector<NumberedMix> &mixes,
              const harness::RunOptions &options)
 {
+    std::vector<std::string> schemes{"None"};
+    for (const std::string &kind : comparedSchemes())
+        schemes.push_back(kind);
     std::vector<harness::BatchJob> jobs;
     for (const auto &[index, mix] : mixes) {
-        for (sim::PrefetcherKind kind :
-             {sim::PrefetcherKind::None, sim::PrefetcherKind::Stride,
-              sim::PrefetcherKind::Sms, sim::PrefetcherKind::BFetch}) {
+        for (const std::string &kind : schemes) {
             jobs.push_back(harness::BatchJob::mix(
                 mix.workloads, kind, options,
                 std::string("fig") + figure + "/mix" +
@@ -128,7 +129,7 @@ runMixBench(int argc, char **argv, unsigned mix_size, const char *figure)
              mixSweepJobs(figure, mixes, options));
 
     for (const auto &[index, mix] : mixes) {
-        for (sim::PrefetcherKind kind : comparedSchemes()) {
+        for (const std::string &kind : comparedSchemes()) {
             registerCase(
                 std::string("fig") + figure + "/mix" +
                     std::to_string(index) + "/" +

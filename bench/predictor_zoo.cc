@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Predictor zoo: sensitivity of B-Fetch to the direction predictor
+ * driving its lookahead. Sweeps {tournament, tage, gshare} × {baseline,
+ * B-Fetch} over the (filtered) suite and reports, per predictor, the
+ * baseline conditional-branch miss rate and the B-Fetch speedup — the
+ * registry-level generalization of the paper's Fig. 13 observation that
+ * B-Fetch's benefit tracks branch-prediction quality.
+ *
+ * Every point is an ordinary registry job: the predictor spec rides in
+ * RunOptions::predictor (part of the memo/report cache keys), so zoo
+ * results coexist with default-config results in one process and one
+ * JSON report without collisions.
+ */
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace bfsim;
+
+const char *const kPredictors[] = {"tournament", "tage", "gshare"};
+
+harness::RunOptions
+optionsFor(const std::string &predictor)
+{
+    harness::RunOptions options = benchutil::singleOptions();
+    options.predictor = predictor;
+    return options;
+}
+
+void
+printReport()
+{
+    std::printf("\n=== Predictor zoo: B-Fetch sensitivity to the "
+                "direction predictor ===\n\n");
+
+    std::vector<std::string> header{"workload"};
+    for (const char *predictor : kPredictors)
+        header.push_back(predictor);
+
+    // Baseline (no-prefetch) conditional-branch miss rate: how much
+    // raw prediction quality each predictor brings to the lookahead.
+    TextTable miss(header);
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
+        std::vector<std::string> row{w.name};
+        for (const char *predictor : kPredictors) {
+            const harness::SingleResult &r = harness::runSingleCached(
+                w.name, "None", optionsFor(predictor));
+            row.push_back(
+                TextTable::fmt(100.0 * r.core.branchMissRate, 2) + "%");
+        }
+        miss.addRow(row);
+    }
+    std::printf("baseline branch miss rate:\n\n");
+    miss.print(std::cout);
+
+    // B-Fetch speedup over the same-predictor no-prefetch baseline.
+    TextTable speedup(header);
+    std::vector<std::vector<double>> series(std::size(kPredictors));
+    for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
+        std::vector<std::string> row{w.name};
+        for (std::size_t p = 0; p < std::size(kPredictors); ++p) {
+            double s = harness::speedupVsBaseline(
+                w.name, "Bfetch", optionsFor(kPredictors[p]));
+            row.push_back(TextTable::fmt(s));
+            series[p].push_back(s);
+        }
+        speedup.addRow(row);
+    }
+    std::vector<std::string> geo{"Geomean"};
+    for (const std::vector<double> &s : series)
+        geo.push_back(TextTable::fmt(geometricMean(s)));
+    speedup.addRow(geo);
+    std::printf("\nB-Fetch speedup vs no-prefetch (same predictor):\n\n");
+    speedup.print(std::cout);
+
+    // Storage each predictor spends to earn its miss rate.
+    std::printf("\npredictor storage:");
+    for (const char *predictor : kPredictors) {
+        const harness::SingleResult &r = harness::runSingleCached(
+            benchutil::suiteWorkloads().front().get().name, "None",
+            optionsFor(predictor));
+        std::printf("  %s %.1f KB", predictor, r.branchPredictorKB);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchutil::BenchConfig config =
+        benchutil::parseBenchConfig(argc, argv);
+
+    std::vector<harness::BatchJob> jobs;
+    for (const char *predictor : kPredictors) {
+        harness::RunOptions options = optionsFor(predictor);
+        for (const workloads::Workload &w :
+             benchutil::suiteWorkloads()) {
+            for (const char *kind : {"None", "Bfetch"}) {
+                jobs.push_back(harness::BatchJob::single(
+                    w.name, kind, options,
+                    std::string("zoo/") + predictor + "/" + w.name +
+                        "/" + kind));
+            }
+        }
+    }
+    benchutil::runSweep("predictor_zoo", config, jobs);
+
+    for (const char *predictor : kPredictors) {
+        harness::RunOptions options = optionsFor(predictor);
+        for (const workloads::Workload &w :
+             benchutil::suiteWorkloads()) {
+            benchutil::registerCase(
+                std::string("zoo/") + predictor + "/" + w.name +
+                    "/Bfetch",
+                "speedup", [name = w.name, options] {
+                    return harness::speedupVsBaseline(name, "Bfetch",
+                                                      options);
+                });
+        }
+    }
+    return benchutil::runBench(argc, argv, printReport);
+}

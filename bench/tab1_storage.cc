@@ -28,7 +28,7 @@ void
 printReport()
 {
     prefetch::PrefetchQueue queue(100);
-    auto bp = branch::makeTournamentPredictor();
+    auto bp = branch::makePredictor(harness::defaultPredictorSpec());
     core::BFetchEngine engine(core::BFetchConfig{}, *bp, queue);
     prefetch::SmsPrefetcher sms;
 
@@ -70,7 +70,7 @@ main(int argc, char **argv)
         benchutil::parseBenchConfig(argc, argv);
     auto storage_kb = [] {
         prefetch::PrefetchQueue queue(100);
-        auto bp = branch::makeTournamentPredictor();
+        auto bp = branch::makePredictor(harness::defaultPredictorSpec());
         core::BFetchEngine engine(core::BFetchConfig{}, *bp, queue);
         return static_cast<double>(engine.storageBits()) / 8.0 / 1024.0;
     };

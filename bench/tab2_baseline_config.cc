@@ -22,12 +22,12 @@ printReport()
     std::vector<double> miss_rates;
     for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
         miss_rates.push_back(
-            harness::runSingleCached(w.name, sim::PrefetcherKind::None,
+            harness::runSingleCached(w.name, "None",
                                      options)
                 .core.branchMissRate);
     }
     double bp_kb = harness::runSingleCached(
-                       "astar", sim::PrefetcherKind::None, options)
+                       "astar", "None", options)
                        .branchPredictorKB;
 
     std::printf("\n=== Table II: baseline configuration ===\n\n");
@@ -95,7 +95,7 @@ main(int argc, char **argv)
 
     std::vector<harness::BatchJob> jobs;
     benchutil::appendSingleSweep(jobs, "tab2",
-                                 {sim::PrefetcherKind::None}, options);
+                                 {"None"}, options);
     benchutil::runSweep("tab2", config, jobs);
 
     bfsim::benchutil::registerCase(
@@ -103,7 +103,7 @@ main(int argc, char **argv)
             double total = 0.0;
             for (const workloads::Workload &w : benchutil::suiteWorkloads()) {
                 total += harness::runSingleCached(
-                             w.name, sim::PrefetcherKind::None, options)
+                             w.name, "None", options)
                              .core.branchMissRate;
             }
             return total / benchutil::suiteWorkloads().size();

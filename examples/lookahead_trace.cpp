@@ -32,7 +32,7 @@ main(int argc, char **argv)
     const workloads::Workload &workload =
         workloads::workloadByName(name);
     harness::SingleResult r =
-        harness::runSingle(name, sim::PrefetcherKind::BFetch, options);
+        harness::runSingle(name, "Bfetch", options);
 
     std::printf("=== B-Fetch on %s (%llu instructions) ===\n\n",
                 name.c_str(),
@@ -79,9 +79,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(s.mhtLearnUpdates));
 
     double base_ipc =
-        harness::runSingleCached(name, sim::PrefetcherKind::None,
-                                 options)
-            .core.ipc;
+        harness::runSingleCached(name, "None", options).core.ipc;
     std::printf("\nresult: IPC %.3f vs baseline %.3f -> speedup "
                 "%.2fx\n",
                 r.core.ipc, base_ipc, r.core.ipc / base_ipc);

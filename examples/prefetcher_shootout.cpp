@@ -38,19 +38,15 @@ main(int argc, char **argv)
     if (names.empty())
         names = {"libquantum", "mcf", "milc", "gromacs"};
 
-    const sim::PrefetcherKind kinds[] = {
-        sim::PrefetcherKind::NextN,  sim::PrefetcherKind::Stride,
-        sim::PrefetcherKind::Sms,    sim::PrefetcherKind::BFetch,
-        sim::PrefetcherKind::Perfect,
-    };
+    const std::string kinds[] = {"NextN", "Stride", "SMS", "Bfetch",
+                                 "Perfect"};
 
     // Fan the whole sweep (incl. the no-prefetch baselines) across the
     // batch runner; the table loop below then reads memoized results.
     std::vector<harness::BatchJob> jobs;
     for (const std::string &name : names) {
-        jobs.push_back(harness::BatchJob::single(
-            name, sim::PrefetcherKind::None, options));
-        for (sim::PrefetcherKind kind : kinds)
+        jobs.push_back(harness::BatchJob::single(name, "None", options));
+        for (const std::string &kind : kinds)
             jobs.push_back(
                 harness::BatchJob::single(name, kind, options));
     }
@@ -63,7 +59,7 @@ main(int argc, char **argv)
                     workload.character.c_str());
         TextTable table({"scheme", "speedup", "issued", "useful",
                          "useless", "accuracy"});
-        for (sim::PrefetcherKind kind : kinds) {
+        for (const std::string &kind : kinds) {
             const harness::SingleResult &r =
                 harness::runSingleCached(name, kind, options);
             double speedup =

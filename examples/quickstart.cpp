@@ -34,19 +34,16 @@ main(int argc, char **argv)
                 static_cast<double>(workload.footprintBytes) / 1048576.0,
                 static_cast<unsigned long long>(options.instructions));
 
-    const sim::PrefetcherKind kinds[] = {
-        sim::PrefetcherKind::None, sim::PrefetcherKind::Stride,
-        sim::PrefetcherKind::Sms, sim::PrefetcherKind::BFetch,
-    };
+    const std::string kinds[] = {"None", "Stride", "SMS", "Bfetch"};
 
     double base_ipc = 0.0;
     std::printf("%-8s %8s %9s %9s %10s %10s %10s\n", "scheme", "IPC",
                 "speedup", "L1 hit%", "pf issued", "pf useful",
                 "pf useless");
-    for (sim::PrefetcherKind kind : kinds) {
+    for (const std::string &kind : kinds) {
         harness::SingleResult r =
             harness::runSingle(name, kind, options);
-        if (kind == sim::PrefetcherKind::None)
+        if (kind == "None")
             base_ipc = r.core.ipc;
         double l1_pct = r.mem.accesses
                             ? 100.0 * static_cast<double>(r.mem.l1Hits) /

@@ -7,11 +7,9 @@
 
 namespace bfsim::branch {
 
-namespace {
-
 /** Round to the nearest power of two, at least minimum. */
 std::size_t
-scaledEntries(std::size_t base, double scale, std::size_t minimum = 64)
+scaledEntries(std::size_t base, double scale, std::size_t minimum)
 {
     auto scaled = static_cast<std::size_t>(
         std::llround(static_cast<double>(base) * scale));
@@ -21,6 +19,8 @@ scaledEntries(std::size_t base, double scale, std::size_t minimum = 64)
         pow2 /= 2;
     return std::max(pow2, minimum);
 }
+
+namespace {
 
 unsigned
 log2Entries(std::size_t entries)

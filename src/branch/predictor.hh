@@ -25,6 +25,14 @@
 
 namespace bfsim::branch {
 
+/**
+ * Scale a baseline table entry count by the Fig. 13 size factor,
+ * rounding to the nearest power of two but never below `minimum`.
+ * Shared by every predictor the registry scales uniformly.
+ */
+std::size_t scaledEntries(std::size_t base, double scale,
+                          std::size_t minimum = 64);
+
 /** Saturating n-bit counter helper. */
 class SatCounter
 {

@@ -1,0 +1,115 @@
+#include "branch/registry.hh"
+
+#include "branch/tage.hh"
+
+namespace bfsim::branch {
+
+namespace {
+
+using PredictorRegistry =
+    Registry<std::unique_ptr<DirectionPredictor>, double>;
+
+/**
+ * Table entry count for a factory: an explicit `key` parameter wins
+ * verbatim (the constructor's power-of-two check still applies);
+ * otherwise the baseline count under the effective scale.
+ */
+std::size_t
+entriesParam(const Params &params, const char *key, std::size_t base,
+             double scale)
+{
+    std::uint64_t explicit_entries = params.getU64(key, 0);
+    if (explicit_entries > 0)
+        return static_cast<std::size_t>(explicit_entries);
+    return scaledEntries(base, scale);
+}
+
+PredictorRegistry
+buildRegistry()
+{
+    PredictorRegistry registry("predictor");
+
+    registry.add("bimodal", "bimodal",
+                 [](const Params &params, double scale) {
+                     scale = params.getDouble("scale", scale);
+                     return std::make_unique<BimodalPredictor>(
+                         entriesParam(params, "entries", 4096, scale));
+                 });
+
+    registry.add("gshare", "gshare",
+                 [](const Params &params, double scale) {
+                     scale = params.getDouble("scale", scale);
+                     return std::make_unique<GSharePredictor>(
+                         entriesParam(params, "entries", 4096, scale));
+                 });
+
+    registry.add(
+        "local", "local", [](const Params &params, double scale) {
+            scale = params.getDouble("scale", scale);
+            return std::make_unique<LocalPredictor>(
+                entriesParam(params, "history_entries", 2048, scale),
+                static_cast<unsigned>(params.getU64("history_bits", 10)),
+                entriesParam(params, "pattern_entries", 2048, scale));
+        });
+
+    // The paper's baseline (Table II). The factory must construct
+    // exactly what makeTournamentPredictor(scale) constructs — the
+    // registry_test memcmp-identity gate depends on it.
+    registry.add("tournament", "tournament",
+                 [](const Params &params, double scale) {
+                     TournamentConfig config;
+                     config.sizeScale = params.getDouble("scale", scale);
+                     return std::make_unique<TournamentPredictor>(
+                         config);
+                 });
+
+    registry.add(
+        "tage", "tage", [](const Params &params, double scale) {
+            TageConfig config;
+            config.sizeScale = params.getDouble("scale", scale);
+            config.baseEntries = static_cast<std::size_t>(
+                params.getU64("base_entries", config.baseEntries));
+            config.tagEntries = static_cast<std::size_t>(
+                params.getU64("entries", config.tagEntries));
+            config.numTables = static_cast<unsigned>(
+                params.getU64("tables", config.numTables));
+            config.tagBits = static_cast<unsigned>(
+                params.getU64("tag_bits", config.tagBits));
+            config.minHistory = static_cast<unsigned>(
+                params.getU64("min_hist", config.minHistory));
+            config.maxHistory = static_cast<unsigned>(
+                params.getU64("max_hist", config.maxHistory));
+            return std::make_unique<TagePredictor>(config);
+        });
+
+    return registry;
+}
+
+} // namespace
+
+const Registry<std::unique_ptr<DirectionPredictor>, double> &
+predictorRegistry()
+{
+    static PredictorRegistry registry = buildRegistry();
+    return registry;
+}
+
+std::unique_ptr<DirectionPredictor>
+makePredictor(const std::string &spec, double size_scale)
+{
+    return predictorRegistry().make(spec, size_scale);
+}
+
+std::vector<std::string>
+predictorNames()
+{
+    return predictorRegistry().names();
+}
+
+std::string
+predictorDisplayName(const std::string &spec)
+{
+    return predictorRegistry().displayName(spec);
+}
+
+} // namespace bfsim::branch

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Branch-predictor registry: string-spec construction of every
+ * DirectionPredictor (DESIGN.md §14).
+ *
+ * Specs follow the common `name[:k=v,...]` grammar of
+ * common/registry.hh. Registered predictors: bimodal, gshare, local,
+ * tournament (the paper's baseline), tage. Every factory honors a
+ * `scale` parameter defaulting to the caller-supplied Fig. 13 size
+ * scale, so `--predictor=tage` composes with the fig13 sweep's
+ * bpSizeScale axis unchanged, while `tage:scale=2` pins it per spec.
+ *
+ * Adding a predictor is one new file implementing DirectionPredictor
+ * plus one `add(...)` line in registry.cc.
+ */
+
+#ifndef BFSIM_BRANCH_REGISTRY_HH_
+#define BFSIM_BRANCH_REGISTRY_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "common/registry.hh"
+
+namespace bfsim::branch {
+
+/** The registry of direction predictors (built once, immutable). */
+const Registry<std::unique_ptr<DirectionPredictor>, double> &
+predictorRegistry();
+
+/**
+ * Construct the predictor described by `spec` ("tournament",
+ * "tage:tables=6", ...). `size_scale` is the Fig. 13 scale applied to
+ * every table unless the spec's own `scale` parameter overrides it.
+ * Throws SimError for unknown names (listing the registered ones) and
+ * malformed or unconsumed parameters.
+ */
+std::unique_ptr<DirectionPredictor>
+makePredictor(const std::string &spec, double size_scale = 1.0);
+
+/** Canonical registered predictor names, in registration order. */
+std::vector<std::string> predictorNames();
+
+/**
+ * Display name for `spec` (lenient; parameter clause preserved). With
+ * only lowercase canonical predictor names registered this is spec
+ * normalization, kept for symmetry with prefetcherDisplayName.
+ */
+std::string predictorDisplayName(const std::string &spec);
+
+} // namespace bfsim::branch
+
+#endif // BFSIM_BRANCH_REGISTRY_HH_

@@ -1,0 +1,255 @@
+#include "branch/tage.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/sim_error.hh"
+
+namespace bfsim::branch {
+
+namespace {
+
+/**
+ * Fold `len` history bits down to `width` bits by XORing successive
+ * width-bit chunks. Pure function of the explicit history value, which
+ * is what keeps probe() side-effect free: no folded-history registers
+ * to maintain speculatively.
+ */
+std::uint64_t
+fold(std::uint64_t history, unsigned len, unsigned width)
+{
+    std::uint64_t h =
+        len >= 64 ? history : history & ((1ULL << len) - 1);
+    std::uint64_t folded = 0;
+    for (unsigned bit = 0; bit < len; bit += width)
+        folded ^= h >> bit;
+    return folded & ((1ULL << width) - 1);
+}
+
+} // namespace
+
+TagePredictor::TagePredictor(const TageConfig &config)
+    : baseTable(scaledEntries(config.baseEntries, config.sizeScale),
+                SatCounter(2, 1)),
+      tagWidth(config.tagBits),
+      maxHist(config.maxHistory)
+{
+    if (config.numTables < 1)
+        throw SimError("branch", "tage needs at least one tagged table");
+    if (config.tagBits < 4 || config.tagBits > 15)
+        throw SimError("branch", "tage tag width must be in [4, 15]");
+    if (config.maxHistory > 63) {
+        // core/bfetch.cc masks speculative history with
+        // (1 << historyBits()) - 1; 64 would overflow the shift.
+        throw SimError("branch", "tage max history must be <= 63");
+    }
+    if (config.minHistory < 1 ||
+        config.minHistory > config.maxHistory) {
+        throw SimError("branch",
+                       "tage history lengths must satisfy 1 <= min <= "
+                       "max");
+    }
+
+    std::size_t tag_entries =
+        scaledEntries(config.tagEntries, config.sizeScale);
+    taggedTables.assign(config.numTables,
+                        std::vector<TaggedEntry>(tag_entries));
+
+    // Geometric history series: L_i = min * (max/min)^(i/(N-1)),
+    // strictly increasing after integer rounding.
+    histLengths.resize(config.numTables);
+    for (unsigned t = 0; t < config.numTables; ++t) {
+        double exponent =
+            config.numTables > 1
+                ? static_cast<double>(t) /
+                      static_cast<double>(config.numTables - 1)
+                : 1.0;
+        double length =
+            static_cast<double>(config.minHistory) *
+            std::pow(static_cast<double>(config.maxHistory) /
+                         static_cast<double>(config.minHistory),
+                     exponent);
+        auto rounded = static_cast<unsigned>(std::llround(length));
+        if (t > 0 && rounded <= histLengths[t - 1])
+            rounded = histLengths[t - 1] + 1;
+        histLengths[t] = rounded;
+    }
+    if (histLengths.back() > 63)
+        throw SimError("branch", "tage history series exceeds 63 bits");
+    maxHist = histLengths.back();
+}
+
+std::size_t
+TagePredictor::baseIndex(Addr pc) const
+{
+    return (pc >> 2) & (baseTable.size() - 1);
+}
+
+std::size_t
+TagePredictor::tableIndex(unsigned t, Addr pc,
+                          std::uint64_t history) const
+{
+    const std::size_t entries = taggedTables[t].size();
+    const unsigned bits =
+        static_cast<unsigned>(std::bit_width(entries) - 1);
+    std::uint64_t hashed = (pc >> 2) ^ ((pc >> 2) >> (t + 1)) ^
+                           fold(history, histLengths[t], bits);
+    return hashed & (entries - 1);
+}
+
+std::uint16_t
+TagePredictor::tableTag(unsigned t, Addr pc, std::uint64_t history) const
+{
+    std::uint64_t hashed = (pc >> 2) ^
+                           fold(history, histLengths[t], tagWidth) ^
+                           (fold(history, histLengths[t], tagWidth - 1)
+                            << 1);
+    return static_cast<std::uint16_t>(hashed &
+                                      ((1ULL << tagWidth) - 1));
+}
+
+TagePredictor::Lookup
+TagePredictor::lookup(Addr pc, std::uint64_t history) const
+{
+    Lookup result;
+    bool base_pred = baseTable[baseIndex(pc)].isSet();
+    result.altPred = base_pred;
+    result.providerPred = base_pred;
+    for (int t = static_cast<int>(taggedTables.size()) - 1; t >= 0;
+         --t) {
+        std::size_t index =
+            tableIndex(static_cast<unsigned>(t), pc, history);
+        const TaggedEntry &entry = taggedTables[t][index];
+        if (entry.tag !=
+            tableTag(static_cast<unsigned>(t), pc, history)) {
+            continue;
+        }
+        if (result.provider < 0) {
+            result.provider = t;
+            result.providerIndex = index;
+            result.providerPred = entry.ctr >= 4;
+        } else {
+            result.alt = t;
+            result.altPred = entry.ctr >= 4;
+            break;
+        }
+    }
+    if (result.provider >= 0 && result.alt < 0)
+        result.altPred = base_pred;
+    result.pred =
+        result.provider >= 0 ? result.providerPred : base_pred;
+    return result;
+}
+
+bool
+TagePredictor::predict(Addr pc) const
+{
+    return probe(pc, globalHistory);
+}
+
+bool
+TagePredictor::probe(Addr pc, std::uint64_t history) const
+{
+    return lookup(pc, history).pred;
+}
+
+void
+TagePredictor::update(Addr pc, bool taken)
+{
+    Lookup seen = lookup(pc, globalHistory);
+
+    if (seen.provider >= 0) {
+        TaggedEntry &entry =
+            taggedTables[seen.provider][seen.providerIndex];
+        // Useful counters track "provider beat the alternate", the
+        // signal that protects the entry from reallocation.
+        if (seen.providerPred != seen.altPred) {
+            if (seen.providerPred == taken) {
+                if (entry.useful < 3)
+                    ++entry.useful;
+            } else if (entry.useful > 0) {
+                --entry.useful;
+            }
+        }
+        if (taken) {
+            if (entry.ctr < 7)
+                ++entry.ctr;
+        } else if (entry.ctr > 0) {
+            --entry.ctr;
+        }
+        // The base table keeps learning when it was the alternate, so
+        // a reallocated entry falls back on a trained default.
+        if (seen.alt < 0) {
+            auto &base = baseTable[baseIndex(pc)];
+            if (taken)
+                base.increment();
+            else
+                base.decrement();
+        }
+    } else {
+        auto &base = baseTable[baseIndex(pc)];
+        if (taken)
+            base.increment();
+        else
+            base.decrement();
+    }
+
+    // Allocate in a longer-history table on a misprediction. The LFSR
+    // picks how many eligible (useful == 0) tables to skip, giving the
+    // classic randomized-start allocation with fully deterministic
+    // state; when every candidate is protected, age them all instead.
+    if (seen.pred != taken &&
+        seen.provider + 1 < static_cast<int>(taggedTables.size())) {
+        lfsr = static_cast<std::uint16_t>(
+            (lfsr >> 1) ^ (-(lfsr & 1u) & 0xB400u));
+        unsigned skip = lfsr & 1u;
+        bool allocated = false;
+        for (unsigned t = static_cast<unsigned>(seen.provider + 1);
+             t < taggedTables.size(); ++t) {
+            std::size_t index = tableIndex(t, pc, globalHistory);
+            TaggedEntry &entry = taggedTables[t][index];
+            if (entry.useful != 0)
+                continue;
+            if (skip > 0) {
+                --skip;
+                continue;
+            }
+            entry.tag = tableTag(t, pc, globalHistory);
+            entry.ctr = taken ? 4 : 3;
+            entry.useful = 0;
+            allocated = true;
+            break;
+        }
+        if (!allocated) {
+            for (unsigned t = static_cast<unsigned>(seen.provider + 1);
+                 t < taggedTables.size(); ++t) {
+                TaggedEntry &entry =
+                    taggedTables[t][tableIndex(t, pc, globalHistory)];
+                if (entry.useful > 0)
+                    --entry.useful;
+            }
+        }
+    }
+
+    // Graceful periodic decay so stale useful bits cannot pin the
+    // tables forever (the standard TAGE column reset, halved).
+    if ((++updateCount & ((1u << 18) - 1)) == 0) {
+        for (auto &table : taggedTables)
+            for (TaggedEntry &entry : table)
+                entry.useful >>= 1;
+    }
+
+    globalHistory = ((globalHistory << 1) | (taken ? 1u : 0u)) &
+                    ((1ULL << maxHist) - 1);
+}
+
+std::size_t
+TagePredictor::storageBits() const
+{
+    std::size_t bits = baseTable.size() * 2 + maxHist;
+    for (const auto &table : taggedTables)
+        bits += table.size() * (tagWidth + 3 + 2);
+    return bits;
+}
+
+} // namespace bfsim::branch

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * TAGE: TAgged GEometric-history-length branch predictor (Seznec &
+ * Michaud, JILP 2006) as a drop-in DirectionPredictor.
+ *
+ * A bimodal base table backs N tagged tables indexed by geometrically
+ * increasing slices of global history; the longest-history table with a
+ * tag match provides the prediction, the next match (or the base table)
+ * the alternate. Useful counters protect entries that out-predict their
+ * alternate from allocation; mispredictions allocate a fresh entry in a
+ * longer-history table chosen with an internal LFSR, so allocation is
+ * deterministic in the committed branch stream — identical commit
+ * sequences build bit-identical predictor state across live execution,
+ * trace replay and disk-decoded sources.
+ *
+ * Constraints from the B-Fetch integration (core/bfetch.cc): probe()
+ * must be a pure function of (pc, history) — all index/tag folds are
+ * computed on the fly from the explicit history value, never cached —
+ * and historyBits() must stay <= 63 because the lookahead engine masks
+ * speculative history with (1 << historyBits()) - 1.
+ */
+
+#ifndef BFSIM_BRANCH_TAGE_HH_
+#define BFSIM_BRANCH_TAGE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.hh"
+
+namespace bfsim::branch {
+
+/** TAGE geometry (defaults ~8KB, the baseline tournament's class). */
+struct TageConfig
+{
+    std::size_t baseEntries = 4096; ///< bimodal base table (power of 2)
+    std::size_t tagEntries = 1024;  ///< entries per tagged table (pow 2)
+    unsigned numTables = 4;         ///< tagged tables
+    unsigned tagBits = 8;           ///< partial tag width
+    unsigned minHistory = 5;        ///< shortest geometric history
+    unsigned maxHistory = 44;       ///< longest geometric history (<=63)
+    /** Uniform Fig. 13-style scale on both table entry counts. */
+    double sizeScale = 1.0;
+};
+
+/** Tagged geometric-history predictor. */
+class TagePredictor : public DirectionPredictor
+{
+  public:
+    explicit TagePredictor(const TageConfig &config = {});
+
+    bool predict(Addr pc) const override;
+    bool probe(Addr pc, std::uint64_t history) const override;
+    void update(Addr pc, bool taken) override;
+    std::uint64_t history() const override { return globalHistory; }
+    unsigned historyBits() const override { return maxHist; }
+    std::size_t storageBits() const override;
+    std::string name() const override { return "tage"; }
+
+  private:
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        std::uint8_t ctr = 3;    ///< 3-bit prediction counter (taken >= 4)
+        std::uint8_t useful = 0; ///< 2-bit useful counter
+    };
+
+    /** probe()/update() shared lookup: provider + alternate. */
+    struct Lookup
+    {
+        int provider = -1;     ///< matching table (-1 = base)
+        int alt = -1;          ///< next-longest match (-1 = base)
+        std::size_t providerIndex = 0;
+        bool providerPred = false;
+        bool altPred = false;
+        bool pred = false;     ///< the final prediction
+    };
+
+    Lookup lookup(Addr pc, std::uint64_t history) const;
+    std::size_t baseIndex(Addr pc) const;
+    std::size_t tableIndex(unsigned t, Addr pc,
+                           std::uint64_t history) const;
+    std::uint16_t tableTag(unsigned t, Addr pc,
+                           std::uint64_t history) const;
+
+    std::vector<SatCounter> baseTable;
+    std::vector<std::vector<TaggedEntry>> taggedTables;
+    std::vector<unsigned> histLengths; ///< per-table history bits
+    unsigned tagWidth;
+    unsigned maxHist;
+    std::uint64_t globalHistory = 0;
+    /** Allocation-tie-break LFSR: pure internal state, no wall clock. */
+    std::uint16_t lfsr = 0xACE1u;
+    /** update() count driving the periodic useful-counter decay. */
+    std::uint64_t updateCount = 0;
+};
+
+} // namespace bfsim::branch
+
+#endif // BFSIM_BRANCH_TAGE_HH_

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * String-keyed component registry with typed parameter bags.
+ *
+ * Components (branch predictors, prefetchers, ...) are selected by a
+ * textual spec of the form `name[:key=value,key=value,...]` — from the
+ * CLI (`--predictor=tage:tables=6`), the environment (BFSIM_PREDICTOR),
+ * or a config struct — and constructed through a Registry that maps the
+ * lowercased name to a factory. Factories pull their knobs out of a
+ * Params bag with typed getters; every key a factory does not consume
+ * is reported as an error, so a typo'd knob fails the job loudly
+ * instead of silently running the default configuration.
+ *
+ * Error policy (DESIGN.md §10): everything here throws SimError — an
+ * unknown name (the message lists every registered name), a malformed
+ * `k=v` pair, a value that does not parse as the requested type, or an
+ * unconsumed key. Construction happens inside simulation jobs, where
+ * one bad spec must cost one sweep row, not the process; CLI parsers
+ * validate eagerly and translate the SimError into fatal() themselves.
+ *
+ * Registries are built once inside a function-local static (no static
+ * initialization order fiasco, no self-registration objects a linker
+ * could drop from a static archive); adding a component is one new
+ * file plus one `add(...)` line in the component family's registry.cc.
+ */
+
+#ifndef BFSIM_COMMON_REGISTRY_HH_
+#define BFSIM_COMMON_REGISTRY_HH_
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_error.hh"
+
+namespace bfsim {
+
+/** Lowercased copy of `text` (component names are case-insensitive). */
+inline std::string
+toLowerName(const std::string &text)
+{
+    std::string lower = text;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return lower;
+}
+
+/**
+ * Typed key=value parameter bag handed to component factories. Getters
+ * take a default for absent keys, throw SimError on values that do not
+ * parse as the requested type, and mark the key consumed; the registry
+ * calls checkConsumed() after the factory returns so unknown keys are
+ * diagnosed with the component context attached.
+ */
+class Params
+{
+  public:
+    Params() = default;
+
+    /** Component family ("predictor", "prefetcher") for error text. */
+    void setContext(std::string component, std::string owner)
+    {
+        comp = std::move(component);
+        own = std::move(owner);
+    }
+
+    /** Insert one key=value pair (parser use). */
+    void set(const std::string &key, const std::string &value)
+    {
+        entries.emplace_back(key, value);
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return find(key) != nullptr;
+    }
+
+    std::string
+    getString(const std::string &key, const std::string &def) const
+    {
+        const std::string *value = take(key);
+        return value ? *value : def;
+    }
+
+    std::uint64_t
+    getU64(const std::string &key, std::uint64_t def) const
+    {
+        const std::string *value = take(key);
+        if (!value)
+            return def;
+        char *end = nullptr;
+        unsigned long long parsed =
+            std::strtoull(value->c_str(), &end, 10);
+        if (value->empty() || !end || *end != '\0')
+            throw malformed(key, *value, "an unsigned integer");
+        return parsed;
+    }
+
+    double
+    getDouble(const std::string &key, double def) const
+    {
+        const std::string *value = take(key);
+        if (!value)
+            return def;
+        char *end = nullptr;
+        double parsed = std::strtod(value->c_str(), &end);
+        if (value->empty() || !end || *end != '\0')
+            throw malformed(key, *value, "a number");
+        return parsed;
+    }
+
+    bool
+    getBool(const std::string &key, bool def) const
+    {
+        const std::string *value = take(key);
+        if (!value)
+            return def;
+        if (*value == "1" || *value == "true")
+            return true;
+        if (*value == "0" || *value == "false")
+            return false;
+        throw malformed(key, *value, "a boolean (0/1/true/false)");
+    }
+
+    /** Throw SimError when any key was never consumed by a getter. */
+    void
+    checkConsumed() const
+    {
+        std::string unknown;
+        for (const auto &[key, value] : entries) {
+            if (consumed.count(key))
+                continue;
+            if (!unknown.empty())
+                unknown += ", ";
+            unknown += key;
+        }
+        if (!unknown.empty()) {
+            throw SimError("registry", "unknown parameter(s) [" +
+                                           unknown + "] for " + comp +
+                                           " '" + own + "'");
+        }
+    }
+
+  private:
+    const std::string *
+    find(const std::string &key) const
+    {
+        for (const auto &entry : entries)
+            if (entry.first == key)
+                return &entry.second;
+        return nullptr;
+    }
+
+    const std::string *
+    take(const std::string &key) const
+    {
+        const std::string *value = find(key);
+        if (value)
+            consumed.insert(key);
+        return value;
+    }
+
+    SimError
+    malformed(const std::string &key, const std::string &value,
+              const std::string &expected) const
+    {
+        return SimError("registry", "parameter '" + key + "' of " +
+                                        comp + " '" + own +
+                                        "' expects " + expected +
+                                        ", got '" + value + "'");
+    }
+
+    std::string comp = "component";
+    std::string own = "?";
+    std::vector<std::pair<std::string, std::string>> entries;
+    mutable std::set<std::string> consumed;
+};
+
+/** A parsed `name[:k=v,...]` component spec. */
+struct ComponentSpec
+{
+    std::string name;       ///< lowercased component name
+    std::string paramsText; ///< raw text after ':' ("" when absent)
+    Params params;
+};
+
+/**
+ * Parse `name[:k=v,k=v,...]`; `component` names the family for error
+ * messages. Throws SimError on an empty name or a parameter clause
+ * that is not a comma-separated k=v list.
+ */
+inline ComponentSpec
+parseComponentSpec(const std::string &spec, const std::string &component)
+{
+    ComponentSpec parsed;
+    std::string::size_type colon = spec.find(':');
+    parsed.name = toLowerName(spec.substr(0, colon));
+    if (parsed.name.empty()) {
+        throw SimError("registry",
+                       "empty " + component + " name in spec '" + spec +
+                           "'");
+    }
+    if (colon == std::string::npos)
+        return parsed;
+    parsed.paramsText = spec.substr(colon + 1);
+    parsed.params.setContext(component, parsed.name);
+    std::string::size_type pos = 0;
+    while (pos <= parsed.paramsText.size()) {
+        std::string::size_type comma = parsed.paramsText.find(',', pos);
+        std::string pair = parsed.paramsText.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        std::string::size_type eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            throw SimError("registry",
+                           "malformed parameter '" + pair + "' in " +
+                               component + " spec '" + spec +
+                               "' (expected key=value)");
+        }
+        parsed.params.set(toLowerName(pair.substr(0, eq)),
+                          pair.substr(eq + 1));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return parsed;
+}
+
+/**
+ * A string-keyed factory table for one component family. `Product` is
+ * what factories return (e.g. std::unique_ptr<DirectionPredictor>);
+ * `Args...` are extra construction inputs threaded through make()
+ * (e.g. the Fig. 13 size scale a CoreConfig supplies).
+ */
+template <typename Product, typename... Args>
+class Registry
+{
+  public:
+    using Factory = std::function<Product(const Params &, Args...)>;
+
+    /** @param component family name used in diagnostics. */
+    explicit Registry(std::string component)
+        : comp(std::move(component))
+    {
+    }
+
+    /** Register `factory` under (lowercase) `name`. */
+    void
+    add(const std::string &name, const std::string &display,
+        Factory factory)
+    {
+        entries.emplace_back(
+            Entry{toLowerName(name), display, std::move(factory)});
+    }
+
+    /** True when (lowercased) `name` is registered. */
+    bool
+    known(const std::string &name) const
+    {
+        return findEntry(toLowerName(name)) != nullptr;
+    }
+
+    /** Registered canonical names, in registration order. */
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> result;
+        for (const Entry &entry : entries)
+            result.push_back(entry.name);
+        return result;
+    }
+
+    /**
+     * The display name (paper figure-legend spelling) for `spec`,
+     * lenient: an unregistered or unparsable name is returned verbatim
+     * so label/table assembly outside jobs never throws; a parameter
+     * clause is preserved so differently parameterized runs stay
+     * distinguishable in labels and memo keys.
+     */
+    std::string
+    displayName(const std::string &spec) const
+    {
+        std::string::size_type colon = spec.find(':');
+        std::string name = spec.substr(0, colon);
+        std::string suffix =
+            colon == std::string::npos ? "" : spec.substr(colon);
+        const Entry *entry = findEntry(toLowerName(name));
+        return (entry ? entry->display : name) + suffix;
+    }
+
+    /**
+     * Parse `spec` and construct the product. Throws SimError for an
+     * unknown name (listing every registered name), a malformed or
+     * mistyped parameter, or a parameter no factory knob consumed.
+     */
+    Product
+    make(const std::string &spec, Args... args) const
+    {
+        ComponentSpec parsed = parseComponentSpec(spec, comp);
+        const Entry *entry = findEntry(parsed.name);
+        if (!entry) {
+            std::string known_names;
+            for (const Entry &e : entries) {
+                if (!known_names.empty())
+                    known_names += ", ";
+                known_names += e.name;
+            }
+            throw SimError("registry", "unknown " + comp + " '" +
+                                           parsed.name +
+                                           "' (registered: " +
+                                           known_names + ")");
+        }
+        parsed.params.setContext(comp, parsed.name);
+        Product product = entry->factory(parsed.params, args...);
+        parsed.params.checkConsumed();
+        return product;
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string display;
+        Factory factory;
+    };
+
+    const Entry *
+    findEntry(const std::string &name) const
+    {
+        for (const Entry &entry : entries)
+            if (entry.name == name)
+                return &entry;
+        return nullptr;
+    }
+
+    std::string comp;
+    std::vector<Entry> entries;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_COMMON_REGISTRY_HH_

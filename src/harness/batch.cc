@@ -23,9 +23,11 @@ namespace bfsim::harness {
 namespace {
 
 std::string
-schemeSlash(sim::PrefetcherKind kind)
+schemeSlash(const std::string &kind)
 {
-    return std::string("/") + sim::prefetcherName(kind);
+    std::string scheme = "/";
+    scheme += sim::prefetcherName(kind);
+    return scheme;
 }
 
 double
@@ -289,7 +291,7 @@ BatchOptions::fromEnv()
 }
 
 BatchJob
-BatchJob::single(const std::string &workload, sim::PrefetcherKind kind,
+BatchJob::single(const std::string &workload, const std::string &kind,
                  const RunOptions &options, std::string label)
 {
     BatchJob job;
@@ -304,7 +306,7 @@ BatchJob::single(const std::string &workload, sim::PrefetcherKind kind,
 
 BatchJob
 BatchJob::mix(const std::vector<std::string> &workloads,
-              sim::PrefetcherKind kind, const RunOptions &options,
+              const std::string &kind, const RunOptions &options,
               std::string label)
 {
     BatchJob job;

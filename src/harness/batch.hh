@@ -35,20 +35,21 @@ struct BatchJob
     std::string label;
     /** Workload names: exactly one for Single, the mix members for Mix. */
     std::vector<std::string> workloads;
-    sim::PrefetcherKind prefetcher = sim::PrefetcherKind::None;
+    /** Prefetch-scheme registry spec (see prefetch/registry.hh). */
+    std::string prefetcher = "None";
     RunOptions options;
     /** Kind::Custom only: arbitrary computation returning one value. */
     std::function<double()> body;
 
     /** A single-core (workload, prefetcher, options) simulation. */
     static BatchJob single(const std::string &workload,
-                           sim::PrefetcherKind kind,
+                           const std::string &kind,
                            const RunOptions &options,
                            std::string label = {});
 
     /** A multiprogrammed mix simulation. */
     static BatchJob mix(const std::vector<std::string> &workloads,
-                        sim::PrefetcherKind kind,
+                        const std::string &kind,
                         const RunOptions &options, std::string label = {});
 
     /** An arbitrary computation (profiling passes, storage sizing...). */

@@ -18,6 +18,42 @@
 
 namespace bfsim::harness {
 
+namespace {
+
+/** The mutable process default behind defaultPredictorSpec(). */
+std::string &
+defaultPredictorStorage()
+{
+    static std::string spec = [] {
+        const char *env = std::getenv("BFSIM_PREDICTOR");
+        return std::string(env && *env ? env : "tournament");
+    }();
+    return spec;
+}
+
+std::mutex &
+defaultPredictorMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+} // namespace
+
+std::string
+defaultPredictorSpec()
+{
+    std::lock_guard<std::mutex> lock(defaultPredictorMutex());
+    return defaultPredictorStorage();
+}
+
+void
+setDefaultPredictorSpec(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(defaultPredictorMutex());
+    defaultPredictorStorage() = spec;
+}
+
 std::string
 RunOptions::cacheKey() const
 {
@@ -29,19 +65,20 @@ RunOptions::cacheKey() const
        << bfetch.perLoadThreshold << '/' << bfetch.maxLookaheadDepth
        << '/' << bfetch.enableLoopPrefetch << bfetch.enablePattPrefetch
        << bfetch.enablePerLoadFilter << bfetch.arfFromCommitOnly << '/'
-       << deadlockCycles << sample.key();
+       << deadlockCycles << '/' << predictor << sample.key();
     return os.str();
 }
 
 namespace {
 
 sim::CoreConfig
-makeCoreConfig(sim::PrefetcherKind kind, const RunOptions &options)
+makeCoreConfig(const std::string &kind, const RunOptions &options)
 {
     sim::CoreConfig cfg;
     cfg.width = options.width;
     cfg.robSize = options.robSize;
     cfg.bpSizeScale = options.bpSizeScale;
+    cfg.predictor = options.predictor;
     cfg.prefetcher = kind;
     cfg.bfetch = options.bfetch;
     cfg.deadlockCycles = options.deadlockCycles;
@@ -433,7 +470,7 @@ struct WindowOutput
 std::vector<WindowOutput>
 runWindows(const std::vector<SampleWindow> &schedule,
            std::vector<WindowSourceFactory> &factories,
-           sim::PrefetcherKind kind, const RunOptions &options)
+           const std::string &kind, const RunOptions &options)
 {
     const unsigned n = static_cast<unsigned>(factories.size());
     // Multi-core windows provision ops for the contention tail frozen
@@ -481,7 +518,7 @@ runWindows(const std::vector<SampleWindow> &schedule,
 
 SingleResult
 runSampledSingle(const std::string &workload_name,
-                 sim::PrefetcherKind kind, const RunOptions &options)
+                 const std::string &kind, const RunOptions &options)
 {
     std::vector<SampleWindow> schedule =
         sampleSchedule(options.instructions, options.sample);
@@ -497,6 +534,7 @@ runSampledSingle(const std::string &workload_name,
     SingleResult result;
     result.workload = workload_name;
     result.prefetcher = kind;
+    result.predictor = options.predictor;
     std::vector<std::uint64_t> window_cycles;
     std::vector<std::uint64_t> window_insts;
     core::BFetchStats bfetch_sum;
@@ -535,7 +573,7 @@ runSampledSingle(const std::string &workload_name,
 
 MixResult
 runSampledMix(const std::vector<std::string> &workload_names,
-              sim::PrefetcherKind kind, const RunOptions &options)
+              const std::string &kind, const RunOptions &options)
 {
     const unsigned n = static_cast<unsigned>(workload_names.size());
     std::vector<SampleWindow> schedule =
@@ -554,6 +592,7 @@ runSampledMix(const std::vector<std::string> &workload_names,
     MixResult result;
     result.workloads = workload_names;
     result.prefetcher = kind;
+    result.predictor = options.predictor;
     result.cores.resize(n);
     result.mem.resize(n);
     std::vector<std::uint64_t> window_cycles;
@@ -588,8 +627,8 @@ runSampledMix(const std::vector<std::string> &workload_names,
     // sides of the ratio).
     double ws = 0.0;
     for (unsigned c = 0; c < n; ++c) {
-        const SingleResult &single = runSingleCached(
-            workload_names[c], sim::PrefetcherKind::None, options);
+        const SingleResult &single =
+            runSingleCached(workload_names[c], "None", options);
         ws += result.cores[c].ipc / single.core.ipc;
     }
     result.weightedSpeedup = ws;
@@ -599,7 +638,7 @@ runSampledMix(const std::vector<std::string> &workload_names,
 } // namespace
 
 SingleResult
-runSingle(const std::string &workload_name, sim::PrefetcherKind kind,
+runSingle(const std::string &workload_name, const std::string &kind,
           const RunOptions &options)
 {
     if (options.sample.enabled && options.instructions > 0)
@@ -618,6 +657,7 @@ runSingle(const std::string &workload_name, sim::PrefetcherKind kind,
     SingleResult result;
     result.workload = workload_name;
     result.prefetcher = kind;
+    result.predictor = options.predictor;
     result.core = run.cores.at(0);
     result.mem = run.memStats.at(0);
     result.simSeconds = wall.count();
@@ -637,7 +677,7 @@ runSingle(const std::string &workload_name, sim::PrefetcherKind kind,
 }
 
 const SingleResult &
-runSingleCached(const std::string &workload_name, sim::PrefetcherKind kind,
+runSingleCached(const std::string &workload_name, const std::string &kind,
                 const RunOptions &options, bool *computed)
 {
     std::string key = workload_name + '|' +
@@ -651,7 +691,7 @@ runSingleCached(const std::string &workload_name, sim::PrefetcherKind kind,
 
 MixResult
 runMix(const std::vector<std::string> &workload_names,
-       sim::PrefetcherKind kind, const RunOptions &options)
+       const std::string &kind, const RunOptions &options)
 {
     if (workload_names.empty())
         throw SimError("harness", "runMix requires at least one workload");
@@ -676,6 +716,7 @@ runMix(const std::vector<std::string> &workload_names,
     MixResult result;
     result.workloads = workload_names;
     result.prefetcher = kind;
+    result.predictor = options.predictor;
     result.cores = run.cores;
     result.mem = run.memStats;
     result.simSeconds = wall.count();
@@ -689,8 +730,8 @@ runMix(const std::vector<std::string> &workload_names,
     // (paper V-A): sum_i IPC_multi(i) / IPC_single(i).
     double ws = 0.0;
     for (unsigned c = 0; c < n; ++c) {
-        const SingleResult &single = runSingleCached(
-            workload_names[c], sim::PrefetcherKind::None, options);
+        const SingleResult &single =
+            runSingleCached(workload_names[c], "None", options);
         ws += run.cores[c].ipc / single.core.ipc;
     }
     result.weightedSpeedup = ws;
@@ -699,7 +740,7 @@ runMix(const std::vector<std::string> &workload_names,
 
 const MixResult &
 runMixCached(const std::vector<std::string> &workload_names,
-             sim::PrefetcherKind kind, const RunOptions &options,
+             const std::string &kind, const RunOptions &options,
              bool *computed)
 {
     std::string key = sim::prefetcherName(kind) + '|' +
@@ -805,10 +846,10 @@ takeThreadCacheCounters()
 
 double
 speedupVsBaseline(const std::string &workload_name,
-                  sim::PrefetcherKind kind, const RunOptions &options)
+                  const std::string &kind, const RunOptions &options)
 {
-    const SingleResult &base = runSingleCached(
-        workload_name, sim::PrefetcherKind::None, options);
+    const SingleResult &base =
+        runSingleCached(workload_name, "None", options);
     const SingleResult &with = runSingleCached(workload_name, kind,
                                                options);
     return with.core.ipc / base.core.ipc;

@@ -38,6 +38,15 @@
 
 namespace bfsim::harness {
 
+/**
+ * The process-default branch-predictor spec: BFSIM_PREDICTOR from the
+ * environment (read once), falling back to the paper's "tournament"
+ * baseline. setDefaultPredictorSpec overrides it (--predictor CLI);
+ * freshly constructed RunOptions pick it up.
+ */
+std::string defaultPredictorSpec();
+void setDefaultPredictorSpec(const std::string &spec);
+
 /** Knobs for one experiment run (defaults: paper baseline). */
 struct RunOptions
 {
@@ -46,6 +55,13 @@ struct RunOptions
     unsigned width = 4;
     unsigned robSize = 192;
     double bpSizeScale = 1.0;
+    /**
+     * Branch-predictor registry spec (branch/registry.hh), part of
+     * every memo/report cache key so sweeps over predictors are
+     * first-class jobs. Defaults to BFSIM_PREDICTOR / --predictor, or
+     * "tournament".
+     */
+    std::string predictor = defaultPredictorSpec();
     core::BFetchConfig bfetch{};
     /** LLC capacity per core (Table II: 2MB/core). */
     std::size_t l3PerCoreBytes = 2 * 1024 * 1024;
@@ -74,7 +90,10 @@ struct RunOptions
 struct SingleResult
 {
     std::string workload;
-    sim::PrefetcherKind prefetcher = sim::PrefetcherKind::None;
+    /** Prefetch-scheme spec the run was configured with. */
+    std::string prefetcher = "None";
+    /** Branch-predictor spec the run was configured with. */
+    std::string predictor = "tournament";
     sim::CoreStats core;
     mem::CoreMemStats mem;
     /** Populated only for B-Fetch runs. */
@@ -94,9 +113,13 @@ struct SingleResult
     SampledStats sampled{};
 };
 
-/** Run one workload on one core with one prefetching scheme. */
+/**
+ * Run one workload on one core with one prefetching scheme (a
+ * prefetch/registry.hh spec such as "None", "sms" or
+ * "stride:degree=4"; lookup is case-insensitive).
+ */
 SingleResult runSingle(const std::string &workload_name,
-                       sim::PrefetcherKind kind,
+                       const std::string &kind,
                        const RunOptions &options = {});
 
 /**
@@ -105,7 +128,7 @@ SingleResult runSingle(const std::string &workload_name,
  * the simulation, false when it reused (or waited on) a cached result.
  */
 const SingleResult &runSingleCached(const std::string &workload_name,
-                                    sim::PrefetcherKind kind,
+                                    const std::string &kind,
                                     const RunOptions &options = {},
                                     bool *computed = nullptr);
 
@@ -113,7 +136,10 @@ const SingleResult &runSingleCached(const std::string &workload_name,
 struct MixResult
 {
     std::vector<std::string> workloads;
-    sim::PrefetcherKind prefetcher = sim::PrefetcherKind::None;
+    /** Prefetch-scheme spec the run was configured with. */
+    std::string prefetcher = "None";
+    /** Branch-predictor spec the run was configured with. */
+    std::string predictor = "tournament";
     std::vector<sim::CoreStats> cores;
     std::vector<mem::CoreMemStats> mem;
     /** Raw weighted speedup: sum_i IPC_multi(i) / IPC_single_base(i). */
@@ -132,7 +158,7 @@ struct MixResult
  * are obtained through the memoized runner.
  */
 MixResult runMix(const std::vector<std::string> &workload_names,
-                 sim::PrefetcherKind kind, const RunOptions &options = {});
+                 const std::string &kind, const RunOptions &options = {});
 
 /**
  * Memoizing wrapper around runMix (per-process, thread-safe).
@@ -140,7 +166,7 @@ MixResult runMix(const std::vector<std::string> &workload_names,
  * runSingleCached.
  */
 const MixResult &runMixCached(const std::vector<std::string> &workload_names,
-                              sim::PrefetcherKind kind,
+                              const std::string &kind,
                               const RunOptions &options = {},
                               bool *computed = nullptr);
 
@@ -246,7 +272,7 @@ void clearMemoCaches();
 
 /** Speedup of a run against the no-prefetch baseline (same options). */
 double speedupVsBaseline(const std::string &workload_name,
-                         sim::PrefetcherKind kind,
+                         const std::string &kind,
                          const RunOptions &options = {});
 
 /**

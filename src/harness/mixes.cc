@@ -27,7 +27,7 @@ foaProfile(const std::string &workload_name)
     RunOptions options;
     options.instructions = 200'000; // short profiling run
     const SingleResult &result = runSingleCached(
-        workload_name, sim::PrefetcherKind::None, options);
+        workload_name, "None", options);
 
     // LLC pressure: accesses that reached the L3 (L2 misses), per
     // kilo-instruction.

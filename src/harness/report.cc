@@ -229,6 +229,8 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
         } else if (item.single) {
             os << ", \"prefetcher\": \""
                << sim::prefetcherName(item.single->prefetcher)
+               << "\", \"predictor\": \""
+               << jsonEscape(item.single->predictor)
                << "\", \"workloads\": [\""
                << jsonEscape(item.single->workload)
                << "\"], \"ipc\": ["
@@ -243,6 +245,8 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
         } else if (item.mix) {
             os << ", \"prefetcher\": \""
                << sim::prefetcherName(item.mix->prefetcher)
+               << "\", \"predictor\": \""
+               << jsonEscape(item.mix->predictor)
                << "\", \"workloads\": [";
             for (std::size_t w = 0; w < item.mix->workloads.size(); ++w) {
                 os << (w ? ", " : "") << '"'

@@ -1,0 +1,100 @@
+#include "prefetch/registry.hh"
+
+#include "prefetch/next_n_line.hh"
+#include "prefetch/sms.hh"
+#include "prefetch/stride.hh"
+
+namespace bfsim::prefetch {
+
+namespace {
+
+using PrefetcherRegistry = Registry<CorePrefetch>;
+
+PrefetcherRegistry
+buildRegistry()
+{
+    PrefetcherRegistry registry("prefetcher");
+
+    registry.add("none", "None", [](const Params &) {
+        return CorePrefetch{};
+    });
+
+    registry.add("nextn", "NextN", [](const Params &params) {
+        CorePrefetch plan;
+        plan.demand = std::make_unique<NextNLinePrefetcher>(
+            static_cast<unsigned>(params.getU64("degree", 4)));
+        return plan;
+    });
+
+    registry.add("stride", "Stride", [](const Params &params) {
+        StrideConfig config;
+        config.entries = static_cast<std::size_t>(
+            params.getU64("entries", config.entries));
+        config.degree = static_cast<unsigned>(
+            params.getU64("degree", config.degree));
+        CorePrefetch plan;
+        plan.demand = std::make_unique<StridePrefetcher>(config);
+        return plan;
+    });
+
+    registry.add("sms", "SMS", [](const Params &params) {
+        SmsConfig config;
+        config.regionBytes = static_cast<std::size_t>(
+            params.getU64("region_bytes", config.regionBytes));
+        config.granuleBytes = static_cast<std::size_t>(
+            params.getU64("granule_bytes", config.granuleBytes));
+        config.agtEntries = static_cast<std::size_t>(
+            params.getU64("agt_entries", config.agtEntries));
+        config.phtEntries = static_cast<std::size_t>(
+            params.getU64("pht_entries", config.phtEntries));
+        CorePrefetch plan;
+        plan.demand = std::make_unique<SmsPrefetcher>(config);
+        return plan;
+    });
+
+    // B-Fetch's engine is composed by the core (it wraps the core's
+    // own branch predictor and prefetch queue; its knobs live in
+    // CoreConfig::bfetch, swept by figs. 12/15 and the ablations).
+    registry.add("bfetch", "Bfetch", [](const Params &) {
+        CorePrefetch plan;
+        plan.attachBFetch = true;
+        return plan;
+    });
+
+    registry.add("perfect", "Perfect", [](const Params &) {
+        CorePrefetch plan;
+        plan.perfectMem = true;
+        return plan;
+    });
+
+    return registry;
+}
+
+} // namespace
+
+const Registry<CorePrefetch> &
+prefetcherRegistry()
+{
+    static PrefetcherRegistry registry = buildRegistry();
+    return registry;
+}
+
+CorePrefetch
+makeCorePrefetch(const std::string &spec)
+{
+    return prefetcherRegistry().make(spec);
+}
+
+std::vector<std::string>
+prefetcherNames()
+{
+    return prefetcherRegistry().names();
+}
+
+std::string
+prefetcherDisplayName(const std::string &spec)
+{
+    return prefetcherRegistry().displayName(spec);
+}
+
+} // namespace bfsim::prefetch

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Prefetcher registry: string-spec construction of a core's prefetch
+ * scheme (DESIGN.md §14), replacing the PrefetcherKind enum and the
+ * hard-wired if/else chain formerly in sim/ooo_core.cc.
+ *
+ * A scheme is more than a Prefetcher object: "bfetch" is a composition
+ * the core itself wires (its engine needs the core's predictor and
+ * queue), and "perfect" is a memory-model oracle with no prefetcher at
+ * all. The registry therefore produces a CorePrefetch plan — an
+ * optional demand-trained prefetcher plus the two wiring flags — and
+ * the core finishes construction from it with no per-scheme branching
+ * of its own.
+ *
+ * Canonical names: none, nextn, stride, sms, bfetch, perfect (lookup
+ * is case-insensitive, so the paper-legend spellings "None"/"SMS"/
+ * "Bfetch" used in bench tables resolve unchanged). displayName()
+ * recovers the legend spelling from any spec, which keeps every table,
+ * label and JSON field byte-identical to the enum era.
+ */
+
+#ifndef BFSIM_PREFETCH_REGISTRY_HH_
+#define BFSIM_PREFETCH_REGISTRY_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/registry.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace bfsim::prefetch {
+
+/** The constructed prefetch plan for one core. */
+struct CorePrefetch
+{
+    /** Demand-trained prefetcher (nullptr for none/bfetch/perfect). */
+    std::unique_ptr<Prefetcher> demand;
+    /** Attach a B-Fetch engine (composed by the core: it owns the
+     *  predictor and prefetch queue the engine is built around). */
+    bool attachBFetch = false;
+    /** Oracle mode: every data access is an L1 hit (Fig. 1). */
+    bool perfectMem = false;
+};
+
+/** The registry of prefetch schemes (built once, immutable). */
+const Registry<CorePrefetch> &prefetcherRegistry();
+
+/**
+ * Construct the prefetch plan described by `spec` ("sms",
+ * "stride:degree=4", "nextn:degree=2", ...). Throws SimError for
+ * unknown names (listing the registered ones) and malformed or
+ * unconsumed parameters.
+ */
+CorePrefetch makeCorePrefetch(const std::string &spec);
+
+/** Canonical registered scheme names, in registration order. */
+std::vector<std::string> prefetcherNames();
+
+/**
+ * Figure-legend display name for `spec` ("sms" -> "SMS", "bfetch" ->
+ * "Bfetch"); lenient on unknown names, parameter clause preserved.
+ */
+std::string prefetcherDisplayName(const std::string &spec);
+
+} // namespace bfsim::prefetch
+
+#endif // BFSIM_PREFETCH_REGISTRY_HH_

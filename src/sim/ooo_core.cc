@@ -2,27 +2,18 @@
 
 #include <cstdlib>
 
+#include "branch/registry.hh"
 #include "common/fault.hh"
 #include "common/log.hh"
 #include "common/sim_error.hh"
-#include "prefetch/next_n_line.hh"
-#include "prefetch/sms.hh"
-#include "prefetch/stride.hh"
+#include "prefetch/registry.hh"
 
 namespace bfsim::sim {
 
 std::string
-prefetcherName(PrefetcherKind kind)
+prefetcherName(const std::string &spec)
 {
-    switch (kind) {
-      case PrefetcherKind::None: return "None";
-      case PrefetcherKind::NextN: return "NextN";
-      case PrefetcherKind::Stride: return "Stride";
-      case PrefetcherKind::Sms: return "SMS";
-      case PrefetcherKind::BFetch: return "Bfetch";
-      case PrefetcherKind::Perfect: return "Perfect";
-    }
-    return "?";
+    return prefetch::prefetcherDisplayName(spec);
 }
 
 namespace {
@@ -67,7 +58,7 @@ OooCore::OooCore(unsigned core_id, const CoreConfig &config,
       deadlockLimit(resolveDeadlockLimit(config.deadlockCycles)),
       opSource(std::move(source)),
       mem(hierarchy),
-      bp(branch::makeTournamentPredictor(config.bpSizeScale)),
+      bp(branch::makePredictor(config.predictor, config.bpSizeScale)),
       queue(config.pfQueueEntries),
       robCommitCycle(config.robSize, 0),
       lqCommitCycle(config.lqSize, 0),
@@ -93,27 +84,20 @@ OooCore::OooCore(unsigned core_id, const CoreConfig &config,
                 "load-queue size must be positive");
     BFSIM_CHECK(cfg.sqSize > 0, "ooo_core",
                 "store-queue size must be positive");
-    switch (cfg.prefetcher) {
-      case PrefetcherKind::NextN:
-        pfEngine = std::make_unique<prefetch::NextNLinePrefetcher>();
-        break;
-      case PrefetcherKind::Stride:
-        pfEngine = std::make_unique<prefetch::StridePrefetcher>();
-        break;
-      case PrefetcherKind::Sms:
-        pfEngine = std::make_unique<prefetch::SmsPrefetcher>();
-        break;
-      case PrefetcherKind::BFetch:
+    // Registry-driven prefetch plan (prefetch/registry.hh): the demand
+    // prefetcher arrives constructed; B-Fetch composition stays here
+    // because the engine wraps this core's predictor and queue.
+    prefetch::CorePrefetch plan =
+        prefetch::makeCorePrefetch(cfg.prefetcher);
+    pfEngine = std::move(plan.demand);
+    perfectMem = plan.perfectMem;
+    if (plan.attachBFetch) {
         bfetch = std::make_unique<core::BFetchEngine>(cfg.bfetch, *bp,
                                                       queue);
         mem.setPrefetchFeedback(
             coreId, [this](std::uint16_t hash, bool useful) {
                 bfetch->onPrefetchFeedback(hash, useful);
             });
-        break;
-      case PrefetcherKind::None:
-      case PrefetcherKind::Perfect:
-        break;
     }
 }
 
@@ -329,7 +313,7 @@ OooCore::processOp(const isa::StaticDecode &d, Addr pc, bool taken,
     // ---------------- execute ----------------
     Cycle done;
     if (d.isLoad()) {
-        if (cfg.prefetcher == PrefetcherKind::Perfect) {
+        if (perfectMem) {
             done = issue + mem.config().l1d.hitLatency;
         } else {
             mem::AccessOutcome outcome =
@@ -342,7 +326,7 @@ OooCore::processOp(const isa::StaticDecode &d, Addr pc, bool taken,
             }
         }
     } else if (d.isStore()) {
-        if (cfg.prefetcher != PrefetcherKind::Perfect) {
+        if (!perfectMem) {
             mem::AccessOutcome outcome =
                 mem.access(coreId, eff_addr, true, issue);
             if (pfEngine) {

@@ -47,19 +47,14 @@
 
 namespace bfsim::sim {
 
-/** Prefetching scheme attached to a core. */
-enum class PrefetcherKind
-{
-    None,    ///< baseline, no prefetching
-    NextN,   ///< sequential next-n-lines
-    Stride,  ///< Chen & Baer RPT, degree 8
-    Sms,     ///< Spatial Memory Streaming
-    BFetch,  ///< the paper's contribution
-    Perfect, ///< oracle: every data access is an L1 hit (Fig. 1)
-};
-
-/** Human-readable name matching the paper's figure legends. */
-std::string prefetcherName(PrefetcherKind kind);
+/**
+ * Human-readable name of a prefetcher spec, matching the paper's
+ * figure legends ("sms" -> "SMS", "bfetch" -> "Bfetch"); parameter
+ * clauses are preserved, unknown names returned verbatim. Thin alias
+ * of prefetch::prefetcherDisplayName for the label-assembly call
+ * sites that predate the registry.
+ */
+std::string prefetcherName(const std::string &spec);
 
 /** Core configuration (defaults per Table II). */
 struct CoreConfig
@@ -73,8 +68,20 @@ struct CoreConfig
     unsigned loadPorts = 2;      ///< L1-D ports
     unsigned pfIssuePerCycle = 2;///< prefetch-queue drain rate
     unsigned pfQueueEntries = 100; ///< prefetch-queue capacity (Table I)
-    double bpSizeScale = 1.0;    ///< tournament predictor scale (Fig. 13)
-    PrefetcherKind prefetcher = PrefetcherKind::None;
+    double bpSizeScale = 1.0;    ///< predictor size scale (Fig. 13)
+    /**
+     * Branch-predictor registry spec, `name[:k=v,...]` (see
+     * branch/registry.hh). The default is the paper's baseline
+     * tournament predictor; bpSizeScale feeds the chosen predictor's
+     * `scale` knob unless the spec pins its own.
+     */
+    std::string predictor = "tournament";
+    /**
+     * Prefetch-scheme registry spec (see prefetch/registry.hh):
+     * none, nextn, stride, sms, bfetch or perfect (case-insensitive),
+     * each with optional `:k=v` parameters.
+     */
+    std::string prefetcher = "None";
     core::BFetchConfig bfetch{}; ///< B-Fetch knobs (Figs. 12, 15)
     /**
      * Commit-progress watchdog: throw SimError if consecutive commits
@@ -219,6 +226,12 @@ class OooCore
     unsigned coreId;
     CoreConfig cfg;
     std::uint64_t deadlockLimit; ///< resolved cfg.deadlockCycles
+    /**
+     * Perfect-memory oracle latched from the prefetch plan at
+     * construction so the per-op execute path tests one bool, never a
+     * string.
+     */
+    bool perfectMem = false;
     std::unique_ptr<DynOpSource> opSource;
     mem::Hierarchy &mem;
 

@@ -329,7 +329,7 @@ CoreStats
 runCoreStats(std::unique_ptr<DynOpSource> source, std::uint64_t insts)
 {
     CoreConfig cfg;
-    cfg.prefetcher = PrefetcherKind::BFetch;
+    cfg.prefetcher = "Bfetch";
     mem::Hierarchy hierarchy{mem::HierarchyConfig{}};
     OooCore core(0, cfg, std::move(source), hierarchy);
     while (core.retired() < insts && core.stepInstruction()) {
@@ -378,8 +378,8 @@ runSweepStats(unsigned threads)
     options.instructions = 20000;
     std::vector<harness::BatchJob> jobs;
     for (const char *w : {"libquantum", "mcf"}) {
-        for (sim::PrefetcherKind kind :
-             {PrefetcherKind::None, PrefetcherKind::BFetch}) {
+        for (const char *kind :
+             {"None", "Bfetch"}) {
             jobs.push_back(harness::BatchJob::single(w, kind, options));
         }
     }

@@ -46,7 +46,7 @@ tenJobs()
          {"astar", "bzip2", "gamess", "gromacs", "h264ref", "hmmer",
           "lbm", "libquantum", "mcf", "sjeng"}) {
         jobs.push_back(BatchJob::single(
-            name, sim::PrefetcherKind::None, quick()));
+            name, "None", quick()));
     }
     return jobs;
 }
@@ -117,13 +117,13 @@ TEST(FaultInjection, FiresExactlyOnceThenSelfDisarms)
     {
         ScopedFault armed(fault::Site::CacheAccess, 0);
         EXPECT_THROW(
-            runSingle("libquantum", sim::PrefetcherKind::None, quick()),
+            runSingle("libquantum", "None", quick()),
             SimError);
         EXPECT_TRUE(armed.fired());
         EXPECT_FALSE(fault::armed()); // one-shot: self-disarmed
         // With the fault spent, the same run now succeeds.
         SingleResult r =
-            runSingle("libquantum", sim::PrefetcherKind::None, quick());
+            runSingle("libquantum", "None", quick());
         EXPECT_GT(r.core.cycles, 0u);
     }
     clearMemoCaches();
@@ -135,7 +135,7 @@ TEST(FaultInjection, SimErrorCarriesJobContext)
     ScopedFault armed(fault::Site::CacheAccess, 0);
     try {
         SimJobScope scope("libquantum", "libquantum/none");
-        runSingle("libquantum", sim::PrefetcherKind::None, quick());
+        runSingle("libquantum", "None", quick());
         FAIL() << "expected SimError";
     } catch (const SimError &error) {
         EXPECT_EQ(error.component(), "hierarchy");
@@ -152,14 +152,14 @@ TEST(FaultInjection, FailedMemoEntryIsEvictedNotPoisoned)
     clearMemoCaches();
     {
         ScopedFault armed(fault::Site::CacheAccess, 0);
-        EXPECT_THROW(runSingleCached("lbm", sim::PrefetcherKind::BFetch,
+        EXPECT_THROW(runSingleCached("lbm", "Bfetch",
                                      quick()),
                      SimError);
     }
     // Regression: the failed future must have been evicted, so the same
     // key recomputes cleanly instead of rethrowing a stored exception.
     const SingleResult &r =
-        runSingleCached("lbm", sim::PrefetcherKind::BFetch, quick());
+        runSingleCached("lbm", "Bfetch", quick());
     EXPECT_GT(r.core.cycles, 0u);
     MemoStats stats = memoStats();
     EXPECT_EQ(stats.singleComputes, 2u); // failed attempt + clean redo
@@ -372,7 +372,7 @@ TEST(Watchdog, DeadlockedCoreThrowsInsteadOfSpinning)
     // would be an infinite spin into a structured SimError.
     options.deadlockCycles = 1;
     try {
-        runSingle("gamess", sim::PrefetcherKind::None, options);
+        runSingle("gamess", "None", options);
         FAIL() << "expected SimError from the commit watchdog";
     } catch (const SimError &error) {
         EXPECT_EQ(error.component(), "ooo_core");
@@ -391,8 +391,8 @@ TEST(Watchdog, DeadlockBecomesAFailedBatchItem)
     RunOptions hung = quick();
     hung.deadlockCycles = 1;
     std::vector<BatchJob> jobs{
-        BatchJob::single("gamess", sim::PrefetcherKind::None, quick()),
-        BatchJob::single("gamess", sim::PrefetcherKind::None, hung,
+        BatchJob::single("gamess", "None", quick()),
+        BatchJob::single("gamess", "None", hung,
                          "gamess/hung"),
     };
     BatchResult batch = runBatch(jobs, 1, nullptr, BatchOptions{});
@@ -419,7 +419,7 @@ TEST(TraceFault, CaptureProbeFailureDegradesToLiveBitIdentically)
 
     setTraceCacheEnabled(false);
     SingleResult live =
-        runSingle("libquantum", sim::PrefetcherKind::BFetch, quick());
+        runSingle("libquantum", "Bfetch", quick());
 
     setTraceCacheEnabled(true);
     takeThreadCacheCounters(); // drain earlier activity
@@ -429,7 +429,7 @@ TEST(TraceFault, CaptureProbeFailureDegradesToLiveBitIdentically)
         // falling back to live execution is still possible.
         ScopedFault armed(fault::Site::TraceExtend, 0, 0);
         SingleResult degraded =
-            runSingle("libquantum", sim::PrefetcherKind::BFetch,
+            runSingle("libquantum", "Bfetch",
                       quick());
         EXPECT_TRUE(armed.fired());
         expectSameSingle(live, degraded);
@@ -442,7 +442,7 @@ TEST(TraceFault, CaptureProbeFailureDegradesToLiveBitIdentically)
     // The poisoned cache entry was evicted: the next run captures a
     // fresh trace and still matches the live results.
     SingleResult recaptured =
-        runSingle("libquantum", sim::PrefetcherKind::BFetch, quick());
+        runSingle("libquantum", "Bfetch", quick());
     expectSameSingle(live, recaptured);
     EXPECT_EQ(takeThreadCacheCounters().traceMisses, 1u);
 
@@ -467,7 +467,7 @@ TEST(TraceFault, MidRunExtensionFailurePropagates)
     {
         ScopedFault armed(fault::Site::TraceExtend, 0, seed);
         EXPECT_THROW(runSingle("libquantum",
-                               sim::PrefetcherKind::BFetch, quick()),
+                               "Bfetch", quick()),
                      SimError);
         EXPECT_TRUE(armed.fired());
     }

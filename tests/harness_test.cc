@@ -28,7 +28,7 @@ quick()
 TEST(Experiment, SingleRunProducesCoherentStats)
 {
     SingleResult r =
-        runSingle("libquantum", sim::PrefetcherKind::None, quick());
+        runSingle("libquantum", "None", quick());
     EXPECT_EQ(r.workload, "libquantum");
     EXPECT_GE(r.core.instructions, 30000u);
     EXPECT_GT(r.core.cycles, 0u);
@@ -40,7 +40,7 @@ TEST(Experiment, SingleRunProducesCoherentStats)
 TEST(Experiment, BfetchRunExposesEngineStats)
 {
     SingleResult r =
-        runSingle("libquantum", sim::PrefetcherKind::BFetch, quick());
+        runSingle("libquantum", "Bfetch", quick());
     EXPECT_GT(r.bfetch.lookaheadWalks, 0u);
     EXPECT_GT(r.avgLookaheadDepth, 0.0);
     EXPECT_GT(r.mem.prefetchesIssued, 0u);
@@ -49,9 +49,9 @@ TEST(Experiment, BfetchRunExposesEngineStats)
 TEST(Experiment, CachedRunnerReturnsSameObject)
 {
     const SingleResult &a =
-        runSingleCached("gamess", sim::PrefetcherKind::None, quick());
+        runSingleCached("gamess", "None", quick());
     const SingleResult &b =
-        runSingleCached("gamess", sim::PrefetcherKind::None, quick());
+        runSingleCached("gamess", "None", quick());
     EXPECT_EQ(&a, &b);
 }
 
@@ -67,7 +67,7 @@ TEST(Experiment, CacheKeyDistinguishesOptions)
 
 TEST(Experiment, SpeedupOfBaselineIsOne)
 {
-    double s = speedupVsBaseline("gamess", sim::PrefetcherKind::None,
+    double s = speedupVsBaseline("gamess", "None",
                                  quick());
     EXPECT_DOUBLE_EQ(s, 1.0);
 }
@@ -75,14 +75,14 @@ TEST(Experiment, SpeedupOfBaselineIsOne)
 TEST(Experiment, PrefetchingHelpsAStreamingKernel)
 {
     double s = speedupVsBaseline("libquantum",
-                                 sim::PrefetcherKind::BFetch, quick());
+                                 "Bfetch", quick());
     EXPECT_GT(s, 1.2);
 }
 
 TEST(Experiment, MixRunsAllCores)
 {
     MixResult r = runMix({"libquantum", "gamess"},
-                         sim::PrefetcherKind::None, quick());
+                         "None", quick());
     ASSERT_EQ(r.cores.size(), 2u);
     EXPECT_GE(r.cores[0].instructions, 30000u);
     EXPECT_GE(r.cores[1].instructions, 30000u);
@@ -155,14 +155,14 @@ batchSweep()
     std::vector<BatchJob> jobs;
     for (const char *name : {"libquantum", "gamess"}) {
         jobs.push_back(BatchJob::single(
-            name, sim::PrefetcherKind::None, quick()));
+            name, "None", quick()));
         jobs.push_back(BatchJob::single(
-            name, sim::PrefetcherKind::BFetch, quick()));
+            name, "Bfetch", quick()));
     }
     jobs.push_back(BatchJob::mix({"libquantum", "gamess"},
-                                 sim::PrefetcherKind::None, quick()));
+                                 "None", quick()));
     jobs.push_back(BatchJob::mix({"libquantum", "gamess"},
-                                 sim::PrefetcherKind::BFetch, quick()));
+                                 "Bfetch", quick()));
     return jobs;
 }
 
@@ -281,10 +281,10 @@ TEST(Batch, JsonReportCarriesTimingAndResults)
 {
     clearMemoCaches();
     std::vector<BatchJob> jobs{
-        BatchJob::single("libquantum", sim::PrefetcherKind::BFetch,
+        BatchJob::single("libquantum", "Bfetch",
                          quick()),
         BatchJob::mix({"libquantum", "gamess"},
-                      sim::PrefetcherKind::None, quick()),
+                      "None", quick()),
         BatchJob::custom("storage", [] { return 12.84; }),
     };
     BatchResult batch = runBatch(jobs, 2, nullptr);
@@ -313,14 +313,14 @@ TEST(TraceCache, ResultsByteIdenticalWithAndWithoutCache)
 
     setTraceCacheEnabled(false);
     SingleResult live =
-        runSingle("libquantum", sim::PrefetcherKind::BFetch, quick());
+        runSingle("libquantum", "Bfetch", quick());
     EXPECT_EQ(traceCacheStats().buffers, 0u);
 
     setTraceCacheEnabled(true);
     SingleResult captured =
-        runSingle("libquantum", sim::PrefetcherKind::BFetch, quick());
+        runSingle("libquantum", "Bfetch", quick());
     SingleResult replayed =
-        runSingle("libquantum", sim::PrefetcherKind::BFetch, quick());
+        runSingle("libquantum", "Bfetch", quick());
     expectSameSingle(live, captured);
     expectSameSingle(live, replayed);
 
@@ -343,8 +343,8 @@ TEST(TraceCache, KeyedByInstructionBudget)
 
     RunOptions longer = quick();
     longer.instructions = 40000;
-    runSingle("gamess", sim::PrefetcherKind::None, quick());
-    runSingle("gamess", sim::PrefetcherKind::None, longer);
+    runSingle("gamess", "None", quick());
+    runSingle("gamess", "None", longer);
     EXPECT_EQ(traceCacheStats().buffers, 2u);
     EXPECT_EQ(traceCacheStats().attaches, 0u);
 
@@ -360,9 +360,9 @@ TEST(TraceCache, BatchItemsCarryHitMissCounts)
     clearTraceCache();
 
     std::vector<BatchJob> jobs;
-    for (sim::PrefetcherKind kind :
-         {sim::PrefetcherKind::None, sim::PrefetcherKind::Stride,
-          sim::PrefetcherKind::BFetch}) {
+    for (const char *kind :
+         {"None", "Stride",
+          "Bfetch"}) {
         jobs.push_back(
             BatchJob::single("libquantum", kind, quick()));
     }

@@ -18,7 +18,6 @@ namespace {
 using harness::RunOptions;
 using harness::runSingle;
 using harness::SingleResult;
-using sim::PrefetcherKind;
 
 RunOptions
 medium()
@@ -32,10 +31,10 @@ TEST(Integration, EveryPrefetcherBeatsBaselineOnPureStreaming)
 {
     RunOptions options = medium();
     double base =
-        runSingle("libquantum", PrefetcherKind::None, options).core.ipc;
-    for (PrefetcherKind kind :
-         {PrefetcherKind::NextN, PrefetcherKind::Stride,
-          PrefetcherKind::Sms, PrefetcherKind::BFetch}) {
+        runSingle("libquantum", "None", options).core.ipc;
+    for (const char *kind :
+         {"NextN", "Stride",
+          "SMS", "Bfetch"}) {
         double ipc = runSingle("libquantum", kind, options).core.ipc;
         EXPECT_GT(ipc, base * 1.1)
             << sim::prefetcherName(kind) << " failed to speed up";
@@ -46,11 +45,11 @@ TEST(Integration, PerfectPrefetcherIsAnUpperBound)
 {
     RunOptions options = medium();
     double perfect =
-        runSingle("libquantum", PrefetcherKind::Perfect, options)
+        runSingle("libquantum", "Perfect", options)
             .core.ipc;
-    for (PrefetcherKind kind :
-         {PrefetcherKind::None, PrefetcherKind::Stride,
-          PrefetcherKind::Sms, PrefetcherKind::BFetch}) {
+    for (const char *kind :
+         {"None", "Stride",
+          "SMS", "Bfetch"}) {
         EXPECT_LE(runSingle("libquantum", kind, options).core.ipc,
                   perfect * 1.02);
     }
@@ -60,9 +59,9 @@ TEST(Integration, CacheResidentKernelIsInsensitive)
 {
     RunOptions options = medium();
     double base =
-        runSingle("gamess", PrefetcherKind::None, options).core.ipc;
+        runSingle("gamess", "None", options).core.ipc;
     double bf =
-        runSingle("gamess", PrefetcherKind::BFetch, options).core.ipc;
+        runSingle("gamess", "Bfetch", options).core.ipc;
     EXPECT_NEAR(bf / base, 1.0, 0.03);
 }
 
@@ -71,9 +70,9 @@ TEST(Integration, BFetchStandsDownOnRandomProbes)
     // sjeng's transposition probes are unpredictable; the per-load
     // filter must keep B-Fetch from polluting (paper IV-B.3).
     RunOptions options = medium();
-    SingleResult r = runSingle("sjeng", PrefetcherKind::BFetch, options);
+    SingleResult r = runSingle("sjeng", "Bfetch", options);
     SingleResult base =
-        runSingle("sjeng", PrefetcherKind::None, options);
+        runSingle("sjeng", "None", options);
     EXPECT_LT(r.mem.prefetchesIssued, 5000u);
     EXPECT_GT(r.core.ipc, base.core.ipc * 0.97);
     EXPECT_GT(r.bfetch.filteredByPerLoad, 0u);
@@ -85,9 +84,9 @@ TEST(Integration, ConfidenceThrottlesOnUnpredictableBranches)
     // lookahead depth far below the streaming case.
     RunOptions options = medium();
     SingleResult branchy =
-        runSingle("bzip2", PrefetcherKind::BFetch, options);
+        runSingle("bzip2", "Bfetch", options);
     SingleResult stream =
-        runSingle("libquantum", PrefetcherKind::BFetch, options);
+        runSingle("libquantum", "Bfetch", options);
     EXPECT_LT(branchy.avgLookaheadDepth,
               stream.avgLookaheadDepth * 0.6);
 }
@@ -96,7 +95,7 @@ TEST(Integration, BFetchPrefetchesAreOverwhelminglyUseful)
 {
     RunOptions options = medium();
     for (const char *name : {"libquantum", "lbm", "leslie3d"}) {
-        SingleResult r = runSingle(name, PrefetcherKind::BFetch, options);
+        SingleResult r = runSingle(name, "Bfetch", options);
         ASSERT_GT(r.mem.prefetchesIssued, 100u) << name;
         double useful_rate =
             static_cast<double>(r.mem.usefulPrefetches) /
@@ -116,7 +115,7 @@ TEST(Integration, LookaheadDepthIsInThePaperRange)
     int counted = 0;
     for (const char *name : {"libquantum", "hmmer", "leslie3d", "bzip2",
                              "sjeng", "gromacs"}) {
-        total += runSingle(name, PrefetcherKind::BFetch, options)
+        total += runSingle(name, "Bfetch", options)
                      .avgLookaheadDepth;
         ++counted;
     }
@@ -129,10 +128,10 @@ TEST(Integration, MixContentionReducesPerCoreIpc)
 {
     RunOptions options = medium();
     const SingleResult &solo = harness::runSingleCached(
-        "libquantum", PrefetcherKind::None, options);
+        "libquantum", "None", options);
     harness::MixResult mix =
         harness::runMix({"libquantum", "lbm", "leslie3d", "bwaves"},
-                        PrefetcherKind::None, options);
+                        "None", options);
     EXPECT_LT(mix.cores[0].ipc, solo.core.ipc);
     EXPECT_LT(mix.weightedSpeedup, 4.0);
 }
@@ -143,10 +142,10 @@ TEST(Integration, PrefetchingLiftsWeightedSpeedupInMixes)
     options.instructions = 60000;
     std::vector<std::string> mix{"libquantum", "leslie3d"};
     double base =
-        harness::runMix(mix, PrefetcherKind::None, options)
+        harness::runMix(mix, "None", options)
             .weightedSpeedup;
     double bf =
-        harness::runMix(mix, PrefetcherKind::BFetch, options)
+        harness::runMix(mix, "Bfetch", options)
             .weightedSpeedup;
     EXPECT_GT(bf, base * 1.2);
 }
@@ -159,7 +158,7 @@ TEST(Integration, BranchMissRateIsRealistic)
     double total = 0.0;
     int counted = 0;
     for (const auto &w : workloads::allWorkloads()) {
-        total += harness::runSingleCached(w.name, PrefetcherKind::None,
+        total += harness::runSingleCached(w.name, "None",
                                           options)
                      .core.branchMissRate;
         ++counted;

@@ -160,7 +160,7 @@ TEST(OooCore, PerfectPrefetchMakesLoadsL1Hits)
     Program stream = as.assemble();
 
     CoreConfig base, perfect;
-    perfect.prefetcher = PrefetcherKind::Perfect;
+    perfect.prefetcher = "Perfect";
     CoreStats s_base = runProgram(stream, base, 30000);
     CoreStats s_perf = runProgram(stream, perfect, 30000);
     EXPECT_GT(s_perf.ipc, s_base.ipc * 1.5);
@@ -232,7 +232,7 @@ TEST(OooCore, BfetchKindInstantiatesEngine)
     Program p = independentAluLoop(4);
     mem::Hierarchy hierarchy(mem::HierarchyConfig{});
     CoreConfig cfg;
-    cfg.prefetcher = PrefetcherKind::BFetch;
+    cfg.prefetcher = "Bfetch";
     OooCore core(0, cfg, p, hierarchy);
     EXPECT_NE(core.bfetchEngine(), nullptr);
     EXPECT_EQ(core.demandPrefetcher(), nullptr);
@@ -240,11 +240,18 @@ TEST(OooCore, BfetchKindInstantiatesEngine)
 
 TEST(OooCore, PrefetcherNames)
 {
-    EXPECT_EQ(prefetcherName(PrefetcherKind::None), "None");
-    EXPECT_EQ(prefetcherName(PrefetcherKind::Stride), "Stride");
-    EXPECT_EQ(prefetcherName(PrefetcherKind::Sms), "SMS");
-    EXPECT_EQ(prefetcherName(PrefetcherKind::BFetch), "Bfetch");
-    EXPECT_EQ(prefetcherName(PrefetcherKind::Perfect), "Perfect");
+    EXPECT_EQ(prefetcherName("None"), "None");
+    EXPECT_EQ(prefetcherName("Stride"), "Stride");
+    EXPECT_EQ(prefetcherName("SMS"), "SMS");
+    EXPECT_EQ(prefetcherName("Bfetch"), "Bfetch");
+    EXPECT_EQ(prefetcherName("Perfect"), "Perfect");
+    // Registry specs normalize case and keep parameter clauses.
+    EXPECT_EQ(prefetcherName("sms"), "SMS");
+    EXPECT_EQ(prefetcherName("nextn"), "NextN");
+    EXPECT_EQ(prefetcherName("stride:degree=2"), "Stride:degree=2");
+    // Unknown names pass through verbatim (lenient display helper;
+    // construction is where unknown specs fail).
+    EXPECT_EQ(prefetcherName("mystery"), "mystery");
 }
 
 } // namespace

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Component-registry tests (DESIGN.md §14): spec parsing and the typed
+ * param bag, predictor/prefetcher round-trips, structured errors for
+ * unknown names and malformed parameters, registry-vs-factory identity
+ * of the paper's tournament baseline, TAGE determinism across the
+ * trace-sharing tiers and batch parallelism, and the predictor name's
+ * presence in report JSON and memo-cache keys.
+ */
+
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "branch/registry.hh"
+#include "branch/tage.hh"
+#include "common/registry.hh"
+#include "common/sim_error.hh"
+#include "harness/batch.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "prefetch/registry.hh"
+#include "sim/trace_store.hh"
+
+namespace bfsim {
+namespace {
+
+/** Expect `fn` to throw SimError whose message contains every needle. */
+template <typename Fn>
+void
+expectSimError(Fn fn, const std::vector<std::string> &needles)
+{
+    try {
+        fn();
+        FAIL() << "expected SimError";
+    } catch (const SimError &error) {
+        std::string message = error.what();
+        for (const std::string &needle : needles) {
+            EXPECT_NE(message.find(needle), std::string::npos)
+                << "message '" << message << "' lacks '" << needle
+                << "'";
+        }
+    }
+}
+
+// ------------------------------------------------------- spec grammar
+
+TEST(ComponentSpec, ParsesNameAndParams)
+{
+    ComponentSpec spec =
+        parseComponentSpec("Tage:tables=6,scale=0.5", "predictor");
+    EXPECT_EQ(spec.name, "tage"); // lowercased
+    spec.params.setContext("predictor", spec.name);
+    EXPECT_EQ(spec.params.getU64("tables", 0), 6u);
+    EXPECT_DOUBLE_EQ(spec.params.getDouble("scale", 1.0), 0.5);
+    spec.params.checkConsumed(); // both consumed: no throw
+}
+
+TEST(ComponentSpec, BareNameHasNoParams)
+{
+    ComponentSpec spec = parseComponentSpec("gshare", "predictor");
+    EXPECT_EQ(spec.name, "gshare");
+    EXPECT_FALSE(spec.params.has("entries"));
+    EXPECT_EQ(spec.params.getU64("entries", 4096), 4096u);
+}
+
+TEST(ComponentSpec, EmptyNameThrows)
+{
+    expectSimError([] { parseComponentSpec("", "predictor"); },
+                   {"empty predictor name"});
+    expectSimError([] { parseComponentSpec(":k=v", "predictor"); },
+                   {"empty predictor name"});
+}
+
+TEST(ComponentSpec, MalformedPairThrows)
+{
+    expectSimError(
+        [] { parseComponentSpec("gshare:entries", "predictor"); },
+        {"malformed parameter 'entries'", "key=value"});
+    expectSimError(
+        [] { parseComponentSpec("gshare:=4", "predictor"); },
+        {"malformed parameter"});
+}
+
+TEST(Params, TypedGettersRejectGarbage)
+{
+    ComponentSpec spec = parseComponentSpec(
+        "gshare:entries=abc,scale=xyz,flag=maybe", "predictor");
+    spec.params.setContext("predictor", spec.name);
+    expectSimError([&] { spec.params.getU64("entries", 0); },
+                   {"parameter 'entries'", "unsigned integer", "abc"});
+    expectSimError([&] { spec.params.getDouble("scale", 1.0); },
+                   {"parameter 'scale'", "a number", "xyz"});
+    expectSimError([&] { spec.params.getBool("flag", false); },
+                   {"parameter 'flag'", "boolean", "maybe"});
+}
+
+// ------------------------------------------------ predictor registry
+
+TEST(PredictorRegistry, RoundTripsEveryRegisteredName)
+{
+    std::vector<std::string> names = branch::predictorNames();
+    for (const char *expected :
+         {"bimodal", "gshare", "local", "tournament", "tage"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected << " not registered";
+    }
+    for (const std::string &name : names) {
+        auto pred = branch::makePredictor(name);
+        ASSERT_NE(pred, nullptr) << name;
+        EXPECT_EQ(pred->name(), name);
+        EXPECT_GT(pred->storageBits(), 0u) << name;
+    }
+}
+
+TEST(PredictorRegistry, LookupIsCaseInsensitive)
+{
+    EXPECT_EQ(branch::makePredictor("Tournament")->name(), "tournament");
+    EXPECT_EQ(branch::makePredictor("TAGE")->name(), "tage");
+}
+
+TEST(PredictorRegistry, UnknownNameListsRegisteredOnes)
+{
+    expectSimError([] { branch::makePredictor("neural"); },
+                   {"unknown predictor 'neural'", "registered:",
+                    "tournament", "tage", "gshare"});
+}
+
+TEST(PredictorRegistry, UnconsumedParameterThrows)
+{
+    expectSimError([] { branch::makePredictor("gshare:bogus=1"); },
+                   {"unknown parameter(s) [bogus]", "gshare"});
+}
+
+TEST(PredictorRegistry, MistypedParameterThrows)
+{
+    expectSimError([] { branch::makePredictor("gshare:entries=abc"); },
+                   {"parameter 'entries'", "gshare", "abc"});
+}
+
+TEST(PredictorRegistry, SpecParamOverridesCallerScale)
+{
+    auto scaled = branch::makePredictor("gshare", 4.0);
+    auto pinned = branch::makePredictor("gshare:scale=1", 4.0);
+    auto base = branch::makePredictor("gshare", 1.0);
+    EXPECT_GT(scaled->storageBits(), base->storageBits());
+    EXPECT_EQ(pinned->storageBits(), base->storageBits());
+}
+
+TEST(PredictorRegistry, TageParamsReachConfig)
+{
+    auto wide = branch::makePredictor("tage:tables=6,tag_bits=10");
+    auto base = branch::makePredictor("tage");
+    EXPECT_GT(wide->storageBits(), base->storageBits());
+    // Config validation fires through the registry path too.
+    expectSimError([] { branch::makePredictor("tage:max_hist=64"); },
+                   {"tage"});
+}
+
+// ----------------------------------------------- prefetcher registry
+
+TEST(PrefetcherRegistry, RoundTripsEveryRegisteredName)
+{
+    std::vector<std::string> names = prefetch::prefetcherNames();
+    for (const char *expected :
+         {"none", "nextn", "stride", "sms", "bfetch", "perfect"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected << " not registered";
+    }
+}
+
+TEST(PrefetcherRegistry, PlansHaveExpectedShape)
+{
+    prefetch::CorePrefetch none = prefetch::makeCorePrefetch("none");
+    EXPECT_EQ(none.demand, nullptr);
+    EXPECT_FALSE(none.attachBFetch);
+    EXPECT_FALSE(none.perfectMem);
+
+    prefetch::CorePrefetch bfetch =
+        prefetch::makeCorePrefetch("Bfetch");
+    EXPECT_EQ(bfetch.demand, nullptr);
+    EXPECT_TRUE(bfetch.attachBFetch);
+
+    prefetch::CorePrefetch perfect =
+        prefetch::makeCorePrefetch("Perfect");
+    EXPECT_EQ(perfect.demand, nullptr);
+    EXPECT_TRUE(perfect.perfectMem);
+
+    for (const char *demand_kind : {"NextN", "Stride", "SMS"}) {
+        prefetch::CorePrefetch plan =
+            prefetch::makeCorePrefetch(demand_kind);
+        EXPECT_NE(plan.demand, nullptr) << demand_kind;
+        EXPECT_FALSE(plan.attachBFetch) << demand_kind;
+        EXPECT_FALSE(plan.perfectMem) << demand_kind;
+    }
+}
+
+TEST(PrefetcherRegistry, ParamsReachDemandPrefetchers)
+{
+    EXPECT_NE(prefetch::makeCorePrefetch("stride:degree=1").demand,
+              nullptr);
+    EXPECT_NE(
+        prefetch::makeCorePrefetch("sms:region_bytes=1024").demand,
+        nullptr);
+    expectSimError(
+        [] { prefetch::makeCorePrefetch("stride:bogus=1"); },
+        {"unknown parameter(s) [bogus]", "stride"});
+    expectSimError([] { prefetch::makeCorePrefetch("flux"); },
+                   {"unknown prefetcher 'flux'", "registered:",
+                    "bfetch", "perfect"});
+}
+
+TEST(PrefetcherRegistry, DisplayNamesMatchPaperLegend)
+{
+    EXPECT_EQ(prefetch::prefetcherDisplayName("sms"), "SMS");
+    EXPECT_EQ(prefetch::prefetcherDisplayName("Bfetch"), "Bfetch");
+    EXPECT_EQ(prefetch::prefetcherDisplayName("nextn:degree=2"),
+              "NextN:degree=2");
+    EXPECT_EQ(prefetch::prefetcherDisplayName("mystery"), "mystery");
+}
+
+// ------------------------------------- tournament identity vs factory
+
+TEST(TournamentIdentity, RegistryMatchesFactoryBehaviour)
+{
+    auto from_registry = branch::makePredictor("tournament");
+    auto from_factory = branch::makeTournamentPredictor(1.0);
+    EXPECT_EQ(from_registry->storageBits(),
+              from_factory->storageBits());
+    EXPECT_EQ(from_registry->historyBits(),
+              from_factory->historyBits());
+    std::uint32_t x = 98765;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 1664525u + 1013904223u;
+        Addr pc = 0x400000 + (x % 29) * 4;
+        bool taken = ((x >> 13) & 7) != 0;
+        ASSERT_EQ(from_registry->predict(pc), from_factory->predict(pc));
+        from_registry->update(pc, taken);
+        from_factory->update(pc, taken);
+        ASSERT_EQ(from_registry->history(), from_factory->history());
+    }
+}
+
+// ----------------------------- harness integration (memo, JSON, tiers)
+
+/** Each test gets clean memo/trace caches and its own store dir. */
+class RegistryHarnessTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = testing::TempDir() + "bfsim_registry/" +
+              testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name();
+        std::filesystem::remove_all(dir);
+        harness::clearMemoCaches();
+        harness::clearTraceCache();
+        harness::setTraceCacheEnabled(true);
+        sim::trace_store::setDirectory("");
+    }
+
+    void
+    TearDown() override
+    {
+        sim::trace_store::setDirectory("");
+        harness::clearMemoCaches();
+        harness::clearTraceCache();
+        harness::setTraceCacheEnabled(true);
+        std::filesystem::remove_all(dir);
+    }
+
+    static harness::RunOptions
+    quick(const std::string &predictor = "tournament")
+    {
+        harness::RunOptions options;
+        options.instructions = 30000;
+        options.predictor = predictor;
+        return options;
+    }
+
+    std::string dir;
+};
+
+TEST_F(RegistryHarnessTest, DefaultSpecMatchesExplicitTournament)
+{
+    // The explicit registry spellings must reproduce the default
+    // configuration's CoreStats bit for bit — the refactor gate.
+    harness::SingleResult def =
+        harness::runSingle("libquantum", "Bfetch", quick());
+    for (const char *spec :
+         {"tournament", "Tournament", "tournament:scale=1.0"}) {
+        harness::SingleResult explicit_spec =
+            harness::runSingle("libquantum", "Bfetch", quick(spec));
+        EXPECT_EQ(std::memcmp(&def.core, &explicit_spec.core,
+                              sizeof(sim::CoreStats)),
+                  0)
+            << spec;
+    }
+}
+
+TEST_F(RegistryHarnessTest, CacheKeyDistinguishesPredictors)
+{
+    harness::RunOptions tournament = quick("tournament");
+    harness::RunOptions tage = quick("tage");
+    EXPECT_NE(tournament.cacheKey(), tage.cacheKey());
+
+    const harness::SingleResult &a =
+        harness::runSingleCached("mcf", "None", tournament);
+    const harness::SingleResult &b =
+        harness::runSingleCached("mcf", "None", tage);
+    EXPECT_NE(&a, &b); // distinct memo entries, no collision
+    EXPECT_EQ(a.predictor, "tournament");
+    EXPECT_EQ(b.predictor, "tage");
+
+    // Same spec again is a memo hit, not a recomputation.
+    const harness::SingleResult &a2 =
+        harness::runSingleCached("mcf", "None", tournament);
+    EXPECT_EQ(&a, &a2);
+}
+
+TEST_F(RegistryHarnessTest, PredictorNameAppearsInJsonReport)
+{
+    std::vector<harness::BatchJob> jobs{
+        harness::BatchJob::single("mcf", "None", quick("tage"),
+                                  "zoo/tage/mcf/None")};
+    harness::BatchResult batch = harness::runBatch(jobs, 1, nullptr);
+    ASSERT_EQ(batch.failures(), 0u);
+    std::ostringstream os;
+    harness::writeBatchReportJson(os, "registry_test", batch);
+    EXPECT_NE(os.str().find("\"predictor\": \"tage\""),
+              std::string::npos)
+        << os.str();
+    EXPECT_NE(os.str().find("\"prefetcher\": \"None\""),
+              std::string::npos);
+}
+
+TEST_F(RegistryHarnessTest, UnknownPredictorFailsTheJobNotTheBatch)
+{
+    std::vector<harness::BatchJob> jobs{
+        harness::BatchJob::single("mcf", "None", quick("neural")),
+        harness::BatchJob::single("mcf", "None", quick())};
+    harness::BatchResult batch = harness::runBatch(jobs, 1, nullptr);
+    EXPECT_EQ(batch.failures(), 1u);
+    EXPECT_TRUE(batch.items[0].failed);
+    EXPECT_NE(batch.items[0].error.find("unknown predictor"),
+              std::string::npos);
+    EXPECT_FALSE(batch.items[1].failed);
+}
+
+TEST_F(RegistryHarnessTest, TageBitIdenticalAcrossTraceTiers)
+{
+    // Live execution, no trace sharing.
+    harness::setTraceCacheEnabled(false);
+    harness::SingleResult live =
+        harness::runSingle("mcf", "Bfetch", quick("tage"));
+    EXPECT_EQ(live.predictor, "tage");
+
+    // Memory tier: capture, then replay the cached DynOp stream.
+    harness::setTraceCacheEnabled(true);
+    harness::clearTraceCache();
+    harness::runSingle("mcf", "Bfetch", quick("tage")); // capture
+    harness::SingleResult replay =
+        harness::runSingle("mcf", "Bfetch", quick("tage"));
+    EXPECT_EQ(std::memcmp(&live.core, &replay.core,
+                          sizeof(sim::CoreStats)),
+              0);
+
+    // Disk tier: persist the artifact, then seed a cold buffer from it.
+    sim::trace_store::setDirectory(dir);
+    harness::clearTraceCache();
+    harness::runSingle("mcf", "Bfetch", quick("tage")); // capture
+    EXPECT_GE(harness::persistTraceStore(), 1u);
+    harness::clearTraceCache();
+    harness::SingleResult disk =
+        harness::runSingle("mcf", "Bfetch", quick("tage"));
+    EXPECT_EQ(std::memcmp(&live.core, &disk.core,
+                          sizeof(sim::CoreStats)),
+              0);
+}
+
+TEST_F(RegistryHarnessTest, TageBitIdenticalSerialVsParallel)
+{
+    std::vector<harness::BatchJob> jobs;
+    for (const char *workload : {"mcf", "libquantum", "milc", "astar"})
+        for (const char *kind : {"None", "Bfetch"})
+            jobs.push_back(harness::BatchJob::single(workload, kind,
+                                                     quick("tage")));
+
+    harness::BatchResult serial = harness::runBatch(jobs, 1, nullptr);
+    ASSERT_EQ(serial.failures(), 0u);
+    std::vector<sim::CoreStats> reference;
+    for (const harness::BatchItem &item : serial.items)
+        reference.push_back(item.single->core);
+
+    harness::clearMemoCaches();
+    harness::clearTraceCache();
+    harness::BatchResult parallel = harness::runBatch(jobs, 4, nullptr);
+    ASSERT_EQ(parallel.failures(), 0u);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(std::memcmp(&reference[i],
+                              &parallel.items[i].single->core,
+                              sizeof(sim::CoreStats)),
+                  0)
+            << jobs[i].workloads.front() << "/" << jobs[i].prefetcher;
+    }
+}
+
+} // namespace
+} // namespace bfsim

@@ -189,7 +189,7 @@ TEST_F(SamplingRunTest, ZeroWarmupWindowEqualsFullRun)
 TEST_F(SamplingRunTest, SampledResultCarriesEstimate)
 {
     SingleResult result =
-        runSingle("mcf", sim::PrefetcherKind::BFetch, sampledOptions());
+        runSingle("mcf", "Bfetch", sampledOptions());
     EXPECT_TRUE(result.sampled.enabled);
     EXPECT_EQ(result.sampled.windows, 5u);
     EXPECT_EQ(result.sampled.measuredInstructions, 5u * 2000u);
@@ -206,10 +206,10 @@ TEST_F(SamplingRunTest, SampledResultCarriesEstimate)
 TEST_F(SamplingRunTest, SampledCpiIdenticalAcrossSerialAndParallel)
 {
     SingleResult serial =
-        runSingle("mcf", sim::PrefetcherKind::BFetch, sampledOptions(1));
+        runSingle("mcf", "Bfetch", sampledOptions(1));
     clearTraceCache();
     SingleResult parallel =
-        runSingle("mcf", sim::PrefetcherKind::BFetch, sampledOptions(4));
+        runSingle("mcf", "Bfetch", sampledOptions(4));
     expectSameCoreStats(serial.core, parallel.core);
     EXPECT_DOUBLE_EQ(serial.sampled.cpi, parallel.sampled.cpi);
     EXPECT_DOUBLE_EQ(serial.sampled.cpiCi95, parallel.sampled.cpiCi95);
@@ -219,18 +219,18 @@ TEST_F(SamplingRunTest, SampledCpiIdenticalAcrossMemoryAndDiskTiers)
 {
     // Memory tier: windows replay the shared in-process buffer.
     SingleResult memory =
-        runSingle("mcf", sim::PrefetcherKind::BFetch, sampledOptions());
+        runSingle("mcf", "Bfetch", sampledOptions());
 
     // Disk tier: persist the captured trace, drop the in-memory cache,
     // and re-run — windows now decode a seekable v2 artifact.
     sim::trace_store::setDirectory(dir);
     clearTraceCache();
-    runSingle("mcf", sim::PrefetcherKind::None, sampledOptions());
+    runSingle("mcf", "None", sampledOptions());
     ASSERT_GE(persistTraceStore(), 1u);
     clearTraceCache();
     takeThreadCacheCounters();
     SingleResult disk =
-        runSingle("mcf", sim::PrefetcherKind::BFetch, sampledOptions());
+        runSingle("mcf", "Bfetch", sampledOptions());
     ThreadCacheCounters counters = takeThreadCacheCounters();
     // One hit seeding the shared buffer plus one per window source
     // (each window opens its own seekable reader).
@@ -246,7 +246,7 @@ TEST_F(SamplingRunTest, SampledMixCarriesEstimateAndSpeedup)
 {
     RunOptions options = sampledOptions(2);
     MixResult result = runMix({"mcf", "libquantum"},
-                              sim::PrefetcherKind::BFetch, options);
+                              "Bfetch", options);
     EXPECT_TRUE(result.sampled.enabled);
     EXPECT_EQ(result.sampled.windows, 5u);
     EXPECT_GT(result.sampled.cpi, 0.0);

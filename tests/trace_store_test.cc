@@ -440,14 +440,14 @@ quick()
 TEST_F(TraceStoreTest, TraceCacheKillSwitchBypassesBothTiers)
 {
     harness::setTraceCacheEnabled(false);
-    harness::runSingle("mcf", PrefetcherKind::None, quick());
+    harness::runSingle("mcf", "None", quick());
     trace_store::Stats stats = trace_store::stats();
     // BFSIM_TRACE_CACHE=0 means not even a store lookup happens.
     EXPECT_EQ(stats.hits + stats.misses + stats.fallbacks, 0u);
 
     harness::setTraceCacheEnabled(true);
     harness::clearTraceCache();
-    harness::runSingle("mcf", PrefetcherKind::None, quick());
+    harness::runSingle("mcf", "None", quick());
     EXPECT_EQ(trace_store::stats().misses, 1u);
 }
 
@@ -456,14 +456,14 @@ TEST_F(TraceStoreTest, CoreStatsBitIdenticalAcrossLiveMemoryAndDisk)
     // Reference: live execution, no trace sharing at all.
     harness::setTraceCacheEnabled(false);
     harness::SingleResult live =
-        harness::runSingle("mcf", PrefetcherKind::BFetch, quick());
+        harness::runSingle("mcf", "Bfetch", quick());
 
     // Memory tier only.
     harness::setTraceCacheEnabled(true);
     trace_store::setDirectory("");
     harness::clearTraceCache();
     harness::SingleResult memory =
-        harness::runSingle("mcf", PrefetcherKind::BFetch, quick());
+        harness::runSingle("mcf", "Bfetch", quick());
     EXPECT_EQ(std::memcmp(&live.core, &memory.core, sizeof(CoreStats)),
               0);
 
@@ -472,7 +472,7 @@ TEST_F(TraceStoreTest, CoreStatsBitIdenticalAcrossLiveMemoryAndDisk)
     harness::clearTraceCache();
     harness::takeThreadCacheCounters();
     harness::SingleResult cold =
-        harness::runSingle("mcf", PrefetcherKind::BFetch, quick());
+        harness::runSingle("mcf", "Bfetch", quick());
     harness::ThreadCacheCounters counters =
         harness::takeThreadCacheCounters();
     EXPECT_EQ(counters.traceDiskMisses, 1u);
@@ -484,7 +484,7 @@ TEST_F(TraceStoreTest, CoreStatsBitIdenticalAcrossLiveMemoryAndDisk)
     // Disk tier, warm: the artifact seeds the buffer; no capture.
     harness::clearTraceCache();
     harness::SingleResult warm =
-        harness::runSingle("mcf", PrefetcherKind::BFetch, quick());
+        harness::runSingle("mcf", "Bfetch", quick());
     counters = harness::takeThreadCacheCounters();
     EXPECT_EQ(counters.traceDiskHits, 1u);
     EXPECT_EQ(counters.traceDiskMisses, 0u);
@@ -732,7 +732,7 @@ TEST_F(TraceStoreTest, TruncatedTrailerRejectsArtifact)
 TEST_F(TraceStoreTest, InjectedOpenFaultDegradesToCapture)
 {
     harness::SingleResult reference =
-        harness::runSingle("libquantum", PrefetcherKind::BFetch,
+        harness::runSingle("libquantum", "Bfetch",
                            quick());
     EXPECT_GE(harness::persistTraceStore(), 1u);
     harness::clearTraceCache();
@@ -745,7 +745,7 @@ TEST_F(TraceStoreTest, InjectedOpenFaultDegradesToCapture)
         fault::beginScope(0);
         harness::ScopedFault armed(fault::Site::TraceStore, 0, 0);
         harness::SingleResult degraded =
-            harness::runSingle("libquantum", PrefetcherKind::BFetch,
+            harness::runSingle("libquantum", "Bfetch",
                                quick());
         EXPECT_TRUE(armed.fired());
         EXPECT_EQ(std::memcmp(&reference.core, &degraded.core,
@@ -762,7 +762,7 @@ TEST_F(TraceStoreTest, InjectedOpenFaultDegradesToCapture)
 TEST_F(TraceStoreTest, InjectedDecodeFaultDegradesMidStream)
 {
     harness::SingleResult reference =
-        harness::runSingle("libquantum", PrefetcherKind::BFetch,
+        harness::runSingle("libquantum", "Bfetch",
                            quick());
     EXPECT_GE(harness::persistTraceStore(), 1u);
     harness::clearTraceCache();
@@ -779,7 +779,7 @@ TEST_F(TraceStoreTest, InjectedDecodeFaultDegradesMidStream)
         fault::beginScope(0); // fresh per-thread hit count (see above)
         harness::ScopedFault armed(fault::Site::TraceStore, 0, seed);
         harness::SingleResult degraded =
-            harness::runSingle("libquantum", PrefetcherKind::BFetch,
+            harness::runSingle("libquantum", "Bfetch",
                                quick());
         EXPECT_TRUE(armed.fired());
         EXPECT_EQ(std::memcmp(&reference.core, &degraded.core,

@@ -223,7 +223,7 @@ TEST(TraceTiming, OooCoreStatsIdenticalLiveVsReplay)
 {
     const Program &p = workloadProgram("libquantum");
     CoreConfig cfg;
-    cfg.prefetcher = PrefetcherKind::BFetch;
+    cfg.prefetcher = "Bfetch";
 
     CoreStats live =
         runCore(std::make_unique<LiveSource>(p), cfg, 20000);
@@ -239,7 +239,7 @@ TEST(TraceTiming, PerfectPrefetcherIdenticalUnderReplay)
 {
     const Program &p = workloadProgram("mcf");
     CoreConfig perfect;
-    perfect.prefetcher = PrefetcherKind::Perfect;
+    perfect.prefetcher = "Perfect";
 
     CoreStats live =
         runCore(std::make_unique<LiveSource>(p), perfect, 20000);
@@ -252,7 +252,7 @@ TEST(TraceTiming, PerfectPrefetcherIdenticalUnderReplay)
     // The oracle must still behave as an oracle when replayed: faster
     // than the no-prefetch baseline over the same trace buffer.
     CoreConfig none;
-    none.prefetcher = PrefetcherKind::None;
+    none.prefetcher = "None";
     CoreStats base = runCore(
         std::make_unique<TraceReplay>(warm.buffer()), none, 20000);
     EXPECT_LT(replay.cycles, base.cycles);
