@@ -29,6 +29,13 @@
  * failure, --deadline/BFSIM_JOB_DEADLINE bounds each job's wall clock,
  * and the binary's exit status is non-zero iff any job ultimately
  * failed.
+ *
+ * Crash resilience: --isolate=process / BFSIM_ISOLATE=process executes
+ * the sweep in forked worker processes (harness/process_pool.hh) so a
+ * segfaulting job costs one worker respawn, not the whole bench;
+ * --journal=DIR / BFSIM_JOURNAL_DIR journals each completed job to a
+ * crash-safe record so a killed and restarted bench resumes with zero
+ * recompute (see harness/journal.hh).
  */
 
 #ifndef BFSIM_BENCH_BENCH_UTIL_HH_
@@ -222,13 +229,17 @@ validatePrefetcherSpec(const std::string &spec)
  * --report=PATH / --report PATH / --perf-report=PATH /
  * --filter=SUBSTR / --filter SUBSTR / --trace-dir=DIR / --trace-dir DIR /
  * --retries=N / --retries N / --fail-fast / --deadline=SECONDS /
- * --deadline SECONDS / --sample[=P:W:M] / --sample-jobs=N / --list)
+ * --deadline SECONDS / --isolate=MODE / --journal=DIR / --journal DIR /
+ * --sample[=P:W:M] / --sample-jobs=N / --list)
  * from argv before google-benchmark sees the remaining arguments.
  * BFSIM_REPORT / BFSIM_PERF_REPORT seed the report paths,
  * BFSIM_TRACE_DIR seeds the trace-store directory, BFSIM_RETRIES /
- * BFSIM_FAIL_FAST / BFSIM_JOB_DEADLINE seed the failure policy, and
+ * BFSIM_FAIL_FAST / BFSIM_JOB_DEADLINE / BFSIM_ISOLATE /
+ * BFSIM_JOURNAL_DIR seed the failure policy, and
  * BFSIM_SAMPLE / BFSIM_SAMPLE_JOBS seed the sampling config; explicit
- * flags win. --filter restricts every per-workload sweep, table row
+ * flags win. --isolate=process runs jobs in forked worker processes,
+ * --isolate=none forces the in-process thread pool; --journal=DIR
+ * checkpoints completed jobs in DIR and restores them on rerun. --filter restricts every per-workload sweep, table row
  * and geomean to workloads whose name contains SUBSTR; --trace-dir
  * persists captured DynOp traces in DIR so later processes skip
  * functional capture; --sample enables statistical sampling with the
@@ -280,6 +291,15 @@ parseBenchConfig(int &argc, char **argv)
         if (!end || *end != '\0' || seconds < 0.0)
             fatal("--deadline expects seconds, got '" + value + "'");
         return seconds;
+    };
+    auto parse_isolate = [](const std::string &value) {
+        if (value == "process")
+            return harness::IsolateMode::Process;
+        if (value == "none" || value == "thread")
+            return harness::IsolateMode::None;
+        fatal("--isolate expects 'process' or 'none', got '" + value +
+              "'");
+        return harness::IsolateMode::None;
     };
 
     bool sample_flag = false;
@@ -335,6 +355,18 @@ parseBenchConfig(int &argc, char **argv)
                 fatal("--deadline expects seconds");
             config.batchOptions.jobDeadlineSeconds =
                 parse_deadline(argv[++i]);
+        } else if (arg.rfind("--isolate=", 0) == 0) {
+            config.batchOptions.isolate = parse_isolate(arg.substr(10));
+        } else if (arg == "--isolate") {
+            if (i + 1 >= argc)
+                fatal("--isolate expects 'process' or 'none'");
+            config.batchOptions.isolate = parse_isolate(argv[++i]);
+        } else if (arg.rfind("--journal=", 0) == 0) {
+            config.batchOptions.journalDir = arg.substr(10);
+        } else if (arg == "--journal") {
+            if (i + 1 >= argc)
+                fatal("--journal expects a directory");
+            config.batchOptions.journalDir = argv[++i];
         } else if (arg == "--sample") {
             sample_flag = true;
             sample_spec = "1";

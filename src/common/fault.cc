@@ -65,6 +65,7 @@ siteName(Site site)
       case Site::CacheAccess: return "cache";
       case Site::ReportWrite: return "report";
       case Site::TraceStore: return "trace_store";
+      case Site::WorkerCrash: return "crash";
       case Site::siteCount: break;
     }
     return "?";

@@ -12,7 +12,8 @@
  *  - `site`  names the injection point: `step` (functional executor
  *    step), `trace` (trace-capture extension), `cache` (memory
  *    hierarchy access), `report` (batch report write), `trace_store`
- *    (on-disk trace artifact open / chunk decode).
+ *    (on-disk trace artifact open / chunk decode), `crash` (kill the
+ *    process-isolated worker with a fatal signal; see Site::WorkerCrash).
  *  - `nth`   selects the fault *scope*: batch jobs are numbered 1..N in
  *    submission order and each job attempt runs inside its own scope,
  *    so `cache:4` fails job 4 — deterministically, serial or parallel.
@@ -52,6 +53,16 @@ enum class Site : unsigned
     CacheAccess,      ///< mem::Hierarchy::access ("cache")
     ReportWrite,      ///< harness::writeBatchReportFile ("report")
     TraceStore,       ///< trace_store artifact open/decode ("trace_store")
+    /**
+     * Process-isolated worker crash ("crash"): instead of throwing, the
+     * firing site raises a fatal signal (BFSIM_CRASH_SIGNAL: "segv"
+     * default, "kill", "abort") and the *whole worker process* dies.
+     * Only checked inside harness/process_pool workers — in-process
+     * backends ignore it, because there the equivalent event would take
+     * down the entire batch, which is exactly what process isolation
+     * exists to prevent.
+     */
+    WorkerCrash,
     siteCount
 };
 

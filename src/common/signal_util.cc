@@ -1,0 +1,134 @@
+#include "common/signal_util.hh"
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace bfsim::signal_util {
+
+namespace {
+
+std::atomic<int> signalCount{0};
+int pipeFds[2] = {-1, -1};
+std::once_flag installOnce;
+
+extern "C" void
+shutdownHandler(int)
+{
+    signalCount.fetch_add(1, std::memory_order_relaxed);
+    if (pipeFds[1] >= 0) {
+        unsigned char byte = 1;
+        // Best effort: a full pipe already guarantees readability.
+        [[maybe_unused]] ssize_t n = ::write(pipeFds[1], &byte, 1);
+    }
+}
+
+} // namespace
+
+std::string
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGHUP: return "SIGHUP";
+      case SIGINT: return "SIGINT";
+      case SIGQUIT: return "SIGQUIT";
+      case SIGILL: return "SIGILL";
+      case SIGABRT: return "SIGABRT";
+      case SIGBUS: return "SIGBUS";
+      case SIGFPE: return "SIGFPE";
+      case SIGKILL: return "SIGKILL";
+      case SIGSEGV: return "SIGSEGV";
+      case SIGPIPE: return "SIGPIPE";
+      case SIGALRM: return "SIGALRM";
+      case SIGTERM: return "SIGTERM";
+      default: break;
+    }
+    return "signal " + std::to_string(sig);
+}
+
+std::string
+describeWaitStatus(int status)
+{
+    if (WIFEXITED(status)) {
+        return "exited with status " +
+               std::to_string(WEXITSTATUS(status));
+    }
+    if (WIFSIGNALED(status)) {
+        std::string text = "killed by " + signalName(WTERMSIG(status));
+#ifdef WCOREDUMP
+        if (WCOREDUMP(status))
+            text += " (core dumped)";
+#endif
+        return text;
+    }
+    return "wait status " + std::to_string(status);
+}
+
+void
+installShutdownHandlers()
+{
+    std::call_once(installOnce, [] {
+        if (::pipe(pipeFds) == 0) {
+            ::fcntl(pipeFds[0], F_SETFD, FD_CLOEXEC);
+            ::fcntl(pipeFds[1], F_SETFD, FD_CLOEXEC);
+            ::fcntl(pipeFds[0], F_SETFL, O_NONBLOCK);
+            ::fcntl(pipeFds[1], F_SETFL, O_NONBLOCK);
+        }
+        struct sigaction action;
+        std::memset(&action, 0, sizeof action);
+        action.sa_handler = shutdownHandler;
+        ::sigemptyset(&action.sa_mask);
+        // No SA_RESTART: blocking accept()/poll() must wake up.
+        ::sigaction(SIGINT, &action, nullptr);
+        ::sigaction(SIGTERM, &action, nullptr);
+        ::signal(SIGPIPE, SIG_IGN);
+    });
+}
+
+int
+shutdownSignalCount()
+{
+    return signalCount.load(std::memory_order_relaxed);
+}
+
+bool
+shutdownRequested()
+{
+    return shutdownSignalCount() > 0;
+}
+
+int
+shutdownFd()
+{
+    return pipeFds[0];
+}
+
+void
+drainShutdownFd()
+{
+    if (pipeFds[0] < 0)
+        return;
+    unsigned char sink[64];
+    while (::read(pipeFds[0], sink, sizeof sink) > 0) {
+    }
+}
+
+void
+resetShutdownState()
+{
+    signalCount.store(0, std::memory_order_relaxed);
+    drainShutdownFd();
+}
+
+void
+requestShutdownForTest()
+{
+    shutdownHandler(SIGTERM);
+}
+
+} // namespace bfsim::signal_util

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Signal utilities for the supervised-process layer: human-readable
+ * wait-status decoding (a crashed worker's exit report) and a
+ * process-wide graceful-shutdown latch (SIGINT/SIGTERM) the
+ * process-isolated batch backend and the bfsimd daemon poll.
+ *
+ * The latch follows the classic self-pipe pattern: the handler is
+ * async-signal-safe (one atomic increment + one write on a pre-opened
+ * pipe), and the supervising loop includes the pipe's read end in its
+ * poll set so a signal interrupts the wait immediately instead of at
+ * the next timeout tick. The *first* signal requests a graceful drain
+ * (finish in-flight jobs, journal them, flush partial reports); a
+ * *second* signal escalates to immediate abort (in-flight work is
+ * killed and reported failed).
+ */
+
+#ifndef BFSIM_COMMON_SIGNAL_UTIL_HH_
+#define BFSIM_COMMON_SIGNAL_UTIL_HH_
+
+#include <string>
+
+namespace bfsim::signal_util {
+
+/** "SIGSEGV"-style name, or "signal N" for exotic numbers. */
+std::string signalName(int sig);
+
+/**
+ * Describe a waitpid() status: "exited with status 1", "killed by
+ * SIGSEGV", "killed by SIGKILL (core dumped)", ...
+ */
+std::string describeWaitStatus(int status);
+
+/**
+ * Install the SIGINT/SIGTERM shutdown handlers (idempotent) and ignore
+ * SIGPIPE (supervisors write to pipes whose peer may have just died;
+ * they handle EPIPE explicitly). Safe to call repeatedly.
+ */
+void installShutdownHandlers();
+
+/**
+ * Number of shutdown signals received since the last reset: 0 = run,
+ * 1 = drain gracefully, >=2 = abort in-flight work.
+ */
+int shutdownSignalCount();
+
+/** Convenience: shutdownSignalCount() > 0. */
+bool shutdownRequested();
+
+/**
+ * Read end of the self-pipe (POLLIN turns ready when a shutdown signal
+ * arrives); -1 before installShutdownHandlers(). Never read it empty —
+ * use drainShutdownFd() so level-triggered polls don't spin.
+ */
+int shutdownFd();
+
+/** Consume pending self-pipe bytes (after poll reported readability). */
+void drainShutdownFd();
+
+/**
+ * Reset the signal count (tests; also the daemon between sweeps when a
+ * drain completed and the process decided to keep serving).
+ */
+void resetShutdownState();
+
+/**
+ * Simulate a received shutdown signal (tests: exercises the drain path
+ * without delivering a real signal to the test runner).
+ */
+void requestShutdownForTest();
+
+} // namespace bfsim::signal_util
+
+#endif // BFSIM_COMMON_SIGNAL_UTIL_HH_

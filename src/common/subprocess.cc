@@ -1,0 +1,231 @@
+#include "common/subprocess.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+namespace bfsim::subprocess {
+
+namespace {
+
+void
+put32(unsigned char *out, std::uint32_t value)
+{
+    out[0] = static_cast<unsigned char>(value);
+    out[1] = static_cast<unsigned char>(value >> 8);
+    out[2] = static_cast<unsigned char>(value >> 16);
+    out[3] = static_cast<unsigned char>(value >> 24);
+}
+
+std::uint32_t
+get32(const unsigned char *in)
+{
+    return static_cast<std::uint32_t>(in[0]) |
+           static_cast<std::uint32_t>(in[1]) << 8 |
+           static_cast<std::uint32_t>(in[2]) << 16 |
+           static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+} // namespace
+
+bool
+Pipe::open()
+{
+    int fds[2];
+    if (::pipe2(fds, O_CLOEXEC) != 0)
+        return false;
+    readFd = fds[0];
+    writeFd = fds[1];
+    return true;
+}
+
+void
+Pipe::closeRead()
+{
+    if (readFd >= 0) {
+        ::close(readFd);
+        readFd = -1;
+    }
+}
+
+void
+Pipe::closeWrite()
+{
+    if (writeFd >= 0) {
+        ::close(writeFd);
+        writeFd = -1;
+    }
+}
+
+void
+Pipe::close()
+{
+    closeRead();
+    closeWrite();
+}
+
+bool
+writeFully(int fd, const void *data, std::size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readFully(int fd, void *data, std::size_t len)
+{
+    unsigned char *p = static_cast<unsigned char *>(data);
+    while (len > 0) {
+        ssize_t n = ::read(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF mid-object
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeFrame(int fd, FrameType type, const void *payload, std::size_t len)
+{
+    if (len > maxFramePayload)
+        return false;
+    unsigned char header[8];
+    put32(header, static_cast<std::uint32_t>(len));
+    put32(header + 4, static_cast<std::uint32_t>(type));
+
+    // One writev keeps header+payload contiguous on the pipe even if a
+    // concurrent writer (serialized by the caller's mutex, but possibly
+    // interleaving at syscall granularity without it) is misused; short
+    // writes still fall back to the byte-exact loop.
+    struct iovec iov[2];
+    iov[0].iov_base = header;
+    iov[0].iov_len = sizeof header;
+    iov[1].iov_base = const_cast<void *>(payload);
+    iov[1].iov_len = len;
+    std::size_t total = sizeof header + len;
+    for (;;) {
+        ssize_t n = ::writev(fd, iov, len > 0 ? 2 : 1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (static_cast<std::size_t>(n) == total)
+            return true;
+        // Short write: finish byte-exactly.
+        std::size_t written = static_cast<std::size_t>(n);
+        if (written < sizeof header) {
+            if (!writeFully(fd, header + written,
+                            sizeof header - written))
+                return false;
+            written = sizeof header;
+        }
+        return writeFully(
+            fd, static_cast<const unsigned char *>(payload) +
+                    (written - sizeof header),
+            total - written);
+    }
+}
+
+bool
+readFrame(int fd, FrameType &type, std::vector<unsigned char> &payload)
+{
+    unsigned char header[8];
+    if (!readFully(fd, header, sizeof header))
+        return false;
+    std::uint32_t len = get32(header);
+    if (len > maxFramePayload)
+        return false;
+    type = static_cast<FrameType>(get32(header + 4));
+    payload.resize(len);
+    if (len > 0 && !readFully(fd, payload.data(), len))
+        return false;
+    return true;
+}
+
+void
+FrameDecoder::feed(const unsigned char *data, std::size_t len)
+{
+    if (corrupted)
+        return;
+    buffer.insert(buffer.end(), data, data + len);
+}
+
+bool
+FrameDecoder::next(Frame &frame)
+{
+    if (corrupted)
+        return false;
+    // Compact lazily: drop consumed prefix when it dominates.
+    if (consumed > 0 && consumed * 2 > buffer.size()) {
+        buffer.erase(buffer.begin(),
+                     buffer.begin() +
+                         static_cast<std::ptrdiff_t>(consumed));
+        consumed = 0;
+    }
+    std::size_t avail = buffer.size() - consumed;
+    if (avail < 8)
+        return false;
+    const unsigned char *base = buffer.data() + consumed;
+    std::uint32_t len = get32(base);
+    if (len > maxFramePayload) {
+        corrupted = true;
+        return false;
+    }
+    if (avail < 8 + static_cast<std::size_t>(len))
+        return false;
+    frame.type = static_cast<FrameType>(get32(base + 4));
+    frame.payload.assign(base + 8, base + 8 + len);
+    consumed += 8 + static_cast<std::size_t>(len);
+    return true;
+}
+
+bool
+drainIntoDecoder(int fd, FrameDecoder &decoder)
+{
+    unsigned char chunk[65536];
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n > 0) {
+            decoder.feed(chunk, static_cast<std::size_t>(n));
+            if (static_cast<std::size_t>(n) < sizeof chunk)
+                return true; // drained what was there
+            continue;
+        }
+        if (n == 0)
+            return false; // EOF: writer is gone
+        if (errno == EINTR)
+            continue;
+        return errno == EAGAIN || errno == EWOULDBLOCK;
+    }
+}
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+} // namespace bfsim::subprocess

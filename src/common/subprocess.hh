@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Low-level subprocess / IPC helpers for the process-isolated execution
+ * backend (harness/process_pool) and the bfsimd sweep daemon.
+ *
+ * The worker protocol is deliberately tiny: each direction of a worker
+ * pipe carries length-prefixed frames — a fixed 8-byte header (payload
+ * length + frame type, both little-endian u32) followed by the payload
+ * bytes. Parent→worker frames dispatch jobs and request shutdown;
+ * worker→parent frames return serialized results and heartbeats. Both
+ * ends of a pipe live in the same binary, so the payload encoding
+ * (harness/wire.hh) needs no cross-version negotiation; the sweep
+ * journal, which *does* survive across builds, carries its own magic
+ * and version.
+ *
+ * All raw I/O here is EINTR-safe. Blocking helpers (readFrame,
+ * writeFrame) serve the single-threaded worker loop; the supervising
+ * parent multiplexes many workers with non-blocking reads fed through a
+ * FrameDecoder per pipe.
+ */
+
+#ifndef BFSIM_COMMON_SUBPROCESS_HH_
+#define BFSIM_COMMON_SUBPROCESS_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bfsim::subprocess {
+
+/** Frame types on a worker pipe. */
+enum class FrameType : std::uint32_t
+{
+    Job = 1,       ///< parent→worker: run job (payload: index + attempt)
+    Exit = 2,      ///< parent→worker: drain and _exit cleanly
+    Result = 3,    ///< worker→parent: serialized BatchItem
+    Heartbeat = 4, ///< worker→parent: liveness beacon (empty payload)
+    Hello = 5,     ///< worker→parent: ready for the first job
+};
+
+/**
+ * Upper bound on a frame payload (1 GiB). A length beyond this means a
+ * corrupted stream (or a desynchronized reader), not a real frame;
+ * readers reject it instead of attempting the allocation.
+ */
+inline constexpr std::uint32_t maxFramePayload = 1u << 30;
+
+/** One unidirectional pipe; fds are -1 until open() and after close. */
+struct Pipe
+{
+    int readFd = -1;
+    int writeFd = -1;
+
+    /** Create (O_CLOEXEC). @return false with errno left set on failure. */
+    bool open();
+    void closeRead();
+    void closeWrite();
+    void close();
+};
+
+/**
+ * Write exactly `len` bytes, retrying short writes and EINTR.
+ * @return false on any other error (EPIPE when the peer died).
+ */
+bool writeFully(int fd, const void *data, std::size_t len);
+
+/**
+ * Read exactly `len` bytes, retrying short reads and EINTR.
+ * @return false on EOF or error before `len` bytes arrived.
+ */
+bool readFully(int fd, void *data, std::size_t len);
+
+/**
+ * Write one frame (header + payload) with a single gathered write so
+ * concurrent writers on the same fd (worker result vs. heartbeat
+ * threads) still need only external serialization, not re-framing.
+ */
+bool writeFrame(int fd, FrameType type, const void *payload,
+                std::size_t len);
+
+/** Blocking read of one frame. @return false on EOF/error/oversize. */
+bool readFrame(int fd, FrameType &type,
+               std::vector<unsigned char> &payload);
+
+/** A parsed frame produced by FrameDecoder. */
+struct Frame
+{
+    FrameType type = FrameType::Heartbeat;
+    std::vector<unsigned char> payload;
+};
+
+/**
+ * Incremental frame parser for the non-blocking supervisor side: feed
+ * whatever bytes arrived, then drain complete frames. A frame whose
+ * header advertises more than maxFramePayload poisons the decoder
+ * (corrupt() turns true and no further frames are produced) — the
+ * supervisor treats that worker as crashed.
+ */
+class FrameDecoder
+{
+  public:
+    void feed(const unsigned char *data, std::size_t len);
+
+    /** Extract the next complete frame. @return false when none. */
+    bool next(Frame &frame);
+
+    bool corrupt() const { return corrupted; }
+
+  private:
+    std::vector<unsigned char> buffer;
+    std::size_t consumed = 0;
+    bool corrupted = false;
+};
+
+/**
+ * Drain readable bytes from a non-blocking fd into `decoder`.
+ * @return false when the fd reached EOF or a hard error (worker gone);
+ * true when more data may arrive later (including EAGAIN).
+ */
+bool drainIntoDecoder(int fd, FrameDecoder &decoder);
+
+/** Set O_NONBLOCK on `fd`. @return false on fcntl failure. */
+bool setNonBlocking(int fd);
+
+} // namespace bfsim::subprocess
+
+#endif // BFSIM_COMMON_SUBPROCESS_HH_

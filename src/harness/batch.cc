@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +17,8 @@
 #include "common/sim_error.hh"
 #include "common/thread_pool.hh"
 #include "harness/fault.hh"
+#include "harness/journal.hh"
+#include "harness/process_pool.hh"
 #include "workloads/workload.hh"
 
 namespace bfsim::harness {
@@ -70,6 +73,9 @@ struct RunState
     BatchProgress progress;
     std::size_t total = 0;
     std::chrono::steady_clock::time_point batchStart;
+    /** Sweep journal for this batch (null when none configured).
+     * Shared so a zombie worker outliving runBatch keeps it valid. */
+    std::shared_ptr<SweepJournal> journal;
 
     /** Guards items/done/finished/abandoned and progress callbacks. */
     std::mutex mutex;
@@ -103,6 +109,11 @@ publish(RunState &state, std::size_t index, BatchItem item)
     std::lock_guard<std::mutex> lock(state.mutex);
     if (state.abandoned[index])
         return;
+    // Journal before announcing: once the progress line prints, a
+    // crash+resume must not recompute this job. Restored items carry
+    // `journaled` and are not rewritten.
+    if (state.journal && !item.failed && !item.journaled)
+        state.journal->append(state.jobs[index], item);
     state.items[index] = std::move(item);
     state.finished[index] = 1;
     ++state.done;
@@ -114,15 +125,13 @@ publish(RunState &state, std::size_t index, BatchItem item)
 void
 runJob(RunState &state, std::size_t index)
 {
-    const BatchJob &job = state.jobs[index];
-    BatchItem item;
-    item.label = job.label;
-    item.kind = job.kind;
-
     state.startNs[index].store(nsSinceStart(state) + 1,
                                std::memory_order_relaxed);
 
     if (state.stopRequested.load(std::memory_order_relaxed)) {
+        BatchItem item;
+        item.label = state.jobs[index].label;
+        item.kind = state.jobs[index].kind;
         item.failed = true;
         item.attempts = 0;
         item.error = "skipped: fail-fast stop after an earlier failure";
@@ -130,60 +139,8 @@ runJob(RunState &state, std::size_t index)
         return;
     }
 
-    const std::string workload_names = joinNames(job.workloads);
-    for (unsigned attempt = 1;; ++attempt) {
-        item.attempts = attempt;
-        auto start = std::chrono::steady_clock::now();
-        takeThreadCacheCounters(); // drop activity from earlier jobs
-        try {
-            // Fault scope = job ordinal: an injected `site:nth` fault
-            // hits job `nth` regardless of which worker runs it, so
-            // serial and parallel batches fail identically.
-            FaultScope fault_scope(index + 1);
-            SimJobScope job_scope(workload_names, job.label);
-            bool computed = true;
-            switch (job.kind) {
-              case BatchJob::Kind::Single:
-                item.single = &runSingleCached(job.workloads.at(0),
-                                               job.prefetcher,
-                                               job.options, &computed);
-                break;
-              case BatchJob::Kind::Mix:
-                item.mix = &runMixCached(job.workloads, job.prefetcher,
-                                         job.options, &computed);
-                break;
-              case BatchJob::Kind::Custom:
-                item.value = job.body ? job.body() : 0.0;
-                break;
-            }
-            item.cached = !computed;
-            item.failed = false;
-            item.error.clear();
-        } catch (const std::exception &error) {
-            item.failed = true;
-            item.error = error.what();
-        } catch (...) {
-            item.failed = true;
-            item.error = "non-standard exception";
-        }
-        item.seconds += secondsSince(start);
-        ThreadCacheCounters caches = takeThreadCacheCounters();
-        item.traceHits += caches.traceHits;
-        item.traceMisses += caches.traceMisses;
-        item.traceFallbacks += caches.traceFallbacks;
-        item.traceDiskHits += caches.traceDiskHits;
-        item.traceDiskMisses += caches.traceDiskMisses;
-        if (!item.failed || attempt > state.options.retries)
-            break;
-        // Simulation jobs are deterministic and their failed memo entry
-        // was evicted, so they retry immediately; Custom bodies may
-        // touch external state and get capped exponential backoff.
-        if (job.kind == BatchJob::Kind::Custom) {
-            long ms = std::min(25L << std::min(attempt - 1, 5u), 1000L);
-            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
-        }
-    }
-
+    BatchItem item = runJobAttempts(state.jobs[index], index + 1,
+                                    state.options.retries);
     if (item.failed && state.options.failFast)
         state.stopRequested.store(true, std::memory_order_relaxed);
     publish(state, index, std::move(item));
@@ -263,7 +220,170 @@ awaitJob(RunState &state, std::future<void> &future, std::size_t index,
     }
 }
 
+/**
+ * Registry of thread pools abandoned on deadline expiry. Each pool
+ * drains (its zombie worker finishes or hangs) on a background thread;
+ * historically that thread was detached outright, which let it race
+ * static destruction during process teardown. Now every drainer stays
+ * joinable here, and an atexit hook performs a *bounded* join: cleanly
+ * drained pools are reclaimed, genuinely wedged ones are detached with
+ * a warning — teardown is delayed by at most the timeout, never hung.
+ */
+class AbandonedPoolRegistry
+{
+  public:
+    void
+    add(ThreadPool *pool)
+    {
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        std::thread drainer([this, pool, done] {
+            delete pool; // blocks until the zombie worker returns
+            done->store(true);
+            cv.notify_all();
+        });
+        std::lock_guard<std::mutex> lock(mutex);
+        pools.push_back({std::move(drainer), std::move(done)});
+    }
+
+    /** Bounded join; returns pools still draining after the timeout. */
+    std::size_t
+    drain(double timeout_seconds)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait_for(
+            lock,
+            std::chrono::duration<double>(timeout_seconds),
+            [this] {
+                for (const Entry &entry : pools)
+                    if (!entry.done->load())
+                        return false;
+                return true;
+            });
+        std::size_t wedged = 0;
+        std::vector<Entry> keep;
+        for (Entry &entry : pools) {
+            if (entry.done->load()) {
+                entry.drainer.join();
+            } else {
+                ++wedged;
+                keep.push_back(std::move(entry));
+            }
+        }
+        pools = std::move(keep);
+        return wedged;
+    }
+
+    /** atexit: bounded join, then detach stragglers so teardown ends. */
+    void
+    drainAtExit()
+    {
+        if (drain(2.0) == 0)
+            return;
+        std::lock_guard<std::mutex> lock(mutex);
+        for (Entry &entry : pools) {
+            warn("abandoning a wedged batch worker at exit (its job "
+                 "never returned)");
+            entry.drainer.detach();
+        }
+        pools.clear();
+    }
+
+  private:
+    struct Entry
+    {
+        std::thread drainer;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<Entry> pools;
+};
+
+AbandonedPoolRegistry &
+abandonedPools()
+{
+    // Constructed before the atexit hook registers, so the hook runs
+    // before this static is destroyed.
+    static AbandonedPoolRegistry registry;
+    static const bool hooked = [] {
+        std::atexit([] { abandonedPools().drainAtExit(); });
+        return true;
+    }();
+    (void)hooked;
+    return registry;
+}
+
 } // namespace
+
+BatchItem
+runJobAttempts(const BatchJob &job, std::size_t ordinal, unsigned retries)
+{
+    BatchItem item;
+    item.label = job.label;
+    item.kind = job.kind;
+
+    const std::string workload_names = joinNames(job.workloads);
+    for (unsigned attempt = 1;; ++attempt) {
+        item.attempts = attempt;
+        auto start = std::chrono::steady_clock::now();
+        takeThreadCacheCounters(); // drop activity from earlier jobs
+        try {
+            // Fault scope = job ordinal: an injected `site:nth` fault
+            // hits job `nth` regardless of which worker runs it, so
+            // serial and parallel batches fail identically.
+            FaultScope fault_scope(ordinal);
+            SimJobScope job_scope(workload_names, job.label);
+            bool computed = true;
+            switch (job.kind) {
+              case BatchJob::Kind::Single:
+                item.single = &runSingleCached(job.workloads.at(0),
+                                               job.prefetcher,
+                                               job.options, &computed);
+                break;
+              case BatchJob::Kind::Mix:
+                item.mix = &runMixCached(job.workloads, job.prefetcher,
+                                         job.options, &computed);
+                break;
+              case BatchJob::Kind::Custom:
+                item.value = job.body ? job.body() : 0.0;
+                break;
+            }
+            item.cached = !computed;
+            item.failed = false;
+            item.error.clear();
+        } catch (const std::exception &error) {
+            item.failed = true;
+            item.error = error.what();
+        } catch (...) {
+            item.failed = true;
+            item.error = "non-standard exception";
+        }
+        item.seconds += secondsSince(start);
+        ThreadCacheCounters caches = takeThreadCacheCounters();
+        item.traceHits += caches.traceHits;
+        item.traceMisses += caches.traceMisses;
+        item.traceFallbacks += caches.traceFallbacks;
+        item.traceDiskHits += caches.traceDiskHits;
+        item.traceDiskMisses += caches.traceDiskMisses;
+        if (!item.failed || attempt > retries)
+            break;
+        // Simulation jobs are deterministic and their failed memo entry
+        // was evicted, so they retry immediately; Custom bodies may
+        // touch external state and get capped exponential backoff.
+        if (job.kind == BatchJob::Kind::Custom) {
+            long ms = std::min(25L << std::min(attempt - 1, 5u), 1000L);
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        }
+    }
+    return item;
+}
+
+std::size_t
+drainAbandonedPools(double timeoutSeconds)
+{
+    return abandonedPools().drain(timeoutSeconds);
+}
 
 BatchOptions
 BatchOptions::fromEnv()
@@ -286,6 +406,34 @@ BatchOptions::fromEnv()
             options.jobDeadlineSeconds = value;
         else
             warn("ignoring malformed BFSIM_JOB_DEADLINE value");
+    }
+    if (const char *env = std::getenv("BFSIM_ISOLATE")) {
+        std::string value(env);
+        if (value == "process")
+            options.isolate = IsolateMode::Process;
+        else if (value == "none" || value == "0" || value.empty())
+            options.isolate = IsolateMode::None;
+        else
+            warn("ignoring unknown BFSIM_ISOLATE value '" + value +
+                 "' (want process|none)");
+    }
+    if (const char *env = std::getenv("BFSIM_JOURNAL_DIR"))
+        options.journalDir = env;
+    if (const char *env = std::getenv("BFSIM_POISON_THRESHOLD")) {
+        char *end = nullptr;
+        unsigned long value = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && value > 0)
+            options.poisonThreshold = static_cast<unsigned>(value);
+        else
+            warn("ignoring malformed BFSIM_POISON_THRESHOLD value");
+    }
+    if (const char *env = std::getenv("BFSIM_HEARTBEAT_TIMEOUT")) {
+        char *end = nullptr;
+        double value = std::strtod(env, &end);
+        if (end && *end == '\0' && value >= 0.0)
+            options.heartbeatTimeoutSeconds = value;
+        else
+            warn("ignoring malformed BFSIM_HEARTBEAT_TIMEOUT value");
     }
     return options;
 }
@@ -382,10 +530,12 @@ defaultBatchProgress(const BatchItem &item, std::size_t done,
                      item.error.c_str());
         return;
     }
-    std::fprintf(stderr, "[%3zu/%zu] %s %.2fs%s%s\n", done, total,
+    std::fprintf(stderr, "[%3zu/%zu] %s %.2fs%s%s%s\n", done, total,
                  item.label.c_str(), item.seconds,
-                 item.cached ? " (cached)" : "",
-                 item.attempts > 1 ? " (retried)" : "");
+                 item.journaled ? " (journal)"
+                                : (item.cached ? " (cached)" : ""),
+                 item.attempts > 1 ? " (retried)" : "",
+                 item.crashes > 0 ? " (respawned worker)" : "");
 }
 
 BatchResult
@@ -396,6 +546,7 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned n_threads,
     if (n_threads == 0)
         n_threads = ThreadPool::defaultThreadCount();
     batch.threads = n_threads;
+    batch.isolate = options.isolate;
     if (jobs.empty())
         return batch;
 
@@ -415,22 +566,58 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned n_threads,
         std::vector<std::atomic<std::int64_t>>(jobs.size());
     state->batchStart = std::chrono::steady_clock::now();
 
-    const double deadline = options.jobDeadlineSeconds;
-    if (n_threads <= 1 && deadline <= 0.0) {
-        // Serial reference path: no pool, same code path per job.
+    // Checkpoint/resume: jobs already completed in this journal
+    // directory are restored (their results adopted into the memo
+    // cache) instead of recomputed, whichever backend runs the rest.
+    std::vector<std::size_t> pending;
+    pending.reserve(jobs.size());
+    if (!options.journalDir.empty()) {
+        state->journal =
+            std::make_shared<SweepJournal>(options.journalDir);
+        SweepJournal *journal = state->journal.get();
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            BatchItem item;
+            if (journal->restore(jobs[i], item))
+                publish(*state, i, std::move(item));
+            else
+                pending.push_back(i);
+        }
+    } else {
         for (std::size_t i = 0; i < jobs.size(); ++i)
+            pending.push_back(i);
+    }
+
+    const double deadline = options.jobDeadlineSeconds;
+    if (pending.empty()) {
+        // Fully restored from the journal; nothing to run.
+    } else if (options.isolate == IsolateMode::Process) {
+        ProcessPoolOptions pool_options;
+        pool_options.workers = n_threads;
+        pool_options.retries = options.retries;
+        pool_options.failFast = options.failFast;
+        pool_options.jobDeadlineSeconds = deadline;
+        pool_options.poisonThreshold = options.poisonThreshold;
+        pool_options.heartbeatTimeoutSeconds =
+            options.heartbeatTimeoutSeconds;
+        runProcessPool(state->jobs, pending, pool_options,
+                       [&state](std::size_t index, BatchItem item) {
+                           publish(*state, index, std::move(item));
+                       });
+    } else if (n_threads <= 1 && deadline <= 0.0) {
+        // Serial reference path: no pool, same code path per job.
+        for (std::size_t i : pending)
             runJob(*state, i);
     } else {
         // Deadlines need a waiter distinct from the worker, so the
         // pool path also serves n_threads == 1 when one is set.
         auto pool = std::make_unique<ThreadPool>(n_threads);
         std::vector<std::future<void>> futures;
-        futures.reserve(jobs.size());
-        for (std::size_t i = 0; i < jobs.size(); ++i)
+        futures.reserve(pending.size());
+        for (std::size_t i : pending)
             futures.push_back(
                 pool->submit([state, i] { runJob(*state, i); }));
-        for (std::size_t i = 0; i < futures.size(); ++i)
-            awaitJob(*state, futures[i], i, deadline);
+        for (std::size_t f = 0; f < futures.size(); ++f)
+            awaitJob(*state, futures[f], pending[f], deadline);
 
         bool any_abandoned = false;
         {
@@ -441,9 +628,11 @@ runBatch(const std::vector<BatchJob> &jobs, unsigned n_threads,
         if (any_abandoned) {
             // A zombie worker may be wedged inside its job; joining it
             // here would hang the batch exactly like the job it just
-            // isolated. Drain the pool on a detached thread instead —
-            // the zombie's closure keeps `state` alive via shared_ptr.
-            std::thread([p = pool.release()] { delete p; }).detach();
+            // isolated. Hand the pool to the abandoned-pool registry,
+            // which drains it on a background thread and joins that
+            // thread (bounded) at exit — the zombie's closure keeps
+            // `state` alive via shared_ptr either way.
+            abandonedPools().add(pool.release());
         }
     }
 

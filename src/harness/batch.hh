@@ -88,6 +88,32 @@ struct BatchItem
     std::string error;
     /** Attempts consumed: 1 = first try; 0 = skipped by fail-fast. */
     unsigned attempts = 0;
+    /**
+     * True when the result was restored from a sweep journal
+     * (BatchOptions::journalDir) instead of being computed this run.
+     */
+    bool journaled = false;
+    /**
+     * Worker processes this job killed (--isolate=process only): each
+     * crash redispatches the job until BatchOptions::poisonThreshold
+     * quarantines it as poison.
+     */
+    unsigned crashes = 0;
+};
+
+/** How runBatch executes its jobs. */
+enum class IsolateMode
+{
+    /** Worker threads in this process (the historical backend). */
+    None,
+    /**
+     * A pool of forked worker processes supervised over pipes
+     * (harness/process_pool): a job that segfaults, gets OOM-killed or
+     * wedges costs one worker respawn, not the batch. Results come back
+     * as length-prefixed frames and are adopted into this process's
+     * memo caches, so post-batch table assembly behaves identically.
+     */
+    Process,
 };
 
 /** Failure-handling policy for one runBatch call. */
@@ -100,15 +126,41 @@ struct BatchOptions
     /**
      * Per-job wall-clock budget in seconds, covering all of the job's
      * attempts (0 = unlimited). An over-budget job is marked failed and
-     * *abandoned*: the batch returns without it, and the worker wedged
-     * inside it is left to finish (or hang) on a detached drain thread.
+     * *abandoned*: in-process, the batch returns without it and the
+     * wedged worker thread drains in the background (see
+     * drainAbandonedPools); under --isolate=process the worker is
+     * simply killed and respawned.
      */
     double jobDeadlineSeconds = 0.0;
+    /** Execution backend (BFSIM_ISOLATE / --isolate). */
+    IsolateMode isolate = IsolateMode::None;
+    /**
+     * Sweep journal directory ("" = no journal). Every completed job is
+     * appended as a crash-safe record (tmp+fsync+rename); a rerun of
+     * the same jobs against the same directory restores those results
+     * (BatchItem::journaled) instead of recomputing them.
+     */
+    std::string journalDir;
+    /**
+     * Worker crashes a single job may cause before it is quarantined as
+     * poison (failed without further redispatch). Process backend only.
+     */
+    unsigned poisonThreshold = 3;
+    /**
+     * Seconds without any frame (heartbeat or result) from a worker
+     * with a job in flight before the supervisor declares it wedged,
+     * kills it and treats the job as having crashed the worker.
+     * 0 disables the heartbeat watchdog. Process backend only.
+     */
+    double heartbeatTimeoutSeconds = 30.0;
 
     /**
      * Defaults from the environment: BFSIM_RETRIES (count),
      * BFSIM_FAIL_FAST (any value but 0 enables), BFSIM_JOB_DEADLINE
-     * (seconds, fractional allowed).
+     * (seconds, fractional allowed), BFSIM_ISOLATE ("process" enables
+     * the forked-worker backend), BFSIM_JOURNAL_DIR (sweep journal
+     * directory), BFSIM_POISON_THRESHOLD (crash quarantine count),
+     * BFSIM_HEARTBEAT_TIMEOUT (seconds, 0 disables).
      */
     static BatchOptions fromEnv();
 };
@@ -122,6 +174,18 @@ struct BatchResult
     double wallSeconds = 0.0;
     /** Sum of per-job worker seconds (serial-equivalent cost). */
     double cpuSeconds = 0.0;
+    /** Backend that executed the batch (for report provenance). */
+    IsolateMode isolate = IsolateMode::None;
+
+    /** Items restored from the sweep journal instead of computed. */
+    std::size_t
+    journaled() const
+    {
+        std::size_t count = 0;
+        for (const BatchItem &item : items)
+            count += item.journaled ? 1 : 0;
+        return count;
+    }
 
     /** Measured wall-clock speedup over the serial-equivalent cost. */
     double
@@ -185,6 +249,28 @@ BatchResult runBatch(const std::vector<BatchJob> &jobs,
                      unsigned n_threads = 0,
                      const BatchProgress &progress = defaultBatchProgress,
                      const BatchOptions &options = BatchOptions::fromEnv());
+
+/**
+ * Run one job through all its permitted attempts on the calling thread
+ * and return the outcome (never throws; failures land in the item).
+ * `ordinal` is the job's 1-based batch position, used as the fault
+ * scope so injected `site:nth` faults strike deterministically. This is
+ * the single execution path shared by every backend: in-process batch
+ * workers, forked --isolate=process workers and the bfsimd daemon all
+ * funnel through it, which is what keeps their results byte-identical.
+ */
+BatchItem runJobAttempts(const BatchJob &job, std::size_t ordinal,
+                         unsigned retries);
+
+/**
+ * Join the background threads draining thread pools that runBatch
+ * abandoned on a job-deadline expiry. Returns the number of pools
+ * still wedged after `timeoutSeconds`. Called automatically at process
+ * exit (bounded, with a warning for stragglers) so an abandoned pool
+ * can never race static destruction; exposed for tests and for
+ * long-lived services that want to reap between sweeps.
+ */
+std::size_t drainAbandonedPools(double timeoutSeconds);
 
 } // namespace bfsim::harness
 

@@ -150,6 +150,36 @@ class FutureCache
         return entry->future.get();
     }
 
+    /**
+     * Install an already-computed value under `key` without running (or
+     * counting) a compute. First writer wins: if the key already holds
+     * an entry — cached or currently being computed — that entry's
+     * value is returned and `value` is discarded; both sides are
+     * products of the same deterministic simulation.
+     */
+    const Result &
+    adopt(const std::string &key, Result value)
+    {
+        std::shared_ptr<Entry> entry;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            auto it = entries.find(key);
+            if (it == entries.end()) {
+                entry = std::make_shared<Entry>();
+                entries.emplace(key, entry);
+                owner = true;
+            } else {
+                entry = it->second;
+            }
+        }
+        if (owner) {
+            ++adopted;
+            entry->promise.set_value(std::move(value));
+        }
+        return entry->future.get();
+    }
+
     void
     clear()
     {
@@ -157,6 +187,7 @@ class FutureCache
         entries.clear();
         computes = 0;
         hits = 0;
+        adopted = 0;
     }
 
     /**
@@ -183,6 +214,7 @@ class FutureCache
 
     std::uint64_t computeCount() const { return computes.load(); }
     std::uint64_t hitCount() const { return hits.load(); }
+    std::uint64_t adoptCount() const { return adopted.load(); }
 
   private:
     struct Entry
@@ -196,6 +228,7 @@ class FutureCache
     std::map<std::string, std::shared_ptr<Entry>> entries;
     std::atomic<std::uint64_t> computes{0};
     std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> adopted{0};
 };
 
 FutureCache<SingleResult> &
@@ -635,6 +668,27 @@ runSampledMix(const std::vector<std::string> &workload_names,
     return result;
 }
 
+/** The memo key runSingleCached and adoptSingleResult agree on. */
+std::string
+singleMemoKey(const std::string &workload_name, const std::string &kind,
+              const RunOptions &options)
+{
+    return workload_name + '|' + sim::prefetcherName(kind) + '|' +
+           options.cacheKey();
+}
+
+/** The memo key runMixCached and adoptMixResult agree on. */
+std::string
+mixMemoKey(const std::vector<std::string> &workload_names,
+           const std::string &kind, const RunOptions &options)
+{
+    std::string key = sim::prefetcherName(kind) + '|' +
+                      options.cacheKey();
+    for (const auto &name : workload_names)
+        key += '|' + name;
+    return key;
+}
+
 } // namespace
 
 SingleResult
@@ -680,13 +734,19 @@ const SingleResult &
 runSingleCached(const std::string &workload_name, const std::string &kind,
                 const RunOptions &options, bool *computed)
 {
-    std::string key = workload_name + '|' +
-                      sim::prefetcherName(kind) + '|' +
-                      options.cacheKey();
     return singleCache().getOrCompute(
-        key,
+        singleMemoKey(workload_name, kind, options),
         [&] { return runSingle(workload_name, kind, options); },
         computed);
+}
+
+const SingleResult &
+adoptSingleResult(const std::string &workload_name,
+                  const std::string &kind, const RunOptions &options,
+                  SingleResult result)
+{
+    return singleCache().adopt(singleMemoKey(workload_name, kind, options),
+                               std::move(result));
 }
 
 MixResult
@@ -743,14 +803,19 @@ runMixCached(const std::vector<std::string> &workload_names,
              const std::string &kind, const RunOptions &options,
              bool *computed)
 {
-    std::string key = sim::prefetcherName(kind) + '|' +
-                      options.cacheKey();
-    for (const auto &name : workload_names)
-        key += '|' + name;
     return mixCache().getOrCompute(
-        key,
+        mixMemoKey(workload_names, kind, options),
         [&] { return runMix(workload_names, kind, options); },
         computed);
+}
+
+const MixResult &
+adoptMixResult(const std::vector<std::string> &workload_names,
+               const std::string &kind, const RunOptions &options,
+               MixResult result)
+{
+    return mixCache().adopt(mixMemoKey(workload_names, kind, options),
+                            std::move(result));
 }
 
 MemoStats
@@ -761,6 +826,8 @@ memoStats()
     stats.singleHits = singleCache().hitCount();
     stats.mixComputes = mixCache().computeCount();
     stats.mixHits = mixCache().hitCount();
+    stats.singleAdopts = singleCache().adoptCount();
+    stats.mixAdopts = mixCache().adoptCount();
     return stats;
 }
 
@@ -829,6 +896,28 @@ persistTraceStore()
             ++written;
     }
     return written;
+}
+
+void
+warmSharedTrace(const std::string &workload_name,
+                const RunOptions &options)
+{
+    if (!traceCacheEnabled())
+        return;
+    try {
+        const workloads::Workload &workload =
+            workloads::workloadByName(workload_name);
+        bool computed = false;
+        std::shared_ptr<sim::TraceBuffer> buffer = acquireSharedBuffer(
+            workload_name, workload, options, &computed);
+        if (computed)
+            ++threadCacheCounters.traceMisses;
+        buffer->ensure(options.instructions);
+    } catch (const SimError &) {
+        // Warming is purely an optimization: the run that needs this
+        // trace will retry acquisition itself and fall back to a live
+        // source with bit-identical results.
+    }
 }
 
 ThreadCacheCounters

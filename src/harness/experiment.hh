@@ -170,6 +170,30 @@ const MixResult &runMixCached(const std::vector<std::string> &workload_names,
                               const RunOptions &options = {},
                               bool *computed = nullptr);
 
+/**
+ * Install an externally computed result into the memo cache under the
+ * same key runSingleCached would use, returning the interned (stable)
+ * reference. Used by the process-isolation backend and the sweep
+ * journal: a result computed in a worker process or restored from disk
+ * is adopted here so later lookups (post-batch table assembly,
+ * speedupVsBaseline) are memo hits — never recomputes — and so
+ * BatchItem::single pointers have memo-cache lifetime.
+ *
+ * If the key is already cached the existing value wins (the adopter's
+ * copy is dropped) — both were produced by the same deterministic
+ * simulation, so they are interchangeable. Adoption counts as neither a
+ * compute nor a hit; see MemoStats::singleAdopts.
+ */
+const SingleResult &adoptSingleResult(const std::string &workload_name,
+                                      const std::string &kind,
+                                      const RunOptions &options,
+                                      SingleResult result);
+
+/** Mix-flavoured adoption; see adoptSingleResult. */
+const MixResult &adoptMixResult(
+    const std::vector<std::string> &workload_names,
+    const std::string &kind, const RunOptions &options, MixResult result);
+
 /** Counters describing memo-cache behaviour since the last clear. */
 struct MemoStats
 {
@@ -181,6 +205,10 @@ struct MemoStats
     std::uint64_t mixComputes = 0;
     /** runMixCached lookups satisfied without a new simulation. */
     std::uint64_t mixHits = 0;
+    /** Results installed by adoptSingleResult (worker/journal imports). */
+    std::uint64_t singleAdopts = 0;
+    /** Results installed by adoptMixResult (worker/journal imports). */
+    std::uint64_t mixAdopts = 0;
 };
 
 /** Snapshot of the memo-cache counters. */
@@ -262,6 +290,21 @@ ThreadCacheCounters takeThreadCacheCounters();
  * of up-to-date artifacts are skipped. @return artifacts written.
  */
 std::size_t persistTraceStore();
+
+/**
+ * Fully materialise the shared trace buffer for (workload, budget):
+ * acquire it through the trace cache (seeding from the on-disk store
+ * when configured) and decode/execute the whole instruction budget now.
+ *
+ * The process-isolation backend calls this in the supervisor before
+ * forking workers: forked children inherit the materialised buffer via
+ * copy-on-write, so N workers replay one decode instead of each
+ * lazily re-decoding (or worse, re-capturing) the same stream. A
+ * no-op when the trace cache is disabled; acquisition failures are
+ * swallowed (workers fall back to live sources, bit-identically).
+ */
+void warmSharedTrace(const std::string &workload_name,
+                     const RunOptions &options);
 
 /**
  * Drop all memoized results and reset the counters. Test support only:

@@ -1,0 +1,288 @@
+#include "harness/journal.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/checksum.hh"
+#include "common/log.hh"
+#include "common/sim_error.hh"
+#include "harness/wire.hh"
+#include "sim/cmp.hh"
+
+namespace fs = std::filesystem;
+
+namespace bfsim::harness {
+
+namespace {
+
+/** "BFJR" little-endian: Branch-Fetch Journal Record. */
+constexpr std::uint32_t recordMagic = 0x524a4642u;
+constexpr std::uint32_t recordVersion = 1;
+
+std::string
+recordFileName(std::uint64_t key)
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "rec-%016llx.rec",
+                  static_cast<unsigned long long>(key));
+    return name;
+}
+
+const char *
+kindName(BatchJob::Kind kind)
+{
+    switch (kind) {
+      case BatchJob::Kind::Single: return "single";
+      case BatchJob::Kind::Mix: return "mix";
+      case BatchJob::Kind::Custom: return "custom";
+    }
+    return "?";
+}
+
+/**
+ * Write `bytes` to `path` durably: pid-suffixed temp file in the same
+ * directory, fsync, rename into place, fsync the directory. Any step
+ * failing cleans up the temp file and reports failure.
+ */
+bool
+writeDurably(const fs::path &path, const std::vector<unsigned char> &bytes)
+{
+    fs::path tmp = path;
+    tmp += ".tmp." + std::to_string(::getpid());
+
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0)
+        return false;
+    const unsigned char *data = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, data, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        data += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    ::close(fd);
+
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+
+    // Make the rename itself durable. Best effort: a journal whose
+    // directory entry evaporates in a power cut merely recomputes.
+    int dir_fd = ::open(path.parent_path().c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dir_fd >= 0) {
+        ::fsync(dir_fd);
+        ::close(dir_fd);
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+SweepJournal::jobKeyString(const BatchJob &job)
+{
+    std::ostringstream os;
+    os << kindName(job.kind) << '|' << job.label;
+    if (job.kind != BatchJob::Kind::Custom) {
+        os << '|' << sim::prefetcherName(job.prefetcher);
+        for (const std::string &workload : job.workloads)
+            os << '|' << workload;
+        os << '|' << job.options.cacheKey();
+    }
+    return os.str();
+}
+
+std::uint64_t
+SweepJournal::jobKey(const BatchJob &job)
+{
+    std::string text = jobKeyString(job);
+    return Fnv1a64().update(text.data(), text.size()).value();
+}
+
+SweepJournal::SweepJournal(std::string directory) : dir(std::move(directory))
+{
+    if (dir.empty())
+        return;
+
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        throw SimError("journal", "cannot create journal directory '" +
+                                      dir + "': " + ec.message());
+    }
+
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir, ec)) {
+        if (ec)
+            break;
+        const fs::path &path = entry.path();
+        if (path.extension() != ".rec")
+            continue;
+
+        std::ifstream in(path, std::ios::binary);
+        std::vector<unsigned char> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        if (!in.good() && !in.eof()) {
+            ++corrupt;
+            continue;
+        }
+
+        // Seal check first: the CRC covers everything before itself.
+        if (bytes.size() < 4) {
+            ++corrupt;
+            continue;
+        }
+        std::size_t body = bytes.size() - 4;
+        wire::Reader crc_reader(bytes.data() + body, 4);
+        if (crc_reader.u32() != crc32c(bytes.data(), body)) {
+            ++corrupt;
+            continue;
+        }
+
+        try {
+            wire::Reader r(bytes.data(), body);
+            if (r.u32() != recordMagic || r.u32() != recordVersion) {
+                ++corrupt;
+                continue;
+            }
+            std::uint64_t key = r.u64();
+            std::string key_string = r.str();
+            std::uint32_t payload_len = r.u32();
+            if (payload_len != r.remaining()) {
+                ++corrupt;
+                continue;
+            }
+            std::vector<unsigned char> payload(
+                bytes.begin() + (body - payload_len),
+                bytes.begin() + body);
+            // Probe-decode now so a record that cannot decode is
+            // counted at load time, not discovered mid-restore.
+            wire::Reader probe(payload.data(), payload.size());
+            wire::decodeBatchItem(probe);
+            records[key] = {std::move(key_string), std::move(payload)};
+            ++loaded;
+        } catch (const SimError &) {
+            ++corrupt;
+        }
+    }
+    if (corrupt > 0) {
+        warn("journal '" + dir + "': skipped " +
+             std::to_string(corrupt) + " corrupt record file(s)");
+    }
+}
+
+bool
+SweepJournal::restore(const BatchJob &job, BatchItem &item)
+{
+    if (!enabled())
+        return false;
+
+    std::string key_string = jobKeyString(job);
+    std::uint64_t key =
+        Fnv1a64().update(key_string.data(), key_string.size()).value();
+
+    std::vector<unsigned char> payload;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = records.find(key);
+        if (it == records.end())
+            return false;
+        // Hash-collision guard: the stored identity must match exactly.
+        if (it->second.first != key_string)
+            return false;
+        payload = it->second.second;
+    }
+
+    try {
+        wire::Reader r(payload.data(), payload.size());
+        wire::DecodedItem decoded = wire::decodeBatchItem(r);
+        if (decoded.item.failed)
+            return false; // never written, but never trust a record
+        if (decoded.item.kind != job.kind)
+            return false;
+        item = decoded.item;
+        if (decoded.single) {
+            item.single = &adoptSingleResult(
+                job.workloads.at(0), job.prefetcher, job.options,
+                std::move(*decoded.single));
+        }
+        if (decoded.mix) {
+            item.mix = &adoptMixResult(job.workloads, job.prefetcher,
+                                       job.options,
+                                       std::move(*decoded.mix));
+        }
+    } catch (const SimError &error) {
+        warn(std::string("journal record for '") + job.label +
+             "' unusable (" + error.what() + "); recomputing");
+        return false;
+    }
+    item.journaled = true;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++restored;
+    }
+    return true;
+}
+
+bool
+SweepJournal::append(const BatchJob &job, const BatchItem &item)
+{
+    if (!enabled() || item.failed)
+        return false;
+
+    std::string key_string = jobKeyString(job);
+    std::uint64_t key =
+        Fnv1a64().update(key_string.data(), key_string.size()).value();
+
+    wire::Writer w;
+    w.u32(recordMagic);
+    w.u32(recordVersion);
+    w.u64(key);
+    w.str(key_string);
+    wire::Writer payload;
+    wire::encodeBatchItem(payload, item);
+    w.blob(payload.bytes().data(), payload.bytes().size());
+    std::vector<unsigned char> bytes = w.take();
+    std::uint32_t crc = crc32c(bytes.data(), bytes.size());
+    for (int i = 0; i < 4; ++i)
+        bytes.push_back(static_cast<unsigned char>(crc >> (i * 8)));
+
+    if (!writeDurably(fs::path(dir) / recordFileName(key), bytes)) {
+        warn("journal '" + dir + "': failed to persist record for '" +
+             job.label + "' (will recompute on resume)");
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex);
+    records[key] = {std::move(key_string), payload.take()};
+    ++written;
+    return true;
+}
+
+} // namespace bfsim::harness

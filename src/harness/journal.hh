@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Crash-safe sweep journal: checkpoint/resume for runBatch.
+ *
+ * A sweep pointed at a journal directory (BatchOptions::journalDir /
+ * --journal / BFSIM_JOURNAL_DIR) appends one record per completed job;
+ * a rerun of the same jobs against the same directory restores those
+ * results — adopted into the memo cache, marked BatchItem::journaled —
+ * instead of recomputing them. Kill the process at ANY point (including
+ * SIGKILL, which no handler can soften) and the journal holds exactly
+ * the jobs that finished: resume recomputes only what was in flight.
+ *
+ * Durability model, chosen for the failure it must survive (a dying
+ * *writer*):
+ *  - one file per record, so records never share a write and a torn
+ *    record can never take a committed neighbour with it;
+ *  - each record is written to a pid-suffixed temp name, fsync'd,
+ *    rename(2)'d into place, and the directory fsync'd — the record is
+ *    either completely there under its final name or not there at all;
+ *  - every record carries magic, version and a trailing CRC-32C, so a
+ *    record from a stale layout or a corrupted disk is *skipped* (and
+ *    counted) rather than trusted.
+ *
+ * Identity: records are keyed by FNV-1a-64 of the job's semantic
+ * identity — kind, label, prefetcher spec, workloads and the full
+ * RunOptions cache key — so a journal written for one sweep
+ * configuration is inert for any other. Custom jobs are identified by
+ * label alone (their body is opaque); reusing a label across different
+ * custom computations in one journal directory is on the caller.
+ * Failed jobs are never journaled: a resume retries them.
+ */
+
+#ifndef BFSIM_HARNESS_JOURNAL_HH_
+#define BFSIM_HARNESS_JOURNAL_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/batch.hh"
+
+namespace bfsim::harness {
+
+class SweepJournal
+{
+  public:
+    /**
+     * Open (creating if needed) the journal at `directory` and load
+     * every valid record. An empty directory string disables the
+     * journal: restore() never matches, append() is a no-op.
+     * Directory-creation failure throws SimError("journal"); corrupt
+     * or foreign record files are skipped and counted, never fatal.
+     */
+    explicit SweepJournal(std::string directory);
+
+    bool enabled() const { return !dir.empty(); }
+    const std::string &directory() const { return dir; }
+
+    /** The human-readable identity a job is journaled under. */
+    static std::string jobKeyString(const BatchJob &job);
+    /** FNV-1a-64 of jobKeyString (the record filename stem). */
+    static std::uint64_t jobKey(const BatchJob &job);
+
+    /**
+     * If the journal holds a record for `job`, rebuild its BatchItem —
+     * adopting the embedded Single/Mix result into the memo cache so
+     * `item.single`/`item.mix` get stable storage and later lookups hit
+     * — set `item.journaled`, and return true. False: not recorded (or
+     * the record was corrupt), caller computes.
+     */
+    bool restore(const BatchJob &job, BatchItem &item);
+
+    /**
+     * Persist a completed item (crash-safe; see file comment). Failed
+     * items are refused. Returns false when disabled, refused, or the
+     * write failed (a journal write failure degrades the journal, never
+     * the sweep — the item simply gets recomputed on resume).
+     */
+    bool append(const BatchJob &job, const BatchItem &item);
+
+    /** Valid records found by the constructor's load. */
+    std::size_t loadedCount() const { return loaded; }
+    /** Records append() durably wrote this run. */
+    std::size_t writtenCount() const { return written; }
+    /** Record files skipped as corrupt/foreign during load. */
+    std::size_t corruptCount() const { return corrupt; }
+    /** Jobs restore() satisfied this run. */
+    std::size_t restoredCount() const { return restored; }
+
+  private:
+    std::string dir;
+    std::mutex mutex;
+    /** jobKey -> (key string, encodeBatchItem payload). */
+    std::map<std::uint64_t,
+             std::pair<std::string, std::vector<unsigned char>>>
+        records;
+    std::size_t loaded = 0;
+    std::size_t written = 0;
+    std::size_t corrupt = 0;
+    std::size_t restored = 0;
+};
+
+} // namespace bfsim::harness
+
+#endif // BFSIM_HARNESS_JOURNAL_HH_

@@ -1,0 +1,665 @@
+#include "harness/process_pool.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/fault.hh"
+#include "common/log.hh"
+#include "common/sim_error.hh"
+#include "common/signal_util.hh"
+#include "common/subprocess.hh"
+#include "harness/experiment.hh"
+#include "harness/fault.hh"
+#include "harness/journal.hh"
+#include "harness/wire.hh"
+
+namespace bfsim::harness {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+std::int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * The injected worker-crash fault (BFSIM_FAULT=crash:nth): raise the
+ * configured fatal signal, default SIGSEGV, killing this worker the way
+ * a real wild pointer would. BFSIM_CRASH_SIGNAL: segv|kill|abort.
+ */
+[[noreturn]] void
+raiseCrashSignal()
+{
+    int sig = SIGSEGV;
+    if (const char *env = std::getenv("BFSIM_CRASH_SIGNAL")) {
+        std::string name(env);
+        if (name == "kill")
+            sig = SIGKILL;
+        else if (name == "abort")
+            sig = SIGABRT;
+    }
+    // Restore the default disposition first: the harness may have
+    // installed counting handlers, and this must actually kill us.
+    std::signal(sig, SIG_DFL);
+    ::raise(sig);
+    ::_exit(101); // unreachable unless the signal was blocked
+}
+
+/**
+ * Worker process main loop. Never returns: reads Job frames off
+ * `job_fd`, executes them through the same runJobAttempts path as every
+ * other backend, writes Result frames to `result_fd`, and exits via
+ * _exit on an Exit frame or parent death (job pipe EOF).
+ *
+ * A heartbeat thread writes a frame ~4 times a second so the supervisor
+ * can tell "long job" from "wedged worker". All result-fd writes are
+ * serialized by a mutex so heartbeat and result frames never interleave
+ * mid-frame.
+ */
+[[noreturn]] void
+workerMain(const std::vector<BatchJob> &jobs, int job_fd, int result_fd)
+{
+    // Shutdown is the supervisor's job: a terminal ^C signals the whole
+    // process group, and a worker that died to SIGINT would read as a
+    // crash. Ignore, finish the current job, and wait for Exit.
+    std::signal(SIGINT, SIG_IGN);
+    std::signal(SIGTERM, SIG_IGN);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::mutex write_mutex;
+    std::atomic<bool> running{true};
+    std::thread heartbeat([&] {
+        while (running.load(std::memory_order_relaxed)) {
+            {
+                std::lock_guard<std::mutex> lock(write_mutex);
+                if (!subprocess::writeFrame(
+                        result_fd, subprocess::FrameType::Heartbeat,
+                        nullptr, 0)) {
+                    break; // supervisor is gone; the main loop will see EOF
+                }
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        }
+    });
+
+    {
+        std::lock_guard<std::mutex> lock(write_mutex);
+        subprocess::writeFrame(result_fd, subprocess::FrameType::Hello,
+                               nullptr, 0);
+    }
+
+    for (;;) {
+        subprocess::FrameType type;
+        std::vector<unsigned char> payload;
+        if (!subprocess::readFrame(job_fd, type, payload))
+            break; // supervisor died; exit quietly
+        if (type == subprocess::FrameType::Exit)
+            break;
+        if (type != subprocess::FrameType::Job || payload.size() != 8)
+            continue;
+
+        wire::Reader reader(payload);
+        std::size_t index = reader.u32();
+        unsigned retries = reader.u32();
+        if (index >= jobs.size())
+            continue;
+
+        {
+            // The crash fault site lives here — in the worker, inside
+            // the job's fault scope — and nowhere else: in-process
+            // backends never check it, because there the "recovery"
+            // would be losing the whole batch.
+            FaultScope fault_scope(index + 1);
+            if (fault::shouldFail(fault::Site::WorkerCrash))
+                raiseCrashSignal();
+        }
+
+        BatchItem item = runJobAttempts(jobs[index], index + 1, retries);
+
+        wire::Writer w;
+        w.u32(static_cast<std::uint32_t>(index));
+        wire::encodeBatchItem(w, item);
+        std::lock_guard<std::mutex> lock(write_mutex);
+        if (!subprocess::writeFrame(result_fd,
+                                    subprocess::FrameType::Result,
+                                    w.bytes().data(),
+                                    w.bytes().size())) {
+            break;
+        }
+    }
+
+    running.store(false, std::memory_order_relaxed);
+    heartbeat.join();
+    // Persist captured traces so a resumed/parallel sweep finds them on
+    // disk; the supervisor never executed anything, so this is the only
+    // place worker capture work can reach the store.
+    persistTraceStore();
+    std::fflush(nullptr);
+    // _exit, not exit: static destructors of the forked image would run
+    // against copy-on-write state the parent still owns.
+    ::_exit(0);
+}
+
+struct WorkerSlot
+{
+    pid_t pid = -1;
+    int jobFd = -1;    ///< supervisor -> worker (blocking writes)
+    int resultFd = -1; ///< worker -> supervisor (non-blocking reads)
+    subprocess::FrameDecoder decoder;
+    bool alive = false;
+    std::size_t jobIndex = npos; ///< in-flight job (npos = idle)
+    std::int64_t lastFrameNs = 0;
+    std::int64_t respawnAtNs = 0;
+    unsigned consecutiveCrashes = 0;
+    /** In-flight job already resolved (deadline); EOF is not a crash. */
+    bool pardonNextDeath = false;
+};
+
+/** Everything the supervision loop tracks about one runProcessPool. */
+struct Supervisor
+{
+    const std::vector<BatchJob> &jobs;
+    const ProcessPoolOptions &options;
+    const ProcessPublish &publish;
+
+    std::vector<WorkerSlot> slots;
+    std::deque<std::size_t> queue;
+    std::vector<char> resolved;
+    std::vector<unsigned> crashes;
+    std::vector<std::int64_t> firstDispatchNs;
+    /** Identity -> resolved-successfully, for duplicate-job dedup. */
+    std::map<std::string, char> identityDone;
+    std::size_t remaining = 0;
+    bool stopDispatch = false; ///< fail-fast or drain: no new dispatches
+    bool interrupted = false;
+
+    Supervisor(const std::vector<BatchJob> &jobs,
+               const ProcessPoolOptions &options,
+               const ProcessPublish &publish)
+        : jobs(jobs), options(options), publish(publish)
+    {
+        resolved.assign(jobs.size(), 0);
+        crashes.assign(jobs.size(), 0);
+        firstDispatchNs.assign(jobs.size(), 0);
+    }
+
+    void
+    resolve(std::size_t index, BatchItem item)
+    {
+        if (resolved[index])
+            return;
+        resolved[index] = 1;
+        --remaining;
+        if (!item.failed &&
+            jobs[index].kind != BatchJob::Kind::Custom) {
+            identityDone[SweepJournal::jobKeyString(jobs[index])] = 1;
+        }
+        if (item.failed && options.failFast)
+            stopDispatch = true;
+        publish(index, std::move(item));
+    }
+
+    BatchItem
+    failureItem(std::size_t index, std::string error) const
+    {
+        BatchItem item;
+        item.label = jobs[index].label;
+        item.kind = jobs[index].kind;
+        item.failed = true;
+        item.error = std::move(error);
+        item.crashes = crashes[index];
+        // Attempts mirror the in-process backend: 0 = never started
+        // (skipped), otherwise one per dispatch of this job.
+        item.attempts =
+            crashes[index] > 0
+                ? crashes[index]
+                : (firstDispatchNs[index] != 0 ? 1u : 0u);
+        if (firstDispatchNs[index] != 0) {
+            item.seconds =
+                static_cast<double>(nowNs() - firstDispatchNs[index]) /
+                1e9;
+        }
+        return item;
+    }
+
+    bool
+    spawn(WorkerSlot &slot)
+    {
+        subprocess::Pipe job_pipe, result_pipe;
+        if (!job_pipe.open())
+            return false;
+        if (!result_pipe.open()) {
+            job_pipe.close();
+            return false;
+        }
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            job_pipe.close();
+            result_pipe.close();
+            warn(std::string("worker fork failed: ") +
+                 std::strerror(errno));
+            return false;
+        }
+        if (pid == 0) {
+            job_pipe.closeWrite();
+            result_pipe.closeRead();
+            workerMain(jobs, job_pipe.readFd, result_pipe.writeFd);
+        }
+        job_pipe.closeRead();
+        result_pipe.closeWrite();
+        subprocess::setNonBlocking(result_pipe.readFd);
+        slot.pid = pid;
+        slot.jobFd = job_pipe.writeFd;
+        slot.resultFd = result_pipe.readFd;
+        slot.decoder = subprocess::FrameDecoder{};
+        slot.alive = true;
+        slot.jobIndex = npos;
+        slot.lastFrameNs = nowNs();
+        slot.pardonNextDeath = false;
+        return true;
+    }
+
+    void
+    closeSlot(WorkerSlot &slot)
+    {
+        if (slot.jobFd >= 0)
+            ::close(slot.jobFd);
+        if (slot.resultFd >= 0)
+            ::close(slot.resultFd);
+        slot.jobFd = -1;
+        slot.resultFd = -1;
+        slot.alive = false;
+        slot.pid = -1;
+    }
+
+    /**
+     * The worker behind `slot` died (pipe EOF or failed write). Reap
+     * it, account the in-flight job (crash, poison, or pardoned), and
+     * schedule the respawn backoff.
+     */
+    void
+    handleDeath(WorkerSlot &slot)
+    {
+        int status = 0;
+        std::string cause = "vanished";
+        if (slot.pid > 0 && ::waitpid(slot.pid, &status, 0) == slot.pid)
+            cause = signal_util::describeWaitStatus(status);
+
+        std::size_t index = slot.jobIndex;
+        slot.jobIndex = npos;
+        bool pardoned = slot.pardonNextDeath;
+        closeSlot(slot);
+
+        if (index == npos || resolved[index] || pardoned) {
+            // Idle death (e.g. after Exit) or a kill we already
+            // accounted: no job consequences, no backoff escalation.
+            // A pardoned worker can still carry an unresolved job if a
+            // dispatch raced its SIGKILL and the Job frame landed in
+            // the pipe buffer; drop that job back on the queue or it
+            // leaks and the pool never drains.
+            if (index != npos && !resolved[index])
+                queue.push_front(index);
+            return;
+        }
+
+        ++crashes[index];
+        ++slot.consecutiveCrashes;
+        std::int64_t backoff_ms = std::min<std::int64_t>(
+            20LL << std::min(slot.consecutiveCrashes - 1, 6u), 1000);
+        slot.respawnAtNs = nowNs() + backoff_ms * 1'000'000;
+
+        if (crashes[index] >= options.poisonThreshold) {
+            warn("job '" + jobs[index].label +
+                 "' quarantined as poison: crashed its worker " +
+                 std::to_string(crashes[index]) + " time(s) (last: " +
+                 cause + ")");
+            resolve(index,
+                    failureItem(index,
+                                "quarantined as poison after " +
+                                    std::to_string(crashes[index]) +
+                                    " worker crash(es); last worker " +
+                                    cause));
+        } else {
+            warn("worker running '" + jobs[index].label + "' " + cause +
+                 "; respawning and retrying the job");
+            queue.push_front(index); // retry promptly, preserving order
+        }
+    }
+
+    /**
+     * Process every complete frame `slot` has buffered. Result frames
+     * resolve jobs: the embedded Single/Mix result is adopted into the
+     * memo cache so the published item's pointers are stable and later
+     * lookups under the same key are hits.
+     */
+    void
+    processFrames(WorkerSlot &slot)
+    {
+        subprocess::Frame frame;
+        while (slot.decoder.next(frame)) {
+            slot.lastFrameNs = nowNs();
+            if (frame.type != subprocess::FrameType::Result)
+                continue; // Hello/Heartbeat: liveness only
+            try {
+                wire::Reader reader(frame.payload);
+                std::size_t index = reader.u32();
+                if (index >= jobs.size())
+                    continue;
+                wire::DecodedItem decoded = wire::decodeBatchItem(reader);
+                const BatchJob &job = jobs[index];
+                BatchItem item = std::move(decoded.item);
+                if (decoded.single) {
+                    item.single = &adoptSingleResult(
+                        job.workloads.at(0), job.prefetcher, job.options,
+                        std::move(*decoded.single));
+                }
+                if (decoded.mix) {
+                    item.mix = &adoptMixResult(job.workloads,
+                                               job.prefetcher,
+                                               job.options,
+                                               std::move(*decoded.mix));
+                }
+                item.crashes = crashes[index];
+                if (slot.jobIndex == index)
+                    slot.jobIndex = npos;
+                slot.consecutiveCrashes = 0;
+                resolve(index, std::move(item));
+            } catch (const SimError &error) {
+                warn(std::string("discarding undecodable worker result (") +
+                     error.what() + ")");
+            }
+        }
+        if (slot.decoder.corrupt()) {
+            warn("worker stream corrupt; killing the worker");
+            ::kill(slot.pid, SIGKILL);
+        }
+    }
+
+    /** Hand the next queued jobs to idle workers. */
+    void
+    dispatch()
+    {
+        // Drain/fail-fast resolves every queued job at once — no
+        // worker needed, so no reason to trickle one per poll tick.
+        while (stopDispatch && !queue.empty()) {
+            std::size_t index = queue.front();
+            queue.pop_front();
+            resolve(index,
+                    failureItem(index,
+                                interrupted
+                                    ? "interrupted: shutdown requested "
+                                      "before this job started"
+                                    : "skipped: fail-fast stop after "
+                                      "an earlier failure"));
+        }
+        for (WorkerSlot &slot : slots) {
+            if (queue.empty())
+                return;
+            // A pardoned slot has already been SIGKILLed (deadline or
+            // abort); handing it a job would race the kill and strand
+            // the job on a dead worker. Wait for the EOF + respawn.
+            if (!slot.alive || slot.jobIndex != npos ||
+                slot.pardonNextDeath)
+                continue;
+            std::size_t index = queue.front();
+
+            // Duplicate-job dedup: an identical job already resolved
+            // in a worker left its result in our memo cache, so the
+            // shared execution path returns it instantly as a cached
+            // item — same semantics as the in-process backend's memo.
+            if (jobs[index].kind != BatchJob::Kind::Custom &&
+                identityDone.count(
+                    SweepJournal::jobKeyString(jobs[index]))) {
+                queue.pop_front();
+                resolve(index,
+                        runJobAttempts(jobs[index], index + 1,
+                                       options.retries));
+                continue;
+            }
+
+            wire::Writer w;
+            w.u32(static_cast<std::uint32_t>(index));
+            w.u32(options.retries);
+            if (!subprocess::writeFrame(slot.jobFd,
+                                        subprocess::FrameType::Job,
+                                        w.bytes().data(),
+                                        w.bytes().size())) {
+                // Worker died between frames; the job never started, so
+                // it is not a crash against the job's budget.
+                slot.pardonNextDeath = true;
+                handleDeath(slot);
+                continue;
+            }
+            queue.pop_front();
+            slot.jobIndex = index;
+            slot.lastFrameNs = nowNs();
+            if (firstDispatchNs[index] == 0)
+                firstDispatchNs[index] = nowNs();
+        }
+    }
+
+    /** Deadline + heartbeat policing, once per poll tick. */
+    void
+    police()
+    {
+        std::int64_t now = nowNs();
+        const double deadline = options.jobDeadlineSeconds;
+        const double hb_timeout = options.heartbeatTimeoutSeconds;
+        for (WorkerSlot &slot : slots) {
+            if (!slot.alive || slot.jobIndex == npos)
+                continue;
+            std::size_t index = slot.jobIndex;
+            if (deadline > 0.0 &&
+                now - firstDispatchNs[index] >
+                    static_cast<std::int64_t>(deadline * 1e9)) {
+                char text[96];
+                std::snprintf(text, sizeof text,
+                              "job exceeded its %.3gs wall-clock "
+                              "deadline",
+                              deadline);
+                resolve(index, failureItem(index, text));
+                slot.jobIndex = npos;
+                slot.pardonNextDeath = true;
+                ::kill(slot.pid, SIGKILL);
+                continue;
+            }
+            if (hb_timeout > 0.0 &&
+                now - slot.lastFrameNs >
+                    static_cast<std::int64_t>(hb_timeout * 1e9)) {
+                warn("worker running '" + jobs[index].label +
+                     "' sent no heartbeat for " +
+                     std::to_string(hb_timeout) +
+                     "s; killing it as wedged");
+                // Leave the job in flight: the EOF path accounts it as
+                // a crash (counting toward poison) and redispatches.
+                ::kill(slot.pid, SIGKILL);
+            }
+        }
+    }
+
+    /** React to SIGINT/SIGTERM: first drain, second abort. */
+    void
+    handleSignals()
+    {
+        int count = signal_util::shutdownSignalCount();
+        if (count <= 0)
+            return;
+        signal_util::drainShutdownFd();
+        if (!interrupted) {
+            interrupted = true;
+            stopDispatch = true;
+            warn("shutdown requested: draining in-flight jobs "
+                 "(signal again to abort them)");
+        }
+        if (count >= 2) {
+            warn("second shutdown signal: aborting in-flight jobs");
+            for (WorkerSlot &slot : slots) {
+                if (!slot.alive)
+                    continue;
+                if (slot.jobIndex != npos) {
+                    resolve(slot.jobIndex,
+                            failureItem(slot.jobIndex,
+                                        "aborted: shutdown requested "
+                                        "while the job was in flight"));
+                    slot.jobIndex = npos;
+                }
+                slot.pardonNextDeath = true;
+                ::kill(slot.pid, SIGKILL);
+            }
+        }
+    }
+
+    /** Respawn dead workers whose backoff has elapsed, while needed. */
+    void
+    respawn()
+    {
+        if (queue.empty())
+            return;
+        std::int64_t now = nowNs();
+        for (WorkerSlot &slot : slots) {
+            if (slot.alive || now < slot.respawnAtNs || queue.empty())
+                continue;
+            if (!spawn(slot))
+                slot.respawnAtNs = now + 100'000'000; // retry in 100ms
+        }
+    }
+
+    /** Ask live workers to exit (persisting traces), then reap. */
+    void
+    shutdownWorkers()
+    {
+        for (WorkerSlot &slot : slots) {
+            if (!slot.alive)
+                continue;
+            subprocess::writeFrame(slot.jobFd,
+                                   subprocess::FrameType::Exit, nullptr,
+                                   0);
+        }
+        std::int64_t give_up = nowNs() + 5'000'000'000LL;
+        for (WorkerSlot &slot : slots) {
+            if (!slot.alive)
+                continue;
+            for (;;) {
+                int status = 0;
+                pid_t got = ::waitpid(slot.pid, &status, WNOHANG);
+                if (got == slot.pid || got < 0)
+                    break;
+                if (nowNs() > give_up) {
+                    warn("worker ignored Exit; killing it");
+                    ::kill(slot.pid, SIGKILL);
+                    ::waitpid(slot.pid, &status, 0);
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+            closeSlot(slot);
+        }
+    }
+};
+
+} // namespace
+
+bool
+runProcessPool(const std::vector<BatchJob> &jobs,
+               const std::vector<std::size_t> &pending,
+               const ProcessPoolOptions &options,
+               const ProcessPublish &publish)
+{
+    if (pending.empty())
+        return false;
+
+    signal_util::installShutdownHandlers();
+
+    Supervisor sup(jobs, options, publish);
+    for (std::size_t index : pending)
+        sup.queue.push_back(index);
+    sup.remaining = pending.size();
+
+    // Materialise every pending job's shared trace before forking:
+    // workers inherit the decoded buffers copy-on-write, so the batch
+    // pays for one functional pass instead of one per worker. Sampled
+    // jobs skip the warmup — they read windows straight from disk
+    // artifacts and never need the whole stream resident.
+    for (std::size_t index : pending) {
+        const BatchJob &job = jobs[index];
+        if (job.kind == BatchJob::Kind::Custom || job.options.sample.enabled)
+            continue;
+        for (const std::string &workload : job.workloads)
+            warmSharedTrace(workload, job.options);
+    }
+
+    unsigned workers = std::max(1u, options.workers);
+    workers = static_cast<unsigned>(
+        std::min<std::size_t>(workers, pending.size()));
+    sup.slots.resize(workers);
+    for (WorkerSlot &slot : sup.slots) {
+        if (!sup.spawn(slot))
+            slot.respawnAtNs = nowNs() + 100'000'000;
+    }
+
+    while (sup.remaining > 0) {
+        sup.handleSignals();
+        sup.respawn();
+        sup.dispatch();
+        if (sup.remaining == 0)
+            break;
+
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fd_slots;
+        for (std::size_t s = 0; s < sup.slots.size(); ++s) {
+            if (!sup.slots[s].alive)
+                continue;
+            fds.push_back({sup.slots[s].resultFd, POLLIN, 0});
+            fd_slots.push_back(s);
+        }
+        int shutdown_fd = signal_util::shutdownFd();
+        if (shutdown_fd >= 0)
+            fds.push_back({shutdown_fd, POLLIN, 0});
+
+        if (fds.empty()) {
+            // Every worker is in respawn backoff; just wait it out.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        } else {
+            ::poll(fds.data(), fds.size(), 50);
+        }
+
+        for (std::size_t f = 0; f < fd_slots.size(); ++f) {
+            WorkerSlot &slot = sup.slots[fd_slots[f]];
+            if (!slot.alive)
+                continue; // killed by an earlier frame this tick
+            if (!(fds[f].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            bool open = subprocess::drainIntoDecoder(slot.resultFd,
+                                                     slot.decoder);
+            sup.processFrames(slot);
+            if (!open)
+                sup.handleDeath(slot);
+        }
+
+        sup.police();
+    }
+
+    sup.shutdownWorkers();
+    return sup.interrupted;
+}
+
+} // namespace bfsim::harness

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Process-isolated batch backend (--isolate=process / BFSIM_ISOLATE):
+ * runs batch jobs in a pool of forked worker processes so that a job
+ * that segfaults, gets OOM-killed, trips a sanitizer or wedges costs
+ * one worker — never the sweep.
+ *
+ * Topology: the supervisor (the calling process) forks N workers after
+ * the workload suite is built, so the multi-megabyte suite and any
+ * journal-adopted memo entries are shared copy-on-write. Each worker
+ * gets two pipes: jobs travel down as length-prefixed frames carrying a
+ * job index (fork shares the jobs vector itself — bodies of Custom jobs
+ * included), results travel up as serialized BatchItems
+ * (harness/wire). One job is in flight per worker at a time.
+ *
+ * Supervision (single-threaded in the parent, fork-safe by
+ * construction):
+ *  - worker death from ANY cause — signal, nonzero exit, sanitizer
+ *    abort — is detected as pipe EOF, reaped with waitpid and converted
+ *    into a structured outcome for the in-flight job
+ *    (common/signal_util's describeWaitStatus names the cause);
+ *  - a crashed job is redispatched to a respawned worker until it has
+ *    killed `poisonThreshold` workers, at which point it is quarantined
+ *    as poison: failed, with its crash history in BatchItem::crashes;
+ *  - crashed workers respawn with exponential backoff (20ms..1s),
+ *    reset on the next successful result;
+ *  - a worker that sends no frame (results *or* ~4/s heartbeats) for
+ *    heartbeatTimeoutSeconds while a job is in flight is declared
+ *    wedged, killed, and handled as a crash;
+ *  - a job past jobDeadlineSeconds (measured from its first dispatch,
+ *    spanning crash retries) is failed like the in-process backend
+ *    fails it, and its worker is killed and respawned — no zombie
+ *    threads, the process variant simply reclaims the worker;
+ *  - SIGINT/SIGTERM drain gracefully: in-flight jobs finish and
+ *    publish (and journal), queued jobs fail as "interrupted"; a second
+ *    signal aborts in-flight jobs too. Either way the caller still
+ *    writes its report, and a journaled sweep resumes where it stopped.
+ */
+
+#ifndef BFSIM_HARNESS_PROCESS_POOL_HH_
+#define BFSIM_HARNESS_PROCESS_POOL_HH_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "harness/batch.hh"
+
+namespace bfsim::harness {
+
+/** Supervision knobs, mirroring the BatchOptions fields of the same
+ * names (runBatch translates; see batch.hh for semantics). */
+struct ProcessPoolOptions
+{
+    unsigned workers = 1;
+    unsigned retries = 0;
+    bool failFast = false;
+    double jobDeadlineSeconds = 0.0;
+    unsigned poisonThreshold = 3;
+    double heartbeatTimeoutSeconds = 30.0;
+};
+
+/** Invoked in the supervisor as each job resolves (any outcome). */
+using ProcessPublish =
+    std::function<void(std::size_t index, BatchItem item)>;
+
+/**
+ * Run the `pending` indices of `jobs` under process isolation. Every
+ * pending job is published exactly once. Single/Mix results are adopted
+ * into this process's memo caches before publication, so item pointers
+ * have memo-cache lifetime and post-batch table assembly sees hits, as
+ * if the jobs had run in-process. Returns true when a shutdown signal
+ * interrupted the batch (some jobs failed as "interrupted").
+ */
+bool runProcessPool(const std::vector<BatchJob> &jobs,
+                    const std::vector<std::size_t> &pending,
+                    const ProcessPoolOptions &options,
+                    const ProcessPublish &publish);
+
+} // namespace bfsim::harness
+
+#endif // BFSIM_HARNESS_PROCESS_POOL_HH_

@@ -171,6 +171,10 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
     os << "  \"cpu_seconds\": " << jsonNumber(batch.cpuSeconds) << ",\n";
     os << "  \"speedup\": " << jsonNumber(batch.speedup()) << ",\n";
     os << "  \"failures\": " << batch.failures() << ",\n";
+    os << "  \"isolate\": \""
+       << (batch.isolate == IsolateMode::Process ? "process" : "none")
+       << "\",\n";
+    os << "  \"journaled\": " << batch.journaled() << ",\n";
 
     // Simulator-throughput aggregate over the jobs this batch computed
     // fresh (cached jobs reuse another run's simulation).
@@ -186,7 +190,9 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
     os << "    \"memo\": {\"single_computes\": " << memo.singleComputes
        << ", \"single_hits\": " << memo.singleHits
        << ", \"mix_computes\": " << memo.mixComputes
-       << ", \"mix_hits\": " << memo.mixHits << "},\n";
+       << ", \"mix_hits\": " << memo.mixHits
+       << ", \"single_adopts\": " << memo.singleAdopts
+       << ", \"mix_adopts\": " << memo.mixAdopts << "},\n";
     os << "    \"trace\": {\"enabled\": "
        << (traceCacheEnabled() ? "true" : "false")
        << ", \"buffers\": " << trace.buffers
@@ -206,6 +212,7 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
        << ", \"ops_read\": " << disk.opsRead
        << ", \"bytes_per_op\": " << jsonNumber(disk.bytesPerOp())
        << ", \"decode_seconds\": " << jsonNumber(disk.decodeSeconds)
+       << ", \"publish_abandoned\": " << disk.publishAbandoned
        << "}\n";
     os << "  },\n";
     os << "  \"results\": [\n";
@@ -221,7 +228,9 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
            << ", \"trace_disk_hits\": " << item.traceDiskHits
            << ", \"trace_disk_misses\": " << item.traceDiskMisses
            << ", \"failed\": " << (item.failed ? "true" : "false")
-           << ", \"attempts\": " << item.attempts;
+           << ", \"attempts\": " << item.attempts
+           << ", \"journaled\": " << (item.journaled ? "true" : "false")
+           << ", \"crashes\": " << item.crashes;
         if (item.failed) {
             // Failed jobs carry their error instead of metrics a reader
             // could mistake for real (zero) results.

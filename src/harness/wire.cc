@@ -1,0 +1,306 @@
+#include "harness/wire.hh"
+
+#include <cstring>
+
+#include "common/sim_error.hh"
+
+namespace bfsim::harness::wire {
+
+namespace {
+
+/** Sanity bound on decoded counts/strings: no result embeds anything
+ * close to this, so larger values mean a corrupt or truncated stream. */
+constexpr std::uint32_t maxWireCount = 1u << 24;
+
+[[noreturn]] void
+corrupt(const char *what)
+{
+    throw SimError("wire", std::string("corrupt payload: ") + what);
+}
+
+} // namespace
+
+void
+Writer::u8(std::uint8_t value)
+{
+    buffer.push_back(value);
+}
+
+void
+Writer::u32(std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        buffer.push_back(static_cast<unsigned char>(value >> (i * 8)));
+}
+
+void
+Writer::u64(std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        buffer.push_back(static_cast<unsigned char>(value >> (i * 8)));
+}
+
+void
+Writer::f64(double value)
+{
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof value);
+    std::memcpy(&bits, &value, sizeof bits);
+    u64(bits);
+}
+
+void
+Writer::str(const std::string &value)
+{
+    blob(value.data(), value.size());
+}
+
+void
+Writer::blob(const void *data, std::size_t len)
+{
+    u32(static_cast<std::uint32_t>(len));
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    buffer.insert(buffer.end(), bytes, bytes + len);
+}
+
+void
+Reader::need(std::size_t n) const
+{
+    if (len - pos < n)
+        corrupt("truncated");
+}
+
+std::uint8_t
+Reader::u8()
+{
+    need(1);
+    return data[pos++];
+}
+
+std::uint32_t
+Reader::u32()
+{
+    need(4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(data[pos++]) << (i * 8);
+    return value;
+}
+
+std::uint64_t
+Reader::u64()
+{
+    need(8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(data[pos++]) << (i * 8);
+    return value;
+}
+
+double
+Reader::f64()
+{
+    std::uint64_t bits = u64();
+    double value;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+}
+
+std::string
+Reader::str()
+{
+    std::uint32_t size = u32();
+    if (size > maxWireCount)
+        corrupt("oversized string");
+    need(size);
+    std::string value(reinterpret_cast<const char *>(data + pos), size);
+    pos += size;
+    return value;
+}
+
+void
+Reader::podInto(void *out, std::size_t size)
+{
+    std::uint32_t stored = u32();
+    if (stored != size)
+        corrupt("stats struct size mismatch (stale or foreign payload)");
+    need(size);
+    std::memcpy(out, data + pos, size);
+    pos += size;
+}
+
+namespace {
+
+// One shared guard for every struct the pod path moves: the format
+// depends on these being plain bytes.
+static_assert(std::is_trivially_copyable_v<sim::CoreStats>);
+static_assert(std::is_trivially_copyable_v<mem::CoreMemStats>);
+static_assert(std::is_trivially_copyable_v<core::BFetchStats>);
+static_assert(std::is_trivially_copyable_v<SampledStats>);
+
+} // namespace
+
+void
+encodeSingleResult(Writer &w, const SingleResult &result)
+{
+    w.str(result.workload);
+    w.str(result.prefetcher);
+    w.str(result.predictor);
+    w.pod(result.core);
+    w.pod(result.mem);
+    w.pod(result.bfetch);
+    w.f64(result.avgLookaheadDepth);
+    w.f64(result.branchPredictorKB);
+    w.f64(result.simSeconds);
+    w.u64(result.simInstructions);
+    w.f64(result.mips);
+    w.pod(result.sampled);
+}
+
+SingleResult
+decodeSingleResult(Reader &r)
+{
+    SingleResult result;
+    result.workload = r.str();
+    result.prefetcher = r.str();
+    result.predictor = r.str();
+    result.core = r.pod<sim::CoreStats>();
+    result.mem = r.pod<mem::CoreMemStats>();
+    result.bfetch = r.pod<core::BFetchStats>();
+    result.avgLookaheadDepth = r.f64();
+    result.branchPredictorKB = r.f64();
+    result.simSeconds = r.f64();
+    result.simInstructions = r.u64();
+    result.mips = r.f64();
+    result.sampled = r.pod<SampledStats>();
+    return result;
+}
+
+void
+encodeMixResult(Writer &w, const MixResult &result)
+{
+    w.u32(static_cast<std::uint32_t>(result.workloads.size()));
+    for (const std::string &name : result.workloads)
+        w.str(name);
+    w.str(result.prefetcher);
+    w.str(result.predictor);
+    w.u32(static_cast<std::uint32_t>(result.cores.size()));
+    for (const sim::CoreStats &core : result.cores)
+        w.pod(core);
+    w.u32(static_cast<std::uint32_t>(result.mem.size()));
+    for (const mem::CoreMemStats &mem : result.mem)
+        w.pod(mem);
+    w.f64(result.weightedSpeedup);
+    w.f64(result.simSeconds);
+    w.u64(result.simInstructions);
+    w.f64(result.mips);
+    w.pod(result.sampled);
+}
+
+MixResult
+decodeMixResult(Reader &r)
+{
+    MixResult result;
+    std::uint32_t n = r.u32();
+    if (n > maxWireCount)
+        corrupt("oversized workload list");
+    result.workloads.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        result.workloads.push_back(r.str());
+    result.prefetcher = r.str();
+    result.predictor = r.str();
+    n = r.u32();
+    if (n > maxWireCount)
+        corrupt("oversized core-stats list");
+    result.cores.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        result.cores.push_back(r.pod<sim::CoreStats>());
+    n = r.u32();
+    if (n > maxWireCount)
+        corrupt("oversized mem-stats list");
+    result.mem.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        result.mem.push_back(r.pod<mem::CoreMemStats>());
+    result.weightedSpeedup = r.f64();
+    result.simSeconds = r.f64();
+    result.simInstructions = r.u64();
+    result.mips = r.f64();
+    result.sampled = r.pod<SampledStats>();
+    return result;
+}
+
+namespace {
+
+/** Payload discriminant for encodeBatchItem. */
+enum : std::uint8_t { payloadNone = 0, payloadSingle = 1, payloadMix = 2 };
+
+} // namespace
+
+void
+encodeBatchItem(Writer &w, const BatchItem &item)
+{
+    w.str(item.label);
+    w.u8(static_cast<std::uint8_t>(item.kind));
+    w.f64(item.value);
+    w.f64(item.seconds);
+    w.u8(item.cached ? 1 : 0);
+    w.u64(item.traceHits);
+    w.u64(item.traceMisses);
+    w.u64(item.traceFallbacks);
+    w.u64(item.traceDiskHits);
+    w.u64(item.traceDiskMisses);
+    w.u8(item.failed ? 1 : 0);
+    w.str(item.error);
+    w.u32(item.attempts);
+    w.u8(item.journaled ? 1 : 0);
+    w.u32(item.crashes);
+    if (!item.failed && item.single) {
+        w.u8(payloadSingle);
+        encodeSingleResult(w, *item.single);
+    } else if (!item.failed && item.mix) {
+        w.u8(payloadMix);
+        encodeMixResult(w, *item.mix);
+    } else {
+        w.u8(payloadNone);
+    }
+}
+
+DecodedItem
+decodeBatchItem(Reader &r)
+{
+    DecodedItem decoded;
+    BatchItem &item = decoded.item;
+    item.label = r.str();
+    std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(BatchJob::Kind::Custom))
+        corrupt("unknown job kind");
+    item.kind = static_cast<BatchJob::Kind>(kind);
+    item.value = r.f64();
+    item.seconds = r.f64();
+    item.cached = r.u8() != 0;
+    item.traceHits = r.u64();
+    item.traceMisses = r.u64();
+    item.traceFallbacks = r.u64();
+    item.traceDiskHits = r.u64();
+    item.traceDiskMisses = r.u64();
+    item.failed = r.u8() != 0;
+    item.error = r.str();
+    item.attempts = r.u32();
+    item.journaled = r.u8() != 0;
+    item.crashes = r.u32();
+    switch (r.u8()) {
+      case payloadNone:
+        break;
+      case payloadSingle:
+        decoded.single = decodeSingleResult(r);
+        break;
+      case payloadMix:
+        decoded.mix = decodeMixResult(r);
+        break;
+      default:
+        corrupt("unknown payload discriminant");
+    }
+    return decoded;
+}
+
+} // namespace bfsim::harness::wire

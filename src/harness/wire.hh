@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Binary wire format for experiment results crossing a process
+ * boundary: the --isolate=process worker pipes (harness/process_pool)
+ * and the crash-safe sweep journal (harness/journal) both move
+ * SingleResult / MixResult / BatchItem values between address spaces,
+ * and both need the decoded values to be *byte-identical* to the
+ * originals so report tables cannot drift depending on which backend
+ * computed them.
+ *
+ * Encoding rules:
+ *  - integers are little-endian fixed width; doubles are their IEEE-754
+ *    bit pattern (memcpy through uint64_t), so no text round-trip ever
+ *    perturbs a stat;
+ *  - the plain-old-data stats structs (sim::CoreStats,
+ *    mem::CoreMemStats, core::BFetchStats, harness::SampledStats) are
+ *    written as raw bytes behind a size field. Producer and consumer
+ *    are always the *same binary* (a forked worker, or a journal replay
+ *    by the same bench executable), so layout always matches; the size
+ *    field turns a version skew (stale journal read by a rebuilt
+ *    binary) into a clean decode error instead of garbage stats.
+ *
+ * Decode errors throw SimError("wire", ...): callers treat the payload
+ * as lost and recompute, never trust a partial decode.
+ */
+
+#ifndef BFSIM_HARNESS_WIRE_HH_
+#define BFSIM_HARNESS_WIRE_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/batch.hh"
+#include "harness/experiment.hh"
+
+namespace bfsim::harness::wire {
+
+/** Append-only encoder producing a byte vector. */
+class Writer
+{
+  public:
+    void u8(std::uint8_t value);
+    void u32(std::uint32_t value);
+    void u64(std::uint64_t value);
+    void f64(double value);
+    void str(const std::string &value);
+    /** Raw bytes behind a u32 size field. */
+    void blob(const void *data, std::size_t len);
+
+    /** Write a trivially-copyable stats struct as a sized blob. */
+    template <typename T>
+    void
+    pod(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "wire pod encoding requires trivially copyable");
+        blob(&value, sizeof value);
+    }
+
+    const std::vector<unsigned char> &bytes() const { return buffer; }
+    std::vector<unsigned char> take() { return std::move(buffer); }
+
+  private:
+    std::vector<unsigned char> buffer;
+};
+
+/** Bounds-checked decoder over a byte span; throws SimError("wire"). */
+class Reader
+{
+  public:
+    Reader(const unsigned char *data, std::size_t len)
+        : data(data), len(len)
+    {}
+    explicit Reader(const std::vector<unsigned char> &bytes)
+        : Reader(bytes.data(), bytes.size())
+    {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+
+    /** Read a sized blob into a trivially-copyable struct; the stored
+     * size must equal sizeof(T) (else: version skew, decode error). */
+    template <typename T>
+    T
+    pod()
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "wire pod decoding requires trivially copyable");
+        T value{};
+        podInto(&value, sizeof value);
+        return value;
+    }
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return len - pos; }
+    bool atEnd() const { return pos == len; }
+
+  private:
+    void need(std::size_t n) const;
+    void podInto(void *out, std::size_t size);
+
+    const unsigned char *data;
+    std::size_t len;
+    std::size_t pos = 0;
+};
+
+void encodeSingleResult(Writer &w, const SingleResult &result);
+SingleResult decodeSingleResult(Reader &r);
+
+void encodeMixResult(Writer &w, const MixResult &result);
+MixResult decodeMixResult(Reader &r);
+
+/**
+ * A BatchItem decoded from the wire. The item's `single`/`mix` pointers
+ * are left null — they must point at memo-cache storage, which only the
+ * caller can arrange (adoptSingleResult / adoptMixResult under the
+ * job's key); the payload travels alongside instead.
+ */
+struct DecodedItem
+{
+    BatchItem item;
+    std::optional<SingleResult> single;
+    std::optional<MixResult> mix;
+};
+
+/**
+ * Encode a BatchItem, inlining the pointed-to Single/Mix result (when
+ * present and the item did not fail).
+ */
+void encodeBatchItem(Writer &w, const BatchItem &item);
+DecodedItem decodeBatchItem(Reader &r);
+
+} // namespace bfsim::harness::wire
+
+#endif // BFSIM_HARNESS_WIRE_HH_

@@ -1,0 +1,364 @@
+#include "service/daemon.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "common/log.hh"
+#include "common/signal_util.hh"
+#include "common/sim_error.hh"
+#include "common/thread_pool.hh"
+#include "service/protocol.hh"
+
+namespace bfsim::service {
+
+namespace {
+
+[[noreturn]] void
+serviceError(const std::string &message)
+{
+    throw SimError("service", message);
+}
+
+/**
+ * Line-oriented writer over a connection. A peer that disconnected
+ * mid-sweep turns every later write into a silent no-op (the sweep
+ * must finish and journal regardless of whether anyone is watching).
+ */
+class LineWriter
+{
+  public:
+    explicit LineWriter(int fd) : fd(fd) {}
+
+    void
+    sendLine(const std::string &text)
+    {
+        if (gone)
+            return;
+        std::string line = text;
+        line.push_back('\n');
+        std::size_t sent = 0;
+        while (sent < line.size()) {
+            ssize_t n = ::write(fd, line.data() + sent,
+                                line.size() - sent);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                gone = true;
+                return;
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+
+    bool clientGone() const { return gone; }
+
+  private:
+    int fd;
+    bool gone = false;
+};
+
+/** Buffered line reader that also watches the shutdown self-pipe. */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd(fd) {}
+
+    /**
+     * Read the next newline-terminated line. Returns false on peer
+     * EOF, error, or a shutdown signal arriving while idle.
+     */
+    bool
+    readLine(std::string &line)
+    {
+        for (;;) {
+            std::size_t pos = buffer.find('\n');
+            if (pos != std::string::npos) {
+                line = buffer.substr(0, pos);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                buffer.erase(0, pos + 1);
+                return true;
+            }
+            struct pollfd fds[2];
+            fds[0] = {fd, POLLIN, 0};
+            fds[1] = {signal_util::shutdownFd(), POLLIN, 0};
+            int ready = ::poll(fds, 2, -1);
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            if (fds[1].revents & POLLIN)
+                return false;
+            char chunk[4096];
+            ssize_t n = ::read(fd, chunk, sizeof chunk);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            if (n == 0)
+                return false;
+            buffer.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+  private:
+    int fd;
+    std::string buffer;
+};
+
+std::string
+isolateName(harness::IsolateMode mode)
+{
+    return mode == harness::IsolateMode::Process ? "process" : "none";
+}
+
+void
+sendError(LineWriter &writer, const std::string &message)
+{
+    writer.sendLine("{\"type\": \"error\", \"message\": \"" +
+                    jsonEscape(message) + "\"}");
+}
+
+void
+sendOk(LineWriter &writer, const std::string &command,
+       const std::string &extra = {})
+{
+    writer.sendLine("{\"type\": \"ok\", \"command\": \"" + command +
+                    "\"" + extra + "}");
+}
+
+/** The headline metric of a finished item, by job shape. */
+double
+itemValue(const harness::BatchItem &item)
+{
+    switch (item.kind) {
+      case harness::BatchJob::Kind::Single:
+        return item.single ? item.single->core.ipc : 0.0;
+      case harness::BatchJob::Kind::Mix:
+        return item.mix ? item.mix->weightedSpeedup : 0.0;
+      case harness::BatchJob::Kind::Custom:
+        return item.value;
+    }
+    return 0.0;
+}
+
+std::string
+itemLine(const harness::BatchItem &item, std::size_t done,
+         std::size_t total)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\"type\": \"job\", \"done\": " << done << ", \"total\": "
+        << total << ", \"label\": \"" << jsonEscape(item.label)
+        << "\", \"failed\": " << (item.failed ? "true" : "false")
+        << ", \"cached\": " << (item.cached ? "true" : "false")
+        << ", \"journaled\": " << (item.journaled ? "true" : "false")
+        << ", \"crashes\": " << item.crashes << ", \"attempts\": "
+        << item.attempts << ", \"value\": " << itemValue(item)
+        << ", \"seconds\": " << item.seconds;
+    if (item.failed)
+        out << ", \"error\": \"" << jsonEscape(item.error) << "\"";
+    out << "}";
+    return out.str();
+}
+
+/** Execute an accumulated request, streaming progress to the client. */
+void
+runSweep(LineWriter &writer, SweepRequest &request,
+         const DaemonOptions &daemon)
+{
+    harness::BatchOptions batch = request.batch;
+    batch.journalDir = journalDirFor(daemon.journalRoot, request);
+    unsigned workers = request.workers ? request.workers
+                                       : daemon.workers;
+    std::ostringstream start;
+    start << "{\"type\": \"start\", \"jobs\": " << request.jobs.size()
+          << ", \"isolate\": \"" << isolateName(batch.isolate)
+          << "\", \"journal\": \"" << jsonEscape(batch.journalDir)
+          << "\"}";
+    writer.sendLine(start.str());
+
+    harness::BatchResult result = harness::runBatch(
+        request.jobs, workers,
+        [&writer](const harness::BatchItem &item, std::size_t done,
+                  std::size_t total) {
+            writer.sendLine(itemLine(item, done, total));
+        },
+        batch);
+
+    std::ostringstream done;
+    done.precision(17);
+    done << "{\"type\": \"done\", \"total\": " << result.items.size()
+         << ", \"failures\": " << result.failures()
+         << ", \"journaled\": " << result.journaled()
+         << ", \"isolate\": \"" << isolateName(result.isolate)
+         << "\", \"interrupted\": "
+         << (signal_util::shutdownRequested() ? "true" : "false")
+         << ", \"wall_seconds\": " << result.wallSeconds << "}";
+    writer.sendLine(done.str());
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {}
+
+Daemon::~Daemon()
+{
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (bound_)
+        ::unlink(options_.socketPath.c_str());
+}
+
+void
+Daemon::bind()
+{
+    if (options_.socketPath.empty())
+        serviceError("bfsimd needs a socket path");
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (options_.socketPath.size() >= sizeof addr.sun_path)
+        serviceError("socket path too long: " + options_.socketPath);
+    std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                 sizeof addr.sun_path - 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        serviceError(std::string("socket: ") + std::strerror(errno));
+    // The daemon owns its path: a leftover socket file from a crashed
+    // previous instance would make bind fail, so remove it first.
+    ::unlink(options_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof addr) < 0)
+        serviceError("bind " + options_.socketPath + ": " +
+                     std::strerror(errno));
+    bound_ = true;
+    if (::listen(listenFd_, 8) < 0)
+        serviceError(std::string("listen: ") + std::strerror(errno));
+}
+
+int
+Daemon::serve()
+{
+    signal_util::installShutdownHandlers();
+    inform("bfsimd: listening on " + options_.socketPath +
+           " (isolate=" + isolateName(options_.isolate) +
+           (options_.journalRoot.empty()
+                ? std::string(", journaling disabled")
+                : ", journal root " + options_.journalRoot) +
+           ")");
+    for (;;) {
+        if (signal_util::shutdownRequested())
+            break;
+        struct pollfd fds[2];
+        fds[0] = {listenFd_, POLLIN, 0};
+        fds[1] = {signal_util::shutdownFd(), POLLIN, 0};
+        int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            serviceError(std::string("poll: ") + std::strerror(errno));
+        }
+        if (fds[1].revents & POLLIN)
+            break;
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            serviceError(std::string("accept: ") +
+                         std::strerror(errno));
+        }
+        bool keep_serving = handleConnection(fd);
+        ::close(fd);
+        if (!keep_serving || options_.once)
+            break;
+    }
+    inform("bfsimd: shutting down");
+    harness::drainAbandonedPools(2.0);
+    return 0;
+}
+
+bool
+Daemon::handleConnection(int fd)
+{
+    LineWriter writer(fd);
+    LineReader reader(fd);
+    writer.sendLine("{\"type\": \"hello\", \"service\": \"bfsimd\", "
+                    "\"version\": 1, \"pid\": " +
+                    std::to_string(::getpid()) + "}");
+
+    SweepRequest request;
+    bool in_sweep = false;
+    std::string line;
+    while (reader.readLine(line)) {
+        std::vector<std::string> tokens = splitTokens(line);
+        if (tokens.empty())
+            continue;
+        const std::string &command = tokens[0];
+        try {
+            if (command == "ping") {
+                writer.sendLine("{\"type\": \"pong\"}");
+            } else if (command == "shutdown") {
+                writer.sendLine("{\"type\": \"bye\"}");
+                return false;
+            } else if (command == "sweep") {
+                request = SweepRequest{};
+                request.batch.isolate = options_.isolate;
+                in_sweep = true;
+                sendOk(writer, "sweep");
+            } else if (command == "opt") {
+                if (!in_sweep)
+                    serviceError("opt outside a sweep (send 'sweep' "
+                                 "first)");
+                if (tokens.size() != 3)
+                    serviceError("opt expects: opt <key> <value>");
+                applyOption(request, tokens[1], tokens[2]);
+                sendOk(writer, "opt");
+            } else if (command == "job") {
+                if (!in_sweep)
+                    serviceError("job outside a sweep (send 'sweep' "
+                                 "first)");
+                addJob(request, tokens);
+                sendOk(writer, "job",
+                       ", \"index\": " +
+                           std::to_string(request.jobs.size() - 1));
+            } else if (command == "run") {
+                if (!in_sweep)
+                    serviceError("run outside a sweep (send 'sweep' "
+                                 "first)");
+                if (request.jobs.empty())
+                    serviceError("run with no jobs");
+                runSweep(writer, request, options_);
+                in_sweep = false;
+                if (signal_util::shutdownRequested())
+                    return false;
+            } else {
+                serviceError("unknown command '" + command + "'");
+            }
+        } catch (const SimError &error) {
+            sendError(writer, error.message());
+        }
+        if (writer.clientGone())
+            return true;
+    }
+    // EOF mid-request: the client went away; keep serving others
+    // unless a shutdown signal is what broke the read.
+    return !signal_util::shutdownRequested();
+}
+
+} // namespace bfsim::service

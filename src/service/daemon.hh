@@ -1,0 +1,90 @@
+/**
+ * @file
+ * bfsimd: the crash-resilient sweep service.
+ *
+ * A long-lived daemon that accepts sweep requests over a Unix-domain
+ * stream socket (protocol: service/protocol.hh), executes each sweep
+ * through harness::runBatch — by default with the process-isolated
+ * backend (harness/process_pool.hh), so a segfaulting or wedged job
+ * costs one forked worker, never the daemon — and streams per-job
+ * progress back as JSON lines.
+ *
+ * Crash resilience is end to end: every completed job is journaled
+ * (harness/journal.hh) under a directory derived from the request's
+ * canonical identity, so a daemon that is SIGKILL'd mid-sweep and
+ * restarted resumes the re-submitted sweep from the journal with zero
+ * recomputed jobs. The journal composes with the in-process memo cache
+ * and the on-disk trace store: restored results are adopted into the
+ * memo cache exactly as freshly computed ones are.
+ *
+ * Connection model: one client at a time (accepted connections queue in
+ * the listen backlog). A client that disconnects mid-sweep does NOT
+ * cancel it — the daemon finishes and journals the sweep, and the
+ * client can reconnect and re-submit to collect the results instantly.
+ * SIGINT/SIGTERM drain gracefully (in-flight jobs finish and are
+ * journaled); a second signal aborts in-flight work.
+ */
+
+#ifndef BFSIM_SERVICE_DAEMON_HH_
+#define BFSIM_SERVICE_DAEMON_HH_
+
+#include <string>
+
+#include "harness/batch.hh"
+
+namespace bfsim::service {
+
+/** Configuration of one bfsimd instance. */
+struct DaemonOptions
+{
+    /** Unix-domain socket path to bind (required). */
+    std::string socketPath;
+    /**
+     * Root directory for per-sweep journals ("" disables journaling).
+     * Each sweep journals under `<root>/sweep-<16 hex>` keyed by its
+     * canonical request identity (protocol.hh journalDirFor).
+     */
+    std::string journalRoot;
+    /** Default worker count (0 = hardware concurrency). */
+    unsigned workers = 0;
+    /** Default execution backend for sweeps (requests may override). */
+    harness::IsolateMode isolate = harness::IsolateMode::Process;
+    /** Serve exactly one connection, then exit (tests, one-shot CI). */
+    bool once = false;
+};
+
+/** The bfsimd service loop. */
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonOptions options);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Create, bind and listen on the socket (unlinking any stale file
+     * at the path first). Throws SimError("service") on failure.
+     */
+    void bind();
+
+    /**
+     * Accept and serve connections until a shutdown signal (or, with
+     * DaemonOptions::once, until the first connection closes). Returns
+     * the process exit status (0 on clean shutdown).
+     */
+    int serve();
+
+  private:
+    /** Serve one accepted connection; returns false to stop serving. */
+    bool handleConnection(int fd);
+
+    DaemonOptions options_;
+    int listenFd_ = -1;
+    bool bound_ = false;
+};
+
+} // namespace bfsim::service
+
+#endif // BFSIM_SERVICE_DAEMON_HH_

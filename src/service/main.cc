@@ -1,0 +1,112 @@
+/**
+ * @file
+ * bfsimd entry point. Flags (env fallbacks in parentheses):
+ *
+ *   --socket=PATH        Unix socket to bind (BFSIMD_SOCKET; required)
+ *   --journal-root=DIR   per-sweep journal root (BFSIMD_JOURNAL_ROOT;
+ *                        empty disables journaling)
+ *   --workers=N          default sweep worker count (0 = hardware)
+ *   --isolate=MODE       process (default) or none
+ *   --trace-dir=DIR      on-disk trace store (BFSIM_TRACE_DIR)
+ *   --once               serve one connection, then exit
+ *   --quiet              suppress informational logging
+ *
+ * Exit status: 0 on clean shutdown (signal or `shutdown` command),
+ * 1 on a startup error (bad flag, bind failure).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+#include "common/sim_error.hh"
+#include "service/daemon.hh"
+#include "sim/trace_store.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket=PATH [--journal-root=DIR] [--workers=N]\n"
+        "          [--isolate=process|none] [--trace-dir=DIR] [--once]\n"
+        "          [--quiet]\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfsim;
+
+    service::DaemonOptions options;
+    if (const char *env = std::getenv("BFSIMD_SOCKET"))
+        options.socketPath = env;
+    if (const char *env = std::getenv("BFSIMD_JOURNAL_ROOT"))
+        options.journalRoot = env;
+    std::string trace_dir;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](std::size_t prefix) {
+            return arg.substr(prefix);
+        };
+        if (arg.rfind("--socket=", 0) == 0) {
+            options.socketPath = value(9);
+        } else if (arg.rfind("--journal-root=", 0) == 0) {
+            options.journalRoot = value(15);
+        } else if (arg.rfind("--workers=", 0) == 0) {
+            options.workers = static_cast<unsigned>(
+                std::strtoul(value(10).c_str(), nullptr, 10));
+        } else if (arg.rfind("--isolate=", 0) == 0) {
+            std::string mode = value(10);
+            if (mode == "process") {
+                options.isolate = harness::IsolateMode::Process;
+            } else if (mode == "none") {
+                options.isolate = harness::IsolateMode::None;
+            } else {
+                std::fprintf(stderr,
+                             "--isolate expects 'process' or 'none', "
+                             "got '%s'\n",
+                             mode.c_str());
+                return 1;
+            }
+        } else if (arg.rfind("--trace-dir=", 0) == 0) {
+            trace_dir = value(12);
+        } else if (arg == "--once") {
+            options.once = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 1;
+        }
+    }
+    if (options.socketPath.empty()) {
+        usage(argv[0]);
+        return 1;
+    }
+    setQuiet(quiet);
+    if (!trace_dir.empty())
+        sim::trace_store::setDirectory(trace_dir);
+
+    try {
+        service::Daemon daemon(std::move(options));
+        daemon.bind();
+        return daemon.serve();
+    } catch (const SimError &error) {
+        std::fprintf(stderr, "bfsimd: %s\n", error.what());
+        return 1;
+    }
+}

@@ -1,0 +1,251 @@
+#include "service/protocol.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "branch/registry.hh"
+#include "common/checksum.hh"
+#include "common/sim_error.hh"
+#include "harness/journal.hh"
+#include "harness/sampling.hh"
+#include "prefetch/registry.hh"
+#include "workloads/workload.hh"
+
+namespace bfsim::service {
+
+namespace {
+
+[[noreturn]] void
+protocolError(const std::string &message)
+{
+    throw SimError("protocol", message);
+}
+
+std::uint64_t
+parseCount(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    unsigned long long count = std::strtoull(value.c_str(), &end, 10);
+    if (!end || *end != '\0' || value.empty())
+        protocolError("opt " + key + " expects a non-negative integer, "
+                      "got '" + value + "'");
+    return count;
+}
+
+double
+parseSeconds(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    double seconds = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0' || value.empty() || seconds < 0.0)
+        protocolError("opt " + key + " expects non-negative seconds, "
+                      "got '" + value + "'");
+    return seconds;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : text) {
+        if (c == ',') {
+            if (!current.empty())
+                parts.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        parts.push_back(current);
+    return parts;
+}
+
+void
+validateWorkload(const std::string &name)
+{
+    for (const auto &w : workloads::allWorkloads())
+        if (w.name == name)
+            return;
+    protocolError("unknown workload '" + name + "'");
+}
+
+void
+validatePrefetcher(const std::string &spec)
+{
+    try {
+        prefetch::makeCorePrefetch(spec);
+    } catch (const SimError &error) {
+        protocolError("bad prefetcher spec: " + error.message());
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+splitTokens(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!current.empty())
+                tokens.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(current);
+    return tokens;
+}
+
+void
+applyOption(SweepRequest &request, const std::string &key,
+            const std::string &value)
+{
+    if (key == "instructions") {
+        std::uint64_t count = parseCount(key, value);
+        if (count == 0)
+            protocolError("opt instructions expects a positive count");
+        request.run.instructions = count;
+    } else if (key == "width") {
+        std::uint64_t width = parseCount(key, value);
+        if (width == 0 || width > 64)
+            protocolError("opt width expects 1..64");
+        request.run.width = static_cast<unsigned>(width);
+    } else if (key == "rob") {
+        std::uint64_t rob = parseCount(key, value);
+        if (rob == 0)
+            protocolError("opt rob expects a positive size");
+        request.run.robSize = static_cast<unsigned>(rob);
+    } else if (key == "predictor") {
+        try {
+            branch::makePredictor(value);
+        } catch (const SimError &error) {
+            protocolError("bad predictor spec: " + error.message());
+        }
+        request.run.predictor = value;
+    } else if (key == "sample") {
+        try {
+            request.run.sample = harness::SampleConfig::parse(value);
+        } catch (const SimError &error) {
+            protocolError("bad sample spec: " + error.message());
+        }
+    } else if (key == "retries") {
+        request.batch.retries =
+            static_cast<unsigned>(parseCount(key, value));
+    } else if (key == "fail-fast") {
+        request.batch.failFast = value == "1" || value == "true";
+    } else if (key == "deadline") {
+        request.batch.jobDeadlineSeconds = parseSeconds(key, value);
+    } else if (key == "poison") {
+        std::uint64_t threshold = parseCount(key, value);
+        if (threshold == 0)
+            protocolError("opt poison expects a positive count");
+        request.batch.poisonThreshold =
+            static_cast<unsigned>(threshold);
+    } else if (key == "heartbeat") {
+        request.batch.heartbeatTimeoutSeconds =
+            parseSeconds(key, value);
+    } else if (key == "isolate") {
+        if (value == "process")
+            request.batch.isolate = harness::IsolateMode::Process;
+        else if (value == "none" || value == "thread")
+            request.batch.isolate = harness::IsolateMode::None;
+        else
+            protocolError("opt isolate expects 'process' or 'none', "
+                          "got '" + value + "'");
+    } else if (key == "workers") {
+        request.workers = static_cast<unsigned>(parseCount(key, value));
+    } else {
+        protocolError("unknown option '" + key + "'");
+    }
+}
+
+void
+addJob(SweepRequest &request, const std::vector<std::string> &tokens)
+{
+    // tokens: ["job", "single"|"mix", workloads, prefetcher, [label]]
+    if (tokens.size() < 4 || tokens.size() > 5)
+        protocolError("job expects: job single|mix <workloads> "
+                      "<prefetcher> [label]");
+    const std::string &shape = tokens[1];
+    const std::string &spec = tokens[3];
+    std::string label = tokens.size() == 5 ? tokens[4] : std::string();
+    validatePrefetcher(spec);
+    if (shape == "single") {
+        validateWorkload(tokens[2]);
+        request.jobs.push_back(harness::BatchJob::single(
+            tokens[2], spec, request.run, std::move(label)));
+    } else if (shape == "mix") {
+        std::vector<std::string> members = splitCommas(tokens[2]);
+        if (members.size() < 2)
+            protocolError("job mix expects at least two "
+                          "comma-separated workloads");
+        for (const std::string &name : members)
+            validateWorkload(name);
+        request.jobs.push_back(harness::BatchJob::mix(
+            members, spec, request.run, std::move(label)));
+    } else {
+        protocolError("job expects 'single' or 'mix', got '" + shape +
+                      "'");
+    }
+}
+
+std::string
+canonicalKey(const SweepRequest &request)
+{
+    std::string key;
+    for (const harness::BatchJob &job : request.jobs) {
+        key += harness::SweepJournal::jobKeyString(job);
+        key += '\n';
+    }
+    return key;
+}
+
+std::string
+journalDirFor(const std::string &root, const SweepRequest &request)
+{
+    if (root.empty())
+        return {};
+    std::string key = canonicalKey(request);
+    Fnv1a64 hash;
+    hash.update(key.data(), key.size());
+    char stem[32];
+    std::snprintf(stem, sizeof stem, "sweep-%016llx",
+                  static_cast<unsigned long long>(hash.value()));
+    return root + "/" + stem;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace bfsim::service

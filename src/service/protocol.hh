@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Wire protocol of the bfsimd sweep daemon (see service/daemon.hh).
+ *
+ * Requests are plain text lines; responses are JSON objects, one per
+ * line, so any stdlib-only client (tools/bfsimd_client.py) can speak it
+ * without a serialization dependency. A sweep is built incrementally:
+ *
+ *     sweep                          # begin a new request
+ *     opt instructions 200000        # applies to *subsequent* job lines
+ *     opt retries 1
+ *     job single mcf bfetch [label]  # one single-core point
+ *     job mix mcf,lbm stride [label] # one multiprogrammed point
+ *     run                            # execute, stream progress
+ *
+ * plus the connection-level commands `ping` (liveness) and `shutdown`
+ * (stop the daemon). Each accepted line is answered with
+ * {"type":"ok",...} (or {"type":"error","message":...}); `run` streams
+ * {"type":"start"}, one {"type":"job"} per completed point and a
+ * final {"type":"done"} summary.
+ *
+ * This header is the parsing half: it turns request lines into
+ * harness::BatchJob vectors and computes the canonical request key the
+ * daemon uses to derive a stable per-sweep journal directory, so a
+ * re-submitted identical sweep resumes from the journal of the
+ * previous (possibly killed) attempt.
+ */
+
+#ifndef BFSIM_SERVICE_PROTOCOL_HH_
+#define BFSIM_SERVICE_PROTOCOL_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/batch.hh"
+#include "harness/experiment.hh"
+
+namespace bfsim::service {
+
+/** One sweep request under construction over a connection. */
+struct SweepRequest
+{
+    /** Points accumulated by `job` lines, in submission order. */
+    std::vector<harness::BatchJob> jobs;
+    /** Failure policy; `opt` lines override the env-seeded defaults. */
+    harness::BatchOptions batch = harness::BatchOptions::fromEnv();
+    /** Snapshot applied to each subsequent `job` line. */
+    harness::RunOptions run{};
+    /** Worker count for the sweep (0 = daemon default). */
+    unsigned workers = 0;
+};
+
+/** Whitespace-split tokens of one request line (empty for blanks). */
+std::vector<std::string> splitTokens(const std::string &line);
+
+/**
+ * Apply one `opt <key> <value>` pair. Keys: instructions, width, rob,
+ * predictor, sample, retries, fail-fast, deadline, poison, heartbeat,
+ * isolate (process|none), workers. Throws SimError("protocol") on an
+ * unknown key or unparsable value.
+ */
+void applyOption(SweepRequest &request, const std::string &key,
+                 const std::string &value);
+
+/**
+ * Append the job described by an already-tokenized
+ * `job single|mix <workloads> <prefetcher> [label]` line, snapshotting
+ * the request's current RunOptions. Workload names and the prefetcher
+ * spec are validated here so a typo fails the `job` line, not the
+ * whole sweep. Throws SimError("protocol") on malformed input.
+ */
+void addJob(SweepRequest &request,
+            const std::vector<std::string> &tokens);
+
+/**
+ * Canonical identity of the request: the journal jobKeyStrings of all
+ * jobs, newline-joined. Two textually different request scripts that
+ * produce the same points (same order) share an identity.
+ */
+std::string canonicalKey(const SweepRequest &request);
+
+/**
+ * Stable per-sweep journal directory: `root/sweep-<16 hex>` where the
+ * hex is FNV-1a-64 of canonicalKey. Empty when `root` is empty
+ * (journaling disabled).
+ */
+std::string journalDirFor(const std::string &root,
+                          const SweepRequest &request);
+
+/** JSON string-escape (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &text);
+
+} // namespace bfsim::service
+
+#endif // BFSIM_SERVICE_PROTOCOL_HH_

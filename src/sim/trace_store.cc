@@ -13,6 +13,7 @@
 #include <cstring>
 #include <filesystem>
 #include <mutex>
+#include <thread>
 
 #include "common/checksum.hh"
 #include "common/fault.hh"
@@ -160,6 +161,16 @@ getZigzag(const unsigned char *p, std::size_t &pos, std::size_t end,
 }
 
 // ---- store configuration / stats --------------------------------------
+
+/** Deterministic mixer for the lock-retry jitter. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
 
 std::mutex &
 stateMutex()
@@ -870,8 +881,34 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
         warn("trace store: cannot create '" + lock_path + "'");
         return false;
     }
-    if (::flock(lock_fd.fd, LOCK_EX | LOCK_NB) != 0)
-        return false; // another writer is on it; skip
+    // Bounded, jittered retry before abandoning: writers hold the lock
+    // only for the milliseconds an artifact write takes, so a short
+    // wait usually converts "concurrent publisher, skip and recompute
+    // later" into "wait our turn" — but never blocks a batch on a
+    // wedged peer. Jitter (seeded per pid+attempt) de-syncs workers
+    // that all finish a sweep at the same instant.
+    {
+        bool locked = false;
+        for (unsigned attempt = 0; attempt < 6; ++attempt) {
+            if (::flock(lock_fd.fd, LOCK_EX | LOCK_NB) == 0) {
+                locked = true;
+                break;
+            }
+            std::uint64_t base_ms = 1ull << attempt; // 1,2,4,8,16,32
+            std::uint64_t jitter =
+                splitmix64((static_cast<std::uint64_t>(::getpid())
+                            << 8) ^
+                           attempt) %
+                (base_ms + 1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(base_ms + jitter));
+        }
+        if (!locked) {
+            std::lock_guard<std::mutex> lock(stateMutex());
+            ++statsRef().publishAbandoned;
+            return false; // persistent writer on it; abandon publication
+        }
+    }
 
     std::uint32_t version = saveFormatVersion();
 

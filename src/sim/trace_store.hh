@@ -295,6 +295,13 @@ struct Stats
     std::uint64_t opsWritten = 0;   ///< ops encoded across saves
     std::uint64_t opsRead = 0;      ///< ops decoded across reads
     double decodeSeconds = 0.0;     ///< wall time inside decodeChunk
+    /**
+     * Artifact publications abandoned because another writer held the
+     * .lock file through the whole bounded retry window (saveArtifact).
+     * Persistent growth here under multi-process sweeps means capture
+     * work is being recomputed instead of shared — worth surfacing.
+     */
+    std::uint64_t publishAbandoned = 0;
 
     /** Encoded bytes per op across every save (0 when nothing saved). */
     double

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Crash-resilience tests for the process-isolated batch backend
+ * (harness/process_pool) and the sweep journal (harness/journal):
+ * byte-identity of forked-worker results against the in-process
+ * serial path, crash containment and poison quarantine under injected
+ * worker deaths, deadline kills of wedged workers, graceful drain,
+ * journal resume with zero recompute, and corrupt-record tolerance.
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/signal_util.hh"
+#include "harness/batch.hh"
+#include "harness/experiment.hh"
+#include "harness/fault.hh"
+#include "harness/journal.hh"
+
+namespace bfsim::harness {
+namespace {
+
+RunOptions
+quick()
+{
+    RunOptions options;
+    options.instructions = 30000;
+    return options;
+}
+
+/** Six distinct single-workload jobs; index 3 is "job 4" in specs. */
+std::vector<BatchJob>
+sixJobs()
+{
+    std::vector<BatchJob> jobs;
+    for (const char *name :
+         {"astar", "bzip2", "lbm", "libquantum", "mcf", "sjeng"}) {
+        jobs.push_back(BatchJob::single(name, "None", quick()));
+    }
+    return jobs;
+}
+
+void
+expectSameSingle(const SingleResult &a, const SingleResult &b)
+{
+    EXPECT_EQ(a.core.instructions, b.core.instructions);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.ipc, b.core.ipc); // bit-identical, not just near
+    EXPECT_EQ(a.core.mispredicts, b.core.mispredicts);
+    EXPECT_EQ(a.mem.accesses, b.mem.accesses);
+    EXPECT_EQ(a.mem.l1Hits, b.mem.l1Hits);
+    EXPECT_EQ(a.mem.dramAccesses, b.mem.dramAccesses);
+    EXPECT_EQ(a.mem.prefetchesIssued, b.mem.prefetchesIssued);
+}
+
+/** Copy the SingleResults out of a batch (memo clears invalidate
+ *  the items' pointers). */
+std::vector<SingleResult>
+copySingles(const BatchResult &batch)
+{
+    std::vector<SingleResult> singles;
+    for (const BatchItem &item : batch.items) {
+        if (item.single)
+            singles.push_back(*item.single);
+        else
+            singles.emplace_back();
+    }
+    return singles;
+}
+
+std::string
+freshDir(const std::string &stem)
+{
+    std::string dir = ::testing::TempDir() + stem + "-" +
+                      std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+BatchOptions
+processOptions()
+{
+    BatchOptions options;
+    options.isolate = IsolateMode::Process;
+    return options;
+}
+
+TEST(ProcessIsolate, MatchesSerialRunByteIdentical)
+{
+    std::vector<BatchJob> jobs = sixJobs();
+
+    clearMemoCaches();
+    BatchResult forked = runBatch(jobs, 3, nullptr, processOptions());
+    ASSERT_EQ(forked.items.size(), jobs.size());
+    EXPECT_EQ(forked.isolate, IsolateMode::Process);
+    EXPECT_EQ(forked.failures(), 0u);
+    std::vector<SingleResult> forked_singles = copySingles(forked);
+
+    clearMemoCaches();
+    BatchResult serial = runBatch(jobs, 1, nullptr, BatchOptions{});
+    ASSERT_EQ(serial.failures(), 0u);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_NE(serial.items[i].single, nullptr);
+        expectSameSingle(forked_singles[i], *serial.items[i].single);
+    }
+}
+
+TEST(ProcessIsolate, AdoptedResultsAreMemoHits)
+{
+    std::vector<BatchJob> jobs = sixJobs();
+    clearMemoCaches();
+    MemoStats before = memoStats();
+    BatchResult forked = runBatch(jobs, 2, nullptr, processOptions());
+    ASSERT_EQ(forked.failures(), 0u);
+    MemoStats after = memoStats();
+    // Workers computed in their own processes; the parent only adopts.
+    EXPECT_EQ(after.singleComputes, before.singleComputes);
+    EXPECT_EQ(after.singleAdopts - before.singleAdopts, jobs.size());
+    // Post-batch table assembly must hit the adopted entries.
+    bool computed = true;
+    runSingleCached(jobs[0].workloads[0], jobs[0].prefetcher,
+                    jobs[0].options, &computed);
+    EXPECT_FALSE(computed);
+}
+
+TEST(ProcessIsolate, CrashedJobPoisonedOthersByteIdentical)
+{
+    std::vector<BatchJob> jobs = sixJobs();
+
+    clearMemoCaches();
+    BatchOptions options = processOptions();
+    options.poisonThreshold = 2;
+    // Workers inherit the armed fault over fork, so every respawned
+    // worker that picks job 4 up crashes again: deterministic poison.
+    ScopedFault fault(fault::Site::WorkerCrash, 4);
+    BatchResult batch = runBatch(jobs, 2, nullptr, options);
+    ASSERT_EQ(batch.items.size(), jobs.size());
+
+    EXPECT_TRUE(batch.items[3].failed);
+    EXPECT_EQ(batch.items[3].crashes, 2u);
+    EXPECT_NE(batch.items[3].error.find("poison"), std::string::npos)
+        << batch.items[3].error;
+    std::vector<SingleResult> survivors = copySingles(batch);
+
+    clearMemoCaches();
+    fault::disarm();
+    BatchResult serial = runBatch(jobs, 1, nullptr, BatchOptions{});
+    ASSERT_EQ(serial.failures(), 0u);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i == 3)
+            continue;
+        EXPECT_FALSE(batch.items[i].failed) << batch.items[i].error;
+        ASSERT_NE(serial.items[i].single, nullptr);
+        expectSameSingle(survivors[i], *serial.items[i].single);
+    }
+}
+
+TEST(ProcessIsolate, CrashSignalSelectsSigkill)
+{
+    std::vector<BatchJob> jobs = sixJobs();
+    clearMemoCaches();
+    ::setenv("BFSIM_CRASH_SIGNAL", "kill", 1);
+    BatchOptions options = processOptions();
+    options.poisonThreshold = 1;
+    ScopedFault fault(fault::Site::WorkerCrash, 2);
+    BatchResult batch = runBatch(jobs, 2, nullptr, options);
+    ::unsetenv("BFSIM_CRASH_SIGNAL");
+    ASSERT_TRUE(batch.items[1].failed);
+    EXPECT_NE(batch.items[1].error.find("SIGKILL"), std::string::npos)
+        << batch.items[1].error;
+}
+
+TEST(ProcessIsolate, DeadlineKillsWedgedWorker)
+{
+    std::vector<BatchJob> jobs;
+    jobs.push_back(BatchJob::custom("wedge", [] {
+        std::this_thread::sleep_for(std::chrono::seconds(30));
+        return 1.0;
+    }));
+    jobs.push_back(BatchJob::custom("fine", [] { return 2.0; }));
+
+    BatchOptions options = processOptions();
+    options.jobDeadlineSeconds = 0.5;
+    auto start = std::chrono::steady_clock::now();
+    BatchResult batch = runBatch(jobs, 2, nullptr, options);
+    double waited = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+    ASSERT_EQ(batch.items.size(), 2u);
+    EXPECT_TRUE(batch.items[0].failed);
+    EXPECT_NE(batch.items[0].error.find("deadline"), std::string::npos)
+        << batch.items[0].error;
+    // A deadline kill is not a crash: no poison accounting.
+    EXPECT_EQ(batch.items[0].crashes, 0u);
+    EXPECT_FALSE(batch.items[1].failed);
+    EXPECT_EQ(batch.items[1].value, 2.0);
+    // The worker was killed, not joined: nowhere near the 30s sleep.
+    EXPECT_LT(waited, 15.0);
+}
+
+TEST(ProcessIsolate, ShutdownSignalDrainsQueuedJobs)
+{
+    std::vector<BatchJob> jobs = sixJobs();
+    clearMemoCaches();
+    signal_util::requestShutdownForTest();
+    BatchResult batch = runBatch(jobs, 2, nullptr, processOptions());
+    signal_util::resetShutdownState();
+    ASSERT_EQ(batch.items.size(), jobs.size());
+    EXPECT_EQ(batch.failures(), jobs.size());
+    for (const BatchItem &item : batch.items)
+        EXPECT_NE(item.error.find("interrupt"), std::string::npos)
+            << item.error;
+}
+
+TEST(Journal, ResumeRestoresEverythingWithZeroRecompute)
+{
+    std::string dir = freshDir("bfsim-journal-resume");
+    std::vector<BatchJob> jobs = sixJobs();
+
+    clearMemoCaches();
+    BatchOptions options;
+    options.journalDir = dir;
+    BatchResult first = runBatch(jobs, 2, nullptr, options);
+    ASSERT_EQ(first.failures(), 0u);
+    EXPECT_EQ(first.journaled(), 0u);
+    std::vector<SingleResult> originals = copySingles(first);
+
+    // A "restarted daemon": cold memo cache, same journal directory.
+    clearMemoCaches();
+    MemoStats before = memoStats();
+    BatchResult resumed = runBatch(jobs, 2, nullptr, options);
+    MemoStats after = memoStats();
+
+    ASSERT_EQ(resumed.failures(), 0u);
+    EXPECT_EQ(resumed.journaled(), jobs.size());
+    EXPECT_EQ(after.singleComputes, before.singleComputes)
+        << "journal resume must recompute nothing";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_TRUE(resumed.items[i].journaled);
+        ASSERT_NE(resumed.items[i].single, nullptr);
+        expectSameSingle(originals[i], *resumed.items[i].single);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, PartialSweepResumesOnlyMissingJobs)
+{
+    std::string dir = freshDir("bfsim-journal-partial");
+    std::vector<BatchJob> jobs = sixJobs();
+
+    // First attempt "dies" after completing only the first three jobs.
+    std::vector<BatchJob> firstHalf(jobs.begin(), jobs.begin() + 3);
+    clearMemoCaches();
+    BatchOptions options;
+    options.journalDir = dir;
+    ASSERT_EQ(runBatch(firstHalf, 2, nullptr, options).failures(), 0u);
+
+    clearMemoCaches();
+    MemoStats before = memoStats();
+    BatchResult resumed = runBatch(jobs, 2, nullptr, options);
+    MemoStats after = memoStats();
+
+    ASSERT_EQ(resumed.failures(), 0u);
+    EXPECT_EQ(resumed.journaled(), 3u);
+    EXPECT_EQ(after.singleComputes - before.singleComputes, 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_TRUE(resumed.items[i].journaled);
+    for (std::size_t i = 3; i < jobs.size(); ++i)
+        EXPECT_FALSE(resumed.items[i].journaled);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, FailedJobsAreNeverJournaled)
+{
+    std::string dir = freshDir("bfsim-journal-failed");
+    std::vector<BatchJob> jobs = sixJobs();
+
+    clearMemoCaches();
+    BatchOptions options;
+    options.journalDir = dir;
+    {
+        ScopedFault fault(fault::Site::CacheAccess, 4);
+        BatchResult batch = runBatch(jobs, 1, nullptr, options);
+        EXPECT_EQ(batch.failures(), 1u);
+        EXPECT_TRUE(batch.items[3].failed);
+    }
+
+    // The rerun restores the five successes and recomputes only the
+    // previously failed job.
+    clearMemoCaches();
+    MemoStats before = memoStats();
+    BatchResult resumed = runBatch(jobs, 1, nullptr, options);
+    MemoStats after = memoStats();
+    EXPECT_EQ(resumed.failures(), 0u);
+    EXPECT_EQ(resumed.journaled(), jobs.size() - 1);
+    EXPECT_EQ(after.singleComputes - before.singleComputes, 1u);
+    EXPECT_FALSE(resumed.items[3].journaled);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, CorruptRecordsAreSkippedNotFatal)
+{
+    std::string dir = freshDir("bfsim-journal-corrupt");
+    std::vector<BatchJob> jobs = sixJobs();
+
+    clearMemoCaches();
+    BatchOptions options;
+    options.journalDir = dir;
+    ASSERT_EQ(runBatch(jobs, 2, nullptr, options).failures(), 0u);
+
+    // Truncate one record and scribble over another: both must be
+    // detected by the CRC/structure checks and recomputed, with every
+    // intact record still restored.
+    std::vector<std::string> records;
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        if (entry.path().extension() == ".rec")
+            records.push_back(entry.path().string());
+    ASSERT_EQ(records.size(), jobs.size());
+    std::sort(records.begin(), records.end());
+    std::filesystem::resize_file(records[0], 5);
+    {
+        std::ofstream scribble(records[1],
+                               std::ios::binary | std::ios::in);
+        scribble.seekp(16);
+        scribble.write("GARBAGEGARBAGE", 14);
+    }
+
+    SweepJournal journal(dir);
+    EXPECT_EQ(journal.corruptCount(), 2u);
+    EXPECT_EQ(journal.loadedCount(), jobs.size() - 2);
+
+    clearMemoCaches();
+    BatchResult resumed = runBatch(jobs, 2, nullptr, options);
+    EXPECT_EQ(resumed.failures(), 0u);
+    EXPECT_EQ(resumed.journaled(), jobs.size() - 2);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, ProcessBackendJournalsAndResumes)
+{
+    std::string dir = freshDir("bfsim-journal-process");
+    std::vector<BatchJob> jobs = sixJobs();
+
+    clearMemoCaches();
+    BatchOptions options = processOptions();
+    options.journalDir = dir;
+    BatchResult first = runBatch(jobs, 2, nullptr, options);
+    ASSERT_EQ(first.failures(), 0u);
+    std::vector<SingleResult> originals = copySingles(first);
+
+    clearMemoCaches();
+    BatchResult resumed = runBatch(jobs, 2, nullptr, options);
+    ASSERT_EQ(resumed.failures(), 0u);
+    EXPECT_EQ(resumed.journaled(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_NE(resumed.items[i].single, nullptr);
+        expectSameSingle(originals[i], *resumed.items[i].single);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(AbandonedPools, DrainReapsDeadlineStragglers)
+{
+    std::vector<BatchJob> jobs;
+    jobs.push_back(BatchJob::custom("slow", [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+        return 1.0;
+    }));
+    BatchOptions options;
+    options.jobDeadlineSeconds = 0.1;
+    BatchResult batch = runBatch(jobs, 1, nullptr, options);
+    ASSERT_TRUE(batch.items[0].failed);
+    // The wedged worker finishes its sleep well inside this bound and
+    // the registry joins it; nothing is left for the atexit hook.
+    EXPECT_EQ(drainAbandonedPools(30.0), 0u);
+}
+
+} // namespace
+} // namespace bfsim::harness

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the bfsimd sweep service: protocol parsing/validation
+ * (service/protocol.hh) and an end-to-end daemon conversation over a
+ * real Unix-domain socket — hello/ping/error handling, a small sweep
+ * streamed as JSON lines, journal-directory stability across identical
+ * requests, and clean shutdown.
+ */
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/signal_util.hh"
+#include "common/sim_error.hh"
+#include "harness/experiment.hh"
+#include "service/daemon.hh"
+#include "service/protocol.hh"
+
+namespace bfsim::service {
+namespace {
+
+TEST(Protocol, SplitTokens)
+{
+    EXPECT_TRUE(splitTokens("").empty());
+    EXPECT_TRUE(splitTokens("   \t ").empty());
+    std::vector<std::string> tokens =
+        splitTokens("  job   single mcf\tbfetch ");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[0], "job");
+    EXPECT_EQ(tokens[3], "bfetch");
+}
+
+TEST(Protocol, OptionsApplyToSubsequentJobs)
+{
+    SweepRequest request;
+    applyOption(request, "instructions", "12345");
+    applyOption(request, "retries", "2");
+    applyOption(request, "deadline", "1.5");
+    applyOption(request, "isolate", "none");
+    applyOption(request, "workers", "3");
+    addJob(request, splitTokens("job single mcf bfetch point"));
+    applyOption(request, "instructions", "99999");
+    addJob(request, splitTokens("job mix mcf,lbm stride"));
+
+    ASSERT_EQ(request.jobs.size(), 2u);
+    EXPECT_EQ(request.jobs[0].options.instructions, 12345u);
+    EXPECT_EQ(request.jobs[0].label, "point");
+    EXPECT_EQ(request.jobs[1].options.instructions, 99999u);
+    ASSERT_EQ(request.jobs[1].workloads.size(), 2u);
+    EXPECT_EQ(request.batch.retries, 2u);
+    EXPECT_EQ(request.batch.jobDeadlineSeconds, 1.5);
+    EXPECT_EQ(request.batch.isolate, harness::IsolateMode::None);
+    EXPECT_EQ(request.workers, 3u);
+}
+
+TEST(Protocol, RejectsBadInput)
+{
+    SweepRequest request;
+    EXPECT_THROW(applyOption(request, "bogus", "1"), SimError);
+    EXPECT_THROW(applyOption(request, "instructions", "zero?"),
+                 SimError);
+    EXPECT_THROW(applyOption(request, "isolate", "container"),
+                 SimError);
+    EXPECT_THROW(addJob(request, splitTokens("job single nosuch none")),
+                 SimError);
+    EXPECT_THROW(addJob(request,
+                        splitTokens("job single mcf nosuchpf")),
+                 SimError);
+    EXPECT_THROW(addJob(request, splitTokens("job mix mcf none")),
+                 SimError);
+    EXPECT_THROW(addJob(request, splitTokens("job triple mcf none")),
+                 SimError);
+    EXPECT_TRUE(request.jobs.empty());
+}
+
+TEST(Protocol, JournalDirIsStableAndRequestKeyed)
+{
+    SweepRequest a;
+    applyOption(a, "instructions", "30000");
+    addJob(a, splitTokens("job single mcf bfetch"));
+    SweepRequest b;
+    applyOption(b, "instructions", "30000");
+    addJob(b, splitTokens("job single mcf bfetch label-only-differs"));
+    SweepRequest c;
+    applyOption(c, "instructions", "31000");
+    addJob(c, splitTokens("job single mcf bfetch"));
+
+    EXPECT_EQ(journalDirFor("", a), "");
+    std::string dirA = journalDirFor("/tmp/root", a);
+    EXPECT_EQ(dirA.rfind("/tmp/root/sweep-", 0), 0u) << dirA;
+    // Identical points -> identical journal (resume works across
+    // daemon restarts); different options -> different journal.
+    EXPECT_EQ(dirA, journalDirFor("/tmp/root", a));
+    EXPECT_NE(dirA, journalDirFor("/tmp/root", b)); // label is identity
+    EXPECT_NE(dirA, journalDirFor("/tmp/root", c));
+}
+
+TEST(Protocol, JsonEscape)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("x\ny"), "x\\ny");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+/** Blocking line-oriented test client over a Unix socket. */
+class TestClient
+{
+  public:
+    explicit TestClient(const std::string &path)
+    {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        struct sockaddr_un addr;
+        std::memset(&addr, 0, sizeof addr);
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof addr.sun_path - 1);
+        // The daemon thread may not have bound yet: bounded retry.
+        for (int attempt = 0; attempt < 100; ++attempt) {
+            if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                          sizeof addr) == 0)
+                return;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        ADD_FAILURE() << "cannot connect to " << path;
+    }
+
+    ~TestClient()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    void
+    send(const std::string &line)
+    {
+        std::string framed = line + "\n";
+        ASSERT_EQ(::write(fd, framed.data(), framed.size()),
+                  static_cast<ssize_t>(framed.size()));
+    }
+
+    /** Next response line ("" on EOF). */
+    std::string
+    readLine()
+    {
+        std::string line;
+        std::size_t pos;
+        while ((pos = buffer.find('\n')) == std::string::npos) {
+            char chunk[4096];
+            ssize_t n = ::read(fd, chunk, sizeof chunk);
+            if (n <= 0)
+                return "";
+            buffer.append(chunk, static_cast<std::size_t>(n));
+        }
+        line = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        return line;
+    }
+
+  private:
+    int fd = -1;
+    std::string buffer;
+};
+
+bool
+contains(const std::string &haystack, const std::string &needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+struct DaemonFixture
+{
+    explicit DaemonFixture(DaemonOptions options)
+        : daemon(std::move(options))
+    {
+        daemon.bind();
+        server = std::thread([this] { exitCode = daemon.serve(); });
+    }
+
+    ~DaemonFixture()
+    {
+        if (server.joinable())
+            server.join();
+        signal_util::resetShutdownState();
+    }
+
+    Daemon daemon;
+    std::thread server;
+    int exitCode = -1;
+};
+
+std::string
+tempPath(const std::string &stem)
+{
+    return ::testing::TempDir() + stem + "-" +
+           std::to_string(::getpid());
+}
+
+TEST(DaemonEndToEnd, PingSweepShutdown)
+{
+    std::string socket_path = tempPath("bfsimd-e2e.sock");
+    std::string journal_root = tempPath("bfsimd-e2e-journal");
+    std::filesystem::remove_all(journal_root);
+    ::unlink(socket_path.c_str());
+
+    DaemonOptions options;
+    options.socketPath = socket_path;
+    options.journalRoot = journal_root;
+    options.workers = 2;
+    // In-process backend keeps the end-to-end test lean; the process
+    // backend has its own battery in crash_test.
+    options.isolate = harness::IsolateMode::None;
+
+    harness::clearMemoCaches();
+    DaemonFixture fixture(options);
+    {
+        TestClient client(socket_path);
+        EXPECT_TRUE(contains(client.readLine(), "\"hello\""));
+
+        client.send("ping");
+        EXPECT_TRUE(contains(client.readLine(), "\"pong\""));
+
+        client.send("bogus-command");
+        EXPECT_TRUE(contains(client.readLine(), "\"error\""));
+
+        client.send("run"); // outside a sweep
+        EXPECT_TRUE(contains(client.readLine(), "\"error\""));
+
+        client.send("sweep");
+        EXPECT_TRUE(contains(client.readLine(), "\"ok\""));
+        client.send("opt instructions 30000");
+        EXPECT_TRUE(contains(client.readLine(), "\"ok\""));
+        client.send("job single mcf none first");
+        EXPECT_TRUE(contains(client.readLine(), "\"index\": 0"));
+        client.send("job single lbm none second");
+        EXPECT_TRUE(contains(client.readLine(), "\"index\": 1"));
+        client.send("job bogus");
+        EXPECT_TRUE(contains(client.readLine(), "\"error\""));
+
+        client.send("run");
+        std::string start = client.readLine();
+        EXPECT_TRUE(contains(start, "\"start\"")) << start;
+        EXPECT_TRUE(contains(start, "\"jobs\": 2")) << start;
+        EXPECT_TRUE(contains(start, journal_root)) << start;
+        std::string job1 = client.readLine();
+        std::string job2 = client.readLine();
+        EXPECT_TRUE(contains(job1, "\"job\"")) << job1;
+        EXPECT_TRUE(contains(job2, "\"job\"")) << job2;
+        EXPECT_TRUE(contains(job1, "\"failed\": false")) << job1;
+        std::string done = client.readLine();
+        EXPECT_TRUE(contains(done, "\"done\"")) << done;
+        EXPECT_TRUE(contains(done, "\"failures\": 0")) << done;
+
+        client.send("shutdown");
+        EXPECT_TRUE(contains(client.readLine(), "\"bye\""));
+    }
+    fixture.server.join();
+    EXPECT_EQ(fixture.exitCode, 0);
+
+    // The sweep journaled both points under its canonical directory.
+    std::size_t records = 0;
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(journal_root))
+        records += entry.path().extension() == ".rec" ? 1 : 0;
+    EXPECT_EQ(records, 2u);
+    std::filesystem::remove_all(journal_root);
+}
+
+TEST(DaemonEndToEnd, ResubmittedSweepRestoresFromJournal)
+{
+    std::string socket_path = tempPath("bfsimd-resume.sock");
+    std::string journal_root = tempPath("bfsimd-resume-journal");
+    std::filesystem::remove_all(journal_root);
+    ::unlink(socket_path.c_str());
+
+    DaemonOptions options;
+    options.socketPath = socket_path;
+    options.journalRoot = journal_root;
+    options.workers = 2;
+    options.isolate = harness::IsolateMode::None;
+
+    auto submit = [&socket_path](bool expect_journaled) {
+        TestClient client(socket_path);
+        client.readLine(); // hello
+        for (const char *line :
+             {"sweep", "opt instructions 30000",
+              "job single mcf none", "job single lbm none", "run"}) {
+            client.send(line);
+        }
+        // Skip the acks, collect the stream.
+        std::string line;
+        std::size_t journaled_jobs = 0;
+        bool done = false;
+        while (!(line = client.readLine()).empty()) {
+            if (contains(line, "\"journaled\": true"))
+                ++journaled_jobs;
+            if (contains(line, "\"type\": \"done\"")) {
+                done = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(done);
+        EXPECT_EQ(journaled_jobs, expect_journaled ? 2u : 0u);
+        client.send("shutdown");
+        client.readLine();
+    };
+
+    harness::clearMemoCaches();
+    {
+        DaemonFixture first(options);
+        submit(false);
+    }
+    // "Daemon restarted": cold process state, same journal root.
+    harness::clearMemoCaches();
+    signal_util::resetShutdownState();
+    {
+        DaemonFixture second(options);
+        harness::MemoStats before = harness::memoStats();
+        submit(true);
+        harness::MemoStats after = harness::memoStats();
+        EXPECT_EQ(after.singleComputes, before.singleComputes)
+            << "resumed sweep must recompute nothing";
+    }
+    std::filesystem::remove_all(journal_root);
+}
+
+} // namespace
+} // namespace bfsim::service

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Client for the bfsimd sweep daemon (src/service/).
+
+Speaks the line protocol of service/protocol.hh over a Unix-domain
+socket using only the Python standard library. Three modes:
+
+  bfsimd_client.py --socket PATH ping
+  bfsimd_client.py --socket PATH shutdown
+  bfsimd_client.py --socket PATH [--script FILE] [--table]
+
+The default (sweep) mode reads request lines from --script (or stdin),
+sends them verbatim, and streams the daemon's JSON-line responses to
+stdout. With --table the stream is reduced to one deterministic row
+per job -- label, headline value, status -- with every timing and
+provenance field (seconds, cached, journaled) dropped, so CI can
+byte-compare the table of an interrupted-and-resumed sweep against an
+uninterrupted one.
+
+Exit status: 0 on a complete response stream, 1 on usage/connect
+errors, 2 when the daemon answered any line with a protocol error,
+3 when the stream ended mid-sweep (daemon death -- the journal makes a
+re-submit cheap).
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+def connect(path, timeout):
+    """Connect with bounded retry so a just-spawned daemon can bind."""
+    deadline = time.monotonic() + timeout
+    delay = 0.05
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            return sock
+        except OSError as error:
+            sock.close()
+            if time.monotonic() >= deadline:
+                raise SystemExit(
+                    "bfsimd_client: cannot connect to %s: %s"
+                    % (path, error))
+            time.sleep(delay)
+            delay = min(delay * 2, 0.5)
+
+
+def recv_lines(sock):
+    """Yield decoded response lines until EOF."""
+    buffer = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return
+        buffer += chunk
+        while b"\n" in buffer:
+            line, buffer = buffer.split(b"\n", 1)
+            yield line.decode("utf-8", "replace")
+
+
+def parse(line):
+    try:
+        return json.loads(line)
+    except ValueError:
+        return {"type": "garbage", "line": line}
+
+
+def table_row(msg):
+    """Deterministic row for one finished job (no timing fields)."""
+    label = msg.get("label", "?")
+    if msg.get("failed"):
+        return "%s\tFAILED\t%s" % (label, msg.get("error", ""))
+    return "%s\t%.17g\tok" % (label, msg.get("value", 0.0))
+
+
+def run_sweep(sock, script, table, raw_log):
+    request = script.read()
+    sock.sendall(request.encode("utf-8"))
+    # Half-close so a daemon waiting for more commands sees EOF once
+    # the response stream completes; responses still flow back.
+    sock.shutdown(socket.SHUT_WR)
+
+    status = 0
+    saw_done = False
+    in_run = False
+    rows = []
+    for line in recv_lines(sock):
+        msg = parse(line)
+        kind = msg.get("type")
+        if kind == "error":
+            status = max(status, 2)
+        elif kind == "start":
+            in_run = True
+            saw_done = False
+        elif kind == "job":
+            rows.append(table_row(msg))
+        elif kind == "done":
+            in_run = False
+            saw_done = True
+        if raw_log:
+            raw_log.write(line + "\n")
+            raw_log.flush()
+        if not table:
+            # Flush per line: watchers (CI kill-timing loops, humans
+            # tailing the stream) must see jobs as they finish, not
+            # when the block buffer happens to fill.
+            print(line, flush=True)
+    if table:
+        for row in rows:
+            print(row)
+    if in_run and not saw_done:
+        print("bfsimd_client: response stream ended mid-sweep",
+              file=sys.stderr)
+        return 3
+    return status
+
+
+def simple_command(sock, command, expect):
+    sock.sendall((command + "\n").encode("utf-8"))
+    for line in recv_lines(sock):
+        msg = parse(line)
+        if msg.get("type") == "hello":
+            continue
+        print(line)
+        return 0 if msg.get("type") == expect else 2
+    print("bfsimd_client: no response to %s" % command,
+          file=sys.stderr)
+    return 3
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="client for the bfsimd sweep daemon")
+    parser.add_argument("--socket", required=True,
+                        help="Unix socket path the daemon listens on")
+    parser.add_argument("--script", default="-",
+                        help="request-line file ('-' = stdin)")
+    parser.add_argument("--table", action="store_true",
+                        help="print only deterministic per-job rows")
+    parser.add_argument("--raw-log", default=None, metavar="FILE",
+                        help="also write the raw JSON response stream "
+                             "to FILE (useful with --table)")
+    parser.add_argument("--connect-timeout", type=float, default=10.0,
+                        help="seconds to keep retrying the connect")
+    parser.add_argument("command", nargs="?", default="sweep",
+                        choices=["sweep", "ping", "shutdown"])
+    args = parser.parse_args()
+
+    sock = connect(args.socket, args.connect_timeout)
+    try:
+        if args.command == "ping":
+            return simple_command(sock, "ping", "pong")
+        if args.command == "shutdown":
+            return simple_command(sock, "shutdown", "bye")
+        raw_log = (open(args.raw_log, "w", encoding="utf-8")
+                   if args.raw_log else None)
+        try:
+            if args.script == "-":
+                return run_sweep(sock, sys.stdin, args.table, raw_log)
+            with open(args.script, "r", encoding="utf-8") as script:
+                return run_sweep(sock, script, args.table, raw_log)
+        finally:
+            if raw_log:
+                raw_log.close()
+    finally:
+        sock.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

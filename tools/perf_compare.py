@@ -14,10 +14,17 @@ must be >= 10x faster than the full run it approximates), and
 --max-ipc-delta-pct bounds the worst per-job |IPC| deviation between
 the two reports (the sampling error gate).
 
+A fourth gate serves the process-isolation overhead check:
+--max-wall-delta-pct bounds how much the candidate's whole-batch
+wall_seconds may exceed the baseline's (e.g. CI asserts that
+--isolate=process costs < 10% wall clock over the in-process backend
+on an otherwise identical sweep).
+
 Usage:
     tools/perf_compare.py BASELINE.json CANDIDATE.json \
         [--threshold-pct 15] [--gate] \
-        [--min-speedup 10] [--max-ipc-delta-pct 1]
+        [--min-speedup 10] [--max-ipc-delta-pct 1] \
+        [--max-wall-delta-pct 10]
 
 Exit codes:
     0  comparison printed; no gated violation
@@ -78,6 +85,11 @@ def main() -> int:
         "--max-ipc-delta-pct", type=float, default=None, metavar="PCT",
         help="require every shared job's |IPC delta| <= PCT percent "
              "(exit 1 otherwise); the sampled-vs-full error gate")
+    parser.add_argument(
+        "--max-wall-delta-pct", type=float, default=None, metavar="PCT",
+        help="require candidate wall_seconds <= baseline wall_seconds "
+             "* (1 + PCT/100) (exit 1 otherwise); the process-isolation "
+             "overhead gate")
     args = parser.parse_args()
 
     base = load_report(args.baseline)
@@ -161,6 +173,23 @@ def main() -> int:
             print(f"perf_compare: IPC ERROR beyond "
                   f"{args.max_ipc_delta_pct:.3f}%: {worst:.3f}% on "
                   f"{worst_label}", file=sys.stderr)
+            failed = True
+
+    if args.max_wall_delta_pct is not None:
+        base_wall = float(base.get("wall_seconds", 0.0))
+        cand_wall = float(cand.get("wall_seconds", 0.0))
+        if base_wall <= 0 or cand_wall <= 0:
+            print("perf_compare: --max-wall-delta-pct needs "
+                  "wall_seconds on both sides", file=sys.stderr)
+            return 2
+        wall_delta = pct_delta(base_wall, cand_wall)
+        print(f"  wall: {base_wall:.3f}s -> {cand_wall:.3f}s "
+              f"({wall_delta:+.1f}%), allowed "
+              f"+{args.max_wall_delta_pct:.1f}%")
+        if wall_delta > args.max_wall_delta_pct:
+            print(f"perf_compare: WALL-CLOCK OVERHEAD beyond "
+                  f"+{args.max_wall_delta_pct:.1f}%: {wall_delta:+.1f}%",
+                  file=sys.stderr)
             failed = True
 
     if args.gate and agg_delta < -args.threshold_pct:

@@ -4,8 +4,9 @@ exit path, so the CI gate's own gatekeeper is itself tested.
 
 Covers: clean pass, gated MIPS regression, ungated regression (report
 only), missing-key inputs, disjoint job sets, the --min-speedup pass /
-shortfall / no-data paths, and the --max-ipc-delta-pct pass / violation
-/ no-data paths.
+shortfall / no-data paths, the --max-ipc-delta-pct pass / violation /
+no-data paths, and the --max-wall-delta-pct pass / violation / no-data
+paths (the process-isolation overhead gate).
 
 Registered in ctest (perf_compare_selftest); also runnable directly:
     python3 tools/perf_compare_selftest.py
@@ -25,12 +26,13 @@ COMPARE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                        "perf_compare.py")
 
 
-def report(mips: float, jobs: list[dict]) -> dict:
+def report(mips: float, jobs: list[dict],
+           wall_seconds: float = 1.0) -> dict:
     return {
         "bench": "selftest",
         "batch_ops": True,
         "threads": 1,
-        "wall_seconds": 1.0,
+        "wall_seconds": wall_seconds,
         "sim_instructions": sum(j.get("sim_instructions", 0)
                                 for j in jobs),
         "sim_seconds": sum(j.get("sim_seconds", 0.0) for j in jobs),
@@ -129,6 +131,25 @@ def main() -> int:
     no_ipc = report(10.0, [job("a", 10.0), job("b", 10.0)])
     run_case("--max-ipc-delta-pct without ipc fields is no-data",
              base, no_ipc, ["--max-ipc-delta-pct", "1"], 2, failures)
+
+    # --- --max-wall-delta-pct -----------------------------------------
+    isolated = report(10.0, [job("a", 10.0, ipc=0.500),
+                             job("b", 10.0, ipc=1.000)],
+                      wall_seconds=1.05)
+    run_case("5% wall overhead passes --max-wall-delta-pct 10",
+             base, isolated, ["--max-wall-delta-pct", "10"], 0,
+             failures)
+    slow_wall = report(10.0, [job("a", 10.0, ipc=0.500),
+                              job("b", 10.0, ipc=1.000)],
+                       wall_seconds=1.25)
+    run_case("25% wall overhead fails --max-wall-delta-pct 10",
+             base, slow_wall, ["--max-wall-delta-pct", "10"], 1,
+             failures)
+    no_wall = report(10.0, [job("a", 10.0), job("b", 10.0)],
+                     wall_seconds=0.0)
+    run_case("--max-wall-delta-pct without wall_seconds is no-data",
+             base, no_wall, ["--max-wall-delta-pct", "10"], 2,
+             failures)
 
     # --- combined gates -----------------------------------------------
     run_case("fast+accurate candidate passes combined gates",
