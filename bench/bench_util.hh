@@ -21,7 +21,11 @@
  * harness/sampling.hh) replaces every full detailed run with scheduled
  * warmup+measure windows, estimating CPI at a fraction of the detailed
  * work; --sample-jobs / BFSIM_SAMPLE_JOBS simulates the windows of
- * each run in parallel.
+ * each run in parallel. A ":ckpt" suffix on the spec (or
+ * BFSIM_SAMPLE_CKPT=1) restores each window from the newest trace
+ * checkpoint at-or-before its start — skipping the functional
+ * fast-forward and warming the L1-D from the checkpoint's tag
+ * snapshot — so warmup budgets shrink without losing accuracy.
  *
  * Failure policy: a failed sweep point becomes a failed report item,
  * not a dead process. --retries/BFSIM_RETRIES grants bounded retries,
@@ -230,7 +234,7 @@ validatePrefetcherSpec(const std::string &spec)
  * --filter=SUBSTR / --filter SUBSTR / --trace-dir=DIR / --trace-dir DIR /
  * --retries=N / --retries N / --fail-fast / --deadline=SECONDS /
  * --deadline SECONDS / --isolate=MODE / --journal=DIR / --journal DIR /
- * --sample[=P:W:M] / --sample-jobs=N / --list)
+ * --sample[=P:W:M[:ckpt]] / --sample-jobs=N / --list)
  * from argv before google-benchmark sees the remaining arguments.
  * BFSIM_REPORT / BFSIM_PERF_REPORT seed the report paths,
  * BFSIM_TRACE_DIR seeds the trace-store directory, BFSIM_RETRIES /
@@ -243,7 +247,8 @@ validatePrefetcherSpec(const std::string &spec)
  * and geomean to workloads whose name contains SUBSTR; --trace-dir
  * persists captured DynOp traces in DIR so later processes skip
  * functional capture; --sample enables statistical sampling with the
- * default (or a P:W:M period:warmup:measure) schedule, --sample=0
+ * default (or a P:W:M period:warmup:measure, optionally :ckpt-suffixed
+ * for checkpoint-restored windows) schedule, --sample=0
  * force-disables it; --list prints the (filtered) suite and exits.
  *
  * Registry selection: --predictor=SPEC (env BFSIM_PREDICTOR) makes
@@ -498,6 +503,38 @@ runSweep(const std::string &bench_name, const BenchConfig &config,
                      disk.bytesPerOp(),
                      static_cast<double>(disk.bytesRead) / 1024.0,
                      trace.captureSeconds, disk.decodeSeconds);
+    }
+    {
+        // Sampling summary over the batch: windows simulated, prefix
+        // ops skipped outright (artifact seeks), prefix ops still
+        // materialised sequentially, and checkpoint restores — the
+        // observability behind the sampled-speedup claims.
+        std::uint64_t windows = 0, ff_skipped = 0, ff_insts = 0;
+        std::uint64_t ckpt_hits = 0;
+        for (const harness::BatchItem &item : batch.items) {
+            const harness::SampledStats *s = nullptr;
+            if (item.single && item.single->sampled.enabled)
+                s = &item.single->sampled;
+            else if (item.mix && item.mix->sampled.enabled)
+                s = &item.mix->sampled;
+            if (!s)
+                continue;
+            windows += s->windows;
+            ff_skipped += s->ffSkippedOps;
+            ff_insts += s->ffInstructions;
+            ckpt_hits += s->checkpointHits;
+        }
+        if (windows) {
+            std::fprintf(
+                stderr,
+                "%s: sampled %llu window(s); ff skipped %.1fM op(s), "
+                "ff executed %.1fM op(s), %llu checkpoint restore(s)\n",
+                bench_name.c_str(),
+                static_cast<unsigned long long>(windows),
+                static_cast<double>(ff_skipped) / 1e6,
+                static_cast<double>(ff_insts) / 1e6,
+                static_cast<unsigned long long>(ckpt_hits));
+        }
     }
     if (std::size_t failures = batch.failures()) {
         sweepFailureCount() += failures;

@@ -408,6 +408,11 @@ class WindowSourceFactory
             storeKey = sim::trace_store::makeKey(
                 name, options.instructions, workload.program);
             haveStoreKey = true;
+            // One validated open per factory; every window clones this
+            // reader (a fresh cursor over the shared mmap) instead of
+            // re-opening and re-validating the file per window.
+            metaReader = sim::trace_store::openArtifact(
+                storeKey, workload.program);
         }
         // Resolve the buffer tier eagerly so cache hit/miss accounting
         // lands on the requesting thread, exactly like a full run.
@@ -434,27 +439,55 @@ class WindowSourceFactory
     /**
      * A source for ops [begin, end). `allow_artifact` false forces the
      * buffer tier (the retry path after a mid-window decode failure).
+     * `artifact_tier` reports which tier served the window, for the
+     * fast-forward accounting in SampledStats.
      */
     std::unique_ptr<sim::DynOpSource>
-    make(std::uint64_t begin, std::uint64_t end, bool allow_artifact)
+    make(std::uint64_t begin, std::uint64_t end, bool allow_artifact,
+         bool &artifact_tier)
     {
-        if (haveStoreKey && allow_artifact) {
-            auto artifact =
-                sim::trace_store::openArtifact(storeKey,
-                                               workload.program);
-            if (artifact && artifact->seekable() &&
-                artifact->opCount() >= end) {
-                try {
-                    return std::make_unique<sim::ArtifactWindowSource>(
-                        workload.program, std::move(artifact), begin,
+        artifact_tier = false;
+        if (metaReader && allow_artifact && metaReader->seekable() &&
+            metaReader->opCount() >= end) {
+            try {
+                auto source =
+                    std::make_unique<sim::ArtifactWindowSource>(
+                        workload.program, metaReader->clone(), begin,
                         end);
-                } catch (const SimError &) {
-                    // Window construction failed; use the buffer tier.
-                }
+                artifact_tier = true;
+                return source;
+            } catch (const SimError &) {
+                // Window construction failed; use the buffer tier.
             }
         }
         return std::make_unique<sim::TraceWindowReplay>(buffer, begin,
                                                         end);
+    }
+
+    /**
+     * The newest architectural checkpoint at-or-before `begin`
+     * (ckptWarm mode). On the disk tier the buffer adopted the
+     * artifact's records at construction, so this costs a binary
+     * search; on the memory tier capture-time records appear as the
+     * stream materialises, so a miss first ensures the prefix — work a
+     * buffer-tier window performs anyway — and retries. Deterministic
+     * regardless of window execution order. Returns false when no
+     * record covers `begin` (v1 artifacts, op 0, early halt); the
+     * window then runs cold exactly as non-ckpt mode would.
+     */
+    bool
+    checkpointFor(std::uint64_t begin, sim::trace_store::Checkpoint &out)
+    {
+        if (begin == 0)
+            return false;
+        if (buffer->checkpointAtOrBefore(begin, out))
+            return true;
+        try {
+            buffer->ensure(begin + 1);
+        } catch (const SimError &) {
+            return false;
+        }
+        return buffer->checkpointAtOrBefore(begin, out);
     }
 
   private:
@@ -463,6 +496,7 @@ class WindowSourceFactory
     RunOptions options;
     sim::trace_store::Key storeKey{};
     bool haveStoreKey = false;
+    std::unique_ptr<sim::trace_store::ArtifactReader> metaReader;
     std::shared_ptr<sim::TraceBuffer> buffer;
 };
 
@@ -490,6 +524,12 @@ struct WindowOutput
     core::BFetchStats bfetch{};
     bool haveBFetch = false;
     double predictorKB = 0.0;
+    /** Prefix ops skipped by artifact chunk-index seeks (all cores). */
+    std::uint64_t ffSkippedOps = 0;
+    /** Prefix ops demanded sequentially on the buffer tier (all cores). */
+    std::uint64_t ffOps = 0;
+    /** Cores restored from a checkpoint in this window. */
+    std::uint64_t checkpointHits = 0;
 };
 
 /**
@@ -523,12 +563,46 @@ runWindows(const std::vector<SampleWindow> &schedule,
                     n, makeCoreConfig(kind, options));
                 std::vector<std::unique_ptr<sim::DynOpSource>> sources;
                 for (unsigned c = 0; c < n; ++c) {
+                    bool artifact_tier = false;
                     sources.push_back(factories[c].make(
-                        win.begin, end, allow_artifact));
+                        win.begin, end, allow_artifact,
+                        artifact_tier));
+                    // Fast-forward accounting: a seekable window skips
+                    // every whole chunk before `begin` outright; a
+                    // buffer-tier window demands the prefix be
+                    // materialised sequentially. Tier choice is
+                    // deterministic, so these sums are too.
+                    if (artifact_tier) {
+                        out.ffSkippedOps +=
+                            (win.begin / sim::TraceBuffer::chunkOps) *
+                            sim::TraceBuffer::chunkOps;
+                    } else {
+                        out.ffOps += win.begin;
+                    }
+                }
+                // Checkpoint-restored mode: install each core's newest
+                // at-or-before-begin L1-D tag snapshot as functional
+                // warmup before the window's first cycle.
+                sim::WindowWarmup warm;
+                bool have_warm = false;
+                if (options.sample.ckptWarm) {
+                    warm.l1Tags.resize(n);
+                    warm.snapshotWays =
+                        sim::trace_store::checkpointCacheWays;
+                    for (unsigned c = 0; c < n; ++c) {
+                        sim::trace_store::Checkpoint ckpt;
+                        if (factories[c].checkpointFor(win.begin,
+                                                       ckpt)) {
+                            warm.l1Tags[c] = std::move(ckpt.cacheTags);
+                            ++out.checkpointHits;
+                            have_warm = true;
+                        }
+                    }
                 }
                 sim::Cmp cmp(cfgs, std::move(sources),
                              makeHierarchyConfig(n, options));
-                out.result = cmp.runWindow(win.warmup, win.measure);
+                out.result = cmp.runWindow(win.warmup, win.measure,
+                                           have_warm ? &warm : nullptr);
                 if (const core::BFetchEngine *engine =
                         cmp.core(0).bfetchEngine()) {
                     out.bfetch = engine->stats();
@@ -587,6 +661,11 @@ runSampledSingle(const std::string &workload_name,
     result.sampled = summarizeWindows(schedule, window_cycles,
                                       window_insts,
                                       options.instructions);
+    for (const WindowOutput &out : outputs) {
+        result.sampled.ffSkippedOps += out.ffSkippedOps;
+        result.sampled.ffInstructions += out.ffOps;
+        result.sampled.checkpointHits += out.checkpointHits;
+    }
     result.simSeconds = wall.count();
     if (result.simSeconds > 0.0) {
         result.mips = static_cast<double>(result.simInstructions) /
@@ -648,6 +727,11 @@ runSampledMix(const std::vector<std::string> &workload_names,
     result.sampled = summarizeWindows(schedule, window_cycles,
                                       window_insts,
                                       options.instructions);
+    for (const WindowOutput &out : outputs) {
+        result.sampled.ffSkippedOps += out.ffSkippedOps;
+        result.sampled.ffInstructions += out.ffOps;
+        result.sampled.checkpointHits += out.checkpointHits;
+    }
     result.simSeconds = wall.count();
     if (result.simSeconds > 0.0) {
         result.mips = static_cast<double>(result.simInstructions) /

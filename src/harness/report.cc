@@ -118,6 +118,9 @@ writeSampledJson(std::ostream &os, const SampledStats &sampled)
        << ", \"measured_instructions\": " << sampled.measuredInstructions
        << ", \"warmup_instructions\": " << sampled.warmupInstructions
        << ", \"budget_instructions\": " << sampled.budgetInstructions
+       << ", \"ff_skipped_ops\": " << sampled.ffSkippedOps
+       << ", \"ff_instructions\": " << sampled.ffInstructions
+       << ", \"checkpoint_hits\": " << sampled.checkpointHits
        << ", \"cpi\": " << jsonNumber(sampled.cpi)
        << ", \"cpi_ci95\": " << jsonNumber(sampled.cpiCi95)
        << ", \"ipc\": " << jsonNumber(sampled.ipc) << '}';
@@ -213,6 +216,8 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
        << ", \"bytes_per_op\": " << jsonNumber(disk.bytesPerOp())
        << ", \"decode_seconds\": " << jsonNumber(disk.decodeSeconds)
        << ", \"publish_abandoned\": " << disk.publishAbandoned
+       << ", \"checkpoints_written\": " << disk.checkpointsWritten
+       << ", \"checkpoint_bytes\": " << disk.checkpointBytesWritten
        << "}\n";
     os << "  },\n";
     os << "  \"results\": [\n";

@@ -21,6 +21,8 @@ SampleConfig::key() const
     std::ostringstream os;
     os << "/sample:" << periodOps << ':' << warmupOps << ':'
        << measureOps;
+    if (ckptWarm)
+        os << ":ckpt";
     return os.str();
 }
 
@@ -51,6 +53,13 @@ SampleConfig::parse(const std::string &spec)
                                    "' is not period:warmup:measure");
             ++pos;
         }
+    }
+    // Optional literal ":ckpt" suffix selects checkpoint-restored
+    // mode; any other fourth field stays an error.
+    if (pos < spec.size() && spec.compare(pos, std::string::npos,
+                                          ":ckpt") == 0) {
+        config.ckptWarm = true;
+        pos = spec.size();
     }
     if (pos != spec.size())
         throw SimError("sampling", "sample spec '" + spec +
@@ -85,6 +94,10 @@ SampleConfig::fromEnv()
                      error.message());
             }
         }
+    }
+    if (const char *ckpt_env = std::getenv("BFSIM_SAMPLE_CKPT")) {
+        if (*ckpt_env && std::string(ckpt_env) != "0")
+            config.ckptWarm = true;
     }
     if (const char *jobs_env = std::getenv("BFSIM_SAMPLE_JOBS")) {
         char *end = nullptr;

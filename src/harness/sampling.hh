@@ -45,6 +45,15 @@ struct SampleConfig
     /** Measured instructions per window. */
     std::uint64_t measureOps = 8'000;
     /**
+     * Checkpoint-restored windows: locate the newest trace checkpoint
+     * at-or-before each window's begin, skip the functional
+     * fast-forward it covers, and install its L1-D tag snapshot as
+     * functional cache warmup — letting warmupOps shrink while the CI
+     * error gate keeps the IPC estimate honest. Windows with no
+     * covering checkpoint (v1 artifacts, op 0) run exactly as before.
+     */
+    bool ckptWarm = false;
+    /**
      * Worker threads for window execution; 1 = serial. Not part of
      * key(): parallelism never changes the aggregated numbers.
      */
@@ -52,14 +61,16 @@ struct SampleConfig
 
     /**
      * Memo-cache key fragment: "" when disabled (so full-run keys are
-     * unchanged), "/sample:period:warmup:measure" when enabled —
-     * sampled and full results never collide.
+     * unchanged), "/sample:period:warmup:measure" when enabled (with
+     * ":ckpt" appended in checkpoint-restored mode) — sampled and full
+     * results never collide.
      */
     std::string key() const;
 
     /**
      * Parse a "period:warmup:measure" spec (instruction counts; the
-     * window must fit in the period). Returns an enabled config; throws
+     * window must fit in the period), optionally suffixed ":ckpt" for
+     * checkpoint-restored mode. Returns an enabled config; throws
      * SimError on malformed input.
      */
     static SampleConfig parse(const std::string &spec);
@@ -67,7 +78,8 @@ struct SampleConfig
     /**
      * Config from the environment: BFSIM_SAMPLE unset/"0" = disabled,
      * "1" = enabled with defaults, otherwise a parse() spec; plus
-     * BFSIM_SAMPLE_JOBS for window parallelism.
+     * BFSIM_SAMPLE_JOBS for window parallelism and BFSIM_SAMPLE_CKPT
+     * (unset/"0" off, anything else on) for checkpoint-restored mode.
      */
     static SampleConfig fromEnv();
 };
@@ -107,10 +119,32 @@ struct SampledStats
     std::uint64_t windows = 0;
     /** Instructions inside measurement regions (the CPI denominator). */
     std::uint64_t measuredInstructions = 0;
-    /** Instructions burned as detailed warmup across windows. */
+    /**
+     * Instructions burned as *detailed* warmup across windows (the
+     * scheduled warmupOps). Functional fast-forward work is reported
+     * separately below — earlier releases conflated the two, making
+     * speedup denominators computed from this field dishonest whenever
+     * windows fell back to sequential prefix materialisation.
+     */
     std::uint64_t warmupInstructions = 0;
     /** The full budget the sample represents. */
     std::uint64_t budgetInstructions = 0;
+    /**
+     * Prefix ops windows skipped outright — chunk-index seeks on the
+     * artifact tier (no decode, no execution) — summed per window and
+     * core. The headline win of checkpoint/seek-native sampling.
+     */
+    std::uint64_t ffSkippedOps = 0;
+    /**
+     * Prefix ops that still had to be materialised sequentially
+     * (functional execution or in-order artifact decode) because a
+     * window ran on the buffer tier, summed per window and core. The
+     * honest fast-forward cost term, kept apart from
+     * warmupInstructions.
+     */
+    std::uint64_t ffInstructions = 0;
+    /** Per-window-per-core checkpoint restores (ckptWarm hits). */
+    std::uint64_t checkpointHits = 0;
     /** Aggregate CPI: total measured cycles / measured instructions. */
     double cpi = 0.0;
     /** 95% confidence half-width on the per-window CPI mean. */

@@ -43,6 +43,32 @@ Hierarchy::inL1(unsigned core, Addr vaddr) const
     return l1dCaches[core]->contains(physical(core, vaddr));
 }
 
+void
+Hierarchy::installL1Warmup(unsigned core,
+                           const std::vector<Addr> &block_tags,
+                           unsigned snapshot_ways)
+{
+    if (snapshot_ways == 0)
+        return;
+    Cache &l1 = *l1dCaches.at(core);
+    std::size_t snapshot_sets = block_tags.size() / snapshot_ways;
+    // Deliberately bypasses fillL1: warmup installs *state* without
+    // the activity accounting (fills, evictions, writebacks, prefetch
+    // feedback) a demand fill performs. Cache::insert is stat-free and
+    // handles victim selection, so a snapshot denser than the L1's
+    // geometry simply keeps the most recent blocks.
+    for (std::size_t s = 0; s < snapshot_sets; ++s) {
+        for (unsigned w = snapshot_ways; w-- > 0;) {
+            Addr block = block_tags[s * snapshot_ways + w];
+            if (block == invalidAddr)
+                continue;
+            Addr vaddr = block << blockSizeBits;
+            EvictInfo evict;
+            l1.insert(physical(core, vaddr), evict);
+        }
+    }
+}
+
 Cycle
 Hierarchy::mshrAdmit(unsigned core, Cycle now)
 {

@@ -123,6 +123,22 @@ class Hierarchy
     /** True when the block is present (or filling) in core's L1-D. */
     bool inL1(unsigned core, Addr vaddr) const;
 
+    /**
+     * Functional warmup: install checkpoint block tags into core's
+     * L1-D before a sampling window runs. `block_tags` holds virtual
+     * block numbers (byte address >> 6) in MRU-to-LRU order per
+     * snapshot set, `snapshot_ways` entries each, with invalidAddr
+     * marking an empty way (the trace_store checkpoint layout). Ways
+     * are installed LRU-first so the L1's true-LRU order reproduces
+     * the snapshot's recency order; blocks arrive clean, ready
+     * (readyAt 0) and unattributed, and *no* statistics are touched —
+     * warmup is state, not activity. Works identically in the SoA
+     * fast-index and reference block layouts.
+     */
+    void installL1Warmup(unsigned core,
+                         const std::vector<Addr> &block_tags,
+                         unsigned snapshot_ways);
+
     /** Per-core statistics. */
     const CoreMemStats &stats(unsigned core) const
     {

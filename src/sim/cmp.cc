@@ -94,9 +94,19 @@ Cmp::run(std::uint64_t insts_per_core)
 }
 
 CmpResult
-Cmp::runWindow(std::uint64_t warmup, std::uint64_t measure)
+Cmp::runWindow(std::uint64_t warmup, std::uint64_t measure,
+               const WindowWarmup *warm)
 {
     const std::size_t n = cores.size();
+    if (warm) {
+        for (std::size_t c = 0; c < n && c < warm->l1Tags.size(); ++c) {
+            if (!warm->l1Tags[c].empty()) {
+                mem.installL1Warmup(static_cast<unsigned>(c),
+                                    warm->l1Tags[c],
+                                    warm->snapshotWays);
+            }
+        }
+    }
     const std::uint64_t target = warmup + measure;
     CmpResult result;
     result.cores.resize(n);

@@ -40,6 +40,20 @@ struct CmpResult
     std::uint64_t totalRetired = 0;
 };
 
+/**
+ * Checkpoint-derived functional warm state for one sampling window:
+ * per-core L1-D block tags (the trace_store checkpoint snapshot layout,
+ * MRU-to-LRU per snapshot set, invalidAddr = empty way). A core whose
+ * vector is empty starts cold. Installed before the window's first
+ * cycle, so a shrunken detailed warmup only has to heal the branch
+ * predictors and the lower cache levels.
+ */
+struct WindowWarmup
+{
+    std::vector<std::vector<Addr>> l1Tags; ///< [core][set*ways + way]
+    unsigned snapshotWays = 0;             ///< ways per snapshot set
+};
+
 /** A CMP of homogeneous cores running one program each. */
 class Cmp
 {
@@ -83,8 +97,14 @@ class Cmp
      * windows keep shared-resource pressure alive until every core has
      * crossed. A separate method (rather than a mode of run()) so the
      * full-run path stays bit-identical to previous releases.
+     *
+     * When `warm` is given, each core's checkpoint L1-D tag snapshot is
+     * installed (stat-free) before the first cycle — functional cache
+     * warmup that lets `warmup` shrink while the sampling CI gate keeps
+     * the IPC estimate honest.
      */
-    CmpResult runWindow(std::uint64_t warmup, std::uint64_t measure);
+    CmpResult runWindow(std::uint64_t warmup, std::uint64_t measure,
+                        const WindowWarmup *warm = nullptr);
 
     /** Access a core (e.g. for its B-Fetch engine). */
     const OooCore &core(unsigned index) const { return *cores.at(index); }

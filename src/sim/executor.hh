@@ -76,6 +76,28 @@ class Executor
     /** The executed program. */
     const isa::Program &program() const { return prog; }
 
+    /**
+     * Adopt externally reconstructed architectural state: pc, the full
+     * register file and the dynamic-instruction count. Used by the
+     * trace layer's checkpoint fast-forward, which replays recorded
+     * stores and writebacks into memory()/restoreState instead of
+     * re-interpreting the committed prefix (trace.cc). The caller is
+     * responsible for memory() already reflecting `executed` ops; r0 is
+     * forced back to zero here so a corrupt source cannot break the
+     * hardwired-zero invariant.
+     */
+    void
+    restoreState(std::uint32_t pc,
+                 const std::array<RegVal, numArchRegs> &regs,
+                 InstSeqNum executed)
+    {
+        pcIndex = pc;
+        registers = regs;
+        registers[0] = 0;
+        seqCounter = executed;
+        isHalted = false;
+    }
+
   private:
     void writeReg(RegIndex index, RegVal value);
 

@@ -31,6 +31,13 @@ TraceBuffer::TraceBuffer(
     std::unique_ptr<trace_store::ArtifactReader> artifact)
     : prog(program), reader(std::move(artifact)), chunks(maxChunks)
 {
+    // Adopt the artifact's checkpoint records up front (they stay valid
+    // even if a later chunk turns out corrupt: the stream they describe
+    // is deterministic and live re-capture reproduces it bit-
+    // identically), so sampling can restore window state on the disk
+    // tier without touching the op stream.
+    if (reader)
+        ckpts = reader->checkpoints();
 }
 
 TraceBuffer::~TraceBuffer() = default;
@@ -39,24 +46,105 @@ Executor &
 TraceBuffer::executor()
 {
     if (!exec) {
-        // First live extension of a store-backed buffer: rebuild
-        // architectural state by re-executing the decoded prefix. The
-        // executor is deterministic, so this reproduces the identical
-        // stream the artifact recorded — discard it and resume.
+        // First live extension: rebuild architectural state over the
+        // committed prefix (store-decoded and/or previously captured)
+        // by *trace-directed replay* instead of re-interpreting every
+        // instruction. The stream already holds every store's value
+        // (regs[rs2] at store time is reproduced from the recorded
+        // writebacks) and every register writeback, so applying those
+        // effects is sufficient — and several times cheaper than
+        // step(), which is what makes window fast-forward affordable.
+        // The same walk rebuilds the checkpoint warming-cache state the
+        // prefix implies, so capture-time checkpoints recorded after
+        // this point match what a from-scratch capture would emit.
         exec = std::make_unique<Executor>(prog);
+        warmTracker =
+            std::make_unique<trace_store::CheckpointWarmCache>();
         std::uint64_t replay =
             committed.load(std::memory_order_relaxed);
-        DynOp op;
-        for (std::uint64_t i = 0; i < replay; ++i) {
-            if (!exec->step(op)) {
-                throw SimError(
-                    "trace_store",
-                    "stored trace is longer than live execution; "
-                    "artifact disagrees with the program");
+        const isa::Instruction *insts = prog.insts().data();
+        const isa::StaticDecode *decode = prog.decodeTable().data();
+        Memory &mem = exec->memory();
+        std::array<RegVal, numArchRegs> regs{};
+        std::uint32_t pc = exec->pc();
+        std::uint64_t i = 0;
+        while (i < replay) {
+            OpSpanView span;
+            std::size_t n = spanAt(
+                i, static_cast<std::size_t>(std::min<std::uint64_t>(
+                       chunkOps, replay - i)),
+                span);
+            for (std::size_t k = 0; k < n; ++k) {
+                std::uint32_t pcv = span.pcIndex[k];
+                Addr addr = span.effAddr[k];
+                if (addr != 0) {
+                    warmTracker->access(addr);
+                    if (decode[pcv].isStore())
+                        mem.write64(addr, regs[insts[pcv].rs2]);
+                }
+                // Mirrors Executor::writeReg: r0 stays hardwired zero.
+                if ((span.flags[k] & writesRegFlag) &&
+                    insts[pcv].rd != 0) {
+                    regs[insts[pcv].rd] = span.result[k];
+                }
+                pc = (decode[pcv].isControl() &&
+                      (span.flags[k] & takenFlag))
+                         ? insts[pcv].target
+                         : pcv + 1;
             }
+            i += n;
         }
+        exec->restoreState(pc, regs, replay);
     }
     return *exec;
+}
+
+void
+TraceBuffer::recordCheckpoint(std::uint64_t avail, Executor &engine)
+{
+    trace_store::Checkpoint ckpt;
+    ckpt.opIndex = avail;
+    ckpt.pcIndex = engine.pc();
+    for (RegIndex r = 0; r < numArchRegs; ++r)
+        ckpt.regs[r] = engine.reg(r);
+    ckpt.cacheTags = warmTracker->snapshot();
+
+    std::lock_guard<std::mutex> lock(ckptMutex);
+    // Keep the vector sorted and free of duplicates. Adopted artifact
+    // records can reach past `committed` (a corrupt chunk degraded the
+    // tail to live capture), so live extension may cross boundaries
+    // that already have a record.
+    auto it = std::lower_bound(
+        ckpts.begin(), ckpts.end(), avail,
+        [](const trace_store::Checkpoint &c, std::uint64_t v) {
+            return c.opIndex < v;
+        });
+    if (it != ckpts.end() && it->opIndex == avail)
+        return;
+    ckpts.insert(it, std::move(ckpt));
+}
+
+bool
+TraceBuffer::checkpointAtOrBefore(std::uint64_t op,
+                                  trace_store::Checkpoint &out) const
+{
+    std::lock_guard<std::mutex> lock(ckptMutex);
+    auto it = std::upper_bound(
+        ckpts.begin(), ckpts.end(), op,
+        [](std::uint64_t v, const trace_store::Checkpoint &c) {
+            return v < c.opIndex;
+        });
+    if (it == ckpts.begin())
+        return false;
+    out = *std::prev(it);
+    return true;
+}
+
+std::vector<trace_store::Checkpoint>
+TraceBuffer::checkpoints() const
+{
+    std::lock_guard<std::mutex> lock(ckptMutex);
+    return ckpts;
 }
 
 std::uint64_t
@@ -72,6 +160,11 @@ TraceBuffer::ensure(std::uint64_t n)
     avail = committed.load(std::memory_order_relaxed);
     if (isHalted.load(std::memory_order_relaxed))
         return avail;
+
+    // Capture-time checkpoint density (in ops). Sampled once per
+    // ensure() call so a mid-capture knob change cannot tear a chunk.
+    const std::uint64_t ckpt_interval_ops =
+        trace_store::checkpointIntervalChunks() * chunkOps;
 
     // Record in per-chunk spans: chunk lookup, bounds checks and the
     // `committed` release-store are hoisted out of the per-op loop, so
@@ -139,6 +232,12 @@ TraceBuffer::ensure(std::uint64_t n)
         bool halted_now = false;
         auto live_start = std::chrono::steady_clock::now();
         Executor &engine = executor();
+        // At a checkpoint-interval chunk boundary, snapshot the live
+        // architectural state *before* stepping the boundary op — the
+        // same instant saveArtifact's reconstruction describes — so
+        // capture-time records equal save-time records byte for byte.
+        if (avail > 0 && avail % ckpt_interval_ops == 0)
+            recordCheckpoint(avail, engine);
         for (; k < span_end; ++k) {
             if (!engine.step(op)) {
                 halted_now = true;
@@ -150,6 +249,8 @@ TraceBuffer::ensure(std::uint64_t n)
             flags[k] = static_cast<std::uint8_t>(
                 (op.taken ? takenFlag : 0) |
                 (op.writesReg ? writesRegFlag : 0));
+            if (op.effAddr != 0)
+                warmTracker->access(op.effAddr);
             ++avail;
         }
         captureSecs.store(captureSecs.load(std::memory_order_relaxed) +

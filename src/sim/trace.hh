@@ -36,6 +36,8 @@ namespace bfsim::sim {
 
 namespace trace_store {
 class ArtifactReader;
+struct Checkpoint;
+struct CheckpointWarmCache;
 }
 
 /** Growable shared store of one program's executed DynOp stream. */
@@ -114,6 +116,21 @@ class TraceBuffer
     /** The traced program. */
     const isa::Program &program() const { return prog; }
 
+    /**
+     * The newest architectural checkpoint at-or-before op `op`
+     * (opIndex <= op), or false when none exists. Store-backed buffers
+     * adopt the artifact's checkpoint records at construction; live
+     * capture records its own at every
+     * trace_store::checkpointIntervalChunks() chunk boundary — so the
+     * memory and disk tiers answer identically for the same stream.
+     * Thread-safe against concurrent extension.
+     */
+    bool checkpointAtOrBefore(std::uint64_t op,
+                              trace_store::Checkpoint &out) const;
+
+    /** Snapshot of every retained checkpoint, sorted by opIndex. */
+    std::vector<trace_store::Checkpoint> checkpoints() const;
+
     /** Bytes of trace storage currently allocated. */
     std::uint64_t memoryBytes() const;
 
@@ -160,13 +177,26 @@ class TraceBuffer
 
     /**
      * The live executor, built lazily (store-backed buffers may never
-     * need one) and fast-forwarded over whatever is already committed.
+     * need one) and fast-forwarded over whatever is already committed
+     * by *trace-directed replay*: recorded stores and register
+     * writebacks are applied straight from the SoA columns instead of
+     * re-interpreting every instruction, which also rebuilds the
+     * checkpoint warming-cache state the committed prefix implies.
      * Only touched under extendMutex.
      */
     Executor &executor();
 
+    /** Record a capture-time checkpoint of the live state at `avail`. */
+    void recordCheckpoint(std::uint64_t avail, Executor &engine);
+
     const isa::Program &prog;
     std::unique_ptr<Executor> exec;          ///< see executor()
+    /**
+     * Warming-cache state over ops [0, committed) while live capture is
+     * active (built by executor()'s replay, fed per recorded op); what
+     * recordCheckpoint snapshots. Only touched under extendMutex.
+     */
+    std::unique_ptr<trace_store::CheckpointWarmCache> warmTracker;
     std::unique_ptr<trace_store::ArtifactReader> reader; ///< disk tier
     std::mutex extendMutex;
     /**
@@ -175,6 +205,14 @@ class TraceBuffer
      * `committed` release-store that makes their ops visible.
      */
     std::vector<std::unique_ptr<Chunk>> chunks;
+    /**
+     * Retained architectural checkpoints, sorted by opIndex: the
+     * artifact's records (adopted at construction for store-backed
+     * buffers) plus capture-time records from live extension. Guarded
+     * by ckptMutex so sampling threads can query while capture runs.
+     */
+    std::vector<trace_store::Checkpoint> ckpts;
+    mutable std::mutex ckptMutex;
     std::atomic<std::uint64_t> committed{0};
     std::atomic<std::uint64_t> allocatedChunks{0};
     std::atomic<bool> isHalted{false};

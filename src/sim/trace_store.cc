@@ -209,6 +209,27 @@ saveVersionRef()
     return version;
 }
 
+std::uint32_t &
+checkpointIntervalRef()
+{
+    static std::uint32_t interval = [] {
+        const char *env = std::getenv("BFSIM_CHECKPOINT_CHUNKS");
+        if (env && *env) {
+            char *end = nullptr;
+            long v = std::strtol(env, &end, 10);
+            if (end && *end == '\0' && v >= 1 &&
+                v <= (1l << 20)) {
+                return static_cast<std::uint32_t>(v);
+            }
+            warn(std::string(
+                     "trace store: ignoring BFSIM_CHECKPOINT_CHUNKS='") +
+                 env + "' (want a positive chunk count)");
+        }
+        return checkpointEveryChunks;
+    }();
+    return interval;
+}
+
 Stats &
 statsRef()
 {
@@ -252,11 +273,14 @@ countRead(std::uint64_t bytes, std::uint64_t ops, double seconds)
 }
 
 void
-countWrite(std::uint64_t bytes, std::uint64_t ops)
+countWrite(std::uint64_t bytes, std::uint64_t ops,
+           std::uint64_t checkpoints, std::uint64_t checkpoint_bytes)
 {
     std::lock_guard<std::mutex> lock(stateMutex());
     statsRef().bytesWritten += bytes;
     statsRef().opsWritten += ops;
+    statsRef().checkpointsWritten += checkpoints;
+    statsRef().checkpointBytesWritten += checkpoint_bytes;
 }
 
 std::string
@@ -363,46 +387,6 @@ appendHeader(std::vector<unsigned char> &out, const Key &key,
     out.push_back(0);
     put32(out, crc32c(out.data() + base, headerCrcOffset));
 }
-
-/**
- * Canonical warming cache reconstructed at save time: the fixed
- * checkpointCacheSets x checkpointCacheWays tag array fed by every op
- * that carries an effective address. Tags are kept MRU-first per set so
- * the snapshot preserves the recency order a real cache warmed by the
- * same reference stream would hold.
- */
-struct WarmCache
-{
-    WarmCache() : sets(checkpointCacheSets) {}
-
-    void
-    access(Addr addr)
-    {
-        Addr block = blockNumber(addr);
-        auto &ways = sets[block & (checkpointCacheSets - 1)];
-        auto it = std::find(ways.begin(), ways.end(), block);
-        if (it != ways.end())
-            ways.erase(it);
-        else if (ways.size() == checkpointCacheWays)
-            ways.pop_back();
-        ways.insert(ways.begin(), block);
-    }
-
-    /** Tags indexed [set * ways + way], MRU first, invalidAddr empty. */
-    std::vector<Addr>
-    snapshot() const
-    {
-        std::vector<Addr> tags(
-            std::size_t{checkpointCacheSets} * checkpointCacheWays,
-            invalidAddr);
-        for (std::size_t s = 0; s < sets.size(); ++s)
-            for (std::size_t w = 0; w < sets[s].size(); ++w)
-                tags[s * checkpointCacheWays + w] = sets[s][w];
-        return tags;
-    }
-
-    std::vector<std::vector<Addr>> sets;
-};
 
 /**
  * Parse and validate the v2 index / checkpoint / footer sections of an
@@ -642,6 +626,24 @@ setSaveFormatVersion(std::uint32_t version)
     saveVersionRef() = version;
 }
 
+std::uint32_t
+checkpointIntervalChunks()
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    return checkpointIntervalRef();
+}
+
+void
+setCheckpointIntervalChunks(std::uint32_t chunks)
+{
+    if (chunks == 0) {
+        warn("trace store: ignoring checkpoint interval 0");
+        return;
+    }
+    std::lock_guard<std::mutex> lock(stateMutex());
+    checkpointIntervalRef() = chunks;
+}
+
 std::string
 artifactPath(const Key &key)
 {
@@ -650,23 +652,58 @@ artifactPath(const Key &key)
            ".bft";
 }
 
-ArtifactReader::~ArtifactReader()
+struct ArtifactReader::Mapping
 {
-    if (fileBase)
-        ::munmap(const_cast<unsigned char *>(fileBase), fileBytes);
-    if (fd >= 0)
-        ::close(fd);
+    ~Mapping()
+    {
+        if (base)
+            ::munmap(const_cast<unsigned char *>(base), bytes);
+        if (fd >= 0)
+            ::close(fd);
+    }
+    const unsigned char *base = nullptr;
+    std::size_t bytes = 0;
+    int fd = -1;
+};
+
+ArtifactReader::~ArtifactReader() = default;
+
+const std::vector<Checkpoint> &
+ArtifactReader::checkpoints() const
+{
+    static const std::vector<Checkpoint> empty;
+    return checkpointRecords ? *checkpointRecords : empty;
+}
+
+std::unique_ptr<ArtifactReader>
+ArtifactReader::clone() const
+{
+    auto reader = std::unique_ptr<ArtifactReader>(new ArtifactReader);
+    reader->mapping = mapping;
+    reader->fileBase = fileBase;
+    reader->fileBytes = fileBytes;
+    reader->offset = headerBytes;
+    reader->totalOps = totalOps;
+    reader->cursor = 0;
+    reader->programSize = programSize;
+    reader->fileVersion = fileVersion;
+    reader->sawHalt = sawHalt;
+    reader->lastAddr.assign(programSize, 0);
+    reader->lastResult.assign(programSize, 0);
+    reader->chunkOffsets = chunkOffsets;
+    reader->checkpointRecords = checkpointRecords;
+    return reader;
 }
 
 bool
 ArtifactReader::seekToChunk(std::uint64_t chunk)
 {
-    if (chunk >= chunkOffsets.size())
+    if (!chunkOffsets || chunk >= chunkOffsets->size())
         return false;
     // Chunks decode independently (delta contexts reset per chunk) and
     // decodeChunk derives the expected op count from `cursor`, so
     // repositioning both is the whole seek.
-    offset = static_cast<std::size_t>(chunkOffsets[chunk]);
+    offset = static_cast<std::size_t>((*chunkOffsets)[chunk]);
     cursor = chunk * TraceBuffer::chunkOps;
     return true;
 }
@@ -816,9 +853,12 @@ openArtifact(const Key &key, const isa::Program &program)
     }
 
     auto reader = std::unique_ptr<ArtifactReader>(new ArtifactReader);
-    reader->fileBase = static_cast<const unsigned char *>(base);
+    reader->mapping = std::make_shared<ArtifactReader::Mapping>();
+    reader->mapping->base = static_cast<const unsigned char *>(base);
+    reader->mapping->bytes = file_bytes;
+    reader->mapping->fd = fd;
+    reader->fileBase = reader->mapping->base;
     reader->fileBytes = file_bytes;
-    reader->fd = fd;
 
     if (fault::shouldFail(fault::Site::TraceStore)) {
         reject("injected fault: artifact open");
@@ -836,12 +876,20 @@ openArtifact(const Key &key, const isa::Program &program)
         return nullptr;
     }
 
-    if (header.version >= 2 &&
-        !parseArtifactSections(reader->fileBase, file_bytes, header,
-                               reader->chunkOffsets,
-                               reader->checkpointRecords, why)) {
-        reject(why);
-        return nullptr;
+    if (header.version >= 2) {
+        std::vector<std::uint64_t> chunk_offsets;
+        std::vector<Checkpoint> ckpts;
+        if (!parseArtifactSections(reader->fileBase, file_bytes, header,
+                                   chunk_offsets, ckpts, why)) {
+            reject(why);
+            return nullptr;
+        }
+        reader->chunkOffsets =
+            std::make_shared<const std::vector<std::uint64_t>>(
+                std::move(chunk_offsets));
+        reader->checkpointRecords =
+            std::make_shared<const std::vector<Checkpoint>>(
+                std::move(ckpts));
     }
 
     reader->offset = headerBytes;
@@ -951,7 +999,8 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
     std::vector<std::uint64_t> chunk_offsets;
     std::vector<Checkpoint> checkpoints;
     std::array<RegVal, numArchRegs> regs{};
-    WarmCache warm;
+    CheckpointWarmCache warm;
+    const std::uint32_t ckpt_interval = checkpointIntervalChunks();
     const auto &insts = buffer.program().insts();
     std::uint64_t start = 0;
     while (start < ops) {
@@ -965,8 +1014,7 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
         if (version >= 2) {
             chunk_offsets.push_back(out.size());
             std::uint64_t chunk_index = start / TraceBuffer::chunkOps;
-            if (chunk_index > 0 &&
-                chunk_index % checkpointEveryChunks == 0) {
+            if (chunk_index > 0 && chunk_index % ckpt_interval == 0) {
                 Checkpoint ckpt;
                 ckpt.opIndex = start;
                 ckpt.pcIndex = span.pcIndex[0];
@@ -1061,7 +1109,7 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
         std::size_t ckpt_base = out.size();
         put32(out, ckptMagicValue);
         put32(out, static_cast<std::uint32_t>(checkpoints.size()));
-        put32(out, checkpointEveryChunks);
+        put32(out, ckpt_interval);
         put32(out, numArchRegs);
         put32(out, checkpointCacheSets);
         put32(out, checkpointCacheWays);
@@ -1114,7 +1162,9 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
         warn("trace store: cannot rename '" + tmp_path + "' into place");
         return false;
     }
-    countWrite(out.size(), ops);
+    countWrite(out.size(), ops,
+               version >= 2 ? checkpoints.size() : 0,
+               version >= 2 ? checkpoints.size() * ckptRecordBytes : 0);
     return true;
 }
 

@@ -63,6 +63,7 @@
 #ifndef BFSIM_SIM_TRACE_STORE_HH_
 #define BFSIM_SIM_TRACE_STORE_HH_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -96,8 +97,21 @@ std::uint32_t saveFormatVersion();
 /** Programmatic override of BFSIM_TRACE_FORMAT (tests, tools). */
 void setSaveFormatVersion(std::uint32_t version);
 
-/** Chunks between consecutive v2 checkpoint records. */
+/** Default chunks between consecutive v2 checkpoint records. */
 constexpr std::uint32_t checkpointEveryChunks = 4;
+
+/**
+ * Capture-time checkpoint density: chunks between consecutive
+ * checkpoint records, for both saveArtifact emission and live
+ * TraceBuffer capture. Defaults to checkpointEveryChunks, overridable
+ * by BFSIM_CHECKPOINT_CHUNKS at process start or by the setter (tests,
+ * tools). Readers are agnostic — records are self-describing by
+ * opIndex — so artifacts written at any density interoperate.
+ */
+std::uint32_t checkpointIntervalChunks();
+
+/** Programmatic override of BFSIM_CHECKPOINT_CHUNKS (>= 1; 0 warns). */
+void setCheckpointIntervalChunks(std::uint32_t chunks);
 
 /**
  * Canonical functionally-warmed cache geometry snapshotted by v2
@@ -126,6 +140,48 @@ struct Checkpoint
      * invalidAddr marks an empty way. Indexed [set * ways + way].
      */
     std::vector<Addr> cacheTags;
+};
+
+/**
+ * Canonical warming cache behind every checkpoint tag snapshot: the
+ * fixed checkpointCacheSets x checkpointCacheWays tag array fed by
+ * every op that carries an effective address, tags kept MRU-first per
+ * set. Save-time reconstruction (saveArtifact), capture-time recording
+ * (TraceBuffer live extension) and replay fast-forward all run this
+ * exact structure over the same op stream, which is what makes
+ * checkpoints interchangeable across the memory and disk tiers.
+ */
+struct CheckpointWarmCache
+{
+    CheckpointWarmCache() : sets(checkpointCacheSets) {}
+
+    void
+    access(Addr addr)
+    {
+        Addr block = blockNumber(addr);
+        auto &ways = sets[block & (checkpointCacheSets - 1)];
+        auto it = std::find(ways.begin(), ways.end(), block);
+        if (it != ways.end())
+            ways.erase(it);
+        else if (ways.size() == checkpointCacheWays)
+            ways.pop_back();
+        ways.insert(ways.begin(), block);
+    }
+
+    /** Tags indexed [set * ways + way], MRU first, invalidAddr empty. */
+    std::vector<Addr>
+    snapshot() const
+    {
+        std::vector<Addr> tags(
+            std::size_t{checkpointCacheSets} * checkpointCacheWays,
+            invalidAddr);
+        for (std::size_t s = 0; s < sets.size(); ++s)
+            for (std::size_t w = 0; w < sets[s].size(); ++w)
+                tags[s * checkpointCacheWays + w] = sets[s][w];
+        return tags;
+    }
+
+    std::vector<std::vector<Addr>> sets;
 };
 
 /** Identity of one trace artifact. */
@@ -200,7 +256,17 @@ class ArtifactReader
      * seekToChunk is available (format v2). Version 1 artifacts decode
      * sequentially only.
      */
-    bool seekable() const { return !chunkOffsets.empty(); }
+    bool seekable() const { return chunkOffsets && !chunkOffsets->empty(); }
+
+    /**
+     * An independent decode cursor over the same mapped artifact: the
+     * mmap, chunk index and checkpoint records are shared (the file is
+     * unmapped when the last reader dies); the position and per-static-
+     * instruction delta contexts are fresh. Lets one validated open
+     * serve many concurrent window decoders without re-stat/re-mmap
+     * per window. Clones do not recount store hits.
+     */
+    std::unique_ptr<ArtifactReader> clone() const;
 
     /**
      * Reposition the decoder at the start of chunk `chunk` (its first
@@ -217,10 +283,7 @@ class ArtifactReader
      * artifacts), sorted by opIndex. Validated against the checkpoint
      * section CRC at open time.
      */
-    const std::vector<Checkpoint> &checkpoints() const
-    {
-        return checkpointRecords;
-    }
+    const std::vector<Checkpoint> &checkpoints() const;
 
     /**
      * Decode the next chunk into the given column arrays (each sized
@@ -240,9 +303,12 @@ class ArtifactReader
 
     ArtifactReader() = default;
 
-    const unsigned char *fileBase = nullptr; ///< mmap base
+    /** The mmapped file, shared across clones (unmapped on last ref). */
+    struct Mapping;
+    std::shared_ptr<Mapping> mapping;
+
+    const unsigned char *fileBase = nullptr; ///< mapping->base
     std::size_t fileBytes = 0;
-    int fd = -1;
     std::size_t offset = 0;      ///< next chunk frame offset
     std::uint64_t totalOps = 0;
     std::uint64_t cursor = 0;    ///< ops decoded so far
@@ -252,10 +318,10 @@ class ArtifactReader
     /** Per-static-instruction delta contexts, reset per chunk. */
     std::vector<Addr> lastAddr;
     std::vector<RegVal> lastResult;
-    /** v2: file offset of each chunk frame (empty for v1). */
-    std::vector<std::uint64_t> chunkOffsets;
-    /** v2: parsed checkpoint records (empty for v1). */
-    std::vector<Checkpoint> checkpointRecords;
+    /** v2: file offset of each chunk frame (null/empty for v1). */
+    std::shared_ptr<const std::vector<std::uint64_t>> chunkOffsets;
+    /** v2: parsed checkpoint records (null/empty for v1). */
+    std::shared_ptr<const std::vector<Checkpoint>> checkpointRecords;
 };
 
 /**
@@ -295,6 +361,10 @@ struct Stats
     std::uint64_t opsWritten = 0;   ///< ops encoded across saves
     std::uint64_t opsRead = 0;      ///< ops decoded across reads
     double decodeSeconds = 0.0;     ///< wall time inside decodeChunk
+    /** v2 checkpoint records emitted across saves. */
+    std::uint64_t checkpointsWritten = 0;
+    /** Serialized bytes of those checkpoint records. */
+    std::uint64_t checkpointBytesWritten = 0;
     /**
      * Artifact publications abandoned because another writer held the
      * .lock file through the whole bounded retry window (saveArtifact).

@@ -9,8 +9,11 @@
  */
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -38,6 +41,18 @@ TEST(SampleConfig, ParseAcceptsPeriodWarmupMeasure)
     EXPECT_EQ(config.key(), "/sample:200000:4000:8000");
 }
 
+TEST(SampleConfig, ParseAcceptsCkptSuffix)
+{
+    SampleConfig config = SampleConfig::parse("200000:4000:8000:ckpt");
+    EXPECT_TRUE(config.enabled);
+    EXPECT_TRUE(config.ckptWarm);
+    EXPECT_EQ(config.periodOps, 200000u);
+    EXPECT_EQ(config.warmupOps, 4000u);
+    EXPECT_EQ(config.measureOps, 8000u);
+    // Checkpoint-restored and plain sampled runs never share a key.
+    EXPECT_EQ(config.key(), "/sample:200000:4000:8000:ckpt");
+}
+
 TEST(SampleConfig, ParseRejectsMalformedSpecs)
 {
     EXPECT_THROW(SampleConfig::parse(""), SimError);
@@ -46,6 +61,9 @@ TEST(SampleConfig, ParseRejectsMalformedSpecs)
     EXPECT_THROW(SampleConfig::parse("1000:10:20:30"), SimError);
     EXPECT_THROW(SampleConfig::parse("a:b:c"), SimError);
     EXPECT_THROW(SampleConfig::parse("1000:10:20x"), SimError);
+    // Only the literal ":ckpt" suffix is accepted as a fourth field.
+    EXPECT_THROW(SampleConfig::parse("1000:10:20:ckptx"), SimError);
+    EXPECT_THROW(SampleConfig::parse("1000:10:20:"), SimError);
     // Zero measure region and window > period are semantic errors.
     EXPECT_THROW(SampleConfig::parse("1000:10:0"), SimError);
     EXPECT_THROW(SampleConfig::parse("100:90:20"), SimError);
@@ -113,6 +131,60 @@ TEST(SummarizeWindows, RatioOfSumsCpiAndConfidenceInterval)
     EXPECT_NEAR(stats.cpiCi95, 1.96 / std::sqrt(3.0), 1e-12);
 }
 
+// ----------------------- artifact byte surgery (checkpoint fallback)
+
+std::vector<unsigned char>
+readFileBytes(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    EXPECT_TRUE(file.good()) << path;
+    return std::vector<unsigned char>(
+        std::istreambuf_iterator<char>(file),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeFileBytes(const std::string &path,
+               const std::vector<unsigned char> &bytes)
+{
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file.write(reinterpret_cast<const char *>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(file.good()) << path;
+}
+
+/** v2 trailer geometry (mirrors trace_store.cc / trace_store_test.cc). */
+constexpr std::size_t artifactFooterBytes = 24;
+constexpr std::size_t ckptSectionHeadBytes = 24;
+
+std::uint32_t
+fileGet32(const std::vector<unsigned char> &bytes, std::size_t offset)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(bytes[offset + i]) << (i * 8);
+    return v;
+}
+
+std::uint64_t
+fileGet64(const std::vector<unsigned char> &bytes, std::size_t offset)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(bytes[offset + i]) << (i * 8);
+    return v;
+}
+
+/** File offset of the v2 checkpoint section (after the chunk index). */
+std::size_t
+checkpointSectionOffset(const std::vector<unsigned char> &bytes)
+{
+    std::size_t footer = bytes.size() - artifactFooterBytes;
+    std::uint64_t index_offset = fileGet64(bytes, footer + 8);
+    std::uint32_t chunk_count = fileGet32(bytes, footer + 4);
+    return index_offset + 12 + std::size_t{chunk_count} * 8;
+}
+
 // ------------------------------------------- simulation-level fixture
 
 class SamplingRunTest : public testing::Test
@@ -130,12 +202,16 @@ class SamplingRunTest : public testing::Test
         clearTraceCache();
         setTraceCacheEnabled(true);
         sim::trace_store::setDirectory("");
+        sim::trace_store::setCheckpointIntervalChunks(
+            sim::trace_store::checkpointEveryChunks);
     }
 
     void
     TearDown() override
     {
         sim::trace_store::setDirectory("");
+        sim::trace_store::setCheckpointIntervalChunks(
+            sim::trace_store::checkpointEveryChunks);
         clearMemoCaches();
         clearTraceCache();
         setTraceCacheEnabled(true);
@@ -150,6 +226,15 @@ class SamplingRunTest : public testing::Test
         options.instructions = 100000;
         options.sample = SampleConfig::parse("20000:1000:2000");
         options.sample.jobs = jobs;
+        return options;
+    }
+
+    /** sampledOptions in checkpoint-restored mode. */
+    static RunOptions
+    ckptOptions(unsigned jobs = 1)
+    {
+        RunOptions options = sampledOptions(jobs);
+        options.sample.ckptWarm = true;
         return options;
     }
 
@@ -240,6 +325,100 @@ TEST_F(SamplingRunTest, SampledCpiIdenticalAcrossMemoryAndDiskTiers)
 
     expectSameCoreStats(memory.core, disk.core);
     EXPECT_DOUBLE_EQ(memory.sampled.cpi, disk.sampled.cpi);
+}
+
+// ------------------------------------- checkpoint-restored windows
+
+// All four determinism cells of checkpoint-restored mode: the core
+// stats must memcmp-match across {serial, -j4} and {memory, disk}, and
+// a corrupted checkpoint section must degrade to live capture without
+// perturbing a single bit.
+
+TEST_F(SamplingRunTest, CkptWindowsIdenticalAcrossSerialAndParallel)
+{
+    // Dense checkpoints (every chunk) so four of the five windows
+    // restore from one.
+    sim::trace_store::setCheckpointIntervalChunks(1);
+    SingleResult serial = runSingle("mcf", "Bfetch", ckptOptions(1));
+    clearTraceCache();
+    clearMemoCaches();
+    SingleResult parallel = runSingle("mcf", "Bfetch", ckptOptions(4));
+    expectSameCoreStats(serial.core, parallel.core);
+    EXPECT_DOUBLE_EQ(serial.sampled.cpi, parallel.sampled.cpi);
+    EXPECT_DOUBLE_EQ(serial.sampled.cpiCi95, parallel.sampled.cpiCi95);
+    EXPECT_EQ(serial.sampled.checkpointHits, 4u);
+    EXPECT_EQ(parallel.sampled.checkpointHits, 4u);
+    // Ckpt-warmed and cold sampled runs memoize under different keys.
+    EXPECT_NE(ckptOptions().cacheKey(), sampledOptions().cacheKey());
+}
+
+TEST_F(SamplingRunTest, CkptWindowsIdenticalAcrossMemoryAndDiskTiers)
+{
+    sim::trace_store::setCheckpointIntervalChunks(1);
+    // Memory tier: capture-time checkpoint records, prefix ops
+    // materialised sequentially (the honest ff_instructions cost).
+    SingleResult memory = runSingle("mcf", "Bfetch", ckptOptions());
+    EXPECT_EQ(memory.sampled.checkpointHits, 4u);
+    EXPECT_EQ(memory.sampled.ffSkippedOps, 0u);
+    EXPECT_EQ(memory.sampled.ffInstructions,
+              20000u + 40000u + 60000u + 80000u);
+
+    // Disk tier: persist, drop all in-memory state, re-run from the v2
+    // artifact's save-time records and chunk-index seeks.
+    sim::trace_store::setDirectory(dir);
+    clearTraceCache();
+    clearMemoCaches();
+    runSingle("mcf", "None", ckptOptions());
+    ASSERT_GE(persistTraceStore(), 1u);
+    clearTraceCache();
+    clearMemoCaches();
+    SingleResult disk = runSingle("mcf", "Bfetch", ckptOptions());
+
+    expectSameCoreStats(memory.core, disk.core);
+    EXPECT_DOUBLE_EQ(memory.sampled.cpi, disk.sampled.cpi);
+    EXPECT_EQ(disk.sampled.checkpointHits, 4u);
+    // Seekable windows skip every whole prefix chunk outright.
+    EXPECT_GT(disk.sampled.ffSkippedOps, 0u);
+    EXPECT_EQ(disk.sampled.ffInstructions, 0u);
+}
+
+TEST_F(SamplingRunTest, CorruptedCheckpointFallsBackBitIdentically)
+{
+    sim::trace_store::setCheckpointIntervalChunks(1);
+    SingleResult reference = runSingle("mcf", "Bfetch", ckptOptions());
+    ASSERT_GT(reference.sampled.checkpointHits, 0u);
+
+    sim::trace_store::setDirectory(dir);
+    clearTraceCache();
+    clearMemoCaches();
+    runSingle("mcf", "None", ckptOptions());
+    ASSERT_GE(persistTraceStore(), 1u);
+
+    // Flip one byte inside the first checkpoint's register image: the
+    // whole artifact is rejected at open (no partially trusted
+    // sections), so the run recaptures live — and must match the pure
+    // memory-tier reference bit for bit, checkpoint warmup included.
+    const workloads::Workload &w = workloads::workloadByName("mcf");
+    auto key = sim::trace_store::makeKey("mcf", 100000, w.program);
+    std::string path = sim::trace_store::artifactPath(key);
+    std::vector<unsigned char> bytes = readFileBytes(path);
+    std::size_t ckpt = checkpointSectionOffset(bytes);
+    ASSERT_LT(ckpt + ckptSectionHeadBytes + 64, bytes.size());
+    bytes[ckpt + ckptSectionHeadBytes + 40] ^= 0x04;
+    writeFileBytes(path, bytes);
+
+    clearTraceCache();
+    clearMemoCaches();
+    takeThreadCacheCounters();
+    SingleResult fallback = runSingle("mcf", "Bfetch", ckptOptions());
+    ThreadCacheCounters counters = takeThreadCacheCounters();
+    EXPECT_GE(counters.traceDiskMisses, 1u);
+
+    expectSameCoreStats(reference.core, fallback.core);
+    EXPECT_DOUBLE_EQ(reference.sampled.cpi, fallback.sampled.cpi);
+    EXPECT_EQ(fallback.sampled.checkpointHits,
+              reference.sampled.checkpointHits);
+    EXPECT_EQ(fallback.sampled.ffSkippedOps, 0u);
 }
 
 TEST_F(SamplingRunTest, SampledMixCarriesEstimateAndSpeedup)

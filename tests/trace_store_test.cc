@@ -185,6 +185,8 @@ class TraceStoreTest : public testing::Test
         harness::setTraceCacheEnabled(true);
         trace_store::setDirectory(dir);
         trace_store::setSaveFormatVersion(trace_store::formatVersion);
+        trace_store::setCheckpointIntervalChunks(
+            trace_store::checkpointEveryChunks);
         trace_store::resetStats();
         harness::takeThreadCacheCounters();
     }
@@ -197,6 +199,8 @@ class TraceStoreTest : public testing::Test
         harness::clearTraceCache();
         harness::setTraceCacheEnabled(true);
         trace_store::setSaveFormatVersion(trace_store::formatVersion);
+        trace_store::setCheckpointIntervalChunks(
+            trace_store::checkpointEveryChunks);
         trace_store::resetStats();
         std::filesystem::remove_all(dir);
     }
@@ -659,6 +663,95 @@ TEST_F(TraceStoreTest, CheckpointsMatchReconstructedArchState)
             touched_blocks.push_back(blockNumber(op.effAddr));
     }
     EXPECT_EQ(next, ckpts.size());
+}
+
+TEST_F(TraceStoreTest, CheckpointIntervalKnobRoundTrip)
+{
+    const Program &program = workloadProgram("mcf");
+    const std::uint64_t ops = 5 * TraceBuffer::chunkOps;
+    auto key = trace_store::makeKey("mcf", ops, program);
+
+    // Denser checkpoints: every 2 chunks instead of the default 4.
+    trace_store::setCheckpointIntervalChunks(2);
+    captureAndSave(key, program, ops);
+
+    auto artifact = trace_store::openArtifact(key, program);
+    ASSERT_NE(artifact, nullptr);
+    const auto &ckpts = artifact->checkpoints();
+    ASSERT_EQ(ckpts.size(), 2u);
+    EXPECT_EQ(ckpts[0].opIndex, 2 * TraceBuffer::chunkOps);
+    EXPECT_EQ(ckpts[1].opIndex, 4 * TraceBuffer::chunkOps);
+
+    // The write-side stats account for the denser section.
+    trace_store::Stats stats = trace_store::stats();
+    EXPECT_EQ(stats.checkpointsWritten, 2u);
+    EXPECT_EQ(stats.checkpointBytesWritten, 2 * ckptRecordBytes);
+
+    // An interval of 0 is rejected, leaving the knob unchanged.
+    trace_store::setCheckpointIntervalChunks(0);
+    EXPECT_EQ(trace_store::checkpointIntervalChunks(), 2u);
+}
+
+TEST_F(TraceStoreTest, CheckpointIntervalKnobLeavesV1Unchanged)
+{
+    const Program &program = workloadProgram("libquantum");
+    const std::uint64_t ops = 3 * TraceBuffer::chunkOps;
+    auto key = trace_store::makeKey("libquantum", ops, program);
+
+    trace_store::setCheckpointIntervalChunks(1);
+    trace_store::setSaveFormatVersion(1);
+    captureAndSave(key, program, ops);
+
+    // v1 has no checkpoint section regardless of the interval knob,
+    // and still decodes bit-identically.
+    auto v1 = trace_store::openArtifact(key, program);
+    ASSERT_NE(v1, nullptr);
+    EXPECT_EQ(v1->version(), 1u);
+    EXPECT_TRUE(v1->checkpoints().empty());
+    EXPECT_EQ(trace_store::stats().checkpointsWritten, 0u);
+    auto restored =
+        std::make_shared<TraceBuffer>(program, std::move(v1));
+    LiveSource live(program);
+    TraceReplay replay(restored);
+    expectSameStream(collect(live, ops), collect(replay, ops));
+}
+
+TEST_F(TraceStoreTest, CaptureTimeCheckpointsMatchSavedArtifact)
+{
+    const Program &program = workloadProgram("mcf");
+    const std::uint64_t ops =
+        (2 * trace_store::checkpointEveryChunks + 1) *
+        TraceBuffer::chunkOps;
+    auto key = trace_store::makeKey("mcf", ops, program);
+
+    // The live capture records checkpoints as the stream materialises;
+    // saveArtifact independently reconstructs them by replaying the
+    // stored columns. Interchangeability of the memory and disk tiers
+    // under checkpoint-restored sampling rests on the two observers
+    // producing byte-equal records.
+    auto buffer = captureAndSave(key, program, ops);
+    std::vector<trace_store::Checkpoint> live = buffer->checkpoints();
+
+    auto artifact = trace_store::openArtifact(key, program);
+    ASSERT_NE(artifact, nullptr);
+    const auto &saved = artifact->checkpoints();
+    ASSERT_EQ(live.size(), saved.size());
+    ASSERT_GE(live.size(), 2u);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        EXPECT_EQ(live[i].opIndex, saved[i].opIndex) << "ckpt " << i;
+        EXPECT_EQ(live[i].pcIndex, saved[i].pcIndex) << "ckpt " << i;
+        EXPECT_EQ(live[i].regs, saved[i].regs) << "ckpt " << i;
+        EXPECT_EQ(live[i].cacheTags, saved[i].cacheTags)
+            << "ckpt " << i;
+    }
+
+    // checkpointAtOrBefore finds the newest covering record.
+    trace_store::Checkpoint found;
+    EXPECT_FALSE(buffer->checkpointAtOrBefore(
+        trace_store::checkpointEveryChunks * TraceBuffer::chunkOps - 1,
+        found));
+    ASSERT_TRUE(buffer->checkpointAtOrBefore(ops - 1, found));
+    EXPECT_EQ(found.opIndex, live.back().opIndex);
 }
 
 TEST_F(TraceStoreTest, BitFlippedCheckpointRejectsArtifactAndRunsLive)
