@@ -85,6 +85,13 @@ struct BenchConfig
      * see sim/trace_store.hh.
      */
     std::string traceDir;
+    /**
+     * Remote trace-store endpoint "host:port" (--remote-store, env
+     * BFSIM_REMOTE_STORE, "" = local store only): local misses fetch
+     * from — and local publications push to — a daemon-hosted store,
+     * so a fleet captures each trace exactly once globally.
+     */
+    std::string remoteStore;
     /** Retries / fail-fast / per-job deadline (env-seeded, flags win). */
     harness::BatchOptions batchOptions = harness::BatchOptions::fromEnv();
 };
@@ -232,6 +239,7 @@ validatePrefetcherSpec(const std::string &spec)
  * Parse and strip the shared batch flags (--jobs=N / --jobs N /
  * --report=PATH / --report PATH / --perf-report=PATH /
  * --filter=SUBSTR / --filter SUBSTR / --trace-dir=DIR / --trace-dir DIR /
+ * --remote-store=HOST:PORT / --remote-store HOST:PORT /
  * --retries=N / --retries N / --fail-fast / --deadline=SECONDS /
  * --deadline SECONDS / --isolate=MODE / --journal=DIR / --journal DIR /
  * --sample[=P:W:M[:ckpt]] / --sample-jobs=N / --list)
@@ -344,6 +352,12 @@ parseBenchConfig(int &argc, char **argv)
             if (i + 1 >= argc)
                 fatal("--trace-dir expects a directory");
             config.traceDir = argv[++i];
+        } else if (arg.rfind("--remote-store=", 0) == 0) {
+            config.remoteStore = arg.substr(15);
+        } else if (arg == "--remote-store") {
+            if (i + 1 >= argc)
+                fatal("--remote-store expects host:port");
+            config.remoteStore = argv[++i];
         } else if (arg.rfind("--retries=", 0) == 0) {
             config.batchOptions.retries = parse_retries(arg.substr(10));
         } else if (arg == "--retries") {
@@ -413,6 +427,8 @@ parseBenchConfig(int &argc, char **argv)
     activeWorkloadFilter() = config.filter;
     if (!config.traceDir.empty())
         sim::trace_store::setDirectory(config.traceDir);
+    if (!config.remoteStore.empty())
+        sim::trace_store::setRemoteEndpoint(config.remoteStore);
     if (sample_flag || sample_jobs > 0) {
         // Layer the flags over the (env-seeded) process default, so
         // e.g. --sample-jobs alone tunes a BFSIM_SAMPLE-enabled run.

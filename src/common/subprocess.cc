@@ -1,9 +1,16 @@
 #include "common/subprocess.hh"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
@@ -226,6 +233,155 @@ setNonBlocking(int fd)
     if (flags < 0)
         return false;
     return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool
+parseHostPort(const std::string &spec, std::string &host,
+              std::uint16_t &port)
+{
+    std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= spec.size())
+        return false;
+    const std::string port_text = spec.substr(colon + 1);
+    char *end = nullptr;
+    unsigned long value = std::strtoul(port_text.c_str(), &end, 10);
+    if (!end || *end != '\0' || value > 65535)
+        return false;
+    host = spec.substr(0, colon);
+    port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+namespace {
+
+struct AddrInfoGuard
+{
+    ~AddrInfoGuard()
+    {
+        if (info)
+            ::freeaddrinfo(info);
+    }
+    struct addrinfo *info = nullptr;
+};
+
+} // namespace
+
+int
+dialTcp(const std::string &host, std::uint16_t port,
+        double timeoutSeconds, std::string &why)
+{
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof hints);
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    AddrInfoGuard guard;
+    std::string port_text = std::to_string(port);
+    int rc = ::getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
+                           port_text.c_str(), &hints, &guard.info);
+    if (rc != 0) {
+        why = std::string("resolve ") + host + ": " + gai_strerror(rc);
+        return -1;
+    }
+
+    why = "no usable address";
+    for (struct addrinfo *ai = guard.info; ai; ai = ai->ai_next) {
+        int fd = ::socket(ai->ai_family,
+                          ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
+        if (fd < 0) {
+            why = std::string("socket: ") + std::strerror(errno);
+            continue;
+        }
+        // Non-blocking connect + poll implements the timeout; the fd is
+        // restored to blocking mode for the caller's framed I/O.
+        setNonBlocking(fd);
+        int result = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        if (result != 0 && errno == EINPROGRESS) {
+            struct pollfd pfd = {fd, POLLOUT, 0};
+            int timeout_ms = timeoutSeconds > 0
+                                 ? static_cast<int>(timeoutSeconds * 1e3)
+                                 : -1;
+            int ready = ::poll(&pfd, 1, timeout_ms);
+            if (ready > 0) {
+                int err = 0;
+                socklen_t len = sizeof err;
+                ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+                result = err == 0 ? 0 : -1;
+                errno = err;
+            } else {
+                result = -1;
+                errno = ready == 0 ? ETIMEDOUT : errno;
+            }
+        }
+        if (result != 0) {
+            why = std::string("connect: ") + std::strerror(errno);
+            ::close(fd);
+            continue;
+        }
+        int flags = ::fcntl(fd, F_GETFL, 0);
+        if (flags >= 0)
+            ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        return fd;
+    }
+    return -1;
+}
+
+int
+listenTcp(const std::string &host, std::uint16_t port,
+          std::uint16_t &boundPort, std::string &why)
+{
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof hints);
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    AddrInfoGuard guard;
+    std::string port_text = std::to_string(port);
+    int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                           port_text.c_str(), &hints, &guard.info);
+    if (rc != 0) {
+        why = std::string("resolve ") + host + ": " + gai_strerror(rc);
+        return -1;
+    }
+
+    why = "no usable address";
+    for (struct addrinfo *ai = guard.info; ai; ai = ai->ai_next) {
+        int fd = ::socket(ai->ai_family,
+                          ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
+        if (fd < 0) {
+            why = std::string("socket: ") + std::strerror(errno);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+            ::listen(fd, 16) != 0) {
+            why = std::string("bind/listen: ") + std::strerror(errno);
+            ::close(fd);
+            continue;
+        }
+        struct sockaddr_storage bound;
+        socklen_t len = sizeof bound;
+        if (::getsockname(fd, reinterpret_cast<struct sockaddr *>(&bound),
+                          &len) == 0) {
+            if (bound.ss_family == AF_INET) {
+                boundPort = ntohs(
+                    reinterpret_cast<struct sockaddr_in *>(&bound)
+                        ->sin_port);
+            } else if (bound.ss_family == AF_INET6) {
+                boundPort = ntohs(
+                    reinterpret_cast<struct sockaddr_in6 *>(&bound)
+                        ->sin6_port);
+            } else {
+                boundPort = port;
+            }
+        } else {
+            boundPort = port;
+        }
+        return fd;
+    }
+    return -1;
 }
 
 } // namespace bfsim::subprocess

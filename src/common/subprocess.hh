@@ -24,11 +24,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace bfsim::subprocess {
 
-/** Frame types on a worker pipe. */
+/** Frame types on a worker pipe or a bfsimd TCP connection. */
 enum class FrameType : std::uint32_t
 {
     Job = 1,       ///< parent→worker: run job (payload: index + attempt)
@@ -36,6 +37,18 @@ enum class FrameType : std::uint32_t
     Result = 3,    ///< worker→parent: serialized BatchItem
     Heartbeat = 4, ///< worker→parent: liveness beacon (empty payload)
     Hello = 5,     ///< worker→parent: ready for the first job
+    // TCP transport (service/transport.hh): the daemon's line protocol
+    // and the coordinator's job-shipping protocol share one framing.
+    Line = 6,       ///< either way: one text line (no trailing newline)
+    WireJob = 7,    ///< coordinator→worker: ordinal + retries + BatchJob
+    WireResult = 8, ///< worker→coordinator: ordinal + BatchItem
+    // Remote trace-store tier (sim/trace_store.hh): GET/PUT of whole
+    // content-addressed artifacts against a daemon-hosted store.
+    StoreGet = 9,   ///< client→store: artifact file name
+    StorePut = 10,  ///< client→store: name length + name + artifact bytes
+    StoreData = 11, ///< store→client: artifact bytes (GET hit)
+    StoreMiss = 12, ///< store→client: no such artifact (GET miss)
+    StoreAck = 13,  ///< store→client: PUT outcome (1 stored, 0 skipped)
 };
 
 /**
@@ -121,6 +134,32 @@ bool drainIntoDecoder(int fd, FrameDecoder &decoder);
 
 /** Set O_NONBLOCK on `fd`. @return false on fcntl failure. */
 bool setNonBlocking(int fd);
+
+/**
+ * Split "host:port" (host may be empty or a dotted quad / name; the
+ * port must be 0..65535). @return false on malformed input without
+ * touching the outputs.
+ */
+bool parseHostPort(const std::string &spec, std::string &host,
+                   std::uint16_t &port);
+
+/**
+ * Blocking TCP connect to host:port with a bounded connect timeout.
+ * Numeric addresses and names both resolve (getaddrinfo). @return the
+ * connected fd (O_CLOEXEC, blocking), or -1 with a reason in `why`.
+ */
+int dialTcp(const std::string &host, std::uint16_t port,
+            double timeoutSeconds, std::string &why);
+
+/**
+ * Create a listening TCP socket bound to host:port (host "" binds all
+ * interfaces; port 0 picks an ephemeral port). SO_REUSEADDR is set so
+ * restarting daemons do not trip over TIME_WAIT. @return the listening
+ * fd and the actually-bound port in `boundPort`, or -1 with a reason
+ * in `why`.
+ */
+int listenTcp(const std::string &host, std::uint16_t port,
+              std::uint16_t &boundPort, std::string &why);
 
 } // namespace bfsim::subprocess
 

@@ -114,6 +114,7 @@ publish(RunState &state, std::size_t index, BatchItem item)
     // `journaled` and are not rewritten.
     if (state.journal && !item.failed && !item.journaled)
         state.journal->append(state.jobs[index], item);
+    item.index = index;
     state.items[index] = std::move(item);
     state.finished[index] = 1;
     ++state.done;
@@ -168,6 +169,7 @@ enforceDeadlines(RunState &state, double deadline)
         state.finished[j] = 1;
         BatchItem &item = state.items[j];
         item.label = state.jobs[j].label;
+        item.index = j;
         item.kind = state.jobs[j].kind;
         item.failed = true;
         item.attempts = 1; // the deadline budget spans all attempts

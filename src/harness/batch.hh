@@ -38,6 +38,12 @@ struct BatchJob
     /** Prefetch-scheme registry spec (see prefetch/registry.hh). */
     std::string prefetcher = "None";
     RunOptions options;
+    /**
+     * Scheduling hint (higher runs earlier) honoured by the sharded
+     * coordinator's dispatch queue. Not part of the job's journal
+     * identity: priority changes scheduling, never results.
+     */
+    int priority = 0;
     /** Kind::Custom only: arbitrary computation returning one value. */
     std::function<double()> body;
 
@@ -61,6 +67,13 @@ struct BatchJob
 struct BatchItem
 {
     std::string label;
+    /**
+     * Submission index of the job this item answers. Progress callbacks
+     * fire in completion order; this field lets a consumer that streams
+     * results elsewhere (the sharded coordinator's worker daemons) map
+     * each completion back to its global ordinal.
+     */
+    std::size_t index = 0;
     BatchJob::Kind kind = BatchJob::Kind::Single;
     /** Valid for Kind::Single (stable: memo-cache lifetime). */
     const SingleResult *single = nullptr;

@@ -218,6 +218,13 @@ writeBatchReportJson(std::ostream &os, const std::string &bench_name,
        << ", \"publish_abandoned\": " << disk.publishAbandoned
        << ", \"checkpoints_written\": " << disk.checkpointsWritten
        << ", \"checkpoint_bytes\": " << disk.checkpointBytesWritten
+       << ", \"remote_enabled\": "
+       << (sim::trace_store::remoteEnabled() ? "true" : "false")
+       << ", \"remote_hits\": " << disk.remoteHits
+       << ", \"remote_misses\": " << disk.remoteMisses
+       << ", \"remote_bytes_fetched\": " << disk.remoteBytesFetched
+       << ", \"remote_pushes\": " << disk.remotePushes
+       << ", \"remote_errors\": " << disk.remoteErrors
        << "}\n";
     os << "  },\n";
     os << "  \"results\": [\n";

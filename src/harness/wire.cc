@@ -303,4 +303,66 @@ decodeBatchItem(Reader &r)
     return decoded;
 }
 
+namespace {
+
+static_assert(std::is_trivially_copyable_v<core::BFetchConfig>);
+static_assert(std::is_trivially_copyable_v<SampleConfig>);
+
+} // namespace
+
+void
+encodeBatchJob(Writer &w, const BatchJob &job)
+{
+    if (job.kind == BatchJob::Kind::Custom)
+        throw SimError("wire", "custom jobs cannot cross the wire "
+                               "(their body is an opaque closure)");
+    w.u8(static_cast<std::uint8_t>(job.kind));
+    w.str(job.label);
+    w.u32(static_cast<std::uint32_t>(job.workloads.size()));
+    for (const std::string &name : job.workloads)
+        w.str(name);
+    w.str(job.prefetcher);
+    w.u32(static_cast<std::uint32_t>(job.priority));
+    const RunOptions &run = job.options;
+    w.u64(run.instructions);
+    w.u32(run.width);
+    w.u32(run.robSize);
+    w.f64(run.bpSizeScale);
+    w.str(run.predictor);
+    w.pod(run.bfetch);
+    w.u64(run.l3PerCoreBytes);
+    w.u64(run.deadlockCycles);
+    w.pod(run.sample);
+}
+
+BatchJob
+decodeBatchJob(Reader &r)
+{
+    BatchJob job;
+    std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(BatchJob::Kind::Mix))
+        corrupt("unknown or non-shippable job kind");
+    job.kind = static_cast<BatchJob::Kind>(kind);
+    job.label = r.str();
+    std::uint32_t n = r.u32();
+    if (n > maxWireCount)
+        corrupt("oversized workload list");
+    job.workloads.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        job.workloads.push_back(r.str());
+    job.prefetcher = r.str();
+    job.priority = static_cast<int>(r.u32());
+    RunOptions &run = job.options;
+    run.instructions = r.u64();
+    run.width = r.u32();
+    run.robSize = r.u32();
+    run.bpSizeScale = r.f64();
+    run.predictor = r.str();
+    run.bfetch = r.pod<core::BFetchConfig>();
+    run.l3PerCoreBytes = r.u64();
+    run.deadlockCycles = r.u64();
+    run.sample = r.pod<SampleConfig>();
+    return job;
+}
+
 } // namespace bfsim::harness::wire

@@ -136,6 +136,22 @@ struct DecodedItem
 void encodeBatchItem(Writer &w, const BatchItem &item);
 DecodedItem decodeBatchItem(Reader &r);
 
+/**
+ * Encode a BatchJob — label, workloads, prefetcher spec, priority and
+ * the full RunOptions — so the sharded coordinator can ship jobs to
+ * worker daemons and receive results computed from exactly the options
+ * the client submitted. Kind::Custom jobs carry an opaque closure and
+ * cannot cross a process boundary: encoding one throws SimError("wire")
+ * (the coordinator runs them locally instead).
+ *
+ * The POD config structs (core::BFetchConfig, SampleConfig) ride as
+ * sized blobs like the stats structs do: both ends of a fleet must run
+ * the same build, and a version skew decodes as a clean wire error the
+ * coordinator turns into a job failure, never silent option drift.
+ */
+void encodeBatchJob(Writer &w, const BatchJob &job);
+BatchJob decodeBatchJob(Reader &r);
+
 } // namespace bfsim::harness::wire
 
 #endif // BFSIM_HARNESS_WIRE_HH_

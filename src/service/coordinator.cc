@@ -1,0 +1,587 @@
+#include "service/coordinator.hh"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hh"
+#include "common/signal_util.hh"
+#include "common/sim_error.hh"
+#include "harness/journal.hh"
+#include "harness/wire.hh"
+#include "service/transport.hh"
+
+namespace bfsim::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point when)
+{
+    return std::chrono::duration<double>(Clock::now() - when).count();
+}
+
+/** Connect timeout to a worker daemon, and its hello wait. */
+constexpr double connectTimeoutSeconds = 5.0;
+/** Minimum age before an in-flight job is eligible for stealing. */
+constexpr double stealAgeSeconds = 1.0;
+
+/** One worker daemon the coordinator dispatches to. */
+struct HostState
+{
+    std::string endpoint;
+    std::unique_ptr<FramedConn> conn; // null once the host is dead
+    /** Concurrent jobs the worker advertised (hello "workers"). */
+    unsigned capacity = 1;
+    /** Outstanding ordinals and their dispatch times. */
+    std::map<std::size_t, Clock::time_point> inflight;
+    std::uint64_t completedJobs = 0;
+
+    bool alive() const { return conn != nullptr; }
+};
+
+class Coordinator
+{
+  public:
+    Coordinator(const LineSink &sendLine, SweepRequest &request,
+                const std::vector<std::string> &endpoints,
+                const std::string &journalDir, unsigned localWorkers,
+                int stopFd)
+        : sendLine_(sendLine), request_(request),
+          endpoints_(endpoints), localWorkers_(localWorkers),
+          stopFd_(stopFd), journal_(journalDir),
+          total_(request.jobs.size()), completedFlags_(total_, false)
+    {}
+
+    bool
+    run()
+    {
+        Clock::time_point start_time = Clock::now();
+        std::ostringstream start;
+        start << "{\"type\": \"start\", \"jobs\": " << total_
+              << ", \"isolate\": \"sharded\", \"journal\": \""
+              << jsonEscape(journal_.directory())
+              << "\", \"shards\": " << endpoints_.size() << "}";
+        sendLine_(start.str());
+
+        restoreFromJournal();
+        connectHosts();
+
+        while (completedCount_ < total_ && !interrupted()) {
+            if (!anyHostAlive()) {
+                localFallback();
+                break;
+            }
+            refill();
+            maybeSteal();
+            pollHosts();
+            checkDeadlines();
+        }
+
+        // Anything still unfinished after an interruption stays
+        // uncomputed: the journal holds every completed job, so a
+        // re-submission resumes with zero recompute.
+        std::ostringstream done;
+        done.precision(17);
+        done << "{\"type\": \"done\", \"total\": " << emitted_
+             << ", \"failures\": " << failures_
+             << ", \"journaled\": " << restoredCount_
+             << ", \"isolate\": \"sharded\", \"interrupted\": "
+             << (interrupted() ? "true" : "false")
+             << ", \"wall_seconds\": " << secondsSince(start_time)
+             << "}";
+        sendLine_(done.str());
+        return !interrupted();
+    }
+
+  private:
+    bool
+    interrupted() const
+    {
+        return interrupted_ || signal_util::shutdownRequested();
+    }
+
+    const harness::BatchJob &
+    jobAt(std::size_t ordinal) const
+    {
+        return request_.jobs[ordinal];
+    }
+
+    void
+    shardEvent(const std::string &event, const std::string &host,
+               const std::string &detail, long ordinal = -1)
+    {
+        std::ostringstream out;
+        out << "{\"type\": \"shard-event\", \"event\": \"" << event
+            << "\", \"host\": \"" << jsonEscape(host) << "\"";
+        if (ordinal >= 0)
+            out << ", \"ordinal\": " << ordinal;
+        if (!detail.empty())
+            out << ", \"detail\": \"" << jsonEscape(detail) << "\"";
+        out << "}";
+        sendLine_(out.str());
+    }
+
+    void
+    shardStatus()
+    {
+        std::ostringstream out;
+        out << "{\"type\": \"shard\", \"completed\": "
+            << completedCount_ << ", \"total\": " << total_
+            << ", \"pending\": " << pending_.size() << ", \"hosts\": [";
+        bool first = true;
+        for (const HostState &host : hosts_) {
+            if (!first)
+                out << ", ";
+            first = false;
+            out << "{\"endpoint\": \"" << jsonEscape(host.endpoint)
+                << "\", \"alive\": " << (host.alive() ? "true" : "false")
+                << ", \"inflight\": " << host.inflight.size()
+                << ", \"done\": " << host.completedJobs << "}";
+        }
+        out << "]}";
+        sendLine_(out.str());
+        lastStatus_ = Clock::now();
+    }
+
+    /** Insert an ordinal into the pending queue at its policy slot. */
+    void
+    enqueuePending(std::size_t ordinal)
+    {
+        auto before = [this](std::size_t a, std::size_t b) {
+            int pa = jobAt(a).priority, pb = jobAt(b).priority;
+            return pa != pb ? pa > pb : a < b;
+        };
+        pending_.insert(std::lower_bound(pending_.begin(),
+                                         pending_.end(), ordinal,
+                                         before),
+                        ordinal);
+    }
+
+    void
+    restoreFromJournal()
+    {
+        for (std::size_t i = 0; i < total_; ++i) {
+            harness::BatchItem item;
+            if (journal_.restore(jobAt(i), item)) {
+                complete(i, std::move(item));
+            } else if (jobAt(i).kind ==
+                       harness::BatchJob::Kind::Custom) {
+                // Custom jobs carry an opaque closure and cannot cross
+                // the wire; the line protocol never creates them, but
+                // run one locally rather than failing if it appears.
+                complete(i, harness::runJobAttempts(
+                                jobAt(i), i + 1,
+                                request_.batch.retries));
+            } else {
+                enqueuePending(i);
+            }
+        }
+    }
+
+    void
+    connectHosts()
+    {
+        for (const std::string &endpoint : endpoints_) {
+            HostState host;
+            host.endpoint = endpoint;
+            std::string why;
+            int fd = dialPeer(endpoint, connectTimeoutSeconds, why);
+            if (fd < 0) {
+                warn("coordinator: cannot reach " + endpoint + ": " +
+                     why);
+                shardEvent("unreachable", endpoint, why);
+            } else {
+                host.conn = std::make_unique<FramedConn>(fd);
+                shardEvent("connected", endpoint, "");
+            }
+            hosts_.push_back(std::move(host));
+        }
+        shardStatus();
+    }
+
+    bool
+    anyHostAlive() const
+    {
+        for (const HostState &host : hosts_)
+            if (host.alive())
+                return true;
+        return false;
+    }
+
+    unsigned
+    assigneeCount(std::size_t ordinal) const
+    {
+        unsigned count = 0;
+        for (const HostState &host : hosts_)
+            count += host.inflight.count(ordinal) ? 1 : 0;
+        return count;
+    }
+
+    void
+    eraseInflightAll(std::size_t ordinal)
+    {
+        for (HostState &host : hosts_)
+            host.inflight.erase(ordinal);
+    }
+
+    bool
+    dispatch(HostState &host, std::size_t ordinal)
+    {
+        harness::wire::Writer w;
+        w.u64(ordinal);
+        w.u32(request_.batch.retries);
+        harness::wire::encodeBatchJob(w, jobAt(ordinal));
+        if (!host.conn->send(subprocess::FrameType::WireJob,
+                             w.bytes().data(), w.bytes().size()))
+            return false;
+        host.inflight.emplace(ordinal, Clock::now());
+        return true;
+    }
+
+    /** Keep every live host loaded up to its advertised capacity. */
+    void
+    refill()
+    {
+        for (HostState &host : hosts_) {
+            if (!host.alive())
+                continue;
+            while (host.inflight.size() < host.capacity &&
+                   !pending_.empty()) {
+                std::size_t ordinal = pending_.front();
+                pending_.erase(pending_.begin());
+                if (!dispatch(host, ordinal)) {
+                    enqueuePending(ordinal);
+                    hostDeath(host, "send failed");
+                    break;
+                }
+            }
+        }
+    }
+
+    /**
+     * Tail shedding: with nothing pending and an idle slot available,
+     * duplicate-dispatch the oldest single-assignee in-flight ordinal
+     * of the busiest host. First WireResult wins; the duplicate's is
+     * dropped by the completed-flag check.
+     */
+    void
+    maybeSteal()
+    {
+        if (!pending_.empty())
+            return;
+        for (HostState &thief : hosts_) {
+            if (!thief.alive() ||
+                thief.inflight.size() >= thief.capacity)
+                continue;
+            HostState *victim = nullptr;
+            std::size_t target = 0;
+            double oldest = stealAgeSeconds;
+            for (HostState &other : hosts_) {
+                if (&other == &thief || !other.alive())
+                    continue;
+                for (const auto &[ordinal, when] : other.inflight) {
+                    double age = secondsSince(when);
+                    if (age >= oldest &&
+                        assigneeCount(ordinal) < 2 &&
+                        !thief.inflight.count(ordinal)) {
+                        victim = &other;
+                        target = ordinal;
+                        oldest = age;
+                    }
+                }
+            }
+            if (!victim)
+                return; // nothing old enough anywhere; stop scanning
+            if (dispatch(thief, target)) {
+                shardEvent("steal", thief.endpoint,
+                           "duplicated from " + victim->endpoint,
+                           static_cast<long>(target));
+            } else {
+                hostDeath(thief, "send failed");
+            }
+        }
+    }
+
+    void
+    pollHosts()
+    {
+        std::vector<struct pollfd> fds;
+        std::vector<HostState *> owners;
+        for (HostState &host : hosts_) {
+            if (!host.alive())
+                continue;
+            fds.push_back({host.conn->fd(), POLLIN, 0});
+            owners.push_back(&host);
+        }
+        std::size_t extras = fds.size();
+        if (stopFd_ >= 0)
+            fds.push_back({stopFd_, POLLIN, 0});
+        if (signal_util::shutdownFd() >= 0)
+            fds.push_back({signal_util::shutdownFd(), POLLIN, 0});
+
+        int ready = ::poll(fds.data(),
+                           static_cast<nfds_t>(fds.size()), 1000);
+        if (ready < 0)
+            return; // EINTR; the shutdown latch is checked by callers
+        for (std::size_t i = extras; i < fds.size(); ++i) {
+            if (fds[i].revents & POLLIN) {
+                interrupted_ = true;
+                return;
+            }
+        }
+        for (std::size_t i = 0; i < extras; ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            drainHost(*owners[i]);
+        }
+        if (secondsSince(lastStatus_) >= 1.0)
+            shardStatus();
+    }
+
+    void
+    drainHost(HostState &host)
+    {
+        for (;;) {
+            subprocess::FrameType type;
+            std::vector<unsigned char> payload;
+            int rc = host.conn->read(type, payload, -1, -1, 0);
+            if (rc == 0)
+                return;
+            if (rc < 0) {
+                hostDeath(host, "connection lost");
+                return;
+            }
+            if (!handleFrame(host, type, payload)) {
+                hostDeath(host, "corrupt frame");
+                return;
+            }
+        }
+    }
+
+    bool
+    handleFrame(HostState &host, subprocess::FrameType type,
+                const std::vector<unsigned char> &payload)
+    {
+        namespace wire = harness::wire;
+        if (type == subprocess::FrameType::Line) {
+            // The worker's hello advertises its capacity; every other
+            // text line (command acks) is irrelevant to dispatch.
+            std::string line(payload.begin(), payload.end());
+            std::size_t at = line.find("\"workers\": ");
+            if (at != std::string::npos) {
+                unsigned workers = static_cast<unsigned>(
+                    std::strtoul(line.c_str() + at + 11, nullptr, 10));
+                if (workers > 0)
+                    host.capacity = workers;
+            }
+            return true;
+        }
+        if (type != subprocess::FrameType::WireResult)
+            return true; // ignore frame kinds a future worker may add
+        try {
+            wire::Reader r(payload);
+            auto ordinal = static_cast<std::size_t>(r.u64());
+            wire::DecodedItem decoded = wire::decodeBatchItem(r);
+            if (ordinal >= total_)
+                return false;
+            if (host.inflight.erase(ordinal))
+                ++host.completedJobs;
+            if (completedFlags_[ordinal])
+                return true; // steal loser: first result already won
+            const harness::BatchJob &job = jobAt(ordinal);
+            harness::BatchItem item = std::move(decoded.item);
+            if (decoded.single) {
+                item.single = &harness::adoptSingleResult(
+                    job.workloads[0], job.prefetcher, job.options,
+                    std::move(*decoded.single));
+            } else if (decoded.mix) {
+                item.mix = &harness::adoptMixResult(
+                    job.workloads, job.prefetcher, job.options,
+                    std::move(*decoded.mix));
+            }
+            complete(ordinal, std::move(item));
+            return true;
+        } catch (const SimError &) {
+            return false; // corrupt result payload: treat host as lost
+        }
+    }
+
+    void
+    hostDeath(HostState &host, const std::string &why)
+    {
+        if (!host.alive())
+            return;
+        warn("coordinator: lost " + host.endpoint + " (" + why + ")");
+        shardEvent("dead", host.endpoint, why);
+        std::vector<std::size_t> orphans;
+        for (const auto &[ordinal, when] : host.inflight)
+            orphans.push_back(ordinal);
+        host.inflight.clear();
+        host.conn.reset();
+        for (std::size_t ordinal : orphans) {
+            if (completedFlags_[ordinal] || assigneeCount(ordinal) > 0)
+                continue; // done, or a duplicate is still running it
+            requeue(host.endpoint, ordinal);
+        }
+    }
+
+    /** A worker died with this ordinal in flight: retry or quarantine,
+     * mirroring the process-pool crash policy at fleet scale. */
+    void
+    requeue(const std::string &endpoint, std::size_t ordinal)
+    {
+        unsigned crashes = ++crashes_[ordinal];
+        if (crashes >= request_.batch.poisonThreshold) {
+            shardEvent("poison", endpoint, "", static_cast<long>(ordinal));
+            harness::BatchItem item;
+            item.label = jobAt(ordinal).label;
+            item.kind = jobAt(ordinal).kind;
+            item.failed = true;
+            item.attempts = crashes;
+            item.error = "job killed " + std::to_string(crashes) +
+                         " worker daemon(s); quarantined as poison";
+            complete(ordinal, std::move(item));
+            return;
+        }
+        shardEvent("requeue", endpoint, "", static_cast<long>(ordinal));
+        enqueuePending(ordinal);
+    }
+
+    void
+    checkDeadlines()
+    {
+        double deadline = request_.batch.jobDeadlineSeconds;
+        if (deadline <= 0.0)
+            return;
+        std::map<std::size_t, double> youngest;
+        for (const HostState &host : hosts_)
+            for (const auto &[ordinal, when] : host.inflight) {
+                double age = secondsSince(when);
+                auto [it, fresh] = youngest.emplace(ordinal, age);
+                if (!fresh && age < it->second)
+                    it->second = age;
+            }
+        for (const auto &[ordinal, age] : youngest) {
+            if (age <= deadline || completedFlags_[ordinal])
+                continue;
+            // Every assignee has held it past the deadline: fail the
+            // job like the local deadline policy, and drop whichever
+            // result eventually straggles in.
+            eraseInflightAll(ordinal);
+            shardEvent("deadline", "", "", static_cast<long>(ordinal));
+            harness::BatchItem item;
+            item.label = jobAt(ordinal).label;
+            item.kind = jobAt(ordinal).kind;
+            item.failed = true;
+            item.error = "job deadline (" + std::to_string(deadline) +
+                         "s) exceeded on every assigned worker";
+            complete(ordinal, std::move(item));
+        }
+    }
+
+    /** Every worker is gone: finish the sweep in this process. */
+    void
+    localFallback()
+    {
+        std::vector<harness::BatchJob> rest;
+        std::vector<std::size_t> ordinals;
+        for (std::size_t i = 0; i < total_; ++i) {
+            if (!completedFlags_[i]) {
+                rest.push_back(jobAt(i));
+                ordinals.push_back(i);
+            }
+        }
+        if (rest.empty())
+            return;
+        shardEvent("fallback", "local",
+                   std::to_string(rest.size()) + " job(s) run locally");
+        harness::BatchOptions batch = request_.batch;
+        // complete() journals each result as it lands; running the
+        // batch with its own journal would double-write the records.
+        batch.journalDir.clear();
+        harness::runBatch(
+            rest, localWorkers_,
+            [&](const harness::BatchItem &item, std::size_t, std::size_t) {
+                complete(ordinals[item.index],
+                         harness::BatchItem(item));
+            },
+            batch);
+    }
+
+    void
+    complete(std::size_t ordinal, harness::BatchItem item)
+    {
+        if (completedFlags_[ordinal])
+            return;
+        completedFlags_[ordinal] = true;
+        ++completedCount_;
+        eraseInflightAll(ordinal);
+        item.index = ordinal;
+        auto crash = crashes_.find(ordinal);
+        if (crash != crashes_.end())
+            item.crashes = std::max(item.crashes, crash->second);
+        if (item.failed)
+            ++failures_;
+        if (item.journaled)
+            ++restoredCount_;
+        else if (!item.failed)
+            journal_.append(jobAt(ordinal), item);
+        ready_.emplace(ordinal, std::move(item));
+        // Strict submission-order emission: buffer until this ordinal
+        // is next, so the client's merged stream is line-for-line
+        // comparable with a serial local sweep.
+        while (true) {
+            auto it = ready_.find(nextEmit_);
+            if (it == ready_.end())
+                break;
+            sendLine_(itemLine(it->second, ++emitted_, total_));
+            ready_.erase(it);
+            ++nextEmit_;
+        }
+    }
+
+    const LineSink &sendLine_;
+    SweepRequest &request_;
+    const std::vector<std::string> &endpoints_;
+    unsigned localWorkers_;
+    int stopFd_;
+    harness::SweepJournal journal_;
+
+    std::size_t total_;
+    std::vector<bool> completedFlags_;
+    std::vector<std::size_t> pending_;
+    std::vector<HostState> hosts_;
+    std::map<std::size_t, unsigned> crashes_;
+    std::map<std::size_t, harness::BatchItem> ready_;
+    std::size_t nextEmit_ = 0;
+    std::size_t emitted_ = 0;
+    std::size_t completedCount_ = 0;
+    std::size_t failures_ = 0;
+    std::size_t restoredCount_ = 0;
+    bool interrupted_ = false;
+    Clock::time_point lastStatus_ = Clock::now();
+};
+
+} // namespace
+
+bool
+runShardedSweep(const LineSink &sendLine, SweepRequest &request,
+                const std::vector<std::string> &endpoints,
+                const std::string &journalDir, unsigned localWorkers,
+                int stopFd)
+{
+    Coordinator coordinator(sendLine, request, endpoints, journalDir,
+                            localWorkers, stopFd);
+    return coordinator.run();
+}
+
+} // namespace bfsim::service

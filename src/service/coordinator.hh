@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sharded sweep coordinator: one bfsimd instance started with
+ * `--coordinate host:port,...` executes each sweep by farming its job
+ * list out to remote worker daemons instead of simulating locally.
+ *
+ * Scheduling is pull-based: the coordinator keeps at most `capacity`
+ * jobs outstanding per worker (the capacity each worker advertises in
+ * its hello), so a fast host drains the shared pending queue faster
+ * and naturally takes more of the sweep — no static partitioning, no
+ * stragglers from an unlucky split. The pending queue is ordered by
+ * (priority desc, submission ordinal asc): `opt priority N` raises
+ * points the client wants first.
+ *
+ * Failure policy reuses the local batch semantics at fleet scale:
+ *  - a worker that disconnects (crash, SIGKILL, network partition) has
+ *    its in-flight ordinals requeued; per-ordinal crash counts against
+ *    BatchOptions::poisonThreshold quarantine a job that keeps killing
+ *    workers, exactly like the process-pool backend quarantines one
+ *    that keeps killing forked workers;
+ *  - with a job deadline set, an ordinal whose every assignee has held
+ *    it past the deadline is failed, like the local deadline policy;
+ *  - when the pending queue is empty and a host sits idle, the tail of
+ *    a busy host is *stolen*: the oldest single-assignee in-flight
+ *    ordinal is duplicate-dispatched (at most two assignees), first
+ *    result wins, the loser's result is dropped on arrival;
+ *  - when every worker is dead the remaining jobs run locally, so a
+ *    sweep never fails just because the fleet did.
+ *
+ * Results stream to the client in strict submission order (out-of-order
+ * completions buffer until their turn), so the merged output of a
+ * sharded sweep is line-for-line comparable with a single local daemon
+ * running `opt workers 1`. Every completed job is appended to the same
+ * per-sweep journal directory the local path uses — a killed
+ * coordinator, re-submitted the same sweep, restores every finished
+ * job before contacting any worker, and the journal is interchangeable
+ * between sharded and local execution.
+ */
+
+#ifndef BFSIM_SERVICE_COORDINATOR_HH_
+#define BFSIM_SERVICE_COORDINATOR_HH_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hh"
+
+namespace bfsim::service {
+
+/** Sink for one JSON response line to the requesting client. */
+using LineSink = std::function<void(const std::string &line)>;
+
+/**
+ * Execute `request` sharded across `endpoints` ("host:port" worker
+ * daemons), streaming start / job / done lines (plus "shard" status and
+ * "shard-event" lines) through `sendLine` and journaling under
+ * `journalDir` ("" disables). `localWorkers` sizes the local fallback
+ * batch when the whole fleet is lost; `stopFd` (or the process
+ * shutdown self-pipe) interrupts the sweep between completions.
+ *
+ * @return true when the sweep ran to completion (failed jobs included);
+ * false when interrupted.
+ */
+bool runShardedSweep(const LineSink &sendLine, SweepRequest &request,
+                     const std::vector<std::string> &endpoints,
+                     const std::string &journalDir,
+                     unsigned localWorkers, int stopFd);
+
+} // namespace bfsim::service
+
+#endif // BFSIM_SERVICE_COORDINATOR_HH_

@@ -1,5 +1,6 @@
 #include "service/daemon.hh"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -9,6 +10,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -17,7 +19,12 @@
 #include "common/signal_util.hh"
 #include "common/sim_error.hh"
 #include "common/thread_pool.hh"
+#include "harness/experiment.hh"
+#include "harness/wire.hh"
+#include "service/coordinator.hh"
 #include "service/protocol.hh"
+#include "service/transport.hh"
+#include "sim/trace_store.hh"
 
 namespace bfsim::service {
 
@@ -30,7 +37,7 @@ serviceError(const std::string &message)
 }
 
 /**
- * Line-oriented writer over a connection. A peer that disconnected
+ * Line-oriented writer over a Unix connection. A peer that disconnected
  * mid-sweep turns every later write into a silent no-op (the sweep
  * must finish and journal regardless of whether anyone is watching).
  */
@@ -67,15 +74,16 @@ class LineWriter
     bool gone = false;
 };
 
-/** Buffered line reader that also watches the shutdown self-pipe. */
+/** Buffered line reader that also watches the shutdown self-pipe and
+ * this daemon's private stop pipe. */
 class LineReader
 {
   public:
-    explicit LineReader(int fd) : fd(fd) {}
+    LineReader(int fd, int stopFd) : fd(fd), stopFd(stopFd) {}
 
     /**
      * Read the next newline-terminated line. Returns false on peer
-     * EOF, error, or a shutdown signal arriving while idle.
+     * EOF, error, or a shutdown/stop signal arriving while idle.
      */
     bool
     readLine(std::string &line)
@@ -89,17 +97,21 @@ class LineReader
                 buffer.erase(0, pos + 1);
                 return true;
             }
-            struct pollfd fds[2];
-            fds[0] = {fd, POLLIN, 0};
-            fds[1] = {signal_util::shutdownFd(), POLLIN, 0};
-            int ready = ::poll(fds, 2, -1);
+            struct pollfd fds[3];
+            nfds_t count = 0;
+            fds[count++] = {fd, POLLIN, 0};
+            fds[count++] = {signal_util::shutdownFd(), POLLIN, 0};
+            if (stopFd >= 0)
+                fds[count++] = {stopFd, POLLIN, 0};
+            int ready = ::poll(fds, count, -1);
             if (ready < 0) {
                 if (errno == EINTR)
                     continue;
                 return false;
             }
-            if (fds[1].revents & POLLIN)
-                return false;
+            for (nfds_t i = 1; i < count; ++i)
+                if (fds[i].revents & POLLIN)
+                    return false;
             char chunk[4096];
             ssize_t n = ::read(fd, chunk, sizeof chunk);
             if (n < 0) {
@@ -115,86 +127,243 @@ class LineReader
 
   private:
     int fd;
+    int stopFd;
     std::string buffer;
 };
 
-std::string
-isolateName(harness::IsolateMode mode)
+/** One client connection, transport-agnostic: the command loop reads
+ * protocol lines and writes JSON lines through this. */
+class Channel
 {
-    return mode == harness::IsolateMode::Process ? "process" : "none";
+  public:
+    virtual ~Channel() = default;
+    /** False on peer EOF or a stop/shutdown wake. */
+    virtual bool readLine(std::string &line) = 0;
+    virtual void sendLine(const std::string &line) = 0;
+    virtual bool peerGone() const = 0;
+    /** True when this connection already owns the sweep mutex (a
+     * worker connection running remote jobs). */
+    virtual bool holdsSweepLock() const { return false; }
+};
+
+class UnixChannel final : public Channel
+{
+  public:
+    UnixChannel(int fd, int stopFd) : reader(fd, stopFd), writer(fd) {}
+
+    bool readLine(std::string &line) override
+    {
+        return reader.readLine(line);
+    }
+    void sendLine(const std::string &line) override
+    {
+        writer.sendLine(line);
+    }
+    bool peerGone() const override { return writer.clientGone(); }
+
+  private:
+    LineReader reader;
+    LineWriter writer;
+};
+
+void
+sendError(Channel &channel, const std::string &message)
+{
+    channel.sendLine("{\"type\": \"error\", \"message\": \"" +
+                     jsonEscape(message) + "\"}");
 }
 
 void
-sendError(LineWriter &writer, const std::string &message)
-{
-    writer.sendLine("{\"type\": \"error\", \"message\": \"" +
-                    jsonEscape(message) + "\"}");
-}
-
-void
-sendOk(LineWriter &writer, const std::string &command,
+sendOk(Channel &channel, const std::string &command,
        const std::string &extra = {})
 {
-    writer.sendLine("{\"type\": \"ok\", \"command\": \"" + command +
-                    "\"" + extra + "}");
+    channel.sendLine("{\"type\": \"ok\", \"command\": \"" + command +
+                     "\"" + extra + "}");
 }
 
-/** The headline metric of a finished item, by job shape. */
-double
-itemValue(const harness::BatchItem &item)
+} // namespace
+
+/**
+ * A framed TCP connection. Besides carrying the text protocol in Line
+ * frames, it serves the two binary dialects: remote jobs (WireJob in,
+ * WireResult out, executed on a lazily created per-connection worker
+ * pool under the daemon-wide sweep mutex) and the remote trace-store
+ * tier (StoreGet/StorePut against the daemon's trace directory).
+ */
+class TcpChannel final : public Channel
 {
-    switch (item.kind) {
-      case harness::BatchJob::Kind::Single:
-        return item.single ? item.single->core.ipc : 0.0;
-      case harness::BatchJob::Kind::Mix:
-        return item.mix ? item.mix->weightedSpeedup : 0.0;
-      case harness::BatchJob::Kind::Custom:
-        return item.value;
+  public:
+    TcpChannel(Daemon &daemon, int fd) : daemon_(daemon), conn_(fd) {}
+
+    ~TcpChannel() override
+    {
+        // Drain outstanding remote jobs (their results still stream to
+        // the peer if it is alive), persist any trace captures they
+        // produced, then release the sweep slot.
+        pool_.reset();
+        if (ranJobs_)
+            harness::persistTraceStore();
+        if (sweepLock_.owns_lock())
+            sweepLock_.unlock();
     }
-    return 0.0;
-}
 
-std::string
-itemLine(const harness::BatchItem &item, std::size_t done,
-         std::size_t total)
-{
-    std::ostringstream out;
-    out.precision(17);
-    out << "{\"type\": \"job\", \"done\": " << done << ", \"total\": "
-        << total << ", \"label\": \"" << jsonEscape(item.label)
-        << "\", \"failed\": " << (item.failed ? "true" : "false")
-        << ", \"cached\": " << (item.cached ? "true" : "false")
-        << ", \"journaled\": " << (item.journaled ? "true" : "false")
-        << ", \"crashes\": " << item.crashes << ", \"attempts\": "
-        << item.attempts << ", \"value\": " << itemValue(item)
-        << ", \"seconds\": " << item.seconds;
-    if (item.failed)
-        out << ", \"error\": \"" << jsonEscape(item.error) << "\"";
-    out << "}";
-    return out.str();
-}
+    bool
+    readLine(std::string &line) override
+    {
+        for (;;) {
+            subprocess::FrameType type;
+            std::vector<unsigned char> payload;
+            int rc = conn_.read(type, payload, daemon_.stopFds_[0],
+                                signal_util::shutdownFd());
+            if (rc <= 0)
+                return false;
+            switch (type) {
+              case subprocess::FrameType::Line:
+                line.assign(payload.begin(), payload.end());
+                return true;
+              case subprocess::FrameType::WireJob:
+                handleWireJob(payload);
+                break;
+              case subprocess::FrameType::StoreGet:
+                handleStoreGet(payload);
+                break;
+              case subprocess::FrameType::StorePut:
+                handleStorePut(payload);
+                break;
+              default:
+                break; // ignore frame kinds this side never consumes
+            }
+        }
+    }
+
+    void sendLine(const std::string &line) override
+    {
+        conn_.sendLine(line);
+    }
+    bool peerGone() const override { return conn_.peerGone(); }
+    bool holdsSweepLock() const override
+    {
+        return sweepLock_.owns_lock();
+    }
+
+  private:
+    void
+    handleWireJob(const std::vector<unsigned char> &payload)
+    {
+        namespace wire = harness::wire;
+        std::uint64_t ordinal = 0;
+        unsigned retries = 0;
+        harness::BatchJob job;
+        try {
+            wire::Reader r(payload);
+            ordinal = r.u64();
+            retries = r.u32();
+            job = wire::decodeBatchJob(r);
+        } catch (const SimError &error) {
+            sendError(*this, "bad wire job: " + error.message());
+            return;
+        }
+        if (!pool_) {
+            // First remote job on this connection: claim the daemon's
+            // sweep slot (held until the connection closes, so remote
+            // jobs never overlap a local sweep's process-pool fork)
+            // and start the worker pool the hello advertised.
+            sweepLock_ = std::unique_lock(daemon_.sweepMutex_);
+            pool_ = std::make_unique<ThreadPool>(
+                daemon_.resolvedWorkers());
+            ranJobs_ = true;
+        }
+        pool_->submit([this, ordinal, retries,
+                       job = std::move(job)]() mutable {
+            harness::BatchItem item = harness::runJobAttempts(
+                job, static_cast<std::size_t>(ordinal) + 1, retries);
+            harness::wire::Writer w;
+            w.u64(ordinal);
+            harness::wire::encodeBatchItem(w, item);
+            conn_.send(subprocess::FrameType::WireResult,
+                       w.bytes().data(), w.bytes().size());
+        });
+    }
+
+    void
+    handleStoreGet(const std::vector<unsigned char> &payload)
+    {
+        std::string name(payload.begin(), payload.end());
+        std::vector<unsigned char> bytes;
+        if (sim::trace_store::validRemoteName(name) &&
+            sim::trace_store::readArtifactBytes(name, bytes)) {
+            conn_.send(subprocess::FrameType::StoreData, bytes.data(),
+                       bytes.size());
+        } else {
+            conn_.send(subprocess::FrameType::StoreMiss, nullptr, 0);
+        }
+    }
+
+    void
+    handleStorePut(const std::vector<unsigned char> &payload)
+    {
+        int stored = -1;
+        if (payload.size() >= 4) {
+            std::uint32_t name_len = 0;
+            for (int i = 0; i < 4; ++i)
+                name_len |= static_cast<std::uint32_t>(payload[i])
+                            << (i * 8);
+            if (name_len > 0 && 4 + name_len < payload.size()) {
+                std::string name(payload.begin() + 4,
+                                 payload.begin() + 4 + name_len);
+                stored = sim::trace_store::acceptArtifactBytes(
+                    name, payload.data() + 4 + name_len,
+                    payload.size() - 4 - name_len);
+            }
+        }
+        unsigned char ack = stored == 1 ? 1 : 0;
+        conn_.send(subprocess::FrameType::StoreAck, &ack, 1);
+    }
+
+    Daemon &daemon_;
+    FramedConn conn_;
+    std::unique_lock<std::mutex> sweepLock_;
+    std::unique_ptr<ThreadPool> pool_;
+    bool ranJobs_ = false;
+};
+
+namespace {
 
 /** Execute an accumulated request, streaming progress to the client. */
 void
-runSweep(LineWriter &writer, SweepRequest &request,
-         const DaemonOptions &daemon)
+runSweep(Channel &channel, SweepRequest &request,
+         const DaemonOptions &daemon, unsigned defaultWorkers,
+         int stopFd)
 {
-    harness::BatchOptions batch = request.batch;
-    batch.journalDir = journalDirFor(daemon.journalRoot, request);
+    std::string journal_dir = journalDirFor(daemon.journalRoot,
+                                            request);
     unsigned workers = request.workers ? request.workers
-                                       : daemon.workers;
+                                       : defaultWorkers;
+
+    if (!daemon.coordinators.empty()) {
+        runShardedSweep(
+            [&channel](const std::string &line) {
+                channel.sendLine(line);
+            },
+            request, daemon.coordinators, journal_dir, workers,
+            stopFd);
+        return;
+    }
+
+    harness::BatchOptions batch = request.batch;
+    batch.journalDir = journal_dir;
     std::ostringstream start;
     start << "{\"type\": \"start\", \"jobs\": " << request.jobs.size()
           << ", \"isolate\": \"" << isolateName(batch.isolate)
           << "\", \"journal\": \"" << jsonEscape(batch.journalDir)
           << "\"}";
-    writer.sendLine(start.str());
+    channel.sendLine(start.str());
 
     harness::BatchResult result = harness::runBatch(
         request.jobs, workers,
-        [&writer](const harness::BatchItem &item, std::size_t done,
-                  std::size_t total) {
-            writer.sendLine(itemLine(item, done, total));
+        [&channel](const harness::BatchItem &item, std::size_t done,
+                   std::size_t total) {
+            channel.sendLine(itemLine(item, done, total));
         },
         batch);
 
@@ -207,7 +376,7 @@ runSweep(LineWriter &writer, SweepRequest &request,
          << "\", \"interrupted\": "
          << (signal_util::shutdownRequested() ? "true" : "false")
          << ", \"wall_seconds\": " << result.wallSeconds << "}";
-    writer.sendLine(done.str());
+    channel.sendLine(done.str());
 }
 
 } // namespace
@@ -218,8 +387,32 @@ Daemon::~Daemon()
 {
     if (listenFd_ >= 0)
         ::close(listenFd_);
+    if (tcpListenFd_ >= 0)
+        ::close(tcpListenFd_);
+    for (int fd : stopFds_)
+        if (fd >= 0)
+            ::close(fd);
     if (bound_)
         ::unlink(options_.socketPath.c_str());
+}
+
+unsigned
+Daemon::resolvedWorkers() const
+{
+    return options_.workers ? options_.workers
+                            : ThreadPool::defaultThreadCount();
+}
+
+void
+Daemon::requestStop()
+{
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true))
+        return;
+    if (stopFds_[1] >= 0) {
+        unsigned char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(stopFds_[1], &byte, 1);
+    }
 }
 
 void
@@ -248,79 +441,156 @@ Daemon::bind()
     bound_ = true;
     if (::listen(listenFd_, 8) < 0)
         serviceError(std::string("listen: ") + std::strerror(errno));
+
+    if (!options_.listenSpec.empty()) {
+        std::string host;
+        std::uint16_t port = 0;
+        if (!subprocess::parseHostPort(options_.listenSpec, host,
+                                       port))
+            serviceError("malformed --listen '" + options_.listenSpec +
+                         "' (expected host:port)");
+        std::string why;
+        tcpListenFd_ = subprocess::listenTcp(host, port, boundPort_,
+                                             why);
+        if (tcpListenFd_ < 0)
+            serviceError("listen " + options_.listenSpec + ": " + why);
+        if (!options_.portFile.empty()) {
+            std::FILE *file = std::fopen(options_.portFile.c_str(),
+                                         "w");
+            if (!file)
+                serviceError("cannot write port file " +
+                             options_.portFile);
+            std::fprintf(file, "%u\n",
+                         static_cast<unsigned>(boundPort_));
+            std::fclose(file);
+        }
+    }
+
+    if (::pipe(stopFds_) != 0)
+        serviceError(std::string("pipe: ") + std::strerror(errno));
+    for (int fd : stopFds_)
+        ::fcntl(fd, F_SETFD, FD_CLOEXEC);
 }
 
 int
 Daemon::serve()
 {
     signal_util::installShutdownHandlers();
-    inform("bfsimd: listening on " + options_.socketPath +
+    std::string endpoints = options_.socketPath;
+    if (tcpListenFd_ >= 0)
+        endpoints += " and tcp port " + std::to_string(boundPort_);
+    inform("bfsimd: listening on " + endpoints +
            " (isolate=" + isolateName(options_.isolate) +
            (options_.journalRoot.empty()
                 ? std::string(", journaling disabled")
                 : ", journal root " + options_.journalRoot) +
+           (options_.coordinators.empty()
+                ? std::string()
+                : ", coordinating " +
+                      std::to_string(options_.coordinators.size()) +
+                      " worker(s)") +
            ")");
     for (;;) {
-        if (signal_util::shutdownRequested())
+        if (signal_util::shutdownRequested() || stopping_.load())
             break;
-        struct pollfd fds[2];
-        fds[0] = {listenFd_, POLLIN, 0};
-        fds[1] = {signal_util::shutdownFd(), POLLIN, 0};
-        int ready = ::poll(fds, 2, -1);
+        struct pollfd fds[4];
+        nfds_t count = 0;
+        fds[count++] = {listenFd_, POLLIN, 0};
+        int tcp_slot = -1;
+        if (tcpListenFd_ >= 0) {
+            tcp_slot = static_cast<int>(count);
+            fds[count++] = {tcpListenFd_, POLLIN, 0};
+        }
+        fds[count++] = {signal_util::shutdownFd(), POLLIN, 0};
+        fds[count++] = {stopFds_[0], POLLIN, 0};
+        int ready = ::poll(fds, count, -1);
         if (ready < 0) {
             if (errno == EINTR)
                 continue;
             serviceError(std::string("poll: ") + std::strerror(errno));
         }
-        if (fds[1].revents & POLLIN)
+        if (fds[count - 1].revents & POLLIN ||
+            fds[count - 2].revents & POLLIN)
             break;
-        if (!(fds[0].revents & POLLIN))
+        int accept_fd = -1;
+        bool framed = false;
+        if (fds[0].revents & POLLIN) {
+            accept_fd = listenFd_;
+        } else if (tcp_slot >= 0 && (fds[tcp_slot].revents & POLLIN)) {
+            accept_fd = tcpListenFd_;
+            framed = true;
+        } else {
             continue;
-        int fd = ::accept(listenFd_, nullptr, nullptr);
+        }
+        int fd = ::accept(accept_fd, nullptr, nullptr);
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
             serviceError(std::string("accept: ") +
                          std::strerror(errno));
         }
-        bool keep_serving = handleConnection(fd);
-        ::close(fd);
-        if (!keep_serving || options_.once)
+        if (options_.once) {
+            handleConnection(fd, framed);
             break;
+        }
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        threads_.emplace_back(
+            [this, fd, framed] { handleConnection(fd, framed); });
+    }
+    // New connections are refused from here on; wake every connection
+    // thread (they poll the stop pipe) and wait for them to finish.
+    requestStop();
+    {
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        for (std::thread &thread : threads_)
+            if (thread.joinable())
+                thread.join();
+        threads_.clear();
     }
     inform("bfsimd: shutting down");
     harness::drainAbandonedPools(2.0);
     return 0;
 }
 
-bool
-Daemon::handleConnection(int fd)
+void
+Daemon::handleConnection(int fd, bool framed)
 {
-    LineWriter writer(fd);
-    LineReader reader(fd);
-    writer.sendLine("{\"type\": \"hello\", \"service\": \"bfsimd\", "
-                    "\"version\": 1, \"pid\": " +
-                    std::to_string(::getpid()) + "}");
+    std::unique_ptr<Channel> channel;
+    std::string hello = "{\"type\": \"hello\", \"service\": "
+                        "\"bfsimd\", \"version\": 1, \"pid\": " +
+                        std::to_string(::getpid());
+    if (framed) {
+        // The framed hello advertises this daemon's job capacity so a
+        // coordinator knows how many WireJobs to keep in flight here.
+        channel = std::make_unique<TcpChannel>(*this, fd);
+        hello += ", \"workers\": " +
+                 std::to_string(resolvedWorkers()) + "}";
+    } else {
+        channel = std::make_unique<UnixChannel>(fd, stopFds_[0]);
+        hello += "}";
+    }
+    channel->sendLine(hello);
 
     SweepRequest request;
     bool in_sweep = false;
     std::string line;
-    while (reader.readLine(line)) {
+    while (channel->readLine(line)) {
         std::vector<std::string> tokens = splitTokens(line);
         if (tokens.empty())
             continue;
         const std::string &command = tokens[0];
         try {
             if (command == "ping") {
-                writer.sendLine("{\"type\": \"pong\"}");
+                channel->sendLine("{\"type\": \"pong\"}");
             } else if (command == "shutdown") {
-                writer.sendLine("{\"type\": \"bye\"}");
-                return false;
+                channel->sendLine("{\"type\": \"bye\"}");
+                requestStop();
+                break;
             } else if (command == "sweep") {
                 request = SweepRequest{};
                 request.batch.isolate = options_.isolate;
                 in_sweep = true;
-                sendOk(writer, "sweep");
+                sendOk(*channel, "sweep");
             } else if (command == "opt") {
                 if (!in_sweep)
                     serviceError("opt outside a sweep (send 'sweep' "
@@ -328,13 +598,13 @@ Daemon::handleConnection(int fd)
                 if (tokens.size() != 3)
                     serviceError("opt expects: opt <key> <value>");
                 applyOption(request, tokens[1], tokens[2]);
-                sendOk(writer, "opt");
+                sendOk(*channel, "opt");
             } else if (command == "job") {
                 if (!in_sweep)
                     serviceError("job outside a sweep (send 'sweep' "
                                  "first)");
                 addJob(request, tokens);
-                sendOk(writer, "job",
+                sendOk(*channel, "job",
                        ", \"index\": " +
                            std::to_string(request.jobs.size() - 1));
             } else if (command == "run") {
@@ -343,22 +613,33 @@ Daemon::handleConnection(int fd)
                                  "first)");
                 if (request.jobs.empty())
                     serviceError("run with no jobs");
-                runSweep(writer, request, options_);
+                {
+                    // One sweep at a time daemon-wide; a connection
+                    // already serving remote jobs holds the slot.
+                    std::unique_lock<std::mutex> sweep_lock;
+                    if (!channel->holdsSweepLock())
+                        sweep_lock =
+                            std::unique_lock<std::mutex>(sweepMutex_);
+                    runSweep(*channel, request, options_,
+                             resolvedWorkers(), stopFds_[0]);
+                }
                 in_sweep = false;
-                if (signal_util::shutdownRequested())
-                    return false;
+                if (signal_util::shutdownRequested()) {
+                    requestStop();
+                    break;
+                }
             } else {
                 serviceError("unknown command '" + command + "'");
             }
         } catch (const SimError &error) {
-            sendError(writer, error.message());
+            sendError(*channel, error.message());
         }
-        if (writer.clientGone())
-            return true;
+        if (channel->peerGone())
+            break;
     }
-    // EOF mid-request: the client went away; keep serving others
-    // unless a shutdown signal is what broke the read.
-    return !signal_util::shutdownRequested();
+    channel.reset(); // drains remote jobs before the fd closes
+    if (!framed)
+        ::close(fd); // TcpChannel's FramedConn owns and closes its fd
 }
 
 } // namespace bfsim::service

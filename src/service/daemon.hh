@@ -3,11 +3,12 @@
  * bfsimd: the crash-resilient sweep service.
  *
  * A long-lived daemon that accepts sweep requests over a Unix-domain
- * stream socket (protocol: service/protocol.hh), executes each sweep
- * through harness::runBatch — by default with the process-isolated
- * backend (harness/process_pool.hh), so a segfaulting or wedged job
- * costs one forked worker, never the daemon — and streams per-job
- * progress back as JSON lines.
+ * stream socket and (with --listen) a framed TCP socket (protocol:
+ * service/protocol.hh, transport: service/transport.hh), executes each
+ * sweep through harness::runBatch — by default with the
+ * process-isolated backend (harness/process_pool.hh), so a segfaulting
+ * or wedged job costs one forked worker, never the daemon — and
+ * streams per-job progress back as JSON lines.
  *
  * Crash resilience is end to end: every completed job is journaled
  * (harness/journal.hh) under a directory derived from the request's
@@ -17,18 +18,44 @@
  * and the on-disk trace store: restored results are adopted into the
  * memo cache exactly as freshly computed ones are.
  *
- * Connection model: one client at a time (accepted connections queue in
- * the listen backlog). A client that disconnects mid-sweep does NOT
- * cancel it — the daemon finishes and journals the sweep, and the
- * client can reconnect and re-submit to collect the results instantly.
+ * Connection model: concurrent — each accepted connection is served on
+ * its own thread. Command traffic (ping, request building) interleaves
+ * freely; sweep *execution* is serialized daemon-wide, so two clients
+ * that both send `run` queue behind one another rather than contending
+ * for cores. A client that disconnects mid-sweep does NOT cancel it —
+ * the daemon finishes and journals the sweep, and the client can
+ * reconnect and re-submit to collect the results instantly.
+ *
+ * TCP peers additionally speak three framed dialects over the same
+ * connection (service/transport.hh):
+ *  - WireJob/WireResult: a sharding coordinator ships individual jobs;
+ *    this daemon runs each through harness::runJobAttempts on a
+ *    per-connection worker pool and streams results back as they
+ *    finish (its hello advertises the pool capacity);
+ *  - StoreGet/StorePut: remote trace-store tier — peers fetch and
+ *    publish trace artifacts against this daemon's --trace-dir
+ *    (sim/trace_store.hh server half, exactly-once under flock).
+ *
+ * With --coordinate, `run` does not simulate locally at all: the job
+ * list is sharded across the listed worker daemons with pull-based
+ * work-stealing (service/coordinator.hh).
+ *
  * SIGINT/SIGTERM drain gracefully (in-flight jobs finish and are
- * journaled); a second signal aborts in-flight work.
+ * journaled); a second signal aborts in-flight work. The `shutdown`
+ * command stops only this daemon instance (a private stop pipe, not
+ * the process-wide signal latch), so several daemons can share one
+ * process in tests.
  */
 
 #ifndef BFSIM_SERVICE_DAEMON_HH_
 #define BFSIM_SERVICE_DAEMON_HH_
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "harness/batch.hh"
 
@@ -51,6 +78,20 @@ struct DaemonOptions
     harness::IsolateMode isolate = harness::IsolateMode::Process;
     /** Serve exactly one connection, then exit (tests, one-shot CI). */
     bool once = false;
+    /**
+     * TCP listen spec "host:port" ("" = Unix socket only; port 0 binds
+     * an ephemeral port — see Daemon::boundPort / portFile).
+     */
+    std::string listenSpec;
+    /** File to write the bound TCP port into after listen ("" = none;
+     * how scripts discover an ephemeral --listen port). */
+    std::string portFile;
+    /**
+     * Worker daemon endpoints ("host:port") for sharded sweeps. When
+     * non-empty, `run` dispatches through the coordinator instead of
+     * simulating locally.
+     */
+    std::vector<std::string> coordinators;
 };
 
 /** The bfsimd service loop. */
@@ -64,25 +105,48 @@ class Daemon
     Daemon &operator=(const Daemon &) = delete;
 
     /**
-     * Create, bind and listen on the socket (unlinking any stale file
-     * at the path first). Throws SimError("service") on failure.
+     * Create, bind and listen on the Unix socket (unlinking any stale
+     * file at the path first) and, when configured, the TCP socket.
+     * Throws SimError("service") on failure.
      */
     void bind();
 
     /**
-     * Accept and serve connections until a shutdown signal (or, with
-     * DaemonOptions::once, until the first connection closes). Returns
-     * the process exit status (0 on clean shutdown).
+     * Accept and serve connections until a shutdown signal, a
+     * `shutdown` command (or, with DaemonOptions::once, until the first
+     * connection closes). Returns the process exit status (0 on clean
+     * shutdown).
      */
     int serve();
 
+    /** TCP port actually bound (after bind(); 0 when not listening). */
+    std::uint16_t boundPort() const { return boundPort_; }
+
+    /** Stop serve() from another thread (what `shutdown` uses). */
+    void requestStop();
+
   private:
-    /** Serve one accepted connection; returns false to stop serving. */
-    bool handleConnection(int fd);
+    friend class TcpChannel;
+
+    /** Serve one accepted connection (runs on its own thread). */
+    void handleConnection(int fd, bool framed);
+
+    unsigned resolvedWorkers() const;
 
     DaemonOptions options_;
     int listenFd_ = -1;
+    int tcpListenFd_ = -1;
+    std::uint16_t boundPort_ = 0;
     bool bound_ = false;
+    /** Self-pipe waking this daemon's loops on `shutdown`. */
+    int stopFds_[2] = {-1, -1};
+    std::atomic<bool> stopping_{false};
+    /** Serializes sweep execution (and remote-job serving) daemon-wide:
+     * concurrent in-process jobs must never overlap a process-pool
+     * fork, and two sweeps would contend for every core anyway. */
+    std::mutex sweepMutex_;
+    std::mutex threadsMutex_;
+    std::vector<std::thread> threads_;
 };
 
 } // namespace bfsim::service

@@ -3,11 +3,20 @@
  * bfsimd entry point. Flags (env fallbacks in parentheses):
  *
  *   --socket=PATH        Unix socket to bind (BFSIMD_SOCKET; required)
+ *   --listen=HOST:PORT   also accept framed TCP peers (port 0 binds an
+ *                        ephemeral port; see --port-file)
+ *   --port-file=PATH     write the bound TCP port here after listen
+ *   --coordinate=LIST    comma-separated worker daemon host:port
+ *                        endpoints; sweeps are sharded across them
+ *                        instead of simulated locally
+ *   --remote-store=H:P   remote trace-store endpoint this process
+ *                        fetches from / pushes to (BFSIM_REMOTE_STORE)
  *   --journal-root=DIR   per-sweep journal root (BFSIMD_JOURNAL_ROOT;
  *                        empty disables journaling)
  *   --workers=N          default sweep worker count (0 = hardware)
  *   --isolate=MODE       process (default) or none
- *   --trace-dir=DIR      on-disk trace store (BFSIM_TRACE_DIR)
+ *   --trace-dir=DIR      on-disk trace store (BFSIM_TRACE_DIR); also
+ *                        what StoreGet/StorePut peers are served from
  *   --once               serve one connection, then exit
  *   --quiet              suppress informational logging
  *
@@ -19,6 +28,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/log.hh"
 #include "common/sim_error.hh"
@@ -32,10 +42,31 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s --socket=PATH [--journal-root=DIR] [--workers=N]\n"
-        "          [--isolate=process|none] [--trace-dir=DIR] [--once]\n"
-        "          [--quiet]\n",
+        "usage: %s --socket=PATH [--listen=HOST:PORT]\n"
+        "          [--port-file=PATH] [--coordinate=HOST:PORT,...]\n"
+        "          [--remote-store=HOST:PORT] [--journal-root=DIR]\n"
+        "          [--workers=N] [--isolate=process|none]\n"
+        "          [--trace-dir=DIR] [--once] [--quiet]\n",
         argv0);
+}
+
+std::vector<std::string>
+splitEndpoints(const std::string &list)
+{
+    std::vector<std::string> endpoints;
+    std::string current;
+    for (char c : list) {
+        if (c == ',') {
+            if (!current.empty())
+                endpoints.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        endpoints.push_back(current);
+    return endpoints;
 }
 
 } // namespace
@@ -51,6 +82,7 @@ main(int argc, char **argv)
     if (const char *env = std::getenv("BFSIMD_JOURNAL_ROOT"))
         options.journalRoot = env;
     std::string trace_dir;
+    std::string remote_store;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -60,6 +92,14 @@ main(int argc, char **argv)
         };
         if (arg.rfind("--socket=", 0) == 0) {
             options.socketPath = value(9);
+        } else if (arg.rfind("--listen=", 0) == 0) {
+            options.listenSpec = value(9);
+        } else if (arg.rfind("--port-file=", 0) == 0) {
+            options.portFile = value(12);
+        } else if (arg.rfind("--coordinate=", 0) == 0) {
+            options.coordinators = splitEndpoints(value(13));
+        } else if (arg.rfind("--remote-store=", 0) == 0) {
+            remote_store = value(15);
         } else if (arg.rfind("--journal-root=", 0) == 0) {
             options.journalRoot = value(15);
         } else if (arg.rfind("--workers=", 0) == 0) {
@@ -100,6 +140,8 @@ main(int argc, char **argv)
     setQuiet(quiet);
     if (!trace_dir.empty())
         sim::trace_store::setDirectory(trace_dir);
+    if (!remote_store.empty())
+        sim::trace_store::setRemoteEndpoint(remote_store);
 
     try {
         service::Daemon daemon(std::move(options));

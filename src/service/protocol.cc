@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 #include "branch/registry.hh"
 #include "common/checksum.hh"
@@ -161,6 +162,13 @@ applyOption(SweepRequest &request, const std::string &key,
                           "got '" + value + "'");
     } else if (key == "workers") {
         request.workers = static_cast<unsigned>(parseCount(key, value));
+    } else if (key == "priority") {
+        char *end = nullptr;
+        long priority = std::strtol(value.c_str(), &end, 10);
+        if (!end || *end != '\0' || value.empty())
+            protocolError("opt priority expects an integer, got '" +
+                          value + "'");
+        request.priority = static_cast<int>(priority);
     } else {
         protocolError("unknown option '" + key + "'");
     }
@@ -194,6 +202,7 @@ addJob(SweepRequest &request, const std::vector<std::string> &tokens)
         protocolError("job expects 'single' or 'mix', got '" + shape +
                       "'");
     }
+    request.jobs.back().priority = request.priority;
 }
 
 std::string
@@ -219,6 +228,46 @@ journalDirFor(const std::string &root, const SweepRequest &request)
     std::snprintf(stem, sizeof stem, "sweep-%016llx",
                   static_cast<unsigned long long>(hash.value()));
     return root + "/" + stem;
+}
+
+std::string
+isolateName(harness::IsolateMode mode)
+{
+    return mode == harness::IsolateMode::Process ? "process" : "none";
+}
+
+double
+itemValue(const harness::BatchItem &item)
+{
+    switch (item.kind) {
+      case harness::BatchJob::Kind::Single:
+        return item.single ? item.single->core.ipc : 0.0;
+      case harness::BatchJob::Kind::Mix:
+        return item.mix ? item.mix->weightedSpeedup : 0.0;
+      case harness::BatchJob::Kind::Custom:
+        return item.value;
+    }
+    return 0.0;
+}
+
+std::string
+itemLine(const harness::BatchItem &item, std::size_t done,
+         std::size_t total)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\"type\": \"job\", \"done\": " << done << ", \"total\": "
+        << total << ", \"label\": \"" << jsonEscape(item.label)
+        << "\", \"failed\": " << (item.failed ? "true" : "false")
+        << ", \"cached\": " << (item.cached ? "true" : "false")
+        << ", \"journaled\": " << (item.journaled ? "true" : "false")
+        << ", \"crashes\": " << item.crashes << ", \"attempts\": "
+        << item.attempts << ", \"value\": " << itemValue(item)
+        << ", \"seconds\": " << item.seconds;
+    if (item.failed)
+        out << ", \"error\": \"" << jsonEscape(item.error) << "\"";
+    out << "}";
+    return out.str();
 }
 
 std::string

@@ -49,6 +49,12 @@ struct SweepRequest
     harness::RunOptions run{};
     /** Worker count for the sweep (0 = daemon default). */
     unsigned workers = 0;
+    /**
+     * Priority applied to each subsequent `job` line (higher first in
+     * the sharded coordinator's dispatch queue; a scheduling hint, not
+     * part of the request's canonical identity).
+     */
+    int priority = 0;
 };
 
 /** Whitespace-split tokens of one request line (empty for blanks). */
@@ -57,8 +63,8 @@ std::vector<std::string> splitTokens(const std::string &line);
 /**
  * Apply one `opt <key> <value>` pair. Keys: instructions, width, rob,
  * predictor, sample, retries, fail-fast, deadline, poison, heartbeat,
- * isolate (process|none), workers. Throws SimError("protocol") on an
- * unknown key or unparsable value.
+ * isolate (process|none), workers, priority. Throws
+ * SimError("protocol") on an unknown key or unparsable value.
  */
 void applyOption(SweepRequest &request, const std::string &key,
                  const std::string &value);
@@ -90,6 +96,20 @@ std::string journalDirFor(const std::string &root,
 
 /** JSON string-escape (quotes, backslashes, control characters). */
 std::string jsonEscape(const std::string &text);
+
+/** Human name of an execution backend, for status lines. */
+std::string isolateName(harness::IsolateMode mode);
+
+/** The headline metric of a finished item, by job shape. */
+double itemValue(const harness::BatchItem &item);
+
+/**
+ * The {"type":"job",...} progress line streamed per finished point.
+ * Shared by the local sweep path and the sharded coordinator so a
+ * client sees byte-identical lines whichever executed the sweep.
+ */
+std::string itemLine(const harness::BatchItem &item, std::size_t done,
+                     std::size_t total);
 
 } // namespace bfsim::service
 

@@ -1,0 +1,105 @@
+#include "service/transport.hh"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+
+namespace bfsim::service {
+
+FramedConn::~FramedConn()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+FramedConn::send(subprocess::FrameType type, const void *payload,
+                 std::size_t len)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    if (gone_)
+        return false;
+    if (!subprocess::writeFrame(fd_, type, payload, len)) {
+        gone_ = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+FramedConn::sendLine(const std::string &text)
+{
+    return send(subprocess::FrameType::Line, text.data(), text.size());
+}
+
+int
+FramedConn::read(subprocess::FrameType &type,
+                 std::vector<unsigned char> &payload, int wakeFd1,
+                 int wakeFd2, int timeoutMs)
+{
+    for (;;) {
+        // Frames already decoded from earlier reads come first: a
+        // single kernel read may have carried several.
+        subprocess::Frame frame;
+        if (decoder_.next(frame)) {
+            type = frame.type;
+            payload = std::move(frame.payload);
+            return 1;
+        }
+        if (decoder_.corrupt())
+            return -1;
+
+        struct pollfd fds[3];
+        nfds_t count = 0;
+        fds[count++] = {fd_, POLLIN, 0};
+        if (wakeFd1 >= 0)
+            fds[count++] = {wakeFd1, POLLIN, 0};
+        if (wakeFd2 >= 0)
+            fds[count++] = {wakeFd2, POLLIN, 0};
+        int ready = ::poll(fds, count, timeoutMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (ready == 0)
+            return 0; // timeout
+        for (nfds_t i = 1; i < count; ++i)
+            if (fds[i].revents & POLLIN)
+                return 0; // wake fd
+        if (!(fds[0].revents & (POLLIN | POLLHUP | POLLERR)))
+            continue;
+
+        // The fd stays blocking (whole-frame writes depend on it), but
+        // after POLLIN one read() never blocks; the decoder reassembles
+        // whatever boundary the kernel delivered.
+        unsigned char chunk[65536];
+        ssize_t n = ::read(fd_, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (n == 0)
+            return -1; // peer EOF
+        decoder_.feed(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+int
+dialPeer(const std::string &hostPort, double timeoutSeconds,
+         std::string &why)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    if (!subprocess::parseHostPort(hostPort, host, port)) {
+        why = "malformed endpoint '" + hostPort +
+              "' (expected host:port)";
+        return -1;
+    }
+    return subprocess::dialTcp(host, port, timeoutSeconds, why);
+}
+
+} // namespace bfsim::service

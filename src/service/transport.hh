@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Framed TCP transport for the bfsimd service layer.
+ *
+ * TCP peers (remote clients, coordinator<->worker links, remote
+ * trace-store fetches) speak the length-prefixed frame format of
+ * common/subprocess.hh rather than raw newline text: framing survives
+ * arbitrary byte boundaries, carries binary payloads (wire-encoded jobs
+ * and results, trace artifacts) without escaping, and lets a reader
+ * reject an oversized or garbage header instead of buffering without
+ * bound. The text protocol of service/protocol.hh rides unchanged
+ * inside FrameType::Line frames — one request or response line per
+ * frame, no trailing newline — so the daemon's command dispatch and the
+ * Python client's JSON parsing are byte-identical across both
+ * transports.
+ *
+ * FramedConn owns one connected stream socket. Writes are whole frames
+ * under an internal mutex, so multiple threads (a worker streaming
+ * results while the read loop answers pings) interleave at frame
+ * granularity. Reads are single-consumer: one thread calls read().
+ */
+
+#ifndef BFSIM_SERVICE_TRANSPORT_HH_
+#define BFSIM_SERVICE_TRANSPORT_HH_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/subprocess.hh"
+
+namespace bfsim::service {
+
+/** One framed stream connection; closes the fd on destruction. */
+class FramedConn
+{
+  public:
+    /** Take ownership of a connected socket (left in blocking mode). */
+    explicit FramedConn(int fd) : fd_(fd) {}
+    ~FramedConn();
+
+    FramedConn(const FramedConn &) = delete;
+    FramedConn &operator=(const FramedConn &) = delete;
+
+    int fd() const { return fd_; }
+
+    /**
+     * Write one frame (thread-safe). A peer that disconnected turns
+     * this — and every later write — into a false return; senders keep
+     * going regardless, mirroring LineWriter's gone-peer behaviour.
+     */
+    bool send(subprocess::FrameType type, const void *payload,
+              std::size_t len);
+
+    /** One protocol text line as a FrameType::Line frame. */
+    bool sendLine(const std::string &text);
+
+    /**
+     * Read the next frame. Waits up to `timeoutMs` (-1 = forever),
+     * waking early when either wake fd turns readable (the daemon's
+     * stop pipe, the process shutdown self-pipe).
+     *
+     * @return 1 a frame was produced; 0 timeout or wake-fd (no frame);
+     *         -1 peer EOF, transport error, or corrupt framing.
+     */
+    int read(subprocess::FrameType &type,
+             std::vector<unsigned char> &payload, int wakeFd1 = -1,
+             int wakeFd2 = -1, int timeoutMs = -1);
+
+    /** True once the peer is unreachable for writes. */
+    bool peerGone() const { return gone_; }
+
+    /** True once the inbound byte stream failed frame validation. */
+    bool corrupt() const { return decoder_.corrupt(); }
+
+  private:
+    int fd_;
+    std::mutex writeMutex_;
+    bool gone_ = false;
+    subprocess::FrameDecoder decoder_;
+};
+
+/**
+ * Parse "host:port" and dial it with a connect timeout. @return a
+ * connected blocking fd, or -1 with `why` set.
+ */
+int dialPeer(const std::string &hostPort, double timeoutSeconds,
+             std::string &why);
+
+} // namespace bfsim::service
+
+#endif // BFSIM_SERVICE_TRANSPORT_HH_

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +20,7 @@
 #include "common/fault.hh"
 #include "common/log.hh"
 #include "common/sim_error.hh"
+#include "common/subprocess.hh"
 #include "isa/program.hh"
 #include "sim/trace.hh"
 
@@ -187,6 +189,16 @@ directoryRef()
         return env ? std::string(env) : std::string();
     }();
     return dir;
+}
+
+std::string &
+remoteRef()
+{
+    static std::string endpoint = [] {
+        const char *env = std::getenv("BFSIM_REMOTE_STORE");
+        return env ? std::string(env) : std::string();
+    }();
+    return endpoint;
 }
 
 std::uint32_t &
@@ -607,6 +619,39 @@ setDirectory(const std::string &dir)
     }
 }
 
+bool
+remoteEnabled()
+{
+    // The local directory is the cache the remote tier fills; without
+    // it there is nowhere to install a fetch or publish a push from.
+    std::lock_guard<std::mutex> lock(stateMutex());
+    return !remoteRef().empty() && !directoryRef().empty();
+}
+
+std::string
+remoteEndpoint()
+{
+    std::lock_guard<std::mutex> lock(stateMutex());
+    return remoteRef();
+}
+
+void
+setRemoteEndpoint(const std::string &hostPort)
+{
+    std::string endpoint = hostPort;
+    if (!endpoint.empty()) {
+        std::string host;
+        std::uint16_t port = 0;
+        if (!subprocess::parseHostPort(endpoint, host, port)) {
+            warn("trace store: disabling remote tier: malformed "
+                 "endpoint '" + endpoint + "' (want host:port)");
+            endpoint.clear();
+        }
+    }
+    std::lock_guard<std::mutex> lock(stateMutex());
+    remoteRef() = endpoint;
+}
+
 std::uint32_t
 saveFormatVersion()
 {
@@ -645,12 +690,320 @@ setCheckpointIntervalChunks(std::uint32_t chunks)
 }
 
 std::string
+artifactName(const Key &key)
+{
+    return sanitize(key.workload) + "-" + std::to_string(key.budget) +
+           "-" + hex16(key.progHash) + ".bft";
+}
+
+std::string
 artifactPath(const Key &key)
 {
-    return directory() + "/" + sanitize(key.workload) + "-" +
-           std::to_string(key.budget) + "-" + hex16(key.progHash) +
-           ".bft";
+    return directory() + "/" + artifactName(key);
 }
+
+// ---- remote tier ------------------------------------------------------
+
+namespace {
+
+/**
+ * Bounded, jittered exclusive flock (see saveArtifact for rationale).
+ * @return false when the lock stayed busy through the whole window.
+ */
+bool
+flockBounded(int fd)
+{
+    for (unsigned attempt = 0; attempt < 6; ++attempt) {
+        if (::flock(fd, LOCK_EX | LOCK_NB) == 0)
+            return true;
+        std::uint64_t base_ms = 1ull << attempt; // 1,2,4,8,16,32
+        std::uint64_t jitter =
+            splitmix64((static_cast<std::uint64_t>(::getpid()) << 8) ^
+                       attempt) %
+            (base_ms + 1);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(base_ms + jitter));
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+validRemoteName(const std::string &name)
+{
+    constexpr std::size_t maxNameBytes = 255;
+    const std::string suffix = ".bft";
+    if (name.size() <= suffix.size() || name.size() > maxNameBytes)
+        return false;
+    if (name.compare(name.size() - suffix.size(), suffix.size(),
+                     suffix) != 0)
+        return false;
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+bool
+readArtifactBytes(const std::string &name,
+                  std::vector<unsigned char> &bytes)
+{
+    if (!validRemoteName(name) || !enabled())
+        return false;
+    std::string path = directory() + "/" + name;
+    FdGuard fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+    if (fd.fd < 0)
+        return false;
+    struct ::stat st;
+    if (::fstat(fd.fd, &st) != 0 || st.st_size <= 0 ||
+        static_cast<std::uint64_t>(st.st_size) >
+            subprocess::maxFramePayload) {
+        return false;
+    }
+    bytes.resize(static_cast<std::size_t>(st.st_size));
+    std::size_t got = 0;
+    while (got < bytes.size()) {
+        ssize_t n = ::read(fd.fd, bytes.data() + got,
+                           bytes.size() - got);
+        if (n <= 0)
+            return false;
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+int
+acceptArtifactBytes(const std::string &name, const unsigned char *data,
+                    std::size_t len)
+{
+    if (!validRemoteName(name) || !enabled())
+        return -1;
+    if (len < headerBytes || len > subprocess::maxFramePayload)
+        return -1;
+    // Validate the byte stream's own header: magic, CRC, version and
+    // chunk geometry. The content-addressed name is the cross-check —
+    // both ends derive it from the same key — so foreign bytes under a
+    // plausible name still fail the reader's full validation later;
+    // what matters here is never installing obvious garbage.
+    if (get32(data) != magicValue)
+        return -1;
+    if (crc32c(data, headerCrcOffset) != get32(data + headerCrcOffset))
+        return -1;
+    std::uint32_t version = get32(data + 4);
+    if (version < minReadVersion || version > formatVersion)
+        return -1;
+    if (get32(data + 32) != TraceBuffer::chunkOps)
+        return -1;
+    std::uint64_t prog_hash = get64(data + 8);
+    std::uint64_t budget = get64(data + 16);
+    std::uint64_t op_count = get64(data + 24);
+    bool halted = data[40] != 0;
+
+    std::string dir = directory();
+    {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+    }
+    std::string path = dir + "/" + name;
+    std::string lock_path = path + ".lock";
+    FdGuard lock_fd(::open(lock_path.c_str(),
+                           O_CREAT | O_RDWR | O_CLOEXEC, 0644));
+    if (lock_fd.fd < 0)
+        return -1;
+    if (!flockBounded(lock_fd.fd))
+        return 0; // a concurrent publisher owns it; theirs will land
+
+    // Under-lock coverage re-check, the exactly-once half of the
+    // protocol: an artifact that already covers at least this stream is
+    // kept, so N hosts pushing the same capture store it once and the
+    // rest are clean skips.
+    {
+        FdGuard existing(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+        if (existing.fd >= 0) {
+            unsigned char head[headerBytes];
+            ssize_t got = ::read(existing.fd, head, headerBytes);
+            if (got == static_cast<ssize_t>(headerBytes) &&
+                get32(head) == magicValue &&
+                crc32c(head, headerCrcOffset) ==
+                    get32(head + headerCrcOffset) &&
+                get64(head + 8) == prog_hash &&
+                get64(head + 16) == budget) {
+                std::uint64_t have_ops = get64(head + 24);
+                std::uint32_t have_version = get32(head + 4);
+                bool have_halted = head[40] != 0;
+                if (have_ops > op_count ||
+                    (have_ops == op_count && have_halted == halted &&
+                     have_version >= version)) {
+                    return 0;
+                }
+            }
+        }
+    }
+
+    // Same crash-safe publication as saveArtifact (we hold its lock).
+    std::string tmp_path = path + ".tmp";
+    {
+        FdGuard tmp_fd(::open(tmp_path.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                              0644));
+        if (tmp_fd.fd < 0)
+            return -1;
+        std::size_t written = 0;
+        while (written < len) {
+            ssize_t n = ::write(tmp_fd.fd, data + written,
+                                len - written);
+            if (n <= 0)
+                return -1;
+            written += static_cast<std::size_t>(n);
+        }
+        ::fsync(tmp_fd.fd);
+    }
+    if (::rename(tmp_path.c_str(), path.c_str()) != 0)
+        return -1;
+    return 1;
+}
+
+namespace {
+
+/**
+ * Fetch `name` from the configured remote endpoint into the local
+ * store directory. @return true when the local artifact file is now
+ * present (freshly installed, or an already-covering local copy won
+ * the under-lock re-check).
+ */
+/** A write to a daemon that died mid-transfer must surface as EPIPE,
+ * not kill a bench process that never installed signal handlers. */
+void
+ignoreSigpipeOnce()
+{
+    static std::once_flag flag;
+    std::call_once(flag, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+bool
+remoteFetchArtifact(const std::string &name)
+{
+    ignoreSigpipeOnce();
+    std::string endpoint = remoteEndpoint();
+    std::string host;
+    std::uint16_t port = 0;
+    if (endpoint.empty() ||
+        !subprocess::parseHostPort(endpoint, host, port)) {
+        return false;
+    }
+    auto count_error = [] {
+        std::lock_guard<std::mutex> lock(stateMutex());
+        ++statsRef().remoteErrors;
+    };
+    std::string why;
+    int raw_fd = subprocess::dialTcp(host, port, 5.0, why);
+    if (raw_fd < 0) {
+        warn("trace store: remote '" + endpoint + "' unreachable: " +
+             why);
+        count_error();
+        return false;
+    }
+    FdGuard fd(raw_fd);
+    if (!subprocess::writeFrame(fd.fd, subprocess::FrameType::StoreGet,
+                                name.data(), name.size())) {
+        count_error();
+        return false;
+    }
+    // The daemon greets framed connections with a Line hello; skip any
+    // text frames ahead of the store response.
+    subprocess::FrameType type;
+    std::vector<unsigned char> payload;
+    for (;;) {
+        if (!subprocess::readFrame(fd.fd, type, payload)) {
+            count_error();
+            return false;
+        }
+        if (type != subprocess::FrameType::Line)
+            break;
+    }
+    if (type == subprocess::FrameType::StoreMiss) {
+        std::lock_guard<std::mutex> lock(stateMutex());
+        ++statsRef().remoteMisses;
+        return false;
+    }
+    if (type != subprocess::FrameType::StoreData) {
+        count_error();
+        return false;
+    }
+    int installed =
+        acceptArtifactBytes(name, payload.data(), payload.size());
+    if (installed < 0) {
+        warn("trace store: remote '" + endpoint +
+             "' returned an unusable artifact for '" + name + "'");
+        count_error();
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(stateMutex());
+    ++statsRef().remoteHits;
+    statsRef().remoteBytesFetched += payload.size();
+    return true;
+}
+
+/** Push freshly published artifact bytes to the remote endpoint. */
+void
+remotePushArtifact(const std::string &name,
+                   const std::vector<unsigned char> &bytes)
+{
+    ignoreSigpipeOnce();
+    std::string endpoint = remoteEndpoint();
+    std::string host;
+    std::uint16_t port = 0;
+    if (endpoint.empty() ||
+        !subprocess::parseHostPort(endpoint, host, port)) {
+        return;
+    }
+    auto count_error = [] {
+        std::lock_guard<std::mutex> lock(stateMutex());
+        ++statsRef().remoteErrors;
+    };
+    std::string why;
+    int raw_fd = subprocess::dialTcp(host, port, 5.0, why);
+    if (raw_fd < 0) {
+        warn("trace store: remote '" + endpoint + "' unreachable: " +
+             why);
+        count_error();
+        return;
+    }
+    FdGuard fd(raw_fd);
+    std::vector<unsigned char> payload;
+    payload.reserve(4 + name.size() + bytes.size());
+    put32(payload, static_cast<std::uint32_t>(name.size()));
+    payload.insert(payload.end(), name.begin(), name.end());
+    payload.insert(payload.end(), bytes.begin(), bytes.end());
+    if (!subprocess::writeFrame(fd.fd, subprocess::FrameType::StorePut,
+                                payload.data(), payload.size())) {
+        count_error();
+        return;
+    }
+    subprocess::FrameType type;
+    std::vector<unsigned char> response;
+    for (;;) {
+        if (!subprocess::readFrame(fd.fd, type, response)) {
+            count_error();
+            return;
+        }
+        if (type != subprocess::FrameType::Line)
+            break;
+    }
+    if (type != subprocess::FrameType::StoreAck) {
+        count_error();
+        return;
+    }
+    std::lock_guard<std::mutex> lock(stateMutex());
+    ++statsRef().remotePushes;
+}
+
+} // namespace
 
 struct ArtifactReader::Mapping
 {
@@ -818,6 +1171,15 @@ openArtifact(const Key &key, const isa::Program &program)
     std::string path = artifactPath(key);
 
     int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0 && remoteEnabled()) {
+        // Remote tier: a local miss consults the fleet's shared store
+        // before falling back to live capture. A successful fetch
+        // installs into the local directory (which acts as the cache
+        // for the remote tier), so the normal open path below — mmap,
+        // header validation, v2 sections — applies unchanged.
+        if (remoteFetchArtifact(artifactName(key)))
+            fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    }
     if (fd < 0) {
         countMiss();
         return nullptr;
@@ -935,27 +1297,10 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
     // later" into "wait our turn" — but never blocks a batch on a
     // wedged peer. Jitter (seeded per pid+attempt) de-syncs workers
     // that all finish a sweep at the same instant.
-    {
-        bool locked = false;
-        for (unsigned attempt = 0; attempt < 6; ++attempt) {
-            if (::flock(lock_fd.fd, LOCK_EX | LOCK_NB) == 0) {
-                locked = true;
-                break;
-            }
-            std::uint64_t base_ms = 1ull << attempt; // 1,2,4,8,16,32
-            std::uint64_t jitter =
-                splitmix64((static_cast<std::uint64_t>(::getpid())
-                            << 8) ^
-                           attempt) %
-                (base_ms + 1);
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(base_ms + jitter));
-        }
-        if (!locked) {
-            std::lock_guard<std::mutex> lock(stateMutex());
-            ++statsRef().publishAbandoned;
-            return false; // persistent writer on it; abandon publication
-        }
+    if (!flockBounded(lock_fd.fd)) {
+        std::lock_guard<std::mutex> lock(stateMutex());
+        ++statsRef().publishAbandoned;
+        return false; // persistent writer on it; abandon publication
     }
 
     std::uint32_t version = saveFormatVersion();
@@ -1165,6 +1510,12 @@ saveArtifact(const Key &key, const TraceBuffer &buffer)
     countWrite(out.size(), ops,
                version >= 2 ? checkpoints.size() : 0,
                version >= 2 ? checkpoints.size() * ckptRecordBytes : 0);
+    // Remote tier: a freshly published capture is also pushed to the
+    // fleet's shared store so any other host's next miss becomes a
+    // fetch. The server re-runs the same under-lock coverage check, so
+    // concurrent pushes of the same capture store exactly one copy.
+    if (remoteEnabled())
+        remotePushArtifact(artifactName(key), out);
     return true;
 }
 

@@ -223,6 +223,60 @@ void setDirectory(const std::string &dir);
 /** Absolute path of the artifact for `key` (valid while enabled()). */
 std::string artifactPath(const Key &key);
 
+/** Artifact file name for `key` (the content address, no directory). */
+std::string artifactName(const Key &key);
+
+/**
+ * True when a remote store endpoint is configured (BFSIM_REMOTE_STORE
+ * at process start, or setRemoteEndpoint). The remote tier layers
+ * *under* the local directory: a local miss fetches the artifact over
+ * TCP from a daemon-hosted store into the local directory (then opens
+ * it normally), and a local save pushes the published bytes to the
+ * daemon, so a fleet of hosts captures each trace exactly once
+ * globally. Requires enabled() — the local directory is the cache the
+ * remote tier fills.
+ */
+bool remoteEnabled();
+
+/** The configured "host:port" endpoint ("" = disabled). */
+std::string remoteEndpoint();
+
+/**
+ * Override the remote endpoint ("host:port"; "" disables). Malformed
+ * specs warn and disable. Benches route --remote-store here.
+ */
+void setRemoteEndpoint(const std::string &hostPort);
+
+// ---- server half of the remote tier (hosted by bfsimd) ---------------
+
+/**
+ * True when `name` is a plausible artifact file name a remote peer may
+ * GET or PUT: non-empty, `.bft` suffix, and only the characters the
+ * sanitizer emits — never a path separator, so a malicious peer cannot
+ * escape the store directory.
+ */
+bool validRemoteName(const std::string &name);
+
+/**
+ * Read the named artifact out of the local store directory. @return
+ * false when the store is disabled or the file is absent/unreadable.
+ */
+bool readArtifactBytes(const std::string &name,
+                       std::vector<unsigned char> &bytes);
+
+/**
+ * Install artifact bytes received from a remote peer under `name`,
+ * with the same discipline saveArtifact uses: exclusive .lock flock,
+ * an under-lock coverage re-check (an existing artifact that already
+ * covers at least as many ops is kept — this is what makes fleet-wide
+ * publication exactly-once), then tmp + fsync + rename. The byte
+ * stream's header must validate (magic, CRC, version); foreign bytes
+ * are refused. @return 1 stored, 0 skipped (covered or lock busy),
+ * -1 refused/failed.
+ */
+int acceptArtifactBytes(const std::string &name,
+                        const unsigned char *data, std::size_t len);
+
 /**
  * Sequential decoder over one mmapped artifact. Produced by
  * openArtifact after header validation; consumed by TraceBuffer, which
@@ -372,6 +426,16 @@ struct Stats
      * work is being recomputed instead of shared — worth surfacing.
      */
     std::uint64_t publishAbandoned = 0;
+    /** Local misses satisfied by a remote-store fetch. */
+    std::uint64_t remoteHits = 0;
+    /** Remote lookups that also missed (captured live after all). */
+    std::uint64_t remoteMisses = 0;
+    /** Artifact bytes fetched from the remote store. */
+    std::uint64_t remoteBytesFetched = 0;
+    /** Local publications pushed to the remote store. */
+    std::uint64_t remotePushes = 0;
+    /** Remote-tier transport failures (connect/frame errors). */
+    std::uint64_t remoteErrors = 0;
 
     /** Encoded bytes per op across every save (0 when nothing saved). */
     double

@@ -5,6 +5,14 @@
  * real Unix-domain socket — hello/ping/error handling, a small sweep
  * streamed as JSON lines, journal-directory stability across identical
  * requests, and clean shutdown.
+ *
+ * Also the TCP half of the service (service/transport.hh): the framed
+ * line protocol over a real loopback socket, concurrent client
+ * connections, transport robustness against truncated / oversized /
+ * garbage frames and mid-sweep disconnects, the remote-job dialect
+ * (WireJob/WireResult) and remote trace-store dialect
+ * (StoreGet/StorePut), and the sharded-sweep coordinator driving real
+ * in-process worker daemons — including one that dies holding a job.
  */
 
 #include <sys/socket.h>
@@ -12,8 +20,10 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,9 +32,13 @@
 
 #include "common/signal_util.hh"
 #include "common/sim_error.hh"
+#include "common/subprocess.hh"
 #include "harness/experiment.hh"
+#include "harness/journal.hh"
+#include "harness/wire.hh"
 #include "service/daemon.hh"
 #include "service/protocol.hh"
+#include "sim/trace_store.hh"
 
 namespace bfsim::service {
 namespace {
@@ -61,6 +75,82 @@ TEST(Protocol, OptionsApplyToSubsequentJobs)
     EXPECT_EQ(request.batch.jobDeadlineSeconds, 1.5);
     EXPECT_EQ(request.batch.isolate, harness::IsolateMode::None);
     EXPECT_EQ(request.workers, 3u);
+}
+
+TEST(Protocol, PriorityIsAHintNotIdentity)
+{
+    SweepRequest plain;
+    applyOption(plain, "instructions", "30000");
+    addJob(plain, splitTokens("job single mcf none"));
+
+    SweepRequest hinted;
+    applyOption(hinted, "instructions", "30000");
+    applyOption(hinted, "priority", "5");
+    addJob(hinted, splitTokens("job single mcf none"));
+    applyOption(hinted, "priority", "-2");
+
+    EXPECT_EQ(plain.jobs[0].priority, 0);
+    EXPECT_EQ(hinted.jobs[0].priority, 5);
+    EXPECT_EQ(hinted.priority, -2);
+    // Priority changes scheduling, never results: identical points
+    // share a journal whatever their priorities, so a re-submitted
+    // sweep with different hints still resumes from the old journal.
+    EXPECT_EQ(canonicalKey(plain), canonicalKey(hinted));
+    EXPECT_EQ(journalDirFor("/tmp/root", plain),
+              journalDirFor("/tmp/root", hinted));
+
+    EXPECT_THROW(applyOption(hinted, "priority", "high"), SimError);
+    EXPECT_THROW(applyOption(hinted, "priority", ""), SimError);
+}
+
+TEST(Wire, BatchJobRoundTrip)
+{
+    namespace wire = harness::wire;
+
+    harness::RunOptions options;
+    options.instructions = 12345;
+    harness::BatchJob job =
+        harness::BatchJob::single("mcf", "Bfetch", options, "pt");
+    job.priority = 7;
+
+    wire::Writer w;
+    wire::encodeBatchJob(w, job);
+    wire::Reader r(w.bytes());
+    harness::BatchJob back = wire::decodeBatchJob(r);
+
+    EXPECT_EQ(back.kind, harness::BatchJob::Kind::Single);
+    EXPECT_EQ(back.label, "pt");
+    ASSERT_EQ(back.workloads.size(), 1u);
+    EXPECT_EQ(back.workloads[0], "mcf");
+    EXPECT_EQ(back.prefetcher, "Bfetch");
+    EXPECT_EQ(back.priority, 7);
+    EXPECT_EQ(back.options.instructions, 12345u);
+    // The full option set survives: the journal key (which hashes the
+    // canonical option rendering) must be stable across the wire, or a
+    // sharded worker would journal under a different sweep identity.
+    EXPECT_EQ(harness::SweepJournal::jobKeyString(back),
+              harness::SweepJournal::jobKeyString(job));
+
+    harness::BatchJob mix = harness::BatchJob::mix(
+        {"mcf", "lbm"}, "stride", options, "pair");
+    wire::Writer wm;
+    wire::encodeBatchJob(wm, mix);
+    wire::Reader rm(wm.bytes());
+    harness::BatchJob mix_back = wire::decodeBatchJob(rm);
+    EXPECT_EQ(mix_back.kind, harness::BatchJob::Kind::Mix);
+    ASSERT_EQ(mix_back.workloads.size(), 2u);
+    EXPECT_EQ(mix_back.workloads[1], "lbm");
+    EXPECT_EQ(harness::SweepJournal::jobKeyString(mix_back),
+              harness::SweepJournal::jobKeyString(mix));
+}
+
+TEST(Wire, CustomJobsCannotCrossTheWire)
+{
+    namespace wire = harness::wire;
+    harness::BatchJob job =
+        harness::BatchJob::custom("opaque", [] { return 1.0; });
+    wire::Writer w;
+    EXPECT_THROW(wire::encodeBatchJob(w, job), SimError);
 }
 
 TEST(Protocol, RejectsBadInput)
@@ -333,6 +423,765 @@ TEST(DaemonEndToEnd, ResubmittedSweepRestoresFromJournal)
             << "resumed sweep must recompute nothing";
     }
     std::filesystem::remove_all(journal_root);
+}
+
+/**
+ * Blocking framed test client over loopback TCP: protocol lines ride
+ * in Line frames; the binary dialects (WireJob, StoreGet/StorePut) are
+ * driven directly for the remote-job and remote-store tests; sendRaw
+ * injects arbitrary bytes for the robustness battery.
+ */
+class TcpTestClient
+{
+  public:
+    explicit TcpTestClient(std::uint16_t port)
+    {
+        std::string why;
+        for (int attempt = 0; attempt < 100 && fd < 0; ++attempt) {
+            fd = subprocess::dialTcp("127.0.0.1", port, 1.0, why);
+            if (fd < 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+        }
+        if (fd < 0)
+            ADD_FAILURE() << "cannot connect to 127.0.0.1:" << port
+                          << ": " << why;
+    }
+
+    ~TcpTestClient() { close(); }
+
+    void
+    close()
+    {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+
+    void
+    sendFrame(subprocess::FrameType type, const void *data,
+              std::size_t len)
+    {
+        EXPECT_TRUE(subprocess::writeFrame(fd, type, data, len));
+    }
+
+    void
+    sendLine(const std::string &line)
+    {
+        sendFrame(subprocess::FrameType::Line, line.data(),
+                  line.size());
+    }
+
+    void
+    sendRaw(const void *data, std::size_t len)
+    {
+        EXPECT_EQ(::write(fd, data, len), static_cast<ssize_t>(len));
+    }
+
+    /** Next frame of any type. @return false on EOF. */
+    bool
+    readFrame(subprocess::FrameType &type,
+              std::vector<unsigned char> &payload)
+    {
+        return subprocess::readFrame(fd, type, payload);
+    }
+
+    /** Next protocol line, skipping binary frames ("" on EOF). */
+    std::string
+    readLine()
+    {
+        subprocess::FrameType type;
+        std::vector<unsigned char> payload;
+        while (readFrame(type, payload)) {
+            if (type == subprocess::FrameType::Line)
+                return std::string(payload.begin(), payload.end());
+        }
+        return "";
+    }
+
+    int fd = -1;
+};
+
+TEST(DaemonEndToEnd, TcpFramedConversation)
+{
+    std::string socket_path = tempPath("bfsimd-tcp.sock");
+    std::string port_file = tempPath("bfsimd-tcp.port");
+    ::unlink(socket_path.c_str());
+
+    DaemonOptions options;
+    options.socketPath = socket_path;
+    options.listenSpec = "127.0.0.1:0"; // ephemeral port
+    options.portFile = port_file;
+    options.workers = 1;
+    options.isolate = harness::IsolateMode::None;
+
+    harness::clearMemoCaches();
+    DaemonFixture fixture(options);
+    std::uint16_t port = fixture.daemon.boundPort();
+    ASSERT_NE(port, 0);
+
+    // bind() published the ephemeral port for scripts to discover.
+    std::ifstream ports(port_file);
+    int written_port = 0;
+    ports >> written_port;
+    EXPECT_EQ(written_port, port);
+
+    {
+        TcpTestClient client(port);
+        std::string hello = client.readLine();
+        EXPECT_TRUE(contains(hello, "\"hello\"")) << hello;
+        // The framed hello advertises remote-job capacity.
+        EXPECT_TRUE(contains(hello, "\"workers\": 1")) << hello;
+
+        client.sendLine("ping");
+        EXPECT_TRUE(contains(client.readLine(), "\"pong\""));
+
+        // A full sweep over TCP produces the same line stream the Unix
+        // transport does.
+        client.sendLine("sweep");
+        EXPECT_TRUE(contains(client.readLine(), "\"ok\""));
+        client.sendLine("opt instructions 30000");
+        EXPECT_TRUE(contains(client.readLine(), "\"ok\""));
+        client.sendLine("job single mcf none tcp-point");
+        EXPECT_TRUE(contains(client.readLine(), "\"index\": 0"));
+        client.sendLine("run");
+        EXPECT_TRUE(contains(client.readLine(), "\"start\""));
+        std::string job = client.readLine();
+        EXPECT_TRUE(contains(job, "\"job\"")) << job;
+        EXPECT_TRUE(contains(job, "\"label\": \"tcp-point\"")) << job;
+        EXPECT_TRUE(contains(job, "\"failed\": false")) << job;
+        EXPECT_TRUE(contains(client.readLine(), "\"done\""));
+
+        client.sendLine("shutdown");
+        EXPECT_TRUE(contains(client.readLine(), "\"bye\""));
+    }
+    fixture.server.join();
+    EXPECT_EQ(fixture.exitCode, 0);
+    ::unlink(port_file.c_str());
+}
+
+TEST(DaemonEndToEnd, ConcurrentConnections)
+{
+    std::string socket_path = tempPath("bfsimd-conc.sock");
+    ::unlink(socket_path.c_str());
+
+    DaemonOptions options;
+    options.socketPath = socket_path;
+    options.workers = 1;
+    options.isolate = harness::IsolateMode::None;
+
+    DaemonFixture fixture(options);
+    {
+        // Two clients connected at once; command traffic interleaves.
+        TestClient a(socket_path);
+        TestClient b(socket_path);
+        EXPECT_TRUE(contains(a.readLine(), "\"hello\""));
+        EXPECT_TRUE(contains(b.readLine(), "\"hello\""));
+
+        a.send("sweep"); // a starts building a request...
+        EXPECT_TRUE(contains(a.readLine(), "\"ok\""));
+        b.send("ping"); // ...while b's commands are served promptly.
+        EXPECT_TRUE(contains(b.readLine(), "\"pong\""));
+        a.send("job single mcf none");
+        EXPECT_TRUE(contains(a.readLine(), "\"index\": 0"));
+        b.send("ping");
+        EXPECT_TRUE(contains(b.readLine(), "\"pong\""));
+
+        b.send("shutdown");
+        EXPECT_TRUE(contains(b.readLine(), "\"bye\""));
+    }
+    fixture.server.join();
+    EXPECT_EQ(fixture.exitCode, 0);
+}
+
+/** Daemon listening on an ephemeral TCP port for robustness tests. */
+struct TcpDaemonFixture : DaemonFixture
+{
+    static DaemonOptions
+    tcpOptions(const std::string &stem)
+    {
+        DaemonOptions options;
+        options.socketPath = tempPath(stem + ".sock");
+        ::unlink(options.socketPath.c_str());
+        options.listenSpec = "127.0.0.1:0";
+        options.workers = 1;
+        options.isolate = harness::IsolateMode::None;
+        return options;
+    }
+
+    explicit TcpDaemonFixture(const std::string &stem)
+        : DaemonFixture(tcpOptions(stem))
+    {}
+
+    explicit TcpDaemonFixture(DaemonOptions options)
+        : DaemonFixture(std::move(options))
+    {}
+
+    std::uint16_t port() const { return daemon.boundPort(); }
+
+    /** The daemon must still answer a fresh client, then shut down. */
+    void
+    expectAliveAndStop()
+    {
+        TcpTestClient probe(port());
+        EXPECT_TRUE(contains(probe.readLine(), "\"hello\""));
+        probe.sendLine("ping");
+        EXPECT_TRUE(contains(probe.readLine(), "\"pong\""));
+        probe.sendLine("shutdown");
+        EXPECT_TRUE(contains(probe.readLine(), "\"bye\""));
+    }
+};
+
+TEST(TransportRobustness, TruncatedFrameThenDisconnect)
+{
+    TcpDaemonFixture fixture("bfsimd-trunc");
+    {
+        TcpTestClient client(fixture.port());
+        client.readLine(); // hello
+        // Header promises 100 payload bytes; deliver 10 and vanish.
+        unsigned char header[8] = {100, 0, 0, 0, 6, 0, 0, 0};
+        client.sendRaw(header, sizeof header);
+        client.sendRaw("truncated!", 10);
+        client.close();
+    }
+    fixture.expectAliveAndStop();
+    fixture.server.join();
+    EXPECT_EQ(fixture.exitCode, 0);
+}
+
+TEST(TransportRobustness, OversizedLengthPrefixDropsConnection)
+{
+    TcpDaemonFixture fixture("bfsimd-oversize");
+    {
+        TcpTestClient client(fixture.port());
+        client.readLine(); // hello
+        // 0x7fffffff exceeds maxFramePayload: the decoder must poison
+        // and the daemon drop the connection without allocating 2 GiB.
+        unsigned char header[8] = {0xff, 0xff, 0xff, 0x7f, 6, 0, 0, 0};
+        client.sendRaw(header, sizeof header);
+        EXPECT_EQ(client.readLine(), ""); // EOF: we were dropped
+    }
+    fixture.expectAliveAndStop();
+    fixture.server.join();
+    EXPECT_EQ(fixture.exitCode, 0);
+}
+
+TEST(TransportRobustness, GarbageBytesPoisonOnlyTheirConnection)
+{
+    TcpDaemonFixture fixture("bfsimd-garbage");
+    {
+        TcpTestClient client(fixture.port());
+        client.readLine(); // hello
+        std::vector<unsigned char> garbage(64, 0xab);
+        client.sendRaw(garbage.data(), garbage.size());
+        EXPECT_EQ(client.readLine(), ""); // dropped, not crashed
+    }
+    {
+        // A well-framed frame of an unknown type is skipped, and the
+        // connection stays usable.
+        TcpTestClient client(fixture.port());
+        client.readLine(); // hello
+        unsigned char unknown[8] = {0, 0, 0, 0, 77, 0, 0, 0};
+        client.sendRaw(unknown, sizeof unknown);
+        client.sendLine("ping");
+        EXPECT_TRUE(contains(client.readLine(), "\"pong\""));
+    }
+    fixture.expectAliveAndStop();
+    fixture.server.join();
+    EXPECT_EQ(fixture.exitCode, 0);
+}
+
+TEST(TransportRobustness, MidSweepDisconnectDoesNotKillTheDaemon)
+{
+    std::string journal_root = tempPath("bfsimd-midsweep-journal");
+    std::filesystem::remove_all(journal_root);
+    DaemonOptions options =
+        TcpDaemonFixture::tcpOptions("bfsimd-midsweep");
+    options.journalRoot = journal_root;
+
+    harness::clearMemoCaches();
+    TcpDaemonFixture fixture(options);
+    {
+        TcpTestClient client(fixture.port());
+        client.readLine(); // hello
+        for (const char *line :
+             {"sweep", "opt instructions 30000",
+              "job single mcf none", "run"})
+            client.sendLine(line);
+        // Read up to the start line so the sweep is provably running
+        // (closing with the request still queued in the kernel would
+        // RST it away before the daemon ever saw `run`), then vanish:
+        // the daemon finishes and journals the sweep anyway.
+        std::string line;
+        while (!(line = client.readLine()).empty() &&
+               !contains(line, "\"start\""))
+            ;
+        EXPECT_TRUE(contains(line, "\"start\"")) << line;
+        client.close();
+    }
+    // Wait for the abandoned sweep's journal record to land.
+    bool journaled = false;
+    for (int attempt = 0; attempt < 500 && !journaled; ++attempt) {
+        if (std::filesystem::exists(journal_root))
+            for (const auto &entry : std::filesystem::
+                     recursive_directory_iterator(journal_root))
+                journaled |= entry.path().extension() == ".rec";
+        if (!journaled)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+    }
+    EXPECT_TRUE(journaled)
+        << "abandoned sweep was not finished and journaled";
+    fixture.expectAliveAndStop();
+    fixture.server.join();
+    EXPECT_EQ(fixture.exitCode, 0);
+    std::filesystem::remove_all(journal_root);
+}
+
+TEST(DaemonEndToEnd, ServesRemoteJobs)
+{
+    TcpDaemonFixture fixture("bfsimd-wirejob");
+    harness::clearMemoCaches();
+    {
+        TcpTestClient client(fixture.port());
+        client.readLine(); // hello
+
+        harness::RunOptions run;
+        run.instructions = 30000;
+        harness::BatchJob job =
+            harness::BatchJob::single("mcf", "none", run, "remote");
+
+        namespace wire = harness::wire;
+        wire::Writer w;
+        w.u64(42); // coordinator-assigned global ordinal
+        w.u32(0);  // no retries
+        wire::encodeBatchJob(w, job);
+        client.sendFrame(subprocess::FrameType::WireJob,
+                         w.bytes().data(), w.bytes().size());
+
+        subprocess::FrameType type;
+        std::vector<unsigned char> payload;
+        bool got_result = false;
+        while (!got_result && client.readFrame(type, payload)) {
+            if (type != subprocess::FrameType::WireResult)
+                continue; // skip interleaved Line frames
+            wire::Reader r(payload);
+            EXPECT_EQ(r.u64(), 42u); // ordinal echoes back
+            wire::DecodedItem decoded = wire::decodeBatchItem(r);
+            EXPECT_FALSE(decoded.item.failed);
+            EXPECT_EQ(decoded.item.label, "remote");
+            EXPECT_TRUE(decoded.single.has_value());
+            got_result = true;
+        }
+        EXPECT_TRUE(got_result);
+
+        client.sendLine("shutdown");
+        EXPECT_TRUE(contains(client.readLine(), "\"bye\""));
+    }
+    fixture.server.join();
+    EXPECT_EQ(fixture.exitCode, 0);
+}
+
+/**
+ * Minimal raw-TCP "worker daemon" for the requeue test: accepts one
+ * coordinator connection, advertises capacity, then dies holding the
+ * first job it is shipped — the coordinator must requeue that job onto
+ * a surviving worker.
+ */
+class DyingFakeWorker
+{
+  public:
+    DyingFakeWorker()
+    {
+        std::string why;
+        listenFd = subprocess::listenTcp("127.0.0.1", 0, port, why);
+        EXPECT_GE(listenFd, 0) << why;
+        thread = std::thread([this] { serveOne(); });
+    }
+
+    ~DyingFakeWorker()
+    {
+        if (thread.joinable())
+            thread.join();
+        if (listenFd >= 0)
+            ::close(listenFd);
+    }
+
+    std::uint16_t port = 0;
+
+  private:
+    void
+    serveOne()
+    {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            return;
+        std::string hello = "{\"type\": \"hello\", \"workers\": 1}";
+        subprocess::writeFrame(fd, subprocess::FrameType::Line,
+                               hello.data(), hello.size());
+        subprocess::FrameType type;
+        std::vector<unsigned char> payload;
+        while (subprocess::readFrame(fd, type, payload)) {
+            if (type == subprocess::FrameType::WireJob)
+                break; // die with the job in flight
+        }
+        ::close(fd);
+    }
+
+    int listenFd = -1;
+    std::thread thread;
+};
+
+/** Drive a sweep script and collect the streamed response lines. */
+struct SweepOutcome
+{
+    std::vector<std::string> jobLabels; ///< in arrival order
+    std::string doneLine;
+    std::string allLines; ///< newline-joined full stream
+};
+
+SweepOutcome
+runSweepScript(TestClient &client,
+               const std::vector<std::string> &script)
+{
+    client.readLine(); // hello
+    for (const std::string &line : script)
+        client.send(line);
+    SweepOutcome outcome;
+    std::string line;
+    while (!(line = client.readLine()).empty()) {
+        outcome.allLines += line + "\n";
+        std::size_t label = line.find("\"label\": \"");
+        if (contains(line, "\"type\": \"job\"") &&
+            label != std::string::npos) {
+            label += 10;
+            outcome.jobLabels.push_back(
+                line.substr(label, line.find('"', label) - label));
+        }
+        if (contains(line, "\"type\": \"done\"")) {
+            outcome.doneLine = line;
+            break;
+        }
+    }
+    return outcome;
+}
+
+TEST(CoordinatorEndToEnd, ShardsAcrossTwoWorkerDaemons)
+{
+    std::string journal_root = tempPath("bfsimd-shard-journal");
+    std::filesystem::remove_all(journal_root);
+
+    harness::clearMemoCaches();
+    TcpDaemonFixture worker1("bfsimd-shard-w1");
+    TcpDaemonFixture worker2("bfsimd-shard-w2");
+
+    DaemonOptions coord;
+    coord.socketPath = tempPath("bfsimd-shard-coord.sock");
+    ::unlink(coord.socketPath.c_str());
+    coord.journalRoot = journal_root;
+    coord.coordinators = {
+        "127.0.0.1:" + std::to_string(worker1.port()),
+        "127.0.0.1:" + std::to_string(worker2.port()),
+    };
+    DaemonFixture coordinator(coord);
+    {
+        TestClient client(coord.socketPath);
+        SweepOutcome outcome = runSweepScript(
+            client, {"sweep", "opt instructions 30000",
+                     "job single mcf none a", "job single lbm none b",
+                     "opt priority 5", "job single mcf bfetch c",
+                     "job single lbm bfetch d", "run"});
+
+        // Results stream in global submission order whatever shard
+        // computed them (and whatever order they finished in).
+        EXPECT_EQ(outcome.jobLabels,
+                  (std::vector<std::string>{"a", "b", "c", "d"}));
+        EXPECT_TRUE(contains(outcome.allLines,
+                             "\"isolate\": \"sharded\""));
+        EXPECT_TRUE(contains(outcome.allLines, "\"shards\": 2"));
+        EXPECT_TRUE(contains(outcome.doneLine, "\"failures\": 0"))
+            << outcome.doneLine;
+        EXPECT_TRUE(contains(outcome.doneLine, "\"total\": 4"))
+            << outcome.doneLine;
+
+        client.send("shutdown");
+        client.readLine();
+    }
+    coordinator.server.join();
+    EXPECT_EQ(coordinator.exitCode, 0);
+
+    // The coordinator journaled every remotely computed point.
+    std::size_t records = 0;
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(journal_root))
+        records += entry.path().extension() == ".rec" ? 1 : 0;
+    EXPECT_EQ(records, 4u);
+
+    worker1.daemon.requestStop();
+    worker2.daemon.requestStop();
+    worker1.server.join();
+    worker2.server.join();
+    std::filesystem::remove_all(journal_root);
+}
+
+TEST(CoordinatorEndToEnd, DeadWorkerJobsAreRequeued)
+{
+    harness::clearMemoCaches();
+    TcpDaemonFixture survivor("bfsimd-requeue-w1");
+    DyingFakeWorker casualty;
+
+    DaemonOptions coord;
+    coord.socketPath = tempPath("bfsimd-requeue-coord.sock");
+    ::unlink(coord.socketPath.c_str());
+    coord.coordinators = {
+        "127.0.0.1:" + std::to_string(survivor.port()),
+        "127.0.0.1:" + std::to_string(casualty.port),
+    };
+    DaemonFixture coordinator(coord);
+    {
+        TestClient client(coord.socketPath);
+        SweepOutcome outcome = runSweepScript(
+            client, {"sweep", "opt instructions 30000",
+                     "job single mcf none a", "job single lbm none b",
+                     "run"});
+
+        // The job the dying worker held was requeued and completed on
+        // the survivor: full result set, zero failures.
+        EXPECT_EQ(outcome.jobLabels,
+                  (std::vector<std::string>{"a", "b"}));
+        EXPECT_TRUE(contains(outcome.doneLine, "\"failures\": 0"))
+            << outcome.doneLine;
+        EXPECT_TRUE(contains(outcome.allLines, "\"event\": \"dead\""))
+            << outcome.allLines;
+        EXPECT_TRUE(
+            contains(outcome.allLines, "\"event\": \"requeue\""))
+            << outcome.allLines;
+
+        client.send("shutdown");
+        client.readLine();
+    }
+    coordinator.server.join();
+    EXPECT_EQ(coordinator.exitCode, 0);
+    survivor.daemon.requestStop();
+    survivor.server.join();
+}
+
+TEST(CoordinatorEndToEnd, AllWorkersDeadFallsBackToLocal)
+{
+    // Reserve a port with nothing behind it: bind, read it back, close.
+    std::string why;
+    std::uint16_t dead_port = 0;
+    int probe = subprocess::listenTcp("127.0.0.1", 0, dead_port, why);
+    ASSERT_GE(probe, 0) << why;
+    ::close(probe);
+
+    harness::clearMemoCaches();
+    DaemonOptions coord;
+    coord.socketPath = tempPath("bfsimd-fallback-coord.sock");
+    ::unlink(coord.socketPath.c_str());
+    coord.workers = 1;
+    coord.isolate = harness::IsolateMode::None;
+    coord.coordinators = {"127.0.0.1:" + std::to_string(dead_port)};
+    DaemonFixture coordinator(coord);
+    {
+        TestClient client(coord.socketPath);
+        SweepOutcome outcome = runSweepScript(
+            client, {"sweep", "opt instructions 30000",
+                     "job single mcf none only", "run"});
+
+        EXPECT_TRUE(
+            contains(outcome.allLines, "\"event\": \"unreachable\""))
+            << outcome.allLines;
+        EXPECT_TRUE(
+            contains(outcome.allLines, "\"event\": \"fallback\""))
+            << outcome.allLines;
+        EXPECT_EQ(outcome.jobLabels,
+                  (std::vector<std::string>{"only"}));
+        EXPECT_TRUE(contains(outcome.doneLine, "\"failures\": 0"))
+            << outcome.doneLine;
+
+        client.send("shutdown");
+        client.readLine();
+    }
+    coordinator.server.join();
+    EXPECT_EQ(coordinator.exitCode, 0);
+}
+
+/** Remote trace-store tests share global store state; serialize it. */
+class RemoteStoreTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dirA = tempPath("bfsimd-store-a");
+        dirB = tempPath("bfsimd-store-b");
+        std::filesystem::remove_all(dirA);
+        std::filesystem::remove_all(dirB);
+        resetStoreState();
+    }
+
+    void
+    TearDown() override
+    {
+        resetStoreState();
+        std::filesystem::remove_all(dirA);
+        std::filesystem::remove_all(dirB);
+    }
+
+    static void
+    resetStoreState()
+    {
+        sim::trace_store::setDirectory("");
+        sim::trace_store::setRemoteEndpoint("");
+        harness::clearMemoCaches();
+        harness::clearTraceCache();
+        harness::setTraceCacheEnabled(true);
+    }
+
+    /** Capture one real artifact into dirA; return its file name. */
+    std::string
+    captureArtifact()
+    {
+        sim::trace_store::setDirectory(dirA);
+        harness::RunOptions run;
+        run.instructions = 30000;
+        harness::runSingle("mcf", "None", run);
+        EXPECT_GE(harness::persistTraceStore(), 1u);
+        for (const auto &entry :
+             std::filesystem::directory_iterator(dirA))
+            if (entry.path().extension() == ".bft")
+                return entry.path().filename().string();
+        ADD_FAILURE() << "no artifact captured into " << dirA;
+        return "";
+    }
+
+    std::string dirA, dirB;
+};
+
+TEST_F(RemoteStoreTest, ValidRemoteNameRejectsEscapes)
+{
+    using sim::trace_store::validRemoteName;
+    EXPECT_TRUE(validRemoteName("mcf-1234abcd.bft"));
+    EXPECT_FALSE(validRemoteName(""));
+    EXPECT_FALSE(validRemoteName(".bft"));
+    EXPECT_FALSE(validRemoteName("noext"));
+    EXPECT_FALSE(validRemoteName("../escape.bft"));
+    EXPECT_FALSE(validRemoteName("sub/dir.bft"));
+    EXPECT_FALSE(validRemoteName(std::string("nul\0byte.bft", 12)));
+    EXPECT_FALSE(validRemoteName(std::string(300, 'a') + ".bft"));
+}
+
+TEST_F(RemoteStoreTest, AcceptArtifactBytesIsExactlyOnce)
+{
+    std::string name = captureArtifact();
+    ASSERT_FALSE(name.empty());
+    std::vector<unsigned char> bytes;
+    ASSERT_TRUE(sim::trace_store::readArtifactBytes(name, bytes));
+    ASSERT_FALSE(bytes.empty());
+
+    // Fresh store: the first install writes, the replay is skipped
+    // because the existing artifact already covers the stream.
+    sim::trace_store::setDirectory(dirB);
+    EXPECT_EQ(sim::trace_store::acceptArtifactBytes(
+                  name, bytes.data(), bytes.size()),
+              1);
+    EXPECT_TRUE(std::filesystem::exists(dirB + "/" + name));
+    EXPECT_EQ(sim::trace_store::acceptArtifactBytes(
+                  name, bytes.data(), bytes.size()),
+              0);
+
+    // Foreign bytes are refused outright, and never land on disk.
+    std::vector<unsigned char> junk(128, 0x5a);
+    EXPECT_EQ(sim::trace_store::acceptArtifactBytes(
+                  "junk.bft", junk.data(), junk.size()),
+              -1);
+    EXPECT_FALSE(std::filesystem::exists(dirB + "/junk.bft"));
+}
+
+TEST_F(RemoteStoreTest, MalformedEndpointDisablesRemoteTier)
+{
+    sim::trace_store::setDirectory(dirA);
+    sim::trace_store::setRemoteEndpoint("127.0.0.1:1");
+    EXPECT_TRUE(sim::trace_store::remoteEnabled());
+    sim::trace_store::setRemoteEndpoint("not-a-host-port");
+    EXPECT_FALSE(sim::trace_store::remoteEnabled());
+    // The remote tier layers under the local cache: no local
+    // directory, no remote tier.
+    sim::trace_store::setRemoteEndpoint("127.0.0.1:1");
+    sim::trace_store::setDirectory("");
+    EXPECT_FALSE(sim::trace_store::remoteEnabled());
+}
+
+TEST_F(RemoteStoreTest, DaemonServesStoreGetAndPut)
+{
+    std::string name = captureArtifact();
+    ASSERT_FALSE(name.empty());
+    std::vector<unsigned char> bytes;
+    ASSERT_TRUE(sim::trace_store::readArtifactBytes(name, bytes));
+
+    // The daemon serves whatever the process-wide store directory
+    // holds — dirA, where captureArtifact published.
+    TcpDaemonFixture fixture("bfsimd-store");
+    {
+        TcpTestClient client(fixture.port());
+        client.readLine(); // hello
+
+        // GET hit: the exact published bytes come back.
+        client.sendFrame(subprocess::FrameType::StoreGet, name.data(),
+                         name.size());
+        subprocess::FrameType type;
+        std::vector<unsigned char> payload;
+        ASSERT_TRUE(client.readFrame(type, payload));
+        EXPECT_EQ(type, subprocess::FrameType::StoreData);
+        EXPECT_EQ(payload, bytes);
+
+        // GET miss.
+        std::string absent = "absent-artifact.bft";
+        client.sendFrame(subprocess::FrameType::StoreGet,
+                         absent.data(), absent.size());
+        ASSERT_TRUE(client.readFrame(type, payload));
+        EXPECT_EQ(type, subprocess::FrameType::StoreMiss);
+
+        // GET with a path-escaping name: a miss, never a read outside
+        // the store directory.
+        std::string evil = "../../etc/passwd.bft";
+        client.sendFrame(subprocess::FrameType::StoreGet, evil.data(),
+                         evil.size());
+        ASSERT_TRUE(client.readFrame(type, payload));
+        EXPECT_EQ(type, subprocess::FrameType::StoreMiss);
+
+        // PUT of an already-covered artifact: acknowledged as skipped
+        // (ack 0) — the fleet captures each trace exactly once.
+        std::vector<unsigned char> put;
+        std::uint32_t name_len =
+            static_cast<std::uint32_t>(name.size());
+        for (int i = 0; i < 4; ++i)
+            put.push_back(
+                static_cast<unsigned char>(name_len >> (i * 8)));
+        put.insert(put.end(), name.begin(), name.end());
+        put.insert(put.end(), bytes.begin(), bytes.end());
+        client.sendFrame(subprocess::FrameType::StorePut, put.data(),
+                         put.size());
+        ASSERT_TRUE(client.readFrame(type, payload));
+        EXPECT_EQ(type, subprocess::FrameType::StoreAck);
+        ASSERT_EQ(payload.size(), 1u);
+        EXPECT_EQ(payload[0], 0);
+
+        // Malformed PUT (garbage name length): refused, ack 0.
+        std::vector<unsigned char> bogus = {0xff, 0xff, 0xff, 0x0f};
+        client.sendFrame(subprocess::FrameType::StorePut, bogus.data(),
+                         bogus.size());
+        ASSERT_TRUE(client.readFrame(type, payload));
+        EXPECT_EQ(type, subprocess::FrameType::StoreAck);
+        ASSERT_EQ(payload.size(), 1u);
+        EXPECT_EQ(payload[0], 0);
+
+        client.sendLine("shutdown");
+        EXPECT_TRUE(contains(client.readLine(), "\"bye\""));
+    }
+    fixture.server.join();
+    EXPECT_EQ(fixture.exitCode, 0);
 }
 
 } // namespace

@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
 """Client for the bfsimd sweep daemon (src/service/).
 
-Speaks the line protocol of service/protocol.hh over a Unix-domain
-socket using only the Python standard library. Three modes:
+Speaks the line protocol of service/protocol.hh using only the Python
+standard library, over either transport the daemon serves:
 
-  bfsimd_client.py --socket PATH ping
-  bfsimd_client.py --socket PATH shutdown
-  bfsimd_client.py --socket PATH [--script FILE] [--table]
+  --socket PATH       Unix-domain socket, newline-delimited text
+  --host HOST:PORT    TCP, the framed transport of service/transport.hh
+                      (8-byte little-endian header: u32 payload length,
+                      u32 frame type; protocol lines ride in frame type
+                      6, one line per frame, no trailing newline)
+
+Three modes:
+
+  bfsimd_client.py (--socket PATH | --host H:P) ping
+  bfsimd_client.py (--socket PATH | --host H:P) shutdown
+  bfsimd_client.py (--socket PATH | --host H:P) [--script FILE] [--table]
 
 The default (sweep) mode reads request lines from --script (or stdin),
 sends them verbatim, and streams the daemon's JSON-line responses to
@@ -14,7 +22,9 @@ stdout. With --table the stream is reduced to one deterministic row
 per job -- label, headline value, status -- with every timing and
 provenance field (seconds, cached, journaled) dropped, so CI can
 byte-compare the table of an interrupted-and-resumed sweep against an
-uninterrupted one.
+uninterrupted one. --shard-status additionally renders the
+coordinator's "shard"/"shard-event" lines (live per-host progress of a
+sharded sweep) to stderr as they arrive, whatever the stdout mode.
 
 Exit status: 0 on a complete response stream, 1 on usage/connect
 errors, 2 when the daemon answered any line with a protocol error,
@@ -25,40 +35,97 @@ re-submit cheap).
 import argparse
 import json
 import socket
+import struct
 import sys
 import time
 
+FRAME_LINE = 6
+FRAME_HEADER = struct.Struct("<II")  # payload length, frame type
 
-def connect(path, timeout):
-    """Connect with bounded retry so a just-spawned daemon can bind."""
+
+def connect(address, timeout):
+    """Connect with bounded retry so a just-spawned daemon can bind.
+
+    `address` is a Unix socket path (str) or a (host, port) tuple.
+    """
     deadline = time.monotonic() + timeout
     delay = 0.05
+    family = (socket.AF_UNIX if isinstance(address, str)
+              else socket.AF_INET)
     while True:
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock = socket.socket(family, socket.SOCK_STREAM)
         try:
-            sock.connect(path)
+            sock.connect(address)
             return sock
         except OSError as error:
             sock.close()
             if time.monotonic() >= deadline:
                 raise SystemExit(
                     "bfsimd_client: cannot connect to %s: %s"
-                    % (path, error))
+                    % (address, error))
             time.sleep(delay)
             delay = min(delay * 2, 0.5)
 
 
-def recv_lines(sock):
-    """Yield decoded response lines until EOF."""
-    buffer = b""
-    while True:
-        chunk = sock.recv(65536)
-        if not chunk:
-            return
-        buffer += chunk
-        while b"\n" in buffer:
-            line, buffer = buffer.split(b"\n", 1)
-            yield line.decode("utf-8", "replace")
+class TextTransport:
+    """Newline-delimited text over a Unix-domain socket."""
+
+    def __init__(self, sock):
+        self.sock = sock
+
+    def send_request(self, text):
+        self.sock.sendall(text.encode("utf-8"))
+
+    def half_close(self):
+        self.sock.shutdown(socket.SHUT_WR)
+
+    def lines(self):
+        buffer = b""
+        while True:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                yield line.decode("utf-8", "replace")
+
+
+class FramedTransport:
+    """Length-prefixed frames over TCP; text lines in FRAME_LINE."""
+
+    def __init__(self, sock):
+        self.sock = sock
+
+    def send_request(self, text):
+        out = bytearray()
+        for line in text.splitlines():
+            payload = line.encode("utf-8")
+            out += FRAME_HEADER.pack(len(payload), FRAME_LINE)
+            out += payload
+        self.sock.sendall(bytes(out))
+
+    def half_close(self):
+        self.sock.shutdown(socket.SHUT_WR)
+
+    def lines(self):
+        buffer = b""
+        while True:
+            while len(buffer) >= FRAME_HEADER.size:
+                length, kind = FRAME_HEADER.unpack_from(buffer)
+                if len(buffer) < FRAME_HEADER.size + length:
+                    break
+                payload = buffer[FRAME_HEADER.size:
+                                 FRAME_HEADER.size + length]
+                buffer = buffer[FRAME_HEADER.size + length:]
+                if kind == FRAME_LINE:
+                    yield payload.decode("utf-8", "replace")
+                # Binary frame kinds (jobs, store transfers) never
+                # arrive on a plain client connection; skip defensively.
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return
+            buffer += chunk
 
 
 def parse(line):
@@ -76,18 +143,39 @@ def table_row(msg):
     return "%s\t%.17g\tok" % (label, msg.get("value", 0.0))
 
 
-def run_sweep(sock, script, table, raw_log):
-    request = script.read()
-    sock.sendall(request.encode("utf-8"))
+def shard_status_line(msg):
+    """Human-readable rendering of a shard / shard-event message."""
+    if msg.get("type") == "shard-event":
+        parts = ["shard-event", msg.get("event", "?")]
+        if msg.get("host"):
+            parts.append(msg["host"])
+        if "ordinal" in msg:
+            parts.append("ordinal=%d" % msg["ordinal"])
+        if msg.get("detail"):
+            parts.append("(%s)" % msg["detail"])
+        return " ".join(parts)
+    hosts = " | ".join(
+        "%s%s inflight=%d done=%d" % (
+            h.get("endpoint", "?"),
+            "" if h.get("alive") else " DEAD",
+            h.get("inflight", 0), h.get("done", 0))
+        for h in msg.get("hosts", []))
+    return "shard %d/%d pending=%d: %s" % (
+        msg.get("completed", 0), msg.get("total", 0),
+        msg.get("pending", 0), hosts)
+
+
+def run_sweep(transport, script, table, raw_log, shard_status):
+    transport.send_request(script.read())
     # Half-close so a daemon waiting for more commands sees EOF once
     # the response stream completes; responses still flow back.
-    sock.shutdown(socket.SHUT_WR)
+    transport.half_close()
 
     status = 0
     saw_done = False
     in_run = False
     rows = []
-    for line in recv_lines(sock):
+    for line in transport.lines():
         msg = parse(line)
         kind = msg.get("type")
         if kind == "error":
@@ -100,6 +188,8 @@ def run_sweep(sock, script, table, raw_log):
         elif kind == "done":
             in_run = False
             saw_done = True
+        if shard_status and kind in ("shard", "shard-event"):
+            print(shard_status_line(msg), file=sys.stderr, flush=True)
         if raw_log:
             raw_log.write(line + "\n")
             raw_log.flush()
@@ -118,9 +208,9 @@ def run_sweep(sock, script, table, raw_log):
     return status
 
 
-def simple_command(sock, command, expect):
-    sock.sendall((command + "\n").encode("utf-8"))
-    for line in recv_lines(sock):
+def simple_command(transport, command, expect):
+    transport.send_request(command + "\n")
+    for line in transport.lines():
         msg = parse(line)
         if msg.get("type") == "hello":
             continue
@@ -134,12 +224,18 @@ def simple_command(sock, command, expect):
 def main():
     parser = argparse.ArgumentParser(
         description="client for the bfsimd sweep daemon")
-    parser.add_argument("--socket", required=True,
+    parser.add_argument("--socket", default=None,
                         help="Unix socket path the daemon listens on")
+    parser.add_argument("--host", default=None, metavar="HOST:PORT",
+                        help="TCP endpoint of a daemon started with "
+                             "--listen (framed transport)")
     parser.add_argument("--script", default="-",
                         help="request-line file ('-' = stdin)")
     parser.add_argument("--table", action="store_true",
                         help="print only deterministic per-job rows")
+    parser.add_argument("--shard-status", action="store_true",
+                        help="render coordinator shard progress lines "
+                             "to stderr as they arrive")
     parser.add_argument("--raw-log", default=None, metavar="FILE",
                         help="also write the raw JSON response stream "
                              "to FILE (useful with --table)")
@@ -149,19 +245,32 @@ def main():
                         choices=["sweep", "ping", "shutdown"])
     args = parser.parse_args()
 
-    sock = connect(args.socket, args.connect_timeout)
+    if bool(args.socket) == bool(args.host):
+        parser.error("exactly one of --socket and --host is required")
+    if args.host:
+        host, _, port = args.host.rpartition(":")
+        if not host or not port.isdigit():
+            parser.error("--host expects HOST:PORT")
+        sock = connect((host, int(port)), args.connect_timeout)
+        transport = FramedTransport(sock)
+    else:
+        sock = connect(args.socket, args.connect_timeout)
+        transport = TextTransport(sock)
+
     try:
         if args.command == "ping":
-            return simple_command(sock, "ping", "pong")
+            return simple_command(transport, "ping", "pong")
         if args.command == "shutdown":
-            return simple_command(sock, "shutdown", "bye")
+            return simple_command(transport, "shutdown", "bye")
         raw_log = (open(args.raw_log, "w", encoding="utf-8")
                    if args.raw_log else None)
         try:
             if args.script == "-":
-                return run_sweep(sock, sys.stdin, args.table, raw_log)
+                return run_sweep(transport, sys.stdin, args.table,
+                                 raw_log, args.shard_status)
             with open(args.script, "r", encoding="utf-8") as script:
-                return run_sweep(sock, script, args.table, raw_log)
+                return run_sweep(transport, script, args.table,
+                                 raw_log, args.shard_status)
         finally:
             if raw_log:
                 raw_log.close()
